@@ -1,0 +1,44 @@
+//! Cache-policy operation throughput under a Zipf-like key stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oat_cdnsim::cache::CacheKey;
+use oat_cdnsim::PolicyKind;
+use oat_httplog::ObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn zipf_stream(n_ops: usize, n_keys: usize, seed: u64) -> Vec<(CacheKey, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_ops)
+        .map(|_| {
+            // Approximate Zipf(1) by inverse-power transform.
+            let u: f64 = rng.gen_range(0.0001f64..1.0);
+            let rank = ((n_keys as f64).powf(u) as u64).min(n_keys as u64 - 1);
+            let size = 1_000 + (rank % 64) * 500;
+            (CacheKey::whole(ObjectId::new(rank)), size)
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let stream = zipf_stream(200_000, 20_000, 42);
+    let mut group = c.benchmark_group("cache/request_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &stream, |b, stream| {
+            b.iter(|| {
+                let mut cache = kind.build(20_000_000);
+                let mut hits = 0u64;
+                for (t, &(key, size)) in stream.iter().enumerate() {
+                    hits += u64::from(cache.request(key, size, t as u64));
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

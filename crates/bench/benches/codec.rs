@@ -1,0 +1,66 @@
+//! Log codec throughput: text vs binary encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oat_httplog::codec::{binary, text};
+use oat_httplog::io::{read_all, write_all, Format};
+use oat_httplog::LogRecord;
+
+fn sample_records(n: usize) -> Vec<LogRecord> {
+    (0..n)
+        .map(|i| {
+            let mut r = LogRecord::example();
+            r.timestamp += i as u64;
+            r.object = oat_httplog::ObjectId::new(i as u64 * 7919);
+            r
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let records = sample_records(10_000);
+
+    let mut group = c.benchmark_group("codec/encode");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("text", |b| {
+        b.iter(|| {
+            let mut out = String::new();
+            for r in &records {
+                text::encode_into(r, &mut out);
+                out.push('\n');
+            }
+            out
+        })
+    });
+    group.bench_function("binary", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(records.len() * 200);
+            for r in &records {
+                binary::encode(r, &mut buf).expect("UA fits");
+            }
+            buf
+        })
+    });
+    group.finish();
+
+    // Decode.
+    let mut text_buf = Vec::new();
+    write_all(&mut text_buf, Format::Text, &records).unwrap();
+    let mut bin_buf = Vec::new();
+    write_all(&mut bin_buf, Format::Binary, &records).unwrap();
+
+    let mut group = c.benchmark_group("codec/decode");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for (name, buf, format) in
+        [("text", &text_buf, Format::Text), ("binary", &bin_buf, Format::Binary)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), buf, |b, buf| {
+            b.iter(|| read_all(&buf[..], format).expect("well-formed"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

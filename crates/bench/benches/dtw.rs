@@ -1,0 +1,57 @@
+//! DTW and hierarchical-clustering scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oat_timeseries::{
+    distance::pairwise_matrix, dtw::dtw_distance, hierarchical, kmedoids, Linkage, Metric,
+};
+
+fn series(len: usize, phase: f64) -> Vec<f64> {
+    (0..len)
+        .map(|i| (i as f64 * 0.26 + phase).sin().abs() * (1.0 + (i % 7) as f64 * 0.1))
+        .collect()
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw/distance");
+    group.sample_size(20);
+    for len in [168usize, 336, 672] {
+        let a = series(len, 0.0);
+        let b = series(len, 1.3);
+        group.bench_with_input(BenchmarkId::new("unconstrained", len), &len, |bench, _| {
+            bench.iter(|| dtw_distance(&a, &b, None))
+        });
+        group.bench_with_input(BenchmarkId::new("band24", len), &len, |bench, _| {
+            bench.iter(|| dtw_distance(&a, &b, Some(24)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dtw/cluster_pipeline");
+    group.sample_size(10);
+    for n in [50usize, 100, 150] {
+        let set: Vec<Vec<f64>> = (0..n).map(|i| series(168, i as f64 * 0.37)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |bench, set| {
+            bench.iter(|| {
+                let m = pairwise_matrix(set, Metric::Dtw { band: Some(24) }).expect("n >= 2");
+                hierarchical::cluster(&m, Linkage::Ward)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kmedoids");
+    group.sample_size(10);
+    let set: Vec<Vec<f64>> = (0..100).map(|i| series(168, i as f64 * 0.37)).collect();
+    let matrix = pairwise_matrix(&set, Metric::Euclidean).expect("n >= 2");
+    group.bench_function("pam_k5_100", |b| {
+        b.iter(|| kmedoids::pam(&matrix, 5, 20).expect("valid k"))
+    });
+    let labels = kmedoids::pam(&matrix, 5, 20).expect("valid k").labels;
+    group.bench_function("silhouette_100", |b| {
+        b.iter(|| kmedoids::silhouette(&matrix, &labels))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! One benchmark per paper figure: times regenerating each figure's data
+//! from a shared pre-simulated record stream (the per-table/figure bench
+//! targets promised in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oat_core::analyzers::{
+    addiction::AddictionAnalyzer,
+    aging::AgingAnalyzer,
+    cache::CacheAnalyzer,
+    clustering::{ClusteringAnalyzer, ClusteringConfig},
+    composition::CompositionAnalyzer,
+    device::DeviceAnalyzer,
+    iat::IatAnalyzer,
+    popularity::PopularityAnalyzer,
+    response::ResponseAnalyzer,
+    sessions::SessionAnalyzer,
+    sizes::SizeAnalyzer,
+    temporal::TemporalAnalyzer,
+    run_analyzer,
+};
+use oat_core::SiteMap;
+use oat_httplog::{ContentClass, LogRecord, PublisherId};
+
+fn fixture() -> (Vec<LogRecord>, SiteMap, u64) {
+    let (records, _sim, trace) = oat_bench::records(0.01, 0.02, 7);
+    let map = SiteMap::from_profiles(&trace.config.sites);
+    (records, map, trace.config.start_unix)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let (records, map, start) = fixture();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig01_02_composition", |b| {
+        b.iter(|| run_analyzer(CompositionAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig03_temporal", |b| {
+        b.iter(|| run_analyzer(TemporalAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig04_devices", |b| {
+        b.iter(|| run_analyzer(DeviceAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig05_sizes", |b| {
+        b.iter(|| run_analyzer(SizeAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig06_popularity", |b| {
+        b.iter(|| run_analyzer(PopularityAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig07_aging", |b| {
+        b.iter(|| run_analyzer(AgingAnalyzer::new(map.clone(), 7), &records))
+    });
+    group.bench_function("fig08_10_clustering_v2", |b| {
+        b.iter(|| {
+            run_analyzer(
+                ClusteringAnalyzer::new(
+                    PublisherId::new(2),
+                    "V-2",
+                    ContentClass::Video,
+                    start,
+                    168,
+                    ClusteringConfig::default(),
+                ),
+                &records,
+            )
+        })
+    });
+    group.bench_function("fig11_iat", |b| {
+        b.iter(|| run_analyzer(IatAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig12_sessions", |b| {
+        b.iter(|| run_analyzer(SessionAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig13_14_addiction", |b| {
+        b.iter(|| run_analyzer(AddictionAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig15_cache", |b| {
+        b.iter(|| run_analyzer(CacheAnalyzer::new(map.clone()), &records))
+    });
+    group.bench_function("fig16_responses", |b| {
+        b.iter(|| run_analyzer(ResponseAnalyzer::new(map.clone()), &records))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

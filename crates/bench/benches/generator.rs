@@ -1,0 +1,35 @@
+//! Trace-generation and CDN-replay throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oat_cdnsim::{SimConfig, Simulator};
+use oat_workload::{generate, TraceConfig};
+
+fn bench_generator(c: &mut Criterion) {
+    let config = TraceConfig::paper_week()
+        .with_scale(0.01)
+        .with_catalog_scale(0.02);
+    let n_requests = generate(&config).expect("valid").requests.len();
+
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_requests as u64));
+    group.bench_function("generate_1pct_week", |b| {
+        b.iter(|| generate(&config).expect("valid"))
+    });
+    group.finish();
+
+    let trace = generate(&config).expect("valid");
+    let mut group = c.benchmark_group("cdnsim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.requests.len() as u64));
+    group.bench_function("replay_1pct_week", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(&SimConfig::default_edge());
+            sim.replay(trace.requests.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks for the statistics primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oat_stats::{fit_zipf, Ecdf, PsquareQuantile, SpaceSaving, StreamingStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..1e6)).collect();
+    let counts: Vec<u64> = (1..=5_000u64).map(|r| 1_000_000 / r).collect();
+
+    let mut group = c.benchmark_group("stats");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("ecdf_build_100k", |b| {
+        b.iter(|| Ecdf::from_samples(samples.iter().copied()))
+    });
+    group.bench_function("streaming_stats_100k", |b| {
+        b.iter(|| samples.iter().copied().collect::<StreamingStats>())
+    });
+    group.bench_function("psquare_median_100k", |b| {
+        b.iter(|| {
+            let mut p = PsquareQuantile::new(0.5).expect("valid q");
+            for &x in &samples {
+                p.push(x);
+            }
+            p.estimate()
+        })
+    });
+    group.bench_function("space_saving_100k", |b| {
+        b.iter(|| {
+            let mut ss = SpaceSaving::new(256);
+            for &x in &samples {
+                ss.observe((x as u64) % 10_000);
+            }
+            ss.top(10)
+        })
+    });
+    group.finish();
+
+    c.bench_function("stats/zipf_fit_5k_ranks", |b| b.iter(|| fit_zipf(&counts)));
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,583 @@
+//! `repro` — regenerates every table/figure of the ICDCS 2016 paper and
+//! runs the design ablations.
+//!
+//! ```sh
+//! repro --all                 # all 16 figures, default scale
+//! repro --fig 3               # one figure
+//! repro --ablation cache-policy|tiered-cache|push|incognito|ttl|dtw
+//! repro --scale 0.25 --all    # denser trace (closer to paper shape)
+//! ```
+//!
+//! Each section prints the paper's reported shape next to the measured
+//! values so the comparison that feeds `EXPERIMENTS.md` is mechanical.
+
+use oat_cdnsim::cache::{CachePolicy, LruCache, SlruCache, TieredCache};
+use oat_cdnsim::{cacheable_key, plan_push, LatencyModel, PolicyKind, SimConfig, Simulator};
+use oat_core::experiment::{ExperimentConfig, ExperimentResult};
+use oat_core::report;
+use oat_httplog::ContentClass;
+use oat_timeseries::{distance::pairwise_matrix, hierarchical, Linkage, Metric};
+use oat_workload::{generate, SiteProfile, TraceConfig};
+
+#[derive(Debug, Clone)]
+struct Options {
+    scale: f64,
+    catalog_scale: f64,
+    seed: u64,
+    figures: Vec<u8>,
+    all: bool,
+    ablation: Option<String>,
+    capacity: Option<u64>,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: 0.1,
+            catalog_scale: 0.1,
+            seed: 0x0A7_5EED,
+            figures: Vec::new(),
+            all: false,
+            ablation: None,
+            capacity: None,
+            csv_dir: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => opts.all = true,
+            "--fig" => {
+                let v = args.next().ok_or("--fig needs a number (1-16)")?;
+                let n: u8 = v.parse().map_err(|_| format!("bad figure number {v:?}"))?;
+                if !(1..=16).contains(&n) {
+                    return Err(format!("figure {n} out of range 1-16"));
+                }
+                opts.figures.push(n);
+            }
+            "--ablation" => {
+                opts.ablation = Some(args.next().ok_or("--ablation needs a name")?);
+            }
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--catalog-scale" => {
+                let v = args.next().ok_or("--catalog-scale needs a value")?;
+                opts.catalog_scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--capacity" => {
+                let v = args.next().ok_or("--capacity needs bytes")?;
+                opts.capacity = Some(v.parse().map_err(|_| format!("bad capacity {v:?}"))?);
+            }
+            "--csv-dir" => {
+                let v = args.next().ok_or("--csv-dir needs a directory")?;
+                opts.csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--all] [--fig N]... [--ablation NAME] \
+                     [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] [--csv-dir DIR]\n\
+                     ablations: cache-policy tiered-cache push incognito ttl cooperative parent-tier dtw"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !opts.all && opts.figures.is_empty() && opts.ablation.is_none() {
+        opts.all = true;
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(name) = &opts.ablation {
+        run_ablation(name, &opts);
+        return;
+    }
+
+    let figures: Vec<u8> = if opts.all { (1..=16).collect() } else { opts.figures.clone() };
+    let result = run_experiment(&opts);
+    print_figures(&result, &figures);
+    if let Some(dir) = &opts.csv_dir {
+        match oat_core::export::write_csvs(&result, dir) {
+            Ok(files) => eprintln!("repro: wrote {} CSV series to {}", files.len(), dir.display()),
+            Err(e) => {
+                eprintln!("repro: CSV export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_experiment(opts: &Options) -> ExperimentResult {
+    let mut config = ExperimentConfig::small();
+    config.trace.scale = opts.scale;
+    config.trace.catalog_scale = opts.catalog_scale;
+    config.trace.seed = opts.seed;
+    // Per-PoP capacity tracks the catalog size (the paper's CDN provisions
+    // for its full catalogs); override with --capacity.
+    config.sim.cache_capacity_bytes = opts
+        .capacity
+        .unwrap_or((64e9 * opts.catalog_scale).max(2e9) as u64);
+    eprintln!(
+        "repro: scale {} catalog-scale {} seed {}",
+        opts.scale, opts.catalog_scale, opts.seed
+    );
+    let start = std::time::Instant::now();
+    let result = oat_core::experiment::run(&config).expect("valid config");
+    eprintln!(
+        "repro: {} records analyzed in {:.1?}",
+        result.records,
+        start.elapsed()
+    );
+    result
+}
+
+fn print_figures(result: &ExperimentResult, figures: &[u8]) {
+    for &fig in figures {
+        match fig {
+            1 | 2
+                if (fig == 1 || !figures.contains(&1)) => {
+                    paper(
+                        "Fig 1: V-1 98% video objects; V-2 84% image / 15% video; \
+                         P-1, P-2, S-1 ~99% image.\n\
+                         Fig 2a: video requests dominate V-1 (3.1M); V-2 has ~62% image vs ~34% video.\n\
+                         Fig 2b: video dominates bytes wherever it exists (V-1: 258 GB).",
+                    );
+                    println!("{}", report::render_composition(&result.composition));
+                }
+            3 => {
+                paper(
+                    "Fig 3: not classic diurnal; V-1 peaks late-night/early-morning \
+                     (opposite the 7-11pm web peak) with the strongest variation.",
+                );
+                println!("{}", report::render_temporal(&result.temporal));
+            }
+            4 => {
+                paper(
+                    "Fig 4: desktop dominates everywhere; V-2 > 95% desktop; \
+                     S-1 > 1/3 smartphone+misc.",
+                );
+                println!("{}", report::render_devices(&result.devices));
+            }
+            5 => {
+                paper(
+                    "Fig 5a: most videos > 1 MB; P-2 has the largest videos.\n\
+                     Fig 5b: image sizes bi-modal (thumbnails vs full-size < 1 MB).",
+                );
+                println!("{}", report::render_sizes(&result.sizes));
+            }
+            6 => {
+                paper(
+                    "Fig 6: long-tailed popularity on every site; a small fraction \
+                     of objects draws most requests.",
+                );
+                println!("{}", report::render_popularity(&result.popularity));
+            }
+            7 => {
+                paper(
+                    "Fig 7: declining fraction requested with age; ~20% silent after \
+                     day 3; ~10% requested throughout the week.",
+                );
+                println!("{}", report::render_aging(&result.aging));
+            }
+            8..=10
+                if (fig == 8 || !figures.contains(&8)) => {
+                    paper(
+                        "Fig 8: V-2 video clusters: outliers 33%, long-lived 22%, \
+                         short-lived 20%, diurnal 11%+14%. P-2 image: diurnal 61%, \
+                         long-lived 25%, flash-crowd 14%.\n\
+                         Fig 9/10: medoids show diurnal oscillation, first-day peak \
+                         with multi-day decay, and hours-scale bursts.",
+                    );
+                    for c in &result.clusterings {
+                        println!("{}", report::render_clustering(c));
+                    }
+                }
+            11 => {
+                paper(
+                    "Fig 11: video-site median IAT < 10 min; image-heavy sites > 1 h.",
+                );
+                println!("{}", report::render_iat(&result.iat));
+            }
+            12 => {
+                paper(
+                    "Fig 12: 10-min timeout; median sessions ~1 min — much shorter \
+                     than non-adult sites (YouTube ~2 min).",
+                );
+                println!("{}", report::render_sessions(&result.sessions));
+            }
+            13 | 14
+                if (fig == 13 || !figures.contains(&13)) => {
+                    paper(
+                        "Fig 13: video objects sit far above the requests=users diagonal \
+                         (up to 2 orders of magnitude).\n\
+                         Fig 14: >=10% of video objects exceed 10 req/user; <1% of images do.",
+                    );
+                    println!("{}", report::render_addiction(&result.addiction));
+                }
+            15 => {
+                paper(
+                    "Fig 15: overall CDN hit ratios 80-90%; image objects cache better \
+                     than video; popularity-hit correlation > 0.9.",
+                );
+                println!("{}", report::render_cache(&result.cache));
+            }
+            16 => {
+                paper(
+                    "Fig 16: 200 dominates; 206 for (chunked) video; 304 notably rare \
+                     (incognito browsing defeats browser caching); some 403/416.",
+                );
+                println!("{}", report::render_responses(&result.responses));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn paper(text: &str) {
+    println!("--- paper ---");
+    for line in text.lines() {
+        println!("  {}", line.trim());
+    }
+    println!("--- measured ---");
+}
+
+fn run_ablation(name: &str, opts: &Options) {
+    match name {
+        "cache-policy" => ablation_cache_policy(opts),
+        "tiered-cache" => ablation_tiered_cache(opts),
+        "push" => ablation_push(opts),
+        "incognito" => ablation_incognito(opts),
+        "ttl" => ablation_ttl(opts),
+        "cooperative" => ablation_cooperative(opts),
+        "parent-tier" => ablation_parent_tier(opts),
+        "dtw" => ablation_dtw(opts),
+        other => {
+            eprintln!(
+                "repro: unknown ablation {other:?} \
+                 (try cache-policy|tiered-cache|push|incognito|ttl|cooperative|parent-tier|dtw)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn base_trace(opts: &Options) -> oat_workload::Trace {
+    let config = TraceConfig::paper_week()
+        .with_scale(opts.scale)
+        .with_catalog_scale(opts.catalog_scale)
+        .with_seed(opts.seed);
+    generate(&config).expect("valid config")
+}
+
+/// A1 — eviction-policy comparison across capacities.
+fn ablation_cache_policy(opts: &Options) {
+    let trace = base_trace(opts);
+    println!("A1 — cache policy vs capacity");
+    let latency = LatencyModel::broadband();
+    println!(
+        "{:<10} {:>10} {:>11} {:>13} {:>13}",
+        "policy", "capacity", "hit-ratio", "byte-savings", "mean latency"
+    );
+    for capacity in [200_000_000u64, 1_000_000_000, 4_000_000_000, 16_000_000_000] {
+        for policy in PolicyKind::ALL {
+            if policy == PolicyKind::Infinite && capacity != 16_000_000_000 {
+                continue;
+            }
+            let sim = Simulator::new(
+                &SimConfig::default_edge().with_policy(policy).with_capacity(capacity),
+            );
+            sim.replay(trace.requests.clone());
+            let stats = sim.stats();
+            println!(
+                "{:<10} {:>10} {:>10.1}% {:>12.1}% {:>10.0} ms",
+                policy.to_string(),
+                report::human_bytes(capacity),
+                100.0 * stats.hit_ratio().unwrap_or(0.0),
+                100.0 * stats.byte_savings().unwrap_or(0.0),
+                latency.mean_from_stats(&stats).unwrap_or(0.0),
+            );
+        }
+    }
+}
+
+/// A2 — unified cache vs small/large split (paper §IV-B suggestion).
+fn ablation_tiered_cache(opts: &Options) {
+    let trace = base_trace(opts);
+    let capacity = 1_000_000_000u64;
+    let threshold = 1_000_000u64;
+
+    let run = |cache: &mut dyn CachePolicy| {
+        let (mut hits, mut total) = (0u64, 0u64);
+        for req in &trace.requests {
+            if let Some((key, size)) = cacheable_key(req) {
+                total += 1;
+                hits += u64::from(cache.request(key, size, req.timestamp));
+            }
+        }
+        hits as f64 / total.max(1) as f64
+    };
+
+    let mut unified = LruCache::new(capacity);
+    let unified_ratio = run(&mut unified);
+
+    // 30% of bytes to a small-object SLRU, 70% to a large-object LRU.
+    let mut tiered = TieredCache::new(
+        Box::new(SlruCache::new(capacity * 3 / 10)),
+        Box::new(LruCache::new(capacity * 7 / 10)),
+        threshold,
+    );
+    let tiered_ratio = run(&mut tiered);
+
+    println!("A2 — unified vs size-tiered cache ({} total, split at {})",
+        report::human_bytes(capacity), report::human_bytes(threshold));
+    println!("unified LRU          hit ratio {:.1}%", 100.0 * unified_ratio);
+    println!("tiered SLRU+LRU      hit ratio {:.1}%", 100.0 * tiered_ratio);
+    println!(
+        "paper: separate small/large platforms let each tier be optimized; \
+         the small tier shields thumbnails from video churn"
+    );
+}
+
+/// A3 — push placement lift.
+fn ablation_push(opts: &Options) {
+    let trace = base_trace(opts);
+    let start = trace.config.start_unix;
+    let split = start + 86_400;
+    let day1: Vec<_> = trace.requests.iter().filter(|r| r.timestamp < split).cloned().collect();
+    let rest: Vec<_> = trace.requests.iter().filter(|r| r.timestamp >= split).cloned().collect();
+    println!("A3 — push popular objects to every PoP (plan from day 1, replay days 2-7)");
+    println!("{:>12} {:>10} {:>11}", "push budget", "objects", "hit-ratio");
+    for budget in [0u64, 100_000_000, 500_000_000, 2_000_000_000] {
+        let sim = Simulator::new(&SimConfig::default_edge().with_capacity(1_000_000_000));
+        let plan = plan_push(&day1, budget);
+        sim.preload(plan.iter().map(|p| (p.key, p.size)));
+        sim.replay(rest.clone());
+        println!(
+            "{:>12} {:>10} {:>10.1}%",
+            report::human_bytes(budget),
+            plan.len(),
+            100.0 * sim.stats().hit_ratio().unwrap_or(0.0),
+        );
+    }
+}
+
+/// A4 — incognito browsing rate vs 304 (revalidation) share.
+fn ablation_incognito(opts: &Options) {
+    println!("A4 — incognito rate vs browser-cache revalidation (304 share)");
+    println!("{:>9} {:>12} {:>10}", "incognito", "304 share", "records");
+    for rate in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut site = SiteProfile::p1();
+        site.incognito_rate = rate;
+        let config = TraceConfig {
+            sites: vec![site],
+            ..TraceConfig::paper_week()
+        }
+        .with_scale(opts.scale)
+        .with_catalog_scale(opts.catalog_scale)
+        .with_seed(opts.seed);
+        let trace = generate(&config).expect("valid config");
+        let sim = Simulator::new(&SimConfig::default_edge());
+        let records = sim.replay(trace.requests);
+        let total = records.len() as f64;
+        let not_modified =
+            records.iter().filter(|r| r.status.code() == 304).count() as f64;
+        println!("{:>8.0}% {:>11.2}% {:>10}", 100.0 * rate, 100.0 * not_modified / total, records.len());
+    }
+    println!(
+        "paper: prevalent incognito browsing means publishers cannot rely on \
+         browser caches — 304 responses stay rare"
+    );
+}
+
+/// A5 — freshness TTL sweep (trend-aware revalidation schedules).
+fn ablation_ttl(opts: &Options) {
+    let trace = base_trace(opts);
+    println!("A5 — freshness TTL vs hit ratio (LRU 4 GB per PoP)");
+    println!("{:>8} {:>11}", "ttl", "hit-ratio");
+    for (label, ttl) in [
+        ("1h", Some(3_600u64)),
+        ("6h", Some(6 * 3_600)),
+        ("1d", Some(86_400)),
+        ("3d", Some(3 * 86_400)),
+        ("none", None),
+    ] {
+        let mut config = SimConfig::default_edge();
+        config.ttl_secs = ttl;
+        let sim = Simulator::new(&config);
+        sim.replay(trace.requests.clone());
+        println!("{:>8} {:>10.1}%", label, 100.0 * sim.stats().hit_ratio().unwrap_or(0.0));
+    }
+    println!(
+        "paper: revalidate short-lived objects hourly and long-lived daily; \
+         longer expiry for diurnal/long-lived content recovers hit ratio"
+    );
+}
+
+/// A7 — cooperative (networked) caching across PoPs.
+fn ablation_cooperative(opts: &Options) {
+    let trace = base_trace(opts);
+    println!("A7 — cooperative sibling-PoP lookups vs isolated PoPs");
+    let latency = LatencyModel::broadband();
+    println!(
+        "{:<12} {:>10} {:>11} {:>13} {:>13}",
+        "mode", "capacity", "hit-ratio", "byte-savings", "mean latency"
+    );
+    for capacity in [500_000_000u64, 2_000_000_000] {
+        for (label, cooperative) in [("isolated", false), ("cooperative", true)] {
+            let mut config = SimConfig::default_edge().with_capacity(capacity);
+            config.cooperative = cooperative;
+            let sim = Simulator::new(&config);
+            sim.replay(trace.requests.clone());
+            let stats = sim.stats();
+            println!(
+                "{:<12} {:>10} {:>10.1}% {:>12.1}% {:>10.0} ms",
+                label,
+                report::human_bytes(capacity),
+                100.0 * stats.hit_ratio().unwrap_or(0.0),
+                100.0 * stats.byte_savings().unwrap_or(0.0),
+                latency.mean_from_stats(&stats).unwrap_or(0.0),
+            );
+        }
+    }
+    println!(
+        "paper: CDNs can reduce network traffic with customized networked \
+         cache configuration — a sibling copy spares the origin"
+    );
+}
+
+/// A8 — regional parent cache tier (hierarchical placement).
+fn ablation_parent_tier(opts: &Options) {
+    let trace = base_trace(opts);
+    let latency = LatencyModel::broadband();
+    println!("A8 — flat edges vs edge + regional parent tier");
+    println!(
+        "{:<26} {:>11} {:>13} {:>13}",
+        "deployment", "hit-ratio", "byte-savings", "mean latency"
+    );
+    let run = |config: SimConfig, label: &str| {
+        let sim = Simulator::new(&config);
+        sim.replay(trace.requests.clone());
+        let stats = sim.stats();
+        println!(
+            "{:<26} {:>10.1}% {:>12.1}% {:>10.0} ms",
+            label,
+            100.0 * stats.hit_ratio().unwrap_or(0.0),
+            100.0 * stats.byte_savings().unwrap_or(0.0),
+            latency.mean_from_stats(&stats).unwrap_or(0.0),
+        );
+    };
+    // Four edges per region share one parent; the flat alternative spends
+    // the parent's bytes on the edges instead (same total budget).
+    let edge = 500_000_000u64;
+    let base = SimConfig { pops_per_region: 4, ..SimConfig::default_edge() };
+    run(base.clone().with_capacity(edge), "4x edge 500MB");
+    run(
+        base.clone().with_capacity(edge).with_parent(4 * edge),
+        "4x edge 500MB + parent 2GB",
+    );
+    run(base.with_capacity(2 * edge), "4x flat edge 1GB (same bytes)");
+    println!(
+        "paper: 'cache placement strategies' — a shared regional tier pools \
+         the long tail that per-PoP caches cannot each afford to keep"
+    );
+}
+
+/// A6 — DTW vs Euclidean clustering quality against planted ground truth.
+fn ablation_dtw(opts: &Options) {
+    let config = TraceConfig {
+        sites: vec![SiteProfile::v2()],
+        ..TraceConfig::paper_week()
+    }
+    .with_scale(opts.scale.max(0.05))
+    .with_catalog_scale(opts.catalog_scale.max(0.02))
+    .with_seed(opts.seed);
+    let trace = generate(&config).expect("valid config");
+    let catalog = &trace.catalogs[0];
+    let truth: std::collections::HashMap<u64, oat_timeseries::TrendClass> = catalog
+        .objects()
+        .iter()
+        .map(|o| (o.id.raw(), o.trend.class()))
+        .collect();
+
+    // Hourly series for the top video objects.
+    let hours = (config.duration_secs / 3600) as usize;
+    let mut counts: std::collections::HashMap<u64, (u64, Vec<f64>)> = Default::default();
+    for req in &trace.requests {
+        if req.content_class() != ContentClass::Video {
+            continue;
+        }
+        let h = ((req.timestamp - config.start_unix) / 3600) as usize;
+        if h >= hours {
+            continue;
+        }
+        let entry = counts.entry(req.object.raw()).or_insert_with(|| (0, vec![0.0; hours]));
+        entry.0 += 1;
+        entry.1[h] += 1.0;
+    }
+    let mut top: Vec<(u64, u64, Vec<f64>)> =
+        counts.into_iter().map(|(id, (n, s))| (id, n, s)).collect();
+    top.sort_by_key(|&(_, n, _)| std::cmp::Reverse(n));
+    top.truncate(120);
+    top.retain(|(_, n, _)| *n >= 40);
+    let ids: Vec<u64> = top.iter().map(|(id, _, _)| *id).collect();
+    let series: Vec<Vec<f64>> = top
+        .iter()
+        .map(|(_, _, s)| {
+            let sm = oat_timeseries::normalize::moving_average(s, 2);
+            oat_timeseries::normalize::sum_normalize(&sm).unwrap_or(sm)
+        })
+        .collect();
+
+    println!(
+        "A6 — clustering metric quality on {} V-2 video objects (planted trends as truth)",
+        series.len()
+    );
+    println!("{:<22} {:>8}", "metric", "purity");
+    for (label, metric) in [
+        ("dtw (band 24)", Metric::Dtw { band: Some(24) }),
+        ("dtw (unconstrained)", Metric::Dtw { band: None }),
+        ("euclidean", Metric::Euclidean),
+    ] {
+        let Some(matrix) = pairwise_matrix(&series, metric) else {
+            println!("{label:<22} {:>8}", "-");
+            continue;
+        };
+        let dendrogram = hierarchical::cluster(&matrix, Linkage::Ward);
+        let labels = dendrogram.cut_k(5);
+        // Purity: majority planted class per cluster.
+        let k = labels.iter().max().map_or(0, |&m| m + 1);
+        let mut majority = 0usize;
+        for cluster in 0..k {
+            let mut votes: std::collections::HashMap<_, usize> = Default::default();
+            for (i, &l) in labels.iter().enumerate() {
+                if l == cluster {
+                    *votes.entry(truth[&ids[i]]).or_insert(0) += 1;
+                }
+            }
+            majority += votes.values().max().copied().unwrap_or(0);
+        }
+        println!("{label:<22} {:>7.1}%", 100.0 * majority as f64 / series.len() as f64);
+    }
+    println!("paper: DTW chosen for its alignment of time-shifted popularity curves");
+}

@@ -1,0 +1,39 @@
+//! Shared fixtures for the reproduction harness and criterion benches.
+
+#![forbid(unsafe_code)]
+
+use oat_cdnsim::{SimConfig, Simulator};
+use oat_httplog::LogRecord;
+use oat_workload::{generate, Trace, TraceConfig};
+
+/// Generates a deterministic trace at the given scales.
+///
+/// # Panics
+///
+/// Panics on invalid scales (callers pass literals).
+pub fn trace(scale: f64, catalog_scale: f64, seed: u64) -> Trace {
+    let config = TraceConfig::paper_week()
+        .with_scale(scale)
+        .with_catalog_scale(catalog_scale)
+        .with_seed(seed);
+    generate(&config).expect("fixture config is valid")
+}
+
+/// Generates a trace and replays it through a default edge, returning the
+/// finished records plus the simulator (for its stats).
+pub fn records(scale: f64, catalog_scale: f64, seed: u64) -> (Vec<LogRecord>, Simulator, Trace) {
+    let t = trace(scale, catalog_scale, seed);
+    let sim = Simulator::new(&SimConfig::default_edge());
+    let recs = sim.replay(t.requests.clone());
+    (recs, sim, t)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = super::trace(0.001, 0.005, 1);
+        let b = super::trace(0.001, 0.005, 1);
+        assert_eq!(a.requests.len(), b.requests.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Admission filtering: admit only on the second request.
+//!
+//! Over half of a long-tailed workload's objects are one-hit wonders;
+//! admitting them evicts useful content. `AdmitOnSecond` keeps a bounded
+//! ghost set of recently *seen* keys and only admits a key into the inner
+//! cache once it has been requested twice — a standard CDN admission
+//! control (cf. Akamai's "cache on second hit" rule).
+
+use super::{CacheKey, CachePolicy};
+use std::collections::{HashSet, VecDeque};
+
+/// Wraps a policy with a seen-once ghost filter.
+#[derive(Debug)]
+pub struct AdmitOnSecond<C> {
+    inner: C,
+    ghost: VecDeque<CacheKey>,
+    ghost_set: HashSet<CacheKey>,
+    ghost_capacity: usize,
+    filtered: u64,
+}
+
+impl<C: CachePolicy> AdmitOnSecond<C> {
+    /// Wraps `inner`, remembering up to `ghost_capacity` seen-once keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghost_capacity` is zero.
+    pub fn new(inner: C, ghost_capacity: usize) -> Self {
+        assert!(ghost_capacity > 0, "ghost capacity must be positive");
+        Self {
+            inner,
+            ghost: VecDeque::new(),
+            ghost_set: HashSet::new(),
+            ghost_capacity,
+            filtered: 0,
+        }
+    }
+
+    /// Requests denied admission so far (first sightings).
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Consumes the wrapper, returning the inner policy.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    fn remember(&mut self, key: CacheKey) {
+        if self.ghost_set.insert(key) {
+            self.ghost.push_back(key);
+            while self.ghost.len() > self.ghost_capacity {
+                if let Some(old) = self.ghost.pop_front() {
+                    self.ghost_set.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn forget(&mut self, key: &CacheKey) {
+        if self.ghost_set.remove(key) {
+            self.ghost.retain(|k| k != key);
+        }
+    }
+}
+
+impl<C: CachePolicy> CachePolicy for AdmitOnSecond<C> {
+    fn request(&mut self, key: CacheKey, size: u64, now: u64) -> bool {
+        if self.inner.contains(&key) {
+            return self.inner.request(key, size, now);
+        }
+        if self.ghost_set.contains(&key) {
+            // Second sighting: admit for real.
+            self.forget(&key);
+            self.inner.request(key, size, now);
+            return false;
+        }
+        // First sighting: remember, don't admit.
+        self.remember(key);
+        self.filtered += 1;
+        false
+    }
+
+    fn insert(&mut self, key: CacheKey, size: u64, now: u64) {
+        // Explicit insertion (push placement) bypasses the filter.
+        self.forget(&key);
+        self.inner.insert(key, size, now);
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.inner.bytes_used()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.inner.evictions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_tests::key;
+    use super::super::LruCache;
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "ghost capacity")]
+    fn zero_ghost_panics() {
+        let _ = AdmitOnSecond::new(LruCache::new(10), 0);
+    }
+
+    #[test]
+    fn admits_only_on_second_request() {
+        let mut cache = AdmitOnSecond::new(LruCache::new(100), 16);
+        assert!(!cache.request(key(1), 10, 0)); // first: filtered
+        assert!(!cache.contains(&key(1)));
+        assert_eq!(cache.filtered(), 1);
+        assert!(!cache.request(key(1), 10, 1)); // second: admitted, still a miss
+        assert!(cache.contains(&key(1)));
+        assert!(cache.request(key(1), 10, 2)); // third: hit
+    }
+
+    #[test]
+    fn one_hit_wonders_never_pollute() {
+        let mut cache = AdmitOnSecond::new(LruCache::new(50), 1000);
+        // Hot object, admitted.
+        cache.request(key(1), 10, 0);
+        cache.request(key(1), 10, 1);
+        // A long scan of one-hit wonders.
+        for i in 100..1000 {
+            cache.request(key(i), 10, i);
+        }
+        assert!(cache.contains(&key(1)), "hot object survives the scan");
+        assert_eq!(cache.len(), 1, "no scan object was admitted");
+    }
+
+    #[test]
+    fn ghost_capacity_bounds_memory() {
+        let mut cache = AdmitOnSecond::new(LruCache::new(100), 4);
+        for i in 0..100 {
+            cache.request(key(i), 10, i);
+        }
+        assert!(cache.ghost.len() <= 4);
+        assert_eq!(cache.ghost.len(), cache.ghost_set.len());
+        // Key 0 fell off the ghost list long ago: requesting it again is
+        // another first sighting.
+        assert!(!cache.request(key(0), 10, 200));
+        assert!(!cache.contains(&key(0)));
+    }
+
+    #[test]
+    fn insert_bypasses_filter() {
+        let mut cache = AdmitOnSecond::new(LruCache::new(100), 16);
+        cache.insert(key(7), 10, 0);
+        assert!(cache.contains(&key(7)));
+        assert!(cache.request(key(7), 10, 1));
+        assert_eq!(cache.into_inner().len(), 1);
+    }
+
+    #[test]
+    fn delegates_accounting() {
+        let mut cache = AdmitOnSecond::new(LruCache::new(20), 16);
+        for t in 0..3u64 {
+            for i in 0..3u64 {
+                cache.request(key(i), 10, t * 10 + i);
+            }
+        }
+        assert!(cache.bytes_used() <= 20);
+        assert_eq!(cache.capacity_bytes(), 20);
+        assert!(cache.evictions() > 0);
+        assert!(!cache.is_empty());
+    }
+}

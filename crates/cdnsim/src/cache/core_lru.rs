@@ -1,0 +1,137 @@
+//! Shared ordered-recency core used by LRU-family policies.
+
+use super::CacheKey;
+use std::collections::{BTreeMap, HashMap};
+
+/// A byte-bounded recency list: O(log n) touch/insert/evict via a sequence
+/// counter and an ordered index. Backs [`LruCache`](super::LruCache),
+/// [`SlruCache`](super::SlruCache) and [`TwoQCache`](super::TwoQCache).
+#[derive(Debug, Default)]
+pub(crate) struct LruCore {
+    by_seq: BTreeMap<u64, CacheKey>,
+    entries: HashMap<CacheKey, Entry>,
+    bytes: u64,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seq: u64,
+    size: u64,
+}
+
+impl LruCore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Moves `key` to the most-recent position. Returns false if absent.
+    pub fn touch(&mut self, key: &CacheKey) -> bool {
+        let Some(entry) = self.entries.get_mut(key) else {
+            return false;
+        };
+        self.by_seq.remove(&entry.seq);
+        entry.seq = self.next_seq;
+        self.by_seq.insert(self.next_seq, *key);
+        self.next_seq += 1;
+        true
+    }
+
+    /// Inserts `key` at the most-recent position (no capacity check —
+    /// callers evict first). Re-inserting refreshes recency and size.
+    pub fn insert(&mut self, key: CacheKey, size: u64) {
+        if let Some(old) = self.entries.remove(&key) {
+            self.by_seq.remove(&old.seq);
+            self.bytes -= old.size;
+        }
+        self.by_seq.insert(self.next_seq, key);
+        self.entries.insert(key, Entry { seq: self.next_seq, size });
+        self.bytes += size;
+        self.next_seq += 1;
+    }
+
+    /// Removes and returns the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(CacheKey, u64)> {
+        let (&seq, &key) = self.by_seq.iter().next()?;
+        self.by_seq.remove(&seq);
+        let entry = self.entries.remove(&key).expect("index consistency");
+        self.bytes -= entry.size;
+        Some((key, entry.size))
+    }
+
+    /// Removes a specific key, returning its size.
+    pub fn remove(&mut self, key: &CacheKey) -> Option<u64> {
+        let entry = self.entries.remove(key)?;
+        self.by_seq.remove(&entry.seq);
+        self.bytes -= entry.size;
+        Some(entry.size)
+    }
+
+    /// Size of the entry for `key`, if present.
+    pub fn size_of(&self, key: &CacheKey) -> Option<u64> {
+        self.entries.get(key).map(|e| e.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_tests::key;
+    use super::*;
+
+    #[test]
+    fn insert_touch_evict_order() {
+        let mut core = LruCore::new();
+        core.insert(key(1), 10);
+        core.insert(key(2), 10);
+        core.insert(key(3), 10);
+        assert_eq!(core.len(), 3);
+        assert_eq!(core.bytes(), 30);
+        // Touch 1; eviction order becomes 2, 3, 1.
+        assert!(core.touch(&key(1)));
+        assert_eq!(core.pop_lru().unwrap().0, key(2));
+        assert_eq!(core.pop_lru().unwrap().0, key(3));
+        assert_eq!(core.pop_lru().unwrap().0, key(1));
+        assert!(core.pop_lru().is_none());
+        assert_eq!(core.bytes(), 0);
+    }
+
+    #[test]
+    fn touch_missing_is_false() {
+        let mut core = LruCore::new();
+        assert!(!core.touch(&key(9)));
+    }
+
+    #[test]
+    fn reinsert_updates_size_and_recency() {
+        let mut core = LruCore::new();
+        core.insert(key(1), 10);
+        core.insert(key(2), 10);
+        core.insert(key(1), 25); // refresh
+        assert_eq!(core.bytes(), 35);
+        assert_eq!(core.len(), 2);
+        assert_eq!(core.size_of(&key(1)), Some(25));
+        assert_eq!(core.pop_lru().unwrap().0, key(2));
+    }
+
+    #[test]
+    fn remove_specific() {
+        let mut core = LruCore::new();
+        core.insert(key(1), 7);
+        assert_eq!(core.remove(&key(1)), Some(7));
+        assert_eq!(core.remove(&key(1)), None);
+        assert_eq!(core.bytes(), 0);
+        assert_eq!(core.len(), 0);
+    }
+}

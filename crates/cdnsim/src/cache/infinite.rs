@@ -1,0 +1,83 @@
+//! Unbounded cache: the hit-ratio upper bound (compulsory misses only).
+
+use super::{CacheKey, CachePolicy};
+use std::collections::HashMap;
+
+/// A cache that never evicts. Every miss is compulsory, so its hit ratio is
+/// the ceiling any finite policy can reach on the same trace.
+#[derive(Debug, Default)]
+pub struct InfiniteCache {
+    entries: HashMap<CacheKey, u64>,
+    bytes: u64,
+}
+
+impl InfiniteCache {
+    /// Creates an empty unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CachePolicy for InfiniteCache {
+    fn request(&mut self, key: CacheKey, size: u64, now: u64) -> bool {
+        if self.entries.contains_key(&key) {
+            return true;
+        }
+        self.insert(key, size, now);
+        false
+    }
+
+    fn insert(&mut self, key: CacheKey, size: u64, _now: u64) {
+        if self.entries.insert(key, size).is_none() {
+            self.bytes += size;
+        }
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.bytes
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn evictions(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_tests::key;
+    use super::*;
+
+    #[test]
+    fn never_evicts() {
+        let mut cache = InfiniteCache::new();
+        for i in 0..10_000 {
+            cache.request(key(i), 1_000_000, i);
+        }
+        assert_eq!(cache.len(), 10_000);
+        assert_eq!(cache.evictions(), 0);
+        for i in 0..10_000 {
+            assert!(cache.request(key(i), 1_000_000, i));
+        }
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut cache = InfiniteCache::new();
+        cache.insert(key(1), 5, 0);
+        cache.insert(key(1), 5, 1); // duplicate ignored
+        assert_eq!(cache.bytes_used(), 5);
+        assert_eq!(cache.capacity_bytes(), u64::MAX);
+    }
+}

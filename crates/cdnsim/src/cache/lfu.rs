@@ -1,0 +1,154 @@
+//! Exact least-frequently-used eviction.
+
+use super::{CacheKey, CachePolicy};
+use std::collections::{BTreeSet, HashMap};
+
+/// Byte-bounded exact LFU with LRU tie-breaking among equal frequencies.
+///
+/// Frequency counts persist only while the entry is cached (no ghost
+/// history), which is the classic in-cache LFU the caching literature
+/// compares against.
+#[derive(Debug)]
+pub struct LfuCache {
+    /// (frequency, recency-sequence, key) — the first element is the
+    /// eviction victim.
+    order: BTreeSet<(u64, u64, CacheKey)>,
+    entries: HashMap<CacheKey, EntryMeta>,
+    bytes: u64,
+    capacity: u64,
+    evictions: u64,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    freq: u64,
+    seq: u64,
+    size: u64,
+}
+
+impl LfuCache {
+    /// Creates an LFU cache bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            order: BTreeSet::new(),
+            entries: HashMap::new(),
+            bytes: 0,
+            capacity: capacity_bytes,
+            evictions: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn bump(&mut self, key: CacheKey) {
+        let meta = self.entries.get_mut(&key).expect("bump of cached key");
+        self.order.remove(&(meta.freq, meta.seq, key));
+        meta.freq += 1;
+        meta.seq = self.next_seq;
+        self.next_seq += 1;
+        self.order.insert((meta.freq, meta.seq, key));
+    }
+
+    fn evict_for(&mut self, size: u64) {
+        while self.bytes + size > self.capacity {
+            let Some(&victim) = self.order.iter().next() else {
+                break;
+            };
+            self.order.remove(&victim);
+            let meta = self.entries.remove(&victim.2).expect("index consistency");
+            self.bytes -= meta.size;
+            self.evictions += 1;
+        }
+    }
+}
+
+impl CachePolicy for LfuCache {
+    fn request(&mut self, key: CacheKey, size: u64, now: u64) -> bool {
+        if self.entries.contains_key(&key) {
+            self.bump(key);
+            return true;
+        }
+        self.insert(key, size, now);
+        false
+    }
+
+    fn insert(&mut self, key: CacheKey, size: u64, _now: u64) {
+        if size > self.capacity {
+            return;
+        }
+        if self.entries.contains_key(&key) {
+            self.bump(key);
+            return;
+        }
+        self.evict_for(size);
+        let meta = EntryMeta { freq: 1, seq: self.next_seq, size };
+        self.next_seq += 1;
+        self.order.insert((meta.freq, meta.seq, key));
+        self.entries.insert(key, meta);
+        self.bytes += size;
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.bytes
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_tests::key;
+    use super::*;
+
+    #[test]
+    fn frequent_entries_survive_scans() {
+        let mut cache = LfuCache::new(30);
+        // Make key 1 hot.
+        for t in 0..5 {
+            cache.request(key(1), 10, t);
+        }
+        // Scan through many one-hit wonders.
+        for i in 100..120 {
+            cache.request(key(i), 10, i);
+        }
+        assert!(cache.contains(&key(1)), "hot object survives LFU scans");
+    }
+
+    #[test]
+    fn ties_broken_by_recency() {
+        let mut cache = LfuCache::new(30);
+        cache.request(key(1), 10, 0);
+        cache.request(key(2), 10, 1);
+        cache.request(key(3), 10, 2);
+        // All frequency 1; oldest (1) is the victim.
+        cache.request(key(4), 10, 3);
+        assert!(!cache.contains(&key(1)));
+        assert!(cache.contains(&key(2)));
+    }
+
+    #[test]
+    fn hit_increments_frequency() {
+        let mut cache = LfuCache::new(20);
+        cache.request(key(1), 10, 0);
+        cache.request(key(2), 10, 1);
+        cache.request(key(2), 10, 2); // freq(2)=2
+        cache.request(key(3), 10, 3); // evicts 1 (freq 1)
+        assert!(!cache.contains(&key(1)));
+        assert!(cache.contains(&key(2)));
+        assert!(cache.contains(&key(3)));
+    }
+}

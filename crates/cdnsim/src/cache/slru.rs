@@ -1,0 +1,161 @@
+//! Segmented LRU.
+
+use super::core_lru::LruCore;
+use super::{CacheKey, CachePolicy};
+
+/// Segmented LRU: new admissions enter a *probationary* segment; a hit
+/// promotes an entry to the *protected* segment. Protected overflow demotes
+/// back to probation, probation overflow leaves the cache.
+///
+/// The protected segment gets 80 % of the byte budget by default, matching
+/// common CDN configurations.
+#[derive(Debug)]
+pub struct SlruCache {
+    probation: LruCore,
+    protected: LruCore,
+    protected_capacity: u64,
+    capacity: u64,
+    evictions: u64,
+}
+
+impl SlruCache {
+    /// Creates an SLRU cache with an 80 % protected segment.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self::with_protected_fraction(capacity_bytes, 0.8)
+    }
+
+    /// Creates an SLRU cache with the given protected-segment fraction
+    /// (clamped to `[0, 1]`).
+    pub fn with_protected_fraction(capacity_bytes: u64, fraction: f64) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        Self {
+            probation: LruCore::new(),
+            protected: LruCore::new(),
+            protected_capacity: (capacity_bytes as f64 * fraction) as u64,
+            capacity: capacity_bytes,
+            evictions: 0,
+        }
+    }
+
+    /// Evicts from probation until total use fits `size` more bytes.
+    fn evict_for(&mut self, size: u64) {
+        while self.probation.bytes() + self.protected.bytes() + size > self.capacity {
+            if self.probation.pop_lru().is_some() {
+                self.evictions += 1;
+                continue;
+            }
+            // Probation empty: evict from protected directly.
+            if self.protected.pop_lru().is_some() {
+                self.evictions += 1;
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn promote(&mut self, key: CacheKey, size: u64) {
+        self.probation.remove(&key);
+        self.protected.insert(key, size);
+        // Demote protected overflow into probation (may cascade to real
+        // evictions).
+        while self.protected.bytes() > self.protected_capacity {
+            let Some((demoted, dsize)) = self.protected.pop_lru() else {
+                break;
+            };
+            self.probation.insert(demoted, dsize);
+        }
+        // Demotions may have pushed total over capacity.
+        while self.probation.bytes() + self.protected.bytes() > self.capacity {
+            if self.probation.pop_lru().is_none() {
+                break;
+            }
+            self.evictions += 1;
+        }
+    }
+}
+
+impl CachePolicy for SlruCache {
+    fn request(&mut self, key: CacheKey, size: u64, now: u64) -> bool {
+        if self.protected.touch(&key) {
+            return true;
+        }
+        if let Some(actual) = self.probation.size_of(&key) {
+            self.promote(key, actual);
+            return true;
+        }
+        self.insert(key, size, now);
+        false
+    }
+
+    fn insert(&mut self, key: CacheKey, size: u64, _now: u64) {
+        if size > self.capacity || self.contains(&key) {
+            return;
+        }
+        self.evict_for(size);
+        self.probation.insert(key, size);
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.probation.contains(key) || self.protected.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.probation.len() + self.protected.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.probation.bytes() + self.protected.bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_tests::key;
+    use super::*;
+
+    #[test]
+    fn one_hit_wonders_stay_probationary() {
+        let mut cache = SlruCache::new(50);
+        // Hot entry, promoted by a second hit.
+        cache.request(key(1), 10, 0);
+        cache.request(key(1), 10, 1);
+        // Scan of one-hit wonders.
+        for i in 100..110 {
+            cache.request(key(i), 10, i);
+        }
+        assert!(cache.contains(&key(1)), "promoted entry survives the scan");
+    }
+
+    #[test]
+    fn protected_overflow_demotes() {
+        let mut cache = SlruCache::with_protected_fraction(40, 0.5);
+        // Promote three 10-byte entries; protected capacity is 20.
+        for i in 1..=3 {
+            cache.request(key(i), 10, i);
+            cache.request(key(i), 10, i + 10);
+        }
+        // All three are still cached (demotion, not eviction).
+        assert_eq!(cache.len(), 3);
+        assert!(cache.bytes_used() <= 40);
+    }
+
+    #[test]
+    fn probation_hit_promotes() {
+        let mut cache = SlruCache::new(100);
+        cache.request(key(1), 10, 0);
+        assert!(cache.request(key(1), 10, 1));
+        // Entry is now protected; a long scan cannot displace it.
+        for i in 10..19 {
+            cache.request(key(i), 10, i);
+        }
+        assert!(cache.contains(&key(1)));
+    }
+}

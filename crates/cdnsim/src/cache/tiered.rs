@@ -1,0 +1,126 @@
+//! Size-tiered cache: separate small-object and large-object platforms.
+//!
+//! The paper (§IV-B): *"ISPs/CDNs can employ separate caching platforms to
+//! optimally serve small and large sized objects. The caching platform for
+//! small objects can be optimized for high-throughput I/O; whereas, the
+//! caching platform for large objects can be optimized for more storage
+//! capacity."* Ablation A2 compares this split against one unified cache.
+
+use super::{CacheKey, CachePolicy};
+
+/// Routes requests to one of two inner caches by object size.
+#[derive(Debug)]
+pub struct TieredCache {
+    small: Box<dyn CachePolicy>,
+    large: Box<dyn CachePolicy>,
+    threshold_bytes: u64,
+}
+
+impl TieredCache {
+    /// Creates a tiered cache: objects `<= threshold_bytes` go to `small`,
+    /// the rest to `large`.
+    pub fn new(
+        small: Box<dyn CachePolicy>,
+        large: Box<dyn CachePolicy>,
+        threshold_bytes: u64,
+    ) -> Self {
+        Self { small, large, threshold_bytes }
+    }
+
+    /// The size threshold separating the tiers.
+    pub fn threshold_bytes(&self) -> u64 {
+        self.threshold_bytes
+    }
+
+    fn tier_mut(&mut self, size: u64) -> &mut Box<dyn CachePolicy> {
+        if size <= self.threshold_bytes {
+            &mut self.small
+        } else {
+            &mut self.large
+        }
+    }
+}
+
+impl CachePolicy for TieredCache {
+    fn request(&mut self, key: CacheKey, size: u64, now: u64) -> bool {
+        self.tier_mut(size).request(key, size, now)
+    }
+
+    fn insert(&mut self, key: CacheKey, size: u64, now: u64) {
+        self.tier_mut(size).insert(key, size, now);
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.small.contains(key) || self.large.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.small.len() + self.large.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.small.bytes_used() + self.large.bytes_used()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.small.capacity_bytes().saturating_add(self.large.capacity_bytes())
+    }
+
+    fn evictions(&self) -> u64 {
+        self.small.evictions() + self.large.evictions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_tests::key;
+    use super::super::{LruCache, PolicyKind};
+    use super::*;
+
+    fn tiered() -> TieredCache {
+        TieredCache::new(
+            Box::new(LruCache::new(100)),
+            Box::new(LruCache::new(1_000)),
+            50,
+        )
+    }
+
+    #[test]
+    fn routes_by_size() {
+        let mut cache = tiered();
+        cache.request(key(1), 10, 0); // small tier
+        cache.request(key(2), 500, 1); // large tier
+        assert!(cache.contains(&key(1)));
+        assert!(cache.contains(&key(2)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes_used(), 510);
+        assert_eq!(cache.capacity_bytes(), 1_100);
+        assert_eq!(cache.threshold_bytes(), 50);
+    }
+
+    #[test]
+    fn large_scan_does_not_evict_small_objects() {
+        let mut cache = tiered();
+        for i in 0..10 {
+            cache.request(key(i), 10, i); // fill small tier
+        }
+        for i in 100..120 {
+            cache.request(key(i), 400, i); // churn the large tier
+        }
+        // The small working set is untouched by large-object churn.
+        for i in 0..10 {
+            assert!(cache.contains(&key(i)), "small object {i} evicted by large scan");
+        }
+    }
+
+    #[test]
+    fn builds_from_policy_kinds() {
+        let mut cache = TieredCache::new(
+            PolicyKind::Slru.build(64),
+            PolicyKind::Lru.build(512),
+            32,
+        );
+        assert!(!cache.request(key(1), 16, 0));
+        assert!(cache.request(key(1), 16, 1));
+    }
+}

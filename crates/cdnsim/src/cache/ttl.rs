@@ -1,0 +1,129 @@
+//! TTL wrapper: expiry-driven revalidation on top of any policy.
+//!
+//! The paper (§IV-B) suggests trend-aware cache control: *"re-validating
+//! diurnal objects less frequently and other objects more frequently, for
+//! example, hourly for objects with short-lived access patterns and daily
+//! for objects with long-lived access patterns."* `TtlCache` makes the
+//! expiry interval explicit so ablation A5 can sweep it.
+
+use super::{CacheKey, CachePolicy};
+use std::collections::HashMap;
+
+/// Wraps an inner policy with a freshness TTL: a hit on an entry older than
+/// `ttl_secs` counts as a miss (origin revalidation refreshes the entry).
+#[derive(Debug)]
+pub struct TtlCache<C> {
+    inner: C,
+    fetched_at: HashMap<CacheKey, u64>,
+    ttl_secs: u64,
+    expirations: u64,
+}
+
+impl<C: CachePolicy> TtlCache<C> {
+    /// Wraps `inner` with the given freshness TTL.
+    pub fn new(inner: C, ttl_secs: u64) -> Self {
+        Self { inner, fetched_at: HashMap::new(), ttl_secs, expirations: 0 }
+    }
+
+    /// Number of hits invalidated by expiry.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// The configured TTL.
+    pub fn ttl_secs(&self) -> u64 {
+        self.ttl_secs
+    }
+
+    /// Consumes the wrapper, returning the inner policy.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: CachePolicy> CachePolicy for TtlCache<C> {
+    fn request(&mut self, key: CacheKey, size: u64, now: u64) -> bool {
+        let hit = self.inner.request(key, size, now);
+        if !hit {
+            self.fetched_at.insert(key, now);
+            return false;
+        }
+        let fresh = self
+            .fetched_at
+            .get(&key)
+            .is_some_and(|&t| now.saturating_sub(t) <= self.ttl_secs);
+        if fresh {
+            true
+        } else {
+            // Stale: revalidate against origin and refresh the timestamp.
+            self.expirations += 1;
+            self.fetched_at.insert(key, now);
+            false
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, size: u64, now: u64) {
+        self.inner.insert(key, size, now);
+        self.fetched_at.insert(key, now);
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.inner.bytes_used()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.inner.evictions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_tests::key;
+    use super::super::LruCache;
+    use super::*;
+
+    #[test]
+    fn fresh_hits_expired_misses() {
+        let mut cache = TtlCache::new(LruCache::new(100), 10);
+        assert!(!cache.request(key(1), 5, 0)); // cold
+        assert!(cache.request(key(1), 5, 5)); // fresh
+        assert!(cache.request(key(1), 5, 10)); // boundary: still fresh
+        assert!(!cache.request(key(1), 5, 21)); // stale
+        assert_eq!(cache.expirations(), 1);
+        // Refreshed at t=21; fresh again at 25.
+        assert!(cache.request(key(1), 5, 25));
+    }
+
+    #[test]
+    fn insert_sets_freshness() {
+        let mut cache = TtlCache::new(LruCache::new(100), 10);
+        cache.insert(key(2), 5, 100);
+        assert!(cache.request(key(2), 5, 105));
+        assert_eq!(cache.ttl_secs(), 10);
+        assert_eq!(cache.into_inner().len(), 1);
+    }
+
+    #[test]
+    fn delegates_accounting() {
+        let mut cache = TtlCache::new(LruCache::new(20), 1000);
+        cache.request(key(1), 10, 0);
+        cache.request(key(2), 10, 1);
+        cache.request(key(3), 10, 2);
+        assert!(cache.evictions() > 0);
+        assert!(cache.bytes_used() <= 20);
+        assert_eq!(cache.capacity_bytes(), 20);
+        assert!(!cache.is_empty());
+    }
+}

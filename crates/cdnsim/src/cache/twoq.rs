@@ -1,0 +1,171 @@
+//! 2Q eviction (Johnson & Shasha, VLDB 1994).
+
+use super::core_lru::LruCore;
+use super::{CacheKey, CachePolicy};
+use std::collections::VecDeque;
+
+/// 2Q: recent admissions sit in a FIFO `A1in` queue; entries re-referenced
+/// after falling out of `A1in` (tracked by the ghost `A1out` list) are
+/// promoted into the main LRU (`Am`). One-hit wonders therefore never
+/// pollute the main queue.
+#[derive(Debug)]
+pub struct TwoQCache {
+    a1in: LruCore, // used FIFO-style: never touched on hit
+    am: LruCore,
+    a1out: VecDeque<CacheKey>,
+    a1out_set: std::collections::HashSet<CacheKey>,
+    a1in_capacity: u64,
+    a1out_entries: usize,
+    capacity: u64,
+    evictions: u64,
+}
+
+impl TwoQCache {
+    /// Creates a 2Q cache with `A1in` = 25 % of bytes and a ghost list of
+    /// 512 entries.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            a1in: LruCore::new(),
+            am: LruCore::new(),
+            a1out: VecDeque::new(),
+            a1out_set: std::collections::HashSet::new(),
+            a1in_capacity: capacity_bytes / 4,
+            a1out_entries: 512,
+            capacity: capacity_bytes,
+            evictions: 0,
+        }
+    }
+
+    fn ghost_push(&mut self, key: CacheKey) {
+        if self.a1out_set.insert(key) {
+            self.a1out.push_back(key);
+            while self.a1out.len() > self.a1out_entries {
+                if let Some(old) = self.a1out.pop_front() {
+                    self.a1out_set.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn make_room(&mut self, size: u64) {
+        while self.a1in.bytes() + self.am.bytes() + size > self.capacity {
+            // Prefer reclaiming A1in (its tail is the oldest admission);
+            // track it in the ghost list.
+            if self.a1in.bytes() > self.a1in_capacity || self.am.bytes() == 0 {
+                if let Some((victim, _)) = self.a1in.pop_lru() {
+                    self.ghost_push(victim);
+                    self.evictions += 1;
+                    continue;
+                }
+            }
+            if self.am.pop_lru().is_some() {
+                self.evictions += 1;
+                continue;
+            }
+            if let Some((victim, _)) = self.a1in.pop_lru() {
+                self.ghost_push(victim);
+                self.evictions += 1;
+                continue;
+            }
+            break;
+        }
+    }
+}
+
+impl CachePolicy for TwoQCache {
+    fn request(&mut self, key: CacheKey, size: u64, now: u64) -> bool {
+        if self.am.touch(&key) {
+            return true;
+        }
+        if self.a1in.contains(&key) {
+            // 2Q leaves A1in order untouched on hit.
+            return true;
+        }
+        if self.a1out_set.contains(&key) {
+            // Re-reference after A1in: promote straight to Am.
+            if size <= self.capacity {
+                self.a1out_set.remove(&key);
+                self.a1out.retain(|k| k != &key);
+                self.make_room(size);
+                self.am.insert(key, size);
+            }
+            return false; // ghost entries hold no bytes — still a miss
+        }
+        self.insert(key, size, now);
+        false
+    }
+
+    fn insert(&mut self, key: CacheKey, size: u64, _now: u64) {
+        if size > self.capacity || self.contains(&key) {
+            return;
+        }
+        self.make_room(size);
+        self.a1in.insert(key, size);
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.a1in.contains(key) || self.am.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.a1in.bytes() + self.am.bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_tests::key;
+    use super::*;
+
+    #[test]
+    fn ghost_promotion_to_main() {
+        let mut cache = TwoQCache::new(40);
+        // Fill and overflow A1in so key 1 lands in the ghost list.
+        cache.request(key(1), 10, 0);
+        for i in 2..=8 {
+            cache.request(key(i), 10, i);
+        }
+        assert!(!cache.contains(&key(1)), "key 1 evicted to ghost");
+        // Re-reference: miss, but promoted to Am.
+        assert!(!cache.request(key(1), 10, 20));
+        assert!(cache.contains(&key(1)));
+        // Now a scan through A1in does not displace it.
+        for i in 100..108 {
+            cache.request(key(i), 10, i);
+        }
+        assert!(cache.contains(&key(1)), "Am entry survives A1in scans");
+    }
+
+    #[test]
+    fn one_hit_wonders_cycle_through_a1in() {
+        let mut cache = TwoQCache::new(40);
+        for i in 0..100 {
+            cache.request(key(i), 10, i);
+        }
+        // Main queue should be (near) empty: nothing was ever re-referenced.
+        assert!(cache.bytes_used() <= 40);
+        assert!(cache.evictions() > 50);
+    }
+
+    #[test]
+    fn ghost_list_bounded() {
+        let mut cache = TwoQCache::new(20);
+        for i in 0..2_000 {
+            cache.request(key(i), 10, i);
+        }
+        assert!(cache.a1out.len() <= 512);
+        assert_eq!(cache.a1out.len(), cache.a1out_set.len());
+    }
+}

@@ -1,0 +1,203 @@
+//! User-perceived response-time model.
+//!
+//! The paper's implications talk about "improving performance"; this model
+//! turns cache outcomes into response times so ablations can report
+//! latency, not just hit ratio. A response costs one RTT to wherever the
+//! bytes came from plus transfer time at that path's bandwidth.
+
+use crate::stats::ServeStats;
+use oat_httplog::LogRecord;
+use oat_stats::Ecdf;
+use serde::{Deserialize, Serialize};
+
+/// Where a response was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeSource {
+    /// Local PoP cache hit.
+    EdgeHit,
+    /// Fetched from the origin (cache miss).
+    OriginMiss,
+    /// Bodyless response (304/403/416/204) — control-plane only.
+    NoBody,
+}
+
+/// Latency parameters for one deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Client ↔ edge round trip, milliseconds.
+    pub edge_rtt_ms: f64,
+    /// Edge ↔ origin round trip, milliseconds.
+    pub origin_rtt_ms: f64,
+    /// Client download bandwidth from the edge, megabits/s.
+    pub edge_mbps: f64,
+    /// Edge fetch bandwidth from the origin, megabits/s.
+    pub origin_mbps: f64,
+}
+
+impl LatencyModel {
+    /// A 2015-era broadband deployment: 20 ms to the edge, 100 ms to the
+    /// origin, 20 Mbps last-mile, 50 Mbps origin path.
+    pub fn broadband() -> Self {
+        Self { edge_rtt_ms: 20.0, origin_rtt_ms: 100.0, edge_mbps: 20.0, origin_mbps: 50.0 }
+    }
+
+    /// Response time for `bytes` served from `source`, in milliseconds.
+    ///
+    /// Bodyless responses cost one edge RTT. A miss pays the origin RTT
+    /// and streams through the slower of the two paths.
+    pub fn response_time_ms(&self, bytes: u64, source: ServeSource) -> f64 {
+        let transfer = |mbps: f64| bytes as f64 * 8.0 / (mbps * 1_000.0);
+        match source {
+            ServeSource::NoBody => self.edge_rtt_ms,
+            ServeSource::EdgeHit => self.edge_rtt_ms + transfer(self.edge_mbps),
+            ServeSource::OriginMiss => {
+                self.edge_rtt_ms
+                    + self.origin_rtt_ms
+                    + transfer(self.edge_mbps.min(self.origin_mbps))
+            }
+        }
+    }
+
+    /// The source implied by a finished log record.
+    pub fn source_of(record: &LogRecord) -> ServeSource {
+        if !record.status.carries_body() {
+            ServeSource::NoBody
+        } else if record.cache_status.is_hit() {
+            ServeSource::EdgeHit
+        } else {
+            ServeSource::OriginMiss
+        }
+    }
+
+    /// Response time implied by a finished log record.
+    pub fn record_time_ms(&self, record: &LogRecord) -> f64 {
+        self.response_time_ms(record.bytes_served, Self::source_of(record))
+    }
+
+    /// Summarizes a record stream into a latency distribution.
+    pub fn summarize<'a, I>(&self, records: I) -> LatencySummary
+    where
+        I: IntoIterator<Item = &'a LogRecord>,
+    {
+        let ecdf = Ecdf::from_samples(records.into_iter().map(|r| self.record_time_ms(r)));
+        LatencySummary { ecdf }
+    }
+
+    /// Mean response time implied by aggregate serve statistics (body
+    /// responses only, using mean object sizes per outcome).
+    pub fn mean_from_stats(&self, stats: &ServeStats) -> Option<f64> {
+        let body = stats.hits + stats.misses;
+        if body == 0 {
+            return None;
+        }
+        let mean_bytes = stats.bytes_served as f64 / body as f64;
+        let hit_time = self.response_time_ms(mean_bytes as u64, ServeSource::EdgeHit);
+        let miss_time = self.response_time_ms(mean_bytes as u64, ServeSource::OriginMiss);
+        let hit_ratio = stats.hits as f64 / body as f64;
+        Some(hit_ratio * hit_time + (1.0 - hit_ratio) * miss_time)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::broadband()
+    }
+}
+
+/// Latency distribution over a record stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// ECDF over per-request response times, milliseconds.
+    pub ecdf: Ecdf,
+}
+
+impl LatencySummary {
+    /// Median response time.
+    pub fn median_ms(&self) -> Option<f64> {
+        self.ecdf.median()
+    }
+
+    /// 95th-percentile response time.
+    pub fn p95_ms(&self) -> Option<f64> {
+        self.ecdf.quantile(0.95)
+    }
+
+    /// Mean response time.
+    pub fn mean_ms(&self) -> Option<f64> {
+        self.ecdf.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_httplog::{CacheStatus, HttpStatus};
+
+    #[test]
+    fn hits_are_faster_than_misses() {
+        let m = LatencyModel::broadband();
+        for bytes in [0u64, 10_000, 2_000_000] {
+            let hit = m.response_time_ms(bytes, ServeSource::EdgeHit);
+            let miss = m.response_time_ms(bytes, ServeSource::OriginMiss);
+            assert!(miss > hit, "{bytes}: miss {miss} must exceed hit {hit}");
+        }
+        assert_eq!(m.response_time_ms(123, ServeSource::NoBody), 20.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let m = LatencyModel::broadband();
+        let small = m.response_time_ms(100_000, ServeSource::EdgeHit);
+        let large = m.response_time_ms(10_000_000, ServeSource::EdgeHit);
+        assert!(large > small * 10.0);
+        // 10 MB at 20 Mbps = 4 s transfer + 20 ms RTT.
+        assert!((large - 4_020.0).abs() < 1.0, "got {large}");
+    }
+
+    #[test]
+    fn record_sources() {
+        let mut r = LogRecord::example();
+        r.status = HttpStatus::OK;
+        r.cache_status = CacheStatus::Hit;
+        assert_eq!(LatencyModel::source_of(&r), ServeSource::EdgeHit);
+        r.cache_status = CacheStatus::Miss;
+        assert_eq!(LatencyModel::source_of(&r), ServeSource::OriginMiss);
+        r.status = HttpStatus::NOT_MODIFIED;
+        assert_eq!(LatencyModel::source_of(&r), ServeSource::NoBody);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let m = LatencyModel::broadband();
+        let mut records = Vec::new();
+        for i in 0..100u64 {
+            let mut r = LogRecord::example();
+            r.status = HttpStatus::OK;
+            r.bytes_served = 10_000;
+            r.cache_status = if i % 2 == 0 { CacheStatus::Hit } else { CacheStatus::Miss };
+            records.push(r);
+        }
+        let summary = m.summarize(&records);
+        let median = summary.median_ms().unwrap();
+        let p95 = summary.p95_ms().unwrap();
+        assert!(median >= 20.0);
+        assert!(p95 >= median);
+        assert!(summary.mean_ms().unwrap() > 20.0);
+    }
+
+    #[test]
+    fn mean_from_stats_tracks_hit_ratio() {
+        let m = LatencyModel::broadband();
+        let mut good = ServeStats::new();
+        let mut bad = ServeStats::new();
+        for i in 0..100u64 {
+            let obj = oat_httplog::ObjectId::new(1);
+            good.record(obj, HttpStatus::OK, i % 10 != 0, 10_000); // 90% hits
+            bad.record(obj, HttpStatus::OK, i % 10 == 0, 10_000); // 10% hits
+        }
+        let fast = m.mean_from_stats(&good).unwrap();
+        let slow = m.mean_from_stats(&bad).unwrap();
+        assert!(slow > fast);
+        assert_eq!(m.mean_from_stats(&ServeStats::new()), None);
+    }
+}

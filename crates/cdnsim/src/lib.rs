@@ -1,0 +1,51 @@
+//! A multi-PoP CDN edge simulator.
+//!
+//! The paper measures traffic at a commercial CDN whose internals are
+//! proprietary; this crate is the substitution (DESIGN.md §1): a
+//! discrete-event edge model that consumes the pre-response
+//! [`Request`](oat_httplog::Request) stream from `oat-workload` and emits
+//! finished [`LogRecord`](oat_httplog::LogRecord)s with realistic cache
+//! statuses and HTTP response codes (200/204/206/304/403/416 — Fig 16).
+//!
+//! Components:
+//!
+//! * [`cache`] — LRU / LFU / FIFO / 2Q / SLRU / infinite eviction policies
+//!   behind one trait, plus TTL and size-tiered wrappers for the paper's
+//!   §IV-B cache-configuration implications.
+//! * [`topology`] — four-continent PoP placement and nearest-PoP routing.
+//! * [`simulator`] — HTTP semantics (range chunking, conditional
+//!   revalidation, hot-link rejection) over per-PoP caches, with parallel
+//!   trace replay.
+//! * [`push`] — popularity-driven push placement (the paper's "push copies
+//!   of popular adult objects closer to end-users").
+//! * [`stats`] — hit ratios, byte savings, per-object and per-status
+//!   accounting feeding Figures 15–16.
+//!
+//! # Example
+//!
+//! ```
+//! use oat_cdnsim::{SimConfig, Simulator};
+//! use oat_httplog::Request;
+//!
+//! let sim = Simulator::new(&SimConfig::default_edge());
+//! let record = sim.serve(Request::example());
+//! assert!(record.status.is_success());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod latency;
+pub mod push;
+pub mod simulator;
+pub mod stats;
+pub mod topology;
+
+pub use cache::{CacheKey, CachePolicy, PolicyKind};
+pub use latency::{LatencyModel, LatencySummary};
+pub use push::{cacheable_key, plan_push, Placement};
+pub use simulator::{SimConfig, Simulator};
+pub use stats::ServeStats;
+pub use topology::Topology;

@@ -1,0 +1,631 @@
+//! The CDN edge simulator: routes requests to PoPs, applies HTTP
+//! semantics, runs the caches, and emits finished log records.
+
+use crate::cache::{CacheKey, CachePolicy, PolicyKind, TtlCache};
+use crate::stats::ServeStats;
+use crate::topology::Topology;
+use oat_httplog::request::CHUNK_BYTES;
+use oat_httplog::{CacheStatus, HttpStatus, LogRecord, PopId, Request, RequestKind};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// PoPs per region (total PoPs = 4 × this).
+    pub pops_per_region: usize,
+    /// Byte capacity of each PoP's cache.
+    pub cache_capacity_bytes: u64,
+    /// Eviction policy.
+    pub policy: PolicyKind,
+    /// Optional freshness TTL (ablation A5); `None` disables expiry.
+    pub ttl_secs: Option<u64>,
+    /// Cooperative caching: on a local miss, probe sibling PoPs and serve
+    /// from them instead of the origin when they hold the object (the
+    /// paper's "customized networked cache configuration", §V).
+    pub cooperative: bool,
+    /// Optional regional parent tier: one shared parent cache per region
+    /// with this byte capacity; edge misses fall through to the parent
+    /// before hitting the origin ("cache placement strategies").
+    pub parent_capacity_bytes: Option<u64>,
+}
+
+impl SimConfig {
+    /// A sensible default: one PoP per region, 4 GB LRU caches, no TTL.
+    pub fn default_edge() -> Self {
+        Self {
+            pops_per_region: 1,
+            cache_capacity_bytes: 4_000_000_000,
+            policy: PolicyKind::Lru,
+            ttl_secs: None,
+            cooperative: false,
+            parent_capacity_bytes: None,
+        }
+    }
+
+    /// Sets the policy (builder-style).
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets per-PoP capacity (builder-style).
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the freshness TTL (builder-style).
+    pub fn with_ttl(mut self, ttl_secs: u64) -> Self {
+        self.ttl_secs = Some(ttl_secs);
+        self
+    }
+
+    /// Enables cooperative sibling-PoP lookups (builder-style).
+    pub fn with_cooperative(mut self) -> Self {
+        self.cooperative = true;
+        self
+    }
+
+    /// Adds a regional parent cache tier (builder-style).
+    pub fn with_parent(mut self, capacity_bytes: u64) -> Self {
+        self.parent_capacity_bytes = Some(capacity_bytes);
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::default_edge()
+    }
+}
+
+/// Miss-escalation probe: given a key and its size, returns whether some
+/// upstream copy (regional parent / sibling PoP) can spare the origin.
+type MissProbe<'a> = &'a dyn Fn(&CacheKey, u64) -> bool;
+
+struct Pop {
+    cache: Box<dyn CachePolicy>,
+    stats: ServeStats,
+}
+
+impl std::fmt::Debug for Pop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pop")
+            .field("entries", &self.cache.len())
+            .field("bytes", &self.cache.bytes_used())
+            .finish()
+    }
+}
+
+/// A multi-PoP CDN edge.
+///
+/// `serve` takes `&self` (PoPs are individually locked), so traces can be
+/// replayed in parallel with [`Simulator::replay`].
+///
+/// # Example
+///
+/// ```
+/// use oat_cdnsim::{SimConfig, Simulator};
+/// use oat_httplog::Request;
+///
+/// let sim = Simulator::new(&SimConfig::default_edge());
+/// let record = sim.serve(Request::example());
+/// assert_eq!(record.status.code(), 206);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    topology: Topology,
+    pops: Vec<Mutex<Pop>>,
+    cooperative: bool,
+    /// One parent cache per region, when the tier is configured.
+    parents: Vec<Mutex<Box<dyn CachePolicy>>>,
+}
+
+impl Simulator {
+    /// Builds a simulator from a config.
+    pub fn new(config: &SimConfig) -> Self {
+        let topology = Topology::new(config.pops_per_region.max(1));
+        let pops = topology
+            .pops()
+            .map(|_| {
+                let cache: Box<dyn CachePolicy> = match config.ttl_secs {
+                    Some(ttl) => Box::new(TtlCache::new(
+                        BoxedPolicy(config.policy.build(config.cache_capacity_bytes)),
+                        ttl,
+                    )),
+                    None => config.policy.build(config.cache_capacity_bytes),
+                };
+                Mutex::new(Pop { cache, stats: ServeStats::new() })
+            })
+            .collect();
+        let parents = match config.parent_capacity_bytes {
+            Some(capacity) => oat_httplog::Region::ALL
+                .iter()
+                .map(|_| Mutex::new(config.policy.build(capacity)))
+                .collect(),
+            None => Vec::new(),
+        };
+        Self { topology, pops, cooperative: config.cooperative, parents }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Whether any miss-escalation path (sibling probe / parent tier) is
+    /// configured.
+    fn escalates(&self) -> bool {
+        self.cooperative || !self.parents.is_empty()
+    }
+
+    /// Serves one request, returning the finished log record.
+    pub fn serve(&self, request: Request) -> LogRecord {
+        let pop_id = self.topology.route(request.region, request.user);
+        let mut pop = self.pops[pop_id.raw() as usize].lock();
+        if self.escalates() {
+            self.serve_at(&mut pop, pop_id, request)
+        } else {
+            Self::serve_local(&mut pop, pop_id, request)
+        }
+    }
+
+    /// Serves with miss escalation. The local PoP lock is held; the
+    /// regional parent (if any) is consulted first — a real fetch that
+    /// admits into the parent — then siblings are probed with `try_lock`
+    /// (a busy sibling is treated as a miss, mirroring probe timeouts).
+    fn serve_at(&self, pop: &mut Pop, pop_id: PopId, request: Request) -> LogRecord {
+        let region = request.region;
+        let timestamp = request.timestamp;
+        let probe = |key: &CacheKey, size: u64| {
+            if !self.parents.is_empty() {
+                let mut parent = self.parents[region.code() as usize].lock();
+                if parent.request(*key, size, timestamp) {
+                    return true;
+                }
+            }
+            self.cooperative
+                && self.pops.iter().enumerate().any(|(i, sibling)| {
+                    if i == pop_id.raw() as usize {
+                        return false;
+                    }
+                    sibling
+                        .try_lock()
+                        .is_some_and(|s| s.cache.contains(key))
+                })
+        };
+        Self::serve_inner(pop, pop_id, request, Some(&probe))
+    }
+
+    fn serve_local(pop: &mut Pop, pop_id: PopId, request: Request) -> LogRecord {
+        Self::serve_inner(pop, pop_id, request, None)
+    }
+
+    fn serve_inner(
+        pop: &mut Pop,
+        pop_id: PopId,
+        request: Request,
+        probe: Option<MissProbe<'_>>,
+    ) -> LogRecord {
+        let now = request.timestamp;
+        let object = request.object;
+        let (status, cache_status, bytes) = match request.kind {
+            RequestKind::Hotlink => (HttpStatus::FORBIDDEN, CacheStatus::Miss, 0),
+            RequestKind::Beacon => (HttpStatus::NO_CONTENT, CacheStatus::Miss, 0),
+            RequestKind::InvalidRange => {
+                (HttpStatus::RANGE_NOT_SATISFIABLE, CacheStatus::Miss, 0)
+            }
+            RequestKind::Conditional => {
+                // The client holds a fresh copy; the edge answers 304 from
+                // its own copy if cached (no body either way).
+                let cached = pop.cache.contains(&CacheKey::whole(object));
+                let cs = if cached { CacheStatus::Hit } else { CacheStatus::Miss };
+                (HttpStatus::NOT_MODIFIED, cs, 0)
+            }
+            RequestKind::Full => {
+                let key = CacheKey::whole(object);
+                let mut hit = pop.cache.request(key, request.object_size, now);
+                if !hit {
+                    // Local miss: a parent/sibling copy still spares the
+                    // origin.
+                    hit = probe.is_some_and(|p| p(&key, request.object_size));
+                }
+                let cs = if hit { CacheStatus::Hit } else { CacheStatus::Miss };
+                (HttpStatus::OK, cs, request.object_size)
+            }
+            RequestKind::Range { offset, length } => {
+                // The CDN treats video chunks as separate cacheable objects
+                // (paper §V).
+                let key = CacheKey::chunk(object, (offset / CHUNK_BYTES) as u32);
+                let mut hit = pop.cache.request(key, length, now);
+                if !hit {
+                    hit = probe.is_some_and(|p| p(&key, length));
+                }
+                let cs = if hit { CacheStatus::Hit } else { CacheStatus::Miss };
+                (HttpStatus::PARTIAL_CONTENT, cs, length)
+            }
+        };
+        pop.stats
+            .record(object, status, cache_status.is_hit(), bytes);
+        request.into_record(pop_id, cache_status, status, bytes)
+    }
+
+    /// Replays a time-sorted request stream, in parallel across PoPs, and
+    /// returns the records in the input order.
+    pub fn replay(&self, requests: Vec<Request>) -> Vec<LogRecord> {
+        // Partition by PoP, remembering original positions.
+        let mut partitions: Vec<Vec<(usize, Request)>> =
+            (0..self.pops.len()).map(|_| Vec::new()).collect();
+        for (i, req) in requests.into_iter().enumerate() {
+            let pop = self.topology.route(req.region, req.user);
+            partitions[pop.raw() as usize].push((i, req));
+        }
+        let total: usize = partitions.iter().map(Vec::len).sum();
+        let mut slots: Vec<Option<LogRecord>> = (0..total).map(|_| None).collect();
+        let out = Mutex::new(&mut slots);
+
+        crossbeam::thread::scope(|scope| {
+            for (pop_idx, part) in partitions.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                let pops = &self.pops;
+                let out = &out;
+                let this = &*self;
+                scope.spawn(move |_| {
+                    let pop_id = PopId::new(pop_idx as u16);
+                    let mut local = Vec::with_capacity(part.len());
+                    if this.escalates() {
+                        // Lock per request so sibling probes can interleave.
+                        for (i, req) in part {
+                            let mut pop = pops[pop_idx].lock();
+                            local.push((i, this.serve_at(&mut pop, pop_id, req)));
+                        }
+                    } else {
+                        let mut pop = pops[pop_idx].lock();
+                        for (i, req) in part {
+                            local.push((i, Self::serve_local(&mut pop, pop_id, req)));
+                        }
+                    }
+                    let mut slots = out.lock();
+                    for (i, rec) in local {
+                        slots[i] = Some(rec);
+                    }
+                });
+            }
+        })
+        .expect("replay threads panicked");
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Pushes (prefetches) entries into *every* PoP cache — the paper's
+    /// "push copies of popular objects closer to end-users" implication.
+    pub fn preload<I>(&self, placements: I)
+    where
+        I: IntoIterator<Item = (CacheKey, u64)>,
+    {
+        let placements: Vec<(CacheKey, u64)> = placements.into_iter().collect();
+        for pop in &self.pops {
+            let mut pop = pop.lock();
+            for &(key, size) in &placements {
+                pop.cache.insert(key, size, 0);
+            }
+        }
+    }
+
+    /// Aggregated statistics across all PoPs.
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats::new();
+        for pop in &self.pops {
+            total.merge(&pop.lock().stats);
+        }
+        total
+    }
+
+    /// Statistics of one PoP, if the id is valid.
+    pub fn pop_stats(&self, pop: PopId) -> Option<ServeStats> {
+        self.pops
+            .get(pop.raw() as usize)
+            .map(|p| p.lock().stats.clone())
+    }
+}
+
+/// Adapter: lets a boxed policy satisfy the generic `TtlCache<C>` wrapper.
+#[derive(Debug)]
+struct BoxedPolicy(Box<dyn CachePolicy>);
+
+impl CachePolicy for BoxedPolicy {
+    fn request(&mut self, key: CacheKey, size: u64, now: u64) -> bool {
+        self.0.request(key, size, now)
+    }
+    fn insert(&mut self, key: CacheKey, size: u64, now: u64) {
+        self.0.insert(key, size, now)
+    }
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.0.contains(key)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn bytes_used(&self) -> u64 {
+        self.0.bytes_used()
+    }
+    fn capacity_bytes(&self) -> u64 {
+        self.0.capacity_bytes()
+    }
+    fn evictions(&self) -> u64 {
+        self.0.evictions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_httplog::{ObjectId, Region, UserId};
+
+    fn request(object: u64, user: u64, ts: u64, kind: RequestKind) -> Request {
+        Request {
+            timestamp: ts,
+            object: ObjectId::new(object),
+            user: UserId::new(user),
+            kind,
+            region: Region::Europe,
+            ..Request::example()
+        }
+    }
+
+    #[test]
+    fn full_request_miss_then_hit() {
+        let sim = Simulator::new(&SimConfig::default_edge());
+        let r1 = sim.serve(request(1, 1, 0, RequestKind::Full));
+        assert_eq!(r1.status, HttpStatus::OK);
+        assert_eq!(r1.cache_status, CacheStatus::Miss);
+        assert_eq!(r1.bytes_served, r1.object_size);
+        let r2 = sim.serve(request(1, 1, 1, RequestKind::Full));
+        assert_eq!(r2.cache_status, CacheStatus::Hit);
+        let stats = sim.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hit_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn chunks_cached_independently() {
+        let sim = Simulator::new(&SimConfig::default_edge());
+        let k0 = RequestKind::Range { offset: 0, length: CHUNK_BYTES };
+        let k1 = RequestKind::Range { offset: CHUNK_BYTES, length: CHUNK_BYTES };
+        assert_eq!(sim.serve(request(1, 1, 0, k0)).cache_status, CacheStatus::Miss);
+        assert_eq!(sim.serve(request(1, 1, 1, k1)).cache_status, CacheStatus::Miss);
+        assert_eq!(sim.serve(request(1, 2, 2, k0)).cache_status, CacheStatus::Hit);
+        let rec = sim.serve(request(1, 2, 3, k1));
+        assert_eq!(rec.cache_status, CacheStatus::Hit);
+        assert_eq!(rec.status, HttpStatus::PARTIAL_CONTENT);
+        assert_eq!(rec.bytes_served, CHUNK_BYTES);
+    }
+
+    #[test]
+    fn failure_kinds_bodyless() {
+        let sim = Simulator::new(&SimConfig::default_edge());
+        let forbidden = sim.serve(request(1, 1, 0, RequestKind::Hotlink));
+        assert_eq!(forbidden.status, HttpStatus::FORBIDDEN);
+        assert_eq!(forbidden.bytes_served, 0);
+        let bad = sim.serve(request(1, 1, 1, RequestKind::InvalidRange));
+        assert_eq!(bad.status, HttpStatus::RANGE_NOT_SATISFIABLE);
+        // Neither touched the cache nor the hit/miss counters.
+        let stats = sim.stats();
+        assert_eq!(stats.hits + stats.misses, 0);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn conditional_is_304_without_body() {
+        let sim = Simulator::new(&SimConfig::default_edge());
+        // Cold conditional: edge doesn't have it either.
+        let cold = sim.serve(request(9, 1, 0, RequestKind::Conditional));
+        assert_eq!(cold.status, HttpStatus::NOT_MODIFIED);
+        assert_eq!(cold.cache_status, CacheStatus::Miss);
+        // Warm the edge, then revalidate.
+        sim.serve(request(9, 1, 1, RequestKind::Full));
+        let warm = sim.serve(request(9, 2, 2, RequestKind::Conditional));
+        assert_eq!(warm.cache_status, CacheStatus::Hit);
+        assert_eq!(warm.bytes_served, 0);
+    }
+
+    #[test]
+    fn users_in_different_regions_use_different_pops() {
+        let sim = Simulator::new(&SimConfig::default_edge());
+        let mut eu = request(1, 1, 0, RequestKind::Full);
+        eu.region = Region::Europe;
+        let mut asia = request(1, 2, 1, RequestKind::Full);
+        asia.region = Region::Asia;
+        let r1 = sim.serve(eu);
+        let r2 = sim.serve(asia);
+        assert_ne!(r1.pop, r2.pop);
+        // Each PoP cached independently: both are misses.
+        assert_eq!(r2.cache_status, CacheStatus::Miss);
+        assert!(sim.pop_stats(r1.pop).unwrap().requests == 1);
+        assert!(sim.pop_stats(PopId::new(99)).is_none());
+    }
+
+    #[test]
+    fn replay_preserves_order_and_matches_serial() {
+        let make = |n: u64| -> Vec<Request> {
+            (0..n)
+                .map(|i| {
+                    let mut r = request(i % 7, i % 13, i, RequestKind::Full);
+                    r.region = Region::ALL[(i % 4) as usize];
+                    r
+                })
+                .collect()
+        };
+        let parallel_sim = Simulator::new(&SimConfig::default_edge());
+        let parallel = parallel_sim.replay(make(500));
+        let serial_sim = Simulator::new(&SimConfig::default_edge());
+        let serial: Vec<LogRecord> = make(500).into_iter().map(|r| serial_sim.serve(r)).collect();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel_sim.stats(), serial_sim.stats());
+    }
+
+    #[test]
+    fn preload_turns_first_requests_into_hits() {
+        let sim = Simulator::new(&SimConfig::default_edge());
+        sim.preload([(CacheKey::whole(ObjectId::new(5)), 1_000)]);
+        let mut r = request(5, 1, 0, RequestKind::Full);
+        r.object_size = 1_000;
+        assert_eq!(sim.serve(r).cache_status, CacheStatus::Hit);
+    }
+
+    #[test]
+    fn ttl_config_expires_entries() {
+        let config = SimConfig::default_edge().with_ttl(10);
+        let sim = Simulator::new(&config);
+        sim.serve(request(1, 1, 0, RequestKind::Full));
+        assert_eq!(
+            sim.serve(request(1, 1, 5, RequestKind::Full)).cache_status,
+            CacheStatus::Hit
+        );
+        assert_eq!(
+            sim.serve(request(1, 1, 100, RequestKind::Full)).cache_status,
+            CacheStatus::Miss,
+            "stale entry revalidates as a miss"
+        );
+    }
+
+    #[test]
+    fn sim_config_builders() {
+        let c = SimConfig::default_edge()
+            .with_policy(PolicyKind::Slru)
+            .with_capacity(123)
+            .with_ttl(7)
+            .with_cooperative();
+        assert_eq!(c.policy, PolicyKind::Slru);
+        assert_eq!(c.cache_capacity_bytes, 123);
+        assert_eq!(c.ttl_secs, Some(7));
+        assert!(c.cooperative);
+    }
+
+    #[test]
+    fn cooperative_probe_finds_sibling_copies() {
+        let sim = Simulator::new(&SimConfig::default_edge().with_cooperative());
+        // Warm the Europe PoP.
+        let mut eu = request(1, 1, 0, RequestKind::Full);
+        eu.region = Region::Europe;
+        assert_eq!(sim.serve(eu).cache_status, CacheStatus::Miss);
+        // An Asia user misses locally but the Europe copy saves the origin
+        // fetch under cooperation.
+        let mut asia = request(1, 2, 1, RequestKind::Full);
+        asia.region = Region::Asia;
+        assert_eq!(sim.serve(asia.clone()).cache_status, CacheStatus::Hit);
+        // Without cooperation the same sequence is a local miss.
+        let plain = Simulator::new(&SimConfig::default_edge());
+        let mut eu2 = request(1, 1, 0, RequestKind::Full);
+        eu2.region = Region::Europe;
+        plain.serve(eu2);
+        asia.user = UserId::new(99);
+        assert_eq!(plain.serve(asia).cache_status, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn cooperative_replay_only_adds_hits() {
+        let make = |n: u64| -> Vec<Request> {
+            (0..n)
+                .map(|i| {
+                    let mut r = request(i % 5, i % 7, i, RequestKind::Full);
+                    r.region = Region::ALL[(i % 4) as usize];
+                    r
+                })
+                .collect()
+        };
+        let coop = Simulator::new(&SimConfig::default_edge().with_cooperative());
+        let coop_records = coop.replay(make(400));
+        let plain = Simulator::new(&SimConfig::default_edge());
+        let plain_records = plain.replay(make(400));
+        assert_eq!(coop_records.len(), plain_records.len());
+        let hits =
+            |records: &[LogRecord]| records.iter().filter(|r| r.cache_status.is_hit()).count();
+        assert!(hits(&coop_records) >= hits(&plain_records));
+        assert!(hits(&coop_records) > 0);
+    }
+
+    #[test]
+    fn parent_tier_serves_repeat_regional_misses() {
+        // Tiny edge caches, large regional parent: two users behind
+        // different PoPs of the same region share the parent copy.
+        let config = SimConfig {
+            pops_per_region: 2,
+            cache_capacity_bytes: 1, // effectively no edge caching
+            ..SimConfig::default_edge()
+        }
+        .with_parent(1_000_000_000);
+        let sim = Simulator::new(&config);
+        // Find two users of the same region routed to different PoPs.
+        let topo = sim.topology().clone();
+        let (u1, u2) = {
+            let mut first = None;
+            let mut pair = None;
+            for uid in 0..100u64 {
+                let pop = topo.route(Region::Europe, UserId::new(uid));
+                match first {
+                    None => first = Some((uid, pop)),
+                    Some((fuid, fpop)) if pop != fpop => {
+                        pair = Some((fuid, uid));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pair.expect("two PoPs per region must both receive users")
+        };
+        let mut a = request(1, u1, 0, RequestKind::Full);
+        a.region = Region::Europe;
+        let mut b = request(1, u2, 1, RequestKind::Full);
+        b.region = Region::Europe;
+        // First fetch: parent miss (admits into parent).
+        assert_eq!(sim.serve(a).cache_status, CacheStatus::Miss);
+        // Second user, different PoP, same region: parent hit.
+        assert_eq!(sim.serve(b.clone()).cache_status, CacheStatus::Hit);
+        // A user in another region misses (its parent is separate).
+        let mut c = request(1, 7, 2, RequestKind::Full);
+        c.region = Region::Asia;
+        assert_eq!(sim.serve(c).cache_status, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn parent_tier_lifts_replay_hit_ratio() {
+        let make = |n: u64| -> Vec<Request> {
+            (0..n)
+                .map(|i| {
+                    let mut r = request(i % 5, i % 11, i, RequestKind::Full);
+                    r.region = Region::ALL[(i % 4) as usize];
+                    r
+                })
+                .collect()
+        };
+        let flat = Simulator::new(&SimConfig {
+            cache_capacity_bytes: 30_000_000,
+            ..SimConfig::default_edge()
+        });
+        let flat_records = flat.replay(make(400));
+        let tiered = Simulator::new(
+            &SimConfig {
+                cache_capacity_bytes: 30_000_000,
+                ..SimConfig::default_edge()
+            }
+            .with_parent(4_000_000_000),
+        );
+        let tiered_records = tiered.replay(make(400));
+        let hits =
+            |records: &[LogRecord]| records.iter().filter(|r| r.cache_status.is_hit()).count();
+        assert!(
+            hits(&tiered_records) >= hits(&flat_records),
+            "parent tier cannot lose hits: {} vs {}",
+            hits(&tiered_records),
+            hits(&flat_records)
+        );
+    }
+}

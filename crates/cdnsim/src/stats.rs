@@ -1,0 +1,166 @@
+//! Serving statistics: hit ratios, byte volumes, response-code counts.
+
+use oat_httplog::{HttpStatus, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters accumulated while serving requests (per PoP or aggregated).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Total requests served (all response codes).
+    pub requests: u64,
+    /// Cache hits among body-carrying (200/206) requests.
+    pub hits: u64,
+    /// Cache misses among body-carrying requests.
+    pub misses: u64,
+    /// Bytes sent to clients.
+    pub bytes_served: u64,
+    /// Bytes fetched from the origin (miss traffic).
+    pub origin_bytes: u64,
+    /// Requests per HTTP status code.
+    pub status_counts: HashMap<u16, u64>,
+    /// Per-object (hits, body requests) — feeds the paper's Figure 15
+    /// per-object hit-ratio distributions.
+    pub per_object: HashMap<ObjectId, (u64, u64)>,
+}
+
+impl ServeStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request.
+    pub fn record(&mut self, object: ObjectId, status: HttpStatus, hit: bool, bytes: u64) {
+        self.requests += 1;
+        *self.status_counts.entry(status.code()).or_insert(0) += 1;
+        self.bytes_served += bytes;
+        if status.carries_body() {
+            if hit {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+                self.origin_bytes += bytes;
+            }
+            let entry = self.per_object.entry(object).or_insert((0, 0));
+            entry.0 += u64::from(hit);
+            entry.1 += 1;
+        }
+    }
+
+    /// Overall cache hit ratio over body-carrying requests
+    /// (`None` before any such request).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Per-object `(object, hit_ratio, body_requests)` triples.
+    pub fn object_hit_ratios(&self) -> Vec<(ObjectId, f64, u64)> {
+        let mut v: Vec<_> = self
+            .per_object
+            .iter()
+            .filter(|(_, &(_, total))| total > 0)
+            .map(|(&id, &(hits, total))| (id, hits as f64 / total as f64, total))
+            .collect();
+        v.sort_by_key(|&(id, _, _)| id);
+        v
+    }
+
+    /// Count for one status code.
+    pub fn status_count(&self, status: HttpStatus) -> u64 {
+        self.status_counts.get(&status.code()).copied().unwrap_or(0)
+    }
+
+    /// Fraction of origin traffic avoided thanks to the cache
+    /// (`None` before any body request).
+    pub fn byte_savings(&self) -> Option<f64> {
+        if self.bytes_served == 0 {
+            return None;
+        }
+        Some(1.0 - self.origin_bytes as f64 / self.bytes_served as f64)
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.bytes_served += other.bytes_served;
+        self.origin_bytes += other.origin_bytes;
+        for (&code, &n) in &other.status_counts {
+            *self.status_counts.entry(code).or_insert(0) += n;
+        }
+        for (&obj, &(h, t)) in &other.per_object {
+            let entry = self.per_object.entry(obj).or_insert((0, 0));
+            entry.0 += h;
+            entry.1 += t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u64) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = ServeStats::new();
+        assert_eq!(s.hit_ratio(), None);
+        assert_eq!(s.byte_savings(), None);
+        assert!(s.object_hit_ratios().is_empty());
+        assert_eq!(s.status_count(HttpStatus::OK), 0);
+    }
+
+    #[test]
+    fn body_vs_bodyless_accounting() {
+        let mut s = ServeStats::new();
+        s.record(obj(1), HttpStatus::OK, false, 100);
+        s.record(obj(1), HttpStatus::OK, true, 100);
+        s.record(obj(1), HttpStatus::NOT_MODIFIED, false, 0);
+        s.record(obj(2), HttpStatus::FORBIDDEN, false, 0);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hit_ratio(), Some(0.5));
+        assert_eq!(s.status_count(HttpStatus::NOT_MODIFIED), 1);
+        assert_eq!(s.status_count(HttpStatus::FORBIDDEN), 1);
+        // 304/403 don't contribute to per-object ratios.
+        let ratios = s.object_hit_ratios();
+        assert_eq!(ratios.len(), 1);
+        assert_eq!(ratios[0].0, obj(1));
+        assert_eq!(ratios[0].1, 0.5);
+        assert_eq!(ratios[0].2, 2);
+    }
+
+    #[test]
+    fn byte_savings() {
+        let mut s = ServeStats::new();
+        s.record(obj(1), HttpStatus::OK, false, 100); // origin
+        s.record(obj(1), HttpStatus::OK, true, 100); // cache
+        s.record(obj(1), HttpStatus::OK, true, 100); // cache
+        assert_eq!(s.bytes_served, 300);
+        assert_eq!(s.origin_bytes, 100);
+        assert!((s.byte_savings().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = ServeStats::new();
+        a.record(obj(1), HttpStatus::OK, true, 10);
+        let mut b = ServeStats::new();
+        b.record(obj(1), HttpStatus::OK, false, 10);
+        b.record(obj(2), HttpStatus::PARTIAL_CONTENT, true, 5);
+        a.merge(&b);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.misses, 1);
+        assert_eq!(a.per_object[&obj(1)], (1, 2));
+        assert_eq!(a.per_object[&obj(2)], (1, 1));
+        assert_eq!(a.status_count(HttpStatus::OK), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! PoP topology and request routing.
+//!
+//! The paper (§III): *"A CDN operator typically places content at multiple
+//! geographically distributed data centers. A user's request … is
+//! redirected to the closest data center via DNS redirection, anycast, or
+//! other CDN-specific methods."* We model that as: each region hosts
+//! `pops_per_region` PoPs, and a user is stably mapped (by id hash) to one
+//! PoP in their region.
+
+use oat_httplog::{PopId, Region, UserId};
+use serde::{Deserialize, Serialize};
+
+/// The set of PoPs and the region → PoP routing function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    pops_per_region: usize,
+}
+
+impl Topology {
+    /// Creates a topology with `pops_per_region` PoPs in each of the four
+    /// regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pops_per_region == 0`.
+    pub fn new(pops_per_region: usize) -> Self {
+        assert!(pops_per_region > 0, "each region needs at least one PoP");
+        Self { pops_per_region }
+    }
+
+    /// Total number of PoPs.
+    pub fn pop_count(&self) -> usize {
+        self.pops_per_region * Region::ALL.len()
+    }
+
+    /// PoPs per region.
+    pub fn pops_per_region(&self) -> usize {
+        self.pops_per_region
+    }
+
+    /// Routes a user in `region` to their (stable) closest PoP.
+    pub fn route(&self, region: Region, user: UserId) -> PopId {
+        let base = region.code() as usize * self.pops_per_region;
+        // SplitMix-style stable hash of the user id.
+        let mut h = user.raw().wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        let slot = (h % self.pops_per_region as u64) as usize;
+        PopId::new((base + slot) as u16)
+    }
+
+    /// The region a PoP belongs to, if the id is valid for this topology.
+    pub fn pop_region(&self, pop: PopId) -> Option<Region> {
+        let idx = pop.raw() as usize;
+        if idx >= self.pop_count() {
+            return None;
+        }
+        Region::from_code((idx / self.pops_per_region) as u8)
+    }
+
+    /// All PoP ids.
+    pub fn pops(&self) -> impl Iterator<Item = PopId> + '_ {
+        (0..self.pop_count()).map(|i| PopId::new(i as u16))
+    }
+}
+
+impl Default for Topology {
+    /// One PoP per continent — the smallest realistic deployment.
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one PoP")]
+    fn zero_pops_panics() {
+        let _ = Topology::new(0);
+    }
+
+    #[test]
+    fn routing_is_stable_and_regional() {
+        let topo = Topology::new(3);
+        assert_eq!(topo.pop_count(), 12);
+        for region in Region::ALL {
+            for uid in 0..200u64 {
+                let user = UserId::new(uid * 7919);
+                let pop = topo.route(region, user);
+                assert_eq!(topo.route(region, user), pop, "stable routing");
+                assert_eq!(topo.pop_region(pop), Some(region), "PoP in user region");
+            }
+        }
+    }
+
+    #[test]
+    fn users_spread_across_regional_pops() {
+        let topo = Topology::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for uid in 0..1_000u64 {
+            seen.insert(topo.route(Region::Europe, UserId::new(uid)));
+        }
+        assert_eq!(seen.len(), 4, "all PoPs of the region receive users");
+    }
+
+    #[test]
+    fn pop_region_bounds() {
+        let topo = Topology::default();
+        assert_eq!(topo.pop_count(), 4);
+        assert_eq!(topo.pop_region(PopId::new(0)), Some(Region::NorthAmerica));
+        assert_eq!(topo.pop_region(PopId::new(3)), Some(Region::Asia));
+        assert_eq!(topo.pop_region(PopId::new(4)), None);
+        assert_eq!(topo.pops().count(), 4);
+    }
+}

@@ -1,0 +1,245 @@
+//! Figures 13–14 — repeated content access (user "addiction").
+//!
+//! Fig 13 scatters per-object total requests against unique requesters:
+//! points far above the diagonal are objects one user hammers repeatedly.
+//! Fig 14 summarizes repeated access per object as a CDF of the *heaviest
+//! single user's* request count: at least 10 % of video objects see more
+//! than 10 requests from one user, under 1 % of image objects do.
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{ContentClass, LogRecord, ObjectId, UserId};
+use oat_stats::Ecdf;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One Fig 13 scatter point: an object's request volume vs its audience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepeatPoint {
+    /// Total requests for the object.
+    pub requests: u64,
+    /// Distinct users who requested it.
+    pub users: u64,
+    /// Requests issued by the object's heaviest single user.
+    pub max_by_one_user: u64,
+}
+
+impl RepeatPoint {
+    /// Average requests per unique user.
+    pub fn ratio(&self) -> f64 {
+        if self.users == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.users as f64
+        }
+    }
+}
+
+/// Per-(site, class) addiction summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddictionDistribution {
+    /// Site code.
+    pub code: String,
+    /// Scatter points (one per object) — Fig 13.
+    pub points: Vec<RepeatPoint>,
+    /// ECDF over each object's heaviest-single-user request count — Fig 14.
+    pub per_user_ecdf: Ecdf,
+}
+
+impl AddictionDistribution {
+    /// Fraction of objects where one user issued more than `threshold`
+    /// requests (the paper uses 10). Zero when no objects exist.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.per_user_ecdf.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.per_user_ecdf.fraction_at_most(threshold)
+    }
+
+    /// The largest single-user request count observed for any object.
+    pub fn max_by_one_user(&self) -> Option<f64> {
+        self.per_user_ecdf.max()
+    }
+
+    /// The largest average requests-per-user ratio (Fig 13 distance above
+    /// the diagonal).
+    pub fn max_ratio(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(RepeatPoint::ratio)
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+}
+
+/// The Figures 13–14 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddictionReport {
+    /// Video distributions per site.
+    pub video: Vec<AddictionDistribution>,
+    /// Image distributions per site.
+    pub image: Vec<AddictionDistribution>,
+}
+
+impl AddictionReport {
+    /// Distribution for one (site, class).
+    pub fn site(&self, code: &str, class: ContentClass) -> Option<&AddictionDistribution> {
+        let list = match class {
+            ContentClass::Video => &self.video,
+            ContentClass::Image => &self.image,
+            ContentClass::Other => return None,
+        };
+        list.iter().find(|d| d.code == code)
+    }
+}
+
+/// Streaming analyzer for Figures 13–14.
+///
+/// Tracks per-(object, user) request counts; memory is proportional to the
+/// number of distinct such pairs.
+#[derive(Debug)]
+pub struct AddictionAnalyzer {
+    map: SiteMap,
+    per_object: Vec<HashMap<ObjectId, ObjectUsers>>,
+}
+
+#[derive(Debug, Default)]
+struct ObjectUsers {
+    class: Option<ContentClass>,
+    requests: u64,
+    per_user: HashMap<UserId, u64>,
+}
+
+impl AddictionAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self { map, per_object: (0..n).map(|_| HashMap::new()).collect() }
+    }
+}
+
+impl Analyzer for AddictionAnalyzer {
+    type Output = AddictionReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        let entry = self.per_object[site].entry(record.object).or_default();
+        entry.class.get_or_insert(record.content_class());
+        entry.requests += 1;
+        *entry.per_user.entry(record.user).or_insert(0) += 1;
+    }
+
+    fn finish(self) -> AddictionReport {
+        let mut video = Vec::with_capacity(self.map.len());
+        let mut image = Vec::with_capacity(self.map.len());
+        for (i, publisher) in self.map.publishers().enumerate() {
+            let code = self.map.code(publisher).expect("publisher in map").to_string();
+            for (class, out) in [(ContentClass::Video, &mut video), (ContentClass::Image, &mut image)]
+            {
+                let points: Vec<RepeatPoint> = self.per_object[i]
+                    .values()
+                    .filter(|o| o.class == Some(class))
+                    .map(|o| RepeatPoint {
+                        requests: o.requests,
+                        users: o.per_user.len() as u64,
+                        max_by_one_user: o.per_user.values().copied().max().unwrap_or(0),
+                    })
+                    .collect();
+                let per_user_ecdf =
+                    Ecdf::from_samples(points.iter().map(|p| p.max_by_one_user as f64));
+                out.push(AddictionDistribution { code: code.clone(), points, per_user_ecdf });
+            }
+        }
+        AddictionReport { video, image }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::{FileFormat, PublisherId};
+
+    fn record(publisher: u16, object: u64, user: u64, format: FileFormat) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            object: ObjectId::new(object),
+            user: UserId::new(user),
+            format,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn requests_vs_users() {
+        let mut records = Vec::new();
+        // Object 1: one addict, 20 requests.
+        for _ in 0..20 {
+            records.push(record(1, 1, 7, FileFormat::Mp4));
+        }
+        // Object 2: viral — 10 users, one request each.
+        for u in 0..10 {
+            records.push(record(1, 2, u, FileFormat::Mp4));
+        }
+        let report = run_analyzer(AddictionAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1", ContentClass::Video).unwrap();
+        assert_eq!(v1.points.len(), 2);
+        let addict = v1.points.iter().find(|p| p.requests == 20).unwrap();
+        assert_eq!(addict.users, 1);
+        assert_eq!(addict.ratio(), 20.0);
+        assert_eq!(addict.max_by_one_user, 20);
+        let viral = v1.points.iter().find(|p| p.requests == 10).unwrap();
+        assert_eq!(viral.users, 10);
+        assert_eq!(viral.ratio(), 1.0);
+        assert_eq!(viral.max_by_one_user, 1);
+        // Half the objects have a user exceeding 10 requests.
+        assert!((v1.fraction_above(10.0) - 0.5).abs() < 1e-9);
+        assert_eq!(v1.max_by_one_user(), Some(20.0));
+        assert_eq!(v1.max_ratio(), Some(20.0));
+    }
+
+    #[test]
+    fn max_by_one_user_vs_average() {
+        // Object with 5 users: four casual (1 request), one addict (12).
+        let mut records = Vec::new();
+        for u in 0..4 {
+            records.push(record(1, 1, u, FileFormat::Mp4));
+        }
+        for _ in 0..12 {
+            records.push(record(1, 1, 99, FileFormat::Mp4));
+        }
+        let report = run_analyzer(AddictionAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1", ContentClass::Video).unwrap();
+        let p = &v1.points[0];
+        assert_eq!(p.requests, 16);
+        assert_eq!(p.users, 5);
+        assert_eq!(p.max_by_one_user, 12);
+        // The average hides the addict; the single-user max does not.
+        assert!(p.ratio() < 10.0);
+        assert_eq!(v1.fraction_above(10.0), 1.0);
+    }
+
+    #[test]
+    fn classes_separate() {
+        let records = vec![
+            record(3, 1, 1, FileFormat::Jpg),
+            record(3, 1, 1, FileFormat::Jpg),
+            record(3, 2, 1, FileFormat::Mp4),
+        ];
+        let report = run_analyzer(AddictionAnalyzer::new(SiteMap::paper_five()), &records);
+        assert_eq!(report.site("P-1", ContentClass::Image).unwrap().points.len(), 1);
+        assert_eq!(report.site("P-1", ContentClass::Video).unwrap().points.len(), 1);
+        assert!(report.site("P-1", ContentClass::Other).is_none());
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let report = run_analyzer(AddictionAnalyzer::new(SiteMap::paper_five()), &[]);
+        let s1 = report.site("S-1", ContentClass::Video).unwrap();
+        assert!(s1.points.is_empty());
+        assert_eq!(s1.max_by_one_user(), None);
+        assert_eq!(s1.max_ratio(), None);
+        assert_eq!(s1.fraction_above(10.0), 0.0);
+    }
+}

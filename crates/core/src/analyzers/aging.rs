@@ -1,0 +1,165 @@
+//! Figure 7 — content aging: fraction of objects still requested at
+//! increasing ages.
+//!
+//! An object's age at a request is the time since its first observed
+//! request. The paper: a declining fraction of objects is requested as age
+//! grows; ~20 % of objects receive no requests after day 3, and only ~10 %
+//! are requested throughout the one-week trace.
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{LogRecord, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+const SECS_PER_DAY: u64 = 86_400;
+
+/// One site's aging curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingCurve {
+    /// Site code.
+    pub code: String,
+    /// `fraction[d]` = share of objects requested at age ≥ `d + 1` days
+    /// (index 0 ⇒ day 1, always 1.0 when any object exists).
+    pub fraction_by_day: Vec<f64>,
+    /// Objects with at least one request.
+    pub objects: u64,
+}
+
+impl AgingCurve {
+    /// Fraction of objects still requested at age ≥ `day` (1-based).
+    pub fn fraction_at_day(&self, day: usize) -> Option<f64> {
+        if day == 0 {
+            return None;
+        }
+        self.fraction_by_day.get(day - 1).copied()
+    }
+}
+
+/// The Figure 7 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingReport {
+    /// Per-site curves in reporting order.
+    pub sites: Vec<AgingCurve>,
+}
+
+impl AgingReport {
+    /// Curve of one site by code.
+    pub fn site(&self, code: &str) -> Option<&AgingCurve> {
+        self.sites.iter().find(|s| s.code == code)
+    }
+}
+
+/// Streaming analyzer for Figure 7.
+#[derive(Debug)]
+pub struct AgingAnalyzer {
+    map: SiteMap,
+    days: usize,
+    // site → object → (first_seen, last_seen) timestamps.
+    spans: Vec<HashMap<ObjectId, (u64, u64)>>,
+}
+
+impl AgingAnalyzer {
+    /// Creates an analyzer reporting ages up to `days` (the paper uses 7).
+    pub fn new(map: SiteMap, days: usize) -> Self {
+        let n = map.len();
+        Self { map, days: days.max(1), spans: vec![HashMap::new(); n] }
+    }
+}
+
+impl Analyzer for AgingAnalyzer {
+    type Output = AgingReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        let span = self.spans[site]
+            .entry(record.object)
+            .or_insert((record.timestamp, record.timestamp));
+        span.0 = span.0.min(record.timestamp);
+        span.1 = span.1.max(record.timestamp);
+    }
+
+    fn finish(self) -> AgingReport {
+        let sites = self
+            .map
+            .publishers()
+            .enumerate()
+            .map(|(i, publisher)| {
+                let total = self.spans[i].len() as u64;
+                let mut counts = vec![0u64; self.days];
+                for &(first, last) in self.spans[i].values() {
+                    // Day index (1-based) of the *oldest* request: an
+                    // object requested only once has max age day 1.
+                    let max_age_day = ((last - first) / SECS_PER_DAY) as usize + 1;
+                    for count in counts.iter_mut().take(max_age_day.min(self.days)) {
+                        *count += 1;
+                    }
+                }
+                let fraction_by_day = counts
+                    .iter()
+                    .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+                    .collect();
+                AgingCurve {
+                    code: self.map.code(publisher).expect("publisher in map").to_string(),
+                    fraction_by_day,
+                    objects: total,
+                }
+            })
+            .collect();
+        AgingReport { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::PublisherId;
+
+    fn record(publisher: u16, object: u64, ts: u64) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            object: ObjectId::new(object),
+            timestamp: ts,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn aging_curve_declines() {
+        let records = vec![
+            // Object 1: alive 6 days.
+            record(1, 1, 0),
+            record(1, 1, 6 * SECS_PER_DAY),
+            // Object 2: one shot.
+            record(1, 2, 0),
+            // Object 3: alive 2 days.
+            record(1, 3, 10),
+            record(1, 3, 2 * SECS_PER_DAY + 10),
+        ];
+        let report = run_analyzer(AgingAnalyzer::new(SiteMap::paper_five(), 7), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.objects, 3);
+        assert_eq!(v1.fraction_at_day(1), Some(1.0));
+        assert!((v1.fraction_at_day(2).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((v1.fraction_at_day(3).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((v1.fraction_at_day(4).unwrap() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((v1.fraction_at_day(7).unwrap() - 1.0 / 3.0).abs() < 1e-9);
+        // Monotone non-increasing.
+        for w in v1.fraction_by_day.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(v1.fraction_at_day(0), None);
+        assert_eq!(v1.fraction_at_day(8), None);
+    }
+
+    #[test]
+    fn empty_site_zero_curve() {
+        let report = run_analyzer(AgingAnalyzer::new(SiteMap::paper_five(), 7), &[]);
+        let p2 = report.site("P-2").unwrap();
+        assert_eq!(p2.objects, 0);
+        assert!(p2.fraction_by_day.iter().all(|&f| f == 0.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Figure 15 — CDN cache hit ratios.
+//!
+//! Per-object hit-ratio distributions (video vs image), the overall per-site
+//! hit ratio (the paper reports 80–90 %), and the popularity↔hit-ratio
+//! correlation (the paper reports > 0.9, computed here over popularity
+//! deciles to match an aggregate-level correlation).
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{ContentClass, LogRecord, ObjectId};
+use oat_stats::{spearman, Ecdf};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hit-ratio distribution for one (site, class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitRatioDistribution {
+    /// Site code.
+    pub code: String,
+    /// ECDF over per-object hit ratios.
+    pub ecdf: Ecdf,
+    /// Objects measured.
+    pub objects: u64,
+}
+
+impl HitRatioDistribution {
+    /// Mean per-object hit ratio.
+    pub fn mean(&self) -> Option<f64> {
+        self.ecdf.mean()
+    }
+}
+
+/// Site-level cache summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteCacheSummary {
+    /// Site code.
+    pub code: String,
+    /// Overall hit ratio over body-carrying requests.
+    pub overall_hit_ratio: Option<f64>,
+    /// Spearman rank correlation between popularity decile and the
+    /// decile's aggregate hit ratio (rank-based, robust to the saturating
+    /// shape of hit-ratio curves).
+    pub popularity_correlation: Option<f64>,
+}
+
+/// The Figure 15 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Per-site video hit-ratio distributions (Fig 15b).
+    pub video: Vec<HitRatioDistribution>,
+    /// Per-site image hit-ratio distributions (Fig 15a).
+    pub image: Vec<HitRatioDistribution>,
+    /// Per-site summaries.
+    pub summaries: Vec<SiteCacheSummary>,
+}
+
+impl CacheReport {
+    /// Distribution for one (site, class).
+    pub fn site(&self, code: &str, class: ContentClass) -> Option<&HitRatioDistribution> {
+        let list = match class {
+            ContentClass::Video => &self.video,
+            ContentClass::Image => &self.image,
+            ContentClass::Other => return None,
+        };
+        list.iter().find(|d| d.code == code)
+    }
+
+    /// Summary for one site.
+    pub fn summary(&self, code: &str) -> Option<&SiteCacheSummary> {
+        self.summaries.iter().find(|s| s.code == code)
+    }
+}
+
+/// Streaming analyzer for Figure 15 (consumes records that already carry
+/// cache statuses, i.e. post-`oat-cdnsim`).
+#[derive(Debug)]
+pub struct CacheAnalyzer {
+    map: SiteMap,
+    per_object: Vec<HashMap<ObjectId, ObjectHits>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ObjectHits {
+    class: Option<ContentClass>,
+    hits: u64,
+    total: u64,
+}
+
+impl CacheAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self { map, per_object: vec![HashMap::new(); n] }
+    }
+}
+
+impl Analyzer for CacheAnalyzer {
+    type Output = CacheReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        if !record.status.carries_body() {
+            return;
+        }
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        let entry = self.per_object[site].entry(record.object).or_default();
+        entry.class.get_or_insert(record.content_class());
+        entry.total += 1;
+        entry.hits += u64::from(record.cache_status.is_hit());
+    }
+
+    fn finish(self) -> CacheReport {
+        let mut video = Vec::with_capacity(self.map.len());
+        let mut image = Vec::with_capacity(self.map.len());
+        let mut summaries = Vec::with_capacity(self.map.len());
+        for (i, publisher) in self.map.publishers().enumerate() {
+            let code = self.map.code(publisher).expect("publisher in map").to_string();
+            for (class, out) in [(ContentClass::Video, &mut video), (ContentClass::Image, &mut image)]
+            {
+                let ratios: Vec<f64> = self.per_object[i]
+                    .values()
+                    .filter(|o| o.class == Some(class) && o.total > 0)
+                    .map(|o| o.hits as f64 / o.total as f64)
+                    .collect();
+                out.push(HitRatioDistribution {
+                    code: code.clone(),
+                    objects: ratios.len() as u64,
+                    ecdf: Ecdf::from_samples(ratios),
+                });
+            }
+            summaries.push(site_summary(code, self.per_object[i].values()));
+        }
+        CacheReport { video, image, summaries }
+    }
+}
+
+fn site_summary<'a, I>(code: String, objects: I) -> SiteCacheSummary
+where
+    I: Iterator<Item = &'a ObjectHits>,
+{
+    let mut all: Vec<(u64, u64)> = objects
+        .filter(|o| o.total > 0)
+        .map(|o| (o.total, o.hits))
+        .collect();
+    let total: u64 = all.iter().map(|(t, _)| t).sum();
+    let hits: u64 = all.iter().map(|(_, h)| h).sum();
+    let overall_hit_ratio = (total > 0).then(|| hits as f64 / total as f64);
+
+    // Decile-binned popularity vs aggregate hit ratio. The sort key must be
+    // total — ties broken by hits — so decile membership is deterministic
+    // regardless of HashMap iteration order.
+    let popularity_correlation = if all.len() >= 20 {
+        all.sort_unstable_by_key(|&(t, h)| (t, h));
+        let deciles = 10;
+        let per = all.len() / deciles;
+        let mut xs = Vec::with_capacity(deciles);
+        let mut ys = Vec::with_capacity(deciles);
+        for d in 0..deciles {
+            let lo = d * per;
+            let hi = if d + 1 == deciles { all.len() } else { (d + 1) * per };
+            let slice = &all[lo..hi];
+            let t: u64 = slice.iter().map(|(t, _)| t).sum();
+            let h: u64 = slice.iter().map(|(_, h)| h).sum();
+            if t > 0 {
+                xs.push(d as f64);
+                ys.push(h as f64 / t as f64);
+            }
+        }
+        spearman(&xs, &ys)
+    } else {
+        None
+    };
+
+    SiteCacheSummary { code, overall_hit_ratio, popularity_correlation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::{CacheStatus, FileFormat, HttpStatus, PublisherId};
+
+    fn record(publisher: u16, object: u64, format: FileFormat, hit: bool) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            object: ObjectId::new(object),
+            format,
+            cache_status: if hit { CacheStatus::Hit } else { CacheStatus::Miss },
+            status: HttpStatus::OK,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn per_object_ratios() {
+        let records = vec![
+            record(1, 1, FileFormat::Mp4, false),
+            record(1, 1, FileFormat::Mp4, true),
+            record(1, 1, FileFormat::Mp4, true),
+            record(1, 2, FileFormat::Jpg, false),
+        ];
+        let report = run_analyzer(CacheAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1_video = report.site("V-1", ContentClass::Video).unwrap();
+        assert_eq!(v1_video.objects, 1);
+        assert!((v1_video.mean().unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        let v1_image = report.site("V-1", ContentClass::Image).unwrap();
+        assert_eq!(v1_image.mean(), Some(0.0));
+        let summary = report.summary("V-1").unwrap();
+        assert_eq!(summary.overall_hit_ratio, Some(0.5));
+    }
+
+    #[test]
+    fn bodyless_records_ignored() {
+        let mut r = record(1, 1, FileFormat::Mp4, true);
+        r.status = HttpStatus::NOT_MODIFIED;
+        let report = run_analyzer(CacheAnalyzer::new(SiteMap::paper_five()), &[r]);
+        assert_eq!(report.site("V-1", ContentClass::Video).unwrap().objects, 0);
+        assert_eq!(report.summary("V-1").unwrap().overall_hit_ratio, None);
+    }
+
+    #[test]
+    fn popularity_correlation_positive_when_popular_hits_more() {
+        let mut records = Vec::new();
+        for obj in 0..100u64 {
+            let requests = 1 + obj; // popularity grows with id
+            for k in 0..requests {
+                // First request misses, the rest hit → popular objects have
+                // higher ratios.
+                records.push(record(3, obj, FileFormat::Jpg, k > 0));
+            }
+        }
+        let report = run_analyzer(CacheAnalyzer::new(SiteMap::paper_five()), &records);
+        let corr = report.summary("P-1").unwrap().popularity_correlation.unwrap();
+        assert!(corr > 0.9, "decile correlation {corr}");
+    }
+
+    #[test]
+    fn correlation_needs_enough_objects() {
+        let records = vec![record(1, 1, FileFormat::Mp4, true)];
+        let report = run_analyzer(CacheAnalyzer::new(SiteMap::paper_five()), &records);
+        assert!(report.summary("V-1").unwrap().popularity_correlation.is_none());
+    }
+}

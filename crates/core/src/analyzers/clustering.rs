@@ -1,0 +1,366 @@
+//! Figures 8–10 — DTW clustering of per-object request time series.
+//!
+//! The paper's methodology (§IV-B): per-object hourly request-count series
+//! are normalized, pairwise-compared with Dynamic Time Warping, clustered
+//! with agglomerative hierarchical clustering (dendrograms, Fig 8), and
+//! each cluster is summarized by its medoid with a point-wise
+//! standard-deviation envelope (Figs 9–10). Clusters map onto diurnal,
+//! long-lived, short-lived (and for P-2 flash-crowd) popularity trends.
+
+use super::Analyzer;
+use oat_httplog::{ContentClass, LogRecord, ObjectId, PublisherId, UserId};
+use oat_timeseries::{
+    classify_trend, cluster_envelope, distance::pairwise_matrix, hierarchical, kmedoids,
+    normalize, Linkage, Merge, Metric, TrendClass,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the clustering pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    /// Cluster the top-N objects by request count (the paper clusters the
+    /// objects with enough signal; the long tail has too few requests to
+    /// carry shape).
+    pub max_objects: usize,
+    /// Minimum requests for an object to participate.
+    pub min_requests: u64,
+    /// Number of clusters to cut the dendrogram into.
+    pub k: usize,
+    /// Sakoe–Chiba band half-width (hours) for DTW.
+    pub band: Option<usize>,
+    /// Linkage criterion.
+    pub linkage: Linkage,
+    /// Moving-average half-width (hours) applied before DTW; smooths the
+    /// Poisson sparseness of per-object hourly counts.
+    pub smooth_half_width: usize,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        Self {
+            max_objects: 150,
+            min_requests: 24,
+            k: 5,
+            band: Some(24),
+            linkage: Linkage::Ward,
+            smooth_half_width: 3,
+        }
+    }
+}
+
+/// One recovered cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Number of member objects.
+    pub size: usize,
+    /// Share of the clustered objects (the percentages on Fig 8's x-axis).
+    pub share: f64,
+    /// Trend label of the medoid (diurnal / long-lived / short-lived /
+    /// flash-crowd / outlier).
+    pub label: TrendClass,
+    /// Normalized medoid request series (Fig 9/10 solid line).
+    pub medoid: Vec<f64>,
+    /// Point-wise standard deviation (Fig 9/10 shaded envelope).
+    pub std_dev: Vec<f64>,
+}
+
+/// The Figure 8–10 report for one (site, class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringReport {
+    /// Site code.
+    pub code: String,
+    /// Content class clustered.
+    pub class: ContentClass,
+    /// Objects that participated.
+    pub clustered_objects: usize,
+    /// Clusters, largest first.
+    pub clusters: Vec<ClusterSummary>,
+    /// Dendrogram merges (ascending distance) for Fig 8 rendering.
+    pub merges: Vec<Merge>,
+    /// Mean silhouette coefficient of the cut (`None` for degenerate cuts)
+    /// — how separated the recovered clusters are.
+    pub silhouette: Option<f64>,
+}
+
+impl ClusteringReport {
+    /// The distinct trend labels recovered.
+    pub fn labels(&self) -> Vec<TrendClass> {
+        let mut seen = Vec::new();
+        for c in &self.clusters {
+            if !seen.contains(&c.label) {
+                seen.push(c.label);
+            }
+        }
+        seen
+    }
+}
+
+/// Streaming analyzer for Figures 8–10, targeting one (site, class).
+#[derive(Debug)]
+pub struct ClusteringAnalyzer {
+    publisher: PublisherId,
+    code: String,
+    class: ContentClass,
+    trace_start: u64,
+    hours: usize,
+    config: ClusteringConfig,
+    counts: HashMap<ObjectId, SparseSeries>,
+    /// Dedup set so one viewer's chunk burst counts as a single viewing
+    /// event per hour (raw 206 bursts would otherwise drown the temporal
+    /// shape in multiplicative noise).
+    seen: std::collections::HashSet<(ObjectId, u32, UserId)>,
+}
+
+#[derive(Debug, Default)]
+struct SparseSeries {
+    total: u64,
+    by_hour: HashMap<u32, u32>,
+}
+
+impl ClusteringAnalyzer {
+    /// Creates an analyzer for `publisher`/`class` over a trace starting at
+    /// `trace_start` and spanning `hours` hours.
+    pub fn new(
+        publisher: PublisherId,
+        code: impl Into<String>,
+        class: ContentClass,
+        trace_start: u64,
+        hours: usize,
+        config: ClusteringConfig,
+    ) -> Self {
+        Self {
+            publisher,
+            code: code.into(),
+            class,
+            trace_start,
+            hours: hours.max(1),
+            config,
+            counts: HashMap::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl Analyzer for ClusteringAnalyzer {
+    type Output = ClusteringReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        if record.publisher != self.publisher
+            || record.content_class() != self.class
+            || !record.status.carries_body()
+        {
+            return;
+        }
+        let hour = (record.timestamp.saturating_sub(self.trace_start) / 3600) as u32;
+        if hour as usize >= self.hours {
+            return;
+        }
+        // One viewing event per (object, hour, user): chunked playback and
+        // page reloads collapse to a single sample of the popularity curve.
+        if !self.seen.insert((record.object, hour, record.user)) {
+            return;
+        }
+        let series = self.counts.entry(record.object).or_default();
+        series.total += 1;
+        *series.by_hour.entry(hour).or_insert(0) += 1;
+    }
+
+    fn finish(self) -> ClusteringReport {
+        // Select the top-N objects with enough requests.
+        let mut candidates: Vec<(&ObjectId, &SparseSeries)> = self
+            .counts
+            .iter()
+            .filter(|(_, s)| s.total >= self.config.min_requests)
+            .collect();
+        candidates.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(b.0)));
+        candidates.truncate(self.config.max_objects);
+
+        let empty = ClusteringReport {
+            code: self.code.clone(),
+            class: self.class,
+            clustered_objects: candidates.len(),
+            clusters: Vec::new(),
+            merges: Vec::new(),
+            silhouette: None,
+        };
+        if candidates.len() < 2 {
+            return empty;
+        }
+
+        // Densify and sum-normalize.
+        let series: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|(_, s)| {
+                let mut dense = vec![0.0f64; self.hours];
+                for (&h, &c) in &s.by_hour {
+                    dense[h as usize] = c as f64;
+                }
+                let smoothed = normalize::moving_average(&dense, self.config.smooth_half_width);
+                normalize::sum_normalize(&smoothed).unwrap_or(smoothed)
+            })
+            .collect();
+
+        let Some(matrix) = pairwise_matrix(&series, Metric::Dtw { band: self.config.band }) else {
+            return empty;
+        };
+        let dendrogram = hierarchical::cluster(&matrix, self.config.linkage);
+        let k = self.config.k.min(series.len());
+        let labels = dendrogram.cut_k(k);
+        let silhouette = kmedoids::silhouette(&matrix, &labels);
+        let groups = dendrogram.clusters_k(k);
+
+        let clusters = groups
+            .iter()
+            .filter_map(|members| {
+                let env = cluster_envelope(&series, &matrix, members)?;
+                // Label from the medoid — the most central member — as the
+                // paper does when interpreting Figs 9/10.
+                let label = classify_trend(&env.medoid, 24);
+                Some(ClusterSummary {
+                    size: members.len(),
+                    share: members.len() as f64 / series.len() as f64,
+                    label,
+                    medoid: env.medoid,
+                    std_dev: env.std_dev,
+                })
+            })
+            .collect();
+
+        ClusteringReport {
+            code: self.code,
+            class: self.class,
+            clustered_objects: series.len(),
+            clusters,
+            merges: dendrogram.merges().to_vec(),
+            silhouette,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::FileFormat;
+
+    const HOURS: usize = 168;
+
+    /// Builds synthetic records for one object following an hourly pattern;
+    /// each repetition comes from a distinct user so the analyzer's
+    /// unique-viewer dedup keeps the full count.
+    fn records_for(object: u64, pattern: impl Fn(usize) -> u32) -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        for h in 0..HOURS {
+            for k in 0..pattern(h) {
+                out.push(LogRecord {
+                    publisher: PublisherId::new(2),
+                    object: ObjectId::new(object),
+                    format: FileFormat::Mp4,
+                    timestamp: (h * 3600 + k as usize * 60) as u64,
+                    user: UserId::new(1000 + k as u64),
+                    ..LogRecord::example()
+                });
+            }
+        }
+        out
+    }
+
+    fn analyzer(config: ClusteringConfig) -> ClusteringAnalyzer {
+        ClusteringAnalyzer::new(
+            PublisherId::new(2),
+            "V-2",
+            ContentClass::Video,
+            0,
+            HOURS,
+            config,
+        )
+    }
+
+    #[test]
+    fn recovers_planted_clusters() {
+        let mut records = Vec::new();
+        // Five diurnal objects.
+        for obj in 0..5 {
+            records.extend(records_for(obj, |h| {
+                if h % 24 < 6 { 4 } else { 1 }
+            }));
+        }
+        // Five short-lived objects (die within the first day).
+        for obj in 10..15 {
+            records.extend(records_for(obj, |h| if h < 8 { 20 } else { 0 }));
+        }
+        // Five flash-crowd objects (mid-week spike).
+        for obj in 20..25 {
+            records.extend(records_for(obj, |h| if (80..88).contains(&h) { 20 } else { 0 }));
+        }
+        records.sort_by_key(|r| r.timestamp);
+
+        let config = ClusteringConfig { k: 3, min_requests: 10, ..Default::default() };
+        let report = run_analyzer(analyzer(config), &records);
+        assert_eq!(report.clustered_objects, 15);
+        assert_eq!(report.clusters.len(), 3);
+        let labels = report.labels();
+        assert!(labels.contains(&TrendClass::Diurnal), "labels {labels:?}");
+        assert!(labels.contains(&TrendClass::ShortLived), "labels {labels:?}");
+        assert!(labels.contains(&TrendClass::FlashCrowd), "labels {labels:?}");
+        // Each cluster holds exactly its planted family.
+        for c in &report.clusters {
+            assert_eq!(c.size, 5, "cluster sizes {:?}", report.clusters.iter().map(|c| c.size).collect::<Vec<_>>());
+            assert!((c.share - 1.0 / 3.0).abs() < 1e-9);
+            assert_eq!(c.medoid.len(), HOURS);
+            assert_eq!(c.std_dev.len(), HOURS);
+        }
+        assert_eq!(report.merges.len(), 14);
+    }
+
+    #[test]
+    fn filters_low_signal_objects() {
+        let mut records = records_for(1, |h| if h < 4 { 30 } else { 0 });
+        // One object with a single request: below min_requests.
+        records.push(LogRecord {
+            publisher: PublisherId::new(2),
+            object: ObjectId::new(99),
+            format: FileFormat::Mp4,
+            timestamp: 50,
+            ..LogRecord::example()
+        });
+        let report = run_analyzer(
+            analyzer(ClusteringConfig { min_requests: 10, ..Default::default() }),
+            &records,
+        );
+        // Only one candidate remains → empty clustering.
+        assert_eq!(report.clustered_objects, 1);
+        assert!(report.clusters.is_empty());
+    }
+
+    #[test]
+    fn ignores_other_publishers_classes_and_bodyless() {
+        let mut records = records_for(1, |_| 1);
+        for r in &mut records {
+            r.publisher = PublisherId::new(9); // wrong publisher
+        }
+        let mut more = records_for(2, |_| 1);
+        for r in &mut more {
+            r.format = FileFormat::Jpg; // wrong class
+        }
+        records.extend(more);
+        let mut bodyless = records_for(3, |_| 1);
+        for r in &mut bodyless {
+            r.status = oat_httplog::HttpStatus::NOT_MODIFIED;
+        }
+        records.extend(bodyless);
+        let report = run_analyzer(analyzer(Default::default()), &records);
+        assert_eq!(report.clustered_objects, 0);
+        assert!(report.clusters.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let report = run_analyzer(analyzer(Default::default()), &[]);
+        assert_eq!(report.clustered_objects, 0);
+        assert!(report.clusters.is_empty());
+        assert!(report.merges.is_empty());
+        assert!(report.labels().is_empty());
+    }
+}

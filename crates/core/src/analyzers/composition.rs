@@ -1,0 +1,185 @@
+//! Figures 1, 2a, 2b — content and traffic composition.
+//!
+//! Fig 1 counts *distinct objects* per content class on the CDN servers;
+//! Fig 2a counts requests per class; Fig 2b sums the traffic volume per
+//! class (bytes actually served, which is what an edge log measures).
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{ContentClass, LogRecord, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Per-site composition figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteComposition {
+    /// Site code (`V-1`, …).
+    pub code: String,
+    /// Distinct objects per class `[video, image, other]` (Fig 1).
+    pub objects: [u64; 3],
+    /// Requests per class (Fig 2a).
+    pub requests: [u64; 3],
+    /// Bytes served per class (Fig 2b).
+    pub bytes: [u64; 3],
+}
+
+impl SiteComposition {
+    /// Share of the given class among this site's distinct objects.
+    pub fn object_share(&self, class: ContentClass) -> f64 {
+        share(&self.objects, class)
+    }
+
+    /// Share of the given class among this site's requests.
+    pub fn request_share(&self, class: ContentClass) -> f64 {
+        share(&self.requests, class)
+    }
+
+    /// Share of the given class among this site's served bytes.
+    pub fn byte_share(&self, class: ContentClass) -> f64 {
+        share(&self.bytes, class)
+    }
+}
+
+fn class_idx(class: ContentClass) -> usize {
+    match class {
+        ContentClass::Video => 0,
+        ContentClass::Image => 1,
+        ContentClass::Other => 2,
+    }
+}
+
+fn share(counts: &[u64; 3], class: ContentClass) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        0.0
+    } else {
+        counts[class_idx(class)] as f64 / total as f64
+    }
+}
+
+/// The full composition report (Figs 1 + 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositionReport {
+    /// One entry per site, in reporting order.
+    pub sites: Vec<SiteComposition>,
+}
+
+impl CompositionReport {
+    /// Composition of one site by code.
+    pub fn site(&self, code: &str) -> Option<&SiteComposition> {
+        self.sites.iter().find(|s| s.code == code)
+    }
+}
+
+/// Streaming analyzer for Figures 1 and 2.
+#[derive(Debug)]
+pub struct CompositionAnalyzer {
+    map: SiteMap,
+    seen_objects: Vec<[HashSet<ObjectId>; 3]>,
+    requests: Vec<[u64; 3]>,
+    bytes: Vec<[u64; 3]>,
+}
+
+impl CompositionAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self {
+            map,
+            seen_objects: (0..n).map(|_| Default::default()).collect(),
+            requests: vec![[0; 3]; n],
+            bytes: vec![[0; 3]; n],
+        }
+    }
+}
+
+impl Analyzer for CompositionAnalyzer {
+    type Output = CompositionReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        let c = class_idx(record.content_class());
+        self.seen_objects[site][c].insert(record.object);
+        self.requests[site][c] += 1;
+        self.bytes[site][c] += record.bytes_served;
+    }
+
+    fn finish(self) -> CompositionReport {
+        let sites = self
+            .map
+            .publishers()
+            .enumerate()
+            .map(|(i, publisher)| SiteComposition {
+                code: self.map.code(publisher).expect("publisher in map").to_string(),
+                objects: [
+                    self.seen_objects[i][0].len() as u64,
+                    self.seen_objects[i][1].len() as u64,
+                    self.seen_objects[i][2].len() as u64,
+                ],
+                requests: self.requests[i],
+                bytes: self.bytes[i],
+            })
+            .collect();
+        CompositionReport { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::{FileFormat, PublisherId};
+
+    fn record(publisher: u16, object: u64, format: FileFormat, bytes: u64) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            object: ObjectId::new(object),
+            format,
+            bytes_served: bytes,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn counts_distinct_objects_and_requests() {
+        let records = vec![
+            record(1, 1, FileFormat::Mp4, 100),
+            record(1, 1, FileFormat::Mp4, 100), // same object again
+            record(1, 2, FileFormat::Jpg, 10),
+            record(2, 3, FileFormat::Html, 5),
+        ];
+        let report = run_analyzer(CompositionAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.objects, [1, 1, 0]);
+        assert_eq!(v1.requests, [2, 1, 0]);
+        assert_eq!(v1.bytes, [200, 10, 0]);
+        let v2 = report.site("V-2").unwrap();
+        assert_eq!(v2.objects, [0, 0, 1]);
+        assert!(report.site("nope").is_none());
+    }
+
+    #[test]
+    fn shares() {
+        let records = vec![
+            record(1, 1, FileFormat::Mp4, 300),
+            record(1, 2, FileFormat::Jpg, 100),
+        ];
+        let report = run_analyzer(CompositionAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.object_share(ContentClass::Video), 0.5);
+        assert_eq!(v1.request_share(ContentClass::Image), 0.5);
+        assert_eq!(v1.byte_share(ContentClass::Video), 0.75);
+        // Empty site: shares are zero.
+        let s1 = report.site("S-1").unwrap();
+        assert_eq!(s1.object_share(ContentClass::Video), 0.0);
+    }
+
+    #[test]
+    fn unknown_publisher_ignored() {
+        let records = vec![record(99, 1, FileFormat::Mp4, 1)];
+        let report = run_analyzer(CompositionAnalyzer::new(SiteMap::paper_five()), &records);
+        assert!(report.sites.iter().all(|s| s.requests.iter().sum::<u64>() == 0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 4 — device-type composition of each site's visitors.
+//!
+//! The paper extracts the device/OS from the `User-Agent` header and
+//! reports the percentage of *users* per category. Desktop dominates
+//! everywhere; V-2 exceeds 95 % desktop; more than a third of S-1 visitors
+//! arrive from smartphones/misc devices.
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{LogRecord, UserId};
+use oat_useragent::DeviceCategory;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One site's device mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceShare {
+    /// Site code.
+    pub code: String,
+    /// Percentage of users per category `[Desktop, Android, iOS, Misc]`.
+    pub user_pct: [f64; 4],
+    /// Distinct users observed.
+    pub users: u64,
+}
+
+impl DeviceShare {
+    /// Share (0–100) of one category.
+    pub fn pct(&self, category: DeviceCategory) -> f64 {
+        self.user_pct[category_idx(category)]
+    }
+
+    /// Combined smartphone + misc share (0–100).
+    pub fn mobile_and_misc_pct(&self) -> f64 {
+        self.user_pct[1] + self.user_pct[2] + self.user_pct[3]
+    }
+}
+
+fn category_idx(category: DeviceCategory) -> usize {
+    match category {
+        DeviceCategory::Desktop => 0,
+        DeviceCategory::Android => 1,
+        DeviceCategory::Ios => 2,
+        DeviceCategory::Misc => 3,
+    }
+}
+
+/// The Figure 4 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Per-site shares in reporting order.
+    pub sites: Vec<DeviceShare>,
+}
+
+impl DeviceReport {
+    /// Shares of one site by code.
+    pub fn site(&self, code: &str) -> Option<&DeviceShare> {
+        self.sites.iter().find(|s| s.code == code)
+    }
+}
+
+/// Streaming analyzer for Figure 4: classifies each user's UA string once
+/// (first sighting wins, as users keep one device per the generator and
+/// the paper's methodology).
+#[derive(Debug)]
+pub struct DeviceAnalyzer {
+    map: SiteMap,
+    users: Vec<HashMap<UserId, DeviceCategory>>,
+}
+
+impl DeviceAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self { map, users: vec![HashMap::new(); n] }
+    }
+}
+
+impl Analyzer for DeviceAnalyzer {
+    type Output = DeviceReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        self.users[site]
+            .entry(record.user)
+            .or_insert_with(|| oat_useragent::parse(&record.user_agent).device);
+    }
+
+    fn finish(self) -> DeviceReport {
+        let sites = self
+            .map
+            .publishers()
+            .enumerate()
+            .map(|(i, publisher)| {
+                let total = self.users[i].len() as u64;
+                let mut counts = [0u64; 4];
+                for &device in self.users[i].values() {
+                    counts[category_idx(device)] += 1;
+                }
+                let mut user_pct = [0.0; 4];
+                if total > 0 {
+                    for (p, &c) in user_pct.iter_mut().zip(&counts) {
+                        *p = 100.0 * c as f64 / total as f64;
+                    }
+                }
+                DeviceShare {
+                    code: self.map.code(publisher).expect("publisher in map").to_string(),
+                    user_pct,
+                    users: total,
+                }
+            })
+            .collect();
+        DeviceReport { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::PublisherId;
+
+    const DESKTOP_UA: &str = "Mozilla/5.0 (Windows NT 10.0) AppleWebKit/537.36 \
+                              (KHTML, like Gecko) Chrome/46.0.2490.86 Safari/537.36";
+    const ANDROID_UA: &str = "Mozilla/5.0 (Linux; Android 5.1.1; Nexus 5) AppleWebKit/537.36 \
+                              (KHTML, like Gecko) Chrome/46.0.2490.76 Mobile Safari/537.36";
+
+    fn record(publisher: u16, user: u64, ua: &str) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            user: UserId::new(user),
+            user_agent: ua.to_string(),
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn counts_users_not_requests() {
+        let records = vec![
+            record(1, 1, DESKTOP_UA),
+            record(1, 1, DESKTOP_UA), // same user again
+            record(1, 2, ANDROID_UA),
+        ];
+        let report = run_analyzer(DeviceAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.users, 2);
+        assert_eq!(v1.pct(DeviceCategory::Desktop), 50.0);
+        assert_eq!(v1.pct(DeviceCategory::Android), 50.0);
+        assert_eq!(v1.mobile_and_misc_pct(), 50.0);
+    }
+
+    #[test]
+    fn first_ua_wins_per_user() {
+        let records = vec![record(1, 1, DESKTOP_UA), record(1, 1, ANDROID_UA)];
+        let report = run_analyzer(DeviceAnalyzer::new(SiteMap::paper_five()), &records);
+        assert_eq!(report.site("V-1").unwrap().pct(DeviceCategory::Desktop), 100.0);
+    }
+
+    #[test]
+    fn empty_site() {
+        let report = run_analyzer(DeviceAnalyzer::new(SiteMap::paper_five()), &[]);
+        let s1 = report.site("S-1").unwrap();
+        assert_eq!(s1.users, 0);
+        assert_eq!(s1.user_pct, [0.0; 4]);
+    }
+}

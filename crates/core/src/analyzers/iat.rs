@@ -1,0 +1,134 @@
+//! Figure 11 — user request inter-arrival time distributions.
+//!
+//! Gaps between a user's consecutive requests to one site. The paper:
+//! video sites show median IATs under 10 minutes (chunked playback),
+//! image-heavy sites over an hour (sparse revisits).
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{LogRecord, UserId};
+use oat_stats::Ecdf;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One site's IAT distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IatDistribution {
+    /// Site code.
+    pub code: String,
+    /// ECDF over inter-arrival gaps, seconds.
+    pub ecdf: Ecdf,
+}
+
+impl IatDistribution {
+    /// Median gap in seconds.
+    pub fn median_secs(&self) -> Option<f64> {
+        self.ecdf.median()
+    }
+}
+
+/// The Figure 11 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IatReport {
+    /// Per-site distributions in reporting order.
+    pub sites: Vec<IatDistribution>,
+}
+
+impl IatReport {
+    /// Distribution of one site by code.
+    pub fn site(&self, code: &str) -> Option<&IatDistribution> {
+        self.sites.iter().find(|s| s.code == code)
+    }
+}
+
+/// Streaming analyzer for Figure 11.
+///
+/// Requires the record stream to be time-sorted (which both the generator
+/// and real CDN log dumps provide).
+#[derive(Debug)]
+pub struct IatAnalyzer {
+    map: SiteMap,
+    last_seen: Vec<HashMap<UserId, u64>>,
+    gaps: Vec<Vec<f64>>,
+}
+
+impl IatAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self {
+            map,
+            last_seen: vec![HashMap::new(); n],
+            gaps: vec![Vec::new(); n],
+        }
+    }
+}
+
+impl Analyzer for IatAnalyzer {
+    type Output = IatReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        if let Some(prev) = self.last_seen[site].insert(record.user, record.timestamp) {
+            self.gaps[site].push(record.timestamp.saturating_sub(prev) as f64);
+        }
+    }
+
+    fn finish(self) -> IatReport {
+        let sites = self
+            .map
+            .publishers()
+            .zip(self.gaps)
+            .map(|(publisher, gaps)| IatDistribution {
+                code: self.map.code(publisher).expect("publisher in map").to_string(),
+                ecdf: Ecdf::from_samples(gaps),
+            })
+            .collect();
+        IatReport { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::PublisherId;
+
+    fn record(publisher: u16, user: u64, ts: u64) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            user: UserId::new(user),
+            timestamp: ts,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn per_user_gaps() {
+        let records = vec![
+            record(1, 1, 0),
+            record(1, 2, 5),
+            record(1, 1, 10), // user 1 gap: 10
+            record(1, 2, 65), // user 2 gap: 60
+            record(1, 1, 20), // user 1 gap: 10
+        ];
+        let report = run_analyzer(IatAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.ecdf.len(), 3);
+        assert_eq!(v1.median_secs(), Some(10.0));
+        assert_eq!(v1.ecdf.max(), Some(60.0));
+    }
+
+    #[test]
+    fn sites_tracked_independently() {
+        let records = vec![record(1, 1, 0), record(3, 1, 100), record(1, 1, 50)];
+        let report = run_analyzer(IatAnalyzer::new(SiteMap::paper_five()), &records);
+        // Same user on different sites: V-1 gap 50, P-1 has none.
+        assert_eq!(report.site("V-1").unwrap().ecdf.len(), 1);
+        assert_eq!(report.site("V-1").unwrap().median_secs(), Some(50.0));
+        assert!(report.site("P-1").unwrap().ecdf.is_empty());
+        assert!(report.site("P-1").unwrap().median_secs().is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! One streaming analyzer per paper figure.
+//!
+//! Every analyzer implements [`Analyzer`]: it consumes records one at a
+//! time (`observe`) and produces its figure's data on `finish`. The
+//! [`experiment`](crate::experiment) runner drives all of them in a single
+//! pass over the trace.
+
+use oat_httplog::LogRecord;
+
+pub mod addiction;
+pub mod aging;
+pub mod cache;
+pub mod clustering;
+pub mod composition;
+pub mod device;
+pub mod iat;
+pub mod popularity;
+pub mod response;
+pub mod sessions;
+pub mod sizes;
+pub mod temporal;
+
+/// A single-pass streaming analyzer.
+pub trait Analyzer {
+    /// The figure data produced when the stream ends.
+    type Output;
+
+    /// Consumes one record.
+    fn observe(&mut self, record: &LogRecord);
+
+    /// Finalizes and returns the figure data.
+    fn finish(self) -> Self::Output;
+}
+
+/// Runs one analyzer over a record slice (convenience for tests/benches).
+pub fn run_analyzer<A: Analyzer>(mut analyzer: A, records: &[LogRecord]) -> A::Output {
+    for r in records {
+        analyzer.observe(r);
+    }
+    analyzer.finish()
+}

@@ -1,0 +1,165 @@
+//! Figure 6 — content-popularity distributions.
+//!
+//! CDFs of per-object request counts, split into video (6a) and image
+//! (6b). The paper observes classic long-tailed distributions: a small
+//! fraction of objects draws most requests.
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{ContentClass, LogRecord, ObjectId};
+use oat_stats::{fit_zipf, zipf, Ecdf, ZipfFit};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Popularity distribution of one (site, class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopularityDistribution {
+    /// Site code.
+    pub code: String,
+    /// Distinct objects requested.
+    pub objects: u64,
+    /// Total requests.
+    pub requests: u64,
+    /// ECDF over per-object request counts.
+    pub ecdf: Ecdf,
+    /// Rank-frequency power-law fit, when enough distinct counts exist.
+    pub zipf: Option<ZipfFit>,
+    /// Fraction of requests drawn by the top 10 % of objects.
+    pub top_decile_share: Option<f64>,
+    /// Gini coefficient of the request distribution.
+    pub gini: Option<f64>,
+}
+
+/// The Figure 6 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopularityReport {
+    /// Video popularity per site (Fig 6a).
+    pub video: Vec<PopularityDistribution>,
+    /// Image popularity per site (Fig 6b).
+    pub image: Vec<PopularityDistribution>,
+}
+
+impl PopularityReport {
+    /// Distribution for one (site, class).
+    pub fn site(&self, code: &str, class: ContentClass) -> Option<&PopularityDistribution> {
+        let list = match class {
+            ContentClass::Video => &self.video,
+            ContentClass::Image => &self.image,
+            ContentClass::Other => return None,
+        };
+        list.iter().find(|d| d.code == code)
+    }
+}
+
+/// Streaming analyzer for Figure 6.
+#[derive(Debug)]
+pub struct PopularityAnalyzer {
+    map: SiteMap,
+    counts: Vec<HashMap<ObjectId, (ContentClass, u64)>>,
+}
+
+impl PopularityAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self { map, counts: vec![HashMap::new(); n] }
+    }
+}
+
+impl Analyzer for PopularityAnalyzer {
+    type Output = PopularityReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        let entry = self.counts[site]
+            .entry(record.object)
+            .or_insert((record.content_class(), 0));
+        entry.1 += 1;
+    }
+
+    fn finish(self) -> PopularityReport {
+        let mut video = Vec::with_capacity(self.map.len());
+        let mut image = Vec::with_capacity(self.map.len());
+        for (i, publisher) in self.map.publishers().enumerate() {
+            let code = self.map.code(publisher).expect("publisher in map").to_string();
+            for (class, out) in [(ContentClass::Video, &mut video), (ContentClass::Image, &mut image)]
+            {
+                let counts: Vec<u64> = self.counts[i]
+                    .values()
+                    .filter(|(c, _)| *c == class)
+                    .map(|&(_, n)| n)
+                    .collect();
+                out.push(PopularityDistribution {
+                    code: code.clone(),
+                    objects: counts.len() as u64,
+                    requests: counts.iter().sum(),
+                    ecdf: Ecdf::from_samples(counts.iter().map(|&c| c as f64)),
+                    zipf: fit_zipf(&counts),
+                    top_decile_share: zipf::top_share(&counts, 0.1),
+                    gini: zipf::gini(&counts),
+                });
+            }
+        }
+        PopularityReport { video, image }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::{FileFormat, PublisherId};
+
+    fn record(publisher: u16, object: u64, format: FileFormat) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            object: ObjectId::new(object),
+            format,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn per_object_counts() {
+        let mut records = Vec::new();
+        for _ in 0..10 {
+            records.push(record(1, 1, FileFormat::Mp4));
+        }
+        records.push(record(1, 2, FileFormat::Mp4));
+        let report = run_analyzer(PopularityAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1", ContentClass::Video).unwrap();
+        assert_eq!(v1.objects, 2);
+        assert_eq!(v1.requests, 11);
+        assert_eq!(v1.ecdf.max(), Some(10.0));
+        assert!(v1.top_decile_share.is_some());
+    }
+
+    #[test]
+    fn zipf_fit_on_skewed_counts() {
+        let mut records = Vec::new();
+        for obj in 1..=100u64 {
+            let n = 1_000 / obj; // Zipf(1)
+            for _ in 0..n {
+                records.push(record(3, obj, FileFormat::Jpg));
+            }
+        }
+        let report = run_analyzer(PopularityAnalyzer::new(SiteMap::paper_five()), &records);
+        let p1 = report.site("P-1", ContentClass::Image).unwrap();
+        let fit = p1.zipf.expect("fit exists");
+        assert!((fit.alpha - 1.0).abs() < 0.15, "alpha {}", fit.alpha);
+        assert!(p1.top_decile_share.unwrap() > 0.5);
+        assert!(p1.gini.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn empty_class() {
+        let report = run_analyzer(PopularityAnalyzer::new(SiteMap::paper_five()), &[]);
+        let s1 = report.site("S-1", ContentClass::Video).unwrap();
+        assert_eq!(s1.objects, 0);
+        assert!(s1.zipf.is_none());
+        assert!(s1.top_decile_share.is_none());
+        assert!(report.site("S-1", ContentClass::Other).is_none());
+    }
+}

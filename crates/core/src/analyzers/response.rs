@@ -1,0 +1,157 @@
+//! Figure 16 — HTTP response-code composition.
+//!
+//! Request counts per status code, split into video and image requests.
+//! The paper's anchors: 200 dominates; 206 appears for (chunked) video;
+//! 304 is strikingly rare because adult browsing happens in
+//! incognito/private mode, which discards the browser cache.
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{ContentClass, HttpStatus, LogRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Status-code counts for one (site, class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusCounts {
+    /// Site code.
+    pub code: String,
+    /// Requests per status code.
+    pub counts: HashMap<u16, u64>,
+}
+
+impl StatusCounts {
+    /// Count for one code.
+    pub fn count(&self, status: HttpStatus) -> u64 {
+        self.counts.get(&status.code()).copied().unwrap_or(0)
+    }
+
+    /// Total requests.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Share (0–1) of one code, zero for an empty table.
+    pub fn share(&self, status: HttpStatus) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(status) as f64 / total as f64
+        }
+    }
+}
+
+/// The Figure 16 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseReport {
+    /// Per-site video status counts (Fig 16a).
+    pub video: Vec<StatusCounts>,
+    /// Per-site image status counts (Fig 16b).
+    pub image: Vec<StatusCounts>,
+}
+
+impl ResponseReport {
+    /// Counts for one (site, class).
+    pub fn site(&self, code: &str, class: ContentClass) -> Option<&StatusCounts> {
+        let list = match class {
+            ContentClass::Video => &self.video,
+            ContentClass::Image => &self.image,
+            ContentClass::Other => return None,
+        };
+        list.iter().find(|s| s.code == code)
+    }
+}
+
+/// Streaming analyzer for Figure 16.
+#[derive(Debug)]
+pub struct ResponseAnalyzer {
+    map: SiteMap,
+    video: Vec<HashMap<u16, u64>>,
+    image: Vec<HashMap<u16, u64>>,
+}
+
+impl ResponseAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self { map, video: vec![HashMap::new(); n], image: vec![HashMap::new(); n] }
+    }
+}
+
+impl Analyzer for ResponseAnalyzer {
+    type Output = ResponseReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        let table = match record.content_class() {
+            ContentClass::Video => &mut self.video[site],
+            ContentClass::Image => &mut self.image[site],
+            ContentClass::Other => return,
+        };
+        *table.entry(record.status.code()).or_insert(0) += 1;
+    }
+
+    fn finish(self) -> ResponseReport {
+        let collect = |tables: Vec<HashMap<u16, u64>>, map: &SiteMap| {
+            map.publishers()
+                .zip(tables)
+                .map(|(publisher, counts)| StatusCounts {
+                    code: map.code(publisher).expect("publisher in map").to_string(),
+                    counts,
+                })
+                .collect()
+        };
+        let video = collect(self.video, &self.map);
+        let image = collect(self.image, &self.map);
+        ResponseReport { video, image }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::{FileFormat, PublisherId};
+
+    fn record(publisher: u16, format: FileFormat, status: u16) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            format,
+            status: HttpStatus::new(status).unwrap(),
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn counts_by_class_and_code() {
+        let records = vec![
+            record(1, FileFormat::Mp4, 206),
+            record(1, FileFormat::Mp4, 206),
+            record(1, FileFormat::Mp4, 200),
+            record(1, FileFormat::Jpg, 200),
+            record(1, FileFormat::Jpg, 304),
+            record(1, FileFormat::Html, 200), // "other" — excluded from Fig 16
+        ];
+        let report = run_analyzer(ResponseAnalyzer::new(SiteMap::paper_five()), &records);
+        let video = report.site("V-1", ContentClass::Video).unwrap();
+        assert_eq!(video.count(HttpStatus::PARTIAL_CONTENT), 2);
+        assert_eq!(video.count(HttpStatus::OK), 1);
+        assert_eq!(video.total(), 3);
+        assert!((video.share(HttpStatus::PARTIAL_CONTENT) - 2.0 / 3.0).abs() < 1e-9);
+        let image = report.site("V-1", ContentClass::Image).unwrap();
+        assert_eq!(image.count(HttpStatus::NOT_MODIFIED), 1);
+        assert_eq!(image.total(), 2);
+        assert!(report.site("V-1", ContentClass::Other).is_none());
+    }
+
+    #[test]
+    fn empty_shares_zero() {
+        let report = run_analyzer(ResponseAnalyzer::new(SiteMap::paper_five()), &[]);
+        let s1 = report.site("S-1", ContentClass::Video).unwrap();
+        assert_eq!(s1.total(), 0);
+        assert_eq!(s1.share(HttpStatus::OK), 0.0);
+    }
+}

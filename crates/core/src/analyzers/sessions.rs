@@ -1,0 +1,244 @@
+//! Figure 12 — user session-length distributions.
+//!
+//! A session is a run of one user's consecutive requests with no gap
+//! exceeding a timeout; the paper picks a 10-minute timeout from its IAT
+//! analysis and finds median session lengths around one minute — far
+//! shorter than non-adult sites.
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{LogRecord, UserId};
+use oat_stats::Ecdf;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's session timeout (10 minutes).
+pub const DEFAULT_TIMEOUT_SECS: u64 = 600;
+
+/// One site's session-length distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionDistribution {
+    /// Site code.
+    pub code: String,
+    /// ECDF over session lengths, seconds (single-request sessions have
+    /// length 0 — the network-side lower bound the paper notes).
+    pub ecdf: Ecdf,
+    /// Total sessions reconstructed.
+    pub sessions: u64,
+    /// Mean requests per session.
+    pub mean_requests: f64,
+}
+
+impl SessionDistribution {
+    /// Median session length in seconds.
+    pub fn median_secs(&self) -> Option<f64> {
+        self.ecdf.median()
+    }
+}
+
+/// The Figure 12 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Per-site distributions in reporting order.
+    pub sites: Vec<SessionDistribution>,
+    /// The timeout used, seconds.
+    pub timeout_secs: u64,
+}
+
+impl SessionReport {
+    /// Distribution of one site by code.
+    pub fn site(&self, code: &str) -> Option<&SessionDistribution> {
+        self.sites.iter().find(|s| s.code == code)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenSession {
+    start: u64,
+    last: u64,
+    requests: u64,
+}
+
+/// Streaming analyzer for Figure 12 (requires time-sorted input).
+#[derive(Debug)]
+pub struct SessionAnalyzer {
+    map: SiteMap,
+    timeout_secs: u64,
+    open: Vec<HashMap<UserId, OpenSession>>,
+    lengths: Vec<Vec<f64>>,
+    request_totals: Vec<u64>,
+    session_counts: Vec<u64>,
+}
+
+impl SessionAnalyzer {
+    /// Creates an analyzer with the paper's 10-minute timeout.
+    pub fn new(map: SiteMap) -> Self {
+        Self::with_timeout(map, DEFAULT_TIMEOUT_SECS)
+    }
+
+    /// Creates an analyzer with a custom timeout.
+    pub fn with_timeout(map: SiteMap, timeout_secs: u64) -> Self {
+        let n = map.len();
+        Self {
+            map,
+            timeout_secs,
+            open: vec![HashMap::new(); n],
+            lengths: vec![Vec::new(); n],
+            request_totals: vec![0; n],
+            session_counts: vec![0; n],
+        }
+    }
+
+    fn close(
+        lengths: &mut Vec<f64>,
+        request_totals: &mut u64,
+        session_counts: &mut u64,
+        session: OpenSession,
+    ) {
+        lengths.push((session.last - session.start) as f64);
+        *request_totals += session.requests;
+        *session_counts += 1;
+    }
+}
+
+impl Analyzer for SessionAnalyzer {
+    type Output = SessionReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        let t = record.timestamp;
+        match self.open[site].get_mut(&record.user) {
+            Some(open) if t.saturating_sub(open.last) <= self.timeout_secs => {
+                open.last = t;
+                open.requests += 1;
+            }
+            Some(open) => {
+                let finished = *open;
+                *open = OpenSession { start: t, last: t, requests: 1 };
+                Self::close(
+                    &mut self.lengths[site],
+                    &mut self.request_totals[site],
+                    &mut self.session_counts[site],
+                    finished,
+                );
+            }
+            None => {
+                self.open[site]
+                    .insert(record.user, OpenSession { start: t, last: t, requests: 1 });
+            }
+        }
+    }
+
+    fn finish(mut self) -> SessionReport {
+        // Close everything still open.
+        for site in 0..self.map.len() {
+            let open = std::mem::take(&mut self.open[site]);
+            for (_, session) in open {
+                Self::close(
+                    &mut self.lengths[site],
+                    &mut self.request_totals[site],
+                    &mut self.session_counts[site],
+                    session,
+                );
+            }
+        }
+        let sites = self
+            .map
+            .publishers()
+            .enumerate()
+            .map(|(i, publisher)| {
+                let sessions = self.session_counts[i];
+                SessionDistribution {
+                    code: self.map.code(publisher).expect("publisher in map").to_string(),
+                    ecdf: Ecdf::from_samples(self.lengths[i].iter().copied()),
+                    sessions,
+                    mean_requests: if sessions == 0 {
+                        0.0
+                    } else {
+                        self.request_totals[i] as f64 / sessions as f64
+                    },
+                }
+            })
+            .collect();
+        SessionReport { sites, timeout_secs: self.timeout_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::PublisherId;
+
+    fn record(publisher: u16, user: u64, ts: u64) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            user: UserId::new(user),
+            timestamp: ts,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn splits_on_timeout() {
+        let records = vec![
+            record(1, 1, 0),
+            record(1, 1, 30),
+            record(1, 1, 90), // session 1: length 90, 3 requests
+            record(1, 1, 90 + 601), // session 2 starts (gap > 600)
+            record(1, 1, 90 + 631), // session 2: length 30, 2 requests
+        ];
+        let report = run_analyzer(SessionAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.sessions, 2);
+        assert_eq!(v1.ecdf.sorted_samples(), &[30.0, 90.0]);
+        assert_eq!(v1.mean_requests, 2.5);
+        assert_eq!(report.timeout_secs, 600);
+    }
+
+    #[test]
+    fn single_request_session_has_zero_length() {
+        let records = vec![record(1, 7, 1_000)];
+        let report = run_analyzer(SessionAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.sessions, 1);
+        assert_eq!(v1.median_secs(), Some(0.0));
+        assert_eq!(v1.mean_requests, 1.0);
+    }
+
+    #[test]
+    fn custom_timeout() {
+        let records = vec![record(1, 1, 0), record(1, 1, 50)];
+        let strict =
+            run_analyzer(SessionAnalyzer::with_timeout(SiteMap::paper_five(), 10), &records);
+        assert_eq!(strict.site("V-1").unwrap().sessions, 2);
+        let lax = run_analyzer(
+            SessionAnalyzer::with_timeout(SiteMap::paper_five(), 100),
+            vec![record(1, 1, 0), record(1, 1, 50)].as_slice(),
+        );
+        assert_eq!(lax.site("V-1").unwrap().sessions, 1);
+    }
+
+    #[test]
+    fn boundary_gap_continues_session() {
+        let records = vec![record(1, 1, 0), record(1, 1, 600)];
+        let report = run_analyzer(SessionAnalyzer::new(SiteMap::paper_five()), &records);
+        assert_eq!(report.site("V-1").unwrap().sessions, 1);
+    }
+
+    #[test]
+    fn users_and_sites_independent() {
+        let records = vec![
+            record(1, 1, 0),
+            record(1, 2, 1),
+            record(3, 1, 2),
+        ];
+        let report = run_analyzer(SessionAnalyzer::new(SiteMap::paper_five()), &records);
+        assert_eq!(report.site("V-1").unwrap().sessions, 2);
+        assert_eq!(report.site("P-1").unwrap().sessions, 1);
+        assert_eq!(report.site("P-2").unwrap().sessions, 0);
+        assert_eq!(report.site("P-2").unwrap().mean_requests, 0.0);
+    }
+}

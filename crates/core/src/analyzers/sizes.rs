@@ -1,0 +1,176 @@
+//! Figure 5 — content-size distributions.
+//!
+//! CDFs of *distinct-object* sizes per site, split into video (5a) and
+//! image (5b). The paper's anchors: most videos exceed 1 MB, P-2 has the
+//! largest videos, and image sizes are **bi-modal** (thumbnails vs
+//! full-resolution pictures ≤ 1 MB).
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::{ContentClass, LogRecord, ObjectId};
+use oat_stats::{Ecdf, LogHistogram};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Size distribution of one (site, class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeDistribution {
+    /// Site code.
+    pub code: String,
+    /// Distinct objects measured.
+    pub objects: u64,
+    /// ECDF over object sizes in bytes.
+    pub ecdf: Ecdf,
+    /// Number of detected size modes (log₂ histogram, smoothed).
+    pub modes: usize,
+}
+
+impl SizeDistribution {
+    /// Median object size in bytes (`None` when empty).
+    pub fn median(&self) -> Option<f64> {
+        self.ecdf.median()
+    }
+
+    /// Fraction of objects larger than 1 MB.
+    pub fn fraction_above_1mb(&self) -> f64 {
+        1.0 - self.ecdf.fraction_at_most(1_000_000.0)
+    }
+
+    /// Whether the distribution is multi-modal (Fig 5b's image claim).
+    pub fn is_bimodal(&self) -> bool {
+        self.modes >= 2
+    }
+}
+
+/// The Figure 5 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeReport {
+    /// Video size distributions per site (Fig 5a).
+    pub video: Vec<SizeDistribution>,
+    /// Image size distributions per site (Fig 5b).
+    pub image: Vec<SizeDistribution>,
+}
+
+impl SizeReport {
+    /// Distribution for one (site, class).
+    pub fn site(&self, code: &str, class: ContentClass) -> Option<&SizeDistribution> {
+        let list = match class {
+            ContentClass::Video => &self.video,
+            ContentClass::Image => &self.image,
+            ContentClass::Other => return None,
+        };
+        list.iter().find(|d| d.code == code)
+    }
+}
+
+/// Streaming analyzer for Figure 5.
+#[derive(Debug)]
+pub struct SizeAnalyzer {
+    map: SiteMap,
+    // site → object → (class, size); first sighting wins.
+    seen: Vec<HashMap<ObjectId, (ContentClass, u64)>>,
+}
+
+impl SizeAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self { map, seen: vec![HashMap::new(); n] }
+    }
+}
+
+impl Analyzer for SizeAnalyzer {
+    type Output = SizeReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        self.seen[site]
+            .entry(record.object)
+            .or_insert((record.content_class(), record.object_size));
+    }
+
+    fn finish(self) -> SizeReport {
+        let mut video = Vec::with_capacity(self.map.len());
+        let mut image = Vec::with_capacity(self.map.len());
+        for (i, publisher) in self.map.publishers().enumerate() {
+            let code = self.map.code(publisher).expect("publisher in map").to_string();
+            for (class, out) in [(ContentClass::Video, &mut video), (ContentClass::Image, &mut image)]
+            {
+                let sizes: Vec<f64> = self.seen[i]
+                    .values()
+                    .filter(|(c, _)| *c == class)
+                    .map(|&(_, s)| s as f64)
+                    .collect();
+                let mut hist = LogHistogram::base2(8, 34).expect("valid range");
+                for &s in &sizes {
+                    hist.add(s);
+                }
+                out.push(SizeDistribution {
+                    code: code.clone(),
+                    objects: sizes.len() as u64,
+                    ecdf: Ecdf::from_samples(sizes),
+                    modes: hist.modes(1, 0.03).len(),
+                });
+            }
+        }
+        SizeReport { video, image }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::{FileFormat, PublisherId};
+
+    fn record(publisher: u16, object: u64, format: FileFormat, size: u64) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            object: ObjectId::new(object),
+            format,
+            object_size: size,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn distinct_objects_measured_once() {
+        let records = vec![
+            record(1, 1, FileFormat::Mp4, 10_000_000),
+            record(1, 1, FileFormat::Mp4, 10_000_000), // duplicate
+            record(1, 2, FileFormat::Mp4, 30_000_000),
+            record(1, 3, FileFormat::Jpg, 20_000),
+        ];
+        let report = run_analyzer(SizeAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1_video = report.site("V-1", ContentClass::Video).unwrap();
+        assert_eq!(v1_video.objects, 2);
+        assert_eq!(v1_video.median(), Some(10_000_000.0));
+        assert_eq!(v1_video.fraction_above_1mb(), 1.0);
+        let v1_image = report.site("V-1", ContentClass::Image).unwrap();
+        assert_eq!(v1_image.objects, 1);
+        assert!(report.site("V-1", ContentClass::Other).is_none());
+    }
+
+    #[test]
+    fn bimodality_detected() {
+        let mut records = Vec::new();
+        for i in 0..300 {
+            records.push(record(3, i, FileFormat::Jpg, 20_000 + (i % 50) * 100));
+            records.push(record(3, 1_000 + i, FileFormat::Jpg, 600_000 + (i % 50) * 2_000));
+        }
+        let report = run_analyzer(SizeAnalyzer::new(SiteMap::paper_five()), &records);
+        let p1 = report.site("P-1", ContentClass::Image).unwrap();
+        assert!(p1.is_bimodal(), "modes: {}", p1.modes);
+    }
+
+    #[test]
+    fn empty_class_is_empty_ecdf() {
+        let report = run_analyzer(SizeAnalyzer::new(SiteMap::paper_five()), &[]);
+        let p2 = report.site("P-2", ContentClass::Video).unwrap();
+        assert_eq!(p2.objects, 0);
+        assert_eq!(p2.median(), None);
+        assert!(!p2.is_bimodal());
+    }
+}

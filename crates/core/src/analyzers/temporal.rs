@@ -1,0 +1,179 @@
+//! Figure 3 — hourly traffic-volume time series in visitors' local time.
+//!
+//! The paper converts timestamps to local timezones and shows that adult
+//! sites do *not* follow the classic 7–11 pm web peak: V-1 peaks in
+//! late-night/early-morning hours.
+
+use super::Analyzer;
+use crate::sitemap::SiteMap;
+use oat_httplog::LogRecord;
+use serde::{Deserialize, Serialize};
+
+/// One site's normalized hourly traffic profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlyProfile {
+    /// Site code.
+    pub code: String,
+    /// Percentage of the site's traffic volume in each local hour
+    /// (sums to 100 when the site has traffic).
+    pub share_pct: [f64; 24],
+    /// Total requests observed.
+    pub total: u64,
+}
+
+impl HourlyProfile {
+    /// The local hour with the largest traffic share.
+    pub fn peak_hour(&self) -> usize {
+        argmax(&self.share_pct)
+    }
+
+    /// The local hour with the smallest traffic share.
+    pub fn trough_hour(&self) -> usize {
+        self.share_pct
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite shares"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Peak-to-trough ratio (`None` when the trough is zero).
+    pub fn peak_to_trough(&self) -> Option<f64> {
+        let trough = self.share_pct[self.trough_hour()];
+        (trough > 0.0).then(|| self.share_pct[self.peak_hour()] / trough)
+    }
+
+    /// Whether the peak falls in late-night/early-morning local hours
+    /// (0–6) — the paper's V-1 signature.
+    pub fn peaks_late_night(&self) -> bool {
+        self.peak_hour() <= 6
+    }
+}
+
+fn argmax(xs: &[f64; 24]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The Figure 3 report: one profile per site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalReport {
+    /// Profiles in reporting order.
+    pub sites: Vec<HourlyProfile>,
+}
+
+impl TemporalReport {
+    /// Profile of one site by code.
+    pub fn site(&self, code: &str) -> Option<&HourlyProfile> {
+        self.sites.iter().find(|s| s.code == code)
+    }
+}
+
+/// Streaming analyzer for Figure 3.
+#[derive(Debug)]
+pub struct TemporalAnalyzer {
+    map: SiteMap,
+    counts: Vec<[u64; 24]>,
+}
+
+impl TemporalAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self { map, counts: vec![[0; 24]; n] }
+    }
+}
+
+impl Analyzer for TemporalAnalyzer {
+    type Output = TemporalReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        self.counts[site][record.local_hour() as usize] += 1;
+    }
+
+    fn finish(self) -> TemporalReport {
+        let sites = self
+            .map
+            .publishers()
+            .enumerate()
+            .map(|(i, publisher)| {
+                let total: u64 = self.counts[i].iter().sum();
+                let mut share_pct = [0.0; 24];
+                if total > 0 {
+                    for (s, &c) in share_pct.iter_mut().zip(&self.counts[i]) {
+                        *s = 100.0 * c as f64 / total as f64;
+                    }
+                }
+                HourlyProfile {
+                    code: self.map.code(publisher).expect("publisher in map").to_string(),
+                    share_pct,
+                    total,
+                }
+            })
+            .collect();
+        TemporalReport { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::PublisherId;
+
+    fn record_at_local_hour(publisher: u16, hour: u64) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            timestamp: hour * 3600,
+            tz_offset_secs: 0,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_hundred() {
+        let records: Vec<LogRecord> =
+            (0..240).map(|i| record_at_local_hour(1, i % 24)).collect();
+        let report = run_analyzer(TemporalAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.total, 240);
+        let sum: f64 = v1.share_pct.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        // Uniform: peak-to-trough is 1.
+        assert!((v1.peak_to_trough().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_detection_with_timezone() {
+        // All requests at 03:00 local via a -5h offset.
+        let records: Vec<LogRecord> = (0..10)
+            .map(|_| LogRecord {
+                publisher: PublisherId::new(1),
+                timestamp: 8 * 3600, // 08:00 UTC
+                tz_offset_secs: -5 * 3600,
+                ..LogRecord::example()
+            })
+            .collect();
+        let report = run_analyzer(TemporalAnalyzer::new(SiteMap::paper_five()), &records);
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.peak_hour(), 3);
+        assert!(v1.peaks_late_night());
+        assert_eq!(v1.peak_to_trough(), None, "empty trough hours");
+    }
+
+    #[test]
+    fn empty_site_all_zero() {
+        let report = run_analyzer(TemporalAnalyzer::new(SiteMap::paper_five()), &[]);
+        let p1 = report.site("P-1").unwrap();
+        assert_eq!(p1.total, 0);
+        assert!(p1.share_pct.iter().all(|&s| s == 0.0));
+    }
+}

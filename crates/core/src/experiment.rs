@@ -1,0 +1,291 @@
+//! End-to-end reproduction runner: synthesize → replay → analyze.
+
+use crate::analyzers::{
+    addiction::{AddictionAnalyzer, AddictionReport},
+    aging::{AgingAnalyzer, AgingReport},
+    cache::{CacheAnalyzer, CacheReport},
+    clustering::{ClusteringAnalyzer, ClusteringConfig, ClusteringReport},
+    composition::{CompositionAnalyzer, CompositionReport},
+    device::{DeviceAnalyzer, DeviceReport},
+    iat::{IatAnalyzer, IatReport},
+    popularity::{PopularityAnalyzer, PopularityReport},
+    response::{ResponseAnalyzer, ResponseReport},
+    sessions::{SessionAnalyzer, SessionReport},
+    sizes::{SizeAnalyzer, SizeReport},
+    temporal::{TemporalAnalyzer, TemporalReport},
+    Analyzer,
+};
+use crate::sitemap::SiteMap;
+use oat_cdnsim::{ServeStats, SimConfig, Simulator};
+use oat_httplog::{ContentClass, LogRecord};
+use oat_workload::{generate, ConfigError, TraceConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for one full reproduction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Workload-generation parameters.
+    pub trace: TraceConfig,
+    /// CDN-simulation parameters.
+    pub sim: SimConfig,
+    /// Clustering parameters (Figs 8–10).
+    pub clustering: ClusteringConfig,
+    /// Which (site, class) pairs to cluster; defaults to the paper's
+    /// V-2 video and P-2 image.
+    pub clustering_targets: Vec<(String, ContentClass)>,
+}
+
+impl ExperimentConfig {
+    /// Laptop-scale defaults (seconds of wall-clock).
+    pub fn small() -> Self {
+        Self {
+            trace: TraceConfig::small(),
+            sim: SimConfig::default_edge(),
+            clustering: ClusteringConfig::default(),
+            clustering_targets: vec![
+                ("V-2".to_string(), ContentClass::Video),
+                ("P-2".to_string(), ContentClass::Image),
+            ],
+        }
+    }
+
+    /// Paper-scale run (~5 M records; minutes of wall-clock). Per-PoP
+    /// capacity is provisioned for the full catalogs.
+    pub fn paper() -> Self {
+        let mut config = Self { trace: TraceConfig::paper_week(), ..Self::small() };
+        config.sim.cache_capacity_bytes = 64_000_000_000;
+        config
+    }
+
+    /// Sets the master seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.trace.seed = seed;
+        self
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Everything the paper's evaluation section reports, for one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Figures 1, 2a, 2b.
+    pub composition: CompositionReport,
+    /// Figure 3.
+    pub temporal: TemporalReport,
+    /// Figure 4.
+    pub devices: DeviceReport,
+    /// Figures 5a, 5b.
+    pub sizes: SizeReport,
+    /// Figures 6a, 6b.
+    pub popularity: PopularityReport,
+    /// Figure 7.
+    pub aging: AgingReport,
+    /// Figures 8–10 (one report per configured target).
+    pub clusterings: Vec<ClusteringReport>,
+    /// Figure 11.
+    pub iat: IatReport,
+    /// Figure 12.
+    pub sessions: SessionReport,
+    /// Figures 13, 14.
+    pub addiction: AddictionReport,
+    /// Figure 15.
+    pub cache: CacheReport,
+    /// Figure 16.
+    pub responses: ResponseReport,
+    /// Records analyzed.
+    pub records: u64,
+    /// Aggregated simulator statistics.
+    pub sim_stats: ServeStats,
+}
+
+/// Error running an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// Invalid workload configuration.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid workload config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for ExperimentError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+/// Runs a full reproduction: generate the trace, replay it through the CDN
+/// simulator, analyze the resulting records.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Config`] if the trace config is invalid.
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult, ExperimentError> {
+    let trace = generate(&config.trace)?;
+    let map = SiteMap::from_profiles(&config.trace.sites);
+    let simulator = Simulator::new(&config.sim);
+    let records = simulator.replay(trace.requests);
+    let sim_stats = simulator.stats();
+    Ok(analyze(
+        &records,
+        &map,
+        config.trace.start_unix,
+        config.trace.duration_secs,
+        &config.clustering,
+        &config.clustering_targets,
+        sim_stats,
+    ))
+}
+
+/// Analyzes an existing record stream (e.g. loaded from disk) with every
+/// figure analyzer in one pass.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze(
+    records: &[LogRecord],
+    map: &SiteMap,
+    trace_start: u64,
+    duration_secs: u64,
+    clustering: &ClusteringConfig,
+    clustering_targets: &[(String, ContentClass)],
+    sim_stats: ServeStats,
+) -> ExperimentResult {
+    let hours = (duration_secs / 3600) as usize;
+    let mut composition = CompositionAnalyzer::new(map.clone());
+    let mut temporal = TemporalAnalyzer::new(map.clone());
+    let mut devices = DeviceAnalyzer::new(map.clone());
+    let mut sizes = SizeAnalyzer::new(map.clone());
+    let mut popularity = PopularityAnalyzer::new(map.clone());
+    let mut aging = AgingAnalyzer::new(map.clone(), (duration_secs / 86_400).max(1) as usize);
+    let mut iat = IatAnalyzer::new(map.clone());
+    let mut sessions = SessionAnalyzer::new(map.clone());
+    let mut addiction = AddictionAnalyzer::new(map.clone());
+    let mut cache = CacheAnalyzer::new(map.clone());
+    let mut responses = ResponseAnalyzer::new(map.clone());
+    let mut clusterers: Vec<ClusteringAnalyzer> = clustering_targets
+        .iter()
+        .filter_map(|(code, class)| {
+            let publisher = map
+                .publishers()
+                .find(|&p| map.code(p) == Some(code.as_str()))?;
+            Some(ClusteringAnalyzer::new(
+                publisher,
+                code.clone(),
+                *class,
+                trace_start,
+                hours,
+                clustering.clone(),
+            ))
+        })
+        .collect();
+
+    // Single streaming pass.
+    for record in records {
+        composition.observe(record);
+        temporal.observe(record);
+        devices.observe(record);
+        sizes.observe(record);
+        popularity.observe(record);
+        aging.observe(record);
+        iat.observe(record);
+        sessions.observe(record);
+        addiction.observe(record);
+        cache.observe(record);
+        responses.observe(record);
+        for c in &mut clusterers {
+            c.observe(record);
+        }
+    }
+
+    ExperimentResult {
+        composition: composition.finish(),
+        temporal: temporal.finish(),
+        devices: devices.finish(),
+        sizes: sizes.finish(),
+        popularity: popularity.finish(),
+        aging: aging.finish(),
+        clusterings: clusterers.into_iter().map(Analyzer::finish).collect(),
+        iat: iat.finish(),
+        sessions: sessions.finish(),
+        addiction: addiction.finish(),
+        cache: cache.finish(),
+        responses: responses.finish(),
+        records: records.len() as u64,
+        sim_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        let mut config = ExperimentConfig::small();
+        config.trace.scale = 0.002;
+        config.trace.catalog_scale = 0.01;
+        config
+    }
+
+    #[test]
+    fn end_to_end_produces_all_figures() {
+        let result = run(&tiny()).unwrap();
+        assert!(result.records > 1_000);
+        assert_eq!(result.composition.sites.len(), 5);
+        assert_eq!(result.temporal.sites.len(), 5);
+        assert_eq!(result.devices.sites.len(), 5);
+        assert_eq!(result.sizes.video.len(), 5);
+        assert_eq!(result.popularity.image.len(), 5);
+        assert_eq!(result.aging.sites.len(), 5);
+        assert_eq!(result.clusterings.len(), 2);
+        assert_eq!(result.iat.sites.len(), 5);
+        assert_eq!(result.sessions.sites.len(), 5);
+        assert_eq!(result.addiction.video.len(), 5);
+        assert_eq!(result.cache.summaries.len(), 5);
+        assert_eq!(result.responses.video.len(), 5);
+        assert_eq!(result.sim_stats.requests, result.records);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&tiny()).unwrap();
+        let b = run(&tiny()).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.composition, b.composition);
+        assert_eq!(a.sessions, b.sessions);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut config = tiny();
+        config.trace.scale = -1.0;
+        let err = run(&config).unwrap_err();
+        assert!(matches!(err, ExperimentError::Config(_)));
+        assert!(err.to_string().contains("invalid workload config"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn unknown_clustering_target_skipped() {
+        let mut config = tiny();
+        config.clustering_targets = vec![("NOPE".to_string(), ContentClass::Video)];
+        let result = run(&config).unwrap();
+        assert!(result.clusterings.is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! CSV export of every figure's plottable series.
+//!
+//! The text [report](crate::report) summarizes each figure; this module
+//! writes the underlying *series* (CDF curves, hourly timeseries, scatter
+//! points, cluster medoids) as one CSV per figure so the plots can be
+//! regenerated with any plotting tool:
+//!
+//! ```text
+//! fig01_objects.csv      fig05a_video_sizes.csv   fig09_medoids_<site>.csv
+//! fig02a_requests.csv    fig05b_image_sizes.csv   fig11_iat.csv ...
+//! ```
+
+use crate::experiment::ExperimentResult;
+use oat_httplog::{ContentClass, HttpStatus};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Number of points sampled per CDF curve.
+const CDF_POINTS: usize = 200;
+
+/// Maximum scatter points exported per (site, class) for Fig 13.
+const MAX_SCATTER: usize = 5_000;
+
+/// Writes every figure's data series as CSV files under `dir`.
+///
+/// Returns the list of files written (relative names).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csvs(result: &ExperimentResult, dir: &Path) -> io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut emit = |name: &str, content: String| -> io::Result<()> {
+        let mut f = std::fs::File::create(dir.join(name))?;
+        f.write_all(content.as_bytes())?;
+        written.push(name.to_string());
+        Ok(())
+    };
+
+    // Fig 1 / 2a / 2b — composition.
+    let mut comp = String::from("site,class,objects,requests,bytes\n");
+    for s in &result.composition.sites {
+        for (i, class) in ["video", "image", "other"].iter().enumerate() {
+            comp.push_str(&format!(
+                "{},{},{},{},{}\n",
+                s.code, class, s.objects[i], s.requests[i], s.bytes[i]
+            ));
+        }
+    }
+    emit("fig01_02_composition.csv", comp)?;
+
+    // Fig 3 — hourly shares.
+    let mut temporal = String::from("site,local_hour,share_pct\n");
+    for s in &result.temporal.sites {
+        for (h, share) in s.share_pct.iter().enumerate() {
+            temporal.push_str(&format!("{},{h},{share:.4}\n", s.code));
+        }
+    }
+    emit("fig03_hourly.csv", temporal)?;
+
+    // Fig 4 — device mix.
+    let mut devices = String::from("site,desktop_pct,android_pct,ios_pct,misc_pct,users\n");
+    for s in &result.devices.sites {
+        devices.push_str(&format!(
+            "{},{:.2},{:.2},{:.2},{:.2},{}\n",
+            s.code, s.user_pct[0], s.user_pct[1], s.user_pct[2], s.user_pct[3], s.users
+        ));
+    }
+    emit("fig04_devices.csv", devices)?;
+
+    // Fig 5 — size CDFs (log-spaced).
+    for (name, list) in [
+        ("fig05a_video_sizes.csv", &result.sizes.video),
+        ("fig05b_image_sizes.csv", &result.sizes.image),
+    ] {
+        let mut csv = String::from("site,size_bytes,cdf\n");
+        for d in list {
+            for (x, f) in d.ecdf.log_curve(CDF_POINTS) {
+                csv.push_str(&format!("{},{x:.1},{f:.6}\n", d.code));
+            }
+        }
+        emit(name, csv)?;
+    }
+
+    // Fig 6 — popularity CDFs.
+    for (name, list) in [
+        ("fig06a_video_popularity.csv", &result.popularity.video),
+        ("fig06b_image_popularity.csv", &result.popularity.image),
+    ] {
+        let mut csv = String::from("site,requests_per_object,cdf\n");
+        for d in list {
+            for (x, f) in d.ecdf.log_curve(CDF_POINTS) {
+                csv.push_str(&format!("{},{x:.2},{f:.6}\n", d.code));
+            }
+        }
+        emit(name, csv)?;
+    }
+
+    // Fig 7 — aging curves.
+    let mut aging = String::from("site,age_days,fraction_requested\n");
+    for s in &result.aging.sites {
+        for (d, f) in s.fraction_by_day.iter().enumerate() {
+            aging.push_str(&format!("{},{},{f:.6}\n", s.code, d + 1));
+        }
+    }
+    emit("fig07_aging.csv", aging)?;
+
+    // Fig 8 — cluster inventory; Fig 9/10 — medoid series.
+    for clustering in &result.clusterings {
+        let tag = clustering.code.to_lowercase().replace('-', "");
+        let mut summary =
+            String::from("cluster,label,size,share\n");
+        for (i, c) in clustering.clusters.iter().enumerate() {
+            summary.push_str(&format!("{i},{},{},{:.4}\n", c.label, c.size, c.share));
+        }
+        emit(&format!("fig08_clusters_{tag}.csv"), summary)?;
+
+        let mut medoids = String::from("cluster,label,hour,medoid,std_dev\n");
+        for (i, c) in clustering.clusters.iter().enumerate() {
+            for (h, (m, s)) in c.medoid.iter().zip(&c.std_dev).enumerate() {
+                medoids.push_str(&format!("{i},{},{h},{m:.6},{s:.6}\n", c.label));
+            }
+        }
+        emit(&format!("fig09_10_medoids_{tag}.csv"), medoids)?;
+    }
+
+    // Fig 11 — IAT CDFs.
+    let mut iat = String::from("site,iat_secs,cdf\n");
+    for s in &result.iat.sites {
+        for (x, f) in s.ecdf.log_curve(CDF_POINTS) {
+            iat.push_str(&format!("{},{x:.2},{f:.6}\n", s.code));
+        }
+    }
+    emit("fig11_iat.csv", iat)?;
+
+    // Fig 12 — session-length CDFs.
+    let mut sessions = String::from("site,session_secs,cdf\n");
+    for s in &result.sessions.sites {
+        for (x, f) in s.ecdf.uniform_curve(CDF_POINTS) {
+            sessions.push_str(&format!("{},{x:.2},{f:.6}\n", s.code));
+        }
+    }
+    emit("fig12_sessions.csv", sessions)?;
+
+    // Fig 13 — scatter points; Fig 14 — per-user CDFs.
+    for (scatter_name, cdf_name, list) in [
+        ("fig13_video_scatter.csv", "fig14_video_per_user.csv", &result.addiction.video),
+        ("fig13_image_scatter.csv", "fig14_image_per_user.csv", &result.addiction.image),
+    ] {
+        let mut scatter = String::from("site,requests,users\n");
+        for d in list {
+            for p in d.points.iter().take(MAX_SCATTER) {
+                scatter.push_str(&format!("{},{},{}\n", d.code, p.requests, p.users));
+            }
+        }
+        emit(scatter_name, scatter)?;
+
+        let mut cdf = String::from("site,max_requests_by_one_user,cdf\n");
+        for d in list {
+            for (x, f) in d.per_user_ecdf.log_curve(CDF_POINTS) {
+                cdf.push_str(&format!("{},{x:.2},{f:.6}\n", d.code));
+            }
+        }
+        emit(cdf_name, cdf)?;
+    }
+
+    // Fig 15 — hit-ratio CDFs + summaries.
+    for (name, list) in [
+        ("fig15_video_hit_ratio.csv", &result.cache.video),
+        ("fig15_image_hit_ratio.csv", &result.cache.image),
+    ] {
+        let mut csv = String::from("site,hit_ratio,cdf\n");
+        for d in list {
+            for (x, f) in d.ecdf.uniform_curve(CDF_POINTS) {
+                csv.push_str(&format!("{},{x:.4},{f:.6}\n", d.code));
+            }
+        }
+        emit(name, csv)?;
+    }
+    let mut summary = String::from("site,overall_hit_ratio,popularity_correlation\n");
+    for s in &result.cache.summaries {
+        summary.push_str(&format!(
+            "{},{},{}\n",
+            s.code,
+            s.overall_hit_ratio.map_or(String::new(), |r| format!("{r:.4}")),
+            s.popularity_correlation.map_or(String::new(), |c| format!("{c:.4}")),
+        ));
+    }
+    emit("fig15_summary.csv", summary)?;
+
+    // Fig 16 — response-code counts.
+    let mut responses = String::from("site,class,status,count\n");
+    for (class, list) in [
+        (ContentClass::Video, &result.responses.video),
+        (ContentClass::Image, &result.responses.image),
+    ] {
+        for d in list {
+            for status in HttpStatus::FIGURE_16 {
+                responses.push_str(&format!(
+                    "{},{},{},{}\n",
+                    d.code,
+                    class,
+                    status.code(),
+                    d.count(status)
+                ));
+            }
+        }
+    }
+    emit("fig16_responses.csv", responses)?;
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run, ExperimentConfig};
+
+    fn result() -> ExperimentResult {
+        let mut config = ExperimentConfig::small();
+        config.trace.scale = 0.002;
+        config.trace.catalog_scale = 0.01;
+        run(&config).expect("valid config")
+    }
+
+    #[test]
+    fn writes_a_csv_per_figure() {
+        let dir = std::env::temp_dir().join("oat-export-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let files = write_csvs(&result(), &dir).expect("export");
+        // 16 figures → at least 17 files (clusterings add two each).
+        assert!(files.len() >= 17, "got {files:?}");
+        for prefix in [
+            "fig01", "fig03", "fig04", "fig05a", "fig05b", "fig06a", "fig06b", "fig07",
+            "fig08", "fig09_10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+        ] {
+            assert!(
+                files.iter().any(|f| f.starts_with(prefix)),
+                "missing {prefix} in {files:?}"
+            );
+        }
+        // Every file exists, has a header and at least one data row.
+        for f in &files {
+            let content = std::fs::read_to_string(dir.join(f)).expect("read back");
+            let lines: Vec<&str> = content.lines().collect();
+            assert!(lines.len() >= 2, "{f} has no data rows");
+            assert!(lines[0].contains(','), "{f} header malformed");
+            let columns = lines[0].split(',').count();
+            for line in &lines[1..] {
+                assert_eq!(line.split(',').count(), columns, "{f}: ragged row {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_columns_are_monotone() {
+        let dir = std::env::temp_dir().join("oat-export-monotone");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_csvs(&result(), &dir).expect("export");
+        let content =
+            std::fs::read_to_string(dir.join("fig11_iat.csv")).expect("read fig11");
+        let mut last: std::collections::HashMap<String, f64> = Default::default();
+        for line in content.lines().skip(1) {
+            let mut parts = line.split(',');
+            let site = parts.next().expect("site").to_string();
+            let _x: f64 = parts.next().expect("x").parse().expect("x value");
+            let f: f64 = parts.next().expect("cdf").parse().expect("cdf value");
+            let prev = last.insert(site.clone(), f).unwrap_or(0.0);
+            assert!(f >= prev - 1e-9, "{site}: CDF must be monotone");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The analysis pipeline of the ICDCS 2016 online-adult-traffic study.
+//!
+//! This crate is the paper's primary contribution rebuilt as a library:
+//! given a stream of CDN [`LogRecord`](oat_httplog::LogRecord)s it
+//! reproduces every figure in the evaluation —
+//!
+//! | Figures | Analyzer |
+//! |---------|----------|
+//! | 1, 2a, 2b | [`analyzers::composition`] |
+//! | 3 | [`analyzers::temporal`] |
+//! | 4 | [`analyzers::device`] |
+//! | 5a, 5b | [`analyzers::sizes`] |
+//! | 6a, 6b | [`analyzers::popularity`] |
+//! | 7 | [`analyzers::aging`] |
+//! | 8, 9, 10 | [`analyzers::clustering`] |
+//! | 11 | [`analyzers::iat`] |
+//! | 12 | [`analyzers::sessions`] |
+//! | 13, 14 | [`analyzers::addiction`] |
+//! | 15 | [`analyzers::cache`] |
+//! | 16 | [`analyzers::response`] |
+//!
+//! [`experiment::run`] wires the whole reproduction end-to-end: synthesize
+//! a trace (`oat-workload`), replay it through the CDN (`oat-cdnsim`), and
+//! run every analyzer in a single streaming pass. [`report`] renders each
+//! figure's data as text tables for the `repro` harness.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use oat_core::experiment::{run, ExperimentConfig};
+//!
+//! let result = run(&ExperimentConfig::small())?;
+//! println!("{}", oat_core::report::render_all(&result));
+//! # Ok::<(), oat_core::experiment::ExperimentError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analyzers;
+pub mod experiment;
+pub mod export;
+pub mod report;
+pub mod sitemap;
+
+pub use analyzers::Analyzer;
+pub use experiment::{run, ExperimentConfig, ExperimentResult};
+pub use sitemap::SiteMap;

@@ -1,0 +1,397 @@
+//! Text rendering of every figure's data series.
+//!
+//! The `repro` harness prints these tables; `EXPERIMENTS.md` embeds them
+//! next to the paper's reported shapes.
+
+use crate::analyzers::{
+    addiction::AddictionReport, aging::AgingReport, cache::CacheReport,
+    clustering::ClusteringReport, composition::CompositionReport, device::DeviceReport,
+    iat::IatReport, popularity::PopularityReport, response::ResponseReport,
+    sessions::SessionReport, sizes::SizeReport, temporal::TemporalReport,
+};
+use crate::experiment::ExperimentResult;
+use oat_httplog::{ContentClass, HttpStatus};
+use std::fmt::Write as _;
+
+/// Formats a byte count with binary-ish engineering units.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1000.0 && unit + 1 < UNITS.len() {
+        value /= 1000.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Formats a duration in seconds as `s` / `min` / `h`.
+pub fn human_secs(secs: f64) -> String {
+    if secs < 60.0 {
+        format!("{secs:.0} s")
+    } else if secs < 3600.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else {
+        format!("{:.1} h", secs / 3600.0)
+    }
+}
+
+/// Figure 1 + 2: composition tables.
+pub fn render_composition(report: &CompositionReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 1/2 — composition (objects | requests | bytes), per class [video image other]"
+    );
+    let _ = writeln!(
+        out,
+        "{:<5} {:>27} {:>27} {:>31}",
+        "site", "objects v/i/o", "requests v/i/o", "bytes v/i/o"
+    );
+    for s in &report.sites {
+        let _ = writeln!(
+            out,
+            "{:<5} {:>8} {:>8} {:>8}  {:>8} {:>8} {:>8}  {:>10} {:>9} {:>9}",
+            s.code,
+            s.objects[0],
+            s.objects[1],
+            s.objects[2],
+            s.requests[0],
+            s.requests[1],
+            s.requests[2],
+            human_bytes(s.bytes[0]),
+            human_bytes(s.bytes[1]),
+            human_bytes(s.bytes[2]),
+        );
+    }
+    out
+}
+
+/// Figure 3: hourly traffic shares.
+pub fn render_temporal(report: &TemporalReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 3 — hourly traffic share (% of site volume, local time)");
+    let _ = writeln!(out, "{:<5} {:>9} {:>11} {:>15} {:>11}", "site", "peak hour", "trough hour", "peak/trough", "late-night?");
+    for s in &report.sites {
+        let _ = writeln!(
+            out,
+            "{:<5} {:>9} {:>11} {:>15} {:>11}",
+            s.code,
+            s.peak_hour(),
+            s.trough_hour(),
+            s.peak_to_trough().map_or("-".to_string(), |r| format!("{r:.2}")),
+            if s.peaks_late_night() { "yes" } else { "no" },
+        );
+    }
+    out
+}
+
+/// Figure 4: device mixes.
+pub fn render_devices(report: &DeviceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 4 — device mix (% of users)");
+    let _ = writeln!(out, "{:<5} {:>8} {:>8} {:>6} {:>6} {:>8}", "site", "desktop", "android", "ios", "misc", "users");
+    for s in &report.sites {
+        let _ = writeln!(
+            out,
+            "{:<5} {:>7.1}% {:>7.1}% {:>5.1}% {:>5.1}% {:>8}",
+            s.code, s.user_pct[0], s.user_pct[1], s.user_pct[2], s.user_pct[3], s.users
+        );
+    }
+    out
+}
+
+/// Figure 5: size distributions.
+pub fn render_sizes(report: &SizeReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 5 — content sizes");
+    for (label, list) in [("5a video", &report.video), ("5b image", &report.image)] {
+        let _ = writeln!(out, "  [{label}]");
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>8} {:>12} {:>9} {:>7}",
+            "site", "objects", "median", ">1MB", "modes"
+        );
+        for d in list {
+            let _ = writeln!(
+                out,
+                "  {:<5} {:>8} {:>12} {:>8.1}% {:>7}",
+                d.code,
+                d.objects,
+                d.median().map_or("-".to_string(), |m| human_bytes(m as u64)),
+                100.0 * d.fraction_above_1mb(),
+                d.modes,
+            );
+        }
+    }
+    out
+}
+
+/// Figure 6: popularity distributions.
+pub fn render_popularity(report: &PopularityReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 6 — content popularity (requests per object)");
+    for (label, list) in [("6a video", &report.video), ("6b image", &report.image)] {
+        let _ = writeln!(out, "  [{label}]");
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>8} {:>9} {:>11} {:>9} {:>11} {:>7}",
+            "site", "objects", "requests", "zipf alpha", "fit R2", "top10% req", "gini"
+        );
+        for d in list {
+            let _ = writeln!(
+                out,
+                "  {:<5} {:>8} {:>9} {:>11} {:>9} {:>10.1}% {:>7}",
+                d.code,
+                d.objects,
+                d.requests,
+                d.zipf.map_or("-".to_string(), |z| format!("{:.2}", z.alpha)),
+                d.zipf.map_or("-".to_string(), |z| format!("{:.3}", z.r_squared)),
+                100.0 * d.top_decile_share.unwrap_or(0.0),
+                d.gini.map_or("-".to_string(), |g| format!("{g:.2}")),
+            );
+        }
+    }
+    out
+}
+
+/// Figure 7: content aging.
+pub fn render_aging(report: &AgingReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 7 — fraction of objects requested at age >= d days");
+    let days = report.sites.iter().map(|s| s.fraction_by_day.len()).max().unwrap_or(0);
+    let header: String = (1..=days).map(|d| format!("{d:>6}")).collect();
+    let _ = writeln!(out, "{:<5}{header}", "site");
+    for s in &report.sites {
+        let row: String = s.fraction_by_day.iter().map(|f| format!("{f:>6.2}")).collect();
+        let _ = writeln!(out, "{:<5}{row}", s.code);
+    }
+    out
+}
+
+/// Figures 8–10: clustering summary.
+pub fn render_clustering(report: &ClusteringReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 8-10 — {} {} popularity clusters ({} objects clustered)",
+        report.code, report.class, report.clustered_objects
+    );
+    let _ = writeln!(out, "  {:<12} {:>6} {:>8}", "label", "size", "share");
+    for c in &report.clusters {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>6} {:>7.0}%",
+            c.label.to_string(),
+            c.size,
+            100.0 * c.share
+        );
+    }
+    if let Some(last) = report.merges.last() {
+        let _ = writeln!(out, "  dendrogram root distance: {:.3}", last.distance);
+    }
+    if let Some(s) = report.silhouette {
+        let _ = writeln!(out, "  silhouette: {s:.3}");
+    }
+    out
+}
+
+/// Figure 11: inter-arrival times.
+pub fn render_iat(report: &IatReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 11 — user request inter-arrival times");
+    let _ = writeln!(out, "{:<5} {:>10} {:>10} {:>10}", "site", "p25", "median", "p75");
+    for s in &report.sites {
+        let q = |p: f64| {
+            s.ecdf
+                .quantile(p)
+                .map_or("-".to_string(), human_secs)
+        };
+        let _ = writeln!(out, "{:<5} {:>10} {:>10} {:>10}", s.code, q(0.25), q(0.5), q(0.75));
+    }
+    out
+}
+
+/// Figure 12: session lengths.
+pub fn render_sessions(report: &SessionReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 12 — session lengths ({}s idle timeout)",
+        report.timeout_secs
+    );
+    let _ = writeln!(
+        out,
+        "{:<5} {:>10} {:>10} {:>10} {:>10}",
+        "site", "sessions", "median", "p90", "req/sess"
+    );
+    for s in &report.sites {
+        let q = |p: f64| s.ecdf.quantile(p).map_or("-".to_string(), human_secs);
+        let _ = writeln!(
+            out,
+            "{:<5} {:>10} {:>10} {:>10} {:>10.2}",
+            s.code,
+            s.sessions,
+            q(0.5),
+            q(0.9),
+            s.mean_requests
+        );
+    }
+    out
+}
+
+/// Figures 13–14: addiction.
+pub fn render_addiction(report: &AddictionReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 13/14 — repeated access by single users, per object");
+    for (label, list) in [("video", &report.video), ("image", &report.image)] {
+        let _ = writeln!(out, "  [{label}]");
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>8} {:>13} {:>10} {:>10}",
+            "site", "objects", ">10 by 1 user", "max/user", "max ratio"
+        );
+        for d in list {
+            let _ = writeln!(
+                out,
+                "  {:<5} {:>8} {:>12.1}% {:>10} {:>10}",
+                d.code,
+                d.points.len(),
+                100.0 * d.fraction_above(10.0),
+                d.max_by_one_user().map_or("-".to_string(), |m| format!("{m:.0}")),
+                d.max_ratio().map_or("-".to_string(), |m| format!("{m:.1}")),
+            );
+        }
+    }
+    out
+}
+
+/// Figure 15: cache hit ratios.
+pub fn render_cache(report: &CacheReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 15 — CDN cache hit ratios");
+    let _ = writeln!(
+        out,
+        "{:<5} {:>9} {:>12} {:>12} {:>10}",
+        "site", "overall", "video mean", "image mean", "pop corr"
+    );
+    for s in &report.summaries {
+        let video = report
+            .site(&s.code, ContentClass::Video)
+            .and_then(HitRatioMean::mean_of);
+        let image = report
+            .site(&s.code, ContentClass::Image)
+            .and_then(HitRatioMean::mean_of);
+        let _ = writeln!(
+            out,
+            "{:<5} {:>9} {:>12} {:>12} {:>10}",
+            s.code,
+            s.overall_hit_ratio.map_or("-".to_string(), |r| format!("{:.1}%", 100.0 * r)),
+            video.map_or("-".to_string(), |r| format!("{:.2}", r)),
+            image.map_or("-".to_string(), |r| format!("{:.2}", r)),
+            s.popularity_correlation.map_or("-".to_string(), |c| format!("{c:.2}")),
+        );
+    }
+    out
+}
+
+/// Helper trait-object-free adaptor for hit-ratio means.
+struct HitRatioMean;
+
+impl HitRatioMean {
+    fn mean_of(d: &crate::analyzers::cache::HitRatioDistribution) -> Option<f64> {
+        d.mean()
+    }
+}
+
+/// Figure 16: response codes.
+pub fn render_responses(report: &ResponseReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 16 — HTTP response codes");
+    for (label, list) in [("16a video", &report.video), ("16b image", &report.image)] {
+        let _ = writeln!(out, "  [{label}]");
+        let mut header = format!("  {:<5}", "site");
+        for s in HttpStatus::FIGURE_16 {
+            let _ = write!(header, "{:>9}", s.code());
+        }
+        let _ = writeln!(out, "{header}");
+        for d in list {
+            let mut row = format!("  {:<5}", d.code);
+            for s in HttpStatus::FIGURE_16 {
+                let _ = write!(row, "{:>9}", d.count(s));
+            }
+            let _ = writeln!(out, "{row}");
+        }
+    }
+    out
+}
+
+/// Renders every figure of an experiment, in paper order.
+pub fn render_all(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== oat reproduction: {} records analyzed ===\n",
+        result.records
+    );
+    out.push_str(&render_composition(&result.composition));
+    out.push('\n');
+    out.push_str(&render_temporal(&result.temporal));
+    out.push('\n');
+    out.push_str(&render_devices(&result.devices));
+    out.push('\n');
+    out.push_str(&render_sizes(&result.sizes));
+    out.push('\n');
+    out.push_str(&render_popularity(&result.popularity));
+    out.push('\n');
+    out.push_str(&render_aging(&result.aging));
+    out.push('\n');
+    for c in &result.clusterings {
+        out.push_str(&render_clustering(c));
+        out.push('\n');
+    }
+    out.push_str(&render_iat(&result.iat));
+    out.push('\n');
+    out.push_str(&render_sessions(&result.sessions));
+    out.push('\n');
+    out.push_str(&render_addiction(&result.addiction));
+    out.push('\n');
+    out.push_str(&render_cache(&result.cache));
+    out.push('\n');
+    out.push_str(&render_responses(&result.responses));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_bytes(12), "12 B");
+        assert_eq!(human_bytes(1_500), "1.5 KB");
+        assert_eq!(human_bytes(258_000_000_000), "258.0 GB");
+        assert_eq!(human_secs(30.0), "30 s");
+        assert_eq!(human_secs(90.0), "1.5 min");
+        assert_eq!(human_secs(7_200.0), "2.0 h");
+    }
+
+    #[test]
+    fn render_all_mentions_every_figure() {
+        let mut config = crate::experiment::ExperimentConfig::small();
+        config.trace.scale = 0.002;
+        config.trace.catalog_scale = 0.01;
+        let result = crate::experiment::run(&config).unwrap();
+        let text = render_all(&result);
+        for needle in [
+            "Fig 1/2", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 7", "Fig 8-10", "Fig 11",
+            "Fig 12", "Fig 13/14", "Fig 15", "Fig 16", "V-1", "V-2", "P-1", "P-2", "S-1",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in report:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Publisher-id ↔ site-code mapping.
+
+use oat_httplog::PublisherId;
+use oat_workload::SiteProfile;
+use serde::{Deserialize, Serialize};
+
+/// Maps anonymized publisher ids to human-readable site codes
+/// (`V-1`, `P-2`, …) and fixes the per-site reporting order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteMap {
+    entries: Vec<(PublisherId, String)>,
+}
+
+impl SiteMap {
+    /// Builds a map from site profiles, preserving their order.
+    pub fn from_profiles(profiles: &[SiteProfile]) -> Self {
+        Self {
+            entries: profiles
+                .iter()
+                .map(|p| (p.publisher, p.code.clone()))
+                .collect(),
+        }
+    }
+
+    /// The paper's five sites.
+    pub fn paper_five() -> Self {
+        Self::from_profiles(&SiteProfile::paper_five())
+    }
+
+    /// Publisher ids in reporting order.
+    pub fn publishers(&self) -> impl Iterator<Item = PublisherId> + '_ {
+        self.entries.iter().map(|(id, _)| *id)
+    }
+
+    /// Site code for a publisher, if known.
+    pub fn code(&self, publisher: PublisherId) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(id, _)| *id == publisher)
+            .map(|(_, code)| code.as_str())
+    }
+
+    /// Dense index of a publisher in reporting order, if known.
+    pub fn index(&self, publisher: PublisherId) -> Option<usize> {
+        self.entries.iter().position(|(id, _)| *id == publisher)
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_five_mapping() {
+        let map = SiteMap::paper_five();
+        assert_eq!(map.len(), 5);
+        assert!(!map.is_empty());
+        assert_eq!(map.code(PublisherId::new(1)), Some("V-1"));
+        assert_eq!(map.code(PublisherId::new(5)), Some("S-1"));
+        assert_eq!(map.code(PublisherId::new(99)), None);
+        assert_eq!(map.index(PublisherId::new(3)), Some(2));
+        assert_eq!(map.index(PublisherId::new(99)), None);
+        let ids: Vec<u16> = map.publishers().map(|p| p.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Compact length-prefixed binary codec.
+//!
+//! Layout (little-endian), one frame per record:
+//!
+//! ```text
+//! u8   version (currently 1)
+//! u64  timestamp
+//! u16  publisher
+//! u64  object
+//! u8   format code
+//! u64  object_size
+//! u64  bytes_served
+//! u64  user
+//! u8   cache status (0 = MISS, 1 = HIT)
+//! u16  http status
+//! u16  pop
+//! i32  tz_offset_secs
+//! u16  user-agent byte length, then that many UTF-8 bytes
+//! ```
+
+use crate::content::FileFormat;
+use crate::ids::{ObjectId, PopId, PublisherId, UserId};
+use crate::record::LogRecord;
+use crate::status::{CacheStatus, HttpStatus};
+use bytes::{Buf, BufMut};
+
+/// Current frame version.
+pub const VERSION: u8 = 1;
+
+/// Fixed-size portion of a frame (everything but the UA bytes).
+const FIXED_LEN: usize = 1 + 8 + 2 + 8 + 1 + 8 + 8 + 8 + 1 + 2 + 2 + 4 + 2;
+
+/// Encodes one record into `buf`.
+///
+/// # Errors
+///
+/// Returns [`BinaryEncodeError::UserAgentTooLong`] when the UA exceeds
+/// `u16::MAX` bytes.
+pub fn encode<B: BufMut>(record: &LogRecord, buf: &mut B) -> Result<(), BinaryEncodeError> {
+    let ua = record.user_agent.as_bytes();
+    let ua_len = u16::try_from(ua.len())
+        .map_err(|_| BinaryEncodeError::UserAgentTooLong { len: ua.len() })?;
+    buf.put_u8(VERSION);
+    buf.put_u64_le(record.timestamp);
+    buf.put_u16_le(record.publisher.raw());
+    buf.put_u64_le(record.object.raw());
+    buf.put_u8(format_code(record.format));
+    buf.put_u64_le(record.object_size);
+    buf.put_u64_le(record.bytes_served);
+    buf.put_u64_le(record.user.raw());
+    buf.put_u8(if record.cache_status.is_hit() { 1 } else { 0 });
+    buf.put_u16_le(record.status.code());
+    buf.put_u16_le(record.pop.raw());
+    buf.put_i32_le(record.tz_offset_secs);
+    buf.put_u16_le(ua_len);
+    buf.put_slice(ua);
+    Ok(())
+}
+
+/// Decodes one record from `buf`, advancing it past the frame.
+///
+/// # Errors
+///
+/// Returns [`BinaryDecodeError`] on truncation, version mismatch, or invalid
+/// field encodings.
+pub fn decode<B: Buf>(buf: &mut B) -> Result<LogRecord, BinaryDecodeError> {
+    if buf.remaining() < FIXED_LEN {
+        return Err(BinaryDecodeError::Truncated);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(BinaryDecodeError::UnsupportedVersion { version });
+    }
+    let timestamp = buf.get_u64_le();
+    let publisher = PublisherId::new(buf.get_u16_le());
+    let object = ObjectId::new(buf.get_u64_le());
+    let format_raw = buf.get_u8();
+    let format =
+        format_from_code(format_raw).ok_or(BinaryDecodeError::InvalidFormat { code: format_raw })?;
+    let object_size = buf.get_u64_le();
+    let bytes_served = buf.get_u64_le();
+    let user = UserId::new(buf.get_u64_le());
+    let cache_raw = buf.get_u8();
+    let cache_status = match cache_raw {
+        0 => CacheStatus::Miss,
+        1 => CacheStatus::Hit,
+        other => return Err(BinaryDecodeError::InvalidCacheStatus { value: other }),
+    };
+    let status_raw = buf.get_u16_le();
+    let status = HttpStatus::new(status_raw)
+        .map_err(|_| BinaryDecodeError::InvalidStatus { code: status_raw })?;
+    let pop = PopId::new(buf.get_u16_le());
+    let tz_offset_secs = buf.get_i32_le();
+    let ua_len = buf.get_u16_le() as usize;
+    if buf.remaining() < ua_len {
+        return Err(BinaryDecodeError::Truncated);
+    }
+    let mut ua_bytes = vec![0u8; ua_len];
+    buf.copy_to_slice(&mut ua_bytes);
+    let user_agent = String::from_utf8(ua_bytes).map_err(|_| BinaryDecodeError::InvalidUtf8)?;
+    Ok(LogRecord {
+        timestamp,
+        publisher,
+        object,
+        format,
+        object_size,
+        bytes_served,
+        user,
+        user_agent,
+        cache_status,
+        status,
+        pop,
+        tz_offset_secs,
+    })
+}
+
+/// Stable wire code for a format (its index in [`FileFormat::ALL`]).
+pub fn format_code(format: FileFormat) -> u8 {
+    FileFormat::ALL
+        .iter()
+        .position(|&f| f == format)
+        .expect("every format is in ALL") as u8
+}
+
+/// Inverse of [`format_code`].
+pub fn format_from_code(code: u8) -> Option<FileFormat> {
+    FileFormat::ALL.get(code as usize).copied()
+}
+
+/// Error encoding a binary frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryEncodeError {
+    /// The user-agent string exceeds the u16 length prefix.
+    UserAgentTooLong {
+        /// Actual UA byte length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for BinaryEncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UserAgentTooLong { len } => {
+                write!(f, "user-agent of {len} bytes exceeds the 65535-byte frame limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinaryEncodeError {}
+
+/// Error decoding a binary frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryDecodeError {
+    /// The buffer ended mid-frame.
+    Truncated,
+    /// Unknown frame version byte.
+    UnsupportedVersion {
+        /// The version byte found.
+        version: u8,
+    },
+    /// Unknown file-format code.
+    InvalidFormat {
+        /// The code found.
+        code: u8,
+    },
+    /// Cache-status byte was neither 0 nor 1.
+    InvalidCacheStatus {
+        /// The byte found.
+        value: u8,
+    },
+    /// HTTP status outside `100..=599`.
+    InvalidStatus {
+        /// The code found.
+        code: u16,
+    },
+    /// The user-agent bytes were not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for BinaryDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => f.write_str("frame truncated"),
+            Self::UnsupportedVersion { version } => write!(f, "unsupported version {version}"),
+            Self::InvalidFormat { code } => write!(f, "invalid format code {code}"),
+            Self::InvalidCacheStatus { value } => write!(f, "invalid cache-status byte {value}"),
+            Self::InvalidStatus { code } => write!(f, "invalid http status {code}"),
+            Self::InvalidUtf8 => f.write_str("user-agent is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for BinaryDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn roundtrip_example() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let mut slice = buf.freeze();
+        assert_eq!(decode(&mut slice).unwrap(), r);
+        assert!(!slice.has_remaining());
+    }
+
+    #[test]
+    fn multiple_frames_stream() {
+        let mut records = Vec::new();
+        for i in 0..10u64 {
+            let mut r = LogRecord::example();
+            r.timestamp += i;
+            r.user_agent = format!("agent-{i}");
+            records.push(r);
+        }
+        let mut buf = BytesMut::new();
+        for r in &records {
+            encode(r, &mut buf).unwrap();
+        }
+        let mut slice = buf.freeze();
+        for r in &records {
+            assert_eq!(&decode(&mut slice).unwrap(), r);
+        }
+        assert!(!slice.has_remaining());
+    }
+
+    #[test]
+    fn truncated_fixed_part() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let mut short = buf.freeze().slice(0..10);
+        assert_eq!(decode(&mut short).unwrap_err(), BinaryDecodeError::Truncated);
+    }
+
+    #[test]
+    fn truncated_ua() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let full = buf.freeze();
+        let mut short = full.slice(0..full.len() - 5);
+        assert_eq!(decode(&mut short).unwrap_err(), BinaryDecodeError::Truncated);
+    }
+
+    #[test]
+    fn version_mismatch() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let mut bytes = buf.to_vec();
+        bytes[0] = 99;
+        let mut slice = &bytes[..];
+        assert_eq!(
+            decode(&mut slice).unwrap_err(),
+            BinaryDecodeError::UnsupportedVersion { version: 99 }
+        );
+    }
+
+    #[test]
+    fn invalid_cache_byte() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let mut bytes = buf.to_vec();
+        // Cache byte offset: 1+8+2+8+1+8+8+8 = 44.
+        bytes[44] = 7;
+        let mut slice = &bytes[..];
+        assert_eq!(
+            decode(&mut slice).unwrap_err(),
+            BinaryDecodeError::InvalidCacheStatus { value: 7 }
+        );
+    }
+
+    #[test]
+    fn invalid_format_code() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let mut bytes = buf.to_vec();
+        // Format byte offset: 1+8+2+8 = 19.
+        bytes[19] = 200;
+        let mut slice = &bytes[..];
+        assert_eq!(
+            decode(&mut slice).unwrap_err(),
+            BinaryDecodeError::InvalidFormat { code: 200 }
+        );
+    }
+
+    #[test]
+    fn ua_too_long() {
+        let mut r = LogRecord::example();
+        r.user_agent = "x".repeat(70_000);
+        let mut buf = BytesMut::new();
+        assert_eq!(
+            encode(&r, &mut buf).unwrap_err(),
+            BinaryEncodeError::UserAgentTooLong { len: 70_000 }
+        );
+    }
+
+    #[test]
+    fn format_codes_are_stable_and_total() {
+        for f in FileFormat::ALL {
+            assert_eq!(format_from_code(format_code(f)), Some(f));
+        }
+        assert_eq!(format_from_code(255), None);
+        // Stability anchor: Flv is code 0, Bin is the last code.
+        assert_eq!(format_code(FileFormat::Flv), 0);
+        assert_eq!(format_code(FileFormat::Bin), FileFormat::ALL.len() as u8 - 1);
+    }
+
+    #[test]
+    fn binary_smaller_than_text() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let text = crate::codec::text::encode(&r);
+        assert!(buf.len() < text.len());
+    }
+}

@@ -1,0 +1,313 @@
+//! Tab-separated text codec.
+//!
+//! One record per line, 12 tab-separated fields:
+//!
+//! ```text
+//! timestamp  publisher  object(hex)  format  object_size  bytes_served
+//! user(hex)  user_agent(escaped)  cache  status  pop  tz_offset
+//! ```
+//!
+//! The user-agent field escapes backslash, tab, newline and carriage return
+//! so a record always occupies exactly one line.
+
+use crate::content::FileFormat;
+use crate::ids::{ObjectId, PopId, PublisherId, UserId};
+use crate::record::LogRecord;
+use crate::status::{CacheStatus, HttpStatus};
+
+const FIELD_COUNT: usize = 12;
+
+/// Encodes a record as a single line (no trailing newline).
+///
+/// # Example
+///
+/// ```
+/// use oat_httplog::codec::text;
+/// use oat_httplog::LogRecord;
+///
+/// let line = text::encode(&LogRecord::example());
+/// assert_eq!(line.split('\t').count(), 12);
+/// ```
+pub fn encode(record: &LogRecord) -> String {
+    let mut out = String::with_capacity(96 + record.user_agent.len());
+    encode_into(record, &mut out);
+    out
+}
+
+/// Encodes a record, appending to `out` (no trailing newline).
+pub fn encode_into(record: &LogRecord, out: &mut String) {
+    use std::fmt::Write as _;
+    write!(
+        out,
+        "{}\t{}\t{:016x}\t{}\t{}\t{}\t{:016x}\t",
+        record.timestamp,
+        record.publisher.raw(),
+        record.object.raw(),
+        record.format.extension(),
+        record.object_size,
+        record.bytes_served,
+        record.user.raw(),
+    )
+    .expect("writing to String cannot fail");
+    escape_into(&record.user_agent, out);
+    write!(
+        out,
+        "\t{}\t{}\t{}\t{}",
+        record.cache_status.as_str(),
+        record.status.code(),
+        record.pop.raw(),
+        record.tz_offset_secs,
+    )
+    .expect("writing to String cannot fail");
+}
+
+/// Decodes one line (without trailing newline).
+///
+/// # Errors
+///
+/// Returns [`TextDecodeError`] describing the first malformed field.
+pub fn decode(line: &str) -> Result<LogRecord, TextDecodeError> {
+    let mut fields = line.split('\t');
+    let mut next = |name: &'static str| {
+        fields
+            .next()
+            .ok_or(TextDecodeError::MissingField { field: name })
+    };
+
+    let timestamp = parse_u64(next("timestamp")?, "timestamp")?;
+    let publisher = PublisherId::new(parse_u16(next("publisher")?, "publisher")?);
+    let object = ObjectId::new(parse_hex64(next("object")?, "object")?);
+    let format = FileFormat::from_extension(next("format")?);
+    let object_size = parse_u64(next("object_size")?, "object_size")?;
+    let bytes_served = parse_u64(next("bytes_served")?, "bytes_served")?;
+    let user = UserId::new(parse_hex64(next("user")?, "user")?);
+    let user_agent = unescape(next("user_agent")?);
+    let cache_token = next("cache_status")?;
+    let cache_status = CacheStatus::from_str_token(cache_token).ok_or_else(|| {
+        TextDecodeError::InvalidField { field: "cache_status", value: cache_token.to_string() }
+    })?;
+    let status_raw = parse_u16(next("status")?, "status")?;
+    let status = HttpStatus::new(status_raw).map_err(|_| TextDecodeError::InvalidField {
+        field: "status",
+        value: status_raw.to_string(),
+    })?;
+    let pop = PopId::new(parse_u16(next("pop")?, "pop")?);
+    let tz_field = next("tz_offset")?;
+    let tz_offset_secs = tz_field
+        .parse::<i32>()
+        .map_err(|_| TextDecodeError::InvalidField { field: "tz_offset", value: tz_field.to_string() })?;
+
+    if fields.next().is_some() {
+        return Err(TextDecodeError::TooManyFields { expected: FIELD_COUNT });
+    }
+
+    Ok(LogRecord {
+        timestamp,
+        publisher,
+        object,
+        format,
+        object_size,
+        bytes_served,
+        user,
+        user_agent,
+        cache_status,
+        status,
+        pop,
+        tz_offset_secs,
+    })
+}
+
+fn parse_u64(s: &str, field: &'static str) -> Result<u64, TextDecodeError> {
+    s.parse()
+        .map_err(|_| TextDecodeError::InvalidField { field, value: s.to_string() })
+}
+
+fn parse_u16(s: &str, field: &'static str) -> Result<u16, TextDecodeError> {
+    s.parse()
+        .map_err(|_| TextDecodeError::InvalidField { field, value: s.to_string() })
+}
+
+fn parse_hex64(s: &str, field: &'static str) -> Result<u64, TextDecodeError> {
+    u64::from_str_radix(s, 16)
+        .map_err(|_| TextDecodeError::InvalidField { field, value: s.to_string() })
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                // Unknown escape: preserve verbatim.
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Error decoding a text-format line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextDecodeError {
+    /// The line ended before this field.
+    MissingField {
+        /// Name of the missing field.
+        field: &'static str,
+    },
+    /// A field failed to parse.
+    InvalidField {
+        /// Name of the malformed field.
+        field: &'static str,
+        /// The offending raw value.
+        value: String,
+    },
+    /// The line had more fields than the format defines.
+    TooManyFields {
+        /// The expected field count.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for TextDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingField { field } => write!(f, "missing field `{field}`"),
+            Self::InvalidField { field, value } => {
+                write!(f, "invalid value {value:?} for field `{field}`")
+            }
+            Self::TooManyFields { expected } => {
+                write!(f, "more than {expected} fields on line")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TextDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_example() {
+        let r = LogRecord::example();
+        let line = encode(&r);
+        assert_eq!(decode(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_special_characters_in_ua() {
+        let mut r = LogRecord::example();
+        r.user_agent = "weird\tagent\\with\nnewlines\rand tabs".to_string();
+        let line = encode(&r);
+        assert!(!line.contains('\n'));
+        assert_eq!(line.matches('\t').count(), FIELD_COUNT - 1);
+        assert_eq!(decode(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_empty_ua() {
+        let mut r = LogRecord::example();
+        r.user_agent = String::new();
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn negative_tz_offset() {
+        let mut r = LogRecord::example();
+        r.tz_offset_secs = -11 * 3600;
+        assert_eq!(decode(&encode(&r)).unwrap().tz_offset_secs, -39600);
+    }
+
+    #[test]
+    fn missing_field_error() {
+        let err = decode("123\t1").unwrap_err();
+        assert_eq!(err, TextDecodeError::MissingField { field: "object" });
+        assert!(err.to_string().contains("object"));
+    }
+
+    #[test]
+    fn invalid_number_error() {
+        let r = LogRecord::example();
+        let line = encode(&r).replace(&r.timestamp.to_string(), "not-a-number");
+        match decode(&line).unwrap_err() {
+            TextDecodeError::InvalidField { field, .. } => assert_eq!(field, "timestamp"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_cache_token() {
+        let r = LogRecord::example();
+        let line = encode(&r).replace("\tHIT\t", "\tMAYBE\t");
+        match decode(&line).unwrap_err() {
+            TextDecodeError::InvalidField { field, value } => {
+                assert_eq!(field, "cache_status");
+                assert_eq!(value, "MAYBE");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_status_code() {
+        let r = LogRecord::example();
+        let line = encode(&r).replace("\t206\t", "\t999\t");
+        match decode(&line).unwrap_err() {
+            TextDecodeError::InvalidField { field, .. } => assert_eq!(field, "status"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_fields() {
+        let line = format!("{}\textra", encode(&LogRecord::example()));
+        assert_eq!(
+            decode(&line).unwrap_err(),
+            TextDecodeError::TooManyFields { expected: FIELD_COUNT }
+        );
+    }
+
+    #[test]
+    fn unknown_escape_preserved() {
+        assert_eq!(unescape("a\\zb"), "a\\zb");
+        assert_eq!(unescape("trailing\\"), "trailing\\");
+    }
+
+    #[test]
+    fn unknown_format_decodes_as_bin() {
+        let r = LogRecord::example();
+        let line = encode(&r).replace("\tmp4\t", "\texotic\t");
+        assert_eq!(decode(&line).unwrap().format, FileFormat::Bin);
+    }
+
+    #[test]
+    fn encode_into_appends() {
+        let mut buf = String::from("prefix|");
+        encode_into(&LogRecord::example(), &mut buf);
+        assert!(buf.starts_with("prefix|"));
+        assert!(decode(&buf["prefix|".len()..]).is_ok());
+    }
+}

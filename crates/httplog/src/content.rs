@@ -1,0 +1,219 @@
+//! Content-type taxonomy: file formats and the paper's three categories.
+//!
+//! The paper buckets objects into **video** (FLV, MP4, MPG, AVI, WMV),
+//! **image** (JPG, PNG, GIF, TIFF, BMP) and **other** (text, audio, HTML,
+//! CSS, XML, JS) — see §IV-A.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three content categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ContentClass {
+    /// Video formats (FLV, MP4, …).
+    Video,
+    /// Image formats (JPG, GIF, …).
+    Image,
+    /// Everything else (markup, scripts, audio, …).
+    Other,
+}
+
+impl ContentClass {
+    /// All classes in reporting order.
+    pub const ALL: [ContentClass; 3] = [ContentClass::Video, ContentClass::Image, ContentClass::Other];
+}
+
+impl std::fmt::Display for ContentClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ContentClass::Video => "video",
+            ContentClass::Image => "image",
+            ContentClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Concrete object file formats observed in the logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // Variant names are self-describing file formats.
+pub enum FileFormat {
+    // Video.
+    Flv,
+    Mp4,
+    Mpg,
+    Avi,
+    Wmv,
+    Webm,
+    // Image.
+    Jpg,
+    Png,
+    Gif,
+    Tiff,
+    Bmp,
+    Webp,
+    // Other.
+    Html,
+    Css,
+    Js,
+    Xml,
+    Json,
+    Txt,
+    Mp3,
+    Woff,
+    Bin,
+}
+
+impl FileFormat {
+    /// The content category this format belongs to.
+    pub const fn class(self) -> ContentClass {
+        use FileFormat::*;
+        match self {
+            Flv | Mp4 | Mpg | Avi | Wmv | Webm => ContentClass::Video,
+            Jpg | Png | Gif | Tiff | Bmp | Webp => ContentClass::Image,
+            Html | Css | Js | Xml | Json | Txt | Mp3 | Woff | Bin => ContentClass::Other,
+        }
+    }
+
+    /// The canonical lowercase file extension.
+    pub const fn extension(self) -> &'static str {
+        use FileFormat::*;
+        match self {
+            Flv => "flv",
+            Mp4 => "mp4",
+            Mpg => "mpg",
+            Avi => "avi",
+            Wmv => "wmv",
+            Webm => "webm",
+            Jpg => "jpg",
+            Png => "png",
+            Gif => "gif",
+            Tiff => "tiff",
+            Bmp => "bmp",
+            Webp => "webp",
+            Html => "html",
+            Css => "css",
+            Js => "js",
+            Xml => "xml",
+            Json => "json",
+            Txt => "txt",
+            Mp3 => "mp3",
+            Woff => "woff",
+            Bin => "bin",
+        }
+    }
+
+    /// Parses a file extension (case-insensitive, with or without a leading
+    /// dot). Unknown extensions map to [`FileFormat::Bin`].
+    pub fn from_extension(ext: &str) -> Self {
+        use FileFormat::*;
+        let ext = ext.trim_start_matches('.');
+        // Avoid allocating for the common already-lowercase case.
+        let lower;
+        let ext = if ext.bytes().any(|b| b.is_ascii_uppercase()) {
+            lower = ext.to_ascii_lowercase();
+            lower.as_str()
+        } else {
+            ext
+        };
+        match ext {
+            "flv" => Flv,
+            "mp4" | "m4v" => Mp4,
+            "mpg" | "mpeg" => Mpg,
+            "avi" => Avi,
+            "wmv" => Wmv,
+            "webm" => Webm,
+            "jpg" | "jpeg" => Jpg,
+            "png" => Png,
+            "gif" => Gif,
+            "tif" | "tiff" => Tiff,
+            "bmp" => Bmp,
+            "webp" => Webp,
+            "html" | "htm" => Html,
+            "css" => Css,
+            "js" => Js,
+            "xml" => Xml,
+            "json" => Json,
+            "txt" => Txt,
+            "mp3" => Mp3,
+            "woff" | "woff2" => Woff,
+            _ => Bin,
+        }
+    }
+
+    /// All formats, for exhaustive iteration in tests and generators.
+    pub const ALL: [FileFormat; 21] = [
+        FileFormat::Flv,
+        FileFormat::Mp4,
+        FileFormat::Mpg,
+        FileFormat::Avi,
+        FileFormat::Wmv,
+        FileFormat::Webm,
+        FileFormat::Jpg,
+        FileFormat::Png,
+        FileFormat::Gif,
+        FileFormat::Tiff,
+        FileFormat::Bmp,
+        FileFormat::Webp,
+        FileFormat::Html,
+        FileFormat::Css,
+        FileFormat::Js,
+        FileFormat::Xml,
+        FileFormat::Json,
+        FileFormat::Txt,
+        FileFormat::Mp3,
+        FileFormat::Woff,
+        FileFormat::Bin,
+    ];
+}
+
+impl std::fmt::Display for FileFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.extension())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_paper_taxonomy() {
+        assert_eq!(FileFormat::Flv.class(), ContentClass::Video);
+        assert_eq!(FileFormat::Mp4.class(), ContentClass::Video);
+        assert_eq!(FileFormat::Jpg.class(), ContentClass::Image);
+        assert_eq!(FileFormat::Gif.class(), ContentClass::Image);
+        assert_eq!(FileFormat::Html.class(), ContentClass::Other);
+        assert_eq!(FileFormat::Js.class(), ContentClass::Other);
+        assert_eq!(FileFormat::Mp3.class(), ContentClass::Other);
+    }
+
+    #[test]
+    fn extension_roundtrip() {
+        for format in FileFormat::ALL {
+            assert_eq!(FileFormat::from_extension(format.extension()), format);
+            assert_eq!(format.to_string(), format.extension());
+        }
+    }
+
+    #[test]
+    fn extension_aliases_and_case() {
+        assert_eq!(FileFormat::from_extension("JPEG"), FileFormat::Jpg);
+        assert_eq!(FileFormat::from_extension(".PNG"), FileFormat::Png);
+        assert_eq!(FileFormat::from_extension("m4v"), FileFormat::Mp4);
+        assert_eq!(FileFormat::from_extension("woff2"), FileFormat::Woff);
+        assert_eq!(FileFormat::from_extension("htm"), FileFormat::Html);
+    }
+
+    #[test]
+    fn unknown_extension_is_bin() {
+        assert_eq!(FileFormat::from_extension("exotic"), FileFormat::Bin);
+        assert_eq!(FileFormat::from_extension(""), FileFormat::Bin);
+        assert_eq!(FileFormat::Bin.class(), ContentClass::Other);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(ContentClass::Video.to_string(), "video");
+        assert_eq!(ContentClass::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Stream filters over record iterators.
+//!
+//! The analysis pipeline repeatedly needs "records for publisher X",
+//! "records in time window Y", or "video records only". These adaptors keep
+//! those selections lazy and composable.
+
+use crate::content::ContentClass;
+use crate::ids::PublisherId;
+use crate::record::LogRecord;
+use std::ops::Range;
+
+/// Extension trait adding log-specific filters to any record iterator.
+///
+/// # Example
+///
+/// ```
+/// use oat_httplog::{LogRecord, LogStreamExt, ContentClass};
+///
+/// let records = vec![LogRecord::example()];
+/// let videos: Vec<_> = records
+///     .into_iter()
+///     .content_class(ContentClass::Video)
+///     .collect();
+/// assert_eq!(videos.len(), 1);
+/// ```
+pub trait LogStreamExt: Iterator<Item = LogRecord> + Sized {
+    /// Keeps records belonging to `publisher`.
+    fn publisher(self, publisher: PublisherId) -> PublisherFilter<Self> {
+        PublisherFilter { inner: self, publisher }
+    }
+
+    /// Keeps records whose timestamp falls in `window` (half-open, UTC
+    /// seconds).
+    fn time_window(self, window: Range<u64>) -> TimeWindowFilter<Self> {
+        TimeWindowFilter { inner: self, window }
+    }
+
+    /// Keeps records of one content class.
+    fn content_class(self, class: ContentClass) -> ContentClassFilter<Self> {
+        ContentClassFilter { inner: self, class }
+    }
+}
+
+impl<I: Iterator<Item = LogRecord>> LogStreamExt for I {}
+
+/// Iterator returned by [`LogStreamExt::publisher`].
+#[derive(Debug)]
+pub struct PublisherFilter<I> {
+    inner: I,
+    publisher: PublisherId,
+}
+
+impl<I: Iterator<Item = LogRecord>> Iterator for PublisherFilter<I> {
+    type Item = LogRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.by_ref().find(|r| r.publisher == self.publisher)
+    }
+}
+
+/// Iterator returned by [`LogStreamExt::time_window`].
+#[derive(Debug)]
+pub struct TimeWindowFilter<I> {
+    inner: I,
+    window: Range<u64>,
+}
+
+impl<I: Iterator<Item = LogRecord>> Iterator for TimeWindowFilter<I> {
+    type Item = LogRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.by_ref().find(|r| self.window.contains(&r.timestamp))
+    }
+}
+
+/// Iterator returned by [`LogStreamExt::content_class`].
+#[derive(Debug)]
+pub struct ContentClassFilter<I> {
+    inner: I,
+    class: ContentClass,
+}
+
+impl<I: Iterator<Item = LogRecord>> Iterator for ContentClassFilter<I> {
+    type Item = LogRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.by_ref().find(|r| r.content_class() == self.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::FileFormat;
+
+    fn records() -> Vec<LogRecord> {
+        let mut v = Vec::new();
+        for i in 0..10u64 {
+            let mut r = LogRecord::example();
+            r.timestamp = i * 100;
+            r.publisher = PublisherId::new((i % 3) as u16);
+            r.format = if i % 2 == 0 { FileFormat::Mp4 } else { FileFormat::Jpg };
+            v.push(r);
+        }
+        v
+    }
+
+    #[test]
+    fn publisher_filter() {
+        let got: Vec<_> = records().into_iter().publisher(PublisherId::new(1)).collect();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|r| r.publisher == PublisherId::new(1)));
+    }
+
+    #[test]
+    fn time_window_filter_half_open() {
+        let got: Vec<_> = records().into_iter().time_window(100..300).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].timestamp, 100);
+        assert_eq!(got[1].timestamp, 200);
+    }
+
+    #[test]
+    fn content_class_filter() {
+        let videos: Vec<_> = records().into_iter().content_class(ContentClass::Video).collect();
+        assert_eq!(videos.len(), 5);
+        let images: Vec<_> = records().into_iter().content_class(ContentClass::Image).collect();
+        assert_eq!(images.len(), 5);
+        let other: Vec<_> = records().into_iter().content_class(ContentClass::Other).collect();
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn filters_compose() {
+        let got: Vec<_> = records()
+            .into_iter()
+            .publisher(PublisherId::new(0))
+            .content_class(ContentClass::Video)
+            .time_window(0..10_000)
+            .collect();
+        // Publishers cycle 0,1,2 and formats alternate video/image:
+        // i = 0, 6 are publisher 0 + video; i = 3, 9 are publisher 0 + image.
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let got: Vec<_> = std::iter::empty::<LogRecord>()
+            .publisher(PublisherId::new(0))
+            .collect();
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! Buffered streaming readers and writers for both codecs.
+
+use crate::codec::{binary, text};
+use crate::record::LogRecord;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Wire format selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Tab-separated text, one record per line.
+    #[default]
+    Text,
+    /// Length-prefixed binary frames.
+    Binary,
+}
+
+/// A streaming log writer over any [`Write`].
+///
+/// Note that a `&mut W` is itself a `Write`, so an existing writer can be
+/// passed by mutable reference.
+///
+/// # Example
+///
+/// ```
+/// use oat_httplog::{LogReader, LogWriter, LogRecord};
+///
+/// let mut buf = Vec::new();
+/// let mut w = LogWriter::text(&mut buf);
+/// w.write(&LogRecord::example())?;
+/// w.flush()?;
+///
+/// let records: Vec<_> = LogReader::text(&buf[..]).collect::<Result<_, _>>()?;
+/// assert_eq!(records, vec![LogRecord::example()]);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct LogWriter<W: Write> {
+    inner: W,
+    format: Format,
+    line_buf: String,
+    frame_buf: Vec<u8>,
+    written: u64,
+}
+
+impl<W: Write> LogWriter<W> {
+    /// Creates a writer with the given format.
+    pub fn new(inner: W, format: Format) -> Self {
+        Self {
+            inner,
+            format,
+            line_buf: String::new(),
+            frame_buf: Vec::new(),
+            written: 0,
+        }
+    }
+
+    /// Creates a text-format writer.
+    pub fn text(inner: W) -> Self {
+        Self::new(inner, Format::Text)
+    }
+
+    /// Creates a binary-format writer.
+    pub fn binary(inner: W) -> Self {
+        Self::new(inner, Format::Binary)
+    }
+
+    /// Writes one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors; encoding errors (oversized user agents) are
+    /// reported as [`io::ErrorKind::InvalidInput`].
+    pub fn write(&mut self, record: &LogRecord) -> io::Result<()> {
+        match self.format {
+            Format::Text => {
+                self.line_buf.clear();
+                text::encode_into(record, &mut self.line_buf);
+                self.line_buf.push('\n');
+                self.inner.write_all(self.line_buf.as_bytes())?;
+            }
+            Format::Binary => {
+                self.frame_buf.clear();
+                binary::encode(record, &mut self.frame_buf)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+                self.inner.write_all(&self.frame_buf)?;
+            }
+        }
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Consumes the writer, returning the underlying sink (without
+    /// flushing).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// A streaming log reader: an iterator of [`LogRecord`]s over any [`Read`].
+#[derive(Debug)]
+pub struct LogReader<R: Read> {
+    inner: BufReader<R>,
+    format: Format,
+    line_buf: String,
+    done: bool,
+}
+
+impl<R: Read> LogReader<R> {
+    /// Creates a reader with the given format.
+    pub fn new(inner: R, format: Format) -> Self {
+        Self {
+            inner: BufReader::new(inner),
+            format,
+            line_buf: String::new(),
+            done: false,
+        }
+    }
+
+    /// Creates a text-format reader.
+    pub fn text(inner: R) -> Self {
+        Self::new(inner, Format::Text)
+    }
+
+    /// Creates a binary-format reader.
+    pub fn binary(inner: R) -> Self {
+        Self::new(inner, Format::Binary)
+    }
+
+    fn next_text(&mut self) -> Option<io::Result<LogRecord>> {
+        loop {
+            self.line_buf.clear();
+            match self.inner.read_line(&mut self.line_buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    let line = self.line_buf.trim_end_matches(['\n', '\r']);
+                    if line.is_empty() {
+                        continue; // skip blank lines
+                    }
+                    return Some(text::decode(line).map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+                    }));
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+
+    fn next_binary(&mut self) -> Option<io::Result<LogRecord>> {
+        // Peek: are we at clean EOF?
+        match self.inner.fill_buf() {
+            Ok([]) => return None,
+            Ok(_) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(read_binary_frame(&mut self.inner))
+    }
+}
+
+/// Reads exactly one binary frame from a [`BufRead`].
+fn read_binary_frame<R: BufRead>(r: &mut R) -> io::Result<LogRecord> {
+    // Fixed part first (see codec::binary layout), then the UA suffix.
+    const FIXED_AFTER_VERSION: usize = 8 + 2 + 8 + 1 + 8 + 8 + 8 + 1 + 2 + 2 + 4 + 2;
+    let mut head = [0u8; 1 + FIXED_AFTER_VERSION];
+    r.read_exact(&mut head)?;
+    let ua_len = u16::from_le_bytes([head[head.len() - 2], head[head.len() - 1]]) as usize;
+    let mut frame = head.to_vec();
+    frame.resize(head.len() + ua_len, 0);
+    r.read_exact(&mut frame[head.len()..])?;
+    let mut slice = &frame[..];
+    binary::decode(&mut slice).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+impl<R: Read> Iterator for LogReader<R> {
+    type Item = io::Result<LogRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let item = match self.format {
+            Format::Text => self.next_text(),
+            Format::Binary => self.next_binary(),
+        };
+        if matches!(item, Some(Err(_)) | None) {
+            // Stop after the first error or at EOF.
+            self.done = true;
+        }
+        item
+    }
+}
+
+/// Writes all records to a sink in one call, returning the count.
+///
+/// # Errors
+///
+/// Propagates the first IO/encoding error.
+pub fn write_all<'a, W, I>(sink: W, format: Format, records: I) -> io::Result<u64>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a LogRecord>,
+{
+    let mut w = LogWriter::new(sink, format);
+    for r in records {
+        w.write(r)?;
+    }
+    w.flush()?;
+    Ok(w.written())
+}
+
+/// Reads every record from a source into a vector.
+///
+/// # Errors
+///
+/// Propagates the first IO/decoding error.
+pub fn read_all<R: Read>(source: R, format: Format) -> io::Result<Vec<LogRecord>> {
+    LogReader::new(source, format).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: u64) -> Vec<LogRecord> {
+        (0..n)
+            .map(|i| {
+                let mut r = LogRecord::example();
+                r.timestamp += i;
+                r.object = crate::ids::ObjectId::new(i);
+                r.user_agent = format!("agent {i} \t with tab");
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn text_roundtrip_via_io() {
+        let records = sample_records(25);
+        let mut buf = Vec::new();
+        let n = write_all(&mut buf, Format::Text, &records).unwrap();
+        assert_eq!(n, 25);
+        let back = read_all(&buf[..], Format::Text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn binary_roundtrip_via_io() {
+        let records = sample_records(25);
+        let mut buf = Vec::new();
+        write_all(&mut buf, Format::Binary, &records).unwrap();
+        let back = read_all(&buf[..], Format::Binary).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(read_all(&[][..], Format::Text).unwrap().is_empty());
+        assert!(read_all(&[][..], Format::Binary).unwrap().is_empty());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let records = sample_records(2);
+        let mut buf = Vec::new();
+        write_all(&mut buf, Format::Text, &records).unwrap();
+        let with_blanks = format!(
+            "\n{}\n\n",
+            String::from_utf8(buf).unwrap().trim_end()
+        );
+        let back = read_all(with_blanks.as_bytes(), Format::Text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn corrupt_text_line_errors_once() {
+        let mut reader = LogReader::text("garbage line\n".as_bytes());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "reader stops after an error");
+    }
+
+    #[test]
+    fn truncated_binary_stream_errors() {
+        let records = sample_records(1);
+        let mut buf = Vec::new();
+        write_all(&mut buf, Format::Binary, &records).unwrap();
+        buf.truncate(buf.len() - 3);
+        let result = read_all(&buf[..], Format::Binary);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn writer_counts_and_into_inner() {
+        let records = sample_records(3);
+        let mut w = LogWriter::text(Vec::new());
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.written(), 3);
+        let buf = w.into_inner();
+        assert_eq!(read_all(&buf[..], Format::Text).unwrap().len(), 3);
+    }
+}

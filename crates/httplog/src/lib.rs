@@ -1,0 +1,57 @@
+//! CDN HTTP access-log schema, codecs and streaming IO.
+//!
+//! The paper's dataset is one week of HTTP access logs collected at the edge
+//! of a major commercial CDN (§III). Each record captures one HTTP
+//! request/response pair:
+//!
+//! > *"Each record in our trace includes information about an HTTP request,
+//! > containing publisher identifier, hashed URL, object file type, object
+//! > size in bytes, user agent, and the timestamp when the request was
+//! > received. … Each record also includes the cache status for
+//! > the requested object."*
+//!
+//! This crate defines that schema ([`LogRecord`]), the anonymization step
+//! the paper applies to personally identifiable information
+//! ([`anonymize::Anonymizer`]), a human-readable [text codec](codec::text)
+//! and a compact [binary codec](codec::binary), plus buffered
+//! [readers/writers](io) and [stream filters](filter).
+//!
+//! # Example
+//!
+//! ```
+//! use oat_httplog::codec::text;
+//! use oat_httplog::LogRecord;
+//!
+//! let record = LogRecord::example();
+//! let line = text::encode(&record);
+//! let parsed = text::decode(&line)?;
+//! assert_eq!(parsed, record);
+//! # Ok::<(), oat_httplog::codec::text::TextDecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod anonymize;
+pub mod codec;
+pub mod content;
+pub mod filter;
+pub mod geo;
+pub mod ids;
+pub mod io;
+pub mod record;
+pub mod request;
+pub mod shard;
+pub mod status;
+
+pub use anonymize::Anonymizer;
+pub use content::{ContentClass, FileFormat};
+pub use filter::LogStreamExt;
+pub use geo::Region;
+pub use ids::{ObjectId, PopId, PublisherId, UserId};
+pub use io::{LogReader, LogWriter};
+pub use record::LogRecord;
+pub use shard::ShardedWriter;
+pub use request::{Request, RequestKind};
+pub use status::{CacheStatus, HttpStatus};

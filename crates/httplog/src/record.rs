@@ -1,0 +1,135 @@
+//! The core log-record schema.
+
+use crate::content::FileFormat;
+use crate::ids::{ObjectId, PopId, PublisherId, UserId};
+use crate::status::{CacheStatus, HttpStatus};
+use crate::ContentClass;
+use serde::{Deserialize, Serialize};
+
+/// One HTTP request/response pair as logged by a CDN edge server.
+///
+/// This is a passive, C-spirit data record: all fields are public.
+/// Identifier fields are already anonymized (see
+/// [`Anonymizer`](crate::anonymize::Anonymizer)); the record never carries a
+/// raw URL or client IP.
+///
+/// # Example
+///
+/// ```
+/// use oat_httplog::{ContentClass, LogRecord};
+///
+/// let r = LogRecord::example();
+/// assert_eq!(r.content_class(), ContentClass::Video);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Request arrival time, seconds since the Unix epoch (UTC).
+    pub timestamp: u64,
+    /// The publisher (website) the object belongs to.
+    pub publisher: PublisherId,
+    /// Hashed object URL.
+    pub object: ObjectId,
+    /// Object file format (from the URL extension / `Content-Type`).
+    pub format: FileFormat,
+    /// Full object size in bytes.
+    pub object_size: u64,
+    /// Bytes actually served in this response (≤ `object_size` for range
+    /// requests, 0 for bodyless responses such as 304).
+    pub bytes_served: u64,
+    /// Anonymized end-user identifier.
+    pub user: UserId,
+    /// Raw `User-Agent` header value.
+    pub user_agent: String,
+    /// Edge cache status.
+    pub cache_status: CacheStatus,
+    /// HTTP response status code.
+    pub status: HttpStatus,
+    /// The PoP (edge data center) that served the request.
+    pub pop: PopId,
+    /// Coarse client UTC offset in seconds (from pre-anonymization
+    /// geolocation), used for local-time analyses such as Figure 3.
+    pub tz_offset_secs: i32,
+}
+
+impl LogRecord {
+    /// The paper's content category for this record's format.
+    pub fn content_class(&self) -> ContentClass {
+        self.format.class()
+    }
+
+    /// Local (publisher-visitor) timestamp: UTC shifted by the client's
+    /// timezone offset. Saturates at zero rather than underflowing.
+    pub fn local_timestamp(&self) -> u64 {
+        if self.tz_offset_secs >= 0 {
+            self.timestamp.saturating_add(self.tz_offset_secs as u64)
+        } else {
+            self.timestamp.saturating_sub(self.tz_offset_secs.unsigned_abs() as u64)
+        }
+    }
+
+    /// Hour-of-day (0–23) in the client's local time.
+    pub fn local_hour(&self) -> u8 {
+        ((self.local_timestamp() / 3600) % 24) as u8
+    }
+
+    /// A small fully-populated record for docs and tests.
+    pub fn example() -> Self {
+        Self {
+            timestamp: 1_444_435_200, // 2015-10-10 00:00:00 UTC
+            publisher: PublisherId::new(1),
+            object: ObjectId::new(0xDEAD_BEEF_CAFE_F00D),
+            format: FileFormat::Mp4,
+            object_size: 25_000_000,
+            bytes_served: 2_000_000,
+            user: UserId::new(0x1234_5678_9ABC_DEF0),
+            user_agent: "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 \
+                         (KHTML, like Gecko) Chrome/46.0.2490.86 Safari/537.36"
+                .to_string(),
+            cache_status: CacheStatus::Hit,
+            status: HttpStatus::PARTIAL_CONTENT,
+            pop: PopId::new(3),
+            tz_offset_secs: -5 * 3600,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_is_consistent() {
+        let r = LogRecord::example();
+        assert_eq!(r.content_class(), ContentClass::Video);
+        assert!(r.bytes_served <= r.object_size);
+        assert!(r.status.carries_body());
+    }
+
+    #[test]
+    fn local_time_positive_offset() {
+        let mut r = LogRecord::example();
+        r.timestamp = 10 * 3600; // 10:00 UTC
+        r.tz_offset_secs = 2 * 3600;
+        assert_eq!(r.local_timestamp(), 12 * 3600);
+        assert_eq!(r.local_hour(), 12);
+    }
+
+    #[test]
+    fn local_time_negative_offset_wraps_day() {
+        let mut r = LogRecord::example();
+        r.timestamp = 86_400 + 2 * 3600; // day 2, 02:00 UTC
+        r.tz_offset_secs = -5 * 3600;
+        assert_eq!(r.local_hour(), 21); // previous local day
+    }
+
+    #[test]
+    fn local_time_saturates() {
+        let mut r = LogRecord::example();
+        r.timestamp = 100;
+        r.tz_offset_secs = -3600;
+        assert_eq!(r.local_timestamp(), 0);
+        r.timestamp = u64::MAX;
+        r.tz_offset_secs = 3600;
+        assert_eq!(r.local_timestamp(), u64::MAX);
+    }
+}

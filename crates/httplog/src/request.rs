@@ -1,0 +1,148 @@
+//! Pre-response request events.
+//!
+//! A [`Request`] is what a CDN edge sees *before* deciding how to respond:
+//! the workload generator (`oat-workload`) emits these, the CDN simulator
+//! (`oat-cdnsim`) serves them and produces finished [`LogRecord`]s. Keeping
+//! the type here lets both crates share it without depending on each other.
+
+use crate::content::FileFormat;
+use crate::geo::Region;
+use crate::ids::{ObjectId, PublisherId, UserId};
+use crate::record::LogRecord;
+use crate::status::{CacheStatus, HttpStatus};
+use crate::{ContentClass, PopId};
+use serde::{Deserialize, Serialize};
+
+/// Video chunk size (bytes) used by players and by the CDN's per-chunk
+/// caching. Range-request offsets are aligned to this.
+pub const CHUNK_BYTES: u64 = 2_000_000;
+
+/// The kind of HTTP request a client issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Plain `GET` for the full object.
+    Full,
+    /// Range `GET` for one chunk of the object (video streaming).
+    Range {
+        /// Byte offset of the requested range.
+        offset: u64,
+        /// Requested range length in bytes.
+        length: u64,
+    },
+    /// Conditional `GET` (`If-Modified-Since` / `If-None-Match`): the client
+    /// holds a browser-cached copy and asks whether it is still fresh.
+    Conditional,
+    /// Range `GET` whose offset lies beyond the object end (broken player
+    /// state) — answered with `416`.
+    InvalidRange,
+    /// Request failing the publisher's hot-link/token check — answered with
+    /// `403`.
+    Hotlink,
+    /// Analytics/tracking beacon — answered with `204 No Content`.
+    Beacon,
+}
+
+/// One client request as it arrives at the CDN edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time, seconds since the Unix epoch (UTC).
+    pub timestamp: u64,
+    /// Publisher the object belongs to.
+    pub publisher: PublisherId,
+    /// Hashed object URL.
+    pub object: ObjectId,
+    /// Object file format.
+    pub format: FileFormat,
+    /// Full object size in bytes.
+    pub object_size: u64,
+    /// Anonymized user id.
+    pub user: UserId,
+    /// Raw user-agent header.
+    pub user_agent: String,
+    /// Client region (drives PoP routing).
+    pub region: Region,
+    /// Client UTC offset in seconds.
+    pub tz_offset_secs: i32,
+    /// Whether the client browses in incognito/private mode (its browser
+    /// cache is discarded between sessions, so it re-fetches instead of
+    /// revalidating — §V of the paper).
+    pub incognito: bool,
+    /// What is being asked for.
+    pub kind: RequestKind,
+}
+
+impl Request {
+    /// The paper's content category for this request's format.
+    pub fn content_class(&self) -> ContentClass {
+        self.format.class()
+    }
+
+    /// Finalizes this request into a [`LogRecord`] with the response fields
+    /// decided by the serving edge.
+    pub fn into_record(
+        self,
+        pop: PopId,
+        cache_status: CacheStatus,
+        status: HttpStatus,
+        bytes_served: u64,
+    ) -> LogRecord {
+        LogRecord {
+            timestamp: self.timestamp,
+            publisher: self.publisher,
+            object: self.object,
+            format: self.format,
+            object_size: self.object_size,
+            bytes_served,
+            user: self.user,
+            user_agent: self.user_agent,
+            cache_status,
+            status,
+            pop,
+            tz_offset_secs: self.tz_offset_secs,
+        }
+    }
+
+    /// A small fully-populated request for docs and tests.
+    pub fn example() -> Self {
+        Self {
+            timestamp: 1_444_435_200,
+            publisher: PublisherId::new(1),
+            object: ObjectId::new(42),
+            format: FileFormat::Mp4,
+            object_size: 25_000_000,
+            user: UserId::new(7),
+            user_agent: "Mozilla/5.0 (X11; Linux x86_64) Firefox/41.0".to_string(),
+            region: Region::Europe,
+            tz_offset_secs: 3600,
+            incognito: true,
+            kind: RequestKind::Range { offset: 0, length: 2_000_000 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn into_record_carries_fields() {
+        let req = Request::example();
+        let rec = req.clone().into_record(
+            PopId::new(2),
+            CacheStatus::Hit,
+            HttpStatus::PARTIAL_CONTENT,
+            2_000_000,
+        );
+        assert_eq!(rec.timestamp, req.timestamp);
+        assert_eq!(rec.object, req.object);
+        assert_eq!(rec.pop, PopId::new(2));
+        assert_eq!(rec.bytes_served, 2_000_000);
+        assert_eq!(rec.status, HttpStatus::PARTIAL_CONTENT);
+        assert_eq!(rec.tz_offset_secs, req.tz_offset_secs);
+    }
+
+    #[test]
+    fn content_class_delegates() {
+        assert_eq!(Request::example().content_class(), ContentClass::Video);
+    }
+}

@@ -1,0 +1,217 @@
+//! HTTP response status codes and CDN cache status.
+
+use serde::{Deserialize, Serialize};
+
+/// CDN cache status reported in each log record.
+///
+/// `HIT` means the object was served from the edge cache, `MISS` that it had
+/// to be fetched from the origin (or a parent tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheStatus {
+    /// Served from the CDN cache.
+    Hit,
+    /// Not present in the CDN cache.
+    Miss,
+}
+
+impl CacheStatus {
+    /// The log-format token (`HIT` / `MISS`).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "HIT",
+            CacheStatus::Miss => "MISS",
+        }
+    }
+
+    /// Parses a log-format token.
+    pub fn from_str_token(s: &str) -> Option<Self> {
+        match s {
+            "HIT" => Some(CacheStatus::Hit),
+            "MISS" => Some(CacheStatus::Miss),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a cache hit.
+    pub const fn is_hit(self) -> bool {
+        matches!(self, CacheStatus::Hit)
+    }
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An HTTP response status code.
+///
+/// A thin validated wrapper over the numeric code. The paper's Figure 16
+/// reports codes 200, 204, 206, 304, 403 and 416; constants are provided
+/// for those, but any code in `100..=599` is representable.
+///
+/// # Example
+///
+/// ```
+/// use oat_httplog::HttpStatus;
+///
+/// let ok = HttpStatus::OK;
+/// assert_eq!(ok.code(), 200);
+/// assert!(ok.is_success());
+/// let partial = HttpStatus::new(206)?;
+/// assert!(partial.is_success());
+/// # Ok::<(), oat_httplog::status::InvalidStatusError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HttpStatus(u16);
+
+impl HttpStatus {
+    /// `200 OK`.
+    pub const OK: HttpStatus = HttpStatus(200);
+    /// `204 No Content`.
+    pub const NO_CONTENT: HttpStatus = HttpStatus(204);
+    /// `206 Partial Content` (range responses for video chunks).
+    pub const PARTIAL_CONTENT: HttpStatus = HttpStatus(206);
+    /// `304 Not Modified` (successful browser-cache revalidation).
+    pub const NOT_MODIFIED: HttpStatus = HttpStatus(304);
+    /// `403 Forbidden` (hot-link protection, expired tokens).
+    pub const FORBIDDEN: HttpStatus = HttpStatus(403);
+    /// `404 Not Found`.
+    pub const NOT_FOUND: HttpStatus = HttpStatus(404);
+    /// `416 Range Not Satisfiable`.
+    pub const RANGE_NOT_SATISFIABLE: HttpStatus = HttpStatus(416);
+
+    /// The codes the paper's Figure 16 reports, in x-axis order.
+    pub const FIGURE_16: [HttpStatus; 6] = [
+        HttpStatus::OK,
+        HttpStatus::NO_CONTENT,
+        HttpStatus::PARTIAL_CONTENT,
+        HttpStatus::NOT_MODIFIED,
+        HttpStatus::FORBIDDEN,
+        HttpStatus::RANGE_NOT_SATISFIABLE,
+    ];
+
+    /// Validates and wraps a numeric status code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidStatusError`] when `code` is outside `100..=599`.
+    pub const fn new(code: u16) -> Result<Self, InvalidStatusError> {
+        if code >= 100 && code <= 599 {
+            Ok(HttpStatus(code))
+        } else {
+            Err(InvalidStatusError { code })
+        }
+    }
+
+    /// The numeric code.
+    pub const fn code(self) -> u16 {
+        self.0
+    }
+
+    /// `2xx`.
+    pub const fn is_success(self) -> bool {
+        self.0 >= 200 && self.0 < 300
+    }
+
+    /// `3xx`.
+    pub const fn is_redirection(self) -> bool {
+        self.0 >= 300 && self.0 < 400
+    }
+
+    /// `4xx`.
+    pub const fn is_client_error(self) -> bool {
+        self.0 >= 400 && self.0 < 500
+    }
+
+    /// Whether a response with this status carries the object body
+    /// (full or partial).
+    pub const fn carries_body(self) -> bool {
+        self.0 == 200 || self.0 == 206
+    }
+}
+
+impl std::fmt::Display for HttpStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u16> for HttpStatus {
+    type Error = InvalidStatusError;
+
+    fn try_from(code: u16) -> Result<Self, Self::Error> {
+        HttpStatus::new(code)
+    }
+}
+
+/// Error for status codes outside `100..=599`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidStatusError {
+    /// The rejected code.
+    pub code: u16,
+}
+
+impl std::fmt::Display for InvalidStatusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid HTTP status code {}", self.code)
+    }
+}
+
+impl std::error::Error for InvalidStatusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_status_tokens() {
+        assert_eq!(CacheStatus::Hit.as_str(), "HIT");
+        assert_eq!(CacheStatus::from_str_token("MISS"), Some(CacheStatus::Miss));
+        assert_eq!(CacheStatus::from_str_token("hit"), None);
+        assert!(CacheStatus::Hit.is_hit());
+        assert!(!CacheStatus::Miss.is_hit());
+        assert_eq!(CacheStatus::Miss.to_string(), "MISS");
+    }
+
+    #[test]
+    fn status_validation() {
+        assert!(HttpStatus::new(200).is_ok());
+        assert!(HttpStatus::new(599).is_ok());
+        assert!(HttpStatus::new(100).is_ok());
+        assert_eq!(HttpStatus::new(99).unwrap_err().code, 99);
+        assert!(HttpStatus::new(600).is_err());
+        assert!(HttpStatus::try_from(0u16).is_err());
+        assert_eq!(HttpStatus::try_from(206u16).unwrap(), HttpStatus::PARTIAL_CONTENT);
+    }
+
+    #[test]
+    fn status_families() {
+        assert!(HttpStatus::OK.is_success());
+        assert!(HttpStatus::PARTIAL_CONTENT.is_success());
+        assert!(HttpStatus::NOT_MODIFIED.is_redirection());
+        assert!(HttpStatus::FORBIDDEN.is_client_error());
+        assert!(!HttpStatus::NOT_MODIFIED.is_success());
+    }
+
+    #[test]
+    fn carries_body() {
+        assert!(HttpStatus::OK.carries_body());
+        assert!(HttpStatus::PARTIAL_CONTENT.carries_body());
+        assert!(!HttpStatus::NOT_MODIFIED.carries_body());
+        assert!(!HttpStatus::FORBIDDEN.carries_body());
+        assert!(!HttpStatus::NO_CONTENT.carries_body());
+    }
+
+    #[test]
+    fn figure_16_codes() {
+        let codes: Vec<u16> = HttpStatus::FIGURE_16.iter().map(|s| s.code()).collect();
+        assert_eq!(codes, vec![200, 204, 206, 304, 403, 416]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = HttpStatus::new(42).unwrap_err();
+        assert!(e.to_string().contains("42"));
+    }
+}

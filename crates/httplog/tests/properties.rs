@@ -1,0 +1,94 @@
+//! Property-based tests: both codecs round-trip arbitrary records.
+
+use bytes::BytesMut;
+use oat_httplog::codec::{binary, text};
+use oat_httplog::io::{read_all, write_all, Format};
+use oat_httplog::{
+    Anonymizer, CacheStatus, FileFormat, HttpStatus, LogRecord, ObjectId, PopId, PublisherId,
+    UserId,
+};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = LogRecord> {
+    (
+        any::<u64>(),
+        any::<u16>(),
+        any::<u64>(),
+        0usize..FileFormat::ALL.len(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        // UA strings including escapes and unicode.
+        "[ -~\\t\\n\\\\éλ]{0,120}",
+        any::<bool>(),
+        100u16..=599,
+        any::<u16>(),
+        -14 * 3600i32..=14 * 3600,
+    )
+        .prop_map(
+            |(ts, pubid, obj, fmt, size, served, user, ua, hit, status, pop, tz)| LogRecord {
+                timestamp: ts,
+                publisher: PublisherId::new(pubid),
+                object: ObjectId::new(obj),
+                format: FileFormat::ALL[fmt],
+                object_size: size,
+                bytes_served: served,
+                user: UserId::new(user),
+                user_agent: ua,
+                cache_status: if hit { CacheStatus::Hit } else { CacheStatus::Miss },
+                status: HttpStatus::new(status).expect("status in range"),
+                pop: PopId::new(pop),
+                tz_offset_secs: tz,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn text_codec_roundtrips(record in record_strategy()) {
+        let line = text::encode(&record);
+        prop_assert!(!line.contains('\n'));
+        let decoded = text::decode(&line).expect("well-formed line");
+        prop_assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn binary_codec_roundtrips(record in record_strategy()) {
+        let mut buf = BytesMut::new();
+        binary::encode(&record, &mut buf).expect("UA fits frame");
+        let mut slice = buf.freeze();
+        let decoded = binary::decode(&mut slice).expect("well-formed frame");
+        prop_assert_eq!(decoded, record);
+        prop_assert_eq!(slice.len(), 0);
+    }
+
+    #[test]
+    fn io_stream_roundtrips(records in prop::collection::vec(record_strategy(), 0..30)) {
+        for format in [Format::Text, Format::Binary] {
+            let mut buf = Vec::new();
+            let n = write_all(&mut buf, format, &records).unwrap();
+            prop_assert_eq!(n as usize, records.len());
+            let back = read_all(&buf[..], format).unwrap();
+            prop_assert_eq!(&back, &records);
+        }
+    }
+
+    #[test]
+    fn binary_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut slice = &bytes[..];
+        let _ = binary::decode(&mut slice); // must not panic
+    }
+
+    #[test]
+    fn text_decode_never_panics_on_garbage(line in "[^\\n]{0,200}") {
+        let _ = text::decode(&line); // must not panic
+    }
+
+    #[test]
+    fn anonymizer_is_injective_in_practice(urls in prop::collection::hash_set("[a-z0-9/]{1,40}", 2..50)) {
+        let anon = Anonymizer::default();
+        let ids: std::collections::HashSet<u64> =
+            urls.iter().map(|u| anon.object_id(u).raw()).collect();
+        prop_assert_eq!(ids.len(), urls.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! Pearson and Spearman correlation coefficients.
+//!
+//! The paper reports a Pearson correlation above 0.9 between object
+//! popularity and CDN cache hit ratio; [`pearson`] and [`spearman`] are used
+//! to reproduce that check on simulated cache statistics.
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` when the slices differ in length, have fewer than two
+/// elements, contain non-finite values, or either sample has zero variance.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::pearson;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Spearman rank correlation of two equal-length samples.
+///
+/// Ties receive average (fractional) ranks. Returns `None` under the same
+/// conditions as [`pearson`].
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::spearman;
+///
+/// // Monotone but non-linear relationship: rank correlation is exactly 1.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let rx = average_ranks(x)?;
+    let ry = average_ranks(y)?;
+    pearson(&rx, &ry)
+}
+
+/// Assigns average ranks (1-based) to a sample, handling ties by averaging.
+///
+/// Returns `None` if any value is non-finite.
+pub fn average_ranks(values: &[f64]) -> Option<Vec<f64>> {
+    if values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("finite floats are totally ordered")
+    });
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the same value; average rank is the mean of
+        // (i+1)..=(j+1).
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    Some(ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[10.0, 20.0, 30.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[30.0, 20.0, 10.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_or_short_inputs() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(spearman(&[], &[]), None);
+    }
+
+    #[test]
+    fn zero_variance() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(pearson(&[1.0, f64::NAN], &[1.0, 2.0]), None);
+        assert_eq!(spearman(&[1.0, f64::INFINITY], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn uncorrelated_near_zero() {
+        // x symmetric, y = x^2: Pearson correlation is exactly 0.
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_with_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_ties() {
+        let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn average_ranks_all_equal() {
+        let ranks = average_ranks(&[5.0; 4]).unwrap();
+        assert_eq!(ranks, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp().min(1e300)).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson is well below 1 for this convex relationship.
+        assert!(pearson(&x, &y).unwrap() < 0.9);
+    }
+}

@@ -1,0 +1,322 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// Non-finite samples (`NaN`, `±∞`) are rejected at construction so that the
+/// internal ordering is total. The ECDF is the workhorse behind every CDF
+/// figure in the paper (content sizes, popularity, inter-arrival times,
+/// session lengths, hit ratios, requests-per-user).
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::Ecdf;
+///
+/// let ecdf = Ecdf::from_samples([10.0, 20.0, 30.0, 40.0]);
+/// assert_eq!(ecdf.len(), 4);
+/// assert_eq!(ecdf.fraction_at_most(25.0), 0.5);
+/// assert_eq!(ecdf.quantile(1.0), Some(40.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from an iterator of samples.
+    ///
+    /// Non-finite samples are silently dropped; use [`Ecdf::try_from_samples`]
+    /// to treat them as an error instead.
+    pub fn from_samples<I>(samples: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite floats are totally ordered"));
+        Self { sorted }
+    }
+
+    /// Builds an ECDF, returning an error if any sample is not finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteSampleError`] carrying the index of the first
+    /// offending sample.
+    pub fn try_from_samples<I>(samples: I) -> Result<Self, NonFiniteSampleError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut sorted = Vec::new();
+        for (index, x) in samples.into_iter().enumerate() {
+            if !x.is_finite() {
+                return Err(NonFiniteSampleError { index });
+            }
+            sorted.push(x);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite floats are totally ordered"));
+        Ok(Self { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// The largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The arithmetic mean, if any samples exist.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// The median (0.5-quantile), if any samples exist.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples `<= x`; that is, the value `F(x)` of the ECDF.
+    ///
+    /// Returns `0.0` for an empty ECDF.
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples strictly below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s < x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile using the nearest-rank (inverse-CDF) definition.
+    ///
+    /// `q` is clamped to `[0, 1]`. Returns `None` for an empty ECDF.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use oat_stats::Ecdf;
+    /// let e = Ecdf::from_samples([1.0, 2.0, 3.0, 4.0, 5.0]);
+    /// assert_eq!(e.quantile(0.0), Some(1.0));
+    /// assert_eq!(e.quantile(0.9), Some(5.0));
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Evaluates the ECDF at `points.len()` x-positions, returning `(x, F(x))`
+    /// pairs — convenient for rendering a CDF curve.
+    pub fn curve<I>(&self, points: I) -> Vec<(f64, f64)>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        points
+            .into_iter()
+            .map(|x| (x, self.fraction_at_most(x)))
+            .collect()
+    }
+
+    /// Returns an evenly spaced `(x, F(x))` curve with `n` points covering
+    /// `[min, max]`. Returns an empty vector when there are no samples or
+    /// `n == 0`.
+    pub fn uniform_curve(&self, n: usize) -> Vec<(f64, f64)> {
+        let (Some(lo), Some(hi)) = (self.min(), self.max()) else {
+            return Vec::new();
+        };
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        let step = (hi - lo) / (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                // Pin the endpoint so F(last) is exactly 1.0 despite rounding.
+                let x = if i + 1 == n { hi } else { lo + step * i as f64 };
+                (x, self.fraction_at_most(x))
+            })
+            .collect()
+    }
+
+    /// Returns a log-spaced `(x, F(x))` curve with `n` points, useful for the
+    /// paper's log-x CDF plots (file sizes, request counts).
+    ///
+    /// Samples must be positive for a sensible result; the curve starts at
+    /// `max(min_sample, f64::MIN_POSITIVE)`.
+    pub fn log_curve(&self, n: usize) -> Vec<(f64, f64)> {
+        let (Some(lo), Some(hi)) = (self.min(), self.max()) else {
+            return Vec::new();
+        };
+        if n == 0 {
+            return Vec::new();
+        }
+        let lo = lo.max(f64::MIN_POSITIVE);
+        let hi = hi.max(lo);
+        if n == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        let step = (lhi - llo) / (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                // Pin the endpoint to the exact max so F(last) is 1.0 despite
+                // exp/ln round-tripping error.
+                let x = if i + 1 == n { hi } else { (llo + step * i as f64).exp() };
+                (x, self.fraction_at_most(x))
+            })
+            .collect()
+    }
+
+    /// A view of the sorted samples.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::from_samples(iter)
+    }
+}
+
+/// Error returned by [`Ecdf::try_from_samples`] when a sample is not finite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteSampleError {
+    /// Index of the first non-finite sample in the input iterator.
+    pub index: usize,
+}
+
+impl std::fmt::Display for NonFiniteSampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sample at index {} is not finite", self.index)
+    }
+}
+
+impl std::error::Error for NonFiniteSampleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ecdf() {
+        let e = Ecdf::from_samples([]);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.fraction_at_most(1.0), 0.0);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.mean(), None);
+        assert!(e.uniform_curve(5).is_empty());
+    }
+
+    #[test]
+    fn single_sample() {
+        let e = Ecdf::from_samples([7.0]);
+        assert_eq!(e.quantile(0.0), Some(7.0));
+        assert_eq!(e.quantile(1.0), Some(7.0));
+        assert_eq!(e.fraction_at_most(6.9), 0.0);
+        assert_eq!(e.fraction_at_most(7.0), 1.0);
+        assert_eq!(e.median(), Some(7.0));
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let e = Ecdf::from_samples([1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn try_from_rejects_non_finite() {
+        let err = Ecdf::try_from_samples([1.0, f64::NAN]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("index 1"));
+    }
+
+    #[test]
+    fn fraction_below_vs_at_most_with_ties() {
+        let e = Ecdf::from_samples([1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.fraction_below(2.0), 0.25);
+        assert_eq!(e.fraction_at_most(2.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.quantile(0.25), Some(1.0));
+        assert_eq!(e.quantile(0.26), Some(2.0));
+        assert_eq!(e.quantile(0.5), Some(2.0));
+        assert_eq!(e.quantile(0.75), Some(3.0));
+        assert_eq!(e.quantile(1.0), Some(4.0));
+        // Out-of-range q is clamped.
+        assert_eq!(e.quantile(-1.0), Some(1.0));
+        assert_eq!(e.quantile(2.0), Some(4.0));
+    }
+
+    #[test]
+    fn uniform_curve_spans_range() {
+        let e = Ecdf::from_samples([0.0, 10.0]);
+        let curve = e.uniform_curve(11);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].0, 0.0);
+        assert_eq!(curve[10].0, 10.0);
+        assert_eq!(curve[10].1, 1.0);
+    }
+
+    #[test]
+    fn log_curve_monotone() {
+        let e = Ecdf::from_samples((1..=1000).map(|i| i as f64));
+        let curve = e.log_curve(20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn constant_samples_curves() {
+        let e = Ecdf::from_samples([5.0, 5.0, 5.0]);
+        assert_eq!(e.uniform_curve(4), vec![(5.0, 1.0)]);
+        assert_eq!(e.log_curve(4), vec![(5.0, 1.0)]);
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let e: Ecdf = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(e.sorted_samples(), &[1.0, 2.0, 3.0]);
+    }
+}

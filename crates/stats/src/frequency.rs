@@ -1,0 +1,215 @@
+//! Exact frequency tables with concentration summaries.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An exact counting table over items of type `T`, with share, entropy and
+/// ranking summaries.
+///
+/// Used for per-category request counts (Fig 1/2), device mixes (Fig 4) and
+/// HTTP response-code counts (Fig 16).
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::FrequencyTable;
+///
+/// let mut t = FrequencyTable::new();
+/// t.extend(["video", "video", "image"]);
+/// assert_eq!(t.count(&"video"), 2);
+/// assert!((t.share(&"video") - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrequencyTable<T> {
+    counts: HashMap<T, u64>,
+    total: u64,
+}
+
+impl<T: Eq + Hash> Default for FrequencyTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq + Hash> FrequencyTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self { counts: HashMap::new(), total: 0 }
+    }
+
+    /// Records one occurrence of `item`.
+    pub fn add(&mut self, item: T) {
+        self.add_weighted(item, 1);
+    }
+
+    /// Records `weight` occurrences of `item`.
+    pub fn add_weighted(&mut self, item: T, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        *self.counts.entry(item).or_insert(0) += weight;
+        self.total += weight;
+    }
+
+    /// Count for `item` (zero if unseen).
+    pub fn count(&self, item: &T) -> u64 {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Fraction of all observations that are `item` (zero for an empty table).
+    pub fn share(&self, item: &T) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(item) as f64 / self.total as f64
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct items.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Iterates over `(item, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Shannon entropy in bits. Zero for empty or single-item tables.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        self.counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: FrequencyTable<T>) {
+        for (item, count) in other.counts {
+            self.add_weighted(item, count);
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> FrequencyTable<T> {
+    /// Items sorted by descending count (ties broken arbitrarily),
+    /// truncated to `n` entries.
+    pub fn ranked(&self, n: usize) -> Vec<(T, u64)> {
+        let mut v: Vec<(T, u64)> = self
+            .counts
+            .iter()
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        v.truncate(n);
+        v
+    }
+
+    /// All counts as a vector (order unspecified) — handy for Zipf fitting.
+    pub fn counts_vec(&self) -> Vec<u64> {
+        self.counts.values().copied().collect()
+    }
+}
+
+impl<T: Eq + Hash> Extend<T> for FrequencyTable<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.add(item);
+        }
+    }
+}
+
+impl<T: Eq + Hash> FromIterator<T> for FrequencyTable<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut t = Self::new();
+        t.extend(iter);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table() {
+        let t: FrequencyTable<&str> = FrequencyTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.count(&"x"), 0);
+        assert_eq!(t.share(&"x"), 0.0);
+        assert_eq!(t.entropy_bits(), 0.0);
+        assert_eq!(t.distinct(), 0);
+    }
+
+    #[test]
+    fn counting_and_shares() {
+        let t: FrequencyTable<char> = "aabbbc".chars().collect();
+        assert_eq!(t.count(&'a'), 2);
+        assert_eq!(t.count(&'b'), 3);
+        assert_eq!(t.total(), 6);
+        assert!((t.share(&'b') - 0.5).abs() < 1e-12);
+        assert_eq!(t.distinct(), 3);
+    }
+
+    #[test]
+    fn weighted_and_zero_weight() {
+        let mut t = FrequencyTable::new();
+        t.add_weighted("x", 5);
+        t.add_weighted("y", 0);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.distinct(), 1);
+    }
+
+    #[test]
+    fn ranked_ordering() {
+        let t: FrequencyTable<&str> =
+            ["a", "b", "b", "c", "c", "c"].into_iter().collect();
+        let ranked = t.ranked(2);
+        assert_eq!(ranked[0], ("c", 3));
+        assert_eq!(ranked[1], ("b", 2));
+        assert_eq!(t.ranked(10).len(), 3);
+    }
+
+    #[test]
+    fn entropy_uniform_vs_point_mass() {
+        let uniform: FrequencyTable<u8> = [0u8, 1, 2, 3].into_iter().collect();
+        assert!((uniform.entropy_bits() - 2.0).abs() < 1e-12);
+        let point: FrequencyTable<u8> = [7u8, 7, 7].into_iter().collect();
+        assert_eq!(point.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn merge_tables() {
+        let mut a: FrequencyTable<&str> = ["x", "y"].into_iter().collect();
+        let b: FrequencyTable<&str> = ["y", "z"].into_iter().collect();
+        a.merge(b);
+        assert_eq!(a.count(&"y"), 2);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.distinct(), 3);
+    }
+
+    #[test]
+    fn counts_vec_for_zipf() {
+        let t: FrequencyTable<u32> = [1u32, 1, 2].into_iter().collect();
+        let mut v = t.counts_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2]);
+    }
+}

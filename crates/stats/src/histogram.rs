@@ -1,0 +1,446 @@
+//! Linear and logarithmic histograms with simple mode detection.
+//!
+//! The paper's Figure 5(b) claims image sizes are **bi-modal** (thumbnail
+//! vs full-resolution). [`LogHistogram::modes`] provides the smoothed
+//! local-maxima detection used to verify that claim on synthetic traces.
+
+use serde::{Deserialize, Serialize};
+
+/// One histogram bucket: `[lo, hi)` with a count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (the final bin includes its upper edge).
+    pub hi: f64,
+    /// Number of samples that fell in this bin.
+    pub count: u64,
+}
+
+impl Bin {
+    /// Midpoint of the bin.
+    pub fn center(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// A fixed-range, equal-width histogram.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::LinearHistogram;
+///
+/// let mut h = LinearHistogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [0.5, 1.0, 2.5, 9.9, 10.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.bins()[0].count, 2); // 0.5 and 1.0 — 1.0 lands in [0,2)? no: bin width 2 → [0,2) holds 0.5,1.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LinearHistogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width buckets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramConfigError`] if `bins == 0`, the bounds are not
+    /// finite, or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, HistogramConfigError> {
+        if bins == 0 {
+            return Err(HistogramConfigError::ZeroBins);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(HistogramConfigError::NonFiniteBounds);
+        }
+        if hi <= lo {
+            return Err(HistogramConfigError::EmptyRange);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
+    }
+
+    /// Adds one sample. Samples outside `[lo, hi]` are tallied in the
+    /// under/overflow counters; non-finite samples are ignored.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        let idx = (((x - self.lo) / width) as usize).min(n - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Total samples added (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the lower edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Materializes the buckets.
+    pub fn bins(&self) -> Vec<Bin> {
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| Bin {
+                lo: self.lo + width * i as f64,
+                hi: self.lo + width * (i + 1) as f64,
+                count,
+            })
+            .collect()
+    }
+
+    /// Indices of smoothed local maxima; see [`modes`] for the algorithm.
+    pub fn modes(&self, smoothing: usize, min_prominence: f64) -> Vec<Bin> {
+        let bins = self.bins();
+        modes(&bins, smoothing, min_prominence)
+    }
+}
+
+/// A base-`b` logarithmic histogram for positive, heavy-tailed data
+/// (file sizes, request counts).
+///
+/// Bucket `i` covers `[b^(min_exp + i), b^(min_exp + i + 1))`.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::LogHistogram;
+///
+/// let mut h = LogHistogram::base2(0, 30).unwrap(); // 1 byte .. 1 GiB
+/// h.add(1500.0);   // ~1.5 KB thumbnail
+/// h.add(800_000.0); // ~800 KB full image
+/// assert_eq!(h.total(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    base: f64,
+    min_exp: i32,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a log histogram with the given base and exponent range
+    /// `[min_exp, max_exp)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramConfigError`] if `base <= 1`, the range is empty,
+    /// or the base is not finite.
+    pub fn new(base: f64, min_exp: i32, max_exp: i32) -> Result<Self, HistogramConfigError> {
+        if !base.is_finite() {
+            return Err(HistogramConfigError::NonFiniteBounds);
+        }
+        if base <= 1.0 {
+            return Err(HistogramConfigError::BadBase);
+        }
+        if max_exp <= min_exp {
+            return Err(HistogramConfigError::EmptyRange);
+        }
+        Ok(Self {
+            base,
+            min_exp,
+            counts: vec![0; (max_exp - min_exp) as usize],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
+    }
+
+    /// Base-2 log histogram over exponents `[min_exp, max_exp)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogHistogram::new`].
+    pub fn base2(min_exp: i32, max_exp: i32) -> Result<Self, HistogramConfigError> {
+        Self::new(2.0, min_exp, max_exp)
+    }
+
+    /// Base-10 log histogram over exponents `[min_exp, max_exp)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogHistogram::new`].
+    pub fn base10(min_exp: i32, max_exp: i32) -> Result<Self, HistogramConfigError> {
+        Self::new(10.0, min_exp, max_exp)
+    }
+
+    /// Adds one sample. Non-positive and non-finite samples are ignored;
+    /// samples outside the exponent range land in under/overflow.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() || x <= 0.0 {
+            return;
+        }
+        self.total += 1;
+        let exp = x.log(self.base).floor() as i32;
+        if exp < self.min_exp {
+            self.underflow += 1;
+        } else if exp >= self.min_exp + self.counts.len() as i32 {
+            self.overflow += 1;
+        } else {
+            self.counts[(exp - self.min_exp) as usize] += 1;
+        }
+    }
+
+    /// Total samples added (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below `base^min_exp`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above `base^max_exp`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Materializes the buckets with geometric edges.
+    pub fn bins(&self) -> Vec<Bin> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| Bin {
+                lo: self.base.powi(self.min_exp + i as i32),
+                hi: self.base.powi(self.min_exp + i as i32 + 1),
+                count,
+            })
+            .collect()
+    }
+
+    /// Smoothed local maxima of the bucket counts; see [`modes`].
+    pub fn modes(&self, smoothing: usize, min_prominence: f64) -> Vec<Bin> {
+        modes(&self.bins(), smoothing, min_prominence)
+    }
+
+    /// Convenience: `true` when the distribution shows at least two modes.
+    ///
+    /// Used to verify the paper's bi-modal image-size claim (Fig 5b).
+    pub fn is_multimodal(&self, smoothing: usize, min_prominence: f64) -> bool {
+        self.modes(smoothing, min_prominence).len() >= 2
+    }
+}
+
+/// Finds local maxima of a binned distribution after moving-average
+/// smoothing.
+///
+/// `smoothing` is the half-width of the moving-average window (0 = none).
+/// `min_prominence` is the minimum fraction of the total mass a mode's peak
+/// bin must hold after smoothing (e.g. `0.02` = 2 %) — this suppresses noise
+/// peaks.
+pub fn modes(bins: &[Bin], smoothing: usize, min_prominence: f64) -> Vec<Bin> {
+    if bins.is_empty() {
+        return Vec::new();
+    }
+    let total: u64 = bins.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let n = bins.len();
+    let smoothed: Vec<f64> = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(smoothing);
+            let hi = (i + smoothing + 1).min(n);
+            let window = &bins[lo..hi];
+            window.iter().map(|b| b.count as f64).sum::<f64>() / window.len() as f64
+        })
+        .collect();
+    let threshold = min_prominence * total as f64;
+    let mut result = Vec::new();
+    for i in 0..n {
+        let left_ok = i == 0 || smoothed[i] > smoothed[i - 1];
+        let right_ok = i + 1 == n || smoothed[i] >= smoothed[i + 1];
+        if left_ok && right_ok && smoothed[i] >= threshold {
+            result.push(bins[i]);
+        }
+    }
+    result
+}
+
+/// Error constructing a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramConfigError {
+    /// Requested zero buckets.
+    ZeroBins,
+    /// A bound was NaN or infinite.
+    NonFiniteBounds,
+    /// Upper bound does not exceed lower bound.
+    EmptyRange,
+    /// Logarithm base must exceed 1.
+    BadBase,
+}
+
+impl std::fmt::Display for HistogramConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            Self::ZeroBins => "histogram must have at least one bin",
+            Self::NonFiniteBounds => "histogram bounds must be finite",
+            Self::EmptyRange => "histogram upper bound must exceed lower bound",
+            Self::BadBase => "log histogram base must exceed 1",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for HistogramConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_rejects_bad_config() {
+        assert_eq!(
+            LinearHistogram::new(0.0, 1.0, 0).unwrap_err(),
+            HistogramConfigError::ZeroBins
+        );
+        assert_eq!(
+            LinearHistogram::new(1.0, 1.0, 4).unwrap_err(),
+            HistogramConfigError::EmptyRange
+        );
+        assert_eq!(
+            LinearHistogram::new(f64::NAN, 1.0, 4).unwrap_err(),
+            HistogramConfigError::NonFiniteBounds
+        );
+    }
+
+    #[test]
+    fn linear_bucketing() {
+        let mut h = LinearHistogram::new(0.0, 10.0, 10).unwrap();
+        for x in [0.0, 0.5, 1.0, 9.99, 10.0] {
+            h.add(x);
+        }
+        let bins = h.bins();
+        assert_eq!(bins[0].count, 2); // 0.0, 0.5
+        assert_eq!(bins[1].count, 1); // 1.0
+        assert_eq!(bins[9].count, 2); // 9.99 and the inclusive upper edge 10.0
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn linear_under_overflow() {
+        let mut h = LinearHistogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-1.0);
+        h.add(2.0);
+        h.add(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn log2_bucketing() {
+        let mut h = LogHistogram::base2(0, 4).unwrap();
+        // Buckets: [1,2) [2,4) [4,8) [8,16)
+        for x in [1.0, 1.9, 2.0, 7.9, 8.0, 15.9] {
+            h.add(x);
+        }
+        let bins = h.bins();
+        assert_eq!(bins[0].count, 2);
+        assert_eq!(bins[1].count, 1);
+        assert_eq!(bins[2].count, 1);
+        assert_eq!(bins[3].count, 2);
+    }
+
+    #[test]
+    fn log_ignores_nonpositive() {
+        let mut h = LogHistogram::base10(0, 3).unwrap();
+        h.add(0.0);
+        h.add(-5.0);
+        assert_eq!(h.total(), 0);
+        h.add(0.5); // below 10^0
+        assert_eq!(h.underflow(), 1);
+        h.add(1e9); // above 10^3
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn bad_base_rejected() {
+        assert_eq!(
+            LogHistogram::new(1.0, 0, 4).unwrap_err(),
+            HistogramConfigError::BadBase
+        );
+    }
+
+    #[test]
+    fn unimodal_detected() {
+        let mut h = LinearHistogram::new(0.0, 10.0, 20).unwrap();
+        for i in 0..1000 {
+            // Roughly triangular around 5.
+            let x = 5.0 + 4.0 * ((i as f64 * 0.618).fract() - 0.5);
+            h.add(x);
+        }
+        let modes = h.modes(1, 0.02);
+        assert!(!modes.is_empty());
+    }
+
+    #[test]
+    fn bimodal_detected() {
+        let mut h = LogHistogram::base2(8, 24).unwrap(); // 256 B .. 16 MB
+        // Thumbnail mode around 4 KB, full-size mode around 512 KB.
+        for i in 0..500 {
+            h.add(3000.0 + (i % 100) as f64 * 20.0);
+            h.add(400_000.0 + (i % 100) as f64 * 2000.0);
+        }
+        assert!(h.is_multimodal(0, 0.05));
+        let modes = h.modes(0, 0.05);
+        assert_eq!(modes.len(), 2);
+        assert!(modes[0].lo < 10_000.0);
+        assert!(modes[1].lo > 100_000.0);
+    }
+
+    #[test]
+    fn empty_bins_no_modes() {
+        let h = LinearHistogram::new(0.0, 1.0, 4).unwrap();
+        assert!(h.modes(1, 0.0).is_empty());
+        assert!(modes(&[], 1, 0.0).is_empty());
+    }
+
+    #[test]
+    fn bin_center() {
+        let b = Bin { lo: 2.0, hi: 4.0, count: 1 };
+        assert_eq!(b.center(), 3.0);
+    }
+}

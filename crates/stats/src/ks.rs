@@ -1,0 +1,118 @@
+//! Two-sample Kolmogorov–Smirnov statistic.
+//!
+//! Used to quantify how far two empirical distributions diverge — e.g.
+//! thumbnail vs full-size image populations, or a measured CDF against a
+//! reference shape.
+
+use crate::ecdf::Ecdf;
+
+/// The two-sample KS statistic: the supremum distance between two ECDFs.
+///
+/// Returns `None` when either sample is empty. The value lies in `[0, 1]`;
+/// 0 means identical empirical distributions.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::{ks_statistic, Ecdf};
+///
+/// let a = Ecdf::from_samples([1.0, 2.0, 3.0]);
+/// let b = Ecdf::from_samples([1.0, 2.0, 3.0]);
+/// assert_eq!(ks_statistic(&a, &b), Some(0.0));
+///
+/// let c = Ecdf::from_samples([100.0, 200.0]);
+/// assert_eq!(ks_statistic(&a, &c), Some(1.0));
+/// ```
+pub fn ks_statistic(a: &Ecdf, b: &Ecdf) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    // The supremum is attained at a sample point of either distribution;
+    // evaluate both CDFs just below and at every merged sample point.
+    let mut d: f64 = 0.0;
+    for &x in a.sorted_samples().iter().chain(b.sorted_samples()) {
+        let at = (a.fraction_at_most(x) - b.fraction_at_most(x)).abs();
+        let below = (a.fraction_below(x) - b.fraction_below(x)).abs();
+        d = d.max(at).max(below);
+    }
+    Some(d)
+}
+
+/// Asymptotic two-sample KS significance threshold at level `alpha`
+/// (commonly 0.05): distributions with a statistic above the returned
+/// value differ significantly.
+///
+/// Returns `None` when either sample size is zero or `alpha` is outside
+/// `(0, 1)`.
+pub fn ks_threshold(n1: usize, n2: usize, alpha: f64) -> Option<f64> {
+    if n1 == 0 || n2 == 0 || !(alpha > 0.0 && alpha < 1.0) {
+        return None;
+    }
+    let c = (-0.5 * (alpha / 2.0).ln()).sqrt();
+    let scale = ((n1 + n2) as f64 / (n1 as f64 * n2 as f64)).sqrt();
+    Some(c * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_zero() {
+        let a = Ecdf::from_samples((0..100).map(|i| i as f64));
+        assert_eq!(ks_statistic(&a, &a.clone()), Some(0.0));
+    }
+
+    #[test]
+    fn disjoint_samples_one() {
+        let a = Ecdf::from_samples([1.0, 2.0]);
+        let b = Ecdf::from_samples([10.0, 20.0]);
+        assert_eq!(ks_statistic(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let a = Ecdf::from_samples([1.0]);
+        let empty = Ecdf::from_samples([]);
+        assert_eq!(ks_statistic(&a, &empty), None);
+        assert_eq!(ks_statistic(&empty, &a), None);
+    }
+
+    #[test]
+    fn shifted_uniform_statistic() {
+        // U[0,1] vs U[0.5,1.5]: KS distance is 0.5.
+        let a = Ecdf::from_samples((0..1000).map(|i| i as f64 / 1000.0));
+        let b = Ecdf::from_samples((0..1000).map(|i| 0.5 + i as f64 / 1000.0));
+        let d = ks_statistic(&a, &b).unwrap();
+        assert!((d - 0.5).abs() < 0.01, "got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Ecdf::from_samples([1.0, 5.0, 9.0]);
+        let b = Ecdf::from_samples([2.0, 5.0, 7.0, 11.0]);
+        assert_eq!(ks_statistic(&a, &b), ks_statistic(&b, &a));
+    }
+
+    #[test]
+    fn threshold_behaviour() {
+        let t = ks_threshold(100, 100, 0.05).unwrap();
+        assert!((0.1..0.3).contains(&t), "got {t}");
+        // More data → tighter threshold.
+        assert!(ks_threshold(10_000, 10_000, 0.05).unwrap() < t);
+        assert_eq!(ks_threshold(0, 5, 0.05), None);
+        assert_eq!(ks_threshold(5, 5, 0.0), None);
+        assert_eq!(ks_threshold(5, 5, 1.0), None);
+    }
+
+    #[test]
+    fn same_distribution_below_threshold() {
+        // Two halves of the same uniform stream should not differ
+        // significantly.
+        let a = Ecdf::from_samples((0..500).map(|i| (i as f64 * 0.618).fract()));
+        let b = Ecdf::from_samples((500..1000).map(|i| (i as f64 * 0.618).fract()));
+        let d = ks_statistic(&a, &b).unwrap();
+        let t = ks_threshold(500, 500, 0.05).unwrap();
+        assert!(d < t, "statistic {d} exceeds threshold {t}");
+    }
+}

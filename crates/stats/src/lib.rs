@@ -1,0 +1,51 @@
+//! Statistical primitives used throughout the `oat` workspace.
+//!
+//! This crate is a small, dependency-light statistics toolbox covering the
+//! descriptive machinery the ICDCS 2016 adult-traffic study leans on:
+//!
+//! * [`Ecdf`] — empirical cumulative distribution functions (every CDF figure
+//!   in the paper: content sizes, popularity, inter-arrival times, session
+//!   lengths, hit ratios, requests-per-user).
+//! * [`LinearHistogram`] / [`LogHistogram`] — binned views, including the
+//!   mode detection used to verify the paper's *bi-modal image size* claim.
+//! * [`StreamingStats`] — single-pass Welford moments for large traces.
+//! * [`PsquareQuantile`] — constant-memory streaming quantile estimation.
+//! * [`zipf`] — rank-frequency power-law fitting for popularity skew.
+//! * [`correlation`] — Pearson and Spearman coefficients (the paper reports
+//!   a > 0.9 popularity/hit-ratio correlation).
+//! * [`SpaceSaving`] — approximate heavy hitters for top-object reporting.
+//! * [`FrequencyTable`] — exact counting with entropy/Gini/share summaries.
+//!
+//! # Example
+//!
+//! ```
+//! use oat_stats::Ecdf;
+//!
+//! let ecdf = Ecdf::from_samples([4.0, 1.0, 3.0, 2.0]);
+//! assert_eq!(ecdf.quantile(0.5), Some(2.0));
+//! assert_eq!(ecdf.fraction_at_most(3.0), 0.75);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod correlation;
+pub mod ecdf;
+pub mod frequency;
+pub mod histogram;
+pub mod ks;
+pub mod psquare;
+pub mod streaming;
+pub mod topk;
+pub mod zipf;
+
+pub use correlation::{pearson, spearman};
+pub use ecdf::Ecdf;
+pub use frequency::FrequencyTable;
+pub use histogram::{Bin, LinearHistogram, LogHistogram};
+pub use ks::{ks_statistic, ks_threshold};
+pub use psquare::PsquareQuantile;
+pub use streaming::StreamingStats;
+pub use topk::SpaceSaving;
+pub use zipf::{fit_zipf, ZipfFit};

@@ -1,0 +1,262 @@
+//! P² (P-square) streaming quantile estimation.
+//!
+//! Jain & Chlamtac's P² algorithm estimates a single quantile in O(1) memory
+//! without storing observations — used for on-the-fly percentile tracking
+//! while replaying multi-million-request traces.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator for one quantile `q` using five markers.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::PsquareQuantile;
+///
+/// let mut p50 = PsquareQuantile::new(0.5).unwrap();
+/// for i in 1..=1001 {
+///     p50.push(i as f64);
+/// }
+/// let est = p50.estimate().unwrap();
+/// assert!((est - 501.0).abs() < 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsquareQuantile {
+    q: f64,
+    /// Marker heights (estimated values).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Number of observations so far (first 5 are buffered in `heights`).
+    count: usize,
+}
+
+impl PsquareQuantile {
+    /// Creates an estimator for quantile `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQuantileError`] unless `0 < q < 1`.
+    pub fn new(q: f64) -> Result<Self, InvalidQuantileError> {
+        // NaN fails both comparisons and is rejected.
+        if q.is_nan() || q <= 0.0 || q >= 1.0 {
+            return Err(InvalidQuantileError { q });
+        }
+        Ok(Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        })
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations pushed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite floats"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in &mut self.positions[k + 1..5] {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate; `None` until at least one observation.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                // Fall back to the exact quantile of the buffered samples.
+                let mut buf = self.heights[..n].to_vec();
+                buf.sort_by(|a, b| a.partial_cmp(b).expect("finite floats"));
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+                Some(buf[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// Error returned by [`PsquareQuantile::new`] for `q` outside `(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidQuantileError {
+    /// The rejected quantile.
+    pub q: f64,
+}
+
+impl std::fmt::Display for InvalidQuantileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "quantile must be in (0, 1), got {}", self.q)
+    }
+}
+
+impl std::error::Error for InvalidQuantileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (*seed >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn rejects_bad_quantiles() {
+        assert!(PsquareQuantile::new(0.0).is_err());
+        assert!(PsquareQuantile::new(1.0).is_err());
+        assert!(PsquareQuantile::new(-0.5).is_err());
+        assert!(PsquareQuantile::new(f64::NAN).is_err());
+        let err = PsquareQuantile::new(2.0).unwrap_err();
+        assert!(err.to_string().contains("2"));
+    }
+
+    #[test]
+    fn empty_estimate_none() {
+        let p = PsquareQuantile::new(0.5).unwrap();
+        assert_eq!(p.estimate(), None);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn small_sample_exact() {
+        let mut p = PsquareQuantile::new(0.5).unwrap();
+        p.push(3.0);
+        p.push(1.0);
+        p.push(2.0);
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn uniform_median_accurate() {
+        let mut p = PsquareQuantile::new(0.5).unwrap();
+        let mut seed = 42u64;
+        for _ in 0..100_000 {
+            p.push(lcg(&mut seed));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn uniform_p95_accurate() {
+        let mut p = PsquareQuantile::new(0.95).unwrap();
+        let mut seed = 7u64;
+        for _ in 0..100_000 {
+            p.push(lcg(&mut seed));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.95).abs() < 0.02, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        // Exponential-ish: -ln(u). True median = ln 2 ≈ 0.693.
+        let mut p = PsquareQuantile::new(0.5).unwrap();
+        let mut seed = 99u64;
+        for _ in 0..100_000 {
+            let u = lcg(&mut seed).max(1e-12);
+            p.push(-u.ln());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.693).abs() < 0.05, "exp median estimate {est}");
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut p = PsquareQuantile::new(0.5).unwrap();
+        p.push(f64::NAN);
+        p.push(f64::INFINITY);
+        assert_eq!(p.count(), 0);
+        p.push(1.0);
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn monotone_stream() {
+        let mut p = PsquareQuantile::new(0.9).unwrap();
+        for i in 0..10_000 {
+            p.push(i as f64);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 9000.0).abs() < 200.0, "p90 estimate {est}");
+    }
+}

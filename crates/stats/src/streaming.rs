@@ -1,0 +1,236 @@
+//! Single-pass streaming moment estimation (Welford's algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance/min/max over a stream of `f64` values.
+///
+/// Uses Welford's numerically stable update, and supports merging two
+/// accumulators (Chan et al.) so per-shard statistics can be combined.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::StreamingStats;
+///
+/// let mut s = StreamingStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), Some(5.0));
+/// assert_eq!(s.population_variance(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of (finite) observations pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, if any observations exist.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population variance (dividing by `n`), if any observations exist.
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (dividing by `n - 1`); requires at least 2 samples.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> Option<f64> {
+        self.population_variance().map(f64::sqrt)
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Coefficient of variation (population std dev over mean), if defined.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        if mean == 0.0 {
+            return None;
+        }
+        Some(self.population_std_dev()? / mean.abs())
+    }
+
+    /// Merges another accumulator into this one.
+    ///
+    /// Equivalent to having pushed all of `other`'s observations here.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for StreamingStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for StreamingStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = StreamingStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.population_variance(), None);
+        assert_eq!(s.sample_variance(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let s: StreamingStats = [3.0].into_iter().collect();
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.population_variance(), Some(0.0));
+        assert_eq!(s.sample_variance(), None);
+        assert_eq!(s.min(), Some(3.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let s: StreamingStats = [1.0, f64::NAN, 3.0, f64::NEG_INFINITY].into_iter().collect();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 100.0).collect();
+        let s: StreamingStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean().unwrap() - mean).abs() < 1e-9);
+        assert!((s.population_variance().unwrap() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 1.5).collect();
+        let (a_half, b_half) = xs.split_at(123);
+        let mut a: StreamingStats = a_half.iter().copied().collect();
+        let b: StreamingStats = b_half.iter().copied().collect();
+        a.merge(&b);
+        let full: StreamingStats = xs.iter().copied().collect();
+        assert_eq!(a.count(), full.count());
+        assert!((a.mean().unwrap() - full.mean().unwrap()).abs() < 1e-9);
+        assert!(
+            (a.population_variance().unwrap() - full.population_variance().unwrap()).abs() < 1e-6
+        );
+        assert_eq!(a.min(), full.min());
+        assert_eq!(a.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a: StreamingStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&StreamingStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = StreamingStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s: StreamingStats = [1.0, 1.0, 1.0].into_iter().collect();
+        assert_eq!(s.coefficient_of_variation(), Some(0.0));
+        let zero_mean: StreamingStats = [-1.0, 1.0].into_iter().collect();
+        assert_eq!(zero_mean.coefficient_of_variation(), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! Approximate heavy hitters via the Space-Saving algorithm.
+//!
+//! Tracking exact per-object counters for tens of millions of URLs is
+//! memory-hungry; Space-Saving (Metwally et al., 2005) maintains the top-k
+//! most frequent items with bounded error using `k` counters.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A Space-Saving heavy-hitter sketch over items of type `T`.
+///
+/// Maintains at most `capacity` counters. Each reported count overestimates
+/// the true count by at most the reported `error` for that item.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::SpaceSaving;
+///
+/// let mut ss = SpaceSaving::new(2);
+/// for item in ["a", "a", "a", "b", "c", "a"] {
+///     ss.observe(item);
+/// }
+/// let top = ss.top(1);
+/// assert_eq!(top[0].item, "a");
+/// assert!(top[0].count >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<T> {
+    capacity: usize,
+    counters: HashMap<T, Counter>,
+    observed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Counter {
+    count: u64,
+    error: u64,
+}
+
+/// One entry reported by [`SpaceSaving::top`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitter<T> {
+    /// The tracked item.
+    pub item: T,
+    /// Estimated count (an overestimate).
+    pub count: u64,
+    /// Maximum possible overestimation for this item.
+    pub error: u64,
+}
+
+impl<T: Eq + Hash + Clone> SpaceSaving<T> {
+    /// Creates a sketch tracking at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "SpaceSaving capacity must be positive");
+        Self {
+            capacity,
+            counters: HashMap::with_capacity(capacity),
+            observed: 0,
+        }
+    }
+
+    /// Records one occurrence of `item`.
+    pub fn observe(&mut self, item: T) {
+        self.observe_weighted(item, 1);
+    }
+
+    /// Records `weight` occurrences of `item` at once.
+    pub fn observe_weighted(&mut self, item: T, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.observed += weight;
+        if let Some(c) = self.counters.get_mut(&item) {
+            c.count += weight;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, Counter { count: weight, error: 0 });
+            return;
+        }
+        // Evict the minimum counter and inherit its count as error.
+        let (min_item, min_count) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, c)| c.count)
+            .map(|(k, c)| (k.clone(), c.count))
+            .expect("capacity > 0 implies at least one counter");
+        self.counters.remove(&min_item);
+        self.counters.insert(
+            item,
+            Counter { count: min_count + weight, error: min_count },
+        );
+    }
+
+    /// Total weight observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of items currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The `n` highest-count items, sorted by descending estimated count.
+    pub fn top(&self, n: usize) -> Vec<HeavyHitter<T>> {
+        let mut all: Vec<HeavyHitter<T>> = self
+            .counters
+            .iter()
+            .map(|(item, c)| HeavyHitter {
+                item: item.clone(),
+                count: c.count,
+                error: c.error,
+            })
+            .collect();
+        all.sort_by_key(|hh| std::cmp::Reverse(hh.count));
+        all.truncate(n);
+        all
+    }
+
+    /// Estimated count for `item`, if tracked.
+    pub fn estimate(&self, item: &T) -> Option<u64> {
+        self.counters.get(item).map(|c| c.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SpaceSaving::<u32>::new(0);
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for i in 0..5u32 {
+            for _ in 0..=i {
+                ss.observe(i);
+            }
+        }
+        for i in 0..5u32 {
+            assert_eq!(ss.estimate(&i), Some(i as u64 + 1));
+        }
+        let top = ss.top(2);
+        assert_eq!(top[0].item, 4);
+        assert_eq!(top[0].error, 0);
+        assert_eq!(ss.observed(), 15);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_eviction() {
+        let mut ss = SpaceSaving::new(3);
+        // "hot" appears 1000 times interleaved with 100 distinct cold items.
+        for i in 0..1000u32 {
+            ss.observe(0u32);
+            ss.observe(1000 + (i % 100));
+        }
+        let top = ss.top(1);
+        assert_eq!(top[0].item, 0);
+        assert!(top[0].count >= 1000);
+        assert_eq!(ss.tracked(), 3);
+    }
+
+    #[test]
+    fn overestimate_bounded_by_error() {
+        let mut ss = SpaceSaving::new(2);
+        for item in ["a", "b", "c", "d"] {
+            ss.observe(item);
+        }
+        for hh in ss.top(2) {
+            // True count of every item is 1; estimate - error <= true count.
+            assert!(hh.count - hh.error <= 1);
+        }
+    }
+
+    #[test]
+    fn weighted_observations() {
+        let mut ss = SpaceSaving::new(4);
+        ss.observe_weighted("x", 10);
+        ss.observe_weighted("y", 3);
+        ss.observe_weighted("x", 5);
+        ss.observe_weighted("z", 0); // no-op
+        assert_eq!(ss.estimate(&"x"), Some(15));
+        assert_eq!(ss.estimate(&"z"), None);
+        assert_eq!(ss.observed(), 18);
+    }
+
+    #[test]
+    fn top_truncates() {
+        let mut ss = SpaceSaving::new(5);
+        for i in 0..5u32 {
+            ss.observe(i);
+        }
+        assert_eq!(ss.top(3).len(), 3);
+        assert_eq!(ss.top(100).len(), 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Power-law (Zipf) fitting for popularity distributions.
+//!
+//! Content popularity in the paper (Fig 6) is long-tailed. This module fits
+//! the rank-frequency exponent `alpha` of `count(rank) ∝ rank^-alpha` via
+//! least squares in log-log space, and also reports tail-concentration
+//! statistics (what fraction of requests the top `p` objects draw).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `count ∝ rank^-alpha` to a popularity distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZipfFit {
+    /// Fitted skew exponent (the negated log-log slope).
+    pub alpha: f64,
+    /// Intercept in log-log space (`ln` of the count predicted at rank 1).
+    pub intercept: f64,
+    /// Coefficient of determination of the log-log regression.
+    pub r_squared: f64,
+    /// Number of ranks used in the fit.
+    pub ranks: usize,
+}
+
+/// Fits a Zipf exponent to raw per-object request counts.
+///
+/// Counts are sorted descending, zero counts are dropped, and an ordinary
+/// least-squares line is fit to `(ln rank, ln count)`. Returns `None` when
+/// fewer than two distinct positive counts remain or the fit degenerates.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::fit_zipf;
+///
+/// // Ideal Zipf with alpha = 1: counts 1000/rank.
+/// let counts: Vec<u64> = (1..=100u64).map(|r| 1000 / r).collect();
+/// let fit = fit_zipf(&counts).unwrap();
+/// assert!((fit.alpha - 1.0).abs() < 0.1);
+/// assert!(fit.r_squared > 0.95);
+/// ```
+pub fn fit_zipf(counts: &[u64]) -> Option<ZipfFit> {
+    let mut sorted: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    if sorted.len() < 2 {
+        return None;
+    }
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let points: Vec<(f64, f64)> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom == 0.0 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    // Near-zero total variance means all counts are (numerically) equal:
+    // the flat line is a perfect fit.
+    let r_squared = if ss_tot < 1e-9 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(ZipfFit {
+        alpha: -slope,
+        intercept,
+        r_squared,
+        ranks: points.len(),
+    })
+}
+
+/// Fraction of total requests captured by the most popular `top_fraction`
+/// of objects (e.g. `0.1` = top 10 %).
+///
+/// Returns `None` when `counts` is empty or sums to zero. `top_fraction` is
+/// clamped to `[0, 1]`; at least one object is always included when the
+/// clamped fraction is positive.
+///
+/// # Example
+///
+/// ```
+/// use oat_stats::zipf::top_share;
+///
+/// let counts = [100u64, 10, 5, 1, 1, 1, 1, 1, 1, 1];
+/// // The single most popular object (top 10 %) draws 100/122 of requests.
+/// let share = top_share(&counts, 0.1).unwrap();
+/// assert!((share - 100.0 / 122.0).abs() < 1e-12);
+/// ```
+pub fn top_share(counts: &[u64], top_fraction: f64) -> Option<f64> {
+    if counts.is_empty() {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let top_fraction = top_fraction.clamp(0.0, 1.0);
+    if top_fraction == 0.0 {
+        return Some(0.0);
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let k = ((sorted.len() as f64 * top_fraction).round() as usize).clamp(1, sorted.len());
+    let top: u64 = sorted[..k].iter().sum();
+    Some(top as f64 / total as f64)
+}
+
+/// Gini coefficient of a popularity distribution — `0` when all objects are
+/// equally popular, approaching `1` for extreme concentration.
+///
+/// Returns `None` when `counts` is empty or sums to zero.
+pub fn gini(counts: &[u64]) -> Option<f64> {
+    if counts.is_empty() {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as f64 + 1.0) * c as f64)
+        .sum();
+    Some((2.0 * weighted) / (n * total as f64) - (n + 1.0) / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_zipf_recovered() {
+        for alpha in [0.6, 0.8, 1.0, 1.2] {
+            let counts: Vec<u64> = (1..=500u64)
+                .map(|r| (1e6 / (r as f64).powf(alpha)).round() as u64)
+                .collect();
+            let fit = fit_zipf(&counts).unwrap();
+            assert!(
+                (fit.alpha - alpha).abs() < 0.05,
+                "alpha {alpha}: fitted {}",
+                fit.alpha
+            );
+            assert!(fit.r_squared > 0.99);
+            assert_eq!(fit.ranks, 500);
+        }
+    }
+
+    #[test]
+    fn uniform_counts_alpha_zero() {
+        let counts = vec![50u64; 100];
+        let fit = fit_zipf(&counts).unwrap();
+        assert!(fit.alpha.abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(fit_zipf(&[]).is_none());
+        assert!(fit_zipf(&[5]).is_none());
+        assert!(fit_zipf(&[0, 0, 7]).is_none());
+    }
+
+    #[test]
+    fn zeros_dropped() {
+        let counts = [10u64, 0, 5, 0, 1];
+        let fit = fit_zipf(&counts).unwrap();
+        assert_eq!(fit.ranks, 3);
+    }
+
+    #[test]
+    fn top_share_bounds() {
+        let counts = [1u64; 10];
+        assert_eq!(top_share(&counts, 0.0), Some(0.0));
+        assert_eq!(top_share(&counts, 1.0), Some(1.0));
+        // Clamp out-of-range fractions.
+        assert_eq!(top_share(&counts, 2.0), Some(1.0));
+        assert!((top_share(&counts, 0.5).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_share_skewed() {
+        let counts = [1000u64, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        assert!(top_share(&counts, 0.1).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn top_share_empty_or_zero() {
+        assert_eq!(top_share(&[], 0.5), None);
+        assert_eq!(top_share(&[0, 0], 0.5), None);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!((gini(&[10, 10, 10, 10]).unwrap()).abs() < 1e-12);
+        // One object holds everything: Gini → (n-1)/n.
+        let g = gini(&[100, 0, 0, 0]).unwrap();
+        assert!((g - 0.75).abs() < 1e-12);
+        assert_eq!(gini(&[]), None);
+        assert_eq!(gini(&[0]), None);
+    }
+
+    #[test]
+    fn gini_order_invariant() {
+        let a = gini(&[5, 1, 3, 9]).unwrap();
+        let b = gini(&[9, 3, 5, 1]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for `oat-stats` invariants.
+
+use oat_stats::{
+    correlation::average_ranks, fit_zipf, pearson, spearman, zipf, Ecdf, LogHistogram,
+    PsquareQuantile, SpaceSaving, StreamingStats,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let ecdf = Ecdf::from_samples(samples.iter().copied());
+        let curve = ecdf.uniform_curve(50);
+        for w in curve.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        prop_assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_within_range(samples in prop::collection::vec(-1e6f64..1e6, 1..200),
+                                  q in 0.0f64..=1.0) {
+        let ecdf = Ecdf::from_samples(samples.iter().copied());
+        let v = ecdf.quantile(q).unwrap();
+        prop_assert!(v >= ecdf.min().unwrap());
+        prop_assert!(v <= ecdf.max().unwrap());
+    }
+
+    #[test]
+    fn ecdf_fraction_at_most_bounds(samples in prop::collection::vec(-1e3f64..1e3, 0..100),
+                                    x in -2e3f64..2e3) {
+        let ecdf = Ecdf::from_samples(samples.iter().copied());
+        let f = ecdf.fraction_at_most(x);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(ecdf.fraction_below(x) <= f);
+    }
+
+    #[test]
+    fn streaming_merge_associative(a in prop::collection::vec(-1e4f64..1e4, 0..100),
+                                   b in prop::collection::vec(-1e4f64..1e4, 0..100)) {
+        let mut merged: StreamingStats = a.iter().copied().collect();
+        let sb: StreamingStats = b.iter().copied().collect();
+        merged.merge(&sb);
+        let sequential: StreamingStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), sequential.count());
+        if let (Some(m1), Some(m2)) = (merged.mean(), sequential.mean()) {
+            prop_assert!((m1 - m2).abs() < 1e-6);
+        }
+        prop_assert_eq!(merged.min(), sequential.min());
+        prop_assert_eq!(merged.max(), sequential.max());
+    }
+
+    #[test]
+    fn streaming_mean_between_min_max(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s: StreamingStats = samples.iter().copied().collect();
+        let mean = s.mean().unwrap();
+        prop_assert!(mean >= s.min().unwrap() - 1e-9);
+        prop_assert!(mean <= s.max().unwrap() + 1e-9);
+        prop_assert!(s.population_variance().unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn pearson_bounded_and_symmetric(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&y, &x).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_to_monotone_transform(xs in prop::collection::vec(-1e2f64..1e2, 3..50)) {
+        let ys: Vec<f64> = xs.iter().map(|v| v * 3.0 + 1.0).collect();
+        if let (Some(a), Some(b)) = (spearman(&xs, &ys), spearman(&xs, &xs)) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn average_ranks_sum_preserved(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let ranks = average_ranks(&xs).unwrap();
+        let n = xs.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zipf_fit_alpha_nonnegative_for_sorted_decay(scale in 100u64..10_000, n in 10usize..200) {
+        let counts: Vec<u64> = (1..=n as u64).map(|r| scale / r).collect();
+        if let Some(fit) = fit_zipf(&counts) {
+            prop_assert!(fit.alpha >= -0.01);
+            prop_assert!(fit.r_squared <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_share_monotone_in_fraction(counts in prop::collection::vec(1u64..1000, 1..100),
+                                      f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let a = zipf::top_share(&counts, lo).unwrap();
+        let b = zipf::top_share(&counts, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn gini_in_unit_interval(counts in prop::collection::vec(0u64..1000, 1..100)) {
+        if let Some(g) = zipf::gini(&counts) {
+            prop_assert!((-1e-9..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn space_saving_estimate_overcounts(items in prop::collection::vec(0u8..20, 1..500)) {
+        let mut ss = SpaceSaving::new(5);
+        for &i in &items {
+            ss.observe(i);
+        }
+        for hh in ss.top(5) {
+            let truth = items.iter().filter(|&&x| x == hh.item).count() as u64;
+            prop_assert!(hh.count >= truth, "estimate must overcount");
+            prop_assert!(hh.count - hh.error <= truth, "count - error lower-bounds truth");
+        }
+        prop_assert_eq!(ss.observed(), items.len() as u64);
+    }
+
+    #[test]
+    fn psquare_estimate_within_observed_range(samples in prop::collection::vec(-1e4f64..1e4, 1..500),
+                                              qi in 1usize..10) {
+        let q = qi as f64 / 10.0;
+        let mut p = PsquareQuantile::new(q).unwrap();
+        for &s in &samples {
+            p.push(s);
+        }
+        let est = p.estimate().unwrap();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= min - 1e-9);
+        prop_assert!(est <= max + 1e-9);
+    }
+
+    #[test]
+    fn log_histogram_total_conserved(samples in prop::collection::vec(1e-3f64..1e9, 0..300)) {
+        let mut h = LogHistogram::base10(-1, 8).unwrap();
+        for &s in &samples {
+            h.add(s);
+        }
+        let binned: u64 = h.bins().iter().map(|b| b.count).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+        prop_assert_eq!(h.total(), samples.len() as u64);
+    }
+}

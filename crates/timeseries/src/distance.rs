@@ -1,0 +1,120 @@
+//! Distance metrics between series, and pairwise matrix construction.
+
+use crate::dtw::dtw_distance;
+use crate::matrix::CondensedMatrix;
+
+/// A distance metric between two time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Dynamic time warping with an optional Sakoe–Chiba band (the paper's
+    /// choice).
+    Dtw {
+        /// Band half-width; `None` is unconstrained.
+        band: Option<usize>,
+    },
+    /// Lockstep Euclidean distance. Series shorter than the other are
+    /// implicitly zero-padded — used as the ablation baseline (A6).
+    Euclidean,
+}
+
+impl Metric {
+    /// Distance between two series under this metric.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Metric::Dtw { band } => dtw_distance(a, b, band),
+            Metric::Euclidean => euclidean(a, b),
+        }
+    }
+}
+
+/// Lockstep Euclidean distance; the shorter series is zero-padded.
+///
+/// # Example
+///
+/// ```
+/// use oat_timeseries::distance::euclidean;
+/// assert_eq!(euclidean(&[0.0, 3.0], &[4.0, 3.0]), 4.0);
+/// assert_eq!(euclidean(&[3.0], &[3.0, 4.0]), 4.0); // padding
+/// ```
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    let mut sum = 0.0;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0.0);
+        let y = b.get(i).copied().unwrap_or(0.0);
+        sum += (x - y).powi(2);
+    }
+    sum.sqrt()
+}
+
+/// Computes the condensed pairwise distance matrix for a set of series.
+///
+/// Returns `None` when fewer than two series are supplied.
+pub fn pairwise_matrix(series: &[Vec<f64>], metric: Metric) -> Option<CondensedMatrix> {
+    let n = series.len();
+    if n < 2 {
+        return None;
+    }
+    let mut m = CondensedMatrix::zeros(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            m.set(i, j, metric.distance(&series[i], &series[j]));
+        }
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basic() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[], &[]), 0.0);
+        assert_eq!(euclidean(&[1.0], &[]), 1.0);
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 1.0, 2.0];
+        assert_eq!(Metric::Euclidean.distance(&a, &b), 0.0);
+        assert_eq!(Metric::Dtw { band: None }.distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn pairwise_matrix_symmetric() {
+        let series = vec![
+            vec![0.0, 1.0, 2.0],
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert!(m.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn pairwise_requires_two() {
+        assert!(pairwise_matrix(&[], Metric::Euclidean).is_none());
+        assert!(pairwise_matrix(&[vec![1.0]], Metric::Euclidean).is_none());
+    }
+
+    #[test]
+    fn dtw_leq_euclidean_equal_lengths() {
+        // DTW can only relax the lockstep alignment, so it never exceeds
+        // Euclidean for equal-length series.
+        let a: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3 + 1.0).sin()).collect();
+        let d_dtw = Metric::Dtw { band: None }.distance(&a, &b);
+        let d_euc = Metric::Euclidean.distance(&a, &b);
+        assert!(d_dtw <= d_euc + 1e-12);
+    }
+}

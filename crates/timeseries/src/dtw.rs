@@ -1,0 +1,259 @@
+//! Dynamic Time Warping.
+//!
+//! The paper (§IV-B) computes pairwise DTW distances between per-object
+//! request-count time series and feeds them to hierarchical clustering.
+//! This module provides an `O(N·M)` distance with optional Sakoe–Chiba band
+//! constraint and a full path-recovering variant.
+
+/// Options controlling a DTW computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DtwOptions {
+    /// Sakoe–Chiba band half-width: cell `(i, j)` is admissible only when
+    /// `|i - j| <= band` (after adjusting for unequal lengths). `None` means
+    /// unconstrained.
+    pub band: Option<usize>,
+}
+
+impl DtwOptions {
+    /// Unconstrained DTW.
+    pub fn unconstrained() -> Self {
+        Self { band: None }
+    }
+
+    /// DTW constrained to a Sakoe–Chiba band of half-width `w`.
+    pub fn banded(w: usize) -> Self {
+        Self { band: Some(w) }
+    }
+}
+
+/// DTW distance between two series using squared point cost and a
+/// symmetric step pattern (match / insert / delete).
+///
+/// The returned value is the square root of the accumulated squared cost,
+/// so `dtw(a, a) == 0` and equal-length identical series always yield zero.
+/// Returns `f64::INFINITY` when either series is empty or the band is too
+/// narrow to connect the two endpoints.
+///
+/// `band` — see [`DtwOptions::band`]; pass `None` for unconstrained.
+///
+/// # Example
+///
+/// ```
+/// use oat_timeseries::dtw::dtw_distance;
+///
+/// let a = [0.0, 1.0, 2.0, 3.0];
+/// let shifted = [0.0, 0.0, 1.0, 2.0, 3.0];
+/// // Time-shifted copies are close under DTW...
+/// assert!(dtw_distance(&a, &shifted, None) < 0.5);
+/// // ...while a reversed series is far.
+/// let reversed = [3.0, 2.0, 1.0, 0.0];
+/// assert!(dtw_distance(&a, &reversed, None) > 2.0);
+/// ```
+pub fn dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let (n, m) = (a.len(), b.len());
+    // Effective band: widen by the length difference so a path can exist.
+    let band = band.map(|w| w + n.abs_diff(m));
+    // Rolling two-row DP over the (n+1) x (m+1) accumulated-cost matrix.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = f64::INFINITY;
+        let (j_lo, j_hi) = band_limits(i, n, m, band);
+        // Cells outside the band stay infinite; reset the in-band window's
+        // left neighbour boundary.
+        for c in curr.iter_mut().take(j_hi + 1).skip(j_lo) {
+            *c = f64::INFINITY;
+        }
+        for j in j_lo..=j_hi {
+            let cost = (a[i - 1] - b[j - 1]).powi(2);
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        // Invalidate stale row contents outside next iteration's band.
+        for c in curr.iter_mut() {
+            *c = f64::INFINITY;
+        }
+    }
+    prev[m].sqrt()
+}
+
+/// Inclusive column range `[j_lo, j_hi]` (1-based) admissible for row `i`.
+fn band_limits(i: usize, n: usize, m: usize, band: Option<usize>) -> (usize, usize) {
+    match band {
+        None => (1, m),
+        Some(w) => {
+            // Map row i of n onto the diagonal of m columns.
+            let center = if n == 1 { 1 } else { 1 + (i - 1) * (m - 1) / (n - 1) };
+            let lo = center.saturating_sub(w).max(1);
+            let hi = (center + w).min(m);
+            (lo, hi)
+        }
+    }
+}
+
+/// Full DTW with warping-path recovery.
+///
+/// Returns `(distance, path)` where `path` is the sequence of `(i, j)` index
+/// pairs (0-based) from `(0, 0)` to `(n-1, m-1)`. Unconstrained only — path
+/// recovery keeps the full matrix, `O(N·M)` memory.
+///
+/// Returns `None` when either series is empty.
+pub fn dtw_path(a: &[f64], b: &[f64]) -> Option<(f64, Vec<(usize, usize)>)> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let (n, m) = (a.len(), b.len());
+    let mut acc = vec![f64::INFINITY; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    acc[idx(0, 0)] = 0.0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = (a[i - 1] - b[j - 1]).powi(2);
+            let best = acc[idx(i - 1, j)]
+                .min(acc[idx(i, j - 1)])
+                .min(acc[idx(i - 1, j - 1)]);
+            acc[idx(i, j)] = cost + best;
+        }
+    }
+    // Backtrack.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        path.push((i - 1, j - 1));
+        if i == 1 && j == 1 {
+            break;
+        }
+        let diag = if i > 1 && j > 1 { acc[idx(i - 1, j - 1)] } else { f64::INFINITY };
+        let up = if i > 1 { acc[idx(i - 1, j)] } else { f64::INFINITY };
+        let left = if j > 1 { acc[idx(i, j - 1)] } else { f64::INFINITY };
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    Some((acc[idx(n, m)].sqrt(), path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_zero() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw_distance(&a, &a, None), 0.0);
+        assert_eq!(dtw_distance(&a, &a, Some(0)), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [0.0, 1.0, 3.0, 2.0];
+        let b = [1.0, 1.0, 2.0, 4.0, 0.0];
+        let d1 = dtw_distance(&a, &b, None);
+        let d2 = dtw_distance(&b, &a, None);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_infinite() {
+        assert!(dtw_distance(&[], &[1.0], None).is_infinite());
+        assert!(dtw_distance(&[1.0], &[], None).is_infinite());
+        assert!(dtw_path(&[], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn shift_invariance_vs_euclidean() {
+        // A pulse and its shifted copy: DTW should be near zero while the
+        // pointwise (lockstep) distance is large.
+        let a: Vec<f64> = (0..50).map(|i| if (10..20).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..50).map(|i| if (15..25).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let dtw = dtw_distance(&a, &b, None);
+        let euclid: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dtw < 0.2 * euclid, "dtw {dtw} euclid {euclid}");
+    }
+
+    #[test]
+    fn banded_upper_bounds_unconstrained() {
+        let a: Vec<f64> = (0..30).map(|i| ((i as f64) * 0.4).sin()).collect();
+        let b: Vec<f64> = (0..30).map(|i| ((i as f64) * 0.4 + 0.8).sin()).collect();
+        let full = dtw_distance(&a, &b, None);
+        let banded = dtw_distance(&a, &b, Some(3));
+        assert!(banded >= full - 1e-12, "band can only restrict paths");
+        let wide = dtw_distance(&a, &b, Some(30));
+        assert!((wide - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_zero_equals_lockstep_for_equal_lengths() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 5.0];
+        let banded = dtw_distance(&a, &b, Some(0));
+        let lockstep = ((1.0f64).powi(2) + 0.0 + (2.0f64).powi(2)).sqrt();
+        assert!((banded - lockstep).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_lengths_band_still_connects() {
+        let a = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.0, 5.0];
+        let d = dtw_distance(&a, &b, Some(0));
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn path_endpoints_and_monotonicity() {
+        let a = [0.0, 1.0, 2.0, 1.0];
+        let b = [0.0, 2.0, 1.0];
+        let (d, path) = dtw_path(&a, &b).unwrap();
+        assert!(d.is_finite());
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (3, 2));
+        for w in path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0);
+            assert!(i1 - i0 <= 1 && j1 - j0 <= 1);
+            assert!(i1 + j1 > i0 + j0);
+        }
+    }
+
+    #[test]
+    fn path_distance_matches_distance_fn() {
+        let a: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).cos()).collect();
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.25).cos()).collect();
+        let (d_path, _) = dtw_path(&a, &b).unwrap();
+        let d = dtw_distance(&a, &b, None);
+        assert!((d_path - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn options_constructors() {
+        assert_eq!(DtwOptions::unconstrained().band, None);
+        assert_eq!(DtwOptions::banded(5).band, Some(5));
+        assert_eq!(DtwOptions::default().band, None);
+    }
+
+    #[test]
+    fn single_point_series() {
+        let d = dtw_distance(&[3.0], &[5.0], None);
+        assert!((d - 2.0).abs() < 1e-12);
+        let (dp, path) = dtw_path(&[3.0], &[5.0]).unwrap();
+        assert!((dp - 2.0).abs() < 1e-12);
+        assert_eq!(path, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,447 @@
+//! Agglomerative hierarchical clustering over a condensed distance matrix.
+//!
+//! Uses the nearest-neighbour-chain algorithm (O(n²) time after the distance
+//! matrix is built) with Lance–Williams updates, supporting the linkages the
+//! paper's dendrogram analysis needs. Merges are canonicalized (sorted by
+//! merge distance, SciPy-style node ids) so dendrograms can be cut by
+//! distance threshold or target cluster count.
+
+use crate::matrix::CondensedMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance between clusters.
+    Single,
+    /// Maximum pairwise distance between clusters.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA) — the default for the
+    /// paper's popularity-trend dendrograms.
+    Average,
+    /// Ward's minimum-variance criterion (assumes Euclidean-like distances).
+    Ward,
+}
+
+/// One merge step in a dendrogram.
+///
+/// Node ids follow the SciPy convention: ids `0..n` are leaves; the k-th
+/// merge (0-based, in ascending distance order) creates node `n + k`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged node id.
+    pub left: usize,
+    /// Second merged node id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// A full agglomerative clustering result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+    /// One representative leaf per merge node, for union-find replay.
+    reps: Vec<(usize, usize)>,
+}
+
+impl Dendrogram {
+    /// Number of leaves clustered.
+    pub fn n_leaves(&self) -> usize {
+        self.n
+    }
+
+    /// The merge steps in ascending distance order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cluster assignments after cutting the tree at `threshold`:
+    /// every merge with distance `<= threshold` is applied.
+    ///
+    /// Returns one label per leaf, with labels densely numbered from zero in
+    /// order of first appearance.
+    pub fn cut_at_distance(&self, threshold: f64) -> Vec<usize> {
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
+        self.cut_after(applied)
+    }
+
+    /// Cluster assignments for exactly `k` clusters (clamped to `[1, n]`).
+    ///
+    /// Returns an empty vector when the dendrogram has no leaves.
+    pub fn cut_k(&self, k: usize) -> Vec<usize> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let k = k.clamp(1, self.n);
+        self.cut_after(self.n - k)
+    }
+
+    /// Applies the first `count` merges and returns dense leaf labels.
+    fn cut_after(&self, count: usize) -> Vec<usize> {
+        let mut uf = UnionFind::new(self.n);
+        for (leaf_a, leaf_b) in self.reps.iter().take(count) {
+            uf.union(*leaf_a, *leaf_b);
+        }
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for leaf in 0..self.n {
+            let root = uf.find(leaf);
+            let next = label_of_root.len();
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        labels
+    }
+
+    /// Groups leaves by cluster for a `k`-cluster cut, largest cluster first.
+    pub fn clusters_k(&self, k: usize) -> Vec<Vec<usize>> {
+        let labels = self.cut_k(k);
+        let Some(&max) = labels.iter().max() else {
+            return Vec::new();
+        };
+        let mut groups = vec![Vec::new(); max + 1];
+        for (leaf, &label) in labels.iter().enumerate() {
+            groups[label].push(leaf);
+        }
+        groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+        groups
+    }
+
+    /// The cophenetic (merge) distance separating the two largest clusters
+    /// at the final merge — a quick measure of how separated the top-level
+    /// structure is. `None` when fewer than two leaves.
+    pub fn root_distance(&self) -> Option<f64> {
+        self.merges.last().map(|m| m.distance)
+    }
+}
+
+/// Runs agglomerative clustering with the given linkage.
+///
+/// Handles n = 0 and n = 1 gracefully (empty merge list).
+pub fn cluster(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    if n < 2 {
+        return Dendrogram { n, merges: Vec::new(), reps: Vec::new() };
+    }
+
+    // Full square working copy for O(1) updates; slots are reused on merge.
+    let mut dist = vec![0.0f64; n * n];
+    for (i, j, d) in matrix.iter() {
+        dist[i * n + j] = d;
+        dist[j * n + i] = d;
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    // Any leaf contained in the cluster currently occupying each slot.
+    let rep: Vec<usize> = (0..n).collect();
+
+    struct RawMerge {
+        leaf_a: usize,
+        leaf_b: usize,
+        distance: f64,
+    }
+    let mut raw: Vec<RawMerge> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+    for _ in 0..(n - 1) {
+        if chain.is_empty() {
+            let start = active
+                .iter()
+                .position(|&a| a)
+                .expect("at least two active clusters remain");
+            chain.push(start);
+        }
+        loop {
+            let a = *chain.last().expect("chain is non-empty");
+            let prev = chain.len().checked_sub(2).map(|i| chain[i]);
+            // Nearest active neighbour of `a`, preferring the chain
+            // predecessor on ties so the chain terminates.
+            let mut best: Option<(usize, f64)> = None;
+            for c in 0..n {
+                if c == a || !active[c] {
+                    continue;
+                }
+                let d = dist[a * n + c];
+                let better = match best {
+                    None => true,
+                    Some((bc, bd)) => d < bd || (d == bd && Some(c) == prev && Some(bc) != prev),
+                };
+                if better {
+                    best = Some((c, d));
+                }
+            }
+            let (b, d_ab) = best.expect("at least one other active cluster");
+            if Some(b) == prev {
+                // Reciprocal nearest neighbours: merge a and b.
+                chain.pop();
+                chain.pop();
+                raw.push(RawMerge { leaf_a: rep[a], leaf_b: rep[b], distance: d_ab });
+                merge_slots(&mut dist, &mut active, &mut size, n, a, b, d_ab, linkage);
+                // Merged cluster lives in slot `a`; keep its representative.
+                break;
+            }
+            chain.push(b);
+        }
+    }
+
+    // Canonicalize: sort by distance, assign SciPy-style node ids.
+    raw.sort_by(|x, y| x.distance.partial_cmp(&y.distance).expect("finite distances"));
+    let mut uf = UnionFind::new(n);
+    let mut node_of_root: Vec<usize> = (0..n).collect();
+    let mut size_of_root: Vec<usize> = vec![1; n];
+    let mut merges = Vec::with_capacity(raw.len());
+    let mut reps = Vec::with_capacity(raw.len());
+    for (k, rm) in raw.iter().enumerate() {
+        let ra = uf.find(rm.leaf_a);
+        let rb = uf.find(rm.leaf_b);
+        debug_assert_ne!(ra, rb, "merge must join distinct clusters");
+        let (left, right) = (node_of_root[ra], node_of_root[rb]);
+        let new_size = size_of_root[ra] + size_of_root[rb];
+        uf.union(rm.leaf_a, rm.leaf_b);
+        let root = uf.find(rm.leaf_a);
+        node_of_root[root] = n + k;
+        size_of_root[root] = new_size;
+        merges.push(Merge { left, right, distance: rm.distance, size: new_size });
+        reps.push((rm.leaf_a, rm.leaf_b));
+    }
+
+    Dendrogram { n, merges, reps }
+}
+
+/// Lance–Williams update merging slot `b` into slot `a`.
+#[allow(clippy::too_many_arguments)]
+fn merge_slots(
+    dist: &mut [f64],
+    active: &mut [bool],
+    size: &mut [usize],
+    n: usize,
+    a: usize,
+    b: usize,
+    d_ab: f64,
+    linkage: Linkage,
+) {
+    let (na, nb) = (size[a] as f64, size[b] as f64);
+    for c in 0..n {
+        if c == a || c == b || !active[c] {
+            continue;
+        }
+        let dac = dist[a * n + c];
+        let dbc = dist[b * n + c];
+        let updated = match linkage {
+            Linkage::Single => dac.min(dbc),
+            Linkage::Complete => dac.max(dbc),
+            Linkage::Average => (na * dac + nb * dbc) / (na + nb),
+            Linkage::Ward => {
+                let nc = size[c] as f64;
+                let t = na + nb + nc;
+                (((na + nc) * dac * dac + (nb + nc) * dbc * dbc - nc * d_ab * d_ab) / t)
+                    .max(0.0)
+                    .sqrt()
+            }
+        };
+        dist[a * n + c] = updated;
+        dist[c * n + a] = updated;
+    }
+    active[b] = false;
+    size[a] += size[b];
+}
+
+/// Minimal union-find with path compression and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{pairwise_matrix, Metric};
+
+    fn two_blob_series() -> Vec<Vec<f64>> {
+        // Blob A: flat around 0; blob B: flat around 10.
+        let mut v = Vec::new();
+        for i in 0..5 {
+            v.push(vec![0.0 + i as f64 * 0.01; 8]);
+        }
+        for i in 0..4 {
+            v.push(vec![10.0 + i as f64 * 0.01; 8]);
+        }
+        v
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let d = cluster(&CondensedMatrix::zeros(0), Linkage::Average);
+        assert_eq!(d.n_leaves(), 0);
+        assert!(d.merges().is_empty());
+        assert!(d.cut_k(3).is_empty());
+
+        let d1 = cluster(&CondensedMatrix::zeros(1), Linkage::Average);
+        assert_eq!(d1.n_leaves(), 1);
+        assert_eq!(d1.cut_k(1), vec![0]);
+        assert_eq!(d1.cut_at_distance(0.5), vec![0]);
+    }
+
+    #[test]
+    fn merge_count_and_sizes() {
+        let series = two_blob_series();
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let d = cluster(&m, linkage);
+            assert_eq!(d.merges().len(), series.len() - 1);
+            assert_eq!(d.merges().last().unwrap().size, series.len());
+            // Distances are sorted ascending.
+            for w in d.merges().windows(2) {
+                assert!(w[0].distance <= w[1].distance + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn two_blobs_recovered_by_all_linkages() {
+        let series = two_blob_series();
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let d = cluster(&m, linkage);
+            let labels = d.cut_k(2);
+            // All of blob A shares a label distinct from blob B.
+            let a = labels[0];
+            assert!(labels[..5].iter().all(|&l| l == a), "{linkage:?}: {labels:?}");
+            let b = labels[5];
+            assert_ne!(a, b);
+            assert!(labels[5..].iter().all(|&l| l == b), "{linkage:?}: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn cut_at_distance_extremes() {
+        let series = two_blob_series();
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        let d = cluster(&m, Linkage::Average);
+        // Below the smallest merge distance: every leaf is its own cluster.
+        let singletons = d.cut_at_distance(-1.0);
+        assert_eq!(singletons, (0..series.len()).collect::<Vec<_>>());
+        // Above the final merge distance: one cluster.
+        let all = d.cut_at_distance(f64::INFINITY);
+        assert!(all.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn cut_k_clamps() {
+        let series = two_blob_series();
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        let d = cluster(&m, Linkage::Average);
+        let one = d.cut_k(0); // clamped to 1
+        assert!(one.iter().all(|&l| l == 0));
+        let all = d.cut_k(100); // clamped to n
+        assert_eq!(all.len(), series.len());
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), series.len());
+    }
+
+    #[test]
+    fn clusters_k_grouping() {
+        let series = two_blob_series();
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        let d = cluster(&m, Linkage::Complete);
+        let groups = d.clusters_k(2);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 5); // largest first
+        assert_eq!(groups[1].len(), 4);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn three_well_separated_groups() {
+        let mut series = Vec::new();
+        for base in [0.0, 50.0, 100.0] {
+            for i in 0..4 {
+                series.push(vec![base + i as f64 * 0.1; 6]);
+            }
+        }
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        let d = cluster(&m, Linkage::Average);
+        let groups = d.clusters_k(3);
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert_eq!(g.len(), 4);
+            // Members of one group come from the same base block.
+            let block = g[0] / 4;
+            assert!(g.iter().all(|&leaf| leaf / 4 == block));
+        }
+        assert!(d.root_distance().unwrap() > 40.0);
+    }
+
+    #[test]
+    fn single_vs_complete_chaining() {
+        // A chain of points 0,1,2,...,7 spaced 1 apart plus a far point.
+        let mut series: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64; 4]).collect();
+        series.push(vec![100.0; 4]);
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        // Single linkage chains the whole run together before the far point.
+        let single = cluster(&m, Linkage::Single);
+        let labels = single.cut_k(2);
+        assert!(labels[..8].iter().all(|&l| l == labels[0]));
+        assert_ne!(labels[8], labels[0]);
+    }
+
+    #[test]
+    fn dtw_metric_clusters_shifted_pulses_together() {
+        // Two families: early pulses (possibly shifted) and late pulses.
+        // A Sakoe–Chiba band is essential here: unconstrained DTW warps any
+        // pulse onto any other perfectly, collapsing all distances to zero.
+        let pulse = |start: usize| -> Vec<f64> {
+            (0..48)
+                .map(|i| if (start..start + 6).contains(&i) { 1.0 } else { 0.0 })
+                .collect()
+        };
+        let series = vec![
+            pulse(2), pulse(4), pulse(6),   // early family
+            pulse(30), pulse(32), pulse(34), // late family
+        ];
+        let m = pairwise_matrix(&series, Metric::Dtw { band: Some(4) }).unwrap();
+        let d = cluster(&m, Linkage::Average);
+        let labels = d.cut_k(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+}

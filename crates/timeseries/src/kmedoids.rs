@@ -1,0 +1,246 @@
+//! K-medoids (PAM) clustering and silhouette quality scoring.
+//!
+//! The paper uses agglomerative hierarchical clustering; PAM is the
+//! classic alternative over the same DTW distance matrix (the medoid
+//! concept the paper cites — Kaufman & Rousseeuw — originates here), and
+//! the silhouette coefficient quantifies how well either method's cut
+//! separates the popularity trends.
+
+use crate::matrix::CondensedMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Result of a PAM run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PamResult {
+    /// Chosen medoid indices, one per cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster assignment per point (index into `medoids`).
+    pub labels: Vec<usize>,
+    /// Final total within-cluster distance.
+    pub cost: f64,
+    /// Swap iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs PAM (partitioning around medoids) for `k` clusters.
+///
+/// Uses the BUILD initialization (greedy cost minimization) followed by
+/// SWAP passes until no improving swap exists or `max_iter` is reached.
+/// Deterministic: no randomness is involved.
+///
+/// Returns `None` when `k == 0` or `k > n`.
+pub fn pam(matrix: &CondensedMatrix, k: usize, max_iter: usize) -> Option<PamResult> {
+    let n = matrix.len();
+    if k == 0 || k > n {
+        return None;
+    }
+
+    // BUILD: first medoid minimizes total distance; subsequent medoids
+    // maximize cost reduction.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|j| matrix.get(a, j)).sum();
+            let cb: f64 = (0..n).map(|j| matrix.get(b, j)).sum();
+            ca.partial_cmp(&cb).expect("finite distances")
+        })
+        .expect("n >= 1");
+    medoids.push(first);
+    // Distance to the nearest chosen medoid, per point.
+    let mut nearest: Vec<f64> = (0..n).map(|j| matrix.get(first, j)).collect();
+    while medoids.len() < k {
+        let candidate = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let gain = |c: usize| -> f64 {
+                    (0..n).map(|j| (nearest[j] - matrix.get(c, j)).max(0.0)).sum()
+                };
+                gain(a).partial_cmp(&gain(b)).expect("finite distances")
+            })?;
+        medoids.push(candidate);
+        for (j, near) in nearest.iter_mut().enumerate() {
+            *near = near.min(matrix.get(candidate, j));
+        }
+    }
+
+    // SWAP: steepest-descent swaps.
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut labels = vec![0usize; n];
+        let mut cost = 0.0;
+        for (j, label) in labels.iter_mut().enumerate() {
+            let (best, d) = medoids
+                .iter()
+                .enumerate()
+                .map(|(c, &m)| (c, matrix.get(m, j)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("k >= 1");
+            *label = best;
+            cost += d;
+        }
+        (labels, cost)
+    };
+
+    let (mut labels, mut cost) = assign(&medoids);
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        let mut best_swap: Option<(usize, usize, f64)> = None;
+        for slot in 0..k {
+            for candidate in 0..n {
+                if medoids.contains(&candidate) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[slot] = candidate;
+                let (_, trial_cost) = assign(&trial);
+                if trial_cost + 1e-12 < best_swap.map_or(cost, |(_, _, c)| c) {
+                    best_swap = Some((slot, candidate, trial_cost));
+                }
+            }
+        }
+        match best_swap {
+            Some((slot, candidate, new_cost)) if new_cost + 1e-12 < cost => {
+                medoids[slot] = candidate;
+                cost = new_cost;
+                labels = assign(&medoids).0;
+                iterations += 1;
+            }
+            _ => break,
+        }
+    }
+
+    Some(PamResult { medoids, labels, cost, iterations })
+}
+
+/// Mean silhouette coefficient of a clustering over a distance matrix.
+///
+/// Ranges in `[-1, 1]`; higher is better-separated. Singleton clusters
+/// contribute a silhouette of 0 (the standard convention). Returns `None`
+/// when fewer than 2 points or fewer than 2 clusters are present.
+pub fn silhouette(matrix: &CondensedMatrix, labels: &[usize]) -> Option<f64> {
+    let n = matrix.len();
+    if n != labels.len() || n < 2 {
+        return None;
+    }
+    let k = labels.iter().max()? + 1;
+    let mut cluster_sizes = vec![0usize; k];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+    if cluster_sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        if cluster_sizes[labels[i]] <= 1 {
+            continue; // silhouette 0
+        }
+        // Mean distance to own cluster (a) and nearest other cluster (b).
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += matrix.get(i, j);
+            }
+        }
+        let a = sums[labels[i]] / (cluster_sizes[labels[i]] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != labels[i] && cluster_sizes[c] > 0)
+            .map(|c| sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Some(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{pairwise_matrix, Metric};
+
+    fn blobs() -> (Vec<Vec<f64>>, CondensedMatrix) {
+        let mut series = Vec::new();
+        for base in [0.0, 100.0, 200.0] {
+            for i in 0..4 {
+                series.push(vec![base + i as f64 * 0.5; 6]);
+            }
+        }
+        let matrix = pairwise_matrix(&series, Metric::Euclidean).expect("n >= 2");
+        (series, matrix)
+    }
+
+    #[test]
+    fn pam_recovers_blobs() {
+        let (_, matrix) = blobs();
+        let result = pam(&matrix, 3, 50).unwrap();
+        assert_eq!(result.medoids.len(), 3);
+        assert_eq!(result.labels.len(), 12);
+        // Members of each block share a label distinct from other blocks.
+        for block in 0..3 {
+            let label = result.labels[block * 4];
+            for i in 0..4 {
+                assert_eq!(result.labels[block * 4 + i], label);
+            }
+        }
+        let distinct: std::collections::HashSet<_> = result.labels.iter().collect();
+        assert_eq!(distinct.len(), 3);
+        // Medoids are members of their own clusters.
+        for (c, &m) in result.medoids.iter().enumerate() {
+            assert_eq!(result.labels[m], c);
+        }
+    }
+
+    #[test]
+    fn pam_edge_cases() {
+        let (_, matrix) = blobs();
+        assert!(pam(&matrix, 0, 10).is_none());
+        assert!(pam(&matrix, 13, 10).is_none());
+        // k == n: every point its own medoid, cost 0.
+        let all = pam(&matrix, 12, 10).unwrap();
+        assert!(all.cost.abs() < 1e-12);
+        // k == 1: single cluster.
+        let one = pam(&matrix, 1, 10).unwrap();
+        assert!(one.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn pam_deterministic() {
+        let (_, matrix) = blobs();
+        let a = pam(&matrix, 3, 50).unwrap();
+        let b = pam(&matrix, 3, 50).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn silhouette_prefers_true_k() {
+        let (_, matrix) = blobs();
+        let good = pam(&matrix, 3, 50).unwrap();
+        let s3 = silhouette(&matrix, &good.labels).unwrap();
+        let under = pam(&matrix, 2, 50).unwrap();
+        let s2 = silhouette(&matrix, &under.labels).unwrap();
+        assert!(s3 > s2, "true k should score higher: {s3:.3} vs {s2:.3}");
+        assert!(s3 > 0.9, "well-separated blobs score near 1: {s3:.3}");
+    }
+
+    #[test]
+    fn silhouette_edge_cases() {
+        let (_, matrix) = blobs();
+        // All one cluster: undefined.
+        assert_eq!(silhouette(&matrix, &[0; 12]), None);
+        // Mismatched lengths.
+        assert_eq!(silhouette(&matrix, &[0, 1]), None);
+        // Tiny matrix.
+        let m1 = CondensedMatrix::zeros(1);
+        assert_eq!(silhouette(&m1, &[0]), None);
+    }
+
+    #[test]
+    fn silhouette_in_range() {
+        let (_, matrix) = blobs();
+        // Deliberately bad labels still land in [-1, 1].
+        let bad: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        let s = silhouette(&matrix, &bad).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,160 @@
+//! Condensed (upper-triangular) symmetric distance matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric `n × n` distance matrix stored as the upper triangle
+/// (`n·(n-1)/2` entries) with an implicit zero diagonal.
+///
+/// # Example
+///
+/// ```
+/// use oat_timeseries::CondensedMatrix;
+///
+/// let mut m = CondensedMatrix::zeros(3);
+/// m.set(0, 2, 5.0);
+/// assert_eq!(m.get(2, 0), 5.0);
+/// assert_eq!(m.get(1, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CondensedMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CondensedMatrix {
+    /// Creates an all-zero matrix for `n` points.
+    pub fn zeros(n: usize) -> Self {
+        let len = n * n.saturating_sub(1) / 2;
+        Self { n, data: vec![0.0; len] }
+    }
+
+    /// Number of points (rows/columns).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j);
+        // Offset of row i within the condensed upper triangle.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Distance between points `i` and `j` (zero when `i == j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Less => self.data[self.index(i, j)],
+            std::cmp::Ordering::Greater => self.data[self.index(j, i)],
+        }
+    }
+
+    /// Sets the distance between `i` and `j` (both orders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or `i == j` with a non-zero value.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            assert!(value == 0.0, "diagonal must stay zero");
+            return;
+        }
+        let idx = if i < j { self.index(i, j) } else { self.index(j, i) };
+        self.data[idx] = value;
+    }
+
+    /// Iterates over all `(i, j, distance)` pairs with `i < j`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j)))
+        })
+    }
+
+    /// The maximum off-diagonal distance (`None` for n < 2).
+    pub fn max_distance(&self) -> Option<f64> {
+        self.data.iter().copied().fold(None, |acc, d| {
+            Some(match acc {
+                None => d,
+                Some(m) => m.max(d),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_sizes() {
+        let m = CondensedMatrix::zeros(4);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.iter().count(), 6);
+        let empty = CondensedMatrix::zeros(0);
+        assert!(empty.is_empty());
+        assert_eq!(CondensedMatrix::zeros(1).iter().count(), 0);
+    }
+
+    #[test]
+    fn set_get_symmetric() {
+        let mut m = CondensedMatrix::zeros(5);
+        m.set(1, 3, 2.5);
+        m.set(4, 0, 7.0);
+        assert_eq!(m.get(3, 1), 2.5);
+        assert_eq!(m.get(0, 4), 7.0);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn diagonal_zero_set_ok() {
+        let mut m = CondensedMatrix::zeros(3);
+        m.set(1, 1, 0.0); // allowed no-op
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_nonzero_panics() {
+        let mut m = CondensedMatrix::zeros(3);
+        m.set(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = CondensedMatrix::zeros(2);
+        let _ = m.get(0, 2);
+    }
+
+    #[test]
+    fn all_pairs_covered() {
+        let n = 6;
+        let mut m = CondensedMatrix::zeros(n);
+        let mut v = 1.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, v);
+                v += 1.0;
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (i, j, d) in m.iter() {
+            assert!(i < j);
+            assert!(d >= 1.0);
+            seen.insert((i, j));
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert_eq!(m.max_distance(), Some(15.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Cluster medoids and point-wise envelopes.
+//!
+//! The paper visualizes each popularity cluster by its *medoid* (the most
+//! centrally located member, Kaufman & Rousseeuw) with a shaded point-wise
+//! standard-deviation envelope (Figures 9–10).
+
+use crate::matrix::CondensedMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Index (within `members`) of the cluster medoid: the member minimizing the
+/// sum of distances to all other members.
+///
+/// Returns `None` when `members` is empty. Ties are broken toward the lower
+/// index for determinism.
+///
+/// # Panics
+///
+/// Panics if any member index is out of bounds for `matrix`.
+pub fn medoid_index(matrix: &CondensedMatrix, members: &[usize]) -> Option<usize> {
+    if members.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for (pos, &i) in members.iter().enumerate() {
+        let total: f64 = members.iter().map(|&j| matrix.get(i, j)).sum();
+        match best {
+            Some((_, bd)) if total >= bd => {}
+            _ => best = Some((pos, total)),
+        }
+    }
+    best.map(|(pos, _)| pos)
+}
+
+/// Point-wise summary of a cluster of equal-length series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEnvelope {
+    /// The medoid series (cloned from the member identified by
+    /// [`medoid_index`]).
+    pub medoid: Vec<f64>,
+    /// Point-wise mean across members.
+    pub mean: Vec<f64>,
+    /// Point-wise population standard deviation across members.
+    pub std_dev: Vec<f64>,
+    /// Number of member series.
+    pub size: usize,
+}
+
+/// Computes the medoid + point-wise mean/std envelope for the given cluster.
+///
+/// `members` indexes into `series`; all member series must share one length.
+/// Returns `None` when `members` is empty or lengths disagree.
+pub fn cluster_envelope(
+    series: &[Vec<f64>],
+    matrix: &CondensedMatrix,
+    members: &[usize],
+) -> Option<ClusterEnvelope> {
+    if members.is_empty() {
+        return None;
+    }
+    let len = series.get(members[0])?.len();
+    if members.iter().any(|&m| series.get(m).map(Vec::len) != Some(len)) {
+        return None;
+    }
+    let medoid_pos = medoid_index(matrix, members)?;
+    let medoid = series[members[medoid_pos]].clone();
+    let n = members.len() as f64;
+    let mut mean = vec![0.0; len];
+    for &m in members {
+        for (acc, &x) in mean.iter_mut().zip(&series[m]) {
+            *acc += x;
+        }
+    }
+    for v in &mut mean {
+        *v /= n;
+    }
+    let mut var = vec![0.0; len];
+    for &m in members {
+        for ((acc, &x), &mu) in var.iter_mut().zip(&series[m]).zip(&mean) {
+            *acc += (x - mu).powi(2);
+        }
+    }
+    let std_dev: Vec<f64> = var.into_iter().map(|v| (v / n).sqrt()).collect();
+    Some(ClusterEnvelope { medoid, mean, std_dev, size: members.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{pairwise_matrix, Metric};
+
+    #[test]
+    fn empty_members() {
+        let m = CondensedMatrix::zeros(3);
+        assert_eq!(medoid_index(&m, &[]), None);
+        assert!(cluster_envelope(&[], &m, &[]).is_none());
+    }
+
+    #[test]
+    fn singleton_cluster() {
+        let series = vec![vec![1.0, 2.0]];
+        let m = CondensedMatrix::zeros(1);
+        let env = cluster_envelope(&series, &m, &[0]).unwrap();
+        assert_eq!(env.medoid, vec![1.0, 2.0]);
+        assert_eq!(env.mean, vec![1.0, 2.0]);
+        assert_eq!(env.std_dev, vec![0.0, 0.0]);
+        assert_eq!(env.size, 1);
+    }
+
+    #[test]
+    fn medoid_is_central_member() {
+        // Points on a line: 0, 1, 2, 10. Medoid of {0,1,2,3} is index 1 or 2;
+        // sum-of-distance for value 1: 1+0+1+9=11; for 2: 2+1+0+8=11 → tie,
+        // lower position wins.
+        let series = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        let pos = medoid_index(&m, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(pos, 1);
+    }
+
+    #[test]
+    fn medoid_of_subcluster() {
+        let series = vec![vec![0.0], vec![5.0], vec![6.0], vec![7.0]];
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        // Within members {1,2,3} the medoid is the middle value 6.0 (pos 1).
+        assert_eq!(medoid_index(&m, &[1, 2, 3]), Some(1));
+    }
+
+    #[test]
+    fn envelope_mean_and_std() {
+        let series = vec![vec![0.0, 2.0], vec![2.0, 2.0], vec![4.0, 2.0]];
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        let env = cluster_envelope(&series, &m, &[0, 1, 2]).unwrap();
+        assert_eq!(env.mean, vec![2.0, 2.0]);
+        // Population std of {0,2,4} = sqrt(8/3).
+        assert!((env.std_dev[0] - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(env.std_dev[1], 0.0);
+        // Medoid is the middle series.
+        assert_eq!(env.medoid, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let series = vec![vec![1.0, 2.0], vec![1.0]];
+        let m = CondensedMatrix::zeros(2);
+        assert!(cluster_envelope(&series, &m, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn out_of_range_member_rejected() {
+        let series = vec![vec![1.0]];
+        let m = CondensedMatrix::zeros(1);
+        assert!(cluster_envelope(&series, &m, &[5]).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Series normalization and smoothing helpers.
+
+/// Scales a series so its elements sum to 1 (the paper's "normalized request
+/// count").
+///
+/// Returns `None` when the series is empty, contains a non-finite or
+/// negative value, or sums to zero.
+///
+/// # Example
+///
+/// ```
+/// use oat_timeseries::normalize::sum_normalize;
+///
+/// let n = sum_normalize(&[1.0, 3.0]).unwrap();
+/// assert_eq!(n, vec![0.25, 0.75]);
+/// ```
+pub fn sum_normalize(series: &[f64]) -> Option<Vec<f64>> {
+    if series.is_empty() {
+        return None;
+    }
+    if series.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return None;
+    }
+    let total: f64 = series.iter().sum();
+    if total == 0.0 {
+        return None;
+    }
+    Some(series.iter().map(|x| x / total).collect())
+}
+
+/// Z-normalizes a series (zero mean, unit variance).
+///
+/// Returns `None` when the series is empty, contains non-finite values, or
+/// has zero variance.
+pub fn z_normalize(series: &[f64]) -> Option<Vec<f64>> {
+    if series.is_empty() || series.iter().any(|x| !x.is_finite()) {
+        return None;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    if var == 0.0 {
+        return None;
+    }
+    let std = var.sqrt();
+    Some(series.iter().map(|x| (x - mean) / std).collect())
+}
+
+/// Scales a series to `[0, 1]` by its max.
+///
+/// Returns `None` when empty, non-finite, negative, or all-zero.
+pub fn max_normalize(series: &[f64]) -> Option<Vec<f64>> {
+    if series.is_empty() {
+        return None;
+    }
+    if series.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return None;
+    }
+    let max = series.iter().copied().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        return None;
+    }
+    Some(series.iter().map(|x| x / max).collect())
+}
+
+/// Centered moving-average smoothing with half-width `w` (window `2w + 1`,
+/// truncated at the edges). `w = 0` returns the series unchanged.
+pub fn moving_average(series: &[f64], w: usize) -> Vec<f64> {
+    if w == 0 || series.is_empty() {
+        return series.to_vec();
+    }
+    let n = series.len();
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(w);
+            let hi = (i + w + 1).min(n);
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Aggregates a per-unit series into buckets of `bucket` consecutive points
+/// by summation (e.g. minutes → hours). The final bucket may be partial.
+///
+/// Returns an empty vector when `bucket == 0`.
+pub fn rebin_sum(series: &[f64], bucket: usize) -> Vec<f64> {
+    if bucket == 0 {
+        return Vec::new();
+    }
+    series.chunks(bucket).map(|c| c.iter().sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_normalize_cases() {
+        assert_eq!(sum_normalize(&[]), None);
+        assert_eq!(sum_normalize(&[0.0, 0.0]), None);
+        assert_eq!(sum_normalize(&[1.0, -1.0]), None);
+        assert_eq!(sum_normalize(&[f64::NAN]), None);
+        let n = sum_normalize(&[2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(n, vec![0.25, 0.25, 0.5]);
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_cases() {
+        assert_eq!(z_normalize(&[]), None);
+        assert_eq!(z_normalize(&[3.0, 3.0]), None);
+        let z = z_normalize(&[1.0, 3.0]).unwrap();
+        assert!((z[0] + 1.0).abs() < 1e-12);
+        assert!((z[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_normalize_cases() {
+        assert_eq!(max_normalize(&[]), None);
+        assert_eq!(max_normalize(&[0.0]), None);
+        let m = max_normalize(&[1.0, 4.0, 2.0]).unwrap();
+        assert_eq!(m, vec![0.25, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn moving_average_edges() {
+        let s = [0.0, 0.0, 6.0, 0.0, 0.0];
+        let sm = moving_average(&s, 1);
+        assert_eq!(sm, vec![0.0, 2.0, 2.0, 2.0, 0.0]);
+        assert_eq!(moving_average(&s, 0), s.to_vec());
+        assert!(moving_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn moving_average_preserves_constant() {
+        let s = [5.0; 10];
+        assert_eq!(moving_average(&s, 3), s.to_vec());
+    }
+
+    #[test]
+    fn rebin_sum_cases() {
+        assert_eq!(rebin_sum(&[1.0, 2.0, 3.0, 4.0, 5.0], 2), vec![3.0, 7.0, 5.0]);
+        assert_eq!(rebin_sum(&[1.0, 2.0], 0), Vec::<f64>::new());
+        assert_eq!(rebin_sum(&[], 3), Vec::<f64>::new());
+        assert_eq!(rebin_sum(&[1.0, 2.0, 3.0], 3), vec![6.0]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Temporal popularity-trend classification.
+//!
+//! The paper's clustering analysis (Figures 8–10) identifies four dominant
+//! popularity trends for adult objects:
+//!
+//! * **diurnal** — requested continuously with regular day/night variation
+//!   (typically front-page content),
+//! * **long-lived** — peaks within the first day after injection and decays
+//!   diurnally over several days,
+//! * **short-lived** — peaks immediately and dies within hours,
+//! * **flash-crowd** — a sudden mid-trace spike (P-2's fourth cluster),
+//! * plus **outliers** that fit none of the above.
+//!
+//! [`classify_trend`] maps an hourly request-count series to one of these
+//! classes using interpretable features ([`TrendFeatures`]).
+
+use serde::{Deserialize, Serialize};
+
+/// The dominant temporal popularity pattern of one object (or one cluster
+/// medoid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrendClass {
+    /// Persistent access with day/night oscillation across the whole trace.
+    Diurnal,
+    /// Peaks early, decays over multiple days, eventually dies.
+    LongLived,
+    /// Peaks immediately and dies within roughly a day.
+    ShortLived,
+    /// A sudden spike well after injection.
+    FlashCrowd,
+    /// None of the recognized patterns.
+    Outlier,
+}
+
+impl std::fmt::Display for TrendClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TrendClass::Diurnal => "diurnal",
+            TrendClass::LongLived => "long-lived",
+            TrendClass::ShortLived => "short-lived",
+            TrendClass::FlashCrowd => "flash-crowd",
+            TrendClass::Outlier => "outlier",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Interpretable features extracted from an hourly request series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendFeatures {
+    /// Lag-`period` autocorrelation (day-over-day self-similarity).
+    pub autocorr_period: f64,
+    /// Index of the peak hour.
+    pub peak_index: usize,
+    /// Fraction of total mass within ± half a period around the peak.
+    pub peak_concentration: f64,
+    /// Hours (indices) needed to accumulate 90 % of total mass.
+    pub t90: usize,
+    /// Fraction of total mass in the final period (last day).
+    pub last_period_mass: f64,
+    /// Total mass of the series.
+    pub total: f64,
+}
+
+/// Extracts [`TrendFeatures`] from an hourly series with the given period
+/// (24 for hourly data). Returns `None` for an empty or zero series, a zero
+/// period, or non-finite values.
+pub fn trend_features(series: &[f64], period: usize) -> Option<TrendFeatures> {
+    if series.is_empty() || period == 0 {
+        return None;
+    }
+    if series.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return None;
+    }
+    let total: f64 = series.iter().sum();
+    if total == 0.0 {
+        return None;
+    }
+    let n = series.len();
+
+    // Peak.
+    // First index attaining the maximum (ties break early).
+    let mut peak_index = 0;
+    for (i, &x) in series.iter().enumerate() {
+        if x > series[peak_index] {
+            peak_index = i;
+        }
+    }
+
+    // Mass within ± period/2 of the peak.
+    let half = period / 2;
+    let lo = peak_index.saturating_sub(half);
+    let hi = (peak_index + half + 1).min(n);
+    let peak_concentration = series[lo..hi].iter().sum::<f64>() / total;
+
+    // Time to 90 % of mass.
+    let mut acc = 0.0;
+    let mut t90 = n - 1;
+    for (i, &x) in series.iter().enumerate() {
+        acc += x;
+        if acc >= 0.9 * total {
+            t90 = i;
+            break;
+        }
+    }
+
+    // Mass in the final period.
+    let tail_start = n.saturating_sub(period);
+    let last_period_mass = series[tail_start..].iter().sum::<f64>() / total;
+
+    // Lag-period autocorrelation.
+    let autocorr_period = autocorrelation(series, period).unwrap_or(0.0);
+
+    Some(TrendFeatures {
+        autocorr_period,
+        peak_index,
+        peak_concentration,
+        t90,
+        last_period_mass,
+        total,
+    })
+}
+
+/// Pearson autocorrelation of a series at the given lag.
+///
+/// Returns `None` when the overlap is shorter than two points or either
+/// window has zero variance.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    if lag == 0 || series.len() <= lag + 1 {
+        return None;
+    }
+    let a = &series[..series.len() - lag];
+    let b = &series[lag..];
+    oat_stats::pearson(a, b)
+}
+
+/// Classifies an hourly request-count series into a [`TrendClass`].
+///
+/// `period` is the number of samples per day (24 for hourly series). The
+/// thresholds mirror the qualitative definitions in the paper: strongly
+/// concentrated mass near an early peak ⇒ short-lived; the same spike later
+/// in the trace ⇒ flash crowd; day-over-day self-similarity sustained to the
+/// end of the trace ⇒ diurnal; early peak with multi-day decay ⇒ long-lived.
+///
+/// Returns [`TrendClass::Outlier`] for series whose features are undefined
+/// (empty/zero) or fit nothing else.
+pub fn classify_trend(series: &[f64], period: usize) -> TrendClass {
+    let Some(f) = trend_features(series, period) else {
+        return TrendClass::Outlier;
+    };
+    classify_features(&f, period, series.len())
+}
+
+/// Classifies pre-computed features; see [`classify_trend`].
+pub fn classify_features(f: &TrendFeatures, period: usize, len: usize) -> TrendClass {
+    // A single overwhelming burst: short-lived when it opens the trace,
+    // flash crowd when it arrives later.
+    if f.peak_concentration >= 0.7 {
+        return if f.peak_index < period {
+            TrendClass::ShortLived
+        } else {
+            TrendClass::FlashCrowd
+        };
+    }
+    // Persistent, self-similar day/night pattern that is still alive in the
+    // final day.
+    let periods = (len / period).max(1) as f64;
+    if f.autocorr_period >= 0.25 && f.last_period_mass >= 0.5 / periods {
+        return TrendClass::Diurnal;
+    }
+    // Early peak, bulk of mass within the first few days, dies by the end.
+    if f.peak_index < 2 * period && f.t90 <= 4 * period && f.last_period_mass < 0.1 {
+        return TrendClass::LongLived;
+    }
+    TrendClass::Outlier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: usize = 24;
+    const WEEK: usize = 7 * H;
+
+    fn diurnal_series() -> Vec<f64> {
+        (0..WEEK)
+            .map(|t| {
+                let hour = t % H;
+                let day_shape = 1.0 + ((hour as f64 / H as f64) * std::f64::consts::TAU).sin();
+                10.0 * day_shape + 1.0
+            })
+            .collect()
+    }
+
+    fn long_lived_series() -> Vec<f64> {
+        (0..WEEK)
+            .map(|t| {
+                let decay = (-(t as f64) / 30.0).exp();
+                let hour = t % H;
+                let day_shape = 1.0 + ((hour as f64 / H as f64) * std::f64::consts::TAU).sin();
+                100.0 * decay * day_shape
+            })
+            .collect()
+    }
+
+    fn short_lived_series() -> Vec<f64> {
+        (0..WEEK)
+            .map(|t| if t < 5 { 100.0 } else { 0.0 })
+            .collect()
+    }
+
+    fn flash_crowd_series() -> Vec<f64> {
+        (0..WEEK)
+            .map(|t| if (80..86).contains(&t) { 100.0 } else { 0.1 })
+            .collect()
+    }
+
+    #[test]
+    fn classifies_planted_archetypes() {
+        assert_eq!(classify_trend(&diurnal_series(), H), TrendClass::Diurnal);
+        assert_eq!(classify_trend(&long_lived_series(), H), TrendClass::LongLived);
+        assert_eq!(classify_trend(&short_lived_series(), H), TrendClass::ShortLived);
+        assert_eq!(classify_trend(&flash_crowd_series(), H), TrendClass::FlashCrowd);
+    }
+
+    #[test]
+    fn degenerate_series_are_outliers() {
+        assert_eq!(classify_trend(&[], H), TrendClass::Outlier);
+        assert_eq!(classify_trend(&vec![0.0; WEEK], H), TrendClass::Outlier);
+        assert_eq!(classify_trend(&[1.0, f64::NAN], H), TrendClass::Outlier);
+        assert_eq!(classify_trend(&[1.0], 0), TrendClass::Outlier);
+    }
+
+    #[test]
+    fn features_of_uniform_series() {
+        let f = trend_features(&vec![1.0; WEEK], H).unwrap();
+        assert_eq!(f.peak_index, 0);
+        assert!((f.last_period_mass - 1.0 / 7.0).abs() < 1e-9);
+        assert!(f.t90 >= (0.9 * WEEK as f64) as usize - 1);
+        assert_eq!(f.total, WEEK as f64);
+    }
+
+    #[test]
+    fn autocorrelation_periodic_signal() {
+        let s = diurnal_series();
+        let ac24 = autocorrelation(&s, H).unwrap();
+        assert!(ac24 > 0.9, "diurnal lag-24 autocorr {ac24}");
+        let ac12 = autocorrelation(&s, H / 2).unwrap();
+        assert!(ac12 < 0.0, "half-period autocorr should be negative, got {ac12}");
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 0), None);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), None);
+        // Constant series: zero variance.
+        assert_eq!(autocorrelation(&[1.0; 50], 10), None);
+    }
+
+    #[test]
+    fn short_vs_flash_depends_on_peak_time() {
+        // Same burst shape, different position.
+        let mut early = vec![0.0; WEEK];
+        for x in early.iter_mut().take(4) {
+            *x = 50.0;
+        }
+        let mut late = vec![0.0; WEEK];
+        for x in late.iter_mut().skip(100).take(4) {
+            *x = 50.0;
+        }
+        assert_eq!(classify_trend(&early, H), TrendClass::ShortLived);
+        assert_eq!(classify_trend(&late, H), TrendClass::FlashCrowd);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(TrendClass::Diurnal.to_string(), "diurnal");
+        assert_eq!(TrendClass::LongLived.to_string(), "long-lived");
+        assert_eq!(TrendClass::ShortLived.to_string(), "short-lived");
+        assert_eq!(TrendClass::FlashCrowd.to_string(), "flash-crowd");
+        assert_eq!(TrendClass::Outlier.to_string(), "outlier");
+    }
+
+    #[test]
+    fn feature_peak_concentration_bounds() {
+        let f = trend_features(&short_lived_series(), H).unwrap();
+        assert!(f.peak_concentration >= 0.99);
+        let g = trend_features(&vec![1.0; WEEK], H).unwrap();
+        assert!(g.peak_concentration < 0.2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for `oat-timeseries` invariants.
+
+use oat_timeseries::{
+    distance::{euclidean, pairwise_matrix},
+    dtw::{dtw_distance, dtw_path},
+    hierarchical::{cluster, Linkage},
+    medoid::medoid_index,
+    normalize::{max_normalize, moving_average, rebin_sum, sum_normalize},
+    CondensedMatrix, Metric,
+};
+use proptest::prelude::*;
+
+fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dtw_identity(a in series_strategy(30)) {
+        prop_assert_eq!(dtw_distance(&a, &a, None), 0.0);
+    }
+
+    #[test]
+    fn dtw_symmetry(a in series_strategy(25), b in series_strategy(25)) {
+        let d1 = dtw_distance(&a, &b, None);
+        let d2 = dtw_distance(&b, &a, None);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_nonnegative_and_finite(a in series_strategy(25), b in series_strategy(25)) {
+        let d = dtw_distance(&a, &b, None);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d.is_finite());
+    }
+
+    #[test]
+    fn dtw_band_never_below_unconstrained(a in series_strategy(20), b in series_strategy(20),
+                                          w in 0usize..10) {
+        let full = dtw_distance(&a, &b, None);
+        let banded = dtw_distance(&a, &b, Some(w));
+        prop_assert!(banded >= full - 1e-9);
+    }
+
+    #[test]
+    fn dtw_at_most_euclidean_same_len(a in series_strategy(25)) {
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        let d = dtw_distance(&a, &b, None);
+        prop_assert!(d <= euclidean(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn dtw_path_matches_distance(a in series_strategy(15), b in series_strategy(15)) {
+        let (d_path, path) = dtw_path(&a, &b).unwrap();
+        let d = dtw_distance(&a, &b, None);
+        prop_assert!((d_path - d).abs() < 1e-9);
+        prop_assert_eq!(*path.first().unwrap(), (0, 0));
+        prop_assert_eq!(*path.last().unwrap(), (a.len() - 1, b.len() - 1));
+        // Path cost re-accumulates to the distance.
+        let cost: f64 = path.iter().map(|&(i, j)| (a[i] - b[j]).powi(2)).sum();
+        prop_assert!((cost.sqrt() - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dendrogram_structure_valid(series in prop::collection::vec(series_strategy(8), 2..12)) {
+        // Pad to a common length so Euclidean is meaningful.
+        let max_len = series.iter().map(Vec::len).max().unwrap();
+        let series: Vec<Vec<f64>> = series
+            .into_iter()
+            .map(|mut s| { s.resize(max_len, 0.0); s })
+            .collect();
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let d = cluster(&m, linkage);
+            let n = series.len();
+            prop_assert_eq!(d.merges().len(), n - 1);
+            prop_assert_eq!(d.merges().last().unwrap().size, n);
+            // Node ids referenced by each merge are below the merge's own id.
+            for (k, mg) in d.merges().iter().enumerate() {
+                prop_assert!(mg.left < n + k);
+                prop_assert!(mg.right < n + k);
+                prop_assert!(mg.left != mg.right);
+                prop_assert!(mg.distance >= 0.0);
+            }
+            // Distances ascend.
+            for w in d.merges().windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance + 1e-9);
+            }
+            // Every k-cut yields exactly k clusters.
+            for k in 1..=n {
+                let labels = d.cut_k(k);
+                let distinct: std::collections::HashSet<_> = labels.iter().collect();
+                prop_assert_eq!(distinct.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_at_distance_monotone(series in prop::collection::vec(series_strategy(6), 2..10)) {
+        let max_len = series.iter().map(Vec::len).max().unwrap();
+        let series: Vec<Vec<f64>> = series
+            .into_iter()
+            .map(|mut s| { s.resize(max_len, 0.0); s })
+            .collect();
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        let d = cluster(&m, Linkage::Average);
+        let mut prev_clusters = usize::MAX;
+        for t in [0.0, 1.0, 10.0, 100.0, 1e6] {
+            let labels = d.cut_at_distance(t);
+            let k = labels.iter().collect::<std::collections::HashSet<_>>().len();
+            prop_assert!(k <= prev_clusters, "raising threshold cannot split clusters");
+            prev_clusters = k;
+        }
+    }
+
+    #[test]
+    fn medoid_minimizes_distance_sum(series in prop::collection::vec(series_strategy(6), 2..10)) {
+        let max_len = series.iter().map(Vec::len).max().unwrap();
+        let series: Vec<Vec<f64>> = series
+            .into_iter()
+            .map(|mut s| { s.resize(max_len, 0.0); s })
+            .collect();
+        let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
+        let members: Vec<usize> = (0..series.len()).collect();
+        let pos = medoid_index(&m, &members).unwrap();
+        let medoid_sum: f64 = members.iter().map(|&j| m.get(members[pos], j)).sum();
+        for &i in &members {
+            let s: f64 = members.iter().map(|&j| m.get(i, j)).sum();
+            prop_assert!(medoid_sum <= s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sum_normalize_sums_to_one(s in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        if let Some(n) = sum_normalize(&s) {
+            prop_assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(n.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn max_normalize_bounded(s in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        if let Some(n) = max_normalize(&s) {
+            prop_assert!(n.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+            prop_assert!(n.iter().any(|&x| (x - 1.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn moving_average_preserves_mean_bounds(s in series_strategy(50), w in 0usize..5) {
+        let sm = moving_average(&s, w);
+        prop_assert_eq!(sm.len(), s.len());
+        let lo = s.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &x in &sm {
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rebin_sum_conserves_mass(s in series_strategy(100), bucket in 1usize..20) {
+        let rb = rebin_sum(&s, bucket);
+        let total: f64 = s.iter().sum();
+        let rb_total: f64 = rb.iter().sum();
+        prop_assert!((total - rb_total).abs() < 1e-6);
+        prop_assert_eq!(rb.len(), s.len().div_ceil(bucket));
+    }
+
+    #[test]
+    fn condensed_matrix_roundtrip(n in 2usize..15, seed in 0u64..1000) {
+        let mut m = CondensedMatrix::zeros(n);
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut expected = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = (s >> 40) as f64;
+                m.set(i, j, v);
+                expected.push((i, j, v));
+            }
+        }
+        for (i, j, v) in expected {
+            prop_assert_eq!(m.get(i, j), v);
+            prop_assert_eq!(m.get(j, i), v);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Synthetic user-agent corpus generation.
+//!
+//! `oat-workload` stamps every generated request with a realistic UA string
+//! so that the analysis pipeline classifies devices the same way it would on
+//! real CDN logs. The corpus is era-appropriate for the paper's 2015/2016
+//! collection window.
+
+use crate::device::DeviceCategory;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Relative weights of the four device categories for one website's
+/// visitors.
+///
+/// Weights need not sum to one; they are normalized on use.
+///
+/// # Example
+///
+/// ```
+/// use oat_useragent::DeviceMix;
+///
+/// // V-2 in the paper: > 95 % desktop.
+/// let mix = DeviceMix::new(0.96, 0.02, 0.01, 0.01).unwrap();
+/// assert!((mix.desktop() - 0.96).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMix {
+    desktop: f64,
+    android: f64,
+    ios: f64,
+    misc: f64,
+}
+
+impl DeviceMix {
+    /// Creates a mix from the four weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceMixError`] if any weight is negative or non-finite,
+    /// or all weights are zero.
+    pub fn new(desktop: f64, android: f64, ios: f64, misc: f64) -> Result<Self, DeviceMixError> {
+        let weights = [desktop, android, ios, misc];
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(DeviceMixError::InvalidWeight);
+        }
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            return Err(DeviceMixError::AllZero);
+        }
+        Ok(Self {
+            desktop: desktop / total,
+            android: android / total,
+            ios: ios / total,
+            misc: misc / total,
+        })
+    }
+
+    /// Normalized desktop share.
+    pub fn desktop(&self) -> f64 {
+        self.desktop
+    }
+
+    /// Normalized Android share.
+    pub fn android(&self) -> f64 {
+        self.android
+    }
+
+    /// Normalized iOS share.
+    pub fn ios(&self) -> f64 {
+        self.ios
+    }
+
+    /// Normalized misc share.
+    pub fn misc(&self) -> f64 {
+        self.misc
+    }
+
+    /// Normalized share of the given category.
+    pub fn share(&self, category: DeviceCategory) -> f64 {
+        match category {
+            DeviceCategory::Desktop => self.desktop,
+            DeviceCategory::Android => self.android,
+            DeviceCategory::Ios => self.ios,
+            DeviceCategory::Misc => self.misc,
+        }
+    }
+
+    /// Samples a device category according to the mix.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DeviceCategory {
+        let x: f64 = rng.gen();
+        if x < self.desktop {
+            DeviceCategory::Desktop
+        } else if x < self.desktop + self.android {
+            DeviceCategory::Android
+        } else if x < self.desktop + self.android + self.ios {
+            DeviceCategory::Ios
+        } else {
+            DeviceCategory::Misc
+        }
+    }
+}
+
+impl Default for DeviceMix {
+    /// The paper's aggregate shape: desktop-dominated with a non-trivial
+    /// mobile fraction.
+    fn default() -> Self {
+        Self::new(0.75, 0.12, 0.08, 0.05).expect("default weights are valid")
+    }
+}
+
+/// Error constructing a [`DeviceMix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceMixError {
+    /// A weight was negative, NaN or infinite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllZero,
+}
+
+impl std::fmt::Display for DeviceMixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            Self::InvalidWeight => "device-mix weights must be finite and non-negative",
+            Self::AllZero => "device-mix weights must not all be zero",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for DeviceMixError {}
+
+/// Generator of realistic synthetic user-agent strings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UaCorpus;
+
+const WINDOWS_VERSIONS: [&str; 4] = ["6.1", "6.3", "10.0", "6.2"];
+const MAC_VERSIONS: [&str; 3] = ["10_10_5", "10_11_1", "10_9_5"];
+const CHROME_VERSIONS: [&str; 4] = ["45.0.2454.101", "46.0.2490.86", "44.0.2403.157", "47.0.2526.73"];
+const FIREFOX_VERSIONS: [&str; 3] = ["41.0", "42.0", "40.0.3"];
+const ANDROID_VERSIONS: [&str; 4] = ["4.4.2", "5.0.2", "5.1.1", "6.0"];
+const ANDROID_PHONES: [&str; 5] = ["Nexus 5", "SM-G920F", "HTC One_M8", "LG-D855", "XT1068"];
+const ANDROID_TABLETS: [&str; 3] = ["SM-T530", "Nexus 7", "SM-T800"];
+const IOS_VERSIONS: [&str; 3] = ["8_4_1", "9_0_2", "9_1"];
+
+impl UaCorpus {
+    /// Creates the corpus generator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Generates a UA string for the given device category.
+    ///
+    /// The returned string round-trips through [`crate::parse`] back to the
+    /// same category (a property the test suite enforces).
+    pub fn generate<R: Rng + ?Sized>(&self, category: DeviceCategory, rng: &mut R) -> String {
+        match category {
+            DeviceCategory::Desktop => self.desktop(rng),
+            DeviceCategory::Android => self.android_phone(rng),
+            DeviceCategory::Ios => self.iphone(rng),
+            DeviceCategory::Misc => self.misc(rng),
+        }
+    }
+
+    /// Samples a category from `mix` and generates a matching UA string.
+    pub fn generate_mixed<R: Rng + ?Sized>(
+        &self,
+        mix: &DeviceMix,
+        rng: &mut R,
+    ) -> (DeviceCategory, String) {
+        let category = mix.sample(rng);
+        (category, self.generate(category, rng))
+    }
+
+    fn desktop<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        match rng.gen_range(0..4) {
+            0 => {
+                let win = pick(&WINDOWS_VERSIONS, rng);
+                let chrome = pick(&CHROME_VERSIONS, rng);
+                format!(
+                    "Mozilla/5.0 (Windows NT {win}; WOW64) AppleWebKit/537.36 \
+                     (KHTML, like Gecko) Chrome/{chrome} Safari/537.36"
+                )
+            }
+            1 => {
+                let win = pick(&WINDOWS_VERSIONS, rng);
+                let ff = pick(&FIREFOX_VERSIONS, rng);
+                format!("Mozilla/5.0 (Windows NT {win}; rv:{ff}) Gecko/20100101 Firefox/{ff}")
+            }
+            2 => {
+                let mac = pick(&MAC_VERSIONS, rng);
+                format!(
+                    "Mozilla/5.0 (Macintosh; Intel Mac OS X {mac}) AppleWebKit/601.1.56 \
+                     (KHTML, like Gecko) Version/9.0 Safari/601.1.56"
+                )
+            }
+            _ => {
+                let ff = pick(&FIREFOX_VERSIONS, rng);
+                format!(
+                    "Mozilla/5.0 (X11; Ubuntu; Linux x86_64; rv:{ff}) Gecko/20100101 Firefox/{ff}"
+                )
+            }
+        }
+    }
+
+    fn android_phone<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let os = pick(&ANDROID_VERSIONS, rng);
+        let model = pick(&ANDROID_PHONES, rng);
+        let chrome = pick(&CHROME_VERSIONS, rng);
+        format!(
+            "Mozilla/5.0 (Linux; Android {os}; {model} Build/LMY48M) AppleWebKit/537.36 \
+             (KHTML, like Gecko) Chrome/{chrome} Mobile Safari/537.36"
+        )
+    }
+
+    fn iphone<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let os = pick(&IOS_VERSIONS, rng);
+        format!(
+            "Mozilla/5.0 (iPhone; CPU iPhone OS {os} like Mac OS X) AppleWebKit/601.1.46 \
+             (KHTML, like Gecko) Version/9.0 Mobile/13B143 Safari/601.1"
+        )
+    }
+
+    fn misc<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        match rng.gen_range(0..3) {
+            0 => {
+                let os = pick(&IOS_VERSIONS, rng);
+                format!(
+                    "Mozilla/5.0 (iPad; CPU OS {os} like Mac OS X) AppleWebKit/601.1.46 \
+                     (KHTML, like Gecko) Version/9.0 Mobile/13B143 Safari/601.1"
+                )
+            }
+            1 => {
+                let os = pick(&ANDROID_VERSIONS, rng);
+                let model = pick(&ANDROID_TABLETS, rng);
+                let chrome = pick(&CHROME_VERSIONS, rng);
+                format!(
+                    "Mozilla/5.0 (Linux; Android {os}; {model} Build/LRX22G) AppleWebKit/537.36 \
+                     (KHTML, like Gecko) Chrome/{chrome} Safari/537.36"
+                )
+            }
+            _ => "Mozilla/5.0 (PlayStation 4 3.11) AppleWebKit/537.73 (KHTML, like Gecko)"
+                .to_string(),
+        }
+    }
+}
+
+fn pick<'a, R: Rng + ?Sized>(options: &[&'a str], rng: &mut R) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_rejects_bad_weights() {
+        assert_eq!(
+            DeviceMix::new(-1.0, 0.0, 0.0, 0.0).unwrap_err(),
+            DeviceMixError::InvalidWeight
+        );
+        assert_eq!(
+            DeviceMix::new(f64::NAN, 0.0, 0.0, 0.0).unwrap_err(),
+            DeviceMixError::InvalidWeight
+        );
+        assert_eq!(DeviceMix::new(0.0, 0.0, 0.0, 0.0).unwrap_err(), DeviceMixError::AllZero);
+    }
+
+    #[test]
+    fn mix_normalizes() {
+        let mix = DeviceMix::new(3.0, 1.0, 0.0, 0.0).unwrap();
+        assert!((mix.desktop() - 0.75).abs() < 1e-12);
+        assert!((mix.android() - 0.25).abs() < 1e-12);
+        assert_eq!(mix.share(DeviceCategory::Ios), 0.0);
+        let total = DeviceCategory::ALL.iter().map(|&c| mix.share(c)).sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_respects_weights() {
+        let mix = DeviceMix::new(0.8, 0.1, 0.05, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(mix.sample(&mut rng)).or_insert(0u32) += 1;
+        }
+        let desktop = counts[&DeviceCategory::Desktop] as f64 / 20_000.0;
+        assert!((desktop - 0.8).abs() < 0.02, "desktop share {desktop}");
+    }
+
+    #[test]
+    fn generated_uas_roundtrip_through_parser() {
+        let corpus = UaCorpus::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for category in DeviceCategory::ALL {
+            for _ in 0..200 {
+                let ua = corpus.generate(category, &mut rng);
+                let parsed = parse(&ua);
+                assert_eq!(parsed.device, category, "UA {ua:?} parsed as {parsed:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generate_mixed_consistent() {
+        let corpus = UaCorpus::new();
+        let mix = DeviceMix::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let (category, ua) = corpus.generate_mixed(&mix, &mut rng);
+            assert_eq!(parse(&ua).device, category);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = UaCorpus::new();
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..50).map(|_| corpus.generate(DeviceCategory::Desktop, &mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..50).map(|_| corpus.generate(DeviceCategory::Desktop, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

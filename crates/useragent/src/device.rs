@@ -1,0 +1,129 @@
+//! Device, OS and browser taxonomies.
+
+use serde::{Deserialize, Serialize};
+
+/// The four device categories the paper reports (Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceCategory {
+    /// Traditional desktop/laptop browsers.
+    Desktop,
+    /// Android smartphones.
+    Android,
+    /// iPhones and iPods.
+    Ios,
+    /// Tablets, smart TVs, consoles, bots and anything else.
+    Misc,
+}
+
+impl DeviceCategory {
+    /// All categories, in the paper's reporting order.
+    pub const ALL: [DeviceCategory; 4] = [
+        DeviceCategory::Desktop,
+        DeviceCategory::Android,
+        DeviceCategory::Ios,
+        DeviceCategory::Misc,
+    ];
+}
+
+impl std::fmt::Display for DeviceCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceCategory::Desktop => "Desktop",
+            DeviceCategory::Android => "Android",
+            DeviceCategory::Ios => "iOS",
+            DeviceCategory::Misc => "Misc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operating system extracted from a user-agent string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Os {
+    /// Microsoft Windows.
+    Windows,
+    /// Apple macOS / OS X.
+    MacOs,
+    /// Desktop Linux (non-Android).
+    Linux,
+    /// Google Android.
+    Android,
+    /// Apple iOS (iPhone/iPad/iPod).
+    Ios,
+    /// Anything else (consoles, TVs, bots, unknown).
+    Other,
+}
+
+impl std::fmt::Display for Os {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Os::Windows => "Windows",
+            Os::MacOs => "macOS",
+            Os::Linux => "Linux",
+            Os::Android => "Android",
+            Os::Ios => "iOS",
+            Os::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Browser family extracted from a user-agent string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Browser {
+    /// Google Chrome / Chromium.
+    Chrome,
+    /// Mozilla Firefox.
+    Firefox,
+    /// Apple Safari.
+    Safari,
+    /// Microsoft Internet Explorer.
+    InternetExplorer,
+    /// Opera.
+    Opera,
+    /// Anything else.
+    Other,
+}
+
+impl std::fmt::Display for Browser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Browser::Chrome => "Chrome",
+            Browser::Firefox => "Firefox",
+            Browser::Safari => "Safari",
+            Browser::InternetExplorer => "IE",
+            Browser::Opera => "Opera",
+            Browser::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full classification of one user-agent string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Classification {
+    /// Paper-style device category.
+    pub device: DeviceCategory,
+    /// Operating system.
+    pub os: Os,
+    /// Browser family.
+    pub browser: Browser,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(DeviceCategory::Ios.to_string(), "iOS");
+        assert_eq!(Os::MacOs.to_string(), "macOS");
+        assert_eq!(Browser::InternetExplorer.to_string(), "IE");
+    }
+
+    #[test]
+    fn all_categories_distinct() {
+        let set: std::collections::HashSet<_> = DeviceCategory::ALL.into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

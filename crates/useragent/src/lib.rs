@@ -1,0 +1,34 @@
+//! User-agent parsing and synthetic UA corpus generation.
+//!
+//! The paper (§III, Fig 4) classifies requests into **Desktop / Android /
+//! iOS / Misc** device categories from the HTTP `User-Agent` header. Real
+//! CDN logs carry raw UA strings, so this crate provides:
+//!
+//! * [`parse`] — a heuristic UA-string classifier producing a
+//!   [`Classification`] (device category, OS, browser),
+//! * [`corpus`] — a generator of realistic synthetic UA strings with a
+//!   configurable device mix, used by `oat-workload` so the analysis
+//!   pipeline exercises genuine string parsing rather than enum tags.
+//!
+//! # Example
+//!
+//! ```
+//! use oat_useragent::{parse, DeviceCategory};
+//!
+//! let c = parse("Mozilla/5.0 (iPhone; CPU iPhone OS 9_1 like Mac OS X) \
+//!                AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 \
+//!                Mobile/13B143 Safari/601.1");
+//! assert_eq!(c.device, DeviceCategory::Ios);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod corpus;
+pub mod device;
+pub mod parser;
+
+pub use corpus::{DeviceMix, UaCorpus};
+pub use device::{Browser, Classification, DeviceCategory, Os};
+pub use parser::parse;

@@ -1,0 +1,223 @@
+//! Heuristic user-agent string classification.
+//!
+//! The rules follow the common convention (and RFC 2616 UA semantics) used
+//! by traffic-measurement studies:
+//!
+//! * `iPhone`/`iPod` ⇒ iOS smartphone; `iPad` ⇒ tablet ⇒ **Misc**.
+//! * `Android` with the `Mobile` token ⇒ Android smartphone; `Android`
+//!   without `Mobile` ⇒ Android tablet ⇒ **Misc**.
+//! * `Windows NT` / `Macintosh` / `X11`/`Linux` ⇒ **Desktop**.
+//! * Consoles, smart TVs, bots and unrecognized strings ⇒ **Misc**.
+
+use crate::device::{Browser, Classification, DeviceCategory, Os};
+
+/// Classifies a raw `User-Agent` header value.
+///
+/// Never fails: unrecognized strings classify as
+/// [`DeviceCategory::Misc`] / [`Os::Other`] / [`Browser::Other`].
+///
+/// # Example
+///
+/// ```
+/// use oat_useragent::{parse, Browser, DeviceCategory, Os};
+///
+/// let c = parse("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 \
+///                (KHTML, like Gecko) Chrome/46.0.2490.86 Safari/537.36");
+/// assert_eq!(c.device, DeviceCategory::Desktop);
+/// assert_eq!(c.os, Os::Windows);
+/// assert_eq!(c.browser, Browser::Chrome);
+/// ```
+pub fn parse(ua: &str) -> Classification {
+    let lower = ua.to_ascii_lowercase();
+    let os = parse_os(&lower);
+    let browser = parse_browser(&lower);
+    let device = parse_device(&lower, os);
+    Classification { device, os, browser }
+}
+
+fn parse_os(lower: &str) -> Os {
+    if lower.contains("windows phone") {
+        return Os::Other;
+    }
+    if lower.contains("android") {
+        return Os::Android;
+    }
+    if lower.contains("iphone") || lower.contains("ipad") || lower.contains("ipod") {
+        return Os::Ios;
+    }
+    if lower.contains("windows nt") || lower.contains("windows 9") {
+        return Os::Windows;
+    }
+    if lower.contains("mac os x") || lower.contains("macintosh") {
+        return Os::MacOs;
+    }
+    if lower.contains("cros") {
+        return Os::Other;
+    }
+    if lower.contains("linux") || lower.contains("x11") {
+        return Os::Linux;
+    }
+    Os::Other
+}
+
+fn parse_browser(lower: &str) -> Browser {
+    // Order matters: Chrome UAs contain "safari", Opera contains "chrome".
+    if lower.contains("opr/") || lower.contains("opera") {
+        return Browser::Opera;
+    }
+    if lower.contains("edge/") || lower.contains("edg/") {
+        return Browser::Other;
+    }
+    if lower.contains("msie") || lower.contains("trident/") {
+        return Browser::InternetExplorer;
+    }
+    if lower.contains("firefox/") && !lower.contains("seamonkey") {
+        return Browser::Firefox;
+    }
+    if lower.contains("chrome/") || lower.contains("crios/") || lower.contains("chromium/") {
+        return Browser::Chrome;
+    }
+    if lower.contains("safari/") {
+        return Browser::Safari;
+    }
+    Browser::Other
+}
+
+fn parse_device(lower: &str, os: Os) -> DeviceCategory {
+    if is_bot(lower) {
+        return DeviceCategory::Misc;
+    }
+    match os {
+        Os::Ios => {
+            if lower.contains("ipad") {
+                DeviceCategory::Misc // tablets are Misc per the paper
+            } else {
+                DeviceCategory::Ios
+            }
+        }
+        Os::Android => {
+            // The `Mobile` token distinguishes phones from tablets.
+            if lower.contains("mobile") {
+                DeviceCategory::Android
+            } else {
+                DeviceCategory::Misc
+            }
+        }
+        Os::Windows | Os::MacOs | Os::Linux => DeviceCategory::Desktop,
+        Os::Other => DeviceCategory::Misc,
+    }
+}
+
+fn is_bot(lower: &str) -> bool {
+    const BOT_MARKERS: [&str; 6] = ["bot", "spider", "crawler", "slurp", "curl/", "wget/"];
+    BOT_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIN_CHROME: &str = "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 \
+                              (KHTML, like Gecko) Chrome/45.0.2454.101 Safari/537.36";
+    const MAC_SAFARI: &str = "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_11) \
+                              AppleWebKit/601.1.56 (KHTML, like Gecko) Version/9.0 Safari/601.1.56";
+    const LINUX_FIREFOX: &str = "Mozilla/5.0 (X11; Ubuntu; Linux x86_64; rv:41.0) \
+                                 Gecko/20100101 Firefox/41.0";
+    const ANDROID_PHONE: &str = "Mozilla/5.0 (Linux; Android 5.1.1; Nexus 5 Build/LMY48M) \
+                                 AppleWebKit/537.36 (KHTML, like Gecko) \
+                                 Chrome/46.0.2490.76 Mobile Safari/537.36";
+    const ANDROID_TABLET: &str = "Mozilla/5.0 (Linux; Android 5.0.2; SM-T530 Build/LRX22G) \
+                                  AppleWebKit/537.36 (KHTML, like Gecko) Chrome/46.0.2490.76 \
+                                  Safari/537.36";
+    const IPHONE: &str = "Mozilla/5.0 (iPhone; CPU iPhone OS 9_1 like Mac OS X) \
+                          AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 \
+                          Mobile/13B143 Safari/601.1";
+    const IPAD: &str = "Mozilla/5.0 (iPad; CPU OS 9_1 like Mac OS X) AppleWebKit/601.1.46 \
+                        (KHTML, like Gecko) Version/9.0 Mobile/13B143 Safari/601.1";
+    const IE11: &str = "Mozilla/5.0 (Windows NT 6.3; Trident/7.0; rv:11.0) like Gecko";
+    const GOOGLEBOT: &str = "Mozilla/5.0 (compatible; Googlebot/2.1; \
+                             +http://www.google.com/bot.html)";
+
+    #[test]
+    fn desktop_platforms() {
+        for (ua, os, browser) in [
+            (WIN_CHROME, Os::Windows, Browser::Chrome),
+            (MAC_SAFARI, Os::MacOs, Browser::Safari),
+            (LINUX_FIREFOX, Os::Linux, Browser::Firefox),
+        ] {
+            let c = parse(ua);
+            assert_eq!(c.device, DeviceCategory::Desktop, "{ua}");
+            assert_eq!(c.os, os, "{ua}");
+            assert_eq!(c.browser, browser, "{ua}");
+        }
+    }
+
+    #[test]
+    fn android_phone_vs_tablet() {
+        let phone = parse(ANDROID_PHONE);
+        assert_eq!(phone.device, DeviceCategory::Android);
+        assert_eq!(phone.os, Os::Android);
+        let tablet = parse(ANDROID_TABLET);
+        assert_eq!(tablet.device, DeviceCategory::Misc);
+        assert_eq!(tablet.os, Os::Android);
+    }
+
+    #[test]
+    fn iphone_vs_ipad() {
+        let phone = parse(IPHONE);
+        assert_eq!(phone.device, DeviceCategory::Ios);
+        assert_eq!(phone.os, Os::Ios);
+        assert_eq!(phone.browser, Browser::Safari);
+        let tablet = parse(IPAD);
+        assert_eq!(tablet.device, DeviceCategory::Misc);
+        assert_eq!(tablet.os, Os::Ios);
+    }
+
+    #[test]
+    fn internet_explorer() {
+        let c = parse(IE11);
+        assert_eq!(c.browser, Browser::InternetExplorer);
+        assert_eq!(c.device, DeviceCategory::Desktop);
+    }
+
+    #[test]
+    fn bots_are_misc() {
+        let c = parse(GOOGLEBOT);
+        assert_eq!(c.device, DeviceCategory::Misc);
+        let curl = parse("curl/7.43.0");
+        assert_eq!(curl.device, DeviceCategory::Misc);
+        assert_eq!(curl.browser, Browser::Other);
+    }
+
+    #[test]
+    fn empty_and_garbage() {
+        let c = parse("");
+        assert_eq!(c.device, DeviceCategory::Misc);
+        assert_eq!(c.os, Os::Other);
+        assert_eq!(c.browser, Browser::Other);
+        let g = parse("totally unknown agent 1.0");
+        assert_eq!(g.device, DeviceCategory::Misc);
+    }
+
+    #[test]
+    fn opera_detected_before_chrome() {
+        let ua = "Mozilla/5.0 (Windows NT 10.0) AppleWebKit/537.36 (KHTML, like Gecko) \
+                  Chrome/45.0.2454.85 Safari/537.36 OPR/32.0.1948.69";
+        assert_eq!(parse(ua).browser, Browser::Opera);
+    }
+
+    #[test]
+    fn windows_phone_is_misc() {
+        let ua = "Mozilla/5.0 (Windows Phone 10.0; Android 4.2.1; Microsoft; Lumia 950)";
+        let c = parse(ua);
+        assert_eq!(c.os, Os::Other);
+        assert_eq!(c.device, DeviceCategory::Misc);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let c = parse("MOZILLA/5.0 (WINDOWS NT 10.0) CHROME/46.0 SAFARI/537.36");
+        assert_eq!(c.device, DeviceCategory::Desktop);
+        assert_eq!(c.browser, Browser::Chrome);
+    }
+}

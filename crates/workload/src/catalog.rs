@@ -1,0 +1,360 @@
+//! Per-site object catalogs with planted popularity and trends.
+
+use crate::dist::AliasTable;
+use crate::profile::SiteProfile;
+use crate::trendspec::TrendSpec;
+use oat_httplog::{ContentClass, FileFormat, ObjectId, PublisherId};
+use oat_timeseries::TrendClass;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One object in a site's catalog: the generative ground truth behind every
+/// log line that references it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogObject {
+    /// Hashed-URL identifier carried in log records.
+    pub id: ObjectId,
+    /// File format.
+    pub format: FileFormat,
+    /// Size in bytes.
+    pub size: u64,
+    /// Injection time, seconds after trace start (0 = pre-existing).
+    pub injection_secs: u64,
+    /// Static popularity weight (Zipf).
+    pub weight: f64,
+    /// Temporal popularity envelope.
+    pub trend: TrendSpec,
+}
+
+impl CatalogObject {
+    /// The paper's content class of this object.
+    pub fn content_class(&self) -> ContentClass {
+        self.format.class()
+    }
+}
+
+/// A complete site catalog plus the sampling table used by the generator.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    publisher: PublisherId,
+    objects: Vec<CatalogObject>,
+    sampler: AliasTable,
+}
+
+impl Catalog {
+    /// Builds a catalog of `n_objects` for `profile`.
+    ///
+    /// `trace_secs` bounds injection times and flash-crowd spikes. Weights
+    /// combine Zipf rank popularity (shuffled across objects), the
+    /// per-class request boost, and a mild bonus for diurnal (front-page)
+    /// objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_objects == 0`.
+    pub fn build<R: Rng + ?Sized>(
+        profile: &SiteProfile,
+        n_objects: usize,
+        trace_secs: u64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n_objects > 0, "catalog must contain at least one object");
+        let trace_hours = trace_secs as f64 / 3600.0;
+
+        // Zipf rank weights, shuffled so popularity is independent of
+        // class/injection order.
+        let zipf = zipf_ranks(n_objects, profile.zipf_alpha);
+        let mut ranks: Vec<usize> = (0..n_objects).collect();
+        ranks.shuffle(rng);
+
+        let mut objects = Vec::with_capacity(n_objects);
+        let mut weights = Vec::with_capacity(n_objects);
+        for i in 0..n_objects {
+            let class = sample_class(profile, rng);
+            let params = profile.class_params(class);
+            let format = sample_format(class, rng);
+            let size = params.sizes.sample(rng);
+            let injection_secs = if rng.gen::<f64>() < profile.preexisting_fraction {
+                0
+            } else {
+                rng.gen_range(0..trace_secs.max(1))
+            };
+            let trend_class = profile.trend_mix.sample(rng);
+            let trend = TrendSpec::sample(
+                trend_class,
+                profile.diurnal.peak_hour(),
+                trace_hours,
+                rng,
+            );
+            // Front-page (diurnal) objects draw disproportionate attention
+            // (the paper links diurnal patterns to front-page browsing).
+            let trend_bonus = if trend_class == TrendClass::Diurnal { 2.0 } else { 1.0 };
+            let weight = zipf[ranks[i]] * params.request_boost * trend_bonus;
+            objects.push(CatalogObject {
+                id: ObjectId::new(rng.gen()),
+                format,
+                size,
+                injection_secs,
+                weight,
+                trend,
+            });
+            weights.push(weight);
+        }
+        let sampler = AliasTable::new(&weights).expect("weights are positive");
+        Self { publisher: profile.publisher, objects, sampler }
+    }
+
+    /// The publisher this catalog belongs to.
+    pub fn publisher(&self) -> PublisherId {
+        self.publisher
+    }
+
+    /// All objects.
+    pub fn objects(&self) -> &[CatalogObject] {
+        &self.objects
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the catalog is empty (never true for a built catalog).
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Samples an object index from the static popularity distribution
+    /// (ignores temporal envelopes — callers apply acceptance-rejection).
+    pub fn sample_static<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sampler.sample(rng)
+    }
+
+    /// Samples an object index honouring its temporal envelope at absolute
+    /// trace offset `t_secs` and audience-local hour `local_hour`.
+    ///
+    /// Uses acceptance-rejection over the static distribution; falls back
+    /// to the best candidate seen when acceptance keeps failing (very early
+    /// trace times with mostly-uninjected catalogs).
+    pub fn sample_at<R: Rng + ?Sized>(
+        &self,
+        t_secs: f64,
+        local_hour: f64,
+        rng: &mut R,
+    ) -> usize {
+        let mut best = 0usize;
+        let mut best_intensity = -1.0f64;
+        for _ in 0..48 {
+            let idx = self.sampler.sample(rng);
+            let obj = &self.objects[idx];
+            let age = t_secs - obj.injection_secs as f64;
+            let intensity = obj.trend.intensity(age, local_hour);
+            let max = obj.trend.max_intensity();
+            if rng.gen::<f64>() * max < intensity {
+                return idx;
+            }
+            if intensity > best_intensity {
+                best_intensity = intensity;
+                best = idx;
+            }
+        }
+        best
+    }
+
+    /// Ground-truth per-object hourly request envelope (unnormalized), used
+    /// by tests to validate the clustering pipeline.
+    pub fn envelope_series(&self, idx: usize, trace_secs: u64, tz_offset_secs: i32) -> Vec<f64> {
+        let hours = (trace_secs / 3600) as usize;
+        let obj = &self.objects[idx];
+        (0..hours)
+            .map(|h| {
+                let t = h as f64 * 3600.0 + 1800.0;
+                let local = (t + tz_offset_secs as f64).rem_euclid(86_400.0) / 3600.0;
+                obj.trend.intensity(t - obj.injection_secs as f64, local)
+            })
+            .collect()
+    }
+}
+
+fn zipf_ranks(n: usize, alpha: f64) -> Vec<f64> {
+    (1..=n).map(|r| (r as f64).powf(-alpha)).collect()
+}
+
+fn sample_class<R: Rng + ?Sized>(profile: &SiteProfile, rng: &mut R) -> ContentClass {
+    let (v, i, _o) = profile.catalog_mix();
+    let x: f64 = rng.gen();
+    if x < v {
+        ContentClass::Video
+    } else if x < v + i {
+        ContentClass::Image
+    } else {
+        ContentClass::Other
+    }
+}
+
+/// Era-appropriate format mix per class (FLV still common in 2015 video;
+/// JPG dominates images with GIF previews present).
+fn sample_format<R: Rng + ?Sized>(class: ContentClass, rng: &mut R) -> FileFormat {
+    let x: f64 = rng.gen();
+    match class {
+        ContentClass::Video => {
+            if x < 0.45 {
+                FileFormat::Mp4
+            } else if x < 0.80 {
+                FileFormat::Flv
+            } else if x < 0.90 {
+                FileFormat::Wmv
+            } else if x < 0.96 {
+                FileFormat::Avi
+            } else {
+                FileFormat::Mpg
+            }
+        }
+        ContentClass::Image => {
+            if x < 0.62 {
+                FileFormat::Jpg
+            } else if x < 0.85 {
+                FileFormat::Gif
+            } else if x < 0.97 {
+                FileFormat::Png
+            } else if x < 0.99 {
+                FileFormat::Bmp
+            } else {
+                FileFormat::Tiff
+            }
+        }
+        ContentClass::Other => {
+            if x < 0.35 {
+                FileFormat::Html
+            } else if x < 0.55 {
+                FileFormat::Js
+            } else if x < 0.70 {
+                FileFormat::Css
+            } else if x < 0.80 {
+                FileFormat::Xml
+            } else if x < 0.90 {
+                FileFormat::Txt
+            } else {
+                FileFormat::Mp3
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const WEEK: u64 = 7 * 86_400;
+
+    fn build(profile: &SiteProfile, n: usize, seed: u64) -> Catalog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Catalog::build(profile, n, WEEK, &mut rng)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn empty_catalog_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Catalog::build(&SiteProfile::v1(), 0, WEEK, &mut rng);
+    }
+
+    #[test]
+    fn class_mix_approximates_profile() {
+        let catalog = build(&SiteProfile::v1(), 5_000, 1);
+        let videos = catalog
+            .objects()
+            .iter()
+            .filter(|o| o.content_class() == ContentClass::Video)
+            .count();
+        let share = videos as f64 / 5_000.0;
+        assert!((share - 0.98).abs() < 0.02, "video share {share}");
+        assert_eq!(catalog.publisher(), SiteProfile::v1().publisher);
+        assert_eq!(catalog.len(), 5_000);
+        assert!(!catalog.is_empty());
+    }
+
+    #[test]
+    fn object_ids_unique() {
+        let catalog = build(&SiteProfile::p1(), 10_000, 2);
+        let ids: std::collections::HashSet<_> = catalog.objects().iter().map(|o| o.id).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn injection_times_within_trace() {
+        let catalog = build(&SiteProfile::s1(), 5_000, 3);
+        let preexisting = catalog.objects().iter().filter(|o| o.injection_secs == 0).count();
+        let share = preexisting as f64 / 5_000.0;
+        assert!((share - SiteProfile::s1().preexisting_fraction).abs() < 0.05);
+        assert!(catalog.objects().iter().all(|o| o.injection_secs < WEEK));
+    }
+
+    #[test]
+    fn static_sampling_is_skewed() {
+        let catalog = build(&SiteProfile::v2(), 2_000, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 2_000];
+        for _ in 0..100_000 {
+            counts[catalog.sample_static(&mut rng)] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: u32 = counts[..200].iter().sum();
+        assert!(
+            top_decile as f64 / 100_000.0 > 0.5,
+            "top 10 % draw {top_decile} of 100k"
+        );
+    }
+
+    #[test]
+    fn sample_at_respects_injection() {
+        let mut profile = SiteProfile::p1();
+        profile.preexisting_fraction = 0.3;
+        let mut rng = StdRng::seed_from_u64(6);
+        let catalog = Catalog::build(&profile, 2_000, WEEK, &mut rng);
+        // At t = 1 hour, essentially all sampled objects must already be
+        // injected (the fallback path can rarely pick the best uninjected
+        // candidate, so allow a small margin).
+        let mut uninjected = 0;
+        for _ in 0..2_000 {
+            let idx = catalog.sample_at(3_600.0, 22.0, &mut rng);
+            if catalog.objects()[idx].injection_secs > 3_600 {
+                uninjected += 1;
+            }
+        }
+        assert!(uninjected < 40, "{uninjected} uninjected objects sampled");
+    }
+
+    #[test]
+    fn envelope_series_matches_trend_length() {
+        let catalog = build(&SiteProfile::p2(), 100, 7);
+        let series = catalog.envelope_series(0, WEEK, -5 * 3600);
+        assert_eq!(series.len(), 168);
+        assert!(series.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn format_classes_consistent() {
+        let catalog = build(&SiteProfile::v2(), 3_000, 8);
+        for obj in catalog.objects() {
+            assert_eq!(obj.format.class(), obj.content_class());
+        }
+        // GIF previews exist among images.
+        let gifs = catalog
+            .objects()
+            .iter()
+            .filter(|o| o.format == FileFormat::Gif)
+            .count();
+        assert!(gifs > 100, "expected GIF previews, found {gifs}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build(&SiteProfile::v1(), 500, 42);
+        let b = build(&SiteProfile::v1(), 500, 42);
+        assert_eq!(a.objects(), b.objects());
+    }
+}

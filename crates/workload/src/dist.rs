@@ -1,0 +1,404 @@
+//! Random-variate samplers implemented directly over [`rand::Rng`].
+//!
+//! Only the `rand` core crate is a dependency; log-normal, Pareto, Zipf and
+//! mixture sampling are implemented here (Box–Muller, inversion, and the
+//! Vose alias method respectively).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Log-normal distribution parameterized by the *median* and the shape
+/// `sigma` (std-dev of the underlying normal).
+///
+/// Medians are far more natural than `mu` when calibrating content sizes
+/// ("median video ≈ 12 MB").
+///
+/// # Example
+///
+/// ```
+/// use oat_workload::dist::LogNormal;
+/// use rand::SeedableRng;
+///
+/// let d = LogNormal::from_median(12_000_000.0, 1.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from its median and shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless `median > 0` and `sigma >= 0` (finite).
+    pub fn from_median(median: f64, sigma: f64) -> Result<Self, DistError> {
+        if median <= 0.0 || !median.is_finite() {
+            return Err(DistError::InvalidParameter { name: "median" });
+        }
+        if sigma < 0.0 || !sigma.is_finite() {
+            return Err(DistError::InvalidParameter { name: "sigma" });
+        }
+        Ok(Self { mu: median.ln(), sigma })
+    }
+
+    /// The distribution median.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One draw from the standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Exponential distribution with the given mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with mean `mean`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless `mean > 0` and finite.
+    pub fn new(mean: f64) -> Result<Self, DistError> {
+        if mean <= 0.0 || !mean.is_finite() {
+            return Err(DistError::InvalidParameter { name: "mean" });
+        }
+        Ok(Self { mean })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+/// Bounded Pareto (power-law) distribution over `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundedPareto {
+    min: f64,
+    max: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto with shape `alpha` on `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless `0 < min < max` and `alpha > 0`.
+    pub fn new(min: f64, max: f64, alpha: f64) -> Result<Self, DistError> {
+        if min <= 0.0 || !min.is_finite() {
+            return Err(DistError::InvalidParameter { name: "min" });
+        }
+        if max <= min || !max.is_finite() {
+            return Err(DistError::InvalidParameter { name: "max" });
+        }
+        if alpha <= 0.0 || !alpha.is_finite() {
+            return Err(DistError::InvalidParameter { name: "alpha" });
+        }
+        Ok(Self { min, max, alpha })
+    }
+
+    /// Draws one sample via inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let (l, h, a) = (self.min, self.max, self.alpha);
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a)
+    }
+}
+
+/// Weighted discrete sampling in O(1) via the Vose alias method.
+///
+/// # Example
+///
+/// ```
+/// use oat_workload::dist::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[0.7, 0.2, 0.1]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let idx = table.sample(&mut rng);
+/// assert!(idx < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] when `weights` is empty, contains a negative or
+    /// non-finite weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, DistError> {
+        if weights.is_empty() {
+            return Err(DistError::Empty);
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(DistError::InvalidParameter { name: "weights" });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(DistError::InvalidParameter { name: "weights" });
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining entries are 1.0 up to rounding.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has no categories (never true for a constructed
+    /// table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Zipf(α) rank weights `1/rank^α` for `n` ranks, as an [`AliasTable`].
+///
+/// # Errors
+///
+/// Returns [`DistError`] when `n == 0` or `alpha` is negative/non-finite.
+pub fn zipf_table(n: usize, alpha: f64) -> Result<AliasTable, DistError> {
+    if n == 0 {
+        return Err(DistError::Empty);
+    }
+    if alpha < 0.0 || !alpha.is_finite() {
+        return Err(DistError::InvalidParameter { name: "alpha" });
+    }
+    let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
+    AliasTable::new(&weights)
+}
+
+/// Errors constructing samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistError {
+    /// A parameter was out of range.
+    InvalidParameter {
+        /// The offending parameter name.
+        name: &'static str,
+    },
+    /// An empty category/weight set was supplied.
+    Empty,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidParameter { name } => write!(f, "invalid distribution parameter `{name}`"),
+            Self::Empty => f.write_str("distribution requires at least one category"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_median_recovered() {
+        let d = LogNormal::from_median(1000.0, 0.8).unwrap();
+        assert!((d.median() - 1000.0).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median / 1000.0 - 1.0).abs() < 0.05, "sampled median {median}");
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::from_median(0.0, 1.0).is_err());
+        assert!(LogNormal::from_median(-5.0, 1.0).is_err());
+        assert!(LogNormal::from_median(1.0, -0.1).is_err());
+        assert!(LogNormal::from_median(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::from_median(42.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 42.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_recovered() {
+        let d = Exponential::new(5.0).unwrap();
+        assert_eq!(d.mean(), 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((mean - 5.0).abs() < 0.15, "sampled mean {mean}");
+        assert!(Exponential::new(0.0).is_err());
+    }
+
+    #[test]
+    fn bounded_pareto_within_bounds() {
+        let d = BoundedPareto::new(1.0, 100.0, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x), "sample {x}");
+        }
+        assert!(BoundedPareto::new(0.0, 1.0, 1.0).is_err());
+        assert!(BoundedPareto::new(2.0, 1.0, 1.0).is_err());
+        assert!(BoundedPareto::new(1.0, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn bounded_pareto_skews_low() {
+        let d = BoundedPareto::new(1.0, 1000.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let below_10 = (0..10_000).filter(|_| d.sample(&mut rng) < 10.0).count();
+        assert!(below_10 > 8_000, "power law should concentrate near min: {below_10}");
+    }
+
+    #[test]
+    fn alias_table_frequencies() {
+        let table = AliasTable::new(&[8.0, 1.0, 1.0]).unwrap();
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0u32; 3];
+        for _ in 0..50_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let share0 = counts[0] as f64 / 50_000.0;
+        assert!((share0 - 0.8).abs() < 0.02, "share {share0}");
+    }
+
+    #[test]
+    fn alias_table_rejects_bad_weights() {
+        assert_eq!(AliasTable::new(&[]).unwrap_err(), DistError::Empty);
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_err());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let table = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_category_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let table = zipf_table(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..200_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[99]);
+        // Rank-1 share for Zipf(1, 100) is 1/H_100 ≈ 0.193.
+        let share = counts[0] as f64 / 200_000.0;
+        assert!((share - 0.193).abs() < 0.02, "rank-1 share {share}");
+        assert!(zipf_table(0, 1.0).is_err());
+        assert!(zipf_table(5, -1.0).is_err());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn dist_error_display() {
+        assert!(DistError::Empty.to_string().contains("at least one"));
+        assert!(
+            DistError::InvalidParameter { name: "alpha" }.to_string().contains("alpha")
+        );
+    }
+}

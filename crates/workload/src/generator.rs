@@ -1,0 +1,613 @@
+//! The trace generator: users × sessions × objects → a time-ordered
+//! request stream.
+
+use crate::catalog::Catalog;
+use crate::dist::LogNormal;
+use crate::profile::SiteProfile;
+use crate::users::{build_population, UserProfile};
+use oat_httplog::{ContentClass, Request, RequestKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+pub use oat_httplog::request::CHUNK_BYTES;
+
+/// Probability a video view downloads the whole file with one `GET`
+/// (progressive download) instead of chunked range requests.
+pub const FULL_VIDEO_FETCH_RATE: f64 = 0.5;
+
+/// Probability an "other"-class view is an analytics beacon (`204`).
+pub const BEACON_RATE: f64 = 0.25;
+
+/// Maximum chunks fetched per video view.
+pub const MAX_CHUNKS_PER_VIEW: u64 = 15;
+
+/// Generation parameters for one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Master RNG seed; everything is deterministic given the seed.
+    pub seed: u64,
+    /// Request-volume scale relative to the paper (1.0 ≈ 5.4 M records).
+    pub scale: f64,
+    /// Catalog-size scale relative to the paper (1.0 ≈ 131 K objects).
+    pub catalog_scale: f64,
+    /// Trace duration in seconds (the paper's traces span one week).
+    pub duration_secs: u64,
+    /// Unix time of trace start (defaults to a Saturday, matching the
+    /// paper's Sat→Fri figures).
+    pub start_unix: u64,
+    /// The sites to generate.
+    pub sites: Vec<SiteProfile>,
+}
+
+impl TraceConfig {
+    /// A one-week, paper-scale config over the five paper sites.
+    pub fn paper_week() -> Self {
+        Self {
+            seed: 0x0A7_5EED,
+            scale: 1.0,
+            catalog_scale: 1.0,
+            duration_secs: 7 * 86_400,
+            start_unix: 1_444_435_200, // Sat 2015-10-10 00:00:00 UTC
+            sites: SiteProfile::paper_five(),
+        }
+    }
+
+    /// A laptop-friendly config: ~1–2 % of the paper's request volume.
+    pub fn small() -> Self {
+        Self {
+            scale: 0.015,
+            catalog_scale: 0.04,
+            ..Self::paper_week()
+        }
+    }
+
+    /// Sets the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the request-volume scale (builder-style).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the catalog scale (builder-style).
+    pub fn with_catalog_scale(mut self, catalog_scale: f64) -> Self {
+        self.catalog_scale = catalog_scale;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for non-positive scales, an empty site list,
+    /// or a zero duration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.scale <= 0.0 || !self.scale.is_finite() {
+            return Err(ConfigError::BadScale);
+        }
+        if self.catalog_scale <= 0.0 || !self.catalog_scale.is_finite() {
+            return Err(ConfigError::BadScale);
+        }
+        if self.duration_secs < 3_600 {
+            return Err(ConfigError::DurationTooShort);
+        }
+        if self.sites.is_empty() {
+            return Err(ConfigError::NoSites);
+        }
+        Ok(())
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Error validating a [`TraceConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A scale was non-positive or non-finite.
+    BadScale,
+    /// Duration must be at least one hour.
+    DurationTooShort,
+    /// At least one site profile is required.
+    NoSites,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            Self::BadScale => "scales must be positive and finite",
+            Self::DurationTooShort => "trace duration must be at least one hour",
+            Self::NoSites => "at least one site profile is required",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A generated trace: the request stream plus the generative ground truth.
+#[derive(Debug)]
+pub struct Trace {
+    /// All requests across all sites, sorted by timestamp.
+    pub requests: Vec<Request>,
+    /// Per-site catalogs (ground truth for popularity/trend validation),
+    /// index-aligned with `config.sites`.
+    pub catalogs: Vec<Catalog>,
+    /// Per-site user populations, index-aligned with `config.sites`.
+    pub populations: Vec<Vec<UserProfile>>,
+    /// The configuration the trace was generated from.
+    pub config: TraceConfig,
+}
+
+impl Trace {
+    /// Convenience: requests of one site.
+    pub fn site_requests(&self, publisher: oat_httplog::PublisherId) -> Vec<&Request> {
+        self.requests.iter().filter(|r| r.publisher == publisher).collect()
+    }
+}
+
+/// Generates a [`Trace`] from a [`TraceConfig`].
+///
+/// Sites are generated on parallel threads (one per site) with independent
+/// deterministic RNG streams, then merged and time-sorted.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the config fails validation.
+pub fn generate(config: &TraceConfig) -> Result<Trace, ConfigError> {
+    config.validate()?;
+    let mut catalogs: Vec<Option<Catalog>> = (0..config.sites.len()).map(|_| None).collect();
+    let mut populations: Vec<Vec<UserProfile>> = vec![Vec::new(); config.sites.len()];
+    let mut per_site_requests: Vec<Vec<Request>> = vec![Vec::new(); config.sites.len()];
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = config
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, site)| {
+                let config = &*config;
+                scope.spawn(move |_| {
+                    let mut rng =
+                        StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9 + i as u64 * 0x1000_0001));
+                    generate_site(site, config, &mut rng)
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let (catalog, users, requests) = h.join().expect("site generation panicked");
+            catalogs[i] = Some(catalog);
+            populations[i] = users;
+            per_site_requests[i] = requests;
+        }
+    })
+    .expect("generation threads panicked");
+
+    let mut requests: Vec<Request> =
+        per_site_requests.into_iter().flatten().collect();
+    requests.sort_by_key(|r| (r.timestamp, r.user.raw(), r.object.raw()));
+    Ok(Trace {
+        requests,
+        catalogs: catalogs.into_iter().map(|c| c.expect("catalog built")).collect(),
+        populations,
+        config: config.clone(),
+    })
+}
+
+fn generate_site(
+    site: &SiteProfile,
+    config: &TraceConfig,
+    rng: &mut StdRng,
+) -> (Catalog, Vec<UserProfile>, Vec<Request>) {
+    let duration = config.duration_secs;
+    let catalog_n = ((site.catalog_size as f64 * config.catalog_scale).round() as usize).max(60);
+    let catalog = Catalog::build(site, catalog_n, duration, rng);
+
+    // Calibrate the user count from the target record volume.
+    let expansion = expected_records_per_view(&catalog);
+    let target_records = (site.request_volume as f64 * config.scale).max(50.0);
+    let target_views = target_records / expansion;
+    let views_per_user = site.sessions_per_user * site.requests_per_session;
+    let n_users = ((target_views / views_per_user).round() as usize).max(10);
+    let users = build_population(site, n_users, rng);
+
+    let iat = LogNormal::from_median(site.within_iat_median_secs, site.within_iat_sigma)
+        .expect("profile IAT parameters are valid");
+
+    let mut requests = Vec::with_capacity(target_records as usize + 16);
+    for user in &users {
+        generate_user(site, config, &catalog, user, &iat, rng, &mut requests);
+    }
+    (catalog, users, requests)
+}
+
+/// Expected emitted records per object view, weighted by popularity
+/// (videos expand into chunk requests).
+fn expected_records_per_view(catalog: &Catalog) -> f64 {
+    let mut total_weight = 0.0;
+    let mut weighted_records = 0.0;
+    for obj in catalog.objects() {
+        let records = if obj.content_class() == ContentClass::Video {
+            let chunks = chunk_count(obj.size) as f64;
+            // Half the views are progressive full downloads (1 record);
+            // the rest fetch a mean watch fraction of 0.6 of the chunks.
+            FULL_VIDEO_FETCH_RATE
+                + (1.0 - FULL_VIDEO_FETCH_RATE) * (chunks * 0.6).max(1.0)
+        } else {
+            1.0
+        };
+        total_weight += obj.weight;
+        weighted_records += obj.weight * records;
+    }
+    if total_weight == 0.0 {
+        1.0
+    } else {
+        weighted_records / total_weight
+    }
+}
+
+/// Total chunks an object occupies.
+pub fn chunk_count(size: u64) -> u64 {
+    size.div_ceil(CHUNK_BYTES).clamp(1, MAX_CHUNKS_PER_VIEW)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_user(
+    site: &SiteProfile,
+    config: &TraceConfig,
+    catalog: &Catalog,
+    user: &UserProfile,
+    iat: &LogNormal,
+    rng: &mut StdRng,
+    out: &mut Vec<Request>,
+) {
+    // Mean activity is ~1.25 (Rayleigh(1) × U(0.5, 1.5)); normalize so the
+    // configured per-user session mean holds.
+    let lambda = site.sessions_per_user * user.activity / 1.25;
+    let n_sessions = sample_poisson(lambda, rng).max(1);
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut favorites: Vec<usize> = Vec::new();
+
+    for _ in 0..n_sessions {
+        let start = sample_session_start(site, config, user, rng);
+        let n_views = sample_poisson(site.requests_per_session, rng).max(1);
+        let mut t = start;
+        for view in 0..n_views {
+            if view > 0 {
+                t += iat.sample(rng);
+            }
+            if t >= config.duration_secs as f64 {
+                break;
+            }
+            let idx = pick_object(site, catalog, user, &favorites, t, rng);
+            emit_view(site, config, catalog, user, idx, &mut t, &mut seen, rng, out);
+            update_favorites(site, catalog, idx, &mut favorites, rng);
+        }
+    }
+}
+
+fn sample_session_start(
+    site: &SiteProfile,
+    config: &TraceConfig,
+    user: &UserProfile,
+    rng: &mut StdRng,
+) -> f64 {
+    let days = (config.duration_secs as f64 / 86_400.0).max(1.0);
+    // Local-time-of-day from the site's diurnal curve (rejection sampling).
+    let max = 1.0 + site.diurnal.amplitude();
+    let hour = loop {
+        let h = rng.gen_range(0.0..24.0);
+        if rng.gen::<f64>() * max <= site.diurnal.intensity(h) {
+            break h;
+        }
+    };
+    let day = rng.gen_range(0.0..days).floor();
+    let local = day * 86_400.0 + hour * 3_600.0;
+    let utc = local - user.tz_offset_secs as f64;
+    utc.rem_euclid(config.duration_secs as f64)
+}
+
+fn pick_object(
+    site: &SiteProfile,
+    catalog: &Catalog,
+    user: &UserProfile,
+    favorites: &[usize],
+    t: f64,
+    rng: &mut StdRng,
+) -> usize {
+    if !favorites.is_empty() && rng.gen::<f64>() < site.repeat_affinity {
+        return favorites[rng.gen_range(0..favorites.len())];
+    }
+    let local_hour = (t + user.tz_offset_secs as f64).rem_euclid(86_400.0) / 3_600.0;
+    catalog.sample_at(t, local_hour, rng)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_view(
+    site: &SiteProfile,
+    config: &TraceConfig,
+    catalog: &Catalog,
+    user: &UserProfile,
+    idx: usize,
+    t: &mut f64,
+    seen: &mut std::collections::HashSet<u64>,
+    rng: &mut StdRng,
+    out: &mut Vec<Request>,
+) {
+    let obj = &catalog.objects()[idx];
+    let duration = config.duration_secs as f64;
+    let base = |timestamp: f64, kind: RequestKind| Request {
+        timestamp: config.start_unix + timestamp as u64,
+        publisher: site.publisher,
+        object: obj.id,
+        format: obj.format,
+        object_size: obj.size,
+        user: user.id,
+        user_agent: user.user_agent.clone(),
+        region: user.region,
+        tz_offset_secs: user.tz_offset_secs,
+        incognito: user.incognito,
+        kind,
+    };
+
+    // Failure modes first.
+    if rng.gen::<f64>() < site.hotlink_rate {
+        out.push(base(*t, RequestKind::Hotlink));
+        return;
+    }
+    let is_video = obj.content_class() == ContentClass::Video;
+    if is_video && rng.gen::<f64>() < site.bad_range_rate {
+        out.push(base(*t, RequestKind::InvalidRange));
+        return;
+    }
+
+    let previously_seen = seen.contains(&obj.id.raw());
+    seen.insert(obj.id.raw());
+
+    if is_video {
+        let total_chunks = chunk_count(obj.size);
+        if total_chunks == 1 || rng.gen::<f64>() < FULL_VIDEO_FETCH_RATE {
+            // Progressive download of the whole file.
+            out.push(base(*t, RequestKind::Full));
+            return;
+        }
+        let watched =
+            ((total_chunks as f64 * rng.gen_range(0.2..1.0)).round() as u64).clamp(1, total_chunks);
+        for chunk in 0..watched {
+            if *t >= duration {
+                break;
+            }
+            let offset = chunk * CHUNK_BYTES;
+            let length = CHUNK_BYTES.min(obj.size - offset);
+            out.push(base(*t, RequestKind::Range { offset, length }));
+            *t += rng.gen_range(2.0..8.0);
+        }
+        return;
+    }
+
+    // A slice of "other"-class traffic is analytics beacons.
+    if obj.content_class() == ContentClass::Other && rng.gen::<f64>() < BEACON_RATE {
+        out.push(base(*t, RequestKind::Beacon));
+        return;
+    }
+
+    // Images / other: possibly a browser-cache revalidation.
+    let kind = if previously_seen
+        && !user.incognito
+        && rng.gen::<f64>() < site.revalidate_rate
+    {
+        RequestKind::Conditional
+    } else {
+        RequestKind::Full
+    };
+    out.push(base(*t, kind));
+}
+
+fn update_favorites(
+    site: &SiteProfile,
+    catalog: &Catalog,
+    idx: usize,
+    favorites: &mut Vec<usize>,
+    rng: &mut StdRng,
+) {
+    if favorites.contains(&idx) {
+        return;
+    }
+    let is_video = catalog.objects()[idx].content_class() == ContentClass::Video;
+    let (p, cap) = if is_video { (0.4, 6) } else { (0.05, 4) };
+    // Favorite formation is itself part of the addiction model (Fig 13/14):
+    // video content is far stickier than images.
+    let _ = site;
+    if rng.gen::<f64>() < p {
+        if favorites.len() >= cap {
+            let evict = rng.gen_range(0..favorites.len());
+            favorites[evict] = idx;
+        } else {
+            favorites.push(idx);
+        }
+    }
+}
+
+/// Knuth's Poisson sampler (fine for the small means used here).
+fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    if lambda.is_nan() || lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda.min(50.0)).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_httplog::PublisherId;
+
+    fn tiny_config() -> TraceConfig {
+        TraceConfig {
+            scale: 0.003,
+            catalog_scale: 0.01,
+            ..TraceConfig::paper_week()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TraceConfig::paper_week().validate().is_ok());
+        assert!(TraceConfig::small().validate().is_ok());
+        let bad_scale = TraceConfig { scale: 0.0, ..TraceConfig::small() };
+        assert_eq!(bad_scale.validate().unwrap_err(), ConfigError::BadScale);
+        let bad_duration = TraceConfig { duration_secs: 60, ..TraceConfig::small() };
+        assert_eq!(bad_duration.validate().unwrap_err(), ConfigError::DurationTooShort);
+        let no_sites = TraceConfig { sites: vec![], ..TraceConfig::small() };
+        assert_eq!(no_sites.validate().unwrap_err(), ConfigError::NoSites);
+        assert!(ConfigError::NoSites.to_string().contains("site"));
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = TraceConfig::small().with_seed(7).with_scale(0.5).with_catalog_scale(0.25);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.scale, 0.5);
+        assert_eq!(c.catalog_scale, 0.25);
+    }
+
+    #[test]
+    fn generates_sorted_nonempty_trace() {
+        let trace = generate(&tiny_config()).unwrap();
+        assert!(trace.requests.len() > 1_000, "got {}", trace.requests.len());
+        for w in trace.requests.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        assert_eq!(trace.catalogs.len(), 5);
+        assert_eq!(trace.populations.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&tiny_config()).unwrap();
+        let b = generate(&tiny_config()).unwrap();
+        assert_eq!(a.requests.len(), b.requests.len());
+        assert_eq!(a.requests[..50], b.requests[..50]);
+        let c = generate(&tiny_config().with_seed(99)).unwrap();
+        assert_ne!(a.requests[..50], c.requests[..50]);
+    }
+
+    #[test]
+    fn timestamps_within_trace_window() {
+        let config = tiny_config();
+        let trace = generate(&config).unwrap();
+        let end = config.start_unix + config.duration_secs;
+        for r in &trace.requests {
+            assert!(r.timestamp >= config.start_unix);
+            assert!(r.timestamp < end + 1);
+        }
+    }
+
+    #[test]
+    fn volumes_roughly_match_targets() {
+        let config = tiny_config();
+        let trace = generate(&config).unwrap();
+        for site in &config.sites {
+            let target = site.request_volume as f64 * config.scale;
+            let actual = trace.site_requests(site.publisher).len() as f64;
+            let ratio = actual / target;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "{}: target {target}, actual {actual}",
+                site.code
+            );
+        }
+    }
+
+    #[test]
+    fn v1_requests_are_video_dominated() {
+        let trace = generate(&tiny_config()).unwrap();
+        let v1: Vec<_> = trace.site_requests(PublisherId::new(1));
+        let video = v1
+            .iter()
+            .filter(|r| r.content_class() == ContentClass::Video)
+            .count();
+        let share = video as f64 / v1.len() as f64;
+        assert!(share > 0.9, "V-1 video request share {share}");
+    }
+
+    #[test]
+    fn video_views_expand_into_range_chunks() {
+        let trace = generate(&tiny_config()).unwrap();
+        let ranges = trace
+            .requests
+            .iter()
+            .filter(|r| matches!(r.kind, RequestKind::Range { .. }))
+            .count();
+        assert!(ranges > 100, "expected chunked video requests, got {ranges}");
+        // Ranges stay within the object.
+        for r in &trace.requests {
+            if let RequestKind::Range { offset, length } = r.kind {
+                assert!(offset + length <= r.object_size);
+                assert!(length > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_requests_only_from_non_incognito() {
+        let trace = generate(&tiny_config()).unwrap();
+        let mut conditionals = 0;
+        for r in &trace.requests {
+            if matches!(r.kind, RequestKind::Conditional) {
+                assert!(!r.incognito, "incognito users cannot revalidate");
+                conditionals += 1;
+            }
+        }
+        assert!(conditionals > 0, "some revalidations expected");
+        // But they are a small minority (incognito browsing, §V).
+        let share = conditionals as f64 / trace.requests.len() as f64;
+        assert!(share < 0.1, "conditional share {share}");
+    }
+
+    #[test]
+    fn chunk_count_boundaries() {
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(CHUNK_BYTES), 1);
+        assert_eq!(chunk_count(CHUNK_BYTES + 1), 2);
+        assert_eq!(chunk_count(u64::MAX), MAX_CHUNKS_PER_VIEW);
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_poisson(3.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "poisson mean {mean}");
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        assert_eq!(sample_poisson(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn hotlink_and_bad_range_present() {
+        let trace = generate(&tiny_config()).unwrap();
+        let hotlinks = trace
+            .requests
+            .iter()
+            .filter(|r| matches!(r.kind, RequestKind::Hotlink))
+            .count();
+        assert!(hotlinks > 0, "hotlink requests expected");
+    }
+}

@@ -1,0 +1,56 @@
+//! Synthetic adult-CDN workload generation.
+//!
+//! The paper's dataset — one week of HTTP logs from a commercial CDN — is
+//! proprietary. This crate is the substitution (see `DESIGN.md` §1): a
+//! generative model whose knobs are calibrated to every quantitative claim
+//! in the paper, producing request streams with the same *shape* so the
+//! analysis pipeline in `oat-core` exercises exactly the code paths it
+//! would on real logs.
+//!
+//! The model layers:
+//!
+//! * [`profile`] — per-site parameters for the paper's five websites
+//!   (V-1, V-2, P-1, P-2, S-1), each number anchored to a paper statement.
+//! * [`catalog`] — object catalogs with Zipf popularity, bi-modal image /
+//!   heavy video sizes, staggered injection, and planted temporal trends.
+//! * [`trendspec`] / [`temporal`] — diurnal site curves (V-1 peaks
+//!   late-night) and per-object envelopes (diurnal / long-lived /
+//!   short-lived / flash-crowd / outlier).
+//! * [`users`] — populations with regions/timezones (4 continents), device
+//!   mixes, real user-agent strings, incognito browsing, heavy-tailed
+//!   activity.
+//! * [`generator`] — sessions, inter-arrival gaps, video chunking,
+//!   addiction (repeat views), browser-cache revalidation, hot-link and
+//!   bad-range failures — merged into one time-sorted [`Request`] stream.
+//!
+//! [`Request`]: oat_httplog::Request
+//!
+//! # Example
+//!
+//! ```
+//! use oat_workload::{generate, TraceConfig};
+//!
+//! let config = TraceConfig::small().with_scale(0.002).with_catalog_scale(0.005);
+//! let trace = generate(&config)?;
+//! assert!(!trace.requests.is_empty());
+//! # Ok::<(), oat_workload::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod dist;
+pub mod generator;
+pub mod profile;
+pub mod temporal;
+pub mod trendspec;
+pub mod users;
+
+pub use catalog::{Catalog, CatalogObject};
+pub use generator::{generate, ConfigError, Trace, TraceConfig, CHUNK_BYTES};
+pub use profile::{ClassParams, SiteProfile, SizeModel, TrendMix};
+pub use temporal::DiurnalCurve;
+pub use trendspec::TrendSpec;
+pub use users::UserProfile;

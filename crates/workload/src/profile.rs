@@ -1,0 +1,610 @@
+//! Site profiles: the generative parameters for the paper's five websites.
+//!
+//! Every number here is anchored to a statement in the paper (§III–IV):
+//! catalog sizes from Figure 1's caption, content mixes from Figures 1–2,
+//! device mixes from Figure 4, size models from Figure 5, temporal phases
+//! from Figure 3, trend mixtures from Figure 8, and engagement parameters
+//! from Figures 11–14.
+
+use crate::dist::LogNormal;
+use crate::temporal::DiurnalCurve;
+use oat_httplog::{ContentClass, PublisherId, Region};
+use oat_timeseries::TrendClass;
+use oat_useragent::DeviceMix;
+use serde::{Deserialize, Serialize};
+
+/// A mixture of object sizes: one or two log-normal modes.
+///
+/// Image sizes in the paper are bi-modal (thumbnails vs full-resolution,
+/// Fig 5b); video sizes are uni-modal and large.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeModel {
+    /// Primary mode.
+    pub primary: LogNormal,
+    /// Optional secondary mode with its mixture weight (`0..=1`).
+    pub secondary: Option<(LogNormal, f64)>,
+    /// Hard lower bound applied after sampling, bytes.
+    pub min_bytes: u64,
+    /// Hard upper bound applied after sampling, bytes.
+    pub max_bytes: u64,
+}
+
+impl SizeModel {
+    /// Single log-normal mode.
+    pub fn unimodal(median_bytes: f64, sigma: f64, min: u64, max: u64) -> Self {
+        Self {
+            primary: LogNormal::from_median(median_bytes, sigma).expect("valid size model"),
+            secondary: None,
+            min_bytes: min,
+            max_bytes: max,
+        }
+    }
+
+    /// Two modes; `secondary_weight` is the probability of the second mode.
+    pub fn bimodal(
+        median_a: f64,
+        sigma_a: f64,
+        median_b: f64,
+        sigma_b: f64,
+        secondary_weight: f64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Self {
+            primary: LogNormal::from_median(median_a, sigma_a).expect("valid size model"),
+            secondary: Some((
+                LogNormal::from_median(median_b, sigma_b).expect("valid size model"),
+                secondary_weight.clamp(0.0, 1.0),
+            )),
+            min_bytes: min,
+            max_bytes: max,
+        }
+    }
+
+    /// Draws one object size in bytes.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let raw = match self.secondary {
+            Some((ref second, w)) if rng.gen::<f64>() < w => second.sample(rng),
+            _ => self.primary.sample(rng),
+        };
+        (raw as u64).clamp(self.min_bytes, self.max_bytes)
+    }
+}
+
+/// Mixture of [`TrendClass`]es for a site's objects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendMix {
+    /// Weight of persistent diurnal objects.
+    pub diurnal: f64,
+    /// Weight of long-lived objects.
+    pub long_lived: f64,
+    /// Weight of short-lived objects.
+    pub short_lived: f64,
+    /// Weight of flash-crowd objects.
+    pub flash_crowd: f64,
+    /// Weight of irregular outliers.
+    pub outlier: f64,
+}
+
+impl TrendMix {
+    /// Samples a class according to the (normalized) weights.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> TrendClass {
+        let weights = [
+            (TrendClass::Diurnal, self.diurnal),
+            (TrendClass::LongLived, self.long_lived),
+            (TrendClass::ShortLived, self.short_lived),
+            (TrendClass::FlashCrowd, self.flash_crowd),
+            (TrendClass::Outlier, self.outlier),
+        ];
+        let total: f64 = weights.iter().map(|(_, w)| w.max(0.0)).sum();
+        let mut x = rng.gen::<f64>() * total.max(f64::MIN_POSITIVE);
+        for (class, w) in weights {
+            let w = w.max(0.0);
+            if x < w {
+                return class;
+            }
+            x -= w;
+        }
+        TrendClass::Diurnal
+    }
+}
+
+/// Per-content-class generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassParams {
+    /// Fraction of the catalog that is this class.
+    pub catalog_fraction: f64,
+    /// Relative per-object request attractiveness multiplier (lets V-2's
+    /// GIF previews draw many requests despite video's larger catalog
+    /// weight, Fig 2a).
+    pub request_boost: f64,
+    /// Size model for objects of this class.
+    pub sizes: SizeModel,
+}
+
+/// Complete generative profile of one adult website.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteProfile {
+    /// Site code, e.g. `"V-1"`.
+    pub code: String,
+    /// Publisher id used in emitted records.
+    pub publisher: PublisherId,
+    /// Number of distinct objects on CDN servers (Fig 1 caption), before
+    /// scaling.
+    pub catalog_size: usize,
+    /// Target total requests over the trace (Fig 2a), before scaling.
+    pub request_volume: u64,
+    /// Per-class catalog/request/size parameters.
+    pub video: ClassParams,
+    /// Image parameters.
+    pub image: ClassParams,
+    /// Other-content parameters.
+    pub other: ClassParams,
+    /// Zipf popularity skew over the catalog (Fig 6).
+    pub zipf_alpha: f64,
+    /// Trend-class mixture (Fig 8).
+    pub trend_mix: TrendMix,
+    /// Site-level diurnal curve in visitor-local time (Fig 3).
+    pub diurnal: DiurnalCurve,
+    /// Device mix (Fig 4).
+    pub devices: DeviceMix,
+    /// Relative visitor weight per region (4 continents, §III).
+    pub region_weights: [(Region, f64); 4],
+    /// Mean sessions per user over the week.
+    pub sessions_per_user: f64,
+    /// Mean requests per session (before video chunk expansion).
+    pub requests_per_session: f64,
+    /// Median within-session inter-request gap, seconds (Fig 11/12).
+    pub within_iat_median_secs: f64,
+    /// Log-normal sigma of within-session gaps.
+    pub within_iat_sigma: f64,
+    /// Probability a session request re-targets one of the user's favorite
+    /// objects (addiction, Fig 13/14).
+    pub repeat_affinity: f64,
+    /// Fraction of visitors browsing in incognito/private mode (§V).
+    pub incognito_rate: f64,
+    /// Fraction of the catalog already live at trace start; the remainder
+    /// is injected uniformly over the trace (Fig 7).
+    pub preexisting_fraction: f64,
+    /// Probability that a non-incognito repeat view sends a conditional
+    /// request (browser-cache revalidation → 304).
+    pub revalidate_rate: f64,
+    /// Probability of a hot-link/expired-token request (→ 403).
+    pub hotlink_rate: f64,
+    /// Probability of an invalid range request (→ 416).
+    pub bad_range_rate: f64,
+}
+
+impl SiteProfile {
+    /// Fractions `(video, image, other)` of the catalog.
+    pub fn catalog_mix(&self) -> (f64, f64, f64) {
+        (
+            self.video.catalog_fraction,
+            self.image.catalog_fraction,
+            self.other.catalog_fraction,
+        )
+    }
+
+    /// The [`ClassParams`] for a content class.
+    pub fn class_params(&self, class: ContentClass) -> &ClassParams {
+        match class {
+            ContentClass::Video => &self.video,
+            ContentClass::Image => &self.image,
+            ContentClass::Other => &self.other,
+        }
+    }
+
+    /// **V-1** — YouTube-style adult video site. 6.6 K objects, 98 % video;
+    /// video dominates requests (3.1 M) and bytes (258 GB); traffic peaks
+    /// late-night/early-morning — opposite the classic web peak (Fig 3).
+    pub fn v1() -> Self {
+        Self {
+            code: "V-1".to_string(),
+            publisher: PublisherId::new(1),
+            catalog_size: 6_600,
+            request_volume: 3_200_000,
+            video: ClassParams {
+                catalog_fraction: 0.98,
+                request_boost: 1.0,
+                sizes: SizeModel::unimodal(12e6, 1.0, 500_000, 800_000_000),
+            },
+            image: ClassParams {
+                catalog_fraction: 0.015,
+                request_boost: 0.5,
+                sizes: SizeModel::bimodal(30e3, 0.7, 500e3, 0.6, 0.35, 2_000, 2_000_000),
+            },
+            other: ClassParams {
+                catalog_fraction: 0.005,
+                request_boost: 0.3,
+                sizes: SizeModel::unimodal(20e3, 1.0, 200, 1_000_000),
+            },
+            zipf_alpha: 0.9,
+            trend_mix: TrendMix {
+                diurnal: 0.35,
+                long_lived: 0.25,
+                short_lived: 0.20,
+                flash_crowd: 0.0,
+                outlier: 0.20,
+            },
+            diurnal: DiurnalCurve::new(2.0, 0.65),
+            devices: DeviceMix::new(0.78, 0.10, 0.07, 0.05).expect("valid mix"),
+            region_weights: [
+                (Region::NorthAmerica, 0.45),
+                (Region::Europe, 0.35),
+                (Region::Asia, 0.12),
+                (Region::SouthAmerica, 0.08),
+            ],
+            sessions_per_user: 2.5,
+            requests_per_session: 3.0, // object views; chunks expand these
+            within_iat_median_secs: 45.0,
+            within_iat_sigma: 1.1,
+            repeat_affinity: 0.35,
+            incognito_rate: 0.75,
+            preexisting_fraction: 0.55,
+            revalidate_rate: 0.6,
+            hotlink_rate: 0.015,
+            bad_range_rate: 0.004,
+        }
+    }
+
+    /// **V-2** — video site with GIF hover-previews. 55.6 K objects, 84 %
+    /// image / 15 % video; image requests (657 K) outnumber video requests
+    /// (359 K) but video still dominates bytes (Fig 2).
+    pub fn v2() -> Self {
+        Self {
+            code: "V-2".to_string(),
+            publisher: PublisherId::new(2),
+            catalog_size: 55_600,
+            request_volume: 1_060_000,
+            video: ClassParams {
+                catalog_fraction: 0.15,
+                // Calibrated so that after chunk expansion (~1.8 records per
+                // view with progressive downloads), record shares land at
+                // Fig 2a's 34 % video / 62 % image.
+                request_boost: 0.85,
+                sizes: SizeModel::unimodal(7e6, 1.0, 300_000, 400_000_000),
+            },
+            image: ClassParams {
+                catalog_fraction: 0.84,
+                request_boost: 0.78,
+                // GIF previews are hefty; thumbnails small.
+                sizes: SizeModel::bimodal(40e3, 0.7, 700e3, 0.7, 0.45, 2_000, 8_000_000),
+            },
+            other: ClassParams {
+                catalog_fraction: 0.01,
+                request_boost: 2.8,
+                sizes: SizeModel::unimodal(25e3, 1.0, 200, 1_000_000),
+            },
+            zipf_alpha: 0.8,
+            // Figure 8(a): outliers 33 %, long-lived 22 %, short-lived 20 %,
+            // diurnal-A 11 %, diurnal-B 14 %.
+            trend_mix: TrendMix {
+                diurnal: 0.25,
+                long_lived: 0.22,
+                short_lived: 0.20,
+                flash_crowd: 0.0,
+                outlier: 0.33,
+            },
+            diurnal: DiurnalCurve::new(23.0, 0.3),
+            devices: DeviceMix::new(0.96, 0.02, 0.01, 0.01).expect("valid mix"),
+            region_weights: [
+                (Region::Europe, 0.45),
+                (Region::NorthAmerica, 0.35),
+                (Region::Asia, 0.12),
+                (Region::SouthAmerica, 0.08),
+            ],
+            sessions_per_user: 2.2,
+            requests_per_session: 6.0,
+            within_iat_median_secs: 25.0,
+            within_iat_sigma: 1.2,
+            repeat_affinity: 0.25,
+            incognito_rate: 0.7,
+            preexisting_fraction: 0.5,
+            revalidate_rate: 0.55,
+            hotlink_rate: 0.02,
+            bad_range_rate: 0.002,
+        }
+    }
+
+    /// **P-1** — image-heavy site. 16.3 K objects, 99 % image, 719 K image
+    /// requests; visitors' request inter-arrival times are long (Fig 11).
+    pub fn p1() -> Self {
+        Self {
+            code: "P-1".to_string(),
+            publisher: PublisherId::new(3),
+            catalog_size: 16_300,
+            request_volume: 740_000,
+            video: ClassParams {
+                catalog_fraction: 0.004,
+                request_boost: 0.8,
+                sizes: SizeModel::unimodal(5e6, 0.9, 200_000, 100_000_000),
+            },
+            image: ClassParams {
+                catalog_fraction: 0.99,
+                request_boost: 1.0,
+                sizes: SizeModel::bimodal(25e3, 0.6, 600e3, 0.6, 0.4, 1_500, 4_000_000),
+            },
+            other: ClassParams {
+                catalog_fraction: 0.006,
+                request_boost: 0.6,
+                sizes: SizeModel::unimodal(15e3, 1.0, 200, 500_000),
+            },
+            zipf_alpha: 0.85,
+            trend_mix: TrendMix {
+                diurnal: 0.5,
+                long_lived: 0.3,
+                short_lived: 0.14,
+                flash_crowd: 0.0,
+                outlier: 0.06,
+            },
+            diurnal: DiurnalCurve::new(22.0, 0.3),
+            devices: DeviceMix::new(0.72, 0.14, 0.07, 0.07).expect("valid mix"),
+            region_weights: [
+                (Region::NorthAmerica, 0.4),
+                (Region::Europe, 0.33),
+                (Region::Asia, 0.17),
+                (Region::SouthAmerica, 0.1),
+            ],
+            sessions_per_user: 3.5,
+            requests_per_session: 1.3,
+            within_iat_median_secs: 30.0,
+            within_iat_sigma: 1.0,
+            repeat_affinity: 0.08,
+            incognito_rate: 0.72,
+            preexisting_fraction: 0.55,
+            revalidate_rate: 0.6,
+            hotlink_rate: 0.02,
+            bad_range_rate: 0.0005,
+        }
+    }
+
+    /// **P-2** — image-heavy site with the *largest* video objects (Fig 5a)
+    /// and a flash-crowd cluster (Fig 8b: diurnal 61 %, long-lived 25 %,
+    /// flash-crowd 14 %).
+    pub fn p2() -> Self {
+        Self {
+            code: "P-2".to_string(),
+            publisher: PublisherId::new(4),
+            catalog_size: 29_600,
+            request_volume: 185_000,
+            video: ClassParams {
+                catalog_fraction: 0.006,
+                request_boost: 1.2,
+                sizes: SizeModel::unimodal(60e6, 0.9, 4_000_000, 2_000_000_000),
+            },
+            image: ClassParams {
+                catalog_fraction: 0.99,
+                request_boost: 1.0,
+                sizes: SizeModel::bimodal(20e3, 0.6, 500e3, 0.7, 0.35, 1_500, 4_000_000),
+            },
+            other: ClassParams {
+                catalog_fraction: 0.004,
+                request_boost: 0.6,
+                sizes: SizeModel::unimodal(15e3, 1.0, 200, 500_000),
+            },
+            zipf_alpha: 0.8,
+            trend_mix: TrendMix {
+                diurnal: 0.61,
+                long_lived: 0.25,
+                short_lived: 0.0,
+                flash_crowd: 0.14,
+                outlier: 0.0,
+            },
+            diurnal: DiurnalCurve::new(22.5, 0.28),
+            devices: DeviceMix::new(0.73, 0.13, 0.07, 0.07).expect("valid mix"),
+            region_weights: [
+                (Region::Europe, 0.4),
+                (Region::NorthAmerica, 0.32),
+                (Region::Asia, 0.18),
+                (Region::SouthAmerica, 0.1),
+            ],
+            sessions_per_user: 3.0,
+            requests_per_session: 1.3,
+            within_iat_median_secs: 35.0,
+            within_iat_sigma: 1.0,
+            repeat_affinity: 0.07,
+            incognito_rate: 0.7,
+            preexisting_fraction: 0.6,
+            revalidate_rate: 0.6,
+            hotlink_rate: 0.025,
+            bad_range_rate: 0.0008,
+        }
+    }
+
+    /// **S-1** — adult social network. 22.9 K objects, 99 % image; more
+    /// than a third of visitors arrive from smartphones/misc devices
+    /// (Fig 4).
+    pub fn s1() -> Self {
+        Self {
+            code: "S-1".to_string(),
+            publisher: PublisherId::new(5),
+            catalog_size: 22_900,
+            request_volume: 240_000,
+            video: ClassParams {
+                catalog_fraction: 0.003,
+                request_boost: 0.8,
+                sizes: SizeModel::unimodal(4e6, 0.9, 200_000, 80_000_000),
+            },
+            image: ClassParams {
+                catalog_fraction: 0.99,
+                request_boost: 1.0,
+                sizes: SizeModel::bimodal(18e3, 0.6, 350e3, 0.7, 0.4, 1_000, 3_000_000),
+            },
+            other: ClassParams {
+                catalog_fraction: 0.007,
+                request_boost: 0.9,
+                sizes: SizeModel::unimodal(12e3, 1.0, 200, 400_000),
+            },
+            zipf_alpha: 0.75,
+            trend_mix: TrendMix {
+                diurnal: 0.45,
+                long_lived: 0.27,
+                short_lived: 0.18,
+                flash_crowd: 0.0,
+                outlier: 0.10,
+            },
+            diurnal: DiurnalCurve::new(21.0, 0.25),
+            devices: DeviceMix::new(0.63, 0.19, 0.08, 0.10).expect("valid mix"),
+            region_weights: [
+                (Region::NorthAmerica, 0.38),
+                (Region::Europe, 0.32),
+                (Region::Asia, 0.2),
+                (Region::SouthAmerica, 0.1),
+            ],
+            sessions_per_user: 4.0,
+            requests_per_session: 1.35,
+            within_iat_median_secs: 25.0,
+            within_iat_sigma: 1.0,
+            repeat_affinity: 0.12,
+            incognito_rate: 0.6,
+            preexisting_fraction: 0.55,
+            revalidate_rate: 0.65,
+            hotlink_rate: 0.015,
+            bad_range_rate: 0.0005,
+        }
+    }
+
+    /// All five paper sites, in reporting order.
+    pub fn paper_five() -> Vec<SiteProfile> {
+        vec![Self::v1(), Self::v2(), Self::p1(), Self::p2(), Self::s1()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_five_distinct_publishers() {
+        let sites = SiteProfile::paper_five();
+        assert_eq!(sites.len(), 5);
+        let ids: std::collections::HashSet<_> = sites.iter().map(|s| s.publisher).collect();
+        assert_eq!(ids.len(), 5);
+        let codes: Vec<_> = sites.iter().map(|s| s.code.as_str()).collect();
+        assert_eq!(codes, vec!["V-1", "V-2", "P-1", "P-2", "S-1"]);
+    }
+
+    #[test]
+    fn catalog_mixes_sum_to_one() {
+        for site in SiteProfile::paper_five() {
+            let (v, i, o) = site.catalog_mix();
+            assert!(
+                ((v + i + o) - 1.0).abs() < 1e-9,
+                "{}: mix sums to {}",
+                site.code,
+                v + i + o
+            );
+        }
+    }
+
+    #[test]
+    fn paper_anchor_v1_video_dominates() {
+        let v1 = SiteProfile::v1();
+        assert!(v1.video.catalog_fraction >= 0.95);
+    }
+
+    #[test]
+    fn paper_anchor_v2_image_heavy_catalog() {
+        let v2 = SiteProfile::v2();
+        assert!((v2.image.catalog_fraction - 0.84).abs() < 0.01);
+        assert!((v2.video.catalog_fraction - 0.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_anchor_devices() {
+        assert!(SiteProfile::v2().devices.desktop() > 0.95);
+        let s1 = SiteProfile::s1();
+        let mobile_misc = s1.devices.android() + s1.devices.ios() + s1.devices.misc();
+        assert!(mobile_misc > 1.0 / 3.0);
+        for site in SiteProfile::paper_five() {
+            assert!(site.devices.desktop() > 0.5, "{} is desktop-majority", site.code);
+        }
+    }
+
+    #[test]
+    fn paper_anchor_v1_peaks_late_night() {
+        let v1 = SiteProfile::v1();
+        assert!(v1.diurnal.peak_hour() < 6.0);
+        // V-1 has the most pronounced variation.
+        for other in [SiteProfile::v2(), SiteProfile::p1(), SiteProfile::p2(), SiteProfile::s1()] {
+            assert!(v1.diurnal.amplitude() > other.diurnal.amplitude());
+        }
+    }
+
+    #[test]
+    fn paper_anchor_p2_largest_videos() {
+        let p2_median = SiteProfile::p2().video.sizes.primary.median();
+        for site in [SiteProfile::v1(), SiteProfile::v2(), SiteProfile::p1(), SiteProfile::s1()] {
+            assert!(p2_median > site.video.sizes.primary.median());
+        }
+    }
+
+    #[test]
+    fn size_models_sample_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for site in SiteProfile::paper_five() {
+            for params in [&site.video, &site.image, &site.other] {
+                for _ in 0..500 {
+                    let s = params.sizes.sample(&mut rng);
+                    assert!(s >= params.sizes.min_bytes);
+                    assert!(s <= params.sizes.max_bytes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn image_sizes_bimodal_on_average() {
+        // Images must show both a thumbnail and a full-size mode.
+        let model = SiteProfile::p1().image.sizes;
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut small, mut large) = (0u32, 0u32);
+        for _ in 0..10_000 {
+            let s = model.sample(&mut rng);
+            if s < 100_000 {
+                small += 1;
+            } else if s > 200_000 {
+                large += 1;
+            }
+        }
+        assert!(small > 2_000, "thumbnail mode missing: {small}");
+        assert!(large > 2_000, "full-size mode missing: {large}");
+    }
+
+    #[test]
+    fn trend_mix_sampling_respects_zero_weights() {
+        let mix = SiteProfile::p2().trend_mix;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(mix.sample(&mut rng)).or_insert(0u32) += 1;
+        }
+        assert!(!counts.contains_key(&TrendClass::ShortLived));
+        assert!(!counts.contains_key(&TrendClass::Outlier));
+        let diurnal_share = counts[&TrendClass::Diurnal] as f64 / 10_000.0;
+        assert!((diurnal_share - 0.61).abs() < 0.03, "diurnal share {diurnal_share}");
+        assert!(counts[&TrendClass::FlashCrowd] > 1_000);
+    }
+
+    #[test]
+    fn video_sites_have_shorter_within_iat_profile() {
+        // Engagement anchor for Fig 11: video browsing is burstier.
+        let v1 = SiteProfile::v1();
+        let p1 = SiteProfile::p1();
+        assert!(v1.requests_per_session > p1.requests_per_session);
+        assert!(v1.repeat_affinity > p1.repeat_affinity);
+    }
+
+    #[test]
+    fn region_weights_cover_four_continents() {
+        for site in SiteProfile::paper_five() {
+            let regions: std::collections::HashSet<_> =
+                site.region_weights.iter().map(|(r, _)| *r).collect();
+            assert_eq!(regions.len(), 4, "{}", site.code);
+            let total: f64 = site.region_weights.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+}

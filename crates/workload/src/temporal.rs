@@ -1,0 +1,92 @@
+//! Temporal intensity models: site-level diurnal curves and per-object
+//! popularity-trend envelopes.
+//!
+//! The paper's key temporal findings (Figures 3, 8–10) are *generated* here
+//! and *recovered* by `oat-core`'s analyzers:
+//!
+//! * Site-level access is diurnal in the visitor's local time, with V-1
+//!   peaking in late-night/early-morning hours — opposite the classic
+//!   7–11 pm web peak.
+//! * Individual objects follow diurnal, long-lived, short-lived or
+//!   flash-crowd envelopes (plus irregular outliers).
+
+use serde::{Deserialize, Serialize};
+
+/// A 24-hour sinusoidal intensity curve in *local* time.
+///
+/// `intensity(h)` is `1 + amplitude · cos(2π (h − peak_hour) / 24)`,
+/// always ≥ 0 (amplitude is clamped to `[0, 1]`), maximal at `peak_hour`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCurve {
+    peak_hour: f64,
+    amplitude: f64,
+}
+
+impl DiurnalCurve {
+    /// Creates a curve peaking at `peak_hour` (0–24, wrapped) with relative
+    /// `amplitude` (clamped to `[0, 1]`; 0 = flat).
+    pub fn new(peak_hour: f64, amplitude: f64) -> Self {
+        Self {
+            peak_hour: peak_hour.rem_euclid(24.0),
+            amplitude: amplitude.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Flat (no daily variation).
+    pub fn flat() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// The peak local hour.
+    pub fn peak_hour(&self) -> f64 {
+        self.peak_hour
+    }
+
+    /// The relative amplitude.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Intensity at local hour `h` (fractional hours allowed). Mean value
+    /// over a day is 1.
+    pub fn intensity(&self, h: f64) -> f64 {
+        let phase = (h - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        1.0 + self.amplitude * phase.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_where_configured() {
+        let c = DiurnalCurve::new(3.0, 0.8);
+        assert!(c.intensity(3.0) > c.intensity(15.0));
+        assert!((c.intensity(3.0) - 1.8).abs() < 1e-12);
+        assert!((c.intensity(15.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_curve_constant() {
+        let c = DiurnalCurve::flat();
+        for h in 0..24 {
+            assert_eq!(c.intensity(h as f64), 1.0);
+        }
+    }
+
+    #[test]
+    fn wraps_and_clamps() {
+        let c = DiurnalCurve::new(27.0, 2.0);
+        assert!((c.peak_hour() - 3.0).abs() < 1e-12);
+        assert_eq!(c.amplitude(), 1.0);
+        assert!(c.intensity(3.0) >= c.intensity(9.0));
+    }
+
+    #[test]
+    fn daily_mean_is_one() {
+        let c = DiurnalCurve::new(5.0, 0.6);
+        let mean: f64 = (0..2400).map(|i| c.intensity(i as f64 / 100.0)).sum::<f64>() / 2400.0;
+        assert!((mean - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-object popularity-trend envelopes (the generative side of the
+//! paper's Figures 8–10 clusters).
+
+use crate::temporal::DiurnalCurve;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Seconds per hour.
+const HOUR: f64 = 3600.0;
+
+/// The generative envelope an object's request intensity follows.
+///
+/// `intensity(t, local_hour)` returns a relative rate in `[0, ~2]`; `t` is
+/// seconds since the object's injection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrendSpec {
+    /// Persistent front-page style access modulated by the site's day/night
+    /// cycle for the whole trace.
+    Diurnal {
+        /// Day/night modulation depth, `0..=1`.
+        amplitude: f64,
+        /// Peak local hour of this object's audience.
+        peak_hour: f64,
+    },
+    /// Peaks on injection and decays with time constant `decay_hours`,
+    /// modulated diurnally (dies after a few days).
+    LongLived {
+        /// Exponential decay time constant, in hours.
+        decay_hours: f64,
+        /// Day/night modulation depth.
+        amplitude: f64,
+        /// Peak local hour.
+        peak_hour: f64,
+    },
+    /// Peaks on injection and dies within hours.
+    ShortLived {
+        /// Exponential decay time constant, in hours (small).
+        decay_hours: f64,
+    },
+    /// Dormant until a sudden spike `spike_after_hours` past injection.
+    FlashCrowd {
+        /// Hours after injection at which the spike occurs.
+        spike_after_hours: f64,
+        /// Gaussian spike width, in hours.
+        width_hours: f64,
+    },
+    /// Irregular: a few random bumps (the paper's "outliers").
+    Outlier {
+        /// Bump centres, hours after injection (up to 3 used).
+        bumps: [f64; 3],
+        /// Shared bump width, hours.
+        width_hours: f64,
+    },
+}
+
+impl TrendSpec {
+    /// Relative request intensity at `t_secs` after injection, when the
+    /// requesting audience's local hour is `local_hour`.
+    pub fn intensity(&self, t_secs: f64, local_hour: f64) -> f64 {
+        if t_secs < 0.0 {
+            return 0.0;
+        }
+        match *self {
+            TrendSpec::Diurnal { amplitude, peak_hour } => {
+                DiurnalCurve::new(peak_hour, amplitude).intensity(local_hour)
+            }
+            TrendSpec::LongLived { decay_hours, amplitude, peak_hour } => {
+                let decay = (-t_secs / (decay_hours * HOUR)).exp();
+                decay * DiurnalCurve::new(peak_hour, amplitude).intensity(local_hour)
+            }
+            TrendSpec::ShortLived { decay_hours } => (-t_secs / (decay_hours * HOUR)).exp(),
+            TrendSpec::FlashCrowd { spike_after_hours, width_hours } => {
+                let d = (t_secs / HOUR - spike_after_hours) / width_hours;
+                (-0.5 * d * d).exp()
+            }
+            TrendSpec::Outlier { bumps, width_hours } => bumps
+                .iter()
+                .map(|&b| {
+                    let d = (t_secs / HOUR - b) / width_hours;
+                    (-0.5 * d * d).exp()
+                })
+                .fold(0.0f64, f64::max),
+        }
+    }
+
+    /// A loose upper bound on [`TrendSpec::intensity`], used for
+    /// acceptance-rejection sampling.
+    pub fn max_intensity(&self) -> f64 {
+        match *self {
+            TrendSpec::Diurnal { amplitude, .. } | TrendSpec::LongLived { amplitude, .. } => {
+                1.0 + amplitude.clamp(0.0, 1.0)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The trend-class label this spec realizes (ground truth for
+    /// clustering validation).
+    pub fn class(&self) -> oat_timeseries::TrendClass {
+        use oat_timeseries::TrendClass;
+        match self {
+            TrendSpec::Diurnal { .. } => TrendClass::Diurnal,
+            TrendSpec::LongLived { .. } => TrendClass::LongLived,
+            TrendSpec::ShortLived { .. } => TrendClass::ShortLived,
+            TrendSpec::FlashCrowd { .. } => TrendClass::FlashCrowd,
+            TrendSpec::Outlier { .. } => TrendClass::Outlier,
+        }
+    }
+
+    /// Samples a randomized spec of the given class.
+    ///
+    /// `site_peak_hour` anchors diurnal phases near the site's own peak;
+    /// `trace_hours` bounds flash-crowd/outlier bump positions.
+    pub fn sample<R: Rng + ?Sized>(
+        class: oat_timeseries::TrendClass,
+        site_peak_hour: f64,
+        trace_hours: f64,
+        rng: &mut R,
+    ) -> Self {
+        use oat_timeseries::TrendClass;
+        match class {
+            TrendClass::Diurnal => TrendSpec::Diurnal {
+                amplitude: rng.gen_range(0.5..0.95),
+                peak_hour: site_peak_hour + rng.gen_range(-2.0..2.0),
+            },
+            TrendClass::LongLived => TrendSpec::LongLived {
+                decay_hours: rng.gen_range(20.0..40.0),
+                amplitude: rng.gen_range(0.3..0.7),
+                peak_hour: site_peak_hour + rng.gen_range(-3.0..3.0),
+            },
+            TrendClass::ShortLived => TrendSpec::ShortLived {
+                decay_hours: rng.gen_range(2.0..6.0),
+            },
+            TrendClass::FlashCrowd => TrendSpec::FlashCrowd {
+                spike_after_hours: rng.gen_range(30.0..(trace_hours - 24.0).max(31.0)),
+                width_hours: rng.gen_range(1.5..4.0),
+            },
+            TrendClass::Outlier => {
+                let hi = trace_hours.max(10.0);
+                TrendSpec::Outlier {
+                    bumps: [
+                        rng.gen_range(0.0..hi),
+                        rng.gen_range(0.0..hi),
+                        rng.gen_range(0.0..hi),
+                    ],
+                    width_hours: rng.gen_range(3.0..10.0),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_timeseries::TrendClass;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn negative_time_is_zero() {
+        let spec = TrendSpec::ShortLived { decay_hours: 3.0 };
+        assert_eq!(spec.intensity(-1.0, 12.0), 0.0);
+    }
+
+    #[test]
+    fn short_lived_decays() {
+        let spec = TrendSpec::ShortLived { decay_hours: 3.0 };
+        let early = spec.intensity(0.0, 12.0);
+        let later = spec.intensity(12.0 * 3600.0, 12.0);
+        assert!(early > 0.9);
+        assert!(later < 0.05);
+    }
+
+    #[test]
+    fn long_lived_outlasts_short() {
+        let long = TrendSpec::LongLived { decay_hours: 30.0, amplitude: 0.0, peak_hour: 0.0 };
+        let short = TrendSpec::ShortLived { decay_hours: 4.0 };
+        let t = 24.0 * 3600.0;
+        assert!(long.intensity(t, 0.0) > short.intensity(t, 0.0) * 10.0);
+    }
+
+    #[test]
+    fn diurnal_persists_and_oscillates() {
+        let spec = TrendSpec::Diurnal { amplitude: 0.8, peak_hour: 2.0 };
+        let after_six_days = 6.0 * 86_400.0;
+        assert!(spec.intensity(after_six_days, 2.0) > 1.5);
+        assert!(spec.intensity(after_six_days, 14.0) < 0.5);
+    }
+
+    #[test]
+    fn flash_crowd_spikes_at_configured_time() {
+        let spec = TrendSpec::FlashCrowd { spike_after_hours: 50.0, width_hours: 2.0 };
+        assert!(spec.intensity(50.0 * 3600.0, 0.0) > 0.99);
+        assert!(spec.intensity(10.0 * 3600.0, 0.0) < 1e-10);
+        assert!(spec.intensity(90.0 * 3600.0, 0.0) < 1e-10);
+    }
+
+    #[test]
+    fn outlier_bumps_nonzero() {
+        let spec = TrendSpec::Outlier { bumps: [5.0, 50.0, 100.0], width_hours: 4.0 };
+        for b in [5.0, 50.0, 100.0] {
+            assert!(spec.intensity(b * 3600.0, 0.0) > 0.99);
+        }
+    }
+
+    #[test]
+    fn intensity_bounded_by_max() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in [
+            TrendClass::Diurnal,
+            TrendClass::LongLived,
+            TrendClass::ShortLived,
+            TrendClass::FlashCrowd,
+            TrendClass::Outlier,
+        ] {
+            let spec = TrendSpec::sample(class, 3.0, 168.0, &mut rng);
+            assert_eq!(spec.class(), class);
+            let max = spec.max_intensity();
+            for t in 0..200 {
+                for h in 0..24 {
+                    let i = spec.intensity(t as f64 * 3600.0, h as f64);
+                    assert!(i <= max + 1e-9, "{class:?}: intensity {i} > max {max}");
+                    assert!(i >= 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Synthetic user populations.
+
+use crate::profile::SiteProfile;
+use oat_httplog::{Region, UserId};
+use oat_useragent::{DeviceCategory, UaCorpus};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One synthetic visitor of one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Anonymized user id carried in log records.
+    pub id: UserId,
+    /// Home region (drives PoP routing and local time).
+    pub region: Region,
+    /// UTC offset of the user's local timezone, seconds.
+    pub tz_offset_secs: i32,
+    /// Device category (fixed per user, as per the paper's per-user device
+    /// attribution).
+    pub device: DeviceCategory,
+    /// The user-agent string this user's browser sends.
+    pub user_agent: String,
+    /// Whether the user browses in incognito/private mode.
+    pub incognito: bool,
+    /// Relative activity multiplier (heavy-tailed).
+    pub activity: f64,
+}
+
+/// Builds a population of `n` users for `profile`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn build_population<R: Rng + ?Sized>(
+    profile: &SiteProfile,
+    n: usize,
+    rng: &mut R,
+) -> Vec<UserProfile> {
+    assert!(n > 0, "population must contain at least one user");
+    let corpus = UaCorpus::new();
+    (0..n)
+        .map(|_| {
+            let region = sample_region(profile, rng);
+            let offsets = region.utc_offsets_secs();
+            let tz_offset_secs = offsets[rng.gen_range(0..offsets.len())];
+            let (device, user_agent) = corpus.generate_mixed(&profile.devices, rng);
+            // Log-normal-ish activity: most users light, a few heavy.
+            let activity = (-2.0f64 * rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln()).sqrt()
+                * rng.gen_range(0.5..1.5);
+            UserProfile {
+                id: UserId::new(rng.gen()),
+                region,
+                tz_offset_secs,
+                device,
+                user_agent,
+                incognito: rng.gen::<f64>() < profile.incognito_rate,
+                activity: activity.max(0.1),
+            }
+        })
+        .collect()
+}
+
+fn sample_region<R: Rng + ?Sized>(profile: &SiteProfile, rng: &mut R) -> Region {
+    let total: f64 = profile.region_weights.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for &(region, w) in &profile.region_weights {
+        if x < w {
+            return region;
+        }
+        x -= w;
+    }
+    profile.region_weights[0].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_population_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = build_population(&SiteProfile::v1(), 0, &mut rng);
+    }
+
+    #[test]
+    fn population_matches_device_mix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let users = build_population(&SiteProfile::v2(), 20_000, &mut rng);
+        let desktop = users
+            .iter()
+            .filter(|u| u.device == DeviceCategory::Desktop)
+            .count() as f64
+            / 20_000.0;
+        assert!(desktop > 0.94, "V-2 desktop share {desktop}");
+    }
+
+    #[test]
+    fn ua_strings_parse_back_to_device() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let users = build_population(&SiteProfile::s1(), 2_000, &mut rng);
+        for u in &users {
+            assert_eq!(oat_useragent::parse(&u.user_agent).device, u.device);
+        }
+    }
+
+    #[test]
+    fn tz_offsets_belong_to_region() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let users = build_population(&SiteProfile::p1(), 5_000, &mut rng);
+        for u in &users {
+            assert!(u.region.utc_offsets_secs().contains(&u.tz_offset_secs));
+        }
+    }
+
+    #[test]
+    fn incognito_rate_approximated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let users = build_population(&SiteProfile::v1(), 20_000, &mut rng);
+        let incog = users.iter().filter(|u| u.incognito).count() as f64 / 20_000.0;
+        assert!((incog - SiteProfile::v1().incognito_rate).abs() < 0.02);
+    }
+
+    #[test]
+    fn user_ids_unique_and_activity_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let users = build_population(&SiteProfile::p2(), 10_000, &mut rng);
+        let ids: std::collections::HashSet<_> = users.iter().map(|u| u.id).collect();
+        assert_eq!(ids.len(), 10_000);
+        assert!(users.iter().all(|u| u.activity > 0.0));
+        // Heavy tail: some users are several times the median.
+        let mut acts: Vec<f64> = users.iter().map(|u| u.activity).collect();
+        acts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(acts[9_999] > 2.0 * acts[5_000]);
+    }
+
+    #[test]
+    fn all_regions_represented() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let users = build_population(&SiteProfile::v1(), 5_000, &mut rng);
+        let regions: std::collections::HashSet<_> = users.iter().map(|u| u.region).collect();
+        assert_eq!(regions.len(), 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the workload generator's invariants.
+
+use oat_httplog::RequestKind;
+use oat_workload::{generate, Catalog, SiteProfile, TraceConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn trace_invariants_hold_for_any_seed(seed in 0u64..1_000_000) {
+        let config = TraceConfig {
+            scale: 0.0015,
+            catalog_scale: 0.008,
+            ..TraceConfig::paper_week()
+        }
+        .with_seed(seed);
+        let trace = generate(&config).unwrap();
+        prop_assert!(!trace.requests.is_empty());
+        let end = config.start_unix + config.duration_secs;
+        let publishers: std::collections::HashSet<u16> =
+            config.sites.iter().map(|s| s.publisher.raw()).collect();
+        for w in trace.requests.windows(2) {
+            prop_assert!(w[0].timestamp <= w[1].timestamp, "sorted by time");
+        }
+        for r in &trace.requests {
+            prop_assert!(r.timestamp >= config.start_unix && r.timestamp <= end);
+            prop_assert!(publishers.contains(&r.publisher.raw()));
+            prop_assert!(r.object_size > 0);
+            match r.kind {
+                RequestKind::Range { offset, length } => {
+                    prop_assert!(length > 0);
+                    prop_assert!(offset + length <= r.object_size);
+                }
+                RequestKind::Conditional => prop_assert!(!r.incognito),
+                _ => {}
+            }
+            // UA strings parse to a valid category.
+            let _ = oat_useragent::parse(&r.user_agent);
+        }
+    }
+
+    #[test]
+    fn catalog_weights_positive_and_sizes_bounded(seed in 0u64..1_000_000,
+                                                  n in 60usize..600) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = SiteProfile::v2();
+        let catalog = Catalog::build(&profile, n, 7 * 86_400, &mut rng);
+        prop_assert_eq!(catalog.len(), n);
+        for obj in catalog.objects() {
+            prop_assert!(obj.weight > 0.0);
+            let params = profile.class_params(obj.content_class());
+            prop_assert!(obj.size >= params.sizes.min_bytes);
+            prop_assert!(obj.size <= params.sizes.max_bytes);
+            prop_assert!(obj.injection_secs < 7 * 86_400);
+        }
+    }
+
+    #[test]
+    fn object_requests_reference_catalog(seed in 0u64..100_000) {
+        let config = TraceConfig {
+            scale: 0.001,
+            catalog_scale: 0.005,
+            sites: vec![SiteProfile::p1()],
+            ..TraceConfig::paper_week()
+        }
+        .with_seed(seed);
+        let trace = generate(&config).unwrap();
+        let ids: std::collections::HashSet<u64> =
+            trace.catalogs[0].objects().iter().map(|o| o.id.raw()).collect();
+        for r in &trace.requests {
+            prop_assert!(ids.contains(&r.object.raw()), "request references catalog object");
+        }
+    }
+}

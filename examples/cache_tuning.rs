@@ -1,0 +1,76 @@
+//! CDN-operator scenario: evaluate cache policies, capacities, tiered
+//! small/large caches and push placement on adult traffic.
+//!
+//! Reproduces the paper's §V implications: compare eviction policies at
+//! several capacities, measure the hit-ratio ceiling (infinite cache), and
+//! quantify the lift from pushing popular objects to every PoP.
+//!
+//! ```sh
+//! cargo run --release --example cache_tuning
+//! ```
+
+use oat::cdnsim::{plan_push, PolicyKind, SimConfig, Simulator};
+use oat::workload::{generate, TraceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = TraceConfig::small().with_scale(0.01).with_catalog_scale(0.03);
+    eprintln!("generating trace (seed {})...", config.seed);
+    let trace = generate(&config)?;
+    eprintln!("{} requests", trace.requests.len());
+
+    println!("policy      capacity     hit-ratio   byte-savings");
+    for capacity in [200_000_000u64, 1_000_000_000, 4_000_000_000] {
+        for policy in PolicyKind::ALL {
+            if policy == PolicyKind::Infinite && capacity != 4_000_000_000 {
+                continue; // the ceiling is capacity-independent
+            }
+            let sim = Simulator::new(
+                &SimConfig::default_edge()
+                    .with_policy(policy)
+                    .with_capacity(capacity),
+            );
+            let _records = sim.replay(trace.requests.clone());
+            let stats = sim.stats();
+            println!(
+                "{:<10} {:>10} {:>11.1}% {:>13.1}%",
+                policy.to_string(),
+                oat::analysis::report::human_bytes(capacity),
+                100.0 * stats.hit_ratio().unwrap_or(0.0),
+                100.0 * stats.byte_savings().unwrap_or(0.0),
+            );
+        }
+    }
+
+    // Push placement: plan from the first day, replay the rest.
+    let split_at = config.start_unix + 86_400;
+    let day1: Vec<_> = trace
+        .requests
+        .iter()
+        .filter(|r| r.timestamp < split_at)
+        .cloned()
+        .collect();
+    let rest: Vec<_> = trace
+        .requests
+        .iter()
+        .filter(|r| r.timestamp >= split_at)
+        .cloned()
+        .collect();
+
+    let base_sim = Simulator::new(&SimConfig::default_edge().with_capacity(1_000_000_000));
+    base_sim.replay(rest.clone());
+    let base = base_sim.stats().hit_ratio().unwrap_or(0.0);
+
+    let plan = plan_push(&day1, 300_000_000);
+    let push_sim = Simulator::new(&SimConfig::default_edge().with_capacity(1_000_000_000));
+    push_sim.preload(plan.iter().map(|p| (p.key, p.size)));
+    push_sim.replay(rest);
+    let pushed = push_sim.stats().hit_ratio().unwrap_or(0.0);
+
+    println!(
+        "\npush placement ({} objects, 300 MB budget): hit ratio {:.1}% -> {:.1}%",
+        plan.len(),
+        100.0 * base,
+        100.0 * pushed
+    );
+    Ok(())
+}

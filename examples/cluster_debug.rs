@@ -1,0 +1,68 @@
+//! Dev diagnostic: clustering purity vs planted ground truth.
+//! Not part of the shipped examples (see quickstart / capacity_planning /
+//! cache_tuning); kept for tuning the Fig 8–10 pipeline.
+
+use oat::analysis::analyzers::clustering::{ClusteringAnalyzer, ClusteringConfig};
+use oat::analysis::analyzers::Analyzer;
+use oat::cdnsim::{SimConfig, Simulator};
+use oat::httplog::ContentClass;
+use oat::workload::{generate, SiteProfile, TraceConfig};
+
+fn main() {
+    let mut config = TraceConfig::paper_week();
+    config.scale = 0.25;
+    config.catalog_scale = 0.25;
+    config.sites = vec![SiteProfile::v2()];
+    let trace = generate(&config).unwrap();
+    let catalog = &trace.catalogs[0];
+
+    // Ground truth trend per object id.
+    let truth: std::collections::HashMap<u64, String> = catalog
+        .objects()
+        .iter()
+        .map(|o| (o.id.raw(), o.trend.class().to_string()))
+        .collect();
+
+    let sim = Simulator::new(&SimConfig::default_edge());
+    let records = sim.replay(trace.requests);
+    println!("records: {}", records.len());
+
+    for (band, linkage) in [
+        (Some(24), oat::timeseries::Linkage::Ward),
+    ] {
+    println!("\n##### band {band:?} linkage {linkage:?} #####");
+    for class in [ContentClass::Video, ContentClass::Image] {
+        let mut analyzer = ClusteringAnalyzer::new(
+            config.sites[0].publisher,
+            "V-2",
+            class,
+            config.start_unix,
+            168,
+            ClusteringConfig { k: 5, min_requests: 24, band, linkage, ..Default::default() },
+        );
+        // Track which objects are clustered for purity computation.
+        for r in &records {
+            analyzer.observe(r);
+        }
+        let report = analyzer.finish();
+        println!("\n== {class} ({} objects) ==", report.clustered_objects);
+        for c in &report.clusters {
+            let f = oat::timeseries::trend::trend_features(&c.medoid, 24);
+            println!("  cluster size {:>4} share {:>5.1}% label {:<12} features {:?}",
+                c.size, c.share * 100.0, c.label.to_string(),
+                f.map(|f| (format!("ac24 {:.2}", f.autocorr_period),
+                           format!("peak {}", f.peak_index),
+                           format!("conc {:.2}", f.peak_concentration),
+                           format!("t90 {}", f.t90),
+                           format!("last {:.2}", f.last_period_mass))));
+        }
+        // Per planted class: how many objects have >= min requests?
+        let mut planted = std::collections::HashMap::new();
+        for o in catalog.objects().iter().filter(|o| o.content_class() == class) {
+            *planted.entry(o.trend.class().to_string()).or_insert(0u32) += 1;
+        }
+        println!("  planted mix: {planted:?}");
+        let _ = &truth;
+    }
+    }
+}

@@ -1,0 +1,120 @@
+//! Research scenario: define a *hypothetical* sixth site and measure it
+//! with the same pipeline.
+//!
+//! The paper anonymizes five sites; a natural follow-up question is how a
+//! mobile-first adult site (the direction §V predicts the market must move)
+//! would look in the same figures. This example defines "M-1": a
+//! smartphone-majority, short-video site, and contrasts its measured
+//! profile against V-1.
+//!
+//! ```sh
+//! cargo run --release --example custom_site
+//! ```
+
+use oat::analysis::analyzers::{
+    composition::CompositionAnalyzer, device::DeviceAnalyzer, iat::IatAnalyzer,
+    sessions::SessionAnalyzer, temporal::TemporalAnalyzer, Analyzer,
+};
+use oat::analysis::{report, SiteMap};
+use oat::cdnsim::{SimConfig, Simulator};
+use oat::httplog::{PublisherId, Region};
+use oat::useragent::DeviceMix;
+use oat::workload::{
+    generate, ClassParams, DiurnalCurve, SiteProfile, SizeModel, TraceConfig, TrendMix,
+};
+
+/// A mobile-first short-video site the paper's market analysis anticipates.
+fn m1() -> SiteProfile {
+    SiteProfile {
+        code: "M-1".to_string(),
+        publisher: PublisherId::new(6),
+        catalog_size: 12_000,
+        request_volume: 900_000,
+        video: ClassParams {
+            catalog_fraction: 0.9,
+            request_boost: 1.0,
+            // Short clips: a few MB, phone-friendly.
+            sizes: SizeModel::unimodal(3e6, 0.8, 200_000, 60_000_000),
+        },
+        image: ClassParams {
+            catalog_fraction: 0.09,
+            request_boost: 0.8,
+            sizes: SizeModel::bimodal(15e3, 0.6, 250e3, 0.6, 0.3, 1_000, 2_000_000),
+        },
+        other: ClassParams {
+            catalog_fraction: 0.01,
+            request_boost: 0.5,
+            sizes: SizeModel::unimodal(10e3, 1.0, 200, 300_000),
+        },
+        zipf_alpha: 1.0,
+        trend_mix: TrendMix {
+            diurnal: 0.3,
+            long_lived: 0.2,
+            short_lived: 0.35, // virality turns over faster on mobile
+            flash_crowd: 0.05,
+            outlier: 0.1,
+        },
+        // Mobile browsing happens through the day: commute + evening peaks
+        // flatten into a broad curve peaking at 21:00.
+        diurnal: DiurnalCurve::new(21.0, 0.2),
+        devices: DeviceMix::new(0.25, 0.45, 0.22, 0.08).expect("valid mix"),
+        region_weights: [
+            (Region::Asia, 0.4),
+            (Region::NorthAmerica, 0.25),
+            (Region::Europe, 0.25),
+            (Region::SouthAmerica, 0.1),
+        ],
+        sessions_per_user: 5.0, // many short visits
+        requests_per_session: 2.0,
+        within_iat_median_secs: 15.0,
+        within_iat_sigma: 1.0,
+        repeat_affinity: 0.3,
+        incognito_rate: 0.8, // even higher on shared phones
+        preexisting_fraction: 0.4,
+        revalidate_rate: 0.5,
+        hotlink_rate: 0.01,
+        bad_range_rate: 0.002,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sites = vec![SiteProfile::v1(), m1()];
+    sites[0].request_volume = 900_000; // equal volume for a fair comparison
+    let config = TraceConfig {
+        sites,
+        ..TraceConfig::paper_week()
+    }
+    .with_scale(0.05)
+    .with_catalog_scale(0.05);
+
+    let trace = generate(&config)?;
+    let sim = Simulator::new(&SimConfig::default_edge());
+    let records = sim.replay(trace.requests);
+    let map = SiteMap::from_profiles(&config.sites);
+
+    let mut composition = CompositionAnalyzer::new(map.clone());
+    let mut devices = DeviceAnalyzer::new(map.clone());
+    let mut temporal = TemporalAnalyzer::new(map.clone());
+    let mut iat = IatAnalyzer::new(map.clone());
+    let mut sessions = SessionAnalyzer::new(map);
+    for r in &records {
+        composition.observe(r);
+        devices.observe(r);
+        temporal.observe(r);
+        iat.observe(r);
+        sessions.observe(r);
+    }
+
+    println!("=== V-1 (paper) vs M-1 (hypothetical mobile-first) ===\n");
+    println!("{}", report::render_composition(&composition.finish()));
+    println!("{}", report::render_devices(&devices.finish()));
+    println!("{}", report::render_temporal(&temporal.finish()));
+    println!("{}", report::render_iat(&iat.finish()));
+    println!("{}", report::render_sessions(&sessions.finish()));
+    println!(
+        "Takeaway: the same pipeline measures any SiteProfile — the paper's \n\
+         'improve mobile interfaces' implication becomes testable: M-1 shifts \n\
+         the device mix to >70% mobile and compresses session lengths further."
+    );
+    Ok(())
+}

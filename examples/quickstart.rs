@@ -1,0 +1,21 @@
+//! Quickstart: run the full reproduction at laptop scale and print every
+//! figure's data.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use oat::analysis::experiment::{run, ExperimentConfig};
+use oat::analysis::report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ~1.5 % of the paper's request volume: a few seconds of wall-clock.
+    let config = ExperimentConfig::small();
+    eprintln!(
+        "generating + replaying + analyzing (scale {}, seed {})...",
+        config.trace.scale, config.trace.seed
+    );
+    let result = run(&config)?;
+    println!("{}", report::render_all(&result));
+    Ok(())
+}

@@ -1,0 +1,288 @@
+//! `oat` — command-line front end for the toolkit.
+//!
+//! ```sh
+//! oat generate --out week.log --scale 0.02            # synthesize + simulate
+//! oat analyze  --in  week.log                         # all 16 figures
+//! oat info     --in  week.log                         # quick trace summary
+//! oat convert  --in  week.log --out week.bin          # text <-> binary
+//! ```
+//!
+//! Formats are inferred from the file extension (`.log`/`.txt` = text,
+//! `.bin` = binary) and can be forced with `--format`.
+
+use oat::analysis::analyzers::clustering::ClusteringConfig;
+use oat::analysis::experiment::{analyze, ExperimentConfig};
+use oat::analysis::{report, SiteMap};
+use oat::cdnsim::{ServeStats, Simulator};
+use oat::httplog::io::{read_all, write_all, Format};
+use oat::httplog::{ContentClass, LogRecord};
+use oat::workload::generate as generate_trace;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("oat: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "analyze" => cmd_analyze(rest),
+        "info" => cmd_info(rest),
+        "convert" => cmd_convert(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `oat help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "oat — online adult traffic measurement toolkit\n\n\
+         USAGE:\n  \
+         oat generate --out FILE [--scale S] [--catalog-scale S] [--seed N] [--format text|binary]\n  \
+         oat analyze  --in FILE  [--format text|binary]\n  \
+         oat info     --in FILE  [--format text|binary]\n  \
+         oat convert  --in FILE --out FILE [--format ...] [--out-format ...]"
+    );
+}
+
+/// Minimal flag parser: `--key value` pairs only.
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {key:?}"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse_f64(flags: &std::collections::HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+    }
+}
+
+fn parse_u64(flags: &std::collections::HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+    }
+}
+
+/// Infers a wire format from `--format`/`--out-format` or the extension.
+fn resolve_format(
+    flags: &std::collections::HashMap<String, String>,
+    key: &str,
+    path: &Path,
+) -> Result<Format, String> {
+    if let Some(v) = flags.get(key) {
+        return match v.as_str() {
+            "text" => Ok(Format::Text),
+            "binary" | "bin" => Ok(Format::Binary),
+            other => Err(format!("--{key}: unknown format {other:?} (text|binary)")),
+        };
+    }
+    Ok(match path.extension().and_then(|e| e.to_str()) {
+        Some("bin") => Format::Binary,
+        _ => Format::Text,
+    })
+}
+
+fn required_path(
+    flags: &std::collections::HashMap<String, String>,
+    name: &str,
+) -> Result<PathBuf, String> {
+    flags
+        .get(name)
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("--{name} FILE is required"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let out = required_path(&flags, "out")?;
+    let format = resolve_format(&flags, "format", &out)?;
+    let scale = parse_f64(&flags, "scale", 0.01)?;
+    let catalog_scale = parse_f64(&flags, "catalog-scale", scale.min(0.05))?;
+    let seed = parse_u64(&flags, "seed", 0x0A7_5EED)?;
+
+    let mut config = ExperimentConfig::small();
+    config.trace.scale = scale;
+    config.trace.catalog_scale = catalog_scale;
+    config.trace.seed = seed;
+    config.sim.cache_capacity_bytes = ((64e9 * catalog_scale) as u64).max(2_000_000_000);
+
+    eprintln!("oat: generating (scale {scale}, catalog-scale {catalog_scale}, seed {seed})...");
+    let trace = generate_trace(&config.trace).map_err(|e| e.to_string())?;
+    let simulator = Simulator::new(&config.sim);
+    let records = simulator.replay(trace.requests);
+
+    let file = std::fs::File::create(&out)
+        .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let written = write_all(std::io::BufWriter::new(file), format, &records)
+        .map_err(|e| format!("write failed: {e}"))?;
+    eprintln!(
+        "oat: wrote {written} records to {} ({})",
+        out.display(),
+        report::human_bytes(std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0)),
+    );
+    Ok(())
+}
+
+fn load(flags: &std::collections::HashMap<String, String>) -> Result<(Vec<LogRecord>, Format), String> {
+    let input = required_path(flags, "in")?;
+    let format = resolve_format(flags, "format", &input)?;
+    let file = std::fs::File::open(&input)
+        .map_err(|e| format!("cannot open {}: {e}", input.display()))?;
+    let records = read_all(file, format).map_err(|e| format!("read failed: {e}"))?;
+    Ok((records, format))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (records, _) = load(&flags)?;
+    if records.is_empty() {
+        return Err("no records to analyze".to_string());
+    }
+    let start = records.iter().map(|r| r.timestamp).min().expect("non-empty");
+    let end = records.iter().map(|r| r.timestamp).max().expect("non-empty");
+    // Align the analysis window to whole days.
+    let duration = (end - start + 1).div_ceil(86_400) * 86_400;
+    // Reconstruct cache stats from the records themselves.
+    let mut stats = ServeStats::new();
+    for r in &records {
+        stats.record(r.object, r.status, r.cache_status.is_hit(), r.bytes_served);
+    }
+    let result = analyze(
+        &records,
+        &SiteMap::paper_five(),
+        start,
+        duration,
+        &ClusteringConfig::default(),
+        &[
+            ("V-2".to_string(), ContentClass::Video),
+            ("P-2".to_string(), ContentClass::Image),
+        ],
+        stats,
+    );
+    println!("{}", report::render_all(&result));
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (records, format) = load(&flags)?;
+    if records.is_empty() {
+        println!("0 records");
+        return Ok(());
+    }
+    let start = records.iter().map(|r| r.timestamp).min().expect("non-empty");
+    let end = records.iter().map(|r| r.timestamp).max().expect("non-empty");
+    let bytes: u64 = records.iter().map(|r| r.bytes_served).sum();
+    let users: std::collections::HashSet<_> = records.iter().map(|r| r.user).collect();
+    let objects: std::collections::HashSet<_> = records.iter().map(|r| r.object).collect();
+    let map = SiteMap::paper_five();
+    println!("format:    {format:?}");
+    println!("records:   {}", records.len());
+    println!("span:      {}s ({:.1} days)", end - start, (end - start) as f64 / 86_400.0);
+    println!("users:     {}", users.len());
+    println!("objects:   {}", objects.len());
+    println!("bytes:     {}", report::human_bytes(bytes));
+    for publisher in map.publishers() {
+        let n = records.iter().filter(|r| r.publisher == publisher).count();
+        if n > 0 {
+            println!(
+                "  {:<5} {n} records",
+                map.code(publisher).expect("publisher in map")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (records, _) = load(&flags)?;
+    let out = required_path(&flags, "out")?;
+    let out_format = resolve_format(&flags, "out-format", &out)?;
+    let file = std::fs::File::create(&out)
+        .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let written = write_all(std::io::BufWriter::new(file), out_format, &records)
+        .map_err(|e| format!("write failed: {e}"))?;
+    eprintln!("oat: converted {written} records to {}", out.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> std::collections::HashMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn parse_flags_pairs() {
+        let args: Vec<String> =
+            ["--out", "x.log", "--scale", "0.5"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["out"], "x.log");
+        assert_eq!(f["scale"], "0.5");
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+        assert!(parse_flags(&["--dangling".to_string()]).is_err());
+    }
+
+    #[test]
+    fn numeric_flag_parsing() {
+        let f = flags(&[("scale", "0.25"), ("seed", "7")]);
+        assert_eq!(parse_f64(&f, "scale", 1.0).unwrap(), 0.25);
+        assert_eq!(parse_f64(&f, "missing", 2.0).unwrap(), 2.0);
+        assert_eq!(parse_u64(&f, "seed", 0).unwrap(), 7);
+        let bad = flags(&[("scale", "abc")]);
+        assert!(parse_f64(&bad, "scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn format_resolution() {
+        let empty = flags(&[]);
+        assert_eq!(resolve_format(&empty, "format", Path::new("a.bin")).unwrap(), Format::Binary);
+        assert_eq!(resolve_format(&empty, "format", Path::new("a.log")).unwrap(), Format::Text);
+        assert_eq!(resolve_format(&empty, "format", Path::new("noext")).unwrap(), Format::Text);
+        let forced = flags(&[("format", "binary")]);
+        assert_eq!(resolve_format(&forced, "format", Path::new("a.log")).unwrap(), Format::Binary);
+        let bad = flags(&[("format", "xml")]);
+        assert!(resolve_format(&bad, "format", Path::new("a.log")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_ok()); // prints usage
+    }
+
+    #[test]
+    fn required_path_errors_when_missing() {
+        let empty = flags(&[]);
+        assert!(required_path(&empty, "in").is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! `oat` — Online Adult Traffic measurement & analysis toolkit.
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `oat_core` for the analysis pipeline.
+
+#![forbid(unsafe_code)]
+
+pub use oat_cdnsim as cdnsim;
+pub use oat_core as analysis;
+pub use oat_httplog as httplog;
+pub use oat_stats as stats;
+pub use oat_timeseries as timeseries;
+pub use oat_useragent as useragent;
+pub use oat_workload as workload;

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `oat` command-line binary.
+
+use std::process::Command;
+
+fn oat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oat"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("oat-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn generate_info_analyze_roundtrip() {
+    let log = tmp("cli_roundtrip.log");
+    let out = oat()
+        .args(["generate", "--out", log.to_str().unwrap(), "--scale", "0.002", "--seed", "3"])
+        .output()
+        .expect("run oat generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(log.exists());
+
+    let info = oat()
+        .args(["info", "--in", log.to_str().unwrap()])
+        .output()
+        .expect("run oat info");
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("records:"), "info output: {text}");
+    assert!(text.contains("V-1"), "info lists sites: {text}");
+
+    let analyze = oat()
+        .args(["analyze", "--in", log.to_str().unwrap()])
+        .output()
+        .expect("run oat analyze");
+    assert!(analyze.status.success());
+    let report = String::from_utf8_lossy(&analyze.stdout);
+    for needle in ["Fig 1/2", "Fig 16", "V-1", "S-1"] {
+        assert!(report.contains(needle), "analyze output missing {needle}");
+    }
+}
+
+#[test]
+fn convert_text_to_binary_preserves_records() {
+    let log = tmp("cli_convert.log");
+    let bin = tmp("cli_convert.bin");
+    assert!(oat()
+        .args(["generate", "--out", log.to_str().unwrap(), "--scale", "0.001", "--seed", "5"])
+        .status()
+        .expect("generate")
+        .success());
+    assert!(oat()
+        .args(["convert", "--in", log.to_str().unwrap(), "--out", bin.to_str().unwrap()])
+        .status()
+        .expect("convert")
+        .success());
+    // Binary output is smaller and reports the same record count.
+    let text_size = std::fs::metadata(&log).unwrap().len();
+    let bin_size = std::fs::metadata(&bin).unwrap().len();
+    assert!(bin_size < text_size, "binary ({bin_size}) < text ({text_size})");
+
+    let info_text = oat().args(["info", "--in", log.to_str().unwrap()]).output().unwrap();
+    let info_bin = oat().args(["info", "--in", bin.to_str().unwrap()]).output().unwrap();
+    let records_line = |out: &std::process::Output| {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("records:"))
+            .map(str::to_string)
+            .expect("records line")
+    };
+    assert_eq!(records_line(&info_text), records_line(&info_bin));
+}
+
+#[test]
+fn helpful_errors() {
+    let bad = oat().args(["frobnicate"]).output().expect("run");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown command"));
+
+    let missing = oat().args(["info", "--in", "/nonexistent/zz.log"]).output().expect("run");
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot open"));
+
+    let usage = oat().output().expect("run with no args");
+    assert!(usage.status.success());
+    assert!(String::from_utf8_lossy(&usage.stdout).contains("USAGE"));
+}
+
+#[test]
+fn deterministic_generation_across_runs() {
+    let a = tmp("cli_det_a.log");
+    let b = tmp("cli_det_b.log");
+    for path in [&a, &b] {
+        assert!(oat()
+            .args(["generate", "--out", path.to_str().unwrap(), "--scale", "0.001", "--seed", "77"])
+            .status()
+            .expect("generate")
+            .success());
+    }
+    let ca = std::fs::read(&a).unwrap();
+    let cb = std::fs::read(&b).unwrap();
+    assert_eq!(ca, cb, "same seed must produce byte-identical logs");
+}

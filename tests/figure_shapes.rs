@@ -1,0 +1,372 @@
+//! End-to-end shape anchors: one reproduction run must exhibit every
+//! qualitative finding of the paper's evaluation (the "shape" column of
+//! DESIGN.md §3).
+//!
+//! Absolute numbers are scale-dependent; these tests pin orderings, modes,
+//! and coarse bands that must hold at any reasonable scale.
+
+use oat::analysis::experiment::{run, ExperimentConfig, ExperimentResult};
+use oat::httplog::{ContentClass, HttpStatus};
+use oat::timeseries::TrendClass;
+use std::sync::OnceLock;
+
+fn result() -> &'static ExperimentResult {
+    static RESULT: OnceLock<ExperimentResult> = OnceLock::new();
+    RESULT.get_or_init(|| {
+        let mut config = ExperimentConfig::small();
+        config.trace.scale = 0.03;
+        config.trace.catalog_scale = 0.06;
+        config.trace.seed = 0xF16;
+        run(&config).expect("valid config")
+    })
+}
+
+#[test]
+fn fig1_object_composition() {
+    let r = result();
+    let v1 = r.composition.site("V-1").unwrap();
+    assert!(
+        v1.object_share(ContentClass::Video) > 0.9,
+        "V-1 is ~98% video objects: {:?}",
+        v1.objects
+    );
+    let v2 = r.composition.site("V-2").unwrap();
+    assert!(
+        (v2.object_share(ContentClass::Image) - 0.84).abs() < 0.06,
+        "V-2 is ~84% image objects: {:?}",
+        v2.objects
+    );
+    assert!(
+        (v2.object_share(ContentClass::Video) - 0.15).abs() < 0.06,
+        "V-2 is ~15% video objects"
+    );
+    for code in ["P-1", "P-2", "S-1"] {
+        let site = r.composition.site(code).unwrap();
+        assert!(
+            site.object_share(ContentClass::Image) > 0.95,
+            "{code} is ~99% image objects: {:?}",
+            site.objects
+        );
+    }
+}
+
+#[test]
+fn fig2a_request_composition() {
+    let r = result();
+    let v1 = r.composition.site("V-1").unwrap();
+    assert!(
+        v1.request_share(ContentClass::Video) > 0.9,
+        "V-1 requests are video-dominated"
+    );
+    let v2 = r.composition.site("V-2").unwrap();
+    let video = v2.request_share(ContentClass::Video);
+    let image = v2.request_share(ContentClass::Image);
+    assert!(
+        image > video,
+        "V-2 image requests ({image:.2}) outnumber video ({video:.2})"
+    );
+    assert!((0.2..0.5).contains(&video), "V-2 video request share ~34%: {video:.2}");
+    assert!((0.5..0.8).contains(&image), "V-2 image request share ~62%: {image:.2}");
+}
+
+#[test]
+fn fig2b_video_dominates_bytes() {
+    let r = result();
+    for code in ["V-1", "V-2"] {
+        let site = r.composition.site(code).unwrap();
+        assert!(
+            site.byte_share(ContentClass::Video) > site.byte_share(ContentClass::Image),
+            "{code}: video should dominate traffic volume"
+        );
+    }
+}
+
+#[test]
+fn fig3_temporal_patterns() {
+    let r = result();
+    let v1 = r.temporal.site("V-1").unwrap();
+    assert!(
+        v1.peaks_late_night(),
+        "V-1 peaks late-night/early-morning, got hour {}",
+        v1.peak_hour()
+    );
+    // V-1 has the most pronounced peak-to-trough variation.
+    let v1_ratio = v1.peak_to_trough().expect("nonzero traffic");
+    for code in ["V-2", "P-1", "P-2", "S-1"] {
+        let other = r.temporal.site(code).unwrap();
+        let ratio = other.peak_to_trough().expect("nonzero traffic");
+        assert!(
+            v1_ratio > ratio,
+            "V-1 variation ({v1_ratio:.2}) exceeds {code} ({ratio:.2})"
+        );
+        // The classic 7-11pm evening peak region is NOT where V-1 peaks.
+        assert!(
+            !(19..=23).contains(&v1.peak_hour()),
+            "V-1 must not follow the classic evening peak"
+        );
+    }
+}
+
+#[test]
+fn fig4_device_mix() {
+    let r = result();
+    for site in &r.devices.sites {
+        assert!(
+            site.user_pct[0] > 50.0,
+            "{}: desktop majority, got {:.1}%",
+            site.code,
+            site.user_pct[0]
+        );
+    }
+    let v2 = r.devices.site("V-2").unwrap();
+    assert!(v2.user_pct[0] > 93.0, "V-2 > 95% desktop, got {:.1}%", v2.user_pct[0]);
+    let s1 = r.devices.site("S-1").unwrap();
+    assert!(
+        s1.mobile_and_misc_pct() > 30.0,
+        "S-1 has >1/3 smartphone+misc, got {:.1}%",
+        s1.mobile_and_misc_pct()
+    );
+}
+
+#[test]
+fn fig5_content_sizes() {
+    let r = result();
+    // Videos: majority over 1 MB on the video-rich sites.
+    for code in ["V-1", "V-2"] {
+        let d = r.sizes.site(code, ContentClass::Video).unwrap();
+        assert!(
+            d.fraction_above_1mb() > 0.8,
+            "{code}: most videos exceed 1 MB ({:.2})",
+            d.fraction_above_1mb()
+        );
+        assert!(d.median().unwrap() > 1_000_000.0);
+    }
+    // Images: bi-modal and mostly under 1 MB on image-rich sites.
+    for code in ["V-2", "P-1", "P-2", "S-1"] {
+        let d = r.sizes.site(code, ContentClass::Image).unwrap();
+        assert!(d.is_bimodal(), "{code}: image sizes must be bi-modal");
+        assert!(
+            d.fraction_above_1mb() < 0.35,
+            "{code}: images mostly below 1 MB"
+        );
+        assert!(d.median().unwrap() < 1_000_000.0);
+    }
+}
+
+#[test]
+fn fig5_video_and_image_sizes_are_different_populations() {
+    // KS statistic: video and image size distributions must diverge
+    // decisively (the paper plots them as separate sub-figures for a
+    // reason), while the image-heavy sites' image distributions should be
+    // broadly similar to each other.
+    let r = result();
+    let v2_video = &r.sizes.site("V-2", ContentClass::Video).unwrap().ecdf;
+    let v2_image = &r.sizes.site("V-2", ContentClass::Image).unwrap().ecdf;
+    let d = oat::stats::ks_statistic(v2_video, v2_image).unwrap();
+    assert!(d > 0.8, "video vs image sizes nearly disjoint, KS = {d:.3}");
+
+    let p1 = &r.sizes.site("P-1", ContentClass::Image).unwrap().ecdf;
+    let s1 = &r.sizes.site("S-1", ContentClass::Image).unwrap().ecdf;
+    let similar = oat::stats::ks_statistic(p1, s1).unwrap();
+    assert!(
+        similar < 0.35,
+        "image-heavy sites share the thumbnail/full-size mixture, KS = {similar:.3}"
+    );
+}
+
+#[test]
+fn fig6_popularity_long_tailed() {
+    let r = result();
+    for (code, class) in [
+        ("V-1", ContentClass::Video),
+        ("V-2", ContentClass::Video),
+        ("V-2", ContentClass::Image),
+        ("P-1", ContentClass::Image),
+        ("P-2", ContentClass::Image),
+        ("S-1", ContentClass::Image),
+    ] {
+        let d = r.popularity.site(code, class).unwrap();
+        let top = d.top_decile_share.expect("objects exist");
+        assert!(
+            top > 0.4,
+            "{code} {class}: top 10% of objects draw most requests, got {top:.2}"
+        );
+        let fit = d.zipf.expect("enough objects to fit");
+        assert!(
+            (0.4..2.2).contains(&fit.alpha),
+            "{code} {class}: Zipf-like exponent, got {}",
+            fit.alpha
+        );
+    }
+}
+
+#[test]
+fn fig7_content_aging() {
+    let r = result();
+    for site in &r.aging.sites {
+        assert!(site.objects > 0, "{}: objects observed", site.code);
+        // Monotone non-increasing, starts at 1.
+        assert!((site.fraction_at_day(1).unwrap() - 1.0).abs() < 1e-9);
+        for w in site.fraction_by_day.windows(2) {
+            assert!(w[0] >= w[1], "{}: aging curve declines", site.code);
+        }
+        // A minority of objects stays requested throughout the week.
+        let final_day = *site.fraction_by_day.last().unwrap();
+        assert!(
+            (0.02..0.55).contains(&final_day),
+            "{}: week-long survivors are a minority, got {final_day:.2}",
+            site.code
+        );
+    }
+}
+
+#[test]
+fn fig8_10_clustering_recovers_trend_families() {
+    let r = result();
+    assert_eq!(r.clusterings.len(), 2, "V-2 video and P-2 image targets");
+    for report in &r.clusterings {
+        assert!(
+            report.clustered_objects >= 20,
+            "{}: enough objects to cluster, got {}",
+            report.code,
+            report.clustered_objects
+        );
+        assert!(report.clusters.len() >= 3, "{}: several clusters", report.code);
+        // Shares sum to 1 over clustered objects.
+        let total: f64 = report.clusters.iter().map(|c| c.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Medoids have the trace length and a std envelope.
+        for c in &report.clusters {
+            assert_eq!(c.medoid.len(), 168);
+            assert_eq!(c.std_dev.len(), 168);
+        }
+    }
+    // Across both targets, the recovered labels include a persistent
+    // (diurnal) family and a decaying/bursty family — the paper's key
+    // qualitative split.
+    let all_labels: Vec<TrendClass> =
+        r.clusterings.iter().flat_map(|c| c.labels()).collect();
+    assert!(
+        all_labels.contains(&TrendClass::Diurnal),
+        "diurnal family recovered: {all_labels:?}"
+    );
+    assert!(
+        all_labels.iter().any(|l| matches!(
+            l,
+            TrendClass::LongLived | TrendClass::ShortLived | TrendClass::FlashCrowd
+        )),
+        "decaying/bursty family recovered: {all_labels:?}"
+    );
+}
+
+#[test]
+fn fig11_iat_video_vs_image() {
+    let r = result();
+    let v1 = r.iat.site("V-1").unwrap().median_secs().unwrap();
+    let v2 = r.iat.site("V-2").unwrap().median_secs().unwrap();
+    assert!(v1 < 600.0, "V-1 median IAT < 10 min, got {v1}");
+    assert!(v2 < 600.0, "V-2 median IAT < 10 min, got {v2}");
+    for code in ["P-1", "P-2", "S-1"] {
+        let m = r.iat.site(code).unwrap().median_secs().unwrap();
+        assert!(m > 3_600.0, "{code} median IAT > 1 h, got {m}");
+    }
+}
+
+#[test]
+fn fig12_short_sessions() {
+    let r = result();
+    for site in &r.sessions.sites {
+        assert!(site.sessions > 100, "{}: sessions reconstructed", site.code);
+        let median = site.median_secs().unwrap();
+        assert!(
+            median < 300.0,
+            "{}: adult sessions are short (<5 min median), got {median}",
+            site.code
+        );
+    }
+    // Video sites have the longer engaged sessions.
+    let v1 = r.sessions.site("V-1").unwrap().median_secs().unwrap();
+    let p1 = r.sessions.site("P-1").unwrap().median_secs().unwrap();
+    assert!(v1 > p1, "video sessions outlast image sessions");
+    assert_eq!(r.sessions.timeout_secs, 600, "the paper's 10-minute timeout");
+}
+
+#[test]
+fn fig13_14_addiction() {
+    let r = result();
+    // Video: at least 10% of objects see more than 10 requests from one
+    // user.
+    for code in ["V-1", "V-2"] {
+        let d = r.addiction.site(code, ContentClass::Video).unwrap();
+        let frac = d.fraction_above(10.0);
+        assert!(
+            frac >= 0.10,
+            "{code}: >=10% of video objects exceed 10 req by one user, got {frac:.3}"
+        );
+        // Some objects are far above the diagonal.
+        assert!(d.max_ratio().unwrap() > 5.0);
+    }
+    // Images: a small minority.
+    for code in ["P-1", "P-2", "S-1"] {
+        let d = r.addiction.site(code, ContentClass::Image).unwrap();
+        let frac = d.fraction_above(10.0);
+        assert!(
+            frac < 0.03,
+            "{code}: ~1% of image objects exceed 10 req by one user, got {frac:.3}"
+        );
+    }
+}
+
+#[test]
+fn fig15_cache_hit_ratios() {
+    let r = result();
+    // Overall CDN hit ratio lands in a broad 60-95% band at this scale
+    // (the paper reports 80-90% at full scale).
+    let overall = r.sim_stats.hit_ratio().unwrap();
+    assert!(
+        (0.6..0.97).contains(&overall),
+        "aggregate hit ratio in band, got {overall:.3}"
+    );
+    // Popularity correlates strongly with hit ratio.
+    let mut correlated = 0;
+    for s in &r.cache.summaries {
+        if let Some(c) = s.popularity_correlation {
+            assert!(c > 0.5, "{}: popularity-hit correlation positive, got {c}", s.code);
+            correlated += 1;
+        }
+    }
+    assert!(correlated >= 4, "correlation computable for most sites");
+    // Image objects cache at least as well as video on the image-heavy
+    // sites (chunked one-shot video views cache poorly).
+    let p1_image = r.cache.site("P-1", ContentClass::Image).unwrap().mean().unwrap();
+    assert!(p1_image > 0.2, "P-1 image objects get cache hits");
+}
+
+#[test]
+fn fig16_response_codes() {
+    let r = result();
+    // 200 dominates image requests everywhere.
+    for code in ["V-2", "P-1", "P-2", "S-1"] {
+        let d = r.responses.site(code, ContentClass::Image).unwrap();
+        assert!(
+            d.share(HttpStatus::OK) > 0.8,
+            "{code}: 200 dominates image responses"
+        );
+        // 304 is rare (incognito browsing).
+        assert!(
+            d.share(HttpStatus::NOT_MODIFIED) < 0.05,
+            "{code}: 304 responses rare, got {:.3}",
+            d.share(HttpStatus::NOT_MODIFIED)
+        );
+    }
+    // Video: 206 range responses are heavily present; 403/416 exist at V-1.
+    let v1 = r.responses.site("V-1", ContentClass::Video).unwrap();
+    assert!(v1.count(HttpStatus::PARTIAL_CONTENT) > v1.count(HttpStatus::OK) / 10);
+    assert!(v1.count(HttpStatus::FORBIDDEN) > 0);
+    assert!(v1.count(HttpStatus::RANGE_NOT_SATISFIABLE) > 0);
+    // 206 only appears for video, never images.
+    for code in ["P-1", "S-1"] {
+        let d = r.responses.site(code, ContentClass::Image).unwrap();
+        assert_eq!(d.count(HttpStatus::PARTIAL_CONTENT), 0, "{code}: no image 206s");
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-crate pipeline integrity: generate → simulate → persist → reload
+//! → analyze must be lossless in both wire formats.
+
+use oat::analysis::analyzers::composition::CompositionAnalyzer;
+use oat::analysis::analyzers::run_analyzer;
+use oat::analysis::SiteMap;
+use oat::cdnsim::{SimConfig, Simulator};
+use oat::httplog::io::{read_all, write_all, Format};
+use oat::httplog::LogStreamExt;
+use oat::workload::{generate, TraceConfig};
+
+fn records() -> (Vec<oat::httplog::LogRecord>, Vec<oat::workload::SiteProfile>) {
+    let config = TraceConfig::small()
+        .with_scale(0.002)
+        .with_catalog_scale(0.01)
+        .with_seed(99);
+    let trace = generate(&config).unwrap();
+    let sim = Simulator::new(&SimConfig::default_edge());
+    (sim.replay(trace.requests), config.sites)
+}
+
+#[test]
+fn both_formats_roundtrip_generated_traffic() {
+    let (records, _) = records();
+    for format in [Format::Text, Format::Binary] {
+        let mut buf = Vec::new();
+        let written = write_all(&mut buf, format, &records).unwrap();
+        assert_eq!(written as usize, records.len());
+        let back = read_all(&buf[..], format).unwrap();
+        assert_eq!(back, records, "{format:?} must be lossless");
+    }
+}
+
+#[test]
+fn analysis_identical_on_reloaded_records() {
+    let (records, sites) = records();
+    let map = SiteMap::from_profiles(&sites);
+    let direct = run_analyzer(CompositionAnalyzer::new(map.clone()), &records);
+
+    let mut buf = Vec::new();
+    write_all(&mut buf, Format::Text, &records).unwrap();
+    let reloaded = read_all(&buf[..], Format::Text).unwrap();
+    let indirect = run_analyzer(CompositionAnalyzer::new(map), &reloaded);
+
+    assert_eq!(direct, indirect);
+}
+
+#[test]
+fn stream_filters_compose_over_real_traffic() {
+    let (records, sites) = records();
+    let publisher = sites[0].publisher;
+    let window_start = records[records.len() / 4].timestamp;
+    let window_end = records[records.len() / 2].timestamp;
+
+    let filtered: Vec<_> = records
+        .iter()
+        .cloned()
+        .publisher(publisher)
+        .time_window(window_start..window_end)
+        .content_class(oat::httplog::ContentClass::Video)
+        .collect();
+    assert!(!filtered.is_empty(), "V-1 video traffic exists in the window");
+    for r in &filtered {
+        assert_eq!(r.publisher, publisher);
+        assert!((window_start..window_end).contains(&r.timestamp));
+        assert_eq!(r.content_class(), oat::httplog::ContentClass::Video);
+    }
+}
+
+#[test]
+fn simulator_stats_match_record_stream() {
+    let config = TraceConfig::small()
+        .with_scale(0.002)
+        .with_catalog_scale(0.01)
+        .with_seed(123);
+    let trace = generate(&config).unwrap();
+    let sim = Simulator::new(&SimConfig::default_edge());
+    let records = sim.replay(trace.requests);
+    let stats = sim.stats();
+
+    assert_eq!(stats.requests, records.len() as u64);
+    let bytes: u64 = records.iter().map(|r| r.bytes_served).sum();
+    assert_eq!(stats.bytes_served, bytes);
+    let hits = records
+        .iter()
+        .filter(|r| r.status.carries_body() && r.cache_status.is_hit())
+        .count() as u64;
+    assert_eq!(stats.hits, hits);
+    // Every record's hour fits the configured trace window.
+    let end = config.start_unix + config.duration_secs;
+    assert!(records.iter().all(|r| (config.start_unix..=end).contains(&r.timestamp)));
+}
+
+#[test]
+fn ground_truth_catalog_consistency() {
+    let config = TraceConfig::small()
+        .with_scale(0.002)
+        .with_catalog_scale(0.01)
+        .with_seed(5);
+    let trace = generate(&config).unwrap();
+    // Requests only reference catalog objects, with matching sizes/formats.
+    for (i, site) in config.sites.iter().enumerate() {
+        let by_id: std::collections::HashMap<_, _> = trace.catalogs[i]
+            .objects()
+            .iter()
+            .map(|o| (o.id, o))
+            .collect();
+        for req in trace.requests.iter().filter(|r| r.publisher == site.publisher) {
+            let obj = by_id.get(&req.object).expect("request references catalog");
+            assert_eq!(req.object_size, obj.size);
+            assert_eq!(req.format, obj.format);
+        }
+    }
+}
