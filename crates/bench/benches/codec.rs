@@ -52,9 +52,10 @@ fn bench_codecs(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec/decode");
     group.sample_size(20);
     group.throughput(Throughput::Elements(records.len() as u64));
-    for (name, buf, format) in
-        [("text", &text_buf, Format::Text), ("binary", &bin_buf, Format::Binary)]
-    {
+    for (name, buf, format) in [
+        ("text", &text_buf, Format::Text),
+        ("binary", &bin_buf, Format::Binary),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), buf, |b, buf| {
             b.iter(|| read_all(&buf[..], format).expect("well-formed"))
         });

@@ -2,7 +2,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oat_timeseries::{
-    distance::pairwise_matrix, dtw::dtw_distance, hierarchical, kmedoids, Linkage, Metric,
+    distance::{pairwise_matrix, pairwise_matrix_with_threads},
+    dtw::dtw_distance,
+    hierarchical, kmedoids,
+    prune::{nearest_neighbor, Envelope, PruneStats},
+    Linkage, Metric,
 };
 
 fn series(len: usize, phase: f64) -> Vec<f64> {
@@ -39,6 +43,24 @@ fn bench_dtw(c: &mut Criterion) {
     }
     group.finish();
 
+    let mut group = c.benchmark_group("dtw/pairwise_matrix");
+    group.sample_size(10);
+    for n in [100usize, 500] {
+        let set: Vec<Vec<f64>> = (0..n).map(|i| series(168, i as f64 * 0.37)).collect();
+        for threads in [1usize, 8] {
+            let id = BenchmarkId::new(format!("threads{threads}"), n);
+            group.bench_with_input(id, &set, |bench, set| {
+                bench.iter(|| {
+                    pairwise_matrix_with_threads(set, Metric::Dtw { band: Some(24) }, threads)
+                        .expect("n >= 2")
+                })
+            });
+        }
+    }
+    group.finish();
+
+    report_prune_rates();
+
     let mut group = c.benchmark_group("kmedoids");
     group.sample_size(10);
     let set: Vec<Vec<f64>> = (0..100).map(|i| series(168, i as f64 * 0.37)).collect();
@@ -51,6 +73,24 @@ fn bench_dtw(c: &mut Criterion) {
         b.iter(|| kmedoids::silhouette(&matrix, &labels))
     });
     group.finish();
+}
+
+/// Prints how much work the UCR-style lower-bound cascade avoids on a
+/// 1-NN self-join (every series queried against all the others) — the
+/// access pattern of medoid refinement and k-medoids assignment, where
+/// only the argmin matters and pruning is admissible.
+fn report_prune_rates() {
+    println!("\nlower-bound prune rates (1-NN self-join, len 168, band 24):");
+    for n in [100usize, 500, 2000] {
+        let set: Vec<Vec<f64>> = (0..n).map(|i| series(168, i as f64 * 0.37)).collect();
+        let envelopes: Vec<Envelope> = set.iter().map(|s| Envelope::new(s, Some(24))).collect();
+        let mut stats = PruneStats::default();
+        for (i, query) in set.iter().enumerate() {
+            let _ = nearest_neighbor(query, &set, &envelopes, Some(24), Some(i), &mut stats);
+        }
+        println!("  n={n:>5}: {stats}");
+    }
+    println!();
 }
 
 criterion_group!(benches, bench_dtw);

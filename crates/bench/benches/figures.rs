@@ -13,10 +13,10 @@ use oat_core::analyzers::{
     iat::IatAnalyzer,
     popularity::PopularityAnalyzer,
     response::ResponseAnalyzer,
+    run_analyzer,
     sessions::SessionAnalyzer,
     sizes::SizeAnalyzer,
     temporal::TemporalAnalyzer,
-    run_analyzer,
 };
 use oat_core::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, PublisherId};

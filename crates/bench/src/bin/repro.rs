@@ -29,6 +29,7 @@ struct Options {
     ablation: Option<String>,
     capacity: Option<u64>,
     csv_dir: Option<std::path::PathBuf>,
+    threads: usize,
 }
 
 impl Default for Options {
@@ -42,6 +43,7 @@ impl Default for Options {
             ablation: None,
             capacity: None,
             csv_dir: None,
+            threads: 0,
         }
     }
 }
@@ -83,11 +85,20 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--csv-dir needs a directory")?;
                 opts.csv_dir = Some(std::path::PathBuf::from(v));
             }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .ok_or("--threads needs a count (0 = all cores)")?;
+                opts.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--fig N]... [--ablation NAME] \
-                     [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] [--csv-dir DIR]\n\
-                     ablations: cache-policy tiered-cache push incognito ttl cooperative parent-tier dtw"
+                     [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] \
+                     [--csv-dir DIR] [--threads N]\n\
+                     ablations: cache-policy tiered-cache push incognito ttl cooperative parent-tier dtw\n\
+                     --threads: DTW matrix worker threads (0 = all cores); results are \
+                     bit-identical at any setting"
                 );
                 std::process::exit(0);
             }
@@ -114,12 +125,20 @@ fn main() {
         return;
     }
 
-    let figures: Vec<u8> = if opts.all { (1..=16).collect() } else { opts.figures.clone() };
+    let figures: Vec<u8> = if opts.all {
+        (1..=16).collect()
+    } else {
+        opts.figures.clone()
+    };
     let result = run_experiment(&opts);
     print_figures(&result, &figures);
     if let Some(dir) = &opts.csv_dir {
         match oat_core::export::write_csvs(&result, dir) {
-            Ok(files) => eprintln!("repro: wrote {} CSV series to {}", files.len(), dir.display()),
+            Ok(files) => eprintln!(
+                "repro: wrote {} CSV series to {}",
+                files.len(),
+                dir.display()
+            ),
             Err(e) => {
                 eprintln!("repro: CSV export failed: {e}");
                 std::process::exit(1);
@@ -138,6 +157,7 @@ fn run_experiment(opts: &Options) -> ExperimentResult {
     config.sim.cache_capacity_bytes = opts
         .capacity
         .unwrap_or((64e9 * opts.catalog_scale).max(2e9) as u64);
+    config.clustering.threads = opts.threads;
     eprintln!(
         "repro: scale {} catalog-scale {} seed {}",
         opts.scale, opts.catalog_scale, opts.seed
@@ -155,16 +175,15 @@ fn run_experiment(opts: &Options) -> ExperimentResult {
 fn print_figures(result: &ExperimentResult, figures: &[u8]) {
     for &fig in figures {
         match fig {
-            1 | 2
-                if (fig == 1 || !figures.contains(&1)) => {
-                    paper(
+            1 | 2 if (fig == 1 || !figures.contains(&1)) => {
+                paper(
                         "Fig 1: V-1 98% video objects; V-2 84% image / 15% video; \
                          P-1, P-2, S-1 ~99% image.\n\
                          Fig 2a: video requests dominate V-1 (3.1M); V-2 has ~62% image vs ~34% video.\n\
                          Fig 2b: video dominates bytes wherever it exists (V-1: 258 GB).",
                     );
-                    println!("{}", report::render_composition(&result.composition));
-                }
+                println!("{}", report::render_composition(&result.composition));
+            }
             3 => {
                 paper(
                     "Fig 3: not classic diurnal; V-1 peaks late-night/early-morning \
@@ -200,23 +219,20 @@ fn print_figures(result: &ExperimentResult, figures: &[u8]) {
                 );
                 println!("{}", report::render_aging(&result.aging));
             }
-            8..=10
-                if (fig == 8 || !figures.contains(&8)) => {
-                    paper(
-                        "Fig 8: V-2 video clusters: outliers 33%, long-lived 22%, \
+            8..=10 if (fig == 8 || !figures.contains(&8)) => {
+                paper(
+                    "Fig 8: V-2 video clusters: outliers 33%, long-lived 22%, \
                          short-lived 20%, diurnal 11%+14%. P-2 image: diurnal 61%, \
                          long-lived 25%, flash-crowd 14%.\n\
                          Fig 9/10: medoids show diurnal oscillation, first-day peak \
                          with multi-day decay, and hours-scale bursts.",
-                    );
-                    for c in &result.clusterings {
-                        println!("{}", report::render_clustering(c));
-                    }
-                }
-            11 => {
-                paper(
-                    "Fig 11: video-site median IAT < 10 min; image-heavy sites > 1 h.",
                 );
+                for c in &result.clusterings {
+                    println!("{}", report::render_clustering(c));
+                }
+            }
+            11 => {
+                paper("Fig 11: video-site median IAT < 10 min; image-heavy sites > 1 h.");
                 println!("{}", report::render_iat(&result.iat));
             }
             12 => {
@@ -226,15 +242,14 @@ fn print_figures(result: &ExperimentResult, figures: &[u8]) {
                 );
                 println!("{}", report::render_sessions(&result.sessions));
             }
-            13 | 14
-                if (fig == 13 || !figures.contains(&13)) => {
-                    paper(
-                        "Fig 13: video objects sit far above the requests=users diagonal \
+            13 | 14 if (fig == 13 || !figures.contains(&13)) => {
+                paper(
+                    "Fig 13: video objects sit far above the requests=users diagonal \
                          (up to 2 orders of magnitude).\n\
                          Fig 14: >=10% of video objects exceed 10 req/user; <1% of images do.",
-                    );
-                    println!("{}", report::render_addiction(&result.addiction));
-                }
+                );
+                println!("{}", report::render_addiction(&result.addiction));
+            }
             15 => {
                 paper(
                     "Fig 15: overall CDN hit ratios 80-90%; image objects cache better \
@@ -305,7 +320,9 @@ fn ablation_cache_policy(opts: &Options) {
                 continue;
             }
             let sim = Simulator::new(
-                &SimConfig::default_edge().with_policy(policy).with_capacity(capacity),
+                &SimConfig::default_edge()
+                    .with_policy(policy)
+                    .with_capacity(capacity),
             );
             sim.replay(trace.requests.clone());
             let stats = sim.stats();
@@ -349,10 +366,19 @@ fn ablation_tiered_cache(opts: &Options) {
     );
     let tiered_ratio = run(&mut tiered);
 
-    println!("A2 — unified vs size-tiered cache ({} total, split at {})",
-        report::human_bytes(capacity), report::human_bytes(threshold));
-    println!("unified LRU          hit ratio {:.1}%", 100.0 * unified_ratio);
-    println!("tiered SLRU+LRU      hit ratio {:.1}%", 100.0 * tiered_ratio);
+    println!(
+        "A2 — unified vs size-tiered cache ({} total, split at {})",
+        report::human_bytes(capacity),
+        report::human_bytes(threshold)
+    );
+    println!(
+        "unified LRU          hit ratio {:.1}%",
+        100.0 * unified_ratio
+    );
+    println!(
+        "tiered SLRU+LRU      hit ratio {:.1}%",
+        100.0 * tiered_ratio
+    );
     println!(
         "paper: separate small/large platforms let each tier be optimized; \
          the small tier shields thumbnails from video churn"
@@ -364,10 +390,23 @@ fn ablation_push(opts: &Options) {
     let trace = base_trace(opts);
     let start = trace.config.start_unix;
     let split = start + 86_400;
-    let day1: Vec<_> = trace.requests.iter().filter(|r| r.timestamp < split).cloned().collect();
-    let rest: Vec<_> = trace.requests.iter().filter(|r| r.timestamp >= split).cloned().collect();
+    let day1: Vec<_> = trace
+        .requests
+        .iter()
+        .filter(|r| r.timestamp < split)
+        .cloned()
+        .collect();
+    let rest: Vec<_> = trace
+        .requests
+        .iter()
+        .filter(|r| r.timestamp >= split)
+        .cloned()
+        .collect();
     println!("A3 — push popular objects to every PoP (plan from day 1, replay days 2-7)");
-    println!("{:>12} {:>10} {:>11}", "push budget", "objects", "hit-ratio");
+    println!(
+        "{:>12} {:>10} {:>11}",
+        "push budget", "objects", "hit-ratio"
+    );
     for budget in [0u64, 100_000_000, 500_000_000, 2_000_000_000] {
         let sim = Simulator::new(&SimConfig::default_edge().with_capacity(1_000_000_000));
         let plan = plan_push(&day1, budget);
@@ -400,9 +439,13 @@ fn ablation_incognito(opts: &Options) {
         let sim = Simulator::new(&SimConfig::default_edge());
         let records = sim.replay(trace.requests);
         let total = records.len() as f64;
-        let not_modified =
-            records.iter().filter(|r| r.status.code() == 304).count() as f64;
-        println!("{:>8.0}% {:>11.2}% {:>10}", 100.0 * rate, 100.0 * not_modified / total, records.len());
+        let not_modified = records.iter().filter(|r| r.status.code() == 304).count() as f64;
+        println!(
+            "{:>8.0}% {:>11.2}% {:>10}",
+            100.0 * rate,
+            100.0 * not_modified / total,
+            records.len()
+        );
     }
     println!(
         "paper: prevalent incognito browsing means publishers cannot rely on \
@@ -426,7 +469,11 @@ fn ablation_ttl(opts: &Options) {
         config.ttl_secs = ttl;
         let sim = Simulator::new(&config);
         sim.replay(trace.requests.clone());
-        println!("{:>8} {:>10.1}%", label, 100.0 * sim.stats().hit_ratio().unwrap_or(0.0));
+        println!(
+            "{:>8} {:>10.1}%",
+            label,
+            100.0 * sim.stats().hit_ratio().unwrap_or(0.0)
+        );
     }
     println!(
         "paper: revalidate short-lived objects hourly and long-lived daily; \
@@ -490,13 +537,19 @@ fn ablation_parent_tier(opts: &Options) {
     // Four edges per region share one parent; the flat alternative spends
     // the parent's bytes on the edges instead (same total budget).
     let edge = 500_000_000u64;
-    let base = SimConfig { pops_per_region: 4, ..SimConfig::default_edge() };
+    let base = SimConfig {
+        pops_per_region: 4,
+        ..SimConfig::default_edge()
+    };
     run(base.clone().with_capacity(edge), "4x edge 500MB");
     run(
         base.clone().with_capacity(edge).with_parent(4 * edge),
         "4x edge 500MB + parent 2GB",
     );
-    run(base.with_capacity(2 * edge), "4x flat edge 1GB (same bytes)");
+    run(
+        base.with_capacity(2 * edge),
+        "4x flat edge 1GB (same bytes)",
+    );
     println!(
         "paper: 'cache placement strategies' — a shared regional tier pools \
          the long tail that per-PoP caches cannot each afford to keep"
@@ -531,7 +584,9 @@ fn ablation_dtw(opts: &Options) {
         if h >= hours {
             continue;
         }
-        let entry = counts.entry(req.object.raw()).or_insert_with(|| (0, vec![0.0; hours]));
+        let entry = counts
+            .entry(req.object.raw())
+            .or_insert_with(|| (0, vec![0.0; hours]));
         entry.0 += 1;
         entry.1[h] += 1.0;
     }
@@ -577,7 +632,10 @@ fn ablation_dtw(opts: &Options) {
             }
             majority += votes.values().max().copied().unwrap_or(0);
         }
-        println!("{label:<22} {:>7.1}%", 100.0 * majority as f64 / series.len() as f64);
+        println!(
+            "{label:<22} {:>7.1}%",
+            100.0 * majority as f64 / series.len() as f64
+        );
     }
     println!("paper: DTW chosen for its alignment of time-shifted popularity curves");
 }

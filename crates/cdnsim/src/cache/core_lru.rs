@@ -57,7 +57,13 @@ impl LruCore {
             self.bytes -= old.size;
         }
         self.by_seq.insert(self.next_seq, key);
-        self.entries.insert(key, Entry { seq: self.next_seq, size });
+        self.entries.insert(
+            key,
+            Entry {
+                seq: self.next_seq,
+                size,
+            },
+        );
         self.bytes += size;
         self.next_seq += 1;
     }

@@ -98,7 +98,15 @@ impl CachePolicy for GdsfCache {
         }
         self.evict_for(size);
         self.bytes += size;
-        self.reinsert(key, GdsfMeta { priority_micro: 0, seq: 0, frequency: 1, size });
+        self.reinsert(
+            key,
+            GdsfMeta {
+                priority_micro: 0,
+                seq: 0,
+                frequency: 1,
+                size,
+            },
+        );
     }
 
     fn contains(&self, key: &CacheKey) -> bool {
@@ -138,7 +146,10 @@ mod tests {
         for i in 0..20 {
             cache.request(key(100 + i), 900, 100 + i);
         }
-        assert!(cache.contains(&key(1)), "hot small object survives large churn");
+        assert!(
+            cache.contains(&key(1)),
+            "hot small object survives large churn"
+        );
         assert!(cache.evictions() > 0);
     }
 

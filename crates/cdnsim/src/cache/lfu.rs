@@ -81,7 +81,11 @@ impl CachePolicy for LfuCache {
             return;
         }
         self.evict_for(size);
-        let meta = EntryMeta { freq: 1, seq: self.next_seq, size };
+        let meta = EntryMeta {
+            freq: 1,
+            seq: self.next_seq,
+            size,
+        };
         self.next_seq += 1;
         self.order.insert((meta.freq, meta.seq, key));
         self.entries.insert(key, meta);

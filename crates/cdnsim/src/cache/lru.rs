@@ -26,7 +26,11 @@ pub struct LruCache {
 impl LruCache {
     /// Creates an LRU cache bounded to `capacity_bytes`.
     pub fn new(capacity_bytes: u64) -> Self {
-        Self { core: LruCore::new(), capacity: capacity_bytes, evictions: 0 }
+        Self {
+            core: LruCore::new(),
+            capacity: capacity_bytes,
+            evictions: 0,
+        }
     }
 
     fn evict_for(&mut self, size: u64) {

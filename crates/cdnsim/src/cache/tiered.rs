@@ -24,7 +24,11 @@ impl TieredCache {
         large: Box<dyn CachePolicy>,
         threshold_bytes: u64,
     ) -> Self {
-        Self { small, large, threshold_bytes }
+        Self {
+            small,
+            large,
+            threshold_bytes,
+        }
     }
 
     /// The size threshold separating the tiers.
@@ -63,7 +67,9 @@ impl CachePolicy for TieredCache {
     }
 
     fn capacity_bytes(&self) -> u64 {
-        self.small.capacity_bytes().saturating_add(self.large.capacity_bytes())
+        self.small
+            .capacity_bytes()
+            .saturating_add(self.large.capacity_bytes())
     }
 
     fn evictions(&self) -> u64 {
@@ -109,17 +115,17 @@ mod tests {
         }
         // The small working set is untouched by large-object churn.
         for i in 0..10 {
-            assert!(cache.contains(&key(i)), "small object {i} evicted by large scan");
+            assert!(
+                cache.contains(&key(i)),
+                "small object {i} evicted by large scan"
+            );
         }
     }
 
     #[test]
     fn builds_from_policy_kinds() {
-        let mut cache = TieredCache::new(
-            PolicyKind::Slru.build(64),
-            PolicyKind::Lru.build(512),
-            32,
-        );
+        let mut cache =
+            TieredCache::new(PolicyKind::Slru.build(64), PolicyKind::Lru.build(512), 32);
         assert!(!cache.request(key(1), 16, 0));
         assert!(cache.request(key(1), 16, 1));
     }

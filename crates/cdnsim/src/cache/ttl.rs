@@ -22,7 +22,12 @@ pub struct TtlCache<C> {
 impl<C: CachePolicy> TtlCache<C> {
     /// Wraps `inner` with the given freshness TTL.
     pub fn new(inner: C, ttl_secs: u64) -> Self {
-        Self { inner, fetched_at: HashMap::new(), ttl_secs, expirations: 0 }
+        Self {
+            inner,
+            fetched_at: HashMap::new(),
+            ttl_secs,
+            expirations: 0,
+        }
     }
 
     /// Number of hits invalidated by expiry.

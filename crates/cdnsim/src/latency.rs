@@ -38,7 +38,12 @@ impl LatencyModel {
     /// A 2015-era broadband deployment: 20 ms to the edge, 100 ms to the
     /// origin, 20 Mbps last-mile, 50 Mbps origin path.
     pub fn broadband() -> Self {
-        Self { edge_rtt_ms: 20.0, origin_rtt_ms: 100.0, edge_mbps: 20.0, origin_mbps: 50.0 }
+        Self {
+            edge_rtt_ms: 20.0,
+            origin_rtt_ms: 100.0,
+            edge_mbps: 20.0,
+            origin_mbps: 50.0,
+        }
     }
 
     /// Response time for `bytes` served from `source`, in milliseconds.
@@ -174,7 +179,11 @@ mod tests {
             let mut r = LogRecord::example();
             r.status = HttpStatus::OK;
             r.bytes_served = 10_000;
-            r.cache_status = if i % 2 == 0 { CacheStatus::Hit } else { CacheStatus::Miss };
+            r.cache_status = if i % 2 == 0 {
+                CacheStatus::Hit
+            } else {
+                CacheStatus::Miss
+            };
             records.push(r);
         }
         let summary = m.summarize(&records);

@@ -51,9 +51,10 @@ pub fn plan_push(window: &[Request], budget_bytes: u64) -> Vec<Placement> {
     for req in window {
         let (key, size) = match req.kind {
             RequestKind::Full => (CacheKey::whole(req.object), req.object_size),
-            RequestKind::Range { offset, length } => {
-                (CacheKey::chunk(req.object, (offset / CHUNK_BYTES) as u32), length)
-            }
+            RequestKind::Range { offset, length } => (
+                CacheKey::chunk(req.object, (offset / CHUNK_BYTES) as u32),
+                length,
+            ),
             _ => continue,
         };
         let entry = counts.entry(key).or_insert((0, size));
@@ -61,7 +62,11 @@ pub fn plan_push(window: &[Request], budget_bytes: u64) -> Vec<Placement> {
     }
     let mut ranked: Vec<Placement> = counts
         .into_iter()
-        .map(|(key, (observed_requests, size))| Placement { key, size, observed_requests })
+        .map(|(key, (observed_requests, size))| Placement {
+            key,
+            size,
+            observed_requests,
+        })
         .collect();
     ranked.sort_by(|a, b| {
         b.observed_requests
@@ -135,14 +140,20 @@ mod tests {
             window.push(Request {
                 object: ObjectId::new(7),
                 object_size: 3 * CHUNK_BYTES,
-                kind: RequestKind::Range { offset: 0, length: CHUNK_BYTES },
+                kind: RequestKind::Range {
+                    offset: 0,
+                    length: CHUNK_BYTES,
+                },
                 ..Request::example()
             });
         }
         window.push(Request {
             object: ObjectId::new(7),
             object_size: 3 * CHUNK_BYTES,
-            kind: RequestKind::Range { offset: CHUNK_BYTES, length: CHUNK_BYTES },
+            kind: RequestKind::Range {
+                offset: CHUNK_BYTES,
+                length: CHUNK_BYTES,
+            },
             ..Request::example()
         });
         let plan = plan_push(&window, 10 * CHUNK_BYTES);
@@ -160,13 +171,19 @@ mod tests {
             Some((CacheKey::whole(ObjectId::new(1)), 500))
         );
         let range = Request {
-            kind: RequestKind::Range { offset: CHUNK_BYTES, length: 100 },
+            kind: RequestKind::Range {
+                offset: CHUNK_BYTES,
+                length: 100,
+            },
             ..Request::example()
         };
         let (key, size) = cacheable_key(&range).unwrap();
         assert_eq!(key.chunk, 1);
         assert_eq!(size, 100);
-        let cond = Request { kind: RequestKind::Conditional, ..Request::example() };
+        let cond = Request {
+            kind: RequestKind::Conditional,
+            ..Request::example()
+        };
         assert_eq!(cacheable_key(&cond), None);
     }
 
@@ -174,9 +191,18 @@ mod tests {
     fn ignores_bodyless_kinds_and_empty_window() {
         assert!(plan_push(&[], 1_000).is_empty());
         let window = vec![
-            Request { kind: RequestKind::Hotlink, ..Request::example() },
-            Request { kind: RequestKind::Conditional, ..Request::example() },
-            Request { kind: RequestKind::InvalidRange, ..Request::example() },
+            Request {
+                kind: RequestKind::Hotlink,
+                ..Request::example()
+            },
+            Request {
+                kind: RequestKind::Conditional,
+                ..Request::example()
+            },
+            Request {
+                kind: RequestKind::InvalidRange,
+                ..Request::example()
+            },
         ];
         assert!(plan_push(&window, 1_000_000_000).is_empty());
     }

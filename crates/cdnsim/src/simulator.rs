@@ -136,7 +136,10 @@ impl Simulator {
                     )),
                     None => config.policy.build(config.cache_capacity_bytes),
                 };
-                Mutex::new(Pop { cache, stats: ServeStats::new() })
+                Mutex::new(Pop {
+                    cache,
+                    stats: ServeStats::new(),
+                })
             })
             .collect();
         let parents = match config.parent_capacity_bytes {
@@ -146,7 +149,12 @@ impl Simulator {
                 .collect(),
             None => Vec::new(),
         };
-        Self { topology, pops, cooperative: config.cooperative, parents }
+        Self {
+            topology,
+            pops,
+            cooperative: config.cooperative,
+            parents,
+        }
     }
 
     /// The topology in use.
@@ -190,9 +198,7 @@ impl Simulator {
                     if i == pop_id.raw() as usize {
                         return false;
                     }
-                    sibling
-                        .try_lock()
-                        .is_some_and(|s| s.cache.contains(key))
+                    sibling.try_lock().is_some_and(|s| s.cache.contains(key))
                 })
         };
         Self::serve_inner(pop, pop_id, request, Some(&probe))
@@ -213,14 +219,16 @@ impl Simulator {
         let (status, cache_status, bytes) = match request.kind {
             RequestKind::Hotlink => (HttpStatus::FORBIDDEN, CacheStatus::Miss, 0),
             RequestKind::Beacon => (HttpStatus::NO_CONTENT, CacheStatus::Miss, 0),
-            RequestKind::InvalidRange => {
-                (HttpStatus::RANGE_NOT_SATISFIABLE, CacheStatus::Miss, 0)
-            }
+            RequestKind::InvalidRange => (HttpStatus::RANGE_NOT_SATISFIABLE, CacheStatus::Miss, 0),
             RequestKind::Conditional => {
                 // The client holds a fresh copy; the edge answers 304 from
                 // its own copy if cached (no body either way).
                 let cached = pop.cache.contains(&CacheKey::whole(object));
-                let cs = if cached { CacheStatus::Hit } else { CacheStatus::Miss };
+                let cs = if cached {
+                    CacheStatus::Hit
+                } else {
+                    CacheStatus::Miss
+                };
                 (HttpStatus::NOT_MODIFIED, cs, 0)
             }
             RequestKind::Full => {
@@ -231,7 +239,11 @@ impl Simulator {
                     // origin.
                     hit = probe.is_some_and(|p| p(&key, request.object_size));
                 }
-                let cs = if hit { CacheStatus::Hit } else { CacheStatus::Miss };
+                let cs = if hit {
+                    CacheStatus::Hit
+                } else {
+                    CacheStatus::Miss
+                };
                 (HttpStatus::OK, cs, request.object_size)
             }
             RequestKind::Range { offset, length } => {
@@ -242,7 +254,11 @@ impl Simulator {
                 if !hit {
                     hit = probe.is_some_and(|p| p(&key, length));
                 }
-                let cs = if hit { CacheStatus::Hit } else { CacheStatus::Miss };
+                let cs = if hit {
+                    CacheStatus::Hit
+                } else {
+                    CacheStatus::Miss
+                };
                 (HttpStatus::PARTIAL_CONTENT, cs, length)
             }
         };
@@ -262,41 +278,48 @@ impl Simulator {
             partitions[pop.raw() as usize].push((i, req));
         }
         let total: usize = partitions.iter().map(Vec::len).sum();
-        let mut slots: Vec<Option<LogRecord>> = (0..total).map(|_| None).collect();
-        let out = Mutex::new(&mut slots);
 
-        crossbeam::thread::scope(|scope| {
-            for (pop_idx, part) in partitions.into_iter().enumerate() {
-                if part.is_empty() {
-                    continue;
-                }
-                let pops = &self.pops;
-                let out = &out;
-                let this = &*self;
-                scope.spawn(move |_| {
-                    let pop_id = PopId::new(pop_idx as u16);
-                    let mut local = Vec::with_capacity(part.len());
-                    if this.escalates() {
-                        // Lock per request so sibling probes can interleave.
-                        for (i, req) in part {
+        // Each worker returns its own (position, record) vector; the merge
+        // into input order happens after the scope joins, so no thread ever
+        // contends on a shared output lock.
+        let merged: Vec<Vec<(usize, LogRecord)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .enumerate()
+                .filter(|(_, part)| !part.is_empty())
+                .map(|(pop_idx, part)| {
+                    let pops = &self.pops;
+                    let this = &*self;
+                    scope.spawn(move |_| {
+                        let pop_id = PopId::new(pop_idx as u16);
+                        let mut local = Vec::with_capacity(part.len());
+                        if this.escalates() {
+                            // Lock per request so sibling probes can interleave.
+                            for (i, req) in part {
+                                let mut pop = pops[pop_idx].lock();
+                                local.push((i, this.serve_at(&mut pop, pop_id, req)));
+                            }
+                        } else {
                             let mut pop = pops[pop_idx].lock();
-                            local.push((i, this.serve_at(&mut pop, pop_id, req)));
+                            for (i, req) in part {
+                                local.push((i, Self::serve_local(&mut pop, pop_id, req)));
+                            }
                         }
-                    } else {
-                        let mut pop = pops[pop_idx].lock();
-                        for (i, req) in part {
-                            local.push((i, Self::serve_local(&mut pop, pop_id, req)));
-                        }
-                    }
-                    let mut slots = out.lock();
-                    for (i, rec) in local {
-                        slots[i] = Some(rec);
-                    }
-                });
-            }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay worker panicked"))
+                .collect()
         })
         .expect("replay threads panicked");
 
+        let mut slots: Vec<Option<LogRecord>> = (0..total).map(|_| None).collect();
+        for (i, rec) in merged.into_iter().flatten() {
+            slots[i] = Some(rec);
+        }
         slots
             .into_iter()
             .map(|s| s.expect("every slot filled"))
@@ -397,11 +420,26 @@ mod tests {
     #[test]
     fn chunks_cached_independently() {
         let sim = Simulator::new(&SimConfig::default_edge());
-        let k0 = RequestKind::Range { offset: 0, length: CHUNK_BYTES };
-        let k1 = RequestKind::Range { offset: CHUNK_BYTES, length: CHUNK_BYTES };
-        assert_eq!(sim.serve(request(1, 1, 0, k0)).cache_status, CacheStatus::Miss);
-        assert_eq!(sim.serve(request(1, 1, 1, k1)).cache_status, CacheStatus::Miss);
-        assert_eq!(sim.serve(request(1, 2, 2, k0)).cache_status, CacheStatus::Hit);
+        let k0 = RequestKind::Range {
+            offset: 0,
+            length: CHUNK_BYTES,
+        };
+        let k1 = RequestKind::Range {
+            offset: CHUNK_BYTES,
+            length: CHUNK_BYTES,
+        };
+        assert_eq!(
+            sim.serve(request(1, 1, 0, k0)).cache_status,
+            CacheStatus::Miss
+        );
+        assert_eq!(
+            sim.serve(request(1, 1, 1, k1)).cache_status,
+            CacheStatus::Miss
+        );
+        assert_eq!(
+            sim.serve(request(1, 2, 2, k0)).cache_status,
+            CacheStatus::Hit
+        );
         let rec = sim.serve(request(1, 2, 3, k1));
         assert_eq!(rec.cache_status, CacheStatus::Hit);
         assert_eq!(rec.status, HttpStatus::PARTIAL_CONTENT);
@@ -490,7 +528,8 @@ mod tests {
             CacheStatus::Hit
         );
         assert_eq!(
-            sim.serve(request(1, 1, 100, RequestKind::Full)).cache_status,
+            sim.serve(request(1, 1, 100, RequestKind::Full))
+                .cache_status,
             CacheStatus::Miss,
             "stale entry revalidates as a miss"
         );

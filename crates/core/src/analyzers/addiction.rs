@@ -113,7 +113,10 @@ impl AddictionAnalyzer {
     /// Creates an analyzer for the sites in `map`.
     pub fn new(map: SiteMap) -> Self {
         let n = map.len();
-        Self { map, per_object: (0..n).map(|_| HashMap::new()).collect() }
+        Self {
+            map,
+            per_object: (0..n).map(|_| HashMap::new()).collect(),
+        }
     }
 }
 
@@ -134,9 +137,15 @@ impl Analyzer for AddictionAnalyzer {
         let mut video = Vec::with_capacity(self.map.len());
         let mut image = Vec::with_capacity(self.map.len());
         for (i, publisher) in self.map.publishers().enumerate() {
-            let code = self.map.code(publisher).expect("publisher in map").to_string();
-            for (class, out) in [(ContentClass::Video, &mut video), (ContentClass::Image, &mut image)]
-            {
+            let code = self
+                .map
+                .code(publisher)
+                .expect("publisher in map")
+                .to_string();
+            for (class, out) in [
+                (ContentClass::Video, &mut video),
+                (ContentClass::Image, &mut image),
+            ] {
                 let points: Vec<RepeatPoint> = self.per_object[i]
                     .values()
                     .filter(|o| o.class == Some(class))
@@ -148,7 +157,11 @@ impl Analyzer for AddictionAnalyzer {
                     .collect();
                 let per_user_ecdf =
                     Ecdf::from_samples(points.iter().map(|p| p.max_by_one_user as f64));
-                out.push(AddictionDistribution { code: code.clone(), points, per_user_ecdf });
+                out.push(AddictionDistribution {
+                    code: code.clone(),
+                    points,
+                    per_user_ecdf,
+                });
             }
         }
         AddictionReport { video, image }
@@ -228,8 +241,22 @@ mod tests {
             record(3, 2, 1, FileFormat::Mp4),
         ];
         let report = run_analyzer(AddictionAnalyzer::new(SiteMap::paper_five()), &records);
-        assert_eq!(report.site("P-1", ContentClass::Image).unwrap().points.len(), 1);
-        assert_eq!(report.site("P-1", ContentClass::Video).unwrap().points.len(), 1);
+        assert_eq!(
+            report
+                .site("P-1", ContentClass::Image)
+                .unwrap()
+                .points
+                .len(),
+            1
+        );
+        assert_eq!(
+            report
+                .site("P-1", ContentClass::Video)
+                .unwrap()
+                .points
+                .len(),
+            1
+        );
         assert!(report.site("P-1", ContentClass::Other).is_none());
     }
 

@@ -63,7 +63,11 @@ impl AgingAnalyzer {
     /// Creates an analyzer reporting ages up to `days` (the paper uses 7).
     pub fn new(map: SiteMap, days: usize) -> Self {
         let n = map.len();
-        Self { map, days: days.max(1), spans: vec![HashMap::new(); n] }
+        Self {
+            map,
+            days: days.max(1),
+            spans: vec![HashMap::new(); n],
+        }
     }
 }
 
@@ -99,10 +103,20 @@ impl Analyzer for AgingAnalyzer {
                 }
                 let fraction_by_day = counts
                     .iter()
-                    .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+                    .map(|&c| {
+                        if total == 0 {
+                            0.0
+                        } else {
+                            c as f64 / total as f64
+                        }
+                    })
                     .collect();
                 AgingCurve {
-                    code: self.map.code(publisher).expect("publisher in map").to_string(),
+                    code: self
+                        .map
+                        .code(publisher)
+                        .expect("publisher in map")
+                        .to_string(),
                     fraction_by_day,
                     objects: total,
                 }

@@ -90,7 +90,10 @@ impl CacheAnalyzer {
     /// Creates an analyzer for the sites in `map`.
     pub fn new(map: SiteMap) -> Self {
         let n = map.len();
-        Self { map, per_object: vec![HashMap::new(); n] }
+        Self {
+            map,
+            per_object: vec![HashMap::new(); n],
+        }
     }
 }
 
@@ -115,9 +118,15 @@ impl Analyzer for CacheAnalyzer {
         let mut image = Vec::with_capacity(self.map.len());
         let mut summaries = Vec::with_capacity(self.map.len());
         for (i, publisher) in self.map.publishers().enumerate() {
-            let code = self.map.code(publisher).expect("publisher in map").to_string();
-            for (class, out) in [(ContentClass::Video, &mut video), (ContentClass::Image, &mut image)]
-            {
+            let code = self
+                .map
+                .code(publisher)
+                .expect("publisher in map")
+                .to_string();
+            for (class, out) in [
+                (ContentClass::Video, &mut video),
+                (ContentClass::Image, &mut image),
+            ] {
                 let ratios: Vec<f64> = self.per_object[i]
                     .values()
                     .filter(|o| o.class == Some(class) && o.total > 0)
@@ -131,7 +140,11 @@ impl Analyzer for CacheAnalyzer {
             }
             summaries.push(site_summary(code, self.per_object[i].values()));
         }
-        CacheReport { video, image, summaries }
+        CacheReport {
+            video,
+            image,
+            summaries,
+        }
     }
 }
 
@@ -158,7 +171,11 @@ where
         let mut ys = Vec::with_capacity(deciles);
         for d in 0..deciles {
             let lo = d * per;
-            let hi = if d + 1 == deciles { all.len() } else { (d + 1) * per };
+            let hi = if d + 1 == deciles {
+                all.len()
+            } else {
+                (d + 1) * per
+            };
             let slice = &all[lo..hi];
             let t: u64 = slice.iter().map(|(t, _)| t).sum();
             let h: u64 = slice.iter().map(|(_, h)| h).sum();
@@ -172,7 +189,11 @@ where
         None
     };
 
-    SiteCacheSummary { code, overall_hit_ratio, popularity_correlation }
+    SiteCacheSummary {
+        code,
+        overall_hit_ratio,
+        popularity_correlation,
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +207,11 @@ mod tests {
             publisher: PublisherId::new(publisher),
             object: ObjectId::new(object),
             format,
-            cache_status: if hit { CacheStatus::Hit } else { CacheStatus::Miss },
+            cache_status: if hit {
+                CacheStatus::Hit
+            } else {
+                CacheStatus::Miss
+            },
             status: HttpStatus::OK,
             ..LogRecord::example()
         }
@@ -231,7 +256,11 @@ mod tests {
             }
         }
         let report = run_analyzer(CacheAnalyzer::new(SiteMap::paper_five()), &records);
-        let corr = report.summary("P-1").unwrap().popularity_correlation.unwrap();
+        let corr = report
+            .summary("P-1")
+            .unwrap()
+            .popularity_correlation
+            .unwrap();
         assert!(corr > 0.9, "decile correlation {corr}");
     }
 
@@ -239,6 +268,10 @@ mod tests {
     fn correlation_needs_enough_objects() {
         let records = vec![record(1, 1, FileFormat::Mp4, true)];
         let report = run_analyzer(CacheAnalyzer::new(SiteMap::paper_five()), &records);
-        assert!(report.summary("V-1").unwrap().popularity_correlation.is_none());
+        assert!(report
+            .summary("V-1")
+            .unwrap()
+            .popularity_correlation
+            .is_none());
     }
 }

@@ -10,8 +10,8 @@
 use super::Analyzer;
 use oat_httplog::{ContentClass, LogRecord, ObjectId, PublisherId, UserId};
 use oat_timeseries::{
-    classify_trend, cluster_envelope, distance::pairwise_matrix, hierarchical, kmedoids,
-    normalize, Linkage, Merge, Metric, TrendClass,
+    classify_trend, cluster_envelope, distance::pairwise_matrix_with_threads, hierarchical,
+    kmedoids, normalize, Linkage, Merge, Metric, TrendClass,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -34,6 +34,11 @@ pub struct ClusteringConfig {
     /// Moving-average half-width (hours) applied before DTW; smooths the
     /// Poisson sparseness of per-object hourly counts.
     pub smooth_half_width: usize,
+    /// Worker threads for the pairwise DTW matrix (0 = all available
+    /// cores). A throughput knob only: the matrix — and hence every
+    /// downstream cluster assignment — is bit-identical at any setting.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for ClusteringConfig {
@@ -45,6 +50,7 @@ impl Default for ClusteringConfig {
             band: Some(24),
             linkage: Linkage::Ward,
             smooth_half_width: 3,
+            threads: 0,
         }
     }
 }
@@ -201,7 +207,13 @@ impl Analyzer for ClusteringAnalyzer {
             })
             .collect();
 
-        let Some(matrix) = pairwise_matrix(&series, Metric::Dtw { band: self.config.band }) else {
+        let Some(matrix) = pairwise_matrix_with_threads(
+            &series,
+            Metric::Dtw {
+                band: self.config.band,
+            },
+            self.config.threads,
+        ) else {
             return empty;
         };
         let dendrogram = hierarchical::cluster(&matrix, self.config.linkage);
@@ -282,9 +294,7 @@ mod tests {
         let mut records = Vec::new();
         // Five diurnal objects.
         for obj in 0..5 {
-            records.extend(records_for(obj, |h| {
-                if h % 24 < 6 { 4 } else { 1 }
-            }));
+            records.extend(records_for(obj, |h| if h % 24 < 6 { 4 } else { 1 }));
         }
         // Five short-lived objects (die within the first day).
         for obj in 10..15 {
@@ -292,26 +302,67 @@ mod tests {
         }
         // Five flash-crowd objects (mid-week spike).
         for obj in 20..25 {
-            records.extend(records_for(obj, |h| if (80..88).contains(&h) { 20 } else { 0 }));
+            records.extend(records_for(
+                obj,
+                |h| if (80..88).contains(&h) { 20 } else { 0 },
+            ));
         }
         records.sort_by_key(|r| r.timestamp);
 
-        let config = ClusteringConfig { k: 3, min_requests: 10, ..Default::default() };
+        let config = ClusteringConfig {
+            k: 3,
+            min_requests: 10,
+            ..Default::default()
+        };
         let report = run_analyzer(analyzer(config), &records);
         assert_eq!(report.clustered_objects, 15);
         assert_eq!(report.clusters.len(), 3);
         let labels = report.labels();
         assert!(labels.contains(&TrendClass::Diurnal), "labels {labels:?}");
-        assert!(labels.contains(&TrendClass::ShortLived), "labels {labels:?}");
-        assert!(labels.contains(&TrendClass::FlashCrowd), "labels {labels:?}");
+        assert!(
+            labels.contains(&TrendClass::ShortLived),
+            "labels {labels:?}"
+        );
+        assert!(
+            labels.contains(&TrendClass::FlashCrowd),
+            "labels {labels:?}"
+        );
         // Each cluster holds exactly its planted family.
         for c in &report.clusters {
-            assert_eq!(c.size, 5, "cluster sizes {:?}", report.clusters.iter().map(|c| c.size).collect::<Vec<_>>());
+            assert_eq!(
+                c.size,
+                5,
+                "cluster sizes {:?}",
+                report.clusters.iter().map(|c| c.size).collect::<Vec<_>>()
+            );
             assert!((c.share - 1.0 / 3.0).abs() < 1e-9);
             assert_eq!(c.medoid.len(), HOURS);
             assert_eq!(c.std_dev.len(), HOURS);
         }
         assert_eq!(report.merges.len(), 14);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_report() {
+        let mut records = Vec::new();
+        for obj in 0..4 {
+            records.extend(records_for(obj, |h| if h % 24 < 6 { 4 } else { 1 }));
+        }
+        for obj in 10..14 {
+            records.extend(records_for(obj, |h| if h < 8 { 20 } else { 0 }));
+        }
+        records.sort_by_key(|r| r.timestamp);
+        let config = |threads| ClusteringConfig {
+            k: 2,
+            min_requests: 10,
+            threads,
+            ..Default::default()
+        };
+        let serial = run_analyzer(analyzer(config(1)), &records);
+        for threads in [0, 2, 8] {
+            let parallel = run_analyzer(analyzer(config(threads)), &records);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -326,7 +377,10 @@ mod tests {
             ..LogRecord::example()
         });
         let report = run_analyzer(
-            analyzer(ClusteringConfig { min_requests: 10, ..Default::default() }),
+            analyzer(ClusteringConfig {
+                min_requests: 10,
+                ..Default::default()
+            }),
             &records,
         );
         // Only one candidate remains → empty clustering.

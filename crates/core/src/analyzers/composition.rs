@@ -112,7 +112,11 @@ impl Analyzer for CompositionAnalyzer {
             .publishers()
             .enumerate()
             .map(|(i, publisher)| SiteComposition {
-                code: self.map.code(publisher).expect("publisher in map").to_string(),
+                code: self
+                    .map
+                    .code(publisher)
+                    .expect("publisher in map")
+                    .to_string(),
                 objects: [
                     self.seen_objects[i][0].len() as u64,
                     self.seen_objects[i][1].len() as u64,
@@ -180,6 +184,9 @@ mod tests {
     fn unknown_publisher_ignored() {
         let records = vec![record(99, 1, FileFormat::Mp4, 1)];
         let report = run_analyzer(CompositionAnalyzer::new(SiteMap::paper_five()), &records);
-        assert!(report.sites.iter().all(|s| s.requests.iter().sum::<u64>() == 0));
+        assert!(report
+            .sites
+            .iter()
+            .all(|s| s.requests.iter().sum::<u64>() == 0));
     }
 }

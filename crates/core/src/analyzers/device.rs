@@ -71,7 +71,10 @@ impl DeviceAnalyzer {
     /// Creates an analyzer for the sites in `map`.
     pub fn new(map: SiteMap) -> Self {
         let n = map.len();
-        Self { map, users: vec![HashMap::new(); n] }
+        Self {
+            map,
+            users: vec![HashMap::new(); n],
+        }
     }
 }
 
@@ -105,7 +108,11 @@ impl Analyzer for DeviceAnalyzer {
                     }
                 }
                 DeviceShare {
-                    code: self.map.code(publisher).expect("publisher in map").to_string(),
+                    code: self
+                        .map
+                        .code(publisher)
+                        .expect("publisher in map")
+                        .to_string(),
                     user_pct,
                     users: total,
                 }
@@ -154,7 +161,10 @@ mod tests {
     fn first_ua_wins_per_user() {
         let records = vec![record(1, 1, DESKTOP_UA), record(1, 1, ANDROID_UA)];
         let report = run_analyzer(DeviceAnalyzer::new(SiteMap::paper_five()), &records);
-        assert_eq!(report.site("V-1").unwrap().pct(DeviceCategory::Desktop), 100.0);
+        assert_eq!(
+            report.site("V-1").unwrap().pct(DeviceCategory::Desktop),
+            100.0
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl Analyzer for IatAnalyzer {
             .publishers()
             .zip(self.gaps)
             .map(|(publisher, gaps)| IatDistribution {
-                code: self.map.code(publisher).expect("publisher in map").to_string(),
+                code: self
+                    .map
+                    .code(publisher)
+                    .expect("publisher in map")
+                    .to_string(),
                 ecdf: Ecdf::from_samples(gaps),
             })
             .collect();

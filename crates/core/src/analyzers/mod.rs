@@ -2,8 +2,9 @@
 //!
 //! Every analyzer implements [`Analyzer`]: it consumes records one at a
 //! time (`observe`) and produces its figure's data on `finish`. The
-//! [`experiment`](crate::experiment) runner drives all of them in a single
-//! pass over the trace.
+//! analyzers are mutually independent, so the
+//! [`experiment`](crate::experiment) runner fans them out over scoped
+//! threads, each streaming the shared record slice once.
 
 use oat_httplog::LogRecord;
 

@@ -62,7 +62,10 @@ impl PopularityAnalyzer {
     /// Creates an analyzer for the sites in `map`.
     pub fn new(map: SiteMap) -> Self {
         let n = map.len();
-        Self { map, counts: vec![HashMap::new(); n] }
+        Self {
+            map,
+            counts: vec![HashMap::new(); n],
+        }
     }
 }
 
@@ -83,9 +86,15 @@ impl Analyzer for PopularityAnalyzer {
         let mut video = Vec::with_capacity(self.map.len());
         let mut image = Vec::with_capacity(self.map.len());
         for (i, publisher) in self.map.publishers().enumerate() {
-            let code = self.map.code(publisher).expect("publisher in map").to_string();
-            for (class, out) in [(ContentClass::Video, &mut video), (ContentClass::Image, &mut image)]
-            {
+            let code = self
+                .map
+                .code(publisher)
+                .expect("publisher in map")
+                .to_string();
+            for (class, out) in [
+                (ContentClass::Video, &mut video),
+                (ContentClass::Image, &mut image),
+            ] {
                 let counts: Vec<u64> = self.counts[i]
                     .values()
                     .filter(|(c, _)| *c == class)

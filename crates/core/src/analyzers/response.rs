@@ -75,7 +75,11 @@ impl ResponseAnalyzer {
     /// Creates an analyzer for the sites in `map`.
     pub fn new(map: SiteMap) -> Self {
         let n = map.len();
-        Self { map, video: vec![HashMap::new(); n], image: vec![HashMap::new(); n] }
+        Self {
+            map,
+            video: vec![HashMap::new(); n],
+            image: vec![HashMap::new(); n],
+        }
     }
 }
 

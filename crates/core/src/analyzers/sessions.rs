@@ -116,7 +116,11 @@ impl Analyzer for SessionAnalyzer {
             }
             Some(open) => {
                 let finished = *open;
-                *open = OpenSession { start: t, last: t, requests: 1 };
+                *open = OpenSession {
+                    start: t,
+                    last: t,
+                    requests: 1,
+                };
                 Self::close(
                     &mut self.lengths[site],
                     &mut self.request_totals[site],
@@ -125,8 +129,14 @@ impl Analyzer for SessionAnalyzer {
                 );
             }
             None => {
-                self.open[site]
-                    .insert(record.user, OpenSession { start: t, last: t, requests: 1 });
+                self.open[site].insert(
+                    record.user,
+                    OpenSession {
+                        start: t,
+                        last: t,
+                        requests: 1,
+                    },
+                );
             }
         }
     }
@@ -151,7 +161,11 @@ impl Analyzer for SessionAnalyzer {
             .map(|(i, publisher)| {
                 let sessions = self.session_counts[i];
                 SessionDistribution {
-                    code: self.map.code(publisher).expect("publisher in map").to_string(),
+                    code: self
+                        .map
+                        .code(publisher)
+                        .expect("publisher in map")
+                        .to_string(),
                     ecdf: Ecdf::from_samples(self.lengths[i].iter().copied()),
                     sessions,
                     mean_requests: if sessions == 0 {
@@ -162,7 +176,10 @@ impl Analyzer for SessionAnalyzer {
                 }
             })
             .collect();
-        SessionReport { sites, timeout_secs: self.timeout_secs }
+        SessionReport {
+            sites,
+            timeout_secs: self.timeout_secs,
+        }
     }
 }
 
@@ -186,7 +203,7 @@ mod tests {
         let records = vec![
             record(1, 1, 0),
             record(1, 1, 30),
-            record(1, 1, 90), // session 1: length 90, 3 requests
+            record(1, 1, 90),       // session 1: length 90, 3 requests
             record(1, 1, 90 + 601), // session 2 starts (gap > 600)
             record(1, 1, 90 + 631), // session 2: length 30, 2 requests
         ];
@@ -211,8 +228,10 @@ mod tests {
     #[test]
     fn custom_timeout() {
         let records = vec![record(1, 1, 0), record(1, 1, 50)];
-        let strict =
-            run_analyzer(SessionAnalyzer::with_timeout(SiteMap::paper_five(), 10), &records);
+        let strict = run_analyzer(
+            SessionAnalyzer::with_timeout(SiteMap::paper_five(), 10),
+            &records,
+        );
         assert_eq!(strict.site("V-1").unwrap().sessions, 2);
         let lax = run_analyzer(
             SessionAnalyzer::with_timeout(SiteMap::paper_five(), 100),
@@ -230,11 +249,7 @@ mod tests {
 
     #[test]
     fn users_and_sites_independent() {
-        let records = vec![
-            record(1, 1, 0),
-            record(1, 2, 1),
-            record(3, 1, 2),
-        ];
+        let records = vec![record(1, 1, 0), record(1, 2, 1), record(3, 1, 2)];
         let report = run_analyzer(SessionAnalyzer::new(SiteMap::paper_five()), &records);
         assert_eq!(report.site("V-1").unwrap().sessions, 2);
         assert_eq!(report.site("P-1").unwrap().sessions, 1);

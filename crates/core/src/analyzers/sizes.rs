@@ -75,7 +75,10 @@ impl SizeAnalyzer {
     /// Creates an analyzer for the sites in `map`.
     pub fn new(map: SiteMap) -> Self {
         let n = map.len();
-        Self { map, seen: vec![HashMap::new(); n] }
+        Self {
+            map,
+            seen: vec![HashMap::new(); n],
+        }
     }
 }
 
@@ -95,9 +98,15 @@ impl Analyzer for SizeAnalyzer {
         let mut video = Vec::with_capacity(self.map.len());
         let mut image = Vec::with_capacity(self.map.len());
         for (i, publisher) in self.map.publishers().enumerate() {
-            let code = self.map.code(publisher).expect("publisher in map").to_string();
-            for (class, out) in [(ContentClass::Video, &mut video), (ContentClass::Image, &mut image)]
-            {
+            let code = self
+                .map
+                .code(publisher)
+                .expect("publisher in map")
+                .to_string();
+            for (class, out) in [
+                (ContentClass::Video, &mut video),
+                (ContentClass::Image, &mut image),
+            ] {
                 let sizes: Vec<f64> = self.seen[i]
                     .values()
                     .filter(|(c, _)| *c == class)
@@ -158,7 +167,12 @@ mod tests {
         let mut records = Vec::new();
         for i in 0..300 {
             records.push(record(3, i, FileFormat::Jpg, 20_000 + (i % 50) * 100));
-            records.push(record(3, 1_000 + i, FileFormat::Jpg, 600_000 + (i % 50) * 2_000));
+            records.push(record(
+                3,
+                1_000 + i,
+                FileFormat::Jpg,
+                600_000 + (i % 50) * 2_000,
+            ));
         }
         let report = run_analyzer(SizeAnalyzer::new(SiteMap::paper_five()), &records);
         let p1 = report.site("P-1", ContentClass::Image).unwrap();

@@ -85,7 +85,10 @@ impl TemporalAnalyzer {
     /// Creates an analyzer for the sites in `map`.
     pub fn new(map: SiteMap) -> Self {
         let n = map.len();
-        Self { map, counts: vec![[0; 24]; n] }
+        Self {
+            map,
+            counts: vec![[0; 24]; n],
+        }
     }
 }
 
@@ -113,7 +116,11 @@ impl Analyzer for TemporalAnalyzer {
                     }
                 }
                 HourlyProfile {
-                    code: self.map.code(publisher).expect("publisher in map").to_string(),
+                    code: self
+                        .map
+                        .code(publisher)
+                        .expect("publisher in map")
+                        .to_string(),
                     share_pct,
                     total,
                 }
@@ -140,8 +147,7 @@ mod tests {
 
     #[test]
     fn shares_sum_to_hundred() {
-        let records: Vec<LogRecord> =
-            (0..240).map(|i| record_at_local_hour(1, i % 24)).collect();
+        let records: Vec<LogRecord> = (0..240).map(|i| record_at_local_hour(1, i % 24)).collect();
         let report = run_analyzer(TemporalAnalyzer::new(SiteMap::paper_five()), &records);
         let v1 = report.site("V-1").unwrap();
         assert_eq!(v1.total, 240);

@@ -10,10 +10,10 @@ use crate::analyzers::{
     iat::{IatAnalyzer, IatReport},
     popularity::{PopularityAnalyzer, PopularityReport},
     response::{ResponseAnalyzer, ResponseReport},
+    run_analyzer,
     sessions::{SessionAnalyzer, SessionReport},
     sizes::{SizeAnalyzer, SizeReport},
     temporal::{TemporalAnalyzer, TemporalReport},
-    Analyzer,
 };
 use crate::sitemap::SiteMap;
 use oat_cdnsim::{ServeStats, SimConfig, Simulator};
@@ -52,7 +52,10 @@ impl ExperimentConfig {
     /// Paper-scale run (~5 M records; minutes of wall-clock). Per-PoP
     /// capacity is provisioned for the full catalogs.
     pub fn paper() -> Self {
-        let mut config = Self { trace: TraceConfig::paper_week(), ..Self::small() };
+        let mut config = Self {
+            trace: TraceConfig::paper_week(),
+            ..Self::small()
+        };
         config.sim.cache_capacity_bytes = 64_000_000_000;
         config
     }
@@ -156,7 +159,12 @@ pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult, ExperimentErro
 }
 
 /// Analyzes an existing record stream (e.g. loaded from disk) with every
-/// figure analyzer in one pass.
+/// figure analyzer.
+///
+/// The analyzers are mutually independent, so each drains the shared
+/// record slice on its own scoped thread and the results are joined in a
+/// fixed order — the output is identical to the serial single-pass
+/// version regardless of scheduling.
 #[allow(clippy::too_many_arguments)]
 pub fn analyze(
     records: &[LogRecord],
@@ -168,18 +176,18 @@ pub fn analyze(
     sim_stats: ServeStats,
 ) -> ExperimentResult {
     let hours = (duration_secs / 3600) as usize;
-    let mut composition = CompositionAnalyzer::new(map.clone());
-    let mut temporal = TemporalAnalyzer::new(map.clone());
-    let mut devices = DeviceAnalyzer::new(map.clone());
-    let mut sizes = SizeAnalyzer::new(map.clone());
-    let mut popularity = PopularityAnalyzer::new(map.clone());
-    let mut aging = AgingAnalyzer::new(map.clone(), (duration_secs / 86_400).max(1) as usize);
-    let mut iat = IatAnalyzer::new(map.clone());
-    let mut sessions = SessionAnalyzer::new(map.clone());
-    let mut addiction = AddictionAnalyzer::new(map.clone());
-    let mut cache = CacheAnalyzer::new(map.clone());
-    let mut responses = ResponseAnalyzer::new(map.clone());
-    let mut clusterers: Vec<ClusteringAnalyzer> = clustering_targets
+    let composition = CompositionAnalyzer::new(map.clone());
+    let temporal = TemporalAnalyzer::new(map.clone());
+    let devices = DeviceAnalyzer::new(map.clone());
+    let sizes = SizeAnalyzer::new(map.clone());
+    let popularity = PopularityAnalyzer::new(map.clone());
+    let aging = AgingAnalyzer::new(map.clone(), (duration_secs / 86_400).max(1) as usize);
+    let iat = IatAnalyzer::new(map.clone());
+    let sessions = SessionAnalyzer::new(map.clone());
+    let addiction = AddictionAnalyzer::new(map.clone());
+    let cache = CacheAnalyzer::new(map.clone());
+    let responses = ResponseAnalyzer::new(map.clone());
+    let clusterers: Vec<ClusteringAnalyzer> = clustering_targets
         .iter()
         .filter_map(|(code, class)| {
             let publisher = map
@@ -196,40 +204,47 @@ pub fn analyze(
         })
         .collect();
 
-    // Single streaming pass.
-    for record in records {
-        composition.observe(record);
-        temporal.observe(record);
-        devices.observe(record);
-        sizes.observe(record);
-        popularity.observe(record);
-        aging.observe(record);
-        iat.observe(record);
-        sessions.observe(record);
-        addiction.observe(record);
-        cache.observe(record);
-        responses.observe(record);
-        for c in &mut clusterers {
-            c.observe(record);
-        }
-    }
+    // Fan out: every analyzer streams the shared slice on its own thread.
+    // Each is a pure fold over `records`, so concurrency only reorders
+    // wall-clock work, never the per-analyzer arithmetic.
+    crossbeam::thread::scope(|scope| {
+        let composition = scope.spawn(move |_| run_analyzer(composition, records));
+        let temporal = scope.spawn(move |_| run_analyzer(temporal, records));
+        let devices = scope.spawn(move |_| run_analyzer(devices, records));
+        let sizes = scope.spawn(move |_| run_analyzer(sizes, records));
+        let popularity = scope.spawn(move |_| run_analyzer(popularity, records));
+        let aging = scope.spawn(move |_| run_analyzer(aging, records));
+        let iat = scope.spawn(move |_| run_analyzer(iat, records));
+        let sessions = scope.spawn(move |_| run_analyzer(sessions, records));
+        let addiction = scope.spawn(move |_| run_analyzer(addiction, records));
+        let cache = scope.spawn(move |_| run_analyzer(cache, records));
+        let responses = scope.spawn(move |_| run_analyzer(responses, records));
+        let clusterers: Vec<_> = clusterers
+            .into_iter()
+            .map(|c| scope.spawn(move |_| run_analyzer(c, records)))
+            .collect();
 
-    ExperimentResult {
-        composition: composition.finish(),
-        temporal: temporal.finish(),
-        devices: devices.finish(),
-        sizes: sizes.finish(),
-        popularity: popularity.finish(),
-        aging: aging.finish(),
-        clusterings: clusterers.into_iter().map(Analyzer::finish).collect(),
-        iat: iat.finish(),
-        sessions: sessions.finish(),
-        addiction: addiction.finish(),
-        cache: cache.finish(),
-        responses: responses.finish(),
-        records: records.len() as u64,
-        sim_stats,
-    }
+        ExperimentResult {
+            composition: composition.join().expect("composition analyzer panicked"),
+            temporal: temporal.join().expect("temporal analyzer panicked"),
+            devices: devices.join().expect("device analyzer panicked"),
+            sizes: sizes.join().expect("size analyzer panicked"),
+            popularity: popularity.join().expect("popularity analyzer panicked"),
+            aging: aging.join().expect("aging analyzer panicked"),
+            clusterings: clusterers
+                .into_iter()
+                .map(|h| h.join().expect("clustering analyzer panicked"))
+                .collect(),
+            iat: iat.join().expect("iat analyzer panicked"),
+            sessions: sessions.join().expect("session analyzer panicked"),
+            addiction: addiction.join().expect("addiction analyzer panicked"),
+            cache: cache.join().expect("cache analyzer panicked"),
+            responses: responses.join().expect("response analyzer panicked"),
+            records: records.len() as u64,
+            sim_stats,
+        }
+    })
+    .expect("analyzer thread panicked")
 }
 
 #[cfg(test)]

@@ -109,8 +109,7 @@ pub fn write_csvs(result: &ExperimentResult, dir: &Path) -> io::Result<Vec<Strin
     // Fig 8 — cluster inventory; Fig 9/10 — medoid series.
     for clustering in &result.clusterings {
         let tag = clustering.code.to_lowercase().replace('-', "");
-        let mut summary =
-            String::from("cluster,label,size,share\n");
+        let mut summary = String::from("cluster,label,size,share\n");
         for (i, c) in clustering.clusters.iter().enumerate() {
             summary.push_str(&format!("{i},{},{},{:.4}\n", c.label, c.size, c.share));
         }
@@ -145,8 +144,16 @@ pub fn write_csvs(result: &ExperimentResult, dir: &Path) -> io::Result<Vec<Strin
 
     // Fig 13 — scatter points; Fig 14 — per-user CDFs.
     for (scatter_name, cdf_name, list) in [
-        ("fig13_video_scatter.csv", "fig14_video_per_user.csv", &result.addiction.video),
-        ("fig13_image_scatter.csv", "fig14_image_per_user.csv", &result.addiction.image),
+        (
+            "fig13_video_scatter.csv",
+            "fig14_video_per_user.csv",
+            &result.addiction.video,
+        ),
+        (
+            "fig13_image_scatter.csv",
+            "fig14_image_per_user.csv",
+            &result.addiction.image,
+        ),
     ] {
         let mut scatter = String::from("site,requests,users\n");
         for d in list {
@@ -183,8 +190,10 @@ pub fn write_csvs(result: &ExperimentResult, dir: &Path) -> io::Result<Vec<Strin
         summary.push_str(&format!(
             "{},{},{}\n",
             s.code,
-            s.overall_hit_ratio.map_or(String::new(), |r| format!("{r:.4}")),
-            s.popularity_correlation.map_or(String::new(), |c| format!("{c:.4}")),
+            s.overall_hit_ratio
+                .map_or(String::new(), |r| format!("{r:.4}")),
+            s.popularity_correlation
+                .map_or(String::new(), |c| format!("{c:.4}")),
         ));
     }
     emit("fig15_summary.csv", summary)?;
@@ -232,8 +241,8 @@ mod tests {
         // 16 figures → at least 17 files (clusterings add two each).
         assert!(files.len() >= 17, "got {files:?}");
         for prefix in [
-            "fig01", "fig03", "fig04", "fig05a", "fig05b", "fig06a", "fig06b", "fig07",
-            "fig08", "fig09_10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig01", "fig03", "fig04", "fig05a", "fig05b", "fig06a", "fig06b", "fig07", "fig08",
+            "fig09_10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
         ] {
             assert!(
                 files.iter().any(|f| f.starts_with(prefix)),
@@ -258,8 +267,7 @@ mod tests {
         let dir = std::env::temp_dir().join("oat-export-monotone");
         let _ = std::fs::remove_dir_all(&dir);
         write_csvs(&result(), &dir).expect("export");
-        let content =
-            std::fs::read_to_string(dir.join("fig11_iat.csv")).expect("read fig11");
+        let content = std::fs::read_to_string(dir.join("fig11_iat.csv")).expect("read fig11");
         let mut last: std::collections::HashMap<String, f64> = Default::default();
         for line in content.lines().skip(1) {
             let mut parts = line.split(',');

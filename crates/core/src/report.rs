@@ -74,8 +74,15 @@ pub fn render_composition(report: &CompositionReport) -> String {
 /// Figure 3: hourly traffic shares.
 pub fn render_temporal(report: &TemporalReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 3 — hourly traffic share (% of site volume, local time)");
-    let _ = writeln!(out, "{:<5} {:>9} {:>11} {:>15} {:>11}", "site", "peak hour", "trough hour", "peak/trough", "late-night?");
+    let _ = writeln!(
+        out,
+        "Fig 3 — hourly traffic share (% of site volume, local time)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<5} {:>9} {:>11} {:>15} {:>11}",
+        "site", "peak hour", "trough hour", "peak/trough", "late-night?"
+    );
     for s in &report.sites {
         let _ = writeln!(
             out,
@@ -83,7 +90,8 @@ pub fn render_temporal(report: &TemporalReport) -> String {
             s.code,
             s.peak_hour(),
             s.trough_hour(),
-            s.peak_to_trough().map_or("-".to_string(), |r| format!("{r:.2}")),
+            s.peak_to_trough()
+                .map_or("-".to_string(), |r| format!("{r:.2}")),
             if s.peaks_late_night() { "yes" } else { "no" },
         );
     }
@@ -94,7 +102,11 @@ pub fn render_temporal(report: &TemporalReport) -> String {
 pub fn render_devices(report: &DeviceReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig 4 — device mix (% of users)");
-    let _ = writeln!(out, "{:<5} {:>8} {:>8} {:>6} {:>6} {:>8}", "site", "desktop", "android", "ios", "misc", "users");
+    let _ = writeln!(
+        out,
+        "{:<5} {:>8} {:>8} {:>6} {:>6} {:>8}",
+        "site", "desktop", "android", "ios", "misc", "users"
+    );
     for s in &report.sites {
         let _ = writeln!(
             out,
@@ -122,7 +134,8 @@ pub fn render_sizes(report: &SizeReport) -> String {
                 "  {:<5} {:>8} {:>12} {:>8.1}% {:>7}",
                 d.code,
                 d.objects,
-                d.median().map_or("-".to_string(), |m| human_bytes(m as u64)),
+                d.median()
+                    .map_or("-".to_string(), |m| human_bytes(m as u64)),
                 100.0 * d.fraction_above_1mb(),
                 d.modes,
             );
@@ -149,8 +162,10 @@ pub fn render_popularity(report: &PopularityReport) -> String {
                 d.code,
                 d.objects,
                 d.requests,
-                d.zipf.map_or("-".to_string(), |z| format!("{:.2}", z.alpha)),
-                d.zipf.map_or("-".to_string(), |z| format!("{:.3}", z.r_squared)),
+                d.zipf
+                    .map_or("-".to_string(), |z| format!("{:.2}", z.alpha)),
+                d.zipf
+                    .map_or("-".to_string(), |z| format!("{:.3}", z.r_squared)),
                 100.0 * d.top_decile_share.unwrap_or(0.0),
                 d.gini.map_or("-".to_string(), |g| format!("{g:.2}")),
             );
@@ -162,12 +177,24 @@ pub fn render_popularity(report: &PopularityReport) -> String {
 /// Figure 7: content aging.
 pub fn render_aging(report: &AgingReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 7 — fraction of objects requested at age >= d days");
-    let days = report.sites.iter().map(|s| s.fraction_by_day.len()).max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "Fig 7 — fraction of objects requested at age >= d days"
+    );
+    let days = report
+        .sites
+        .iter()
+        .map(|s| s.fraction_by_day.len())
+        .max()
+        .unwrap_or(0);
     let header: String = (1..=days).map(|d| format!("{d:>6}")).collect();
     let _ = writeln!(out, "{:<5}{header}", "site");
     for s in &report.sites {
-        let row: String = s.fraction_by_day.iter().map(|f| format!("{f:>6.2}")).collect();
+        let row: String = s
+            .fraction_by_day
+            .iter()
+            .map(|f| format!("{f:>6.2}"))
+            .collect();
         let _ = writeln!(out, "{:<5}{row}", s.code);
     }
     out
@@ -204,14 +231,21 @@ pub fn render_clustering(report: &ClusteringReport) -> String {
 pub fn render_iat(report: &IatReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig 11 — user request inter-arrival times");
-    let _ = writeln!(out, "{:<5} {:>10} {:>10} {:>10}", "site", "p25", "median", "p75");
+    let _ = writeln!(
+        out,
+        "{:<5} {:>10} {:>10} {:>10}",
+        "site", "p25", "median", "p75"
+    );
     for s in &report.sites {
-        let q = |p: f64| {
-            s.ecdf
-                .quantile(p)
-                .map_or("-".to_string(), human_secs)
-        };
-        let _ = writeln!(out, "{:<5} {:>10} {:>10} {:>10}", s.code, q(0.25), q(0.5), q(0.75));
+        let q = |p: f64| s.ecdf.quantile(p).map_or("-".to_string(), human_secs);
+        let _ = writeln!(
+            out,
+            "{:<5} {:>10} {:>10} {:>10}",
+            s.code,
+            q(0.25),
+            q(0.5),
+            q(0.75)
+        );
     }
     out
 }
@@ -247,7 +281,10 @@ pub fn render_sessions(report: &SessionReport) -> String {
 /// Figures 13–14: addiction.
 pub fn render_addiction(report: &AddictionReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 13/14 — repeated access by single users, per object");
+    let _ = writeln!(
+        out,
+        "Fig 13/14 — repeated access by single users, per object"
+    );
     for (label, list) in [("video", &report.video), ("image", &report.image)] {
         let _ = writeln!(out, "  [{label}]");
         let _ = writeln!(
@@ -262,7 +299,8 @@ pub fn render_addiction(report: &AddictionReport) -> String {
                 d.code,
                 d.points.len(),
                 100.0 * d.fraction_above(10.0),
-                d.max_by_one_user().map_or("-".to_string(), |m| format!("{m:.0}")),
+                d.max_by_one_user()
+                    .map_or("-".to_string(), |m| format!("{m:.0}")),
                 d.max_ratio().map_or("-".to_string(), |m| format!("{m:.1}")),
             );
         }
@@ -290,10 +328,12 @@ pub fn render_cache(report: &CacheReport) -> String {
             out,
             "{:<5} {:>9} {:>12} {:>12} {:>10}",
             s.code,
-            s.overall_hit_ratio.map_or("-".to_string(), |r| format!("{:.1}%", 100.0 * r)),
+            s.overall_hit_ratio
+                .map_or("-".to_string(), |r| format!("{:.1}%", 100.0 * r)),
             video.map_or("-".to_string(), |r| format!("{:.2}", r)),
             image.map_or("-".to_string(), |r| format!("{:.2}", r)),
-            s.popularity_correlation.map_or("-".to_string(), |c| format!("{c:.2}")),
+            s.popularity_correlation
+                .map_or("-".to_string(), |c| format!("{c:.2}")),
         );
     }
     out
@@ -388,8 +428,23 @@ mod tests {
         let result = crate::experiment::run(&config).unwrap();
         let text = render_all(&result);
         for needle in [
-            "Fig 1/2", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 7", "Fig 8-10", "Fig 11",
-            "Fig 12", "Fig 13/14", "Fig 15", "Fig 16", "V-1", "V-2", "P-1", "P-2", "S-1",
+            "Fig 1/2",
+            "Fig 3",
+            "Fig 4",
+            "Fig 5",
+            "Fig 6",
+            "Fig 7",
+            "Fig 8-10",
+            "Fig 11",
+            "Fig 12",
+            "Fig 13/14",
+            "Fig 15",
+            "Fig 16",
+            "V-1",
+            "V-2",
+            "P-1",
+            "P-2",
+            "S-1",
         ] {
             assert!(text.contains(needle), "missing {needle} in report:\n{text}");
         }

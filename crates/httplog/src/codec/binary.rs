@@ -75,8 +75,8 @@ pub fn decode<B: Buf>(buf: &mut B) -> Result<LogRecord, BinaryDecodeError> {
     let publisher = PublisherId::new(buf.get_u16_le());
     let object = ObjectId::new(buf.get_u64_le());
     let format_raw = buf.get_u8();
-    let format =
-        format_from_code(format_raw).ok_or(BinaryDecodeError::InvalidFormat { code: format_raw })?;
+    let format = format_from_code(format_raw)
+        .ok_or(BinaryDecodeError::InvalidFormat { code: format_raw })?;
     let object_size = buf.get_u64_le();
     let bytes_served = buf.get_u64_le();
     let user = UserId::new(buf.get_u64_le());
@@ -141,7 +141,10 @@ impl std::fmt::Display for BinaryEncodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::UserAgentTooLong { len } => {
-                write!(f, "user-agent of {len} bytes exceeds the 65535-byte frame limit")
+                write!(
+                    f,
+                    "user-agent of {len} bytes exceeds the 65535-byte frame limit"
+                )
             }
         }
     }
@@ -234,7 +237,10 @@ mod tests {
         let mut buf = BytesMut::new();
         encode(&r, &mut buf).unwrap();
         let mut short = buf.freeze().slice(0..10);
-        assert_eq!(decode(&mut short).unwrap_err(), BinaryDecodeError::Truncated);
+        assert_eq!(
+            decode(&mut short).unwrap_err(),
+            BinaryDecodeError::Truncated
+        );
     }
 
     #[test]
@@ -244,7 +250,10 @@ mod tests {
         encode(&r, &mut buf).unwrap();
         let full = buf.freeze();
         let mut short = full.slice(0..full.len() - 5);
-        assert_eq!(decode(&mut short).unwrap_err(), BinaryDecodeError::Truncated);
+        assert_eq!(
+            decode(&mut short).unwrap_err(),
+            BinaryDecodeError::Truncated
+        );
     }
 
     #[test]
@@ -310,7 +319,10 @@ mod tests {
         assert_eq!(format_from_code(255), None);
         // Stability anchor: Flv is code 0, Bin is the last code.
         assert_eq!(format_code(FileFormat::Flv), 0);
-        assert_eq!(format_code(FileFormat::Bin), FileFormat::ALL.len() as u8 - 1);
+        assert_eq!(
+            format_code(FileFormat::Bin),
+            FileFormat::ALL.len() as u8 - 1
+        );
     }
 
     #[test]

@@ -83,9 +83,11 @@ pub fn decode(line: &str) -> Result<LogRecord, TextDecodeError> {
     let user = UserId::new(parse_hex64(next("user")?, "user")?);
     let user_agent = unescape(next("user_agent")?);
     let cache_token = next("cache_status")?;
-    let cache_status = CacheStatus::from_str_token(cache_token).ok_or_else(|| {
-        TextDecodeError::InvalidField { field: "cache_status", value: cache_token.to_string() }
-    })?;
+    let cache_status =
+        CacheStatus::from_str_token(cache_token).ok_or_else(|| TextDecodeError::InvalidField {
+            field: "cache_status",
+            value: cache_token.to_string(),
+        })?;
     let status_raw = parse_u16(next("status")?, "status")?;
     let status = HttpStatus::new(status_raw).map_err(|_| TextDecodeError::InvalidField {
         field: "status",
@@ -95,10 +97,15 @@ pub fn decode(line: &str) -> Result<LogRecord, TextDecodeError> {
     let tz_field = next("tz_offset")?;
     let tz_offset_secs = tz_field
         .parse::<i32>()
-        .map_err(|_| TextDecodeError::InvalidField { field: "tz_offset", value: tz_field.to_string() })?;
+        .map_err(|_| TextDecodeError::InvalidField {
+            field: "tz_offset",
+            value: tz_field.to_string(),
+        })?;
 
     if fields.next().is_some() {
-        return Err(TextDecodeError::TooManyFields { expected: FIELD_COUNT });
+        return Err(TextDecodeError::TooManyFields {
+            expected: FIELD_COUNT,
+        });
     }
 
     Ok(LogRecord {
@@ -118,18 +125,24 @@ pub fn decode(line: &str) -> Result<LogRecord, TextDecodeError> {
 }
 
 fn parse_u64(s: &str, field: &'static str) -> Result<u64, TextDecodeError> {
-    s.parse()
-        .map_err(|_| TextDecodeError::InvalidField { field, value: s.to_string() })
+    s.parse().map_err(|_| TextDecodeError::InvalidField {
+        field,
+        value: s.to_string(),
+    })
 }
 
 fn parse_u16(s: &str, field: &'static str) -> Result<u16, TextDecodeError> {
-    s.parse()
-        .map_err(|_| TextDecodeError::InvalidField { field, value: s.to_string() })
+    s.parse().map_err(|_| TextDecodeError::InvalidField {
+        field,
+        value: s.to_string(),
+    })
 }
 
 fn parse_hex64(s: &str, field: &'static str) -> Result<u64, TextDecodeError> {
-    u64::from_str_radix(s, 16)
-        .map_err(|_| TextDecodeError::InvalidField { field, value: s.to_string() })
+    u64::from_str_radix(s, 16).map_err(|_| TextDecodeError::InvalidField {
+        field,
+        value: s.to_string(),
+    })
 }
 
 fn escape_into(s: &str, out: &mut String) {
@@ -286,7 +299,9 @@ mod tests {
         let line = format!("{}\textra", encode(&LogRecord::example()));
         assert_eq!(
             decode(&line).unwrap_err(),
-            TextDecodeError::TooManyFields { expected: FIELD_COUNT }
+            TextDecodeError::TooManyFields {
+                expected: FIELD_COUNT
+            }
         );
     }
 

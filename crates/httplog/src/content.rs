@@ -19,7 +19,11 @@ pub enum ContentClass {
 
 impl ContentClass {
     /// All classes in reporting order.
-    pub const ALL: [ContentClass; 3] = [ContentClass::Video, ContentClass::Image, ContentClass::Other];
+    pub const ALL: [ContentClass; 3] = [
+        ContentClass::Video,
+        ContentClass::Image,
+        ContentClass::Other,
+    ];
 }
 
 impl std::fmt::Display for ContentClass {

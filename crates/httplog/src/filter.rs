@@ -26,13 +26,19 @@ use std::ops::Range;
 pub trait LogStreamExt: Iterator<Item = LogRecord> + Sized {
     /// Keeps records belonging to `publisher`.
     fn publisher(self, publisher: PublisherId) -> PublisherFilter<Self> {
-        PublisherFilter { inner: self, publisher }
+        PublisherFilter {
+            inner: self,
+            publisher,
+        }
     }
 
     /// Keeps records whose timestamp falls in `window` (half-open, UTC
     /// seconds).
     fn time_window(self, window: Range<u64>) -> TimeWindowFilter<Self> {
-        TimeWindowFilter { inner: self, window }
+        TimeWindowFilter {
+            inner: self,
+            window,
+        }
     }
 
     /// Keeps records of one content class.
@@ -69,7 +75,9 @@ impl<I: Iterator<Item = LogRecord>> Iterator for TimeWindowFilter<I> {
     type Item = LogRecord;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.inner.by_ref().find(|r| self.window.contains(&r.timestamp))
+        self.inner
+            .by_ref()
+            .find(|r| self.window.contains(&r.timestamp))
     }
 }
 
@@ -84,7 +92,9 @@ impl<I: Iterator<Item = LogRecord>> Iterator for ContentClassFilter<I> {
     type Item = LogRecord;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.inner.by_ref().find(|r| r.content_class() == self.class)
+        self.inner
+            .by_ref()
+            .find(|r| r.content_class() == self.class)
     }
 }
 
@@ -99,7 +109,11 @@ mod tests {
             let mut r = LogRecord::example();
             r.timestamp = i * 100;
             r.publisher = PublisherId::new((i % 3) as u16);
-            r.format = if i % 2 == 0 { FileFormat::Mp4 } else { FileFormat::Jpg };
+            r.format = if i % 2 == 0 {
+                FileFormat::Mp4
+            } else {
+                FileFormat::Jpg
+            };
             v.push(r);
         }
         v
@@ -107,7 +121,10 @@ mod tests {
 
     #[test]
     fn publisher_filter() {
-        let got: Vec<_> = records().into_iter().publisher(PublisherId::new(1)).collect();
+        let got: Vec<_> = records()
+            .into_iter()
+            .publisher(PublisherId::new(1))
+            .collect();
         assert_eq!(got.len(), 3);
         assert!(got.iter().all(|r| r.publisher == PublisherId::new(1)));
     }
@@ -122,11 +139,20 @@ mod tests {
 
     #[test]
     fn content_class_filter() {
-        let videos: Vec<_> = records().into_iter().content_class(ContentClass::Video).collect();
+        let videos: Vec<_> = records()
+            .into_iter()
+            .content_class(ContentClass::Video)
+            .collect();
         assert_eq!(videos.len(), 5);
-        let images: Vec<_> = records().into_iter().content_class(ContentClass::Image).collect();
+        let images: Vec<_> = records()
+            .into_iter()
+            .content_class(ContentClass::Image)
+            .collect();
         assert_eq!(images.len(), 5);
-        let other: Vec<_> = records().into_iter().content_class(ContentClass::Other).collect();
+        let other: Vec<_> = records()
+            .into_iter()
+            .content_class(ContentClass::Other)
+            .collect();
         assert!(other.is_empty());
     }
 

@@ -150,9 +150,10 @@ impl<R: Read> LogReader<R> {
                     if line.is_empty() {
                         continue; // skip blank lines
                     }
-                    return Some(text::decode(line).map_err(|e| {
-                        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
-                    }));
+                    return Some(
+                        text::decode(line)
+                            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+                    );
                 }
                 Err(e) => return Some(Err(e)),
             }
@@ -181,7 +182,8 @@ fn read_binary_frame<R: BufRead>(r: &mut R) -> io::Result<LogRecord> {
     frame.resize(head.len() + ua_len, 0);
     r.read_exact(&mut frame[head.len()..])?;
     let mut slice = &frame[..];
-    binary::decode(&mut slice).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    binary::decode(&mut slice)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 impl<R: Read> Iterator for LogReader<R> {
@@ -276,10 +278,7 @@ mod tests {
         let records = sample_records(2);
         let mut buf = Vec::new();
         write_all(&mut buf, Format::Text, &records).unwrap();
-        let with_blanks = format!(
-            "\n{}\n\n",
-            String::from_utf8(buf).unwrap().trim_end()
-        );
+        let with_blanks = format!("\n{}\n\n", String::from_utf8(buf).unwrap().trim_end());
         let back = read_all(with_blanks.as_bytes(), Format::Text).unwrap();
         assert_eq!(back, records);
     }

@@ -52,6 +52,6 @@ pub use geo::Region;
 pub use ids::{ObjectId, PopId, PublisherId, UserId};
 pub use io::{LogReader, LogWriter};
 pub use record::LogRecord;
-pub use shard::ShardedWriter;
 pub use request::{Request, RequestKind};
+pub use shard::ShardedWriter;
 pub use status::{CacheStatus, HttpStatus};

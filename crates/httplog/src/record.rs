@@ -63,7 +63,8 @@ impl LogRecord {
         if self.tz_offset_secs >= 0 {
             self.timestamp.saturating_add(self.tz_offset_secs as u64)
         } else {
-            self.timestamp.saturating_sub(self.tz_offset_secs.unsigned_abs() as u64)
+            self.timestamp
+                .saturating_sub(self.tz_offset_secs.unsigned_abs() as u64)
         }
     }
 

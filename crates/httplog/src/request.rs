@@ -115,7 +115,10 @@ impl Request {
             region: Region::Europe,
             tz_offset_secs: 3600,
             incognito: true,
-            kind: RequestKind::Range { offset: 0, length: 2_000_000 },
+            kind: RequestKind::Range {
+                offset: 0,
+                length: 2_000_000,
+            },
         }
     }
 }

@@ -179,7 +179,11 @@ pub fn read_merged(dir: &Path, prefix: &str, format: Format) -> io::Result<Vec<L
     for (source, reader) in readers.iter_mut().enumerate() {
         if let Some(first) = reader.next() {
             let record = first?;
-            heap.push(Head { timestamp: record.timestamp, source, record });
+            heap.push(Head {
+                timestamp: record.timestamp,
+                source,
+                record,
+            });
         }
     }
     let mut out = Vec::new();
@@ -187,7 +191,11 @@ pub fn read_merged(dir: &Path, prefix: &str, format: Format) -> io::Result<Vec<L
         out.push(head.record);
         if let Some(next) = readers[head.source].next() {
             let record = next?;
-            heap.push(Head { timestamp: record.timestamp, source: head.source, record });
+            heap.push(Head {
+                timestamp: record.timestamp,
+                source: head.source,
+                record,
+            });
         }
     }
     Ok(out)
@@ -288,7 +296,11 @@ mod tests {
             writer.write(r).expect("write");
         }
         writer.finish().expect("flush");
-        std::fs::write(dir.join("other-000000.log"), "not ours? no: prefix differs\n").unwrap();
+        std::fs::write(
+            dir.join("other-000000.log"),
+            "not ours? no: prefix differs\n",
+        )
+        .unwrap();
         std::fs::write(dir.join("access-notes.txt"), "wrong extension").unwrap();
         let merged = read_merged(&dir, "access", Format::Text).expect("merge");
         assert_eq!(merged, input);
@@ -298,6 +310,8 @@ mod tests {
     fn empty_directory_merges_empty() {
         let dir = tmp("empty");
         std::fs::create_dir_all(&dir).unwrap();
-        assert!(read_merged(&dir, "access", Format::Text).unwrap().is_empty());
+        assert!(read_merged(&dir, "access", Format::Text)
+            .unwrap()
+            .is_empty());
     }
 }

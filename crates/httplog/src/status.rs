@@ -182,7 +182,10 @@ mod tests {
         assert_eq!(HttpStatus::new(99).unwrap_err().code, 99);
         assert!(HttpStatus::new(600).is_err());
         assert!(HttpStatus::try_from(0u16).is_err());
-        assert_eq!(HttpStatus::try_from(206u16).unwrap(), HttpStatus::PARTIAL_CONTENT);
+        assert_eq!(
+            HttpStatus::try_from(206u16).unwrap(),
+            HttpStatus::PARTIAL_CONTENT
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ fn record_strategy() -> impl Strategy<Value = LogRecord> {
                 bytes_served: served,
                 user: UserId::new(user),
                 user_agent: ua,
-                cache_status: if hit { CacheStatus::Hit } else { CacheStatus::Miss },
+                cache_status: if hit {
+                    CacheStatus::Hit
+                } else {
+                    CacheStatus::Miss
+                },
                 status: HttpStatus::new(status).expect("status in range"),
                 pop: PopId::new(pop),
                 tz_offset_secs: tz,

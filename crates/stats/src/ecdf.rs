@@ -193,7 +193,11 @@ impl Ecdf {
             .map(|i| {
                 // Pin the endpoint to the exact max so F(last) is 1.0 despite
                 // exp/ln round-tripping error.
-                let x = if i + 1 == n { hi } else { (llo + step * i as f64).exp() };
+                let x = if i + 1 == n {
+                    hi
+                } else {
+                    (llo + step * i as f64).exp()
+                };
                 (x, self.fraction_at_most(x))
             })
             .collect()

@@ -34,7 +34,10 @@ impl<T: Eq + Hash> Default for FrequencyTable<T> {
 impl<T: Eq + Hash> FrequencyTable<T> {
     /// Creates an empty table.
     pub fn new() -> Self {
-        Self { counts: HashMap::new(), total: 0 }
+        Self {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Records one occurrence of `item`.
@@ -112,11 +115,7 @@ impl<T: Eq + Hash + Clone> FrequencyTable<T> {
     /// Items sorted by descending count (ties broken arbitrarily),
     /// truncated to `n` entries.
     pub fn ranked(&self, n: usize) -> Vec<(T, u64)> {
-        let mut v: Vec<(T, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
+        let mut v: Vec<(T, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
         v.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         v.truncate(n);
         v
@@ -179,8 +178,7 @@ mod tests {
 
     #[test]
     fn ranked_ordering() {
-        let t: FrequencyTable<&str> =
-            ["a", "b", "b", "c", "c", "c"].into_iter().collect();
+        let t: FrequencyTable<&str> = ["a", "b", "b", "c", "c", "c"].into_iter().collect();
         let ranked = t.ranked(2);
         assert_eq!(ranked[0], ("c", 3));
         assert_eq!(ranked[1], ("b", 2));

@@ -419,7 +419,7 @@ mod tests {
     #[test]
     fn bimodal_detected() {
         let mut h = LogHistogram::base2(8, 24).unwrap(); // 256 B .. 16 MB
-        // Thumbnail mode around 4 KB, full-size mode around 512 KB.
+                                                         // Thumbnail mode around 4 KB, full-size mode around 512 KB.
         for i in 0..500 {
             h.add(3000.0 + (i % 100) as f64 * 20.0);
             h.add(400_000.0 + (i % 100) as f64 * 2000.0);
@@ -440,7 +440,11 @@ mod tests {
 
     #[test]
     fn bin_center() {
-        let b = Bin { lo: 2.0, hi: 4.0, count: 1 };
+        let b = Bin {
+            lo: 2.0,
+            hi: 4.0,
+            count: 1,
+        };
         assert_eq!(b.center(), 3.0);
     }
 }

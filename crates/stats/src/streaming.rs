@@ -130,7 +130,8 @@ impl StreamingStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.sum += other.sum;
@@ -182,7 +183,9 @@ mod tests {
 
     #[test]
     fn ignores_non_finite() {
-        let s: StreamingStats = [1.0, f64::NAN, 3.0, f64::NEG_INFINITY].into_iter().collect();
+        let s: StreamingStats = [1.0, f64::NAN, 3.0, f64::NEG_INFINITY]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 2);
         assert_eq!(s.mean(), Some(2.0));
     }

@@ -80,7 +80,13 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
             return;
         }
         if self.counters.len() < self.capacity {
-            self.counters.insert(item, Counter { count: weight, error: 0 });
+            self.counters.insert(
+                item,
+                Counter {
+                    count: weight,
+                    error: 0,
+                },
+            );
             return;
         }
         // Evict the minimum counter and inherit its count as error.
@@ -93,7 +99,10 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         self.counters.remove(&min_item);
         self.counters.insert(
             item,
-            Counter { count: min_count + weight, error: min_count },
+            Counter {
+                count: min_count + weight,
+                error: min_count,
+            },
         );
     }
 

@@ -67,7 +67,11 @@ pub fn fit_zipf(counts: &[u64]) -> Option<ZipfFit> {
         .sum();
     // Near-zero total variance means all counts are (numerically) equal:
     // the flat line is a perfect fit.
-    let r_squared = if ss_tot < 1e-9 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot < 1e-9 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some(ZipfFit {
         alpha: -slope,
         intercept,

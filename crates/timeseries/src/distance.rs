@@ -37,30 +37,65 @@ impl Metric {
 /// assert_eq!(euclidean(&[3.0], &[3.0, 4.0]), 4.0); // padding
 /// ```
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    let n = a.len().max(b.len());
+    // Common prefix in lockstep (bounds checks elided by the slice zip),
+    // then the longer series' zero-padded tail contributes its own squares.
+    // Term order matches the naive 0..max loop, so results are unchanged.
+    let common = a.len().min(b.len());
     let mut sum = 0.0;
-    for i in 0..n {
-        let x = a.get(i).copied().unwrap_or(0.0);
-        let y = b.get(i).copied().unwrap_or(0.0);
+    for (x, y) in a[..common].iter().zip(&b[..common]) {
         sum += (x - y).powi(2);
+    }
+    let tail = if a.len() > common {
+        &a[common..]
+    } else {
+        &b[common..]
+    };
+    for x in tail {
+        sum += x.powi(2);
     }
     sum.sqrt()
 }
 
-/// Computes the condensed pairwise distance matrix for a set of series.
+/// Computes the condensed pairwise distance matrix for a set of series,
+/// using every available core (see [`pairwise_matrix_with_threads`]).
 ///
 /// Returns `None` when fewer than two series are supplied.
 pub fn pairwise_matrix(series: &[Vec<f64>], metric: Metric) -> Option<CondensedMatrix> {
+    pairwise_matrix_with_threads(series, metric, 0)
+}
+
+/// Computes the condensed pairwise distance matrix with an explicit worker
+/// count (`0` = available parallelism).
+///
+/// The condensed upper triangle is chunked into contiguous ranges filled by
+/// scoped threads via [`CondensedMatrix::par_fill`] — no locks on the hot
+/// path. Every pair's distance is computed independently of fill order, so
+/// the result is **bit-identical at every thread count**; `threads` is
+/// purely a throughput knob.
+///
+/// Returns `None` when fewer than two series are supplied.
+///
+/// # Example
+///
+/// ```
+/// use oat_timeseries::distance::{pairwise_matrix_with_threads, Metric};
+///
+/// let series = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]];
+/// let serial = pairwise_matrix_with_threads(&series, Metric::Euclidean, 1).unwrap();
+/// let parallel = pairwise_matrix_with_threads(&series, Metric::Euclidean, 4).unwrap();
+/// assert_eq!(serial, parallel);
+/// ```
+pub fn pairwise_matrix_with_threads(
+    series: &[Vec<f64>],
+    metric: Metric,
+    threads: usize,
+) -> Option<CondensedMatrix> {
     let n = series.len();
     if n < 2 {
         return None;
     }
     let mut m = CondensedMatrix::zeros(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            m.set(i, j, metric.distance(&series[i], &series[j]));
-        }
-    }
+    m.par_fill(threads, |i, j| metric.distance(&series[i], &series[j]));
     Some(m)
 }
 
@@ -73,6 +108,10 @@ mod tests {
         assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
         assert_eq!(euclidean(&[], &[]), 0.0);
         assert_eq!(euclidean(&[1.0], &[]), 1.0);
+        assert_eq!(euclidean(&[], &[2.0]), 2.0);
+        // Padding applies to whichever side is shorter.
+        assert_eq!(euclidean(&[3.0, 0.0, 4.0], &[3.0]), 4.0);
+        assert_eq!(euclidean(&[3.0], &[3.0, 0.0, 4.0]), 4.0);
     }
 
     #[test]

@@ -50,6 +50,44 @@ impl DtwOptions {
 /// assert!(dtw_distance(&a, &reversed, None) > 2.0);
 /// ```
 pub fn dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
+    dtw_core(a, b, band, f64::INFINITY).sqrt()
+}
+
+/// Early-abandoning DTW distance.
+///
+/// Identical to [`dtw_distance`] — same arithmetic, in the same order, so a
+/// completed computation is bit-identical — except that after each DP row
+/// the row minimum (a lower bound on any completion of the warping path) is
+/// compared against `cutoff`: once the distance provably exceeds `cutoff`,
+/// the remaining rows are skipped and `f64::INFINITY` is returned.
+///
+/// The exact distance is always returned when it is `<= cutoff`; when the
+/// true distance exceeds `cutoff` the result is either that exact distance
+/// or `f64::INFINITY`. This makes the variant suitable wherever only an
+/// argmin matters (nearest-neighbour queries, medoid refinement, k-medoids
+/// assignment) with `cutoff` set to the best distance seen so far: a pruned
+/// candidate can never have won.
+///
+/// # Example
+///
+/// ```
+/// use oat_timeseries::dtw::{dtw_distance, dtw_distance_ea};
+///
+/// let a = [0.0, 1.0, 2.0, 3.0];
+/// let b = [3.0, 2.0, 1.0, 0.0];
+/// let exact = dtw_distance(&a, &b, None);
+/// // A generous cutoff reproduces the exact distance bit-for-bit...
+/// assert_eq!(dtw_distance_ea(&a, &b, None, exact + 1.0), exact);
+/// // ...while a hopeless one abandons early.
+/// assert!(dtw_distance_ea(&a, &b, None, 0.1).is_infinite());
+/// ```
+pub fn dtw_distance_ea(a: &[f64], b: &[f64], band: Option<usize>, cutoff: f64) -> f64 {
+    dtw_core(a, b, band, cutoff * cutoff).sqrt()
+}
+
+/// Shared DP core: returns the accumulated *squared* cost, abandoning with
+/// `f64::INFINITY` once every in-band cell of a row exceeds `cutoff_sq`.
+fn dtw_core(a: &[f64], b: &[f64], band: Option<usize>, cutoff_sq: f64) -> f64 {
     if a.is_empty() || b.is_empty() {
         return f64::INFINITY;
     }
@@ -73,13 +111,25 @@ pub fn dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
             let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
             curr[j] = cost + best;
         }
+        // Early abandon: every warping path crosses each row, so the row
+        // minimum lower-bounds the final cost. Checked only for finite
+        // cutoffs to keep the exhaustive path branch-free.
+        if cutoff_sq.is_finite() {
+            let row_min = curr[j_lo..=j_hi]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            if row_min > cutoff_sq {
+                return f64::INFINITY;
+            }
+        }
         std::mem::swap(&mut prev, &mut curr);
         // Invalidate stale row contents outside next iteration's band.
         for c in curr.iter_mut() {
             *c = f64::INFINITY;
         }
     }
-    prev[m].sqrt()
+    prev[m]
 }
 
 /// Inclusive column range `[j_lo, j_hi]` (1-based) admissible for row `i`.
@@ -88,7 +138,11 @@ fn band_limits(i: usize, n: usize, m: usize, band: Option<usize>) -> (usize, usi
         None => (1, m),
         Some(w) => {
             // Map row i of n onto the diagonal of m columns.
-            let center = if n == 1 { 1 } else { 1 + (i - 1) * (m - 1) / (n - 1) };
+            let center = if n == 1 {
+                1
+            } else {
+                1 + (i - 1) * (m - 1) / (n - 1)
+            };
             let lo = center.saturating_sub(w).max(1);
             let hi = (center + w).min(m);
             (lo, hi)
@@ -128,9 +182,21 @@ pub fn dtw_path(a: &[f64], b: &[f64]) -> Option<(f64, Vec<(usize, usize)>)> {
         if i == 1 && j == 1 {
             break;
         }
-        let diag = if i > 1 && j > 1 { acc[idx(i - 1, j - 1)] } else { f64::INFINITY };
-        let up = if i > 1 { acc[idx(i - 1, j)] } else { f64::INFINITY };
-        let left = if j > 1 { acc[idx(i, j - 1)] } else { f64::INFINITY };
+        let diag = if i > 1 && j > 1 {
+            acc[idx(i - 1, j - 1)]
+        } else {
+            f64::INFINITY
+        };
+        let up = if i > 1 {
+            acc[idx(i - 1, j)]
+        } else {
+            f64::INFINITY
+        };
+        let left = if j > 1 {
+            acc[idx(i, j - 1)]
+        } else {
+            f64::INFINITY
+        };
         if diag <= up && diag <= left {
             i -= 1;
             j -= 1;
@@ -175,8 +241,12 @@ mod tests {
     fn shift_invariance_vs_euclidean() {
         // A pulse and its shifted copy: DTW should be near zero while the
         // pointwise (lockstep) distance is large.
-        let a: Vec<f64> = (0..50).map(|i| if (10..20).contains(&i) { 1.0 } else { 0.0 }).collect();
-        let b: Vec<f64> = (0..50).map(|i| if (15..25).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let a: Vec<f64> = (0..50)
+            .map(|i| if (10..20).contains(&i) { 1.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f64> = (0..50)
+            .map(|i| if (15..25).contains(&i) { 1.0 } else { 0.0 })
+            .collect();
         let dtw = dtw_distance(&a, &b, None);
         let euclid: f64 = a
             .iter()
@@ -246,6 +316,41 @@ mod tests {
         assert_eq!(DtwOptions::unconstrained().band, None);
         assert_eq!(DtwOptions::banded(5).band, Some(5));
         assert_eq!(DtwOptions::default().band, None);
+    }
+
+    #[test]
+    fn early_abandon_matches_exact_below_cutoff() {
+        let a: Vec<f64> = (0..60).map(|i| (i as f64 * 0.21).sin()).collect();
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.21 + 0.4).sin()).collect();
+        for band in [None, Some(0), Some(5), Some(100)] {
+            let exact = dtw_distance(&a, &b, band);
+            // Cutoff at, above, and far above the distance: bit-identical.
+            assert_eq!(dtw_distance_ea(&a, &b, band, exact), exact);
+            assert_eq!(dtw_distance_ea(&a, &b, band, exact * 2.0), exact);
+            assert_eq!(dtw_distance_ea(&a, &b, band, f64::INFINITY), exact);
+        }
+    }
+
+    #[test]
+    fn early_abandon_prunes_hopeless_cutoffs() {
+        let a: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..60).map(|i| -(i as f64)).collect();
+        let exact = dtw_distance(&a, &b, Some(4));
+        assert!(exact > 1.0);
+        let pruned = dtw_distance_ea(&a, &b, Some(4), exact / 10.0);
+        assert!(
+            pruned.is_infinite(),
+            "abandoned computation returns infinity"
+        );
+        // Zero cutoff admits only identical series.
+        assert_eq!(dtw_distance_ea(&a, &a, None, 0.0), 0.0);
+        assert!(dtw_distance_ea(&a, &b, None, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn early_abandon_empty_series_infinite() {
+        assert!(dtw_distance_ea(&[], &[1.0], None, 100.0).is_infinite());
+        assert!(dtw_distance_ea(&[1.0], &[], None, 100.0).is_infinite());
     }
 
     #[test]

@@ -129,7 +129,11 @@ impl Dendrogram {
 pub fn cluster(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
     let n = matrix.len();
     if n < 2 {
-        return Dendrogram { n, merges: Vec::new(), reps: Vec::new() };
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+            reps: Vec::new(),
+        };
     }
 
     // Full square working copy for O(1) updates; slots are reused on merge.
@@ -183,7 +187,11 @@ pub fn cluster(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
                 // Reciprocal nearest neighbours: merge a and b.
                 chain.pop();
                 chain.pop();
-                raw.push(RawMerge { leaf_a: rep[a], leaf_b: rep[b], distance: d_ab });
+                raw.push(RawMerge {
+                    leaf_a: rep[a],
+                    leaf_b: rep[b],
+                    distance: d_ab,
+                });
                 merge_slots(&mut dist, &mut active, &mut size, n, a, b, d_ab, linkage);
                 // Merged cluster lives in slot `a`; keep its representative.
                 break;
@@ -193,7 +201,11 @@ pub fn cluster(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
     }
 
     // Canonicalize: sort by distance, assign SciPy-style node ids.
-    raw.sort_by(|x, y| x.distance.partial_cmp(&y.distance).expect("finite distances"));
+    raw.sort_by(|x, y| {
+        x.distance
+            .partial_cmp(&y.distance)
+            .expect("finite distances")
+    });
     let mut uf = UnionFind::new(n);
     let mut node_of_root: Vec<usize> = (0..n).collect();
     let mut size_of_root: Vec<usize> = vec![1; n];
@@ -209,7 +221,12 @@ pub fn cluster(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
         let root = uf.find(rm.leaf_a);
         node_of_root[root] = n + k;
         size_of_root[root] = new_size;
-        merges.push(Merge { left, right, distance: rm.distance, size: new_size });
+        merges.push(Merge {
+            left,
+            right,
+            distance: rm.distance,
+            size: new_size,
+        });
         reps.push((rm.leaf_a, rm.leaf_b));
     }
 
@@ -263,7 +280,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect(), size: vec![1; n] }
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -321,7 +341,12 @@ mod tests {
     fn merge_count_and_sizes() {
         let series = two_blob_series();
         let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let d = cluster(&m, linkage);
             assert_eq!(d.merges().len(), series.len() - 1);
             assert_eq!(d.merges().last().unwrap().size, series.len());
@@ -336,15 +361,26 @@ mod tests {
     fn two_blobs_recovered_by_all_linkages() {
         let series = two_blob_series();
         let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let d = cluster(&m, linkage);
             let labels = d.cut_k(2);
             // All of blob A shares a label distinct from blob B.
             let a = labels[0];
-            assert!(labels[..5].iter().all(|&l| l == a), "{linkage:?}: {labels:?}");
+            assert!(
+                labels[..5].iter().all(|&l| l == a),
+                "{linkage:?}: {labels:?}"
+            );
             let b = labels[5];
             assert_ne!(a, b);
-            assert!(labels[5..].iter().all(|&l| l == b), "{linkage:?}: {labels:?}");
+            assert!(
+                labels[5..].iter().all(|&l| l == b),
+                "{linkage:?}: {labels:?}"
+            );
         }
     }
 
@@ -428,12 +464,22 @@ mod tests {
         // pulse onto any other perfectly, collapsing all distances to zero.
         let pulse = |start: usize| -> Vec<f64> {
             (0..48)
-                .map(|i| if (start..start + 6).contains(&i) { 1.0 } else { 0.0 })
+                .map(|i| {
+                    if (start..start + 6).contains(&i) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         };
         let series = vec![
-            pulse(2), pulse(4), pulse(6),   // early family
-            pulse(30), pulse(32), pulse(34), // late family
+            pulse(2),
+            pulse(4),
+            pulse(6), // early family
+            pulse(30),
+            pulse(32),
+            pulse(34), // late family
         ];
         let m = pairwise_matrix(&series, Metric::Dtw { band: Some(4) }).unwrap();
         let d = cluster(&m, Linkage::Average);

@@ -6,7 +6,9 @@
 //! the silhouette coefficient quantifies how well either method's cut
 //! separates the popularity trends.
 
+use crate::dtw::dtw_distance_ea;
 use crate::matrix::CondensedMatrix;
+use crate::prune::{lb_keogh, lb_kim, Envelope, PruneStats};
 use serde::{Deserialize, Serialize};
 
 /// Result of a PAM run.
@@ -49,14 +51,14 @@ pub fn pam(matrix: &CondensedMatrix, k: usize, max_iter: usize) -> Option<PamRes
     // Distance to the nearest chosen medoid, per point.
     let mut nearest: Vec<f64> = (0..n).map(|j| matrix.get(first, j)).collect();
     while medoids.len() < k {
-        let candidate = (0..n)
-            .filter(|i| !medoids.contains(i))
-            .max_by(|&a, &b| {
-                let gain = |c: usize| -> f64 {
-                    (0..n).map(|j| (nearest[j] - matrix.get(c, j)).max(0.0)).sum()
-                };
-                gain(a).partial_cmp(&gain(b)).expect("finite distances")
-            })?;
+        let candidate = (0..n).filter(|i| !medoids.contains(i)).max_by(|&a, &b| {
+            let gain = |c: usize| -> f64 {
+                (0..n)
+                    .map(|j| (nearest[j] - matrix.get(c, j)).max(0.0))
+                    .sum()
+            };
+            gain(a).partial_cmp(&gain(b)).expect("finite distances")
+        })?;
         medoids.push(candidate);
         for (j, near) in nearest.iter_mut().enumerate() {
             *near = near.min(matrix.get(candidate, j));
@@ -108,7 +110,76 @@ pub fn pam(matrix: &CondensedMatrix, k: usize, max_iter: usize) -> Option<PamRes
         }
     }
 
-    Some(PamResult { medoids, labels, cost, iterations })
+    Some(PamResult {
+        medoids,
+        labels,
+        cost,
+        iterations,
+    })
+}
+
+/// Assigns every series to its nearest medoid under banded DTW, without a
+/// precomputed distance matrix — the k-medoids assignment step at scales
+/// where `n·(n-1)/2` pairwise distances would not fit in memory.
+///
+/// Only the argmin matters, so the full pruning cascade applies per
+/// (series, medoid) pair: [`lb_kim`], then [`lb_keogh`], then
+/// [`dtw_distance_ea`] with the best distance so far as cutoff. All three
+/// tiers are admissible, so labels are identical (ties toward the
+/// lower-indexed medoid, as in [`pam`]'s matrix-based assignment) to an
+/// exhaustive scan.
+///
+/// `medoids` indexes into `series`. Returns the per-series label (index
+/// into `medoids`) plus the prune tally, or `None` when `medoids` is
+/// empty.
+///
+/// # Panics
+///
+/// Panics if any medoid index is out of bounds for `series`.
+pub fn assign_series(
+    series: &[Vec<f64>],
+    medoids: &[usize],
+    band: Option<usize>,
+) -> Option<(Vec<usize>, PruneStats)> {
+    if medoids.is_empty() {
+        return None;
+    }
+    let envelopes: Vec<Envelope> = medoids
+        .iter()
+        .map(|&m| Envelope::new(&series[m], band))
+        .collect();
+    let mut stats = PruneStats::default();
+    let mut labels = Vec::with_capacity(series.len());
+    for s in series {
+        let mut best = (0usize, f64::INFINITY);
+        for (c, &m) in medoids.iter().enumerate() {
+            stats.pairs += 1;
+            let cutoff = best.1;
+            if lb_kim(s, &envelopes[c]) > cutoff {
+                stats.lb_kim += 1;
+                continue;
+            }
+            if lb_keogh(s, &envelopes[c]) > cutoff {
+                stats.lb_keogh += 1;
+                continue;
+            }
+            let d = dtw_distance_ea(s, &series[m], band, cutoff);
+            if d.is_infinite() {
+                if cutoff.is_finite() {
+                    stats.early_abandoned += 1;
+                } else {
+                    stats.full += 1;
+                }
+                continue;
+            }
+            stats.full += 1;
+            if d < cutoff {
+                best = (c, d);
+            }
+        }
+        labels.push(best.0);
+    }
+    Some((labels, stats))
 }
 
 /// Mean silhouette coefficient of a clustering over a distance matrix.
@@ -210,6 +281,40 @@ mod tests {
         let a = pam(&matrix, 3, 50).unwrap();
         let b = pam(&matrix, 3, 50).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assign_series_matches_matrix_assignment() {
+        let band = Some(4);
+        let series: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                (0..40)
+                    .map(|t| (t as f64 * 0.35 + i as f64 * 1.1).sin() * (1.0 + (i % 4) as f64))
+                    .collect()
+            })
+            .collect();
+        let matrix = pairwise_matrix(&series, Metric::Dtw { band }).expect("n >= 2");
+        let medoids = [2usize, 9, 17];
+        let (labels, stats) = assign_series(&series, &medoids, band).expect("medoids non-empty");
+        assert_eq!(labels.len(), series.len());
+        assert_eq!(stats.pairs, (series.len() * medoids.len()) as u64);
+        // Matrix-based reference: nearest medoid, lowest index on ties.
+        for (j, &label) in labels.iter().enumerate() {
+            let (want, _) = medoids
+                .iter()
+                .enumerate()
+                .map(|(c, &m)| (c, matrix.get(m, j)))
+                .fold((0usize, f64::INFINITY), |acc, (c, d)| {
+                    if d < acc.1 {
+                        (c, d)
+                    } else {
+                        acc
+                    }
+                });
+            assert_eq!(label, want, "series {j}");
+        }
+        assert!(stats.pruned() > 0, "cascade should prune: {stats}");
+        assert!(assign_series(&series, &[], band).is_none());
     }
 
     #[test]

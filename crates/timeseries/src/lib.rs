@@ -5,7 +5,11 @@
 //!
 //! 1. Per-object hourly request-count series are [normalized](normalize).
 //! 2. Pairwise similarity is computed with [Dynamic Time Warping](dtw)
-//!    (optionally banded for speed).
+//!    (optionally banded for speed). The condensed distance matrix is
+//!    filled in parallel — chunked over scoped threads, bit-identical at
+//!    every thread count — and argmin-style queries (nearest neighbour,
+//!    medoid refinement, k-medoids assignment) are accelerated with
+//!    admissible [lower-bound pruning](prune) and early-abandoning DTW.
 //! 3. [Agglomerative hierarchical clustering](hierarchical) over the
 //!    [condensed distance matrix](matrix) yields a dendrogram.
 //! 4. Each cluster is summarized by its [medoid](medoid) and a point-wise
@@ -36,12 +40,14 @@ pub mod kmedoids;
 pub mod matrix;
 pub mod medoid;
 pub mod normalize;
+pub mod prune;
 pub mod trend;
 
-pub use distance::Metric;
-pub use dtw::{dtw_distance, dtw_path, DtwOptions};
+pub use distance::{pairwise_matrix_with_threads, Metric};
+pub use dtw::{dtw_distance, dtw_distance_ea, dtw_path, DtwOptions};
 pub use hierarchical::{Dendrogram, Linkage, Merge};
-pub use kmedoids::{pam, silhouette, PamResult};
+pub use kmedoids::{assign_series, pam, silhouette, PamResult};
 pub use matrix::CondensedMatrix;
-pub use medoid::{cluster_envelope, medoid_index, ClusterEnvelope};
+pub use medoid::{cluster_envelope, medoid_index, medoid_series, ClusterEnvelope};
+pub use prune::{lb_keogh, lb_kim, nearest_neighbor, Envelope, PruneStats};
 pub use trend::{classify_trend, TrendClass, TrendFeatures};

@@ -25,7 +25,10 @@ impl CondensedMatrix {
     /// Creates an all-zero matrix for `n` points.
     pub fn zeros(n: usize) -> Self {
         let len = n * n.saturating_sub(1) / 2;
-        Self { n, data: vec![0.0; len] }
+        Self {
+            n,
+            data: vec![0.0; len],
+        }
     }
 
     /// Number of points (rows/columns).
@@ -69,15 +72,71 @@ impl CondensedMatrix {
             assert!(value == 0.0, "diagonal must stay zero");
             return;
         }
-        let idx = if i < j { self.index(i, j) } else { self.index(j, i) };
+        let idx = if i < j {
+            self.index(i, j)
+        } else {
+            self.index(j, i)
+        };
         self.data[idx] = value;
+    }
+
+    /// The raw condensed buffer (row-major upper triangle, `i < j`).
+    ///
+    /// Useful for bit-level comparisons between construction strategies —
+    /// the parallel fill contract is that this slice is identical no matter
+    /// how many threads produced it.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Fills every strict-upper-triangle entry with `f(i, j)` using
+    /// `threads` worker threads (`0` = available parallelism).
+    ///
+    /// The condensed buffer is split into contiguous disjoint `&mut [f64]`
+    /// chunks, one per worker, so the hot path takes no locks and performs
+    /// no allocation beyond the thread stacks. Each entry's value depends
+    /// only on `f(i, j)`, never on fill order, so the result is
+    /// bit-identical at every thread count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use oat_timeseries::CondensedMatrix;
+    ///
+    /// let mut serial = CondensedMatrix::zeros(5);
+    /// serial.par_fill(1, |i, j| (i * 10 + j) as f64);
+    /// let mut parallel = CondensedMatrix::zeros(5);
+    /// parallel.par_fill(4, |i, j| (i * 10 + j) as f64);
+    /// assert_eq!(serial, parallel);
+    /// assert_eq!(serial.get(2, 4), 24.0);
+    /// ```
+    pub fn par_fill<F>(&mut self, threads: usize, f: F)
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        let len = self.data.len();
+        if len == 0 {
+            return;
+        }
+        let n = self.n;
+        let threads = resolve_threads(threads).min(len);
+        if threads <= 1 {
+            fill_chunk(n, 0, &mut self.data, &f);
+            return;
+        }
+        let chunk_len = len.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (c, chunk) in self.data.chunks_mut(chunk_len).enumerate() {
+                let f = &f;
+                scope.spawn(move |_| fill_chunk(n, c * chunk_len, chunk, f));
+            }
+        })
+        .expect("par_fill worker panicked");
     }
 
     /// Iterates over all `(i, j, distance)` pairs with `i < j`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j)))
-        })
+        (0..self.n).flat_map(move |i| ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j))))
     }
 
     /// The maximum off-diagonal distance (`None` for n < 2).
@@ -89,6 +148,49 @@ impl CondensedMatrix {
             })
         })
     }
+}
+
+/// Worker-thread count: `0` means whatever the machine offers.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Fills one contiguous condensed-buffer chunk starting at flat offset
+/// `start`, walking `(i, j)` forward instead of re-deriving each pair.
+fn fill_chunk<F>(n: usize, start: usize, chunk: &mut [f64], f: &F)
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let (mut i, mut j) = pair_at(n, start);
+    for slot in chunk {
+        *slot = f(i, j);
+        j += 1;
+        if j == n {
+            i += 1;
+            j = i + 1;
+        }
+    }
+}
+
+/// The `(i, j)` pair stored at condensed offset `k` (binary search over
+/// row start offsets).
+fn pair_at(n: usize, k: usize) -> (usize, usize) {
+    let row_start = |i: usize| i * n - i * (i + 1) / 2;
+    debug_assert!(n >= 2 && k < row_start(n - 1));
+    let (mut lo, mut hi) = (0usize, n - 2);
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if row_start(mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    (lo, lo + 1 + (k - row_start(lo)))
 }
 
 #[cfg(test)]
@@ -135,6 +237,58 @@ mod tests {
     fn out_of_bounds_panics() {
         let m = CondensedMatrix::zeros(2);
         let _ = m.get(0, 2);
+    }
+
+    #[test]
+    fn pair_at_inverts_index() {
+        for n in [2usize, 3, 5, 8, 13] {
+            let m = CondensedMatrix::zeros(n);
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(m.index(i, j), k);
+                    assert_eq!(pair_at(n, k), (i, j), "n={n} k={k}");
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_fill_matches_serial_at_every_thread_count() {
+        let f = |i: usize, j: usize| (i as f64 * 97.3 + j as f64 * 13.7).sin();
+        for n in [2usize, 3, 7, 20, 33] {
+            let mut serial = CondensedMatrix::zeros(n);
+            serial.par_fill(1, f);
+            for threads in [2usize, 3, 8, 64] {
+                let mut parallel = CondensedMatrix::zeros(n);
+                parallel.par_fill(threads, f);
+                assert_eq!(serial, parallel, "n={n} threads={threads}");
+                assert_eq!(serial.as_slice(), parallel.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn par_fill_visits_correct_pairs() {
+        let mut m = CondensedMatrix::zeros(9);
+        m.par_fill(0, |i, j| (i * 100 + j) as f64);
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                assert_eq!(m.get(i, j), (i * 100 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn par_fill_degenerate_sizes() {
+        // n < 2 has no entries; must not panic.
+        CondensedMatrix::zeros(0).par_fill(4, |_, _| 1.0);
+        CondensedMatrix::zeros(1).par_fill(4, |_, _| 1.0);
+        // More threads than entries.
+        let mut m = CondensedMatrix::zeros(2);
+        m.par_fill(16, |i, j| (i + j) as f64);
+        assert_eq!(m.get(0, 1), 1.0);
     }
 
     #[test]

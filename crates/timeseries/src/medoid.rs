@@ -4,7 +4,9 @@
 //! centrally located member, Kaufman & Rousseeuw) with a shaded point-wise
 //! standard-deviation envelope (Figures 9–10).
 
+use crate::dtw::dtw_distance_ea;
 use crate::matrix::CondensedMatrix;
+use crate::prune::{lb_kim, Envelope};
 use serde::{Deserialize, Serialize};
 
 /// Index (within `members`) of the cluster medoid: the member minimizing the
@@ -26,6 +28,64 @@ pub fn medoid_index(matrix: &CondensedMatrix, members: &[usize]) -> Option<usize
         match best {
             Some((_, bd)) if total >= bd => {}
             _ => best = Some((pos, total)),
+        }
+    }
+    best.map(|(pos, _)| pos)
+}
+
+/// [`medoid_index`] computed directly from series under banded DTW, for
+/// when no precomputed [`CondensedMatrix`] exists (full-catalog scale,
+/// where `n·(n-1)/2` distances would not fit).
+///
+/// Each candidate accumulates its distance sum and is abandoned — via an
+/// [`lb_kim`] gate and then [`dtw_distance_ea`] with the remaining budget
+/// as cutoff — as soon as the partial sum provably exceeds the best total
+/// seen. Both prunes are admissible, so the winner (ties toward the lower
+/// position, as in [`medoid_index`]) is identical to the exhaustive scan.
+///
+/// Returns `None` when `members` is empty.
+///
+/// # Panics
+///
+/// Panics if any member index is out of bounds for `series`.
+pub fn medoid_series(series: &[Vec<f64>], members: &[usize], band: Option<usize>) -> Option<usize> {
+    if members.is_empty() {
+        return None;
+    }
+    let envelopes: Vec<Envelope> = members
+        .iter()
+        .map(|&m| Envelope::new(&series[m], band))
+        .collect();
+    let mut best: Option<(usize, f64)> = None;
+    for (pos, &i) in members.iter().enumerate() {
+        let budget = best.map_or(f64::INFINITY, |(_, total)| total);
+        let mut total = 0.0;
+        let mut abandoned = false;
+        for (other_pos, &j) in members.iter().enumerate() {
+            if i == j {
+                continue; // self-distance is zero
+            }
+            let remaining = budget - total;
+            // A lower bound beyond the remaining budget already rules the
+            // candidate out; otherwise the exact distance is needed (it is
+            // added to the running sum), computed with early abandoning
+            // against that same budget.
+            if lb_kim(&series[i], &envelopes[other_pos]) > remaining {
+                abandoned = true;
+                break;
+            }
+            let d = dtw_distance_ea(&series[i], &series[j], band, remaining);
+            if d > remaining {
+                abandoned = true;
+                break;
+            }
+            total += d;
+        }
+        if !abandoned {
+            match best {
+                Some((_, best_total)) if total >= best_total => {}
+                _ => best = Some((pos, total)),
+            }
         }
     }
     best.map(|(pos, _)| pos)
@@ -58,7 +118,10 @@ pub fn cluster_envelope(
         return None;
     }
     let len = series.get(members[0])?.len();
-    if members.iter().any(|&m| series.get(m).map(Vec::len) != Some(len)) {
+    if members
+        .iter()
+        .any(|&m| series.get(m).map(Vec::len) != Some(len))
+    {
         return None;
     }
     let medoid_pos = medoid_index(matrix, members)?;
@@ -80,7 +143,12 @@ pub fn cluster_envelope(
         }
     }
     let std_dev: Vec<f64> = var.into_iter().map(|v| (v / n).sqrt()).collect();
-    Some(ClusterEnvelope { medoid, mean, std_dev, size: members.len() })
+    Some(ClusterEnvelope {
+        medoid,
+        mean,
+        std_dev,
+        size: members.len(),
+    })
 }
 
 #[cfg(test)]
@@ -123,6 +191,35 @@ mod tests {
         let m = pairwise_matrix(&series, Metric::Euclidean).unwrap();
         // Within members {1,2,3} the medoid is the middle value 6.0 (pos 1).
         assert_eq!(medoid_index(&m, &[1, 2, 3]), Some(1));
+    }
+
+    #[test]
+    fn medoid_series_matches_matrix_medoid() {
+        let series: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                (0..36)
+                    .map(|t| (t as f64 * 0.4 + i as f64 * 0.9).sin() * (1.0 + (i % 3) as f64))
+                    .collect()
+            })
+            .collect();
+        for band in [None, Some(0), Some(4)] {
+            let m = pairwise_matrix(&series, Metric::Dtw { band }).unwrap();
+            let members: Vec<usize> = (0..12).collect();
+            assert_eq!(
+                medoid_series(&series, &members, band),
+                medoid_index(&m, &members),
+                "band {band:?}"
+            );
+            // Sub-cluster with non-contiguous members.
+            let sub = [1usize, 4, 7, 10, 11];
+            assert_eq!(
+                medoid_series(&series, &sub, band),
+                medoid_index(&m, &sub),
+                "band {band:?} subset"
+            );
+        }
+        assert_eq!(medoid_series(&series, &[], Some(2)), None);
+        assert_eq!(medoid_series(&series, &[3], Some(2)), Some(0));
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn rebin_sum_cases() {
-        assert_eq!(rebin_sum(&[1.0, 2.0, 3.0, 4.0, 5.0], 2), vec![3.0, 7.0, 5.0]);
+        assert_eq!(
+            rebin_sum(&[1.0, 2.0, 3.0, 4.0, 5.0], 2),
+            vec![3.0, 7.0, 5.0]
+        );
         assert_eq!(rebin_sum(&[1.0, 2.0], 0), Vec::<f64>::new());
         assert_eq!(rebin_sum(&[], 3), Vec::<f64>::new());
         assert_eq!(rebin_sum(&[1.0, 2.0, 3.0], 3), vec![6.0]);

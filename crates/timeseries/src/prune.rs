@@ -1,0 +1,375 @@
+//! UCR-suite-style lower-bound pruning for DTW argmin searches.
+//!
+//! Exact DTW is `O(N·w)` per pair; a full pairwise matrix needs every exact
+//! value, so lower bounds cannot skip matrix entries (see
+//! [`distance::pairwise_matrix`](crate::distance::pairwise_matrix) — that
+//! path is accelerated by parallelism instead). Where only an *argmin*
+//! matters — nearest-neighbour queries, medoid refinement, k-medoids
+//! assignment — an admissible lower bound that already exceeds the best
+//! distance seen so far disposes of a candidate in `O(1)`/`O(N)` instead,
+//! and [`dtw_distance_ea`] abandons the survivors mid-computation.
+//!
+//! The cascade, cheapest first:
+//!
+//! 1. [`lb_kim`] — envelope deviation at the two endpoints, `O(1)`.
+//! 2. [`lb_keogh`] — envelope deviation at every point, `O(N)`.
+//! 3. [`dtw_distance_ea`] — exact DTW with row-wise early abandoning.
+//!
+//! Both bounds are *admissible* (never exceed the true DTW distance) and
+//! chained (`lb_kim <= lb_keogh <= dtw`), so pruning never changes an
+//! argmin — only how fast it is found.
+
+use crate::dtw::dtw_distance_ea;
+use serde::{Deserialize, Serialize};
+
+/// Per-series Sakoe–Chiba envelope: point-wise running min/max of the
+/// series over a `±band` window. Precomputed once per series, reused for
+/// every lower-bound comparison against it.
+///
+/// # Example
+///
+/// ```
+/// use oat_timeseries::prune::Envelope;
+///
+/// let env = Envelope::new(&[0.0, 2.0, 1.0, 5.0], Some(1));
+/// assert_eq!(env.upper, vec![2.0, 2.0, 5.0, 5.0]);
+/// assert_eq!(env.lower, vec![0.0, 0.0, 1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Point-wise window maximum.
+    pub upper: Vec<f64>,
+    /// Point-wise window minimum.
+    pub lower: Vec<f64>,
+}
+
+impl Envelope {
+    /// Builds the envelope of `series` for a Sakoe–Chiba band of half-width
+    /// `band` (`None` = unconstrained, i.e. the global min/max everywhere).
+    pub fn new(series: &[f64], band: Option<usize>) -> Self {
+        let n = series.len();
+        let w = band.unwrap_or(n);
+        let mut upper = Vec::with_capacity(n);
+        let mut lower = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(w);
+            let hi = (i + w).min(n - 1);
+            let window = &series[lo..=hi];
+            upper.push(window.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+            lower.push(window.iter().copied().fold(f64::INFINITY, f64::min));
+        }
+        Self { upper, lower }
+    }
+
+    /// Number of points covered.
+    pub fn len(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Whether the envelope covers zero points.
+    pub fn is_empty(&self) -> bool {
+        self.upper.is_empty()
+    }
+
+    /// Squared deviation of `x` from the envelope at index `i` (zero when
+    /// `x` lies inside the band).
+    fn deviation_sq(&self, i: usize, x: f64) -> f64 {
+        if x > self.upper[i] {
+            (x - self.upper[i]).powi(2)
+        } else if x < self.lower[i] {
+            (self.lower[i] - x).powi(2)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// LB_Kim: envelope deviation at the first and last points only, `O(1)`.
+///
+/// Every warping path matches the two endpoint cells, so their deviation
+/// from the candidate's envelope lower-bounds the DTW distance. This is
+/// the endpoint restriction of [`lb_keogh`], which makes the chain
+/// `lb_kim <= lb_keogh <= dtw` hold by construction.
+///
+/// Only defined for equal-length series (the paper's hourly grids always
+/// are); returns `0.0` — trivially admissible — otherwise.
+pub fn lb_kim(query: &[f64], candidate_env: &Envelope) -> f64 {
+    let n = query.len();
+    if n == 0 || candidate_env.len() != n {
+        return 0.0;
+    }
+    let mut sum = candidate_env.deviation_sq(0, query[0]);
+    if n > 1 {
+        sum += candidate_env.deviation_sq(n - 1, query[n - 1]);
+    }
+    sum.sqrt()
+}
+
+/// LB_Keogh: envelope deviation summed over every point, `O(N)`.
+///
+/// For equal-length series under a Sakoe–Chiba band of half-width `w`,
+/// every warping path visits at least one in-band cell `(i, j)` per row
+/// with `|i - j| <= w`, and `(a_i - b_j)^2` is at least `a_i`'s squared
+/// deviation from the `±w` envelope of `b`. Summing one such term per row
+/// therefore lower-bounds the DTW distance. Returns `0.0` for unequal
+/// lengths (trivially admissible).
+///
+/// # Example
+///
+/// ```
+/// use oat_timeseries::dtw::dtw_distance;
+/// use oat_timeseries::prune::{lb_keogh, Envelope};
+///
+/// let a: Vec<f64> = (0..48).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let b: Vec<f64> = (0..48).map(|i| (i as f64 * 0.3).cos()).collect();
+/// let env = Envelope::new(&b, Some(4));
+/// assert!(lb_keogh(&a, &env) <= dtw_distance(&a, &b, Some(4)));
+/// ```
+pub fn lb_keogh(query: &[f64], candidate_env: &Envelope) -> f64 {
+    let n = query.len();
+    if n == 0 || candidate_env.len() != n {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (i, &x) in query.iter().enumerate() {
+        sum += candidate_env.deviation_sq(i, x);
+    }
+    sum.sqrt()
+}
+
+/// Tally of how a pruned search disposed of candidate pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneStats {
+    /// Candidate pairs considered.
+    pub pairs: u64,
+    /// Pruned by [`lb_kim`] alone (`O(1)` per pair).
+    pub lb_kim: u64,
+    /// Pruned by [`lb_keogh`] (`O(N)` per pair).
+    pub lb_keogh: u64,
+    /// Abandoned mid-DTW by [`dtw_distance_ea`].
+    pub early_abandoned: u64,
+    /// Pairs that needed the complete DTW computation.
+    pub full: u64,
+}
+
+impl PruneStats {
+    /// Pairs short-circuited before a complete DTW (all three tiers).
+    pub fn pruned(&self) -> u64 {
+        self.lb_kim + self.lb_keogh + self.early_abandoned
+    }
+
+    /// Fraction of pairs short-circuited (`0.0` for an empty tally).
+    pub fn prune_rate(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / self.pairs as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.pairs += other.pairs;
+        self.lb_kim += other.lb_kim;
+        self.lb_keogh += other.lb_keogh;
+        self.early_abandoned += other.early_abandoned;
+        self.full += other.full;
+    }
+}
+
+impl std::fmt::Display for PruneStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pairs: {} lb_kim, {} lb_keogh, {} abandoned, {} full ({:.1}% pruned)",
+            self.pairs,
+            self.lb_kim,
+            self.lb_keogh,
+            self.early_abandoned,
+            self.full,
+            100.0 * self.prune_rate()
+        )
+    }
+}
+
+/// Nearest neighbour of `query` among `candidates` under banded DTW, using
+/// the full pruning cascade. `envelopes[i]` must be the [`Envelope`] of
+/// `candidates[i]` built with the same `band`. `skip` excludes one index
+/// (typically the query itself for self-joins).
+///
+/// Returns `(index, distance)` of the closest candidate — identical, ties
+/// broken toward the lower index, to an exhaustive scan — or `None` when
+/// no candidate yields a finite distance. `stats` is updated with how each
+/// pair was disposed of.
+pub fn nearest_neighbor(
+    query: &[f64],
+    candidates: &[Vec<f64>],
+    envelopes: &[Envelope],
+    band: Option<usize>,
+    skip: Option<usize>,
+    stats: &mut PruneStats,
+) -> Option<(usize, f64)> {
+    assert_eq!(
+        candidates.len(),
+        envelopes.len(),
+        "one envelope per candidate"
+    );
+    let mut best: Option<(usize, f64)> = None;
+    for (i, candidate) in candidates.iter().enumerate() {
+        if Some(i) == skip {
+            continue;
+        }
+        stats.pairs += 1;
+        let cutoff = best.map_or(f64::INFINITY, |(_, d)| d);
+        if lb_kim(query, &envelopes[i]) > cutoff {
+            stats.lb_kim += 1;
+            continue;
+        }
+        if lb_keogh(query, &envelopes[i]) > cutoff {
+            stats.lb_keogh += 1;
+            continue;
+        }
+        let d = dtw_distance_ea(query, candidate, band, cutoff);
+        if d.is_infinite() {
+            // Either abandoned against a finite cutoff or genuinely
+            // infinite (empty candidate); both leave `best` untouched.
+            if cutoff.is_finite() {
+                stats.early_abandoned += 1;
+            } else {
+                stats.full += 1;
+            }
+            continue;
+        }
+        stats.full += 1;
+        if d < cutoff {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw_distance;
+
+    fn wave(len: usize, phase: f64, scale: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 * 0.31 + phase).sin() * scale)
+            .collect()
+    }
+
+    #[test]
+    fn envelope_contains_series() {
+        let s = wave(40, 0.3, 2.0);
+        for band in [None, Some(0), Some(3), Some(100)] {
+            let env = Envelope::new(&s, band);
+            assert_eq!(env.len(), s.len());
+            for (i, &x) in s.iter().enumerate() {
+                assert!(env.lower[i] <= x && x <= env.upper[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_band_zero_is_series() {
+        let s = wave(10, 0.0, 1.0);
+        let env = Envelope::new(&s, Some(0));
+        assert_eq!(env.upper, s);
+        assert_eq!(env.lower, s);
+    }
+
+    #[test]
+    fn envelope_empty() {
+        let env = Envelope::new(&[], Some(3));
+        assert!(env.is_empty());
+        assert_eq!(env.len(), 0);
+    }
+
+    #[test]
+    fn lower_bound_chain_admissible() {
+        let a = wave(50, 0.0, 1.0);
+        for (phase, scale) in [(0.4, 1.0), (1.9, 3.0), (0.0, 1.0)] {
+            let b = wave(50, phase, scale);
+            for band in [None, Some(0), Some(4), Some(24)] {
+                let env = Envelope::new(&b, band);
+                let kim = lb_kim(&a, &env);
+                let keogh = lb_keogh(&a, &env);
+                let exact = dtw_distance(&a, &b, band);
+                assert!(kim <= keogh + 1e-12, "kim {kim} keogh {keogh}");
+                assert!(keogh <= exact + 1e-12, "keogh {keogh} dtw {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_zero_for_unequal_lengths() {
+        let env = Envelope::new(&wave(30, 0.0, 1.0), Some(4));
+        let q = wave(20, 0.5, 1.0);
+        assert_eq!(lb_kim(&q, &env), 0.0);
+        assert_eq!(lb_keogh(&q, &env), 0.0);
+    }
+
+    #[test]
+    fn nearest_neighbor_matches_exhaustive_scan() {
+        let band = Some(6);
+        let candidates: Vec<Vec<f64>> = (0..30)
+            .map(|i| wave(48, i as f64 * 0.7, 1.0 + (i % 5) as f64 * 0.3))
+            .collect();
+        let envelopes: Vec<Envelope> = candidates.iter().map(|c| Envelope::new(c, band)).collect();
+        let mut stats = PruneStats::default();
+        for (q, query) in candidates.iter().enumerate() {
+            let (idx, dist) =
+                nearest_neighbor(query, &candidates, &envelopes, band, Some(q), &mut stats)
+                    .expect("non-empty candidate set");
+            // Exhaustive reference (first-wins on ties, like the cascade).
+            let (mut want_idx, mut want_dist) = (usize::MAX, f64::INFINITY);
+            for (i, c) in candidates.iter().enumerate() {
+                if i == q {
+                    continue;
+                }
+                let d = dtw_distance(query, c, band);
+                if d < want_dist {
+                    want_idx = i;
+                    want_dist = d;
+                }
+            }
+            assert_eq!(idx, want_idx, "query {q}");
+            assert_eq!(dist, want_dist, "query {q}: pruning must be exact");
+        }
+        assert_eq!(stats.pairs, 30 * 29);
+        assert_eq!(
+            stats.pairs,
+            stats.lb_kim + stats.lb_keogh + stats.early_abandoned + stats.full
+        );
+        assert!(
+            stats.pruned() > 0,
+            "cascade should prune something: {stats}"
+        );
+    }
+
+    #[test]
+    fn prune_stats_merge_and_rate() {
+        let mut a = PruneStats {
+            pairs: 10,
+            lb_kim: 2,
+            lb_keogh: 3,
+            early_abandoned: 1,
+            full: 4,
+        };
+        let b = PruneStats {
+            pairs: 10,
+            lb_kim: 0,
+            lb_keogh: 0,
+            early_abandoned: 0,
+            full: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.pairs, 20);
+        assert_eq!(a.pruned(), 6);
+        assert!((a.prune_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(PruneStats::default().prune_rate(), 0.0);
+        let text = format!("{a}");
+        assert!(text.contains("30.0% pruned"), "{text}");
+    }
+}

@@ -204,9 +204,7 @@ mod tests {
     }
 
     fn short_lived_series() -> Vec<f64> {
-        (0..WEEK)
-            .map(|t| if t < 5 { 100.0 } else { 0.0 })
-            .collect()
+        (0..WEEK).map(|t| if t < 5 { 100.0 } else { 0.0 }).collect()
     }
 
     fn flash_crowd_series() -> Vec<f64> {
@@ -218,9 +216,18 @@ mod tests {
     #[test]
     fn classifies_planted_archetypes() {
         assert_eq!(classify_trend(&diurnal_series(), H), TrendClass::Diurnal);
-        assert_eq!(classify_trend(&long_lived_series(), H), TrendClass::LongLived);
-        assert_eq!(classify_trend(&short_lived_series(), H), TrendClass::ShortLived);
-        assert_eq!(classify_trend(&flash_crowd_series(), H), TrendClass::FlashCrowd);
+        assert_eq!(
+            classify_trend(&long_lived_series(), H),
+            TrendClass::LongLived
+        );
+        assert_eq!(
+            classify_trend(&short_lived_series(), H),
+            TrendClass::ShortLived
+        );
+        assert_eq!(
+            classify_trend(&flash_crowd_series(), H),
+            TrendClass::FlashCrowd
+        );
     }
 
     #[test]
@@ -246,7 +253,10 @@ mod tests {
         let ac24 = autocorrelation(&s, H).unwrap();
         assert!(ac24 > 0.9, "diurnal lag-24 autocorr {ac24}");
         let ac12 = autocorrelation(&s, H / 2).unwrap();
-        assert!(ac12 < 0.0, "half-period autocorr should be negative, got {ac12}");
+        assert!(
+            ac12 < 0.0,
+            "half-period autocorr should be negative, got {ac12}"
+        );
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Determinism contract of the parallel distance-matrix engine: the
+//! condensed buffer is bit-identical no matter how many threads fill it.
+
+use oat_timeseries::distance::{pairwise_matrix, pairwise_matrix_with_threads, Metric};
+
+/// Deterministic pseudo-random series (SplitMix-style), no external deps.
+fn series_set(n: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| (0..len).map(|_| next() * 100.0).collect())
+        .collect()
+}
+
+#[test]
+fn parallel_matrix_bit_identical_across_thread_counts() {
+    for metric in [
+        Metric::Dtw { band: Some(6) },
+        Metric::Dtw { band: None },
+        Metric::Euclidean,
+    ] {
+        let series = series_set(40, 48, 0xA11CE);
+        let serial = pairwise_matrix_with_threads(&series, metric, 1).expect("n >= 2");
+        for threads in [2usize, 8] {
+            let parallel = pairwise_matrix_with_threads(&series, metric, threads).expect("n >= 2");
+            assert_eq!(
+                serial.as_slice(),
+                parallel.as_slice(),
+                "{metric:?} with {threads} threads must be bit-identical"
+            );
+        }
+        // The default entry point (0 = all cores) is the parallel path.
+        let default = pairwise_matrix(&series, metric).expect("n >= 2");
+        assert_eq!(serial, default);
+    }
+}
+
+#[test]
+fn parallel_matrix_values_match_metric() {
+    let series = series_set(15, 24, 7);
+    let m =
+        pairwise_matrix_with_threads(&series, Metric::Dtw { band: Some(4) }, 8).expect("n >= 2");
+    for i in 0..series.len() {
+        for j in (i + 1)..series.len() {
+            let want = Metric::Dtw { band: Some(4) }.distance(&series[i], &series[j]);
+            assert_eq!(m.get(i, j), want, "entry ({i}, {j})");
+        }
+    }
+}
+
+#[test]
+fn parallel_matrix_ragged_series_lengths() {
+    // Unequal lengths exercise the band-widening path under parallel fill.
+    let mut series = series_set(12, 20, 99);
+    for (i, s) in series.iter_mut().enumerate() {
+        s.truncate(8 + i);
+    }
+    let serial =
+        pairwise_matrix_with_threads(&series, Metric::Dtw { band: Some(3) }, 1).expect("n >= 2");
+    let parallel =
+        pairwise_matrix_with_threads(&series, Metric::Dtw { band: Some(3) }, 8).expect("n >= 2");
+    assert_eq!(serial.as_slice(), parallel.as_slice());
+}
+
+#[test]
+fn thread_count_exceeding_pairs_is_safe() {
+    let series = series_set(3, 10, 1);
+    let m = pairwise_matrix_with_threads(&series, Metric::Euclidean, 64).expect("n >= 2");
+    assert_eq!(m.len(), 3);
+    assert!(m.get(0, 1) > 0.0);
+}

@@ -1,11 +1,12 @@
 //! Property-based tests for `oat-timeseries` invariants.
 
 use oat_timeseries::{
-    distance::{euclidean, pairwise_matrix},
-    dtw::{dtw_distance, dtw_path},
+    distance::{euclidean, pairwise_matrix, pairwise_matrix_with_threads},
+    dtw::{dtw_distance, dtw_distance_ea, dtw_path},
     hierarchical::{cluster, Linkage},
     medoid::medoid_index,
     normalize::{max_normalize, moving_average, rebin_sum, sum_normalize},
+    prune::{lb_keogh, lb_kim, Envelope},
     CondensedMatrix, Metric,
 };
 use proptest::prelude::*;
@@ -166,6 +167,50 @@ proptest! {
         let rb_total: f64 = rb.iter().sum();
         prop_assert!((total - rb_total).abs() < 1e-6);
         prop_assert_eq!(rb.len(), s.len().div_ceil(bucket));
+    }
+
+    #[test]
+    fn lower_bound_chain_admissible(a in series_strategy(30), b in series_strategy(30),
+                                    w in prop::option::of(0usize..12)) {
+        // Force equal lengths: the bounds are only nontrivial there.
+        let len = a.len().min(b.len());
+        let (a, b) = (&a[..len], &b[..len]);
+        let env = Envelope::new(b, w);
+        let kim = lb_kim(a, &env);
+        let keogh = lb_keogh(a, &env);
+        let full = dtw_distance(a, b, w);
+        prop_assert!(kim >= 0.0 && keogh >= 0.0);
+        prop_assert!(kim <= keogh + 1e-9, "LB_Kim {kim} > LB_Keogh {keogh}");
+        prop_assert!(keogh <= full + 1e-9, "LB_Keogh {keogh} > DTW {full}");
+    }
+
+    #[test]
+    fn early_abandon_exact_or_infinite(a in series_strategy(25), b in series_strategy(25),
+                                       w in prop::option::of(0usize..10),
+                                       frac in 0.0f64..2.0) {
+        let full = dtw_distance(&a, &b, w);
+        let cutoff = full * frac;
+        let ea = dtw_distance_ea(&a, &b, w, cutoff);
+        // Early abandoning either returns the exact distance (bit-identical)
+        // or declares the pair hopeless; it never fabricates a value.
+        prop_assert!(ea == full || ea == f64::INFINITY);
+        if cutoff > full {
+            prop_assert_eq!(ea, full);
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_deterministic(series in prop::collection::vec(series_strategy(12), 2..10),
+                                     threads in 1usize..9) {
+        let max_len = series.iter().map(Vec::len).max().unwrap();
+        let series: Vec<Vec<f64>> = series
+            .into_iter()
+            .map(|mut s| { s.resize(max_len, 0.0); s })
+            .collect();
+        let metric = Metric::Dtw { band: Some(3) };
+        let serial = pairwise_matrix_with_threads(&series, metric, 1).unwrap();
+        let parallel = pairwise_matrix_with_threads(&series, metric, threads).unwrap();
+        prop_assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -135,7 +135,12 @@ pub struct UaCorpus;
 
 const WINDOWS_VERSIONS: [&str; 4] = ["6.1", "6.3", "10.0", "6.2"];
 const MAC_VERSIONS: [&str; 3] = ["10_10_5", "10_11_1", "10_9_5"];
-const CHROME_VERSIONS: [&str; 4] = ["45.0.2454.101", "46.0.2490.86", "44.0.2403.157", "47.0.2526.73"];
+const CHROME_VERSIONS: [&str; 4] = [
+    "45.0.2454.101",
+    "46.0.2490.86",
+    "44.0.2403.157",
+    "47.0.2526.73",
+];
 const FIREFOX_VERSIONS: [&str; 3] = ["41.0", "42.0", "40.0.3"];
 const ANDROID_VERSIONS: [&str; 4] = ["4.4.2", "5.0.2", "5.1.1", "6.0"];
 const ANDROID_PHONES: [&str; 5] = ["Nexus 5", "SM-G920F", "HTC One_M8", "LG-D855", "XT1068"];
@@ -265,7 +270,10 @@ mod tests {
             DeviceMix::new(f64::NAN, 0.0, 0.0, 0.0).unwrap_err(),
             DeviceMixError::InvalidWeight
         );
-        assert_eq!(DeviceMix::new(0.0, 0.0, 0.0, 0.0).unwrap_err(), DeviceMixError::AllZero);
+        assert_eq!(
+            DeviceMix::new(0.0, 0.0, 0.0, 0.0).unwrap_err(),
+            DeviceMixError::AllZero
+        );
     }
 
     #[test]
@@ -274,7 +282,10 @@ mod tests {
         assert!((mix.desktop() - 0.75).abs() < 1e-12);
         assert!((mix.android() - 0.25).abs() < 1e-12);
         assert_eq!(mix.share(DeviceCategory::Ios), 0.0);
-        let total = DeviceCategory::ALL.iter().map(|&c| mix.share(c)).sum::<f64>();
+        let total = DeviceCategory::ALL
+            .iter()
+            .map(|&c| mix.share(c))
+            .sum::<f64>();
         assert!((total - 1.0).abs() < 1e-12);
     }
 
@@ -319,11 +330,15 @@ mod tests {
         let corpus = UaCorpus::new();
         let a: Vec<String> = {
             let mut rng = StdRng::seed_from_u64(5);
-            (0..50).map(|_| corpus.generate(DeviceCategory::Desktop, &mut rng)).collect()
+            (0..50)
+                .map(|_| corpus.generate(DeviceCategory::Desktop, &mut rng))
+                .collect()
         };
         let b: Vec<String> = {
             let mut rng = StdRng::seed_from_u64(5);
-            (0..50).map(|_| corpus.generate(DeviceCategory::Desktop, &mut rng)).collect()
+            (0..50)
+                .map(|_| corpus.generate(DeviceCategory::Desktop, &mut rng))
+                .collect()
         };
         assert_eq!(a, b);
     }

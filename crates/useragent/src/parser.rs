@@ -32,7 +32,11 @@ pub fn parse(ua: &str) -> Classification {
     let os = parse_os(&lower);
     let browser = parse_browser(&lower);
     let device = parse_device(&lower, os);
-    Classification { device, os, browser }
+    Classification {
+        device,
+        os,
+        browser,
+    }
 }
 
 fn parse_os(lower: &str) -> Os {

@@ -81,15 +81,15 @@ impl Catalog {
                 rng.gen_range(0..trace_secs.max(1))
             };
             let trend_class = profile.trend_mix.sample(rng);
-            let trend = TrendSpec::sample(
-                trend_class,
-                profile.diurnal.peak_hour(),
-                trace_hours,
-                rng,
-            );
+            let trend =
+                TrendSpec::sample(trend_class, profile.diurnal.peak_hour(), trace_hours, rng);
             // Front-page (diurnal) objects draw disproportionate attention
             // (the paper links diurnal patterns to front-page browsing).
-            let trend_bonus = if trend_class == TrendClass::Diurnal { 2.0 } else { 1.0 };
+            let trend_bonus = if trend_class == TrendClass::Diurnal {
+                2.0
+            } else {
+                1.0
+            };
             let weight = zipf[ranks[i]] * params.request_boost * trend_bonus;
             objects.push(CatalogObject {
                 id: ObjectId::new(rng.gen()),
@@ -102,7 +102,11 @@ impl Catalog {
             weights.push(weight);
         }
         let sampler = AliasTable::new(&weights).expect("weights are positive");
-        Self { publisher: profile.publisher, objects, sampler }
+        Self {
+            publisher: profile.publisher,
+            objects,
+            sampler,
+        }
     }
 
     /// The publisher this catalog belongs to.
@@ -137,12 +141,7 @@ impl Catalog {
     /// Uses acceptance-rejection over the static distribution; falls back
     /// to the best candidate seen when acceptance keeps failing (very early
     /// trace times with mostly-uninjected catalogs).
-    pub fn sample_at<R: Rng + ?Sized>(
-        &self,
-        t_secs: f64,
-        local_hour: f64,
-        rng: &mut R,
-    ) -> usize {
+    pub fn sample_at<R: Rng + ?Sized>(&self, t_secs: f64, local_hour: f64, rng: &mut R) -> usize {
         let mut best = 0usize;
         let mut best_intensity = -1.0f64;
         for _ in 0..48 {
@@ -287,7 +286,11 @@ mod tests {
     #[test]
     fn injection_times_within_trace() {
         let catalog = build(&SiteProfile::s1(), 5_000, 3);
-        let preexisting = catalog.objects().iter().filter(|o| o.injection_secs == 0).count();
+        let preexisting = catalog
+            .objects()
+            .iter()
+            .filter(|o| o.injection_secs == 0)
+            .count();
         let share = preexisting as f64 / 5_000.0;
         assert!((share - SiteProfile::s1().preexisting_fraction).abs() < 0.05);
         assert!(catalog.objects().iter().all(|o| o.injection_secs < WEEK));

@@ -43,7 +43,10 @@ impl LogNormal {
         if sigma < 0.0 || !sigma.is_finite() {
             return Err(DistError::InvalidParameter { name: "sigma" });
         }
-        Ok(Self { mu: median.ln(), sigma })
+        Ok(Self {
+            mu: median.ln(),
+            sigma,
+        })
     }
 
     /// The distribution median.
@@ -275,7 +278,10 @@ mod tests {
         let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
-        assert!((median / 1000.0 - 1.0).abs() < 0.05, "sampled median {median}");
+        assert!(
+            (median / 1000.0 - 1.0).abs() < 0.05,
+            "sampled median {median}"
+        );
     }
 
     #[test]
@@ -323,7 +329,10 @@ mod tests {
         let d = BoundedPareto::new(1.0, 1000.0, 1.5).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let below_10 = (0..10_000).filter(|_| d.sample(&mut rng) < 10.0).count();
-        assert!(below_10 > 8_000, "power law should concentrate near min: {below_10}");
+        assert!(
+            below_10 > 8_000,
+            "power law should concentrate near min: {below_10}"
+        );
     }
 
     #[test]
@@ -397,8 +406,8 @@ mod tests {
     #[test]
     fn dist_error_display() {
         assert!(DistError::Empty.to_string().contains("at least one"));
-        assert!(
-            DistError::InvalidParameter { name: "alpha" }.to_string().contains("alpha")
-        );
+        assert!(DistError::InvalidParameter { name: "alpha" }
+            .to_string()
+            .contains("alpha"));
     }
 }

@@ -150,7 +150,10 @@ pub struct Trace {
 impl Trace {
     /// Convenience: requests of one site.
     pub fn site_requests(&self, publisher: oat_httplog::PublisherId) -> Vec<&Request> {
-        self.requests.iter().filter(|r| r.publisher == publisher).collect()
+        self.requests
+            .iter()
+            .filter(|r| r.publisher == publisher)
+            .collect()
     }
 }
 
@@ -191,12 +194,14 @@ pub fn generate(config: &TraceConfig) -> Result<Trace, ConfigError> {
     })
     .expect("generation threads panicked");
 
-    let mut requests: Vec<Request> =
-        per_site_requests.into_iter().flatten().collect();
+    let mut requests: Vec<Request> = per_site_requests.into_iter().flatten().collect();
     requests.sort_by_key(|r| (r.timestamp, r.user.raw(), r.object.raw()));
     Ok(Trace {
         requests,
-        catalogs: catalogs.into_iter().map(|c| c.expect("catalog built")).collect(),
+        catalogs: catalogs
+            .into_iter()
+            .map(|c| c.expect("catalog built"))
+            .collect(),
         populations,
         config: config.clone(),
     })
@@ -239,8 +244,7 @@ fn expected_records_per_view(catalog: &Catalog) -> f64 {
             let chunks = chunk_count(obj.size) as f64;
             // Half the views are progressive full downloads (1 record);
             // the rest fetch a mean watch fraction of 0.6 of the chunks.
-            FULL_VIDEO_FETCH_RATE
-                + (1.0 - FULL_VIDEO_FETCH_RATE) * (chunks * 0.6).max(1.0)
+            FULL_VIDEO_FETCH_RATE + (1.0 - FULL_VIDEO_FETCH_RATE) * (chunks * 0.6).max(1.0)
         } else {
             1.0
         };
@@ -288,7 +292,9 @@ fn generate_user(
                 break;
             }
             let idx = pick_object(site, catalog, user, &favorites, t, rng);
-            emit_view(site, config, catalog, user, idx, &mut t, &mut seen, rng, out);
+            emit_view(
+                site, config, catalog, user, idx, &mut t, &mut seen, rng, out,
+            );
             update_favorites(site, catalog, idx, &mut favorites, rng);
         }
     }
@@ -400,10 +406,7 @@ fn emit_view(
     }
 
     // Images / other: possibly a browser-cache revalidation.
-    let kind = if previously_seen
-        && !user.incognito
-        && rng.gen::<f64>() < site.revalidate_rate
-    {
+    let kind = if previously_seen && !user.incognito && rng.gen::<f64>() < site.revalidate_rate {
         RequestKind::Conditional
     } else {
         RequestKind::Full
@@ -470,18 +473,33 @@ mod tests {
     fn config_validation() {
         assert!(TraceConfig::paper_week().validate().is_ok());
         assert!(TraceConfig::small().validate().is_ok());
-        let bad_scale = TraceConfig { scale: 0.0, ..TraceConfig::small() };
+        let bad_scale = TraceConfig {
+            scale: 0.0,
+            ..TraceConfig::small()
+        };
         assert_eq!(bad_scale.validate().unwrap_err(), ConfigError::BadScale);
-        let bad_duration = TraceConfig { duration_secs: 60, ..TraceConfig::small() };
-        assert_eq!(bad_duration.validate().unwrap_err(), ConfigError::DurationTooShort);
-        let no_sites = TraceConfig { sites: vec![], ..TraceConfig::small() };
+        let bad_duration = TraceConfig {
+            duration_secs: 60,
+            ..TraceConfig::small()
+        };
+        assert_eq!(
+            bad_duration.validate().unwrap_err(),
+            ConfigError::DurationTooShort
+        );
+        let no_sites = TraceConfig {
+            sites: vec![],
+            ..TraceConfig::small()
+        };
         assert_eq!(no_sites.validate().unwrap_err(), ConfigError::NoSites);
         assert!(ConfigError::NoSites.to_string().contains("site"));
     }
 
     #[test]
     fn builder_methods() {
-        let c = TraceConfig::small().with_seed(7).with_scale(0.5).with_catalog_scale(0.25);
+        let c = TraceConfig::small()
+            .with_seed(7)
+            .with_scale(0.5)
+            .with_catalog_scale(0.25);
         assert_eq!(c.seed, 7);
         assert_eq!(c.scale, 0.5);
         assert_eq!(c.catalog_scale, 0.25);
@@ -555,7 +573,10 @@ mod tests {
             .iter()
             .filter(|r| matches!(r.kind, RequestKind::Range { .. }))
             .count();
-        assert!(ranges > 100, "expected chunked video requests, got {ranges}");
+        assert!(
+            ranges > 100,
+            "expected chunked video requests, got {ranges}"
+        );
         // Ranges stay within the object.
         for r in &trace.requests {
             if let RequestKind::Range { offset, length } = r.kind {
@@ -593,8 +614,10 @@ mod tests {
     fn poisson_sampler_mean() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_poisson(3.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(3.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 3.0).abs() < 0.1, "poisson mean {mean}");
         assert_eq!(sample_poisson(0.0, &mut rng), 0);
         assert_eq!(sample_poisson(-1.0, &mut rng), 0);

@@ -519,7 +519,11 @@ mod tests {
         let mobile_misc = s1.devices.android() + s1.devices.ios() + s1.devices.misc();
         assert!(mobile_misc > 1.0 / 3.0);
         for site in SiteProfile::paper_five() {
-            assert!(site.devices.desktop() > 0.5, "{} is desktop-majority", site.code);
+            assert!(
+                site.devices.desktop() > 0.5,
+                "{} is desktop-majority",
+                site.code
+            );
         }
     }
 
@@ -528,7 +532,12 @@ mod tests {
         let v1 = SiteProfile::v1();
         assert!(v1.diurnal.peak_hour() < 6.0);
         // V-1 has the most pronounced variation.
-        for other in [SiteProfile::v2(), SiteProfile::p1(), SiteProfile::p2(), SiteProfile::s1()] {
+        for other in [
+            SiteProfile::v2(),
+            SiteProfile::p1(),
+            SiteProfile::p2(),
+            SiteProfile::s1(),
+        ] {
             assert!(v1.diurnal.amplitude() > other.diurnal.amplitude());
         }
     }
@@ -536,7 +545,12 @@ mod tests {
     #[test]
     fn paper_anchor_p2_largest_videos() {
         let p2_median = SiteProfile::p2().video.sizes.primary.median();
-        for site in [SiteProfile::v1(), SiteProfile::v2(), SiteProfile::p1(), SiteProfile::s1()] {
+        for site in [
+            SiteProfile::v1(),
+            SiteProfile::v2(),
+            SiteProfile::p1(),
+            SiteProfile::s1(),
+        ] {
             assert!(p2_median > site.video.sizes.primary.median());
         }
     }
@@ -584,7 +598,10 @@ mod tests {
         assert!(!counts.contains_key(&TrendClass::ShortLived));
         assert!(!counts.contains_key(&TrendClass::Outlier));
         let diurnal_share = counts[&TrendClass::Diurnal] as f64 / 10_000.0;
-        assert!((diurnal_share - 0.61).abs() < 0.03, "diurnal share {diurnal_share}");
+        assert!(
+            (diurnal_share - 0.61).abs() < 0.03,
+            "diurnal share {diurnal_share}"
+        );
         assert!(counts[&TrendClass::FlashCrowd] > 1_000);
     }
 

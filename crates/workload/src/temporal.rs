@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn daily_mean_is_one() {
         let c = DiurnalCurve::new(5.0, 0.6);
-        let mean: f64 = (0..2400).map(|i| c.intensity(i as f64 / 100.0)).sum::<f64>() / 2400.0;
+        let mean: f64 = (0..2400)
+            .map(|i| c.intensity(i as f64 / 100.0))
+            .sum::<f64>()
+            / 2400.0;
         assert!((mean - 1.0).abs() < 1e-3);
     }
 }

@@ -61,15 +61,23 @@ impl TrendSpec {
             return 0.0;
         }
         match *self {
-            TrendSpec::Diurnal { amplitude, peak_hour } => {
-                DiurnalCurve::new(peak_hour, amplitude).intensity(local_hour)
-            }
-            TrendSpec::LongLived { decay_hours, amplitude, peak_hour } => {
+            TrendSpec::Diurnal {
+                amplitude,
+                peak_hour,
+            } => DiurnalCurve::new(peak_hour, amplitude).intensity(local_hour),
+            TrendSpec::LongLived {
+                decay_hours,
+                amplitude,
+                peak_hour,
+            } => {
                 let decay = (-t_secs / (decay_hours * HOUR)).exp();
                 decay * DiurnalCurve::new(peak_hour, amplitude).intensity(local_hour)
             }
             TrendSpec::ShortLived { decay_hours } => (-t_secs / (decay_hours * HOUR)).exp(),
-            TrendSpec::FlashCrowd { spike_after_hours, width_hours } => {
+            TrendSpec::FlashCrowd {
+                spike_after_hours,
+                width_hours,
+            } => {
                 let d = (t_secs / HOUR - spike_after_hours) / width_hours;
                 (-0.5 * d * d).exp()
             }
@@ -174,7 +182,11 @@ mod tests {
 
     #[test]
     fn long_lived_outlasts_short() {
-        let long = TrendSpec::LongLived { decay_hours: 30.0, amplitude: 0.0, peak_hour: 0.0 };
+        let long = TrendSpec::LongLived {
+            decay_hours: 30.0,
+            amplitude: 0.0,
+            peak_hour: 0.0,
+        };
         let short = TrendSpec::ShortLived { decay_hours: 4.0 };
         let t = 24.0 * 3600.0;
         assert!(long.intensity(t, 0.0) > short.intensity(t, 0.0) * 10.0);
@@ -182,7 +194,10 @@ mod tests {
 
     #[test]
     fn diurnal_persists_and_oscillates() {
-        let spec = TrendSpec::Diurnal { amplitude: 0.8, peak_hour: 2.0 };
+        let spec = TrendSpec::Diurnal {
+            amplitude: 0.8,
+            peak_hour: 2.0,
+        };
         let after_six_days = 6.0 * 86_400.0;
         assert!(spec.intensity(after_six_days, 2.0) > 1.5);
         assert!(spec.intensity(after_six_days, 14.0) < 0.5);
@@ -190,7 +205,10 @@ mod tests {
 
     #[test]
     fn flash_crowd_spikes_at_configured_time() {
-        let spec = TrendSpec::FlashCrowd { spike_after_hours: 50.0, width_hours: 2.0 };
+        let spec = TrendSpec::FlashCrowd {
+            spike_after_hours: 50.0,
+            width_hours: 2.0,
+        };
         assert!(spec.intensity(50.0 * 3600.0, 0.0) > 0.99);
         assert!(spec.intensity(10.0 * 3600.0, 0.0) < 1e-10);
         assert!(spec.intensity(90.0 * 3600.0, 0.0) < 1e-10);
@@ -198,7 +216,10 @@ mod tests {
 
     #[test]
     fn outlier_bumps_nonzero() {
-        let spec = TrendSpec::Outlier { bumps: [5.0, 50.0, 100.0], width_hours: 4.0 };
+        let spec = TrendSpec::Outlier {
+            bumps: [5.0, 50.0, 100.0],
+            width_hours: 4.0,
+        };
         for b in [5.0, 50.0, 100.0] {
             assert!(spec.intensity(b * 3600.0, 0.0) > 0.99);
         }

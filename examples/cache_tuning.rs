@@ -13,7 +13,9 @@ use oat::cdnsim::{plan_push, PolicyKind, SimConfig, Simulator};
 use oat::workload::{generate, TraceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = TraceConfig::small().with_scale(0.01).with_catalog_scale(0.03);
+    let config = TraceConfig::small()
+        .with_scale(0.01)
+        .with_catalog_scale(0.03);
     eprintln!("generating trace (seed {})...", config.seed);
     let trace = generate(&config)?;
     eprintln!("{} requests", trace.requests.len());

@@ -43,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             site.code,
             own,
             site.trough_hour(),
-            site.peak_to_trough().map_or("-".into(), |r| format!("{r:.2}")),
+            site.peak_to_trough()
+                .map_or("-".into(), |r| format!("{r:.2}")),
             classic_share,
             site.share_pct[own],
         );

@@ -27,42 +27,56 @@ fn main() {
     let records = sim.replay(trace.requests);
     println!("records: {}", records.len());
 
-    for (band, linkage) in [
-        (Some(24), oat::timeseries::Linkage::Ward),
-    ] {
-    println!("\n##### band {band:?} linkage {linkage:?} #####");
-    for class in [ContentClass::Video, ContentClass::Image] {
-        let mut analyzer = ClusteringAnalyzer::new(
-            config.sites[0].publisher,
-            "V-2",
-            class,
-            config.start_unix,
-            168,
-            ClusteringConfig { k: 5, min_requests: 24, band, linkage, ..Default::default() },
-        );
-        // Track which objects are clustered for purity computation.
-        for r in &records {
-            analyzer.observe(r);
+    for (band, linkage) in [(Some(24), oat::timeseries::Linkage::Ward)] {
+        println!("\n##### band {band:?} linkage {linkage:?} #####");
+        for class in [ContentClass::Video, ContentClass::Image] {
+            let mut analyzer = ClusteringAnalyzer::new(
+                config.sites[0].publisher,
+                "V-2",
+                class,
+                config.start_unix,
+                168,
+                ClusteringConfig {
+                    k: 5,
+                    min_requests: 24,
+                    band,
+                    linkage,
+                    ..Default::default()
+                },
+            );
+            // Track which objects are clustered for purity computation.
+            for r in &records {
+                analyzer.observe(r);
+            }
+            let report = analyzer.finish();
+            println!("\n== {class} ({} objects) ==", report.clustered_objects);
+            for c in &report.clusters {
+                let f = oat::timeseries::trend::trend_features(&c.medoid, 24);
+                println!(
+                    "  cluster size {:>4} share {:>5.1}% label {:<12} features {:?}",
+                    c.size,
+                    c.share * 100.0,
+                    c.label.to_string(),
+                    f.map(|f| (
+                        format!("ac24 {:.2}", f.autocorr_period),
+                        format!("peak {}", f.peak_index),
+                        format!("conc {:.2}", f.peak_concentration),
+                        format!("t90 {}", f.t90),
+                        format!("last {:.2}", f.last_period_mass)
+                    ))
+                );
+            }
+            // Per planted class: how many objects have >= min requests?
+            let mut planted = std::collections::HashMap::new();
+            for o in catalog
+                .objects()
+                .iter()
+                .filter(|o| o.content_class() == class)
+            {
+                *planted.entry(o.trend.class().to_string()).or_insert(0u32) += 1;
+            }
+            println!("  planted mix: {planted:?}");
+            let _ = &truth;
         }
-        let report = analyzer.finish();
-        println!("\n== {class} ({} objects) ==", report.clustered_objects);
-        for c in &report.clusters {
-            let f = oat::timeseries::trend::trend_features(&c.medoid, 24);
-            println!("  cluster size {:>4} share {:>5.1}% label {:<12} features {:?}",
-                c.size, c.share * 100.0, c.label.to_string(),
-                f.map(|f| (format!("ac24 {:.2}", f.autocorr_period),
-                           format!("peak {}", f.peak_index),
-                           format!("conc {:.2}", f.peak_concentration),
-                           format!("t90 {}", f.t90),
-                           format!("last {:.2}", f.last_period_mass))));
-        }
-        // Per planted class: how many objects have >= min requests?
-        let mut planted = std::collections::HashMap::new();
-        for o in catalog.objects().iter().filter(|o| o.content_class() == class) {
-            *planted.entry(o.trend.class().to_string()).or_insert(0u32) += 1;
-        }
-        println!("  planted mix: {planted:?}");
-        let _ = &truth;
-    }
     }
 }

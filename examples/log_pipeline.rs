@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Analyze the re-read text logs exactly as if they were real.
-    let reloaded = read_all(
-        std::fs::File::open(dir.join("access.log"))?,
-        Format::Text,
-    )?;
+    let reloaded = read_all(std::fs::File::open(dir.join("access.log"))?, Format::Text)?;
     let mut analyzer = CompositionAnalyzer::new(SiteMap::from_profiles(&config.sites));
     for r in &reloaded {
         analyzer.observe(r);

@@ -75,14 +75,22 @@ fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, Stri
     Ok(flags)
 }
 
-fn parse_f64(flags: &std::collections::HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+fn parse_f64(
+    flags: &std::collections::HashMap<String, String>,
+    name: &str,
+    default: f64,
+) -> Result<f64, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
     }
 }
 
-fn parse_u64(flags: &std::collections::HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+fn parse_u64(
+    flags: &std::collections::HashMap<String, String>,
+    name: &str,
+    default: u64,
+) -> Result<u64, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
@@ -137,8 +145,8 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let simulator = Simulator::new(&config.sim);
     let records = simulator.replay(trace.requests);
 
-    let file = std::fs::File::create(&out)
-        .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let file =
+        std::fs::File::create(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let written = write_all(std::io::BufWriter::new(file), format, &records)
         .map_err(|e| format!("write failed: {e}"))?;
     eprintln!(
@@ -149,11 +157,13 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load(flags: &std::collections::HashMap<String, String>) -> Result<(Vec<LogRecord>, Format), String> {
+fn load(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<(Vec<LogRecord>, Format), String> {
     let input = required_path(flags, "in")?;
     let format = resolve_format(flags, "format", &input)?;
-    let file = std::fs::File::open(&input)
-        .map_err(|e| format!("cannot open {}: {e}", input.display()))?;
+    let file =
+        std::fs::File::open(&input).map_err(|e| format!("cannot open {}: {e}", input.display()))?;
     let records = read_all(file, format).map_err(|e| format!("read failed: {e}"))?;
     Ok((records, format))
 }
@@ -164,8 +174,16 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     if records.is_empty() {
         return Err("no records to analyze".to_string());
     }
-    let start = records.iter().map(|r| r.timestamp).min().expect("non-empty");
-    let end = records.iter().map(|r| r.timestamp).max().expect("non-empty");
+    let start = records
+        .iter()
+        .map(|r| r.timestamp)
+        .min()
+        .expect("non-empty");
+    let end = records
+        .iter()
+        .map(|r| r.timestamp)
+        .max()
+        .expect("non-empty");
     // Align the analysis window to whole days.
     let duration = (end - start + 1).div_ceil(86_400) * 86_400;
     // Reconstruct cache stats from the records themselves.
@@ -196,15 +214,27 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         println!("0 records");
         return Ok(());
     }
-    let start = records.iter().map(|r| r.timestamp).min().expect("non-empty");
-    let end = records.iter().map(|r| r.timestamp).max().expect("non-empty");
+    let start = records
+        .iter()
+        .map(|r| r.timestamp)
+        .min()
+        .expect("non-empty");
+    let end = records
+        .iter()
+        .map(|r| r.timestamp)
+        .max()
+        .expect("non-empty");
     let bytes: u64 = records.iter().map(|r| r.bytes_served).sum();
     let users: std::collections::HashSet<_> = records.iter().map(|r| r.user).collect();
     let objects: std::collections::HashSet<_> = records.iter().map(|r| r.object).collect();
     let map = SiteMap::paper_five();
     println!("format:    {format:?}");
     println!("records:   {}", records.len());
-    println!("span:      {}s ({:.1} days)", end - start, (end - start) as f64 / 86_400.0);
+    println!(
+        "span:      {}s ({:.1} days)",
+        end - start,
+        (end - start) as f64 / 86_400.0
+    );
     println!("users:     {}", users.len());
     println!("objects:   {}", objects.len());
     println!("bytes:     {}", report::human_bytes(bytes));
@@ -225,8 +255,8 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     let (records, _) = load(&flags)?;
     let out = required_path(&flags, "out")?;
     let out_format = resolve_format(&flags, "out-format", &out)?;
-    let file = std::fs::File::create(&out)
-        .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let file =
+        std::fs::File::create(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let written = write_all(std::io::BufWriter::new(file), out_format, &records)
         .map_err(|e| format!("write failed: {e}"))?;
     eprintln!("oat: converted {written} records to {}", out.display());
@@ -238,13 +268,18 @@ mod tests {
     use super::*;
 
     fn flags(pairs: &[(&str, &str)]) -> std::collections::HashMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
     fn parse_flags_pairs() {
-        let args: Vec<String> =
-            ["--out", "x.log", "--scale", "0.5"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--out", "x.log", "--scale", "0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let f = parse_flags(&args).unwrap();
         assert_eq!(f["out"], "x.log");
         assert_eq!(f["scale"], "0.5");
@@ -265,11 +300,23 @@ mod tests {
     #[test]
     fn format_resolution() {
         let empty = flags(&[]);
-        assert_eq!(resolve_format(&empty, "format", Path::new("a.bin")).unwrap(), Format::Binary);
-        assert_eq!(resolve_format(&empty, "format", Path::new("a.log")).unwrap(), Format::Text);
-        assert_eq!(resolve_format(&empty, "format", Path::new("noext")).unwrap(), Format::Text);
+        assert_eq!(
+            resolve_format(&empty, "format", Path::new("a.bin")).unwrap(),
+            Format::Binary
+        );
+        assert_eq!(
+            resolve_format(&empty, "format", Path::new("a.log")).unwrap(),
+            Format::Text
+        );
+        assert_eq!(
+            resolve_format(&empty, "format", Path::new("noext")).unwrap(),
+            Format::Text
+        );
         let forced = flags(&[("format", "binary")]);
-        assert_eq!(resolve_format(&forced, "format", Path::new("a.log")).unwrap(), Format::Binary);
+        assert_eq!(
+            resolve_format(&forced, "format", Path::new("a.log")).unwrap(),
+            Format::Binary
+        );
         let bad = flags(&[("format", "xml")]);
         assert!(resolve_format(&bad, "format", Path::new("a.log")).is_err());
     }

@@ -14,7 +14,11 @@ fn trace() -> oat::workload::Trace {
 }
 
 fn hit_ratio(policy: PolicyKind, capacity: u64, requests: Vec<oat::httplog::Request>) -> f64 {
-    let sim = Simulator::new(&SimConfig::default_edge().with_policy(policy).with_capacity(capacity));
+    let sim = Simulator::new(
+        &SimConfig::default_edge()
+            .with_policy(policy)
+            .with_capacity(capacity),
+    );
     sim.replay(requests);
     sim.stats().hit_ratio().unwrap_or(0.0)
 }
@@ -23,7 +27,10 @@ fn hit_ratio(policy: PolicyKind, capacity: u64, requests: Vec<oat::httplog::Requ
 fn infinite_cache_upper_bounds_every_policy() {
     let trace = trace();
     let ceiling = hit_ratio(PolicyKind::Infinite, u64::MAX, trace.requests.clone());
-    assert!(ceiling > 0.5, "compulsory-miss ceiling is high: {ceiling:.3}");
+    assert!(
+        ceiling > 0.5,
+        "compulsory-miss ceiling is high: {ceiling:.3}"
+    );
     for policy in [
         PolicyKind::Lru,
         PolicyKind::Lfu,
@@ -90,8 +97,18 @@ fn tiered_cache_beats_unified_on_mixed_sizes() {
 fn push_placement_lifts_hit_ratio() {
     let trace = trace();
     let split = trace.config.start_unix + 86_400;
-    let day1: Vec<_> = trace.requests.iter().filter(|r| r.timestamp < split).cloned().collect();
-    let rest: Vec<_> = trace.requests.iter().filter(|r| r.timestamp >= split).cloned().collect();
+    let day1: Vec<_> = trace
+        .requests
+        .iter()
+        .filter(|r| r.timestamp < split)
+        .cloned()
+        .collect();
+    let rest: Vec<_> = trace
+        .requests
+        .iter()
+        .filter(|r| r.timestamp >= split)
+        .cloned()
+        .collect();
     assert!(!day1.is_empty() && !rest.is_empty());
 
     let base_sim = Simulator::new(&SimConfig::default_edge().with_capacity(1_000_000_000));
@@ -122,7 +139,9 @@ fn cooperative_caching_lifts_hit_ratio() {
     let isolated = plain.stats().hit_ratio().unwrap();
 
     let coop_sim = Simulator::new(
-        &SimConfig::default_edge().with_capacity(500_000_000).with_cooperative(),
+        &SimConfig::default_edge()
+            .with_capacity(500_000_000)
+            .with_cooperative(),
     );
     coop_sim.replay(trace.requests.clone());
     let cooperative = coop_sim.stats().hit_ratio().unwrap();
@@ -141,7 +160,10 @@ fn parent_tier_beats_flat_edges_at_equal_budget() {
         sim.replay(trace.requests.clone());
         sim.stats().hit_ratio().unwrap()
     };
-    let base = SimConfig { pops_per_region: 4, ..SimConfig::default_edge() };
+    let base = SimConfig {
+        pops_per_region: 4,
+        ..SimConfig::default_edge()
+    };
     let tiered = run(base.clone().with_capacity(edge).with_parent(4 * edge));
     let flat = run(base.with_capacity(2 * edge));
     assert!(

@@ -16,10 +16,22 @@ fn tmp(name: &str) -> std::path::PathBuf {
 fn generate_info_analyze_roundtrip() {
     let log = tmp("cli_roundtrip.log");
     let out = oat()
-        .args(["generate", "--out", log.to_str().unwrap(), "--scale", "0.002", "--seed", "3"])
+        .args([
+            "generate",
+            "--out",
+            log.to_str().unwrap(),
+            "--scale",
+            "0.002",
+            "--seed",
+            "3",
+        ])
         .output()
         .expect("run oat generate");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(log.exists());
 
     let info = oat()
@@ -47,22 +59,45 @@ fn convert_text_to_binary_preserves_records() {
     let log = tmp("cli_convert.log");
     let bin = tmp("cli_convert.bin");
     assert!(oat()
-        .args(["generate", "--out", log.to_str().unwrap(), "--scale", "0.001", "--seed", "5"])
+        .args([
+            "generate",
+            "--out",
+            log.to_str().unwrap(),
+            "--scale",
+            "0.001",
+            "--seed",
+            "5"
+        ])
         .status()
         .expect("generate")
         .success());
     assert!(oat()
-        .args(["convert", "--in", log.to_str().unwrap(), "--out", bin.to_str().unwrap()])
+        .args([
+            "convert",
+            "--in",
+            log.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap()
+        ])
         .status()
         .expect("convert")
         .success());
     // Binary output is smaller and reports the same record count.
     let text_size = std::fs::metadata(&log).unwrap().len();
     let bin_size = std::fs::metadata(&bin).unwrap().len();
-    assert!(bin_size < text_size, "binary ({bin_size}) < text ({text_size})");
+    assert!(
+        bin_size < text_size,
+        "binary ({bin_size}) < text ({text_size})"
+    );
 
-    let info_text = oat().args(["info", "--in", log.to_str().unwrap()]).output().unwrap();
-    let info_bin = oat().args(["info", "--in", bin.to_str().unwrap()]).output().unwrap();
+    let info_text = oat()
+        .args(["info", "--in", log.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let info_bin = oat()
+        .args(["info", "--in", bin.to_str().unwrap()])
+        .output()
+        .unwrap();
     let records_line = |out: &std::process::Output| {
         String::from_utf8_lossy(&out.stdout)
             .lines()
@@ -79,7 +114,10 @@ fn helpful_errors() {
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown command"));
 
-    let missing = oat().args(["info", "--in", "/nonexistent/zz.log"]).output().expect("run");
+    let missing = oat()
+        .args(["info", "--in", "/nonexistent/zz.log"])
+        .output()
+        .expect("run");
     assert!(!missing.status.success());
     assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot open"));
 
@@ -94,7 +132,15 @@ fn deterministic_generation_across_runs() {
     let b = tmp("cli_det_b.log");
     for path in [&a, &b] {
         assert!(oat()
-            .args(["generate", "--out", path.to_str().unwrap(), "--scale", "0.001", "--seed", "77"])
+            .args([
+                "generate",
+                "--out",
+                path.to_str().unwrap(),
+                "--scale",
+                "0.001",
+                "--seed",
+                "77"
+            ])
             .status()
             .expect("generate")
             .success());

@@ -65,8 +65,14 @@ fn fig2a_request_composition() {
         image > video,
         "V-2 image requests ({image:.2}) outnumber video ({video:.2})"
     );
-    assert!((0.2..0.5).contains(&video), "V-2 video request share ~34%: {video:.2}");
-    assert!((0.5..0.8).contains(&image), "V-2 image request share ~62%: {image:.2}");
+    assert!(
+        (0.2..0.5).contains(&video),
+        "V-2 video request share ~34%: {video:.2}"
+    );
+    assert!(
+        (0.5..0.8).contains(&image),
+        "V-2 image request share ~62%: {image:.2}"
+    );
 }
 
 #[test]
@@ -119,7 +125,11 @@ fn fig4_device_mix() {
         );
     }
     let v2 = r.devices.site("V-2").unwrap();
-    assert!(v2.user_pct[0] > 93.0, "V-2 > 95% desktop, got {:.1}%", v2.user_pct[0]);
+    assert!(
+        v2.user_pct[0] > 93.0,
+        "V-2 > 95% desktop, got {:.1}%",
+        v2.user_pct[0]
+    );
     let s1 = r.devices.site("S-1").unwrap();
     assert!(
         s1.mobile_and_misc_pct() > 30.0,
@@ -231,7 +241,11 @@ fn fig8_10_clustering_recovers_trend_families() {
             report.code,
             report.clustered_objects
         );
-        assert!(report.clusters.len() >= 3, "{}: several clusters", report.code);
+        assert!(
+            report.clusters.len() >= 3,
+            "{}: several clusters",
+            report.code
+        );
         // Shares sum to 1 over clustered objects.
         let total: f64 = report.clusters.iter().map(|c| c.share).sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -244,8 +258,7 @@ fn fig8_10_clustering_recovers_trend_families() {
     // Across both targets, the recovered labels include a persistent
     // (diurnal) family and a decaying/bursty family — the paper's key
     // qualitative split.
-    let all_labels: Vec<TrendClass> =
-        r.clusterings.iter().flat_map(|c| c.labels()).collect();
+    let all_labels: Vec<TrendClass> = r.clusterings.iter().flat_map(|c| c.labels()).collect();
     assert!(
         all_labels.contains(&TrendClass::Diurnal),
         "diurnal family recovered: {all_labels:?}"
@@ -288,7 +301,10 @@ fn fig12_short_sessions() {
     let v1 = r.sessions.site("V-1").unwrap().median_secs().unwrap();
     let p1 = r.sessions.site("P-1").unwrap().median_secs().unwrap();
     assert!(v1 > p1, "video sessions outlast image sessions");
-    assert_eq!(r.sessions.timeout_secs, 600, "the paper's 10-minute timeout");
+    assert_eq!(
+        r.sessions.timeout_secs, 600,
+        "the paper's 10-minute timeout"
+    );
 }
 
 #[test]
@@ -331,14 +347,23 @@ fn fig15_cache_hit_ratios() {
     let mut correlated = 0;
     for s in &r.cache.summaries {
         if let Some(c) = s.popularity_correlation {
-            assert!(c > 0.5, "{}: popularity-hit correlation positive, got {c}", s.code);
+            assert!(
+                c > 0.5,
+                "{}: popularity-hit correlation positive, got {c}",
+                s.code
+            );
             correlated += 1;
         }
     }
     assert!(correlated >= 4, "correlation computable for most sites");
     // Image objects cache at least as well as video on the image-heavy
     // sites (chunked one-shot video views cache poorly).
-    let p1_image = r.cache.site("P-1", ContentClass::Image).unwrap().mean().unwrap();
+    let p1_image = r
+        .cache
+        .site("P-1", ContentClass::Image)
+        .unwrap()
+        .mean()
+        .unwrap();
     assert!(p1_image > 0.2, "P-1 image objects get cache hits");
 }
 
@@ -367,6 +392,10 @@ fn fig16_response_codes() {
     // 206 only appears for video, never images.
     for code in ["P-1", "S-1"] {
         let d = r.responses.site(code, ContentClass::Image).unwrap();
-        assert_eq!(d.count(HttpStatus::PARTIAL_CONTENT), 0, "{code}: no image 206s");
+        assert_eq!(
+            d.count(HttpStatus::PARTIAL_CONTENT),
+            0,
+            "{code}: no image 206s"
+        );
     }
 }

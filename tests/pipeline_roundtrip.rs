@@ -9,7 +9,10 @@ use oat::httplog::io::{read_all, write_all, Format};
 use oat::httplog::LogStreamExt;
 use oat::workload::{generate, TraceConfig};
 
-fn records() -> (Vec<oat::httplog::LogRecord>, Vec<oat::workload::SiteProfile>) {
+fn records() -> (
+    Vec<oat::httplog::LogRecord>,
+    Vec<oat::workload::SiteProfile>,
+) {
     let config = TraceConfig::small()
         .with_scale(0.002)
         .with_catalog_scale(0.01)
@@ -59,7 +62,10 @@ fn stream_filters_compose_over_real_traffic() {
         .time_window(window_start..window_end)
         .content_class(oat::httplog::ContentClass::Video)
         .collect();
-    assert!(!filtered.is_empty(), "V-1 video traffic exists in the window");
+    assert!(
+        !filtered.is_empty(),
+        "V-1 video traffic exists in the window"
+    );
     for r in &filtered {
         assert_eq!(r.publisher, publisher);
         assert!((window_start..window_end).contains(&r.timestamp));
@@ -88,7 +94,9 @@ fn simulator_stats_match_record_stream() {
     assert_eq!(stats.hits, hits);
     // Every record's hour fits the configured trace window.
     let end = config.start_unix + config.duration_secs;
-    assert!(records.iter().all(|r| (config.start_unix..=end).contains(&r.timestamp)));
+    assert!(records
+        .iter()
+        .all(|r| (config.start_unix..=end).contains(&r.timestamp)));
 }
 
 #[test]
@@ -105,7 +113,11 @@ fn ground_truth_catalog_consistency() {
             .iter()
             .map(|o| (o.id, o))
             .collect();
-        for req in trace.requests.iter().filter(|r| r.publisher == site.publisher) {
+        for req in trace
+            .requests
+            .iter()
+            .filter(|r| r.publisher == site.publisher)
+        {
             let obj = by_id.get(&req.object).expect("request references catalog");
             assert_eq!(req.object_size, obj.size);
             assert_eq!(req.format, obj.format);
