@@ -1,0 +1,57 @@
+//! Sharded-generation throughput: serial vs. sharded at 1/2/8 worker
+//! threads, plus the streaming drain path.
+//!
+//! Every variant produces a byte-identical trace — the comparison is pure
+//! records/s. Peak RSS is outside criterion's scope: check it with
+//! `/usr/bin/time -v repro --all` vs `repro --all --stream`; the streaming
+//! path retains one record-set copy where the batch path holds the trace,
+//! the replay output, and the analyzer slices (~2x) simultaneously.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oat_workload::{generate_streaming, generate_with, GenOptions, TraceConfig};
+
+fn bench_generate(c: &mut Criterion) {
+    let config = TraceConfig::paper_week()
+        .with_scale(0.01)
+        .with_catalog_scale(0.02);
+    let serial = GenOptions {
+        threads: 1,
+        shard_size: usize::MAX, // one shard per site ≈ the old serial path
+    };
+    let n_requests = generate_with(&config, &serial)
+        .expect("valid")
+        .requests
+        .len() as u64;
+
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_requests));
+    group.bench_function("serial_1pct_week", |b| {
+        b.iter(|| generate_with(&config, &serial).expect("valid"))
+    });
+    for threads in [1usize, 2, 8] {
+        let opts = GenOptions {
+            threads,
+            shard_size: 0,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("sharded_1pct_week", threads),
+            &opts,
+            |b, opts| b.iter(|| generate_with(&config, opts).expect("valid")),
+        );
+    }
+    group.bench_function("streaming_drain_1pct_week", |b| {
+        b.iter(|| {
+            let stream = generate_streaming(&config, &GenOptions::default(), 0).expect("valid");
+            let mut total = 0usize;
+            for batch in stream.batches.iter() {
+                total += batch.len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

@@ -13,7 +13,7 @@
 
 use oat_cdnsim::cache::{CachePolicy, LruCache, SlruCache, TieredCache};
 use oat_cdnsim::{cacheable_key, plan_push, LatencyModel, PolicyKind, SimConfig, Simulator};
-use oat_core::experiment::{ExperimentConfig, ExperimentResult};
+use oat_core::experiment::{ExperimentConfig, ExperimentResult, StreamOptions};
 use oat_core::report;
 use oat_httplog::ContentClass;
 use oat_timeseries::{distance::pairwise_matrix, hierarchical, Linkage, Metric};
@@ -30,6 +30,8 @@ struct Options {
     capacity: Option<u64>,
     csv_dir: Option<std::path::PathBuf>,
     threads: usize,
+    stream: bool,
+    shard_size: usize,
 }
 
 impl Default for Options {
@@ -44,6 +46,8 @@ impl Default for Options {
             capacity: None,
             csv_dir: None,
             threads: 0,
+            stream: false,
+            shard_size: 0,
         }
     }
 }
@@ -91,14 +95,25 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--threads needs a count (0 = all cores)")?;
                 opts.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
             }
+            "--stream" => opts.stream = true,
+            "--shard-size" => {
+                let v = args
+                    .next()
+                    .ok_or("--shard-size needs a user count (0 = default)")?;
+                opts.shard_size = v.parse().map_err(|_| format!("bad shard size {v:?}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--fig N]... [--ablation NAME] \
                      [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] \
-                     [--csv-dir DIR] [--threads N]\n\
+                     [--csv-dir DIR] [--threads N] [--stream] [--shard-size N]\n\
                      ablations: cache-policy tiered-cache push incognito ttl cooperative parent-tier dtw\n\
-                     --threads: DTW matrix worker threads (0 = all cores); results are \
-                     bit-identical at any setting"
+                     --threads: generation + DTW matrix worker threads (0 = all cores); \
+                     results are bit-identical at any setting\n\
+                     --stream: pipeline generate -> replay -> analyze through bounded \
+                     batches (one retained record copy instead of three) — same result\n\
+                     --shard-size: users per generation shard (0 = default); any value \
+                     yields the identical trace"
                 );
                 std::process::exit(0);
             }
@@ -159,11 +174,23 @@ fn run_experiment(opts: &Options) -> ExperimentResult {
         .unwrap_or((64e9 * opts.catalog_scale).max(2e9) as u64);
     config.clustering.threads = opts.threads;
     eprintln!(
-        "repro: scale {} catalog-scale {} seed {}",
-        opts.scale, opts.catalog_scale, opts.seed
+        "repro: scale {} catalog-scale {} seed {}{}",
+        opts.scale,
+        opts.catalog_scale,
+        opts.seed,
+        if opts.stream { " (streaming)" } else { "" }
     );
     let start = std::time::Instant::now();
-    let result = oat_core::experiment::run(&config).expect("valid config");
+    let result = if opts.stream {
+        let stream_opts = StreamOptions {
+            threads: opts.threads,
+            shard_size: opts.shard_size,
+            batch_size: 0,
+        };
+        oat_core::experiment::run_streaming(&config, &stream_opts).expect("valid config")
+    } else {
+        oat_core::experiment::run(&config).expect("valid config")
+    };
     eprintln!(
         "repro: {} records analyzed in {:.1?}",
         result.records,

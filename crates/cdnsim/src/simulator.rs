@@ -326,6 +326,24 @@ impl Simulator {
             .collect()
     }
 
+    /// Replays a stream of time-sorted request batches, handing each batch
+    /// of finished records to `sink` as soon as it is served.
+    ///
+    /// Cache and statistics state carries across batches, and each batch is
+    /// replayed with [`Simulator::replay`] (parallel across PoPs, records
+    /// in request order) — so the concatenated sink output is identical to
+    /// a single `replay` over the concatenated batches, while only one
+    /// batch of requests and one batch of records are ever in flight.
+    pub fn replay_stream<I, F>(&self, batches: I, mut sink: F)
+    where
+        I: IntoIterator<Item = Vec<Request>>,
+        F: FnMut(Vec<LogRecord>),
+    {
+        for batch in batches {
+            sink(self.replay(batch));
+        }
+    }
+
     /// Pushes (prefetches) entries into *every* PoP cache — the paper's
     /// "push copies of popular objects closer to end-users" implication.
     pub fn preload<I>(&self, placements: I)
@@ -507,6 +525,28 @@ mod tests {
         let serial: Vec<LogRecord> = make(500).into_iter().map(|r| serial_sim.serve(r)).collect();
         assert_eq!(parallel, serial);
         assert_eq!(parallel_sim.stats(), serial_sim.stats());
+    }
+
+    #[test]
+    fn replay_stream_matches_replay() {
+        let make = |n: u64| -> Vec<Request> {
+            (0..n)
+                .map(|i| {
+                    let mut r = request(i % 7, i % 13, i, RequestKind::Full);
+                    r.region = Region::ALL[(i % 4) as usize];
+                    r
+                })
+                .collect()
+        };
+        let batch_sim = Simulator::new(&SimConfig::default_edge());
+        let whole = batch_sim.replay(make(500));
+
+        let stream_sim = Simulator::new(&SimConfig::default_edge());
+        let mut streamed = Vec::new();
+        let batches: Vec<Vec<Request>> = make(500).chunks(64).map(<[Request]>::to_vec).collect();
+        stream_sim.replay_stream(batches, |records| streamed.extend(records));
+        assert_eq!(whole, streamed);
+        assert_eq!(batch_sim.stats(), stream_sim.stats());
     }
 
     #[test]

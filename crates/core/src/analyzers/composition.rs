@@ -4,7 +4,7 @@
 //! Fig 2a counts requests per class; Fig 2b sums the traffic volume per
 //! class (bytes actually served, which is what an edge log measures).
 
-use super::Analyzer;
+use super::{Analyzer, StreamAnalyzer};
 use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId};
 use serde::{Deserialize, Serialize};
@@ -92,6 +92,8 @@ impl CompositionAnalyzer {
         }
     }
 }
+
+impl StreamAnalyzer for CompositionAnalyzer {}
 
 impl Analyzer for CompositionAnalyzer {
     type Output = CompositionReport;

@@ -5,7 +5,7 @@
 //! everywhere; V-2 exceeds 95 % desktop; more than a third of S-1 visitors
 //! arrive from smartphones/misc devices.
 
-use super::Analyzer;
+use super::{Analyzer, StreamAnalyzer};
 use crate::sitemap::SiteMap;
 use oat_httplog::{LogRecord, UserId};
 use oat_useragent::DeviceCategory;
@@ -77,6 +77,8 @@ impl DeviceAnalyzer {
         }
     }
 }
+
+impl StreamAnalyzer for DeviceAnalyzer {}
 
 impl Analyzer for DeviceAnalyzer {
     type Output = DeviceReport;

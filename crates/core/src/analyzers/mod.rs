@@ -29,14 +29,43 @@ pub trait Analyzer {
     /// Consumes one record.
     fn observe(&mut self, record: &LogRecord);
 
+    /// Consumes a batch of records. The default forwards to [`observe`]
+    /// record by record; analyzers with a cheaper batched path may
+    /// override it, provided the result is identical.
+    ///
+    /// [`observe`]: Analyzer::observe
+    fn observe_batch(&mut self, records: &[LogRecord]) {
+        for r in records {
+            self.observe(r);
+        }
+    }
+
     /// Finalizes and returns the figure data.
     fn finish(self) -> Self::Output;
 }
 
+/// Marker for analyzers that are truly single-pass: their output depends
+/// only on the folded observation sequence, never on holding the whole
+/// record set. These are safe to feed incrementally from the streaming
+/// pipeline ([`crate::experiment::run_streaming`]) while the records that
+/// produced earlier batches are no longer addressable.
+pub trait StreamAnalyzer: Analyzer {}
+
 /// Runs one analyzer over a record slice (convenience for tests/benches).
 pub fn run_analyzer<A: Analyzer>(mut analyzer: A, records: &[LogRecord]) -> A::Output {
-    for r in records {
-        analyzer.observe(r);
+    analyzer.observe_batch(records);
+    analyzer.finish()
+}
+
+/// Runs one analyzer over a chunked record set (the retained copy kept by
+/// the streaming pipeline). Equivalent to [`run_analyzer`] over the
+/// concatenation of the chunks.
+pub fn run_analyzer_chunks<A: Analyzer>(
+    mut analyzer: A,
+    chunks: &[std::sync::Arc<Vec<LogRecord>>],
+) -> A::Output {
+    for chunk in chunks {
+        analyzer.observe_batch(chunk);
     }
     analyzer.finish()
 }

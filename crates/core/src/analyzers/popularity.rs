@@ -4,7 +4,7 @@
 //! (6b). The paper observes classic long-tailed distributions: a small
 //! fraction of objects draws most requests.
 
-use super::Analyzer;
+use super::{Analyzer, StreamAnalyzer};
 use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId};
 use oat_stats::{fit_zipf, zipf, Ecdf, ZipfFit};
@@ -68,6 +68,8 @@ impl PopularityAnalyzer {
         }
     }
 }
+
+impl StreamAnalyzer for PopularityAnalyzer {}
 
 impl Analyzer for PopularityAnalyzer {
     type Output = PopularityReport;

@@ -5,7 +5,7 @@
 //! 304 is strikingly rare because adult browsing happens in
 //! incognito/private mode, which discards the browser cache.
 
-use super::Analyzer;
+use super::{Analyzer, StreamAnalyzer};
 use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, HttpStatus, LogRecord};
 use serde::{Deserialize, Serialize};
@@ -82,6 +82,8 @@ impl ResponseAnalyzer {
         }
     }
 }
+
+impl StreamAnalyzer for ResponseAnalyzer {}
 
 impl Analyzer for ResponseAnalyzer {
     type Output = ResponseReport;

@@ -5,7 +5,7 @@
 //! largest videos, and image sizes are **bi-modal** (thumbnails vs
 //! full-resolution pictures ≤ 1 MB).
 
-use super::Analyzer;
+use super::{Analyzer, StreamAnalyzer};
 use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId};
 use oat_stats::{Ecdf, LogHistogram};
@@ -81,6 +81,8 @@ impl SizeAnalyzer {
         }
     }
 }
+
+impl StreamAnalyzer for SizeAnalyzer {}
 
 impl Analyzer for SizeAnalyzer {
     type Output = SizeReport;

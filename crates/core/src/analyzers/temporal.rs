@@ -4,7 +4,7 @@
 //! sites do *not* follow the classic 7–11 pm web peak: V-1 peaks in
 //! late-night/early-morning hours.
 
-use super::Analyzer;
+use super::{Analyzer, StreamAnalyzer};
 use crate::sitemap::SiteMap;
 use oat_httplog::LogRecord;
 use serde::{Deserialize, Serialize};
@@ -91,6 +91,8 @@ impl TemporalAnalyzer {
         }
     }
 }
+
+impl StreamAnalyzer for TemporalAnalyzer {}
 
 impl Analyzer for TemporalAnalyzer {
     type Output = TemporalReport;

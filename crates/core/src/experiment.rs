@@ -10,16 +10,18 @@ use crate::analyzers::{
     iat::{IatAnalyzer, IatReport},
     popularity::{PopularityAnalyzer, PopularityReport},
     response::{ResponseAnalyzer, ResponseReport},
-    run_analyzer,
+    run_analyzer, run_analyzer_chunks,
     sessions::{SessionAnalyzer, SessionReport},
     sizes::{SizeAnalyzer, SizeReport},
     temporal::{TemporalAnalyzer, TemporalReport},
+    Analyzer, StreamAnalyzer,
 };
 use crate::sitemap::SiteMap;
 use oat_cdnsim::{ServeStats, SimConfig, Simulator};
 use oat_httplog::{ContentClass, LogRecord};
-use oat_workload::{generate, ConfigError, TraceConfig};
+use oat_workload::{generate, generate_streaming, ConfigError, GenOptions, TraceConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration for one full reproduction run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,6 +108,19 @@ pub struct ExperimentResult {
     pub sim_stats: ServeStats,
 }
 
+/// Options for the streaming pipeline ([`run_streaming`]). Every knob
+/// affects only resource usage, never the result: a streaming run is
+/// result-identical to [`run`] for the same [`ExperimentConfig`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamOptions {
+    /// Worker threads for trace generation; `0` = all available cores.
+    pub threads: usize,
+    /// Users per generation shard; `0` = the workload crate's default.
+    pub shard_size: usize,
+    /// Requests per pipeline batch; `0` = the workload crate's default.
+    pub batch_size: usize,
+}
+
 /// Error running an experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExperimentError {
@@ -158,6 +173,184 @@ pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult, ExperimentErro
     ))
 }
 
+/// Runs a full reproduction through the streaming pipeline: trace batches
+/// flow generator → simulator → analyzers through bounded channels, so the
+/// run never materializes more than one full copy of the record set (the
+/// retained chunks needed by the multi-pass analyzers) plus the bounded
+/// in-flight batches.
+///
+/// Single-pass analyzers ([`StreamAnalyzer`]) consume each record batch as
+/// soon as the simulator emits it; multi-pass analyzers (sessions,
+/// addiction, clustering, cache, aging, iat) replay the retained chunks
+/// once generation finishes. The result equals [`run`] exactly — same
+/// requests (per-user RNG streams), same replay order per PoP, same
+/// analyzer folds.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Config`] if the trace config is invalid.
+pub fn run_streaming(
+    config: &ExperimentConfig,
+    opts: &StreamOptions,
+) -> Result<ExperimentResult, ExperimentError> {
+    let gen_opts = GenOptions {
+        threads: opts.threads,
+        shard_size: opts.shard_size,
+    };
+    let stream = generate_streaming(&config.trace, &gen_opts, opts.batch_size)?;
+    let map = SiteMap::from_profiles(&config.trace.sites);
+    let simulator = Simulator::new(&config.sim);
+    let hours = (config.trace.duration_secs / 3600) as usize;
+    let days = (config.trace.duration_secs / 86_400).max(1) as usize;
+
+    let composition = CompositionAnalyzer::new(map.clone());
+    let temporal = TemporalAnalyzer::new(map.clone());
+    let devices = DeviceAnalyzer::new(map.clone());
+    let sizes = SizeAnalyzer::new(map.clone());
+    let popularity = PopularityAnalyzer::new(map.clone());
+    let responses = ResponseAnalyzer::new(map.clone());
+    let aging = AgingAnalyzer::new(map.clone(), days);
+    let iat = IatAnalyzer::new(map.clone());
+    let sessions = SessionAnalyzer::new(map.clone());
+    let addiction = AddictionAnalyzer::new(map.clone());
+    let cache = CacheAnalyzer::new(map.clone());
+    let clusterers = build_clusterers(
+        &map,
+        config.trace.start_unix,
+        hours,
+        &config.clustering,
+        &config.clustering_targets,
+    );
+
+    let simulator = &simulator;
+    let result = crossbeam::thread::scope(|scope| {
+        let (composition_tx, composition) = spawn_feed(scope, composition);
+        let (temporal_tx, temporal) = spawn_feed(scope, temporal);
+        let (devices_tx, devices) = spawn_feed(scope, devices);
+        let (sizes_tx, sizes) = spawn_feed(scope, sizes);
+        let (popularity_tx, popularity) = spawn_feed(scope, popularity);
+        let (responses_tx, responses) = spawn_feed(scope, responses);
+        let feeds = [
+            composition_tx,
+            temporal_tx,
+            devices_tx,
+            sizes_tx,
+            popularity_tx,
+            responses_tx,
+        ];
+
+        // Drive the pipeline: replay each request batch as it arrives,
+        // broadcast the records to the single-pass feeds, and retain the
+        // chunk — the single full copy, needed by the multi-pass pass.
+        let mut retained: Vec<Arc<Vec<LogRecord>>> = Vec::new();
+        for batch in stream.batches.iter() {
+            let chunk = Arc::new(simulator.replay(batch));
+            for tx in &feeds {
+                tx.send(Arc::clone(&chunk)).expect("analyzer feed alive");
+            }
+            retained.push(chunk);
+        }
+        drop(feeds); // close the feeds so the single-pass analyzers finish
+        let sim_stats = simulator.stats();
+
+        let composition = composition.join().expect("composition analyzer panicked");
+        let temporal = temporal.join().expect("temporal analyzer panicked");
+        let devices = devices.join().expect("device analyzer panicked");
+        let sizes = sizes.join().expect("size analyzer panicked");
+        let popularity = popularity.join().expect("popularity analyzer panicked");
+        let responses = responses.join().expect("response analyzer panicked");
+
+        // Multi-pass analyzers replay the retained chunks, fanned out like
+        // the batch path.
+        let records = retained.iter().map(|c| c.len()).sum::<usize>() as u64;
+        let retained = &retained;
+        crossbeam::thread::scope(|scope| {
+            let aging = scope.spawn(move |_| run_analyzer_chunks(aging, retained));
+            let iat = scope.spawn(move |_| run_analyzer_chunks(iat, retained));
+            let sessions = scope.spawn(move |_| run_analyzer_chunks(sessions, retained));
+            let addiction = scope.spawn(move |_| run_analyzer_chunks(addiction, retained));
+            let cache = scope.spawn(move |_| run_analyzer_chunks(cache, retained));
+            let clusterers: Vec<_> = clusterers
+                .into_iter()
+                .map(|c| scope.spawn(move |_| run_analyzer_chunks(c, retained)))
+                .collect();
+            ExperimentResult {
+                composition,
+                temporal,
+                devices,
+                sizes,
+                popularity,
+                aging: aging.join().expect("aging analyzer panicked"),
+                clusterings: clusterers
+                    .into_iter()
+                    .map(|h| h.join().expect("clustering analyzer panicked"))
+                    .collect(),
+                iat: iat.join().expect("iat analyzer panicked"),
+                sessions: sessions.join().expect("session analyzer panicked"),
+                addiction: addiction.join().expect("addiction analyzer panicked"),
+                cache: cache.join().expect("cache analyzer panicked"),
+                responses,
+                records,
+                sim_stats,
+            }
+        })
+        .expect("multi-pass analyzer thread panicked")
+    })
+    .expect("streaming pipeline thread panicked");
+    Ok(result)
+}
+
+/// Spawns one single-pass analyzer on a scoped thread fed by a bounded
+/// channel of record chunks; returns the feed sender and the handle that
+/// yields the analyzer's output once the sender is dropped.
+fn spawn_feed<'env, 'scope, A>(
+    scope: &'scope crossbeam::thread::Scope<'env>,
+    mut analyzer: A,
+) -> (
+    crossbeam::channel::Sender<Arc<Vec<LogRecord>>>,
+    crossbeam::thread::ScopedJoinHandle<'scope, A::Output>,
+)
+where
+    A: StreamAnalyzer + Send + 'env,
+    A::Output: Send + 'env,
+{
+    let (tx, rx) = crossbeam::channel::bounded::<Arc<Vec<LogRecord>>>(2);
+    let handle = scope.spawn(move |_| {
+        for chunk in rx.iter() {
+            analyzer.observe_batch(&chunk);
+        }
+        analyzer.finish()
+    });
+    (tx, handle)
+}
+
+/// Builds one [`ClusteringAnalyzer`] per resolvable target (unknown site
+/// codes are skipped).
+fn build_clusterers(
+    map: &SiteMap,
+    trace_start: u64,
+    hours: usize,
+    clustering: &ClusteringConfig,
+    clustering_targets: &[(String, ContentClass)],
+) -> Vec<ClusteringAnalyzer> {
+    clustering_targets
+        .iter()
+        .filter_map(|(code, class)| {
+            let publisher = map
+                .publishers()
+                .find(|&p| map.code(p) == Some(code.as_str()))?;
+            Some(ClusteringAnalyzer::new(
+                publisher,
+                code.clone(),
+                *class,
+                trace_start,
+                hours,
+                clustering.clone(),
+            ))
+        })
+        .collect()
+}
+
 /// Analyzes an existing record stream (e.g. loaded from disk) with every
 /// figure analyzer.
 ///
@@ -187,22 +380,7 @@ pub fn analyze(
     let addiction = AddictionAnalyzer::new(map.clone());
     let cache = CacheAnalyzer::new(map.clone());
     let responses = ResponseAnalyzer::new(map.clone());
-    let clusterers: Vec<ClusteringAnalyzer> = clustering_targets
-        .iter()
-        .filter_map(|(code, class)| {
-            let publisher = map
-                .publishers()
-                .find(|&p| map.code(p) == Some(code.as_str()))?;
-            Some(ClusteringAnalyzer::new(
-                publisher,
-                code.clone(),
-                *class,
-                trace_start,
-                hours,
-                clustering.clone(),
-            ))
-        })
-        .collect();
+    let clusterers = build_clusterers(map, trace_start, hours, clustering, clustering_targets);
 
     // Fan out: every analyzer streams the shared slice on its own thread.
     // Each is a pure fold over `records`, so concurrency only reorders
@@ -284,6 +462,29 @@ mod tests {
         assert_eq!(a.records, b.records);
         assert_eq!(a.composition, b.composition);
         assert_eq!(a.sessions, b.sessions);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let batch = run(&tiny()).unwrap();
+        let streamed = run_streaming(
+            &tiny(),
+            &StreamOptions {
+                threads: 2,
+                shard_size: 37,
+                batch_size: 1_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn streaming_rejects_invalid_config() {
+        let mut config = tiny();
+        config.trace.scale = -1.0;
+        let err = run_streaming(&config, &StreamOptions::default()).unwrap_err();
+        assert!(matches!(err, ExperimentError::Config(_)));
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod export;
 pub mod report;
 pub mod sitemap;
 
-pub use analyzers::Analyzer;
-pub use experiment::{run, ExperimentConfig, ExperimentResult};
+pub use analyzers::{Analyzer, StreamAnalyzer};
+pub use experiment::{run, run_streaming, ExperimentConfig, ExperimentResult, StreamOptions};
 pub use sitemap::SiteMap;

@@ -1,14 +1,27 @@
 //! The trace generator: users × sessions × objects → a time-ordered
 //! request stream.
+//!
+//! Generation is sharded: each site's user population is split into
+//! fixed-size shards dispatched to a worker pool, and every user draws
+//! from a private RNG stream seeded by `(seed, site, user)` — so the
+//! emitted trace is byte-identical at any thread count *and* any shard
+//! size, including `threads = 1`. Shards sort locally and a k-way heap
+//! merge ([`crate::merge`]) combines them, replacing the former global
+//! post-hoc sort. [`generate_streaming`] exposes the merged stream as
+//! bounded batches for the streaming replay/analysis pipeline.
 
 use crate::catalog::Catalog;
 use crate::dist::LogNormal;
+use crate::merge::{merge_shards, KWayMerge, SortedShard};
 use crate::profile::SiteProfile;
 use crate::users::{build_population, UserProfile};
 use oat_httplog::{ContentClass, Request, RequestKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 pub use oat_httplog::request::CHUNK_BYTES;
 
@@ -21,6 +34,19 @@ pub const BEACON_RATE: f64 = 0.25;
 
 /// Maximum chunks fetched per video view.
 pub const MAX_CHUNKS_PER_VIEW: u64 = 15;
+
+/// Default users per generation shard. Small enough that even the
+/// laptop-scale configs produce more shards than cores (load balance),
+/// large enough that per-shard sort/merge overhead stays negligible.
+pub const DEFAULT_SHARD_SIZE: usize = 512;
+
+/// Default requests per streamed batch from [`generate_streaming`].
+pub const DEFAULT_BATCH_SIZE: usize = 32_768;
+
+/// Above this mean, the Poisson sampler switches from Knuth's product
+/// method (which needs `exp(-λ)` and `O(λ)` uniforms) to the normal
+/// approximation.
+const POISSON_NORMAL_CUTOFF: f64 = 30.0;
 
 /// Generation parameters for one trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,6 +159,36 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Options controlling *how* a trace is generated — never *what* it
+/// contains: any combination yields the same trace for the same config.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenOptions {
+    /// Worker threads for shard generation; `0` = all available cores.
+    pub threads: usize,
+    /// Users per generation shard; `0` = [`DEFAULT_SHARD_SIZE`].
+    pub shard_size: usize,
+}
+
+impl GenOptions {
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    fn resolved_shard_size(&self) -> usize {
+        if self.shard_size == 0 {
+            DEFAULT_SHARD_SIZE
+        } else {
+            self.shard_size
+        }
+    }
+}
+
 /// A generated trace: the request stream plus the generative ground truth.
 #[derive(Debug)]
 pub struct Trace {
@@ -145,33 +201,175 @@ pub struct Trace {
     pub populations: Vec<Vec<UserProfile>>,
     /// The configuration the trace was generated from.
     pub config: TraceConfig,
+    /// Per-site offset table built during the k-way merge:
+    /// `site_index[s]` lists the positions of site `s`'s requests in
+    /// `requests`, in order.
+    site_index: Vec<Vec<u32>>,
 }
 
 impl Trace {
     /// Convenience: requests of one site.
+    ///
+    /// Served from the per-site offset table recorded during the merge
+    /// (`O(k)` for `k` site requests), not a scan of the whole trace.
     pub fn site_requests(&self, publisher: oat_httplog::PublisherId) -> Vec<&Request> {
-        self.requests
+        match self
+            .config
+            .sites
             .iter()
-            .filter(|r| r.publisher == publisher)
-            .collect()
+            .position(|s| s.publisher == publisher)
+        {
+            Some(site) if site < self.site_index.len() => self.site_index[site]
+                .iter()
+                .map(|&pos| &self.requests[pos as usize])
+                .collect(),
+            _ => self
+                .requests
+                .iter()
+                .filter(|r| r.publisher == publisher)
+                .collect(),
+        }
     }
 }
 
-/// Generates a [`Trace`] from a [`TraceConfig`].
-///
-/// Sites are generated on parallel threads (one per site) with independent
-/// deterministic RNG streams, then merged and time-sorted.
+/// A trace being generated in the background: the generative ground truth
+/// (catalogs, populations) is available immediately; the request stream
+/// arrives as globally time-sorted batches on [`TraceStream::batches`].
+#[derive(Debug)]
+pub struct TraceStream {
+    /// Per-site catalogs, index-aligned with `config.sites`.
+    pub catalogs: Arc<Vec<Catalog>>,
+    /// Per-site user populations, index-aligned with `config.sites`.
+    pub populations: Arc<Vec<Vec<UserProfile>>>,
+    /// The configuration the trace is generated from.
+    pub config: TraceConfig,
+    /// Time-sorted request batches; the channel closes when the trace is
+    /// complete. Dropping the receiver cancels generation.
+    pub batches: crossbeam::channel::Receiver<Vec<Request>>,
+}
+
+/// Generates a [`Trace`] from a [`TraceConfig`] with default options
+/// (all cores, default shard size).
 ///
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the config fails validation.
 pub fn generate(config: &TraceConfig) -> Result<Trace, ConfigError> {
-    config.validate()?;
-    let mut catalogs: Vec<Option<Catalog>> = (0..config.sites.len()).map(|_| None).collect();
-    let mut populations: Vec<Vec<UserProfile>> = vec![Vec::new(); config.sites.len()];
-    let mut per_site_requests: Vec<Vec<Request>> = vec![Vec::new(); config.sites.len()];
+    generate_with(config, &GenOptions::default())
+}
 
-    crossbeam::thread::scope(|scope| {
+/// Generates a [`Trace`] with explicit threading/sharding options.
+///
+/// Each site's users are split into `shard_size` shards pulled from a
+/// shared queue by `threads` workers; every user's requests come from a
+/// private splitmix-derived RNG stream, so the output is byte-identical
+/// for any `GenOptions`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the config fails validation.
+pub fn generate_with(config: &TraceConfig, opts: &GenOptions) -> Result<Trace, ConfigError> {
+    config.validate()?;
+    let (catalogs, populations) = build_sites(config);
+    let shards = generate_shards(
+        config,
+        &catalogs,
+        &populations,
+        opts.resolved_threads(),
+        opts.resolved_shard_size(),
+    );
+    let (requests, site_index) = merge_shards(shards, config.sites.len());
+    Ok(Trace {
+        requests,
+        catalogs,
+        populations,
+        config: config.clone(),
+        site_index,
+    })
+}
+
+/// Starts generating a trace in the background, returning the ground
+/// truth plus a bounded channel of time-sorted request batches
+/// (`batch_size` requests each; `0` = [`DEFAULT_BATCH_SIZE`]).
+///
+/// The batches concatenate to exactly the `requests` of
+/// [`generate_with`] for the same config — the streaming and batch paths
+/// are interchangeable.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the config fails validation.
+pub fn generate_streaming(
+    config: &TraceConfig,
+    opts: &GenOptions,
+    batch_size: usize,
+) -> Result<TraceStream, ConfigError> {
+    config.validate()?;
+    let batch_size = if batch_size == 0 {
+        DEFAULT_BATCH_SIZE
+    } else {
+        batch_size
+    };
+    let threads = opts.resolved_threads();
+    let shard_size = opts.resolved_shard_size();
+    let (catalogs, populations) = build_sites(config);
+    let catalogs = Arc::new(catalogs);
+    let populations = Arc::new(populations);
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<Request>>(2);
+    {
+        let catalogs = Arc::clone(&catalogs);
+        let populations = Arc::clone(&populations);
+        let config = config.clone();
+        std::thread::spawn(move || {
+            let shards = generate_shards(&config, &catalogs, &populations, threads, shard_size);
+            let mut batch = Vec::with_capacity(batch_size);
+            for (_, request) in KWayMerge::new(shards) {
+                batch.push(request);
+                if batch.len() >= batch_size
+                    && tx
+                        .send(std::mem::replace(
+                            &mut batch,
+                            Vec::with_capacity(batch_size),
+                        ))
+                        .is_err()
+                {
+                    return; // receiver dropped: abandon the rest
+                }
+            }
+            if !batch.is_empty() {
+                let _ = tx.send(batch);
+            }
+        });
+    }
+    Ok(TraceStream {
+        catalogs,
+        populations,
+        config: config.clone(),
+        batches: rx,
+    })
+}
+
+/// SplitMix64 finalizer (Steele et al.) — the standard 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seed of one user's private RNG stream. Mixing `(seed, site, user)`
+/// through splitmix makes every stream independent of how users are
+/// grouped into shards and shards onto threads.
+fn user_stream_seed(seed: u64, site: u64, user: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed).wrapping_add(site)).wrapping_add(user))
+}
+
+/// Builds every site's catalog and user population (one thread per site;
+/// this phase is seconds even at paper scale). Uses the same per-site RNG
+/// stream derivation as the original serial generator, so ground truth is
+/// unchanged across the sharding refactor.
+fn build_sites(config: &TraceConfig) -> (Vec<Catalog>, Vec<Vec<UserProfile>>) {
+    let built: Vec<(Catalog, Vec<UserProfile>)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = config
             .sites
             .iter()
@@ -181,57 +379,163 @@ pub fn generate(config: &TraceConfig) -> Result<Trace, ConfigError> {
                 scope.spawn(move |_| {
                     let mut rng =
                         StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9 + i as u64 * 0x1000_0001));
-                    generate_site(site, config, &mut rng)
+                    let catalog_n = ((site.catalog_size as f64 * config.catalog_scale).round()
+                        as usize)
+                        .max(60);
+                    let catalog = Catalog::build(site, catalog_n, config.duration_secs, &mut rng);
+
+                    // Calibrate the user count from the target record volume.
+                    let expansion = expected_records_per_view(&catalog);
+                    let target_records = (site.request_volume as f64 * config.scale).max(50.0);
+                    let target_views = target_records / expansion;
+                    let views_per_user = site.sessions_per_user * site.requests_per_session;
+                    let n_users = ((target_views / views_per_user).round() as usize).max(10);
+                    let users = build_population(site, n_users, &mut rng);
+                    (catalog, users)
                 })
             })
             .collect();
-        for (i, h) in handles.into_iter().enumerate() {
-            let (catalog, users, requests) = h.join().expect("site generation panicked");
-            catalogs[i] = Some(catalog);
-            populations[i] = users;
-            per_site_requests[i] = requests;
-        }
-    })
-    .expect("generation threads panicked");
-
-    let mut requests: Vec<Request> = per_site_requests.into_iter().flatten().collect();
-    requests.sort_by_key(|r| (r.timestamp, r.user.raw(), r.object.raw()));
-    Ok(Trace {
-        requests,
-        catalogs: catalogs
+        handles
             .into_iter()
-            .map(|c| c.expect("catalog built"))
-            .collect(),
-        populations,
-        config: config.clone(),
+            .map(|h| h.join().expect("site build panicked"))
+            .collect()
     })
+    .expect("site build threads panicked");
+    built.into_iter().unzip()
 }
 
-fn generate_site(
-    site: &SiteProfile,
-    config: &TraceConfig,
-    rng: &mut StdRng,
-) -> (Catalog, Vec<UserProfile>, Vec<Request>) {
-    let duration = config.duration_secs;
-    let catalog_n = ((site.catalog_size as f64 * config.catalog_scale).round() as usize).max(60);
-    let catalog = Catalog::build(site, catalog_n, duration, rng);
+/// One unit of generation work: `site`'s users `[lo, hi)`.
+type ShardTask = (usize, usize, usize);
 
-    // Calibrate the user count from the target record volume.
-    let expansion = expected_records_per_view(&catalog);
-    let target_records = (site.request_volume as f64 * config.scale).max(50.0);
-    let target_views = target_records / expansion;
-    let views_per_user = site.sessions_per_user * site.requests_per_session;
-    let n_users = ((target_views / views_per_user).round() as usize).max(10);
-    let users = build_population(site, n_users, rng);
-
-    let iat = LogNormal::from_median(site.within_iat_median_secs, site.within_iat_sigma)
-        .expect("profile IAT parameters are valid");
-
-    let mut requests = Vec::with_capacity(target_records as usize + 16);
-    for user in &users {
-        generate_user(site, config, &catalog, user, &iat, rng, &mut requests);
+fn shard_tasks(populations: &[Vec<UserProfile>], shard_size: usize) -> Vec<ShardTask> {
+    let shard_size = shard_size.max(1);
+    let mut tasks = Vec::new();
+    for (site, users) in populations.iter().enumerate() {
+        let mut lo = 0;
+        while lo < users.len() {
+            let hi = lo.saturating_add(shard_size).min(users.len());
+            tasks.push((site, lo, hi));
+            lo = hi;
+        }
     }
-    (catalog, users, requests)
+    tasks
+}
+
+/// Generates every shard on a pool of `threads` workers pulling tasks
+/// from a shared queue. Shard outputs are placed by task index, so the
+/// result — and therefore the merged trace — is independent of which
+/// worker ran which shard.
+fn generate_shards(
+    config: &TraceConfig,
+    catalogs: &[Catalog],
+    populations: &[Vec<UserProfile>],
+    threads: usize,
+    shard_size: usize,
+) -> Vec<SortedShard> {
+    let tasks = shard_tasks(populations, shard_size);
+    let iats: Vec<LogNormal> = config
+        .sites
+        .iter()
+        .map(|site| {
+            LogNormal::from_median(site.within_iat_median_secs, site.within_iat_sigma)
+                .expect("profile IAT parameters are valid")
+        })
+        .collect();
+    let workers = threads.clamp(1, tasks.len().max(1));
+    let next = AtomicUsize::new(0);
+
+    let mut slots: Vec<Option<Vec<Request>>> = (0..tasks.len()).map(|_| None).collect();
+    let finished: Vec<Vec<(usize, Vec<Request>)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let config = &*config;
+                let tasks = &tasks;
+                let iats = &iats;
+                let next = &next;
+                let catalogs = &*catalogs;
+                let populations = &*populations;
+                scope.spawn(move |_| {
+                    let mut mine: Vec<(usize, Vec<Request>)> = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks.len() {
+                            break;
+                        }
+                        let (site, lo, hi) = tasks[t];
+                        let requests = generate_shard(
+                            config,
+                            &config.sites[site],
+                            &catalogs[site],
+                            &populations[site],
+                            &iats[site],
+                            site,
+                            lo,
+                            hi,
+                        );
+                        mine.push((t, requests));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+    .expect("shard workers panicked");
+    for (t, requests) in finished.into_iter().flatten() {
+        slots[t] = Some(requests);
+    }
+    tasks
+        .iter()
+        .zip(slots)
+        .map(|(&(site, _, _), requests)| SortedShard {
+            site,
+            requests: requests.expect("every shard generated"),
+        })
+        .collect()
+}
+
+/// Generates one shard — `site`'s users `[lo, hi)` — sorted by
+/// `(timestamp, user, object)`. The per-user scratch (`seen` set,
+/// favorites list) is allocated once per shard and reused across users.
+#[allow(clippy::too_many_arguments)]
+fn generate_shard(
+    config: &TraceConfig,
+    site: &SiteProfile,
+    catalog: &Catalog,
+    users: &[UserProfile],
+    iat: &LogNormal,
+    site_idx: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<Request> {
+    let views_per_user = (site.sessions_per_user * site.requests_per_session).ceil() as usize;
+    let mut out = Vec::with_capacity((hi - lo) * (views_per_user + 1) * 2);
+    // Pre-sized so the hot emit path never rehashes for a typical user.
+    let mut seen: HashSet<u64> = HashSet::with_capacity(views_per_user * 2 + 8);
+    let mut favorites: Vec<usize> = Vec::with_capacity(8);
+    for user_idx in lo..hi {
+        let mut rng = StdRng::seed_from_u64(user_stream_seed(
+            config.seed,
+            site_idx as u64,
+            user_idx as u64,
+        ));
+        generate_user(
+            site,
+            config,
+            catalog,
+            &users[user_idx],
+            iat,
+            &mut rng,
+            &mut seen,
+            &mut favorites,
+            &mut out,
+        );
+    }
+    out.sort_by_key(|r| (r.timestamp, r.user.raw(), r.object.raw()));
+    out
 }
 
 /// Expected emitted records per object view, weighted by popularity
@@ -271,14 +575,16 @@ fn generate_user(
     user: &UserProfile,
     iat: &LogNormal,
     rng: &mut StdRng,
+    seen: &mut HashSet<u64>,
+    favorites: &mut Vec<usize>,
     out: &mut Vec<Request>,
 ) {
+    seen.clear();
+    favorites.clear();
     // Mean activity is ~1.25 (Rayleigh(1) × U(0.5, 1.5)); normalize so the
     // configured per-user session mean holds.
     let lambda = site.sessions_per_user * user.activity / 1.25;
     let n_sessions = sample_poisson(lambda, rng).max(1);
-    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    let mut favorites: Vec<usize> = Vec::new();
 
     for _ in 0..n_sessions {
         let start = sample_session_start(site, config, user, rng);
@@ -291,11 +597,9 @@ fn generate_user(
             if t >= config.duration_secs as f64 {
                 break;
             }
-            let idx = pick_object(site, catalog, user, &favorites, t, rng);
-            emit_view(
-                site, config, catalog, user, idx, &mut t, &mut seen, rng, out,
-            );
-            update_favorites(site, catalog, idx, &mut favorites, rng);
+            let idx = pick_object(site, catalog, user, favorites, t, rng);
+            emit_view(site, config, catalog, user, idx, &mut t, seen, rng, out);
+            update_favorites(site, catalog, idx, favorites, rng);
         }
     }
 }
@@ -344,7 +648,7 @@ fn emit_view(
     user: &UserProfile,
     idx: usize,
     t: &mut f64,
-    seen: &mut std::collections::HashSet<u64>,
+    seen: &mut HashSet<u64>,
     rng: &mut StdRng,
     out: &mut Vec<Request>,
 ) {
@@ -439,12 +743,24 @@ fn update_favorites(
     }
 }
 
-/// Knuth's Poisson sampler (fine for the small means used here).
+/// Poisson sampler: Knuth's product method for small means, the normal
+/// approximation `N(λ, λ)` above [`POISSON_NORMAL_CUTOFF`]. The product
+/// method needs `exp(-λ)` — which underflows to zero around λ ≈ 745,
+/// turning the loop nonterminating — and `O(λ)` uniforms per sample; the
+/// normal branch is `O(1)` and accurate to a fraction of a percent at the
+/// cutoff.
 fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
     if lambda.is_nan() || lambda <= 0.0 {
         return 0;
     }
-    let l = (-lambda.min(50.0)).exp();
+    if lambda >= POISSON_NORMAL_CUTOFF {
+        // Box–Muller standard normal from two uniforms.
+        let u1 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        return (lambda + lambda.sqrt() * z).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
     let mut k = 0u64;
     let mut p = 1.0;
     loop {
@@ -524,6 +840,72 @@ mod tests {
         assert_eq!(a.requests[..50], b.requests[..50]);
         let c = generate(&tiny_config().with_seed(99)).unwrap();
         assert_ne!(a.requests[..50], c.requests[..50]);
+    }
+
+    #[test]
+    fn identical_across_thread_counts_and_shard_sizes() {
+        let config = tiny_config();
+        let reference = generate_with(
+            &config,
+            &GenOptions {
+                threads: 1,
+                shard_size: 64,
+            },
+        )
+        .unwrap();
+        for (threads, shard_size) in [(2, 64), (8, 64), (1, 7), (4, 1024), (3, usize::MAX)] {
+            let variant = generate_with(
+                &config,
+                &GenOptions {
+                    threads,
+                    shard_size,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                reference.requests, variant.requests,
+                "threads={threads} shard_size={shard_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_batches_concatenate_to_batch_trace() {
+        let config = tiny_config();
+        let batch_trace = generate(&config).unwrap();
+        let stream = generate_streaming(
+            &config,
+            &GenOptions {
+                threads: 2,
+                shard_size: 32,
+            },
+            500,
+        )
+        .unwrap();
+        assert_eq!(stream.catalogs.len(), 5);
+        assert_eq!(stream.populations.len(), 5);
+        let mut collected = Vec::new();
+        for batch in stream.batches.iter() {
+            assert!(batch.len() <= 500, "batch size bounded");
+            collected.extend(batch);
+        }
+        assert_eq!(batch_trace.requests, collected);
+    }
+
+    #[test]
+    fn site_request_table_matches_filter() {
+        let trace = generate(&tiny_config()).unwrap();
+        for site in &trace.config.sites {
+            let via_table = trace.site_requests(site.publisher);
+            let via_filter: Vec<&Request> = trace
+                .requests
+                .iter()
+                .filter(|r| r.publisher == site.publisher)
+                .collect();
+            assert_eq!(via_table, via_filter, "{}", site.code);
+        }
+        // An unknown publisher falls back to the (empty) filter path.
+        assert!(trace.site_requests(PublisherId::new(999)).is_empty());
     }
 
     #[test]
@@ -621,6 +1003,30 @@ mod tests {
         assert!((mean - 3.0).abs() < 0.1, "poisson mean {mean}");
         assert_eq!(sample_poisson(0.0, &mut rng), 0);
         assert_eq!(sample_poisson(-1.0, &mut rng), 0);
+        assert_eq!(sample_poisson(f64::NAN, &mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean_and_variance() {
+        // Knuth's product method underflows/loops for λ ≳ 700; the normal
+        // branch must pin both moments.
+        let mut rng = StdRng::seed_from_u64(7);
+        let lambda = 1_000.0;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_poisson(lambda, &mut rng) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let variance =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - lambda).abs() < 0.02 * lambda, "mean {mean}");
+        assert!(
+            (variance - lambda).abs() < 0.1 * lambda,
+            "variance {variance}"
+        );
+        // Terminates in O(1) even for means that break the product method.
+        let huge = sample_poisson(1.0e6, &mut rng);
+        assert!((0.9e6..1.1e6).contains(&(huge as f64)), "huge {huge}");
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   activity.
 //! * [`generator`] — sessions, inter-arrival gaps, video chunking,
 //!   addiction (repeat views), browser-cache revalidation, hot-link and
-//!   bad-range failures — merged into one time-sorted [`Request`] stream.
+//!   bad-range failures — generated on sharded per-user RNG streams so the
+//!   trace is byte-identical at any thread count.
+//! * [`merge`] — the k-way heap merge combining per-shard sorted output
+//!   into one time-sorted [`Request`] stream (batch or streaming).
 //!
 //! [`Request`]: oat_httplog::Request
 //!
@@ -43,13 +46,17 @@
 pub mod catalog;
 pub mod dist;
 pub mod generator;
+pub mod merge;
 pub mod profile;
 pub mod temporal;
 pub mod trendspec;
 pub mod users;
 
 pub use catalog::{Catalog, CatalogObject};
-pub use generator::{generate, ConfigError, Trace, TraceConfig, CHUNK_BYTES};
+pub use generator::{
+    generate, generate_streaming, generate_with, ConfigError, GenOptions, Trace, TraceConfig,
+    TraceStream, CHUNK_BYTES, DEFAULT_BATCH_SIZE, DEFAULT_SHARD_SIZE,
+};
 pub use profile::{ClassParams, SiteProfile, SizeModel, TrendMix};
 pub use temporal::DiurnalCurve;
 pub use trendspec::TrendSpec;

@@ -1,0 +1,230 @@
+//! K-way timestamp merge of per-shard sorted request streams.
+//!
+//! The sharded generator ([`crate::generator::generate_with`]) emits one
+//! sorted request vector per user shard. This module combines them into a
+//! single globally ordered stream with a binary-heap k-way merge instead
+//! of the former full re-sort: `O(n log k)` with `k` = shard count, and —
+//! crucially for the streaming pipeline — the merged head is available
+//! immediately, so requests can be batched onward while the tail is still
+//! queued.
+//!
+//! Ordering is by `(timestamp, user, object)` with ties broken by shard
+//! index. Shards never split a user, and each shard is itself stably
+//! sorted, so the merged stream is identical to a stable global sort of
+//! the concatenated shards — independent of shard size and thread count.
+
+use oat_httplog::Request;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::iter::Peekable;
+
+/// One generation shard's output.
+#[derive(Debug)]
+pub struct SortedShard {
+    /// Position of the owning site in `TraceConfig::sites`.
+    pub site: usize,
+    /// The shard's requests, sorted by `(timestamp, user, object)`.
+    pub requests: Vec<Request>,
+}
+
+/// Merge-heap key: `(timestamp, user, object, shard)`. The shard index
+/// both disambiguates equal request keys (stability) and locates the
+/// shard to advance.
+type MergeKey = (u64, u64, u64, usize);
+
+fn key_of(request: &Request, shard: usize) -> MergeKey {
+    (
+        request.timestamp,
+        request.user.raw(),
+        request.object.raw(),
+        shard,
+    )
+}
+
+/// Streaming k-way merge over sorted shards.
+///
+/// Yields `(site, request)` pairs in global `(timestamp, user, object)`
+/// order. Consumes the shard vectors; memory is released as shards drain.
+#[derive(Debug)]
+pub struct KWayMerge {
+    shards: Vec<(usize, Peekable<std::vec::IntoIter<Request>>)>,
+    heap: BinaryHeap<Reverse<MergeKey>>,
+    remaining: usize,
+}
+
+impl KWayMerge {
+    /// Builds a merge over `shards` (each already sorted).
+    pub fn new(shards: Vec<SortedShard>) -> Self {
+        let remaining = shards.iter().map(|s| s.requests.len()).sum();
+        let mut iters = Vec::with_capacity(shards.len());
+        let mut heap = BinaryHeap::with_capacity(shards.len());
+        for (i, shard) in shards.into_iter().enumerate() {
+            let SortedShard { site, requests } = shard;
+            let mut it = requests.into_iter().peekable();
+            if let Some(head) = it.peek() {
+                heap.push(Reverse(key_of(head, i)));
+            }
+            iters.push((site, it));
+        }
+        Self {
+            shards: iters,
+            heap,
+            remaining,
+        }
+    }
+
+    /// Requests left to yield.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for KWayMerge {
+    type Item = (usize, Request);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Reverse((_, _, _, idx)) = self.heap.pop()?;
+        let (site, it) = &mut self.shards[idx];
+        let request = it.next().expect("heap entry implies a pending request");
+        if let Some(head) = it.peek() {
+            self.heap.push(Reverse(key_of(head, idx)));
+        }
+        self.remaining -= 1;
+        Some((*site, request))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// Merges shards into one globally sorted vector plus the per-site offset
+/// table consumed by `Trace::site_requests`: `site_index[s]` lists, in
+/// order, the positions of site `s`'s requests in the merged vector.
+///
+/// # Panics
+///
+/// Panics if the merged trace exceeds `u32::MAX` requests (an in-memory
+/// trace two orders of magnitude beyond paper scale).
+pub fn merge_shards(shards: Vec<SortedShard>, n_sites: usize) -> (Vec<Request>, Vec<Vec<u32>>) {
+    let merge = KWayMerge::new(shards);
+    let mut requests = Vec::with_capacity(merge.remaining());
+    let mut site_index: Vec<Vec<u32>> = vec![Vec::new(); n_sites];
+    for (site, request) in merge {
+        let pos = u32::try_from(requests.len()).expect("in-memory traces stay below 2^32 requests");
+        if let Some(index) = site_index.get_mut(site) {
+            index.push(pos);
+        }
+        requests.push(request);
+    }
+    (requests, site_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_httplog::{ObjectId, UserId};
+
+    fn request(timestamp: u64, user: u64, object: u64) -> Request {
+        Request {
+            timestamp,
+            user: UserId::new(user),
+            object: ObjectId::new(object),
+            ..Request::example()
+        }
+    }
+
+    fn sorted(mut requests: Vec<Request>) -> Vec<Request> {
+        requests.sort_by_key(|r| (r.timestamp, r.user.raw(), r.object.raw()));
+        requests
+    }
+
+    #[test]
+    fn merge_matches_stable_global_sort() {
+        let a = sorted(vec![request(5, 1, 1), request(1, 2, 2), request(9, 3, 3)]);
+        let b = sorted(vec![request(2, 4, 4), request(2, 5, 5), request(7, 6, 6)]);
+        let c = sorted(vec![request(5, 1, 1), request(3, 7, 7)]);
+        let mut all: Vec<Request> = a.iter().chain(&b).chain(&c).cloned().collect();
+        all.sort_by_key(|r| (r.timestamp, r.user.raw(), r.object.raw()));
+
+        let shards = vec![
+            SortedShard {
+                site: 0,
+                requests: a,
+            },
+            SortedShard {
+                site: 1,
+                requests: b,
+            },
+            SortedShard {
+                site: 0,
+                requests: c,
+            },
+        ];
+        let merge = KWayMerge::new(shards);
+        assert_eq!(merge.remaining(), 8);
+        let merged: Vec<Request> = merge.map(|(_, r)| r).collect();
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn equal_keys_keep_shard_order() {
+        // Two shards holding byte-identical requests: shard 0's copy must
+        // come out first (stability).
+        let shards = vec![
+            SortedShard {
+                site: 1,
+                requests: vec![request(4, 9, 9)],
+            },
+            SortedShard {
+                site: 0,
+                requests: vec![request(4, 9, 9)],
+            },
+        ];
+        let order: Vec<usize> = KWayMerge::new(shards).map(|(site, _)| site).collect();
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn site_index_points_at_own_requests() {
+        let shards = vec![
+            SortedShard {
+                site: 0,
+                requests: sorted(vec![request(3, 1, 1), request(8, 1, 2)]),
+            },
+            SortedShard {
+                site: 1,
+                requests: sorted(vec![request(1, 2, 3), request(5, 2, 4)]),
+            },
+        ];
+        let (requests, site_index) = merge_shards(shards, 2);
+        assert_eq!(requests.len(), 4);
+        assert_eq!(site_index.len(), 2);
+        assert_eq!(site_index[0], vec![1, 3]);
+        assert_eq!(site_index[1], vec![0, 2]);
+        for (site, index) in site_index.iter().enumerate() {
+            for &pos in index {
+                let expected = if site == 0 { 1 } else { 2 };
+                assert_eq!(requests[pos as usize].user.raw(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_fine() {
+        let shards = vec![
+            SortedShard {
+                site: 0,
+                requests: Vec::new(),
+            },
+            SortedShard {
+                site: 1,
+                requests: vec![request(1, 1, 1)],
+            },
+        ];
+        let (requests, site_index) = merge_shards(shards, 2);
+        assert_eq!(requests.len(), 1);
+        assert!(site_index[0].is_empty());
+        assert_eq!(site_index[1], vec![0]);
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests for the workload generator's invariants.
 
-use oat_httplog::RequestKind;
-use oat_workload::{generate, Catalog, SiteProfile, TraceConfig};
+use oat_httplog::{Request, RequestKind};
+use oat_workload::{generate, generate_with, Catalog, GenOptions, SiteProfile, TraceConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,6 +56,71 @@ proptest! {
             prop_assert!(obj.size <= params.sizes.max_bytes);
             prop_assert!(obj.injection_secs < 7 * 86_400);
         }
+    }
+
+    #[test]
+    fn sharded_generation_invariant_to_threads_and_shards(
+        seed in 0u64..100_000,
+        threads in prop::sample::select(vec![1usize, 2, 8]),
+        shard_size in prop::sample::select(vec![7usize, 64, 1024]),
+    ) {
+        let config = TraceConfig {
+            scale: 0.0015,
+            catalog_scale: 0.008,
+            ..TraceConfig::paper_week()
+        }
+        .with_seed(seed);
+        let reference = generate_with(
+            &config,
+            &GenOptions { threads: 1, shard_size: 64 },
+        )
+        .unwrap();
+        let variant = generate_with(&config, &GenOptions { threads, shard_size }).unwrap();
+        prop_assert_eq!(
+            reference.requests,
+            variant.requests,
+            "trace must be byte-identical at threads={} shard_size={}",
+            threads,
+            shard_size
+        );
+    }
+
+    #[test]
+    fn merge_is_sorted_and_lossless(seed in 0u64..100_000) {
+        let config = TraceConfig {
+            scale: 0.0015,
+            catalog_scale: 0.008,
+            ..TraceConfig::paper_week()
+        }
+        .with_seed(seed);
+        let sharded = generate_with(&config, &GenOptions { threads: 2, shard_size: 7 }).unwrap();
+        for w in sharded.requests.windows(2) {
+            let a = (w[0].timestamp, w[0].user.raw(), w[0].object.raw());
+            let b = (w[1].timestamp, w[1].user.raw(), w[1].object.raw());
+            prop_assert!(a <= b, "globally sorted by (timestamp, user, object)");
+        }
+        // The serial path: one worker, one shard per site.
+        let serial = generate_with(
+            &config,
+            &GenOptions { threads: 1, shard_size: usize::MAX },
+        )
+        .unwrap();
+        // No request lost or invented: count and order-independent checksum
+        // agree, then the streams match outright.
+        prop_assert_eq!(serial.requests.len(), sharded.requests.len());
+        let checksum = |requests: &[Request]| -> u64 {
+            requests.iter().fold(0u64, |acc, r| {
+                acc.wrapping_add(
+                    r.timestamp
+                        .wrapping_mul(31)
+                        .wrapping_add(r.user.raw().rotate_left(17))
+                        .wrapping_add(r.object.raw().rotate_left(5))
+                        .wrapping_add(r.object_size),
+                )
+            })
+        };
+        prop_assert_eq!(checksum(&serial.requests), checksum(&sharded.requests));
+        prop_assert_eq!(serial.requests, sharded.requests);
     }
 
     #[test]
