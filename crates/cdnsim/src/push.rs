@@ -10,7 +10,7 @@
 use crate::cache::CacheKey;
 use oat_httplog::request::CHUNK_BYTES;
 use oat_httplog::{Request, RequestKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One planned placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +47,7 @@ pub fn cacheable_key(req: &Request) -> Option<(CacheKey, u64)> {
 ///
 /// Returns placements ordered most-popular-first.
 pub fn plan_push(window: &[Request], budget_bytes: u64) -> Vec<Placement> {
-    let mut counts: HashMap<CacheKey, (u64, u64)> = HashMap::new();
+    let mut counts: BTreeMap<CacheKey, (u64, u64)> = BTreeMap::new();
     for req in window {
         let (key, size) = match req.kind {
             RequestKind::Full => (CacheKey::whole(req.object), req.object_size),

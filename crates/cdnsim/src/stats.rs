@@ -2,9 +2,12 @@
 
 use oat_httplog::{HttpStatus, ObjectId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counters accumulated while serving requests (per PoP or aggregated).
+///
+/// Both maps are `BTreeMap` so serialized stats (and anything iterating
+/// them) are byte-identical across runs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Total requests served (all response codes).
@@ -18,10 +21,10 @@ pub struct ServeStats {
     /// Bytes fetched from the origin (miss traffic).
     pub origin_bytes: u64,
     /// Requests per HTTP status code.
-    pub status_counts: HashMap<u16, u64>,
+    pub status_counts: BTreeMap<u16, u64>,
     /// Per-object (hits, body requests) — feeds the paper's Figure 15
     /// per-object hit-ratio distributions.
-    pub per_object: HashMap<ObjectId, (u64, u64)>,
+    pub per_object: BTreeMap<ObjectId, (u64, u64)>,
 }
 
 impl ServeStats {

@@ -11,7 +11,8 @@ use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId, UserId};
 use oat_stats::Ecdf;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+// oat-lint: allow(ordered-output) — HashMap is the per-user accumulator only.
+use std::collections::{BTreeMap, HashMap};
 
 /// One Fig 13 scatter point: an object's request volume vs its audience.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -99,13 +100,17 @@ impl AddictionReport {
 #[derive(Debug)]
 pub struct AddictionAnalyzer {
     map: SiteMap,
-    per_object: Vec<HashMap<ObjectId, ObjectUsers>>,
+    // BTreeMap so `finish` emits scatter points in ObjectId order — the
+    // report is serialized and must be byte-identical across runs.
+    per_object: Vec<BTreeMap<ObjectId, ObjectUsers>>,
 }
 
 #[derive(Debug, Default)]
 struct ObjectUsers {
     class: Option<ContentClass>,
     requests: u64,
+    // Only reduced with order-independent ops (`len`, `max`), so the
+    // unordered map is safe here. oat-lint: allow(ordered-output)
     per_user: HashMap<UserId, u64>,
 }
 
@@ -115,7 +120,7 @@ impl AddictionAnalyzer {
         let n = map.len();
         Self {
             map,
-            per_object: (0..n).map(|_| HashMap::new()).collect(),
+            per_object: (0..n).map(|_| BTreeMap::new()).collect(),
         }
     }
 }

@@ -10,6 +10,8 @@ use super::Analyzer;
 use crate::sitemap::SiteMap;
 use oat_httplog::{LogRecord, ObjectId};
 use serde::{Deserialize, Serialize};
+// Per-object span accumulator; finish() only folds values into
+// order-independent day counters. oat-lint: allow(ordered-output)
 use std::collections::HashMap;
 
 const SECS_PER_DAY: u64 = 86_400;
@@ -56,7 +58,7 @@ pub struct AgingAnalyzer {
     map: SiteMap,
     days: usize,
     // site → object → (first_seen, last_seen) timestamps.
-    spans: Vec<HashMap<ObjectId, (u64, u64)>>,
+    spans: Vec<HashMap<ObjectId, (u64, u64)>>, // oat-lint: allow(ordered-output)
 }
 
 impl AgingAnalyzer {
@@ -66,7 +68,7 @@ impl AgingAnalyzer {
         Self {
             map,
             days: days.max(1),
-            spans: vec![HashMap::new(); n],
+            spans: vec![HashMap::new(); n], // oat-lint: allow(ordered-output)
         }
     }
 }

@@ -10,6 +10,8 @@ use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId};
 use oat_stats::{spearman, Ecdf};
 use serde::{Deserialize, Serialize};
+// Per-object hit accumulator; finish() reduces values into sorted
+// Ecdfs and summary scalars. oat-lint: allow(ordered-output)
 use std::collections::HashMap;
 
 /// Hit-ratio distribution for one (site, class).
@@ -76,7 +78,7 @@ impl CacheReport {
 #[derive(Debug)]
 pub struct CacheAnalyzer {
     map: SiteMap,
-    per_object: Vec<HashMap<ObjectId, ObjectHits>>,
+    per_object: Vec<HashMap<ObjectId, ObjectHits>>, // oat-lint: allow(ordered-output)
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -92,7 +94,7 @@ impl CacheAnalyzer {
         let n = map.len();
         Self {
             map,
-            per_object: vec![HashMap::new(); n],
+            per_object: vec![HashMap::new(); n], // oat-lint: allow(ordered-output)
         }
     }
 }

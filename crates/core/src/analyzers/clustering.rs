@@ -14,6 +14,8 @@ use oat_timeseries::{
     kmedoids, normalize, Linkage, Merge, Metric, TrendClass,
 };
 use serde::{Deserialize, Serialize};
+// Accumulators only: finish() sorts candidates by (count, ObjectId)
+// before any order-sensitive step. oat-lint: allow(ordered-output)
 use std::collections::HashMap;
 
 /// Configuration of the clustering pipeline.
@@ -111,17 +113,17 @@ pub struct ClusteringAnalyzer {
     trace_start: u64,
     hours: usize,
     config: ClusteringConfig,
-    counts: HashMap<ObjectId, SparseSeries>,
+    counts: HashMap<ObjectId, SparseSeries>, // oat-lint: allow(ordered-output)
     /// Dedup set so one viewer's chunk burst counts as a single viewing
     /// event per hour (raw 206 bursts would otherwise drown the temporal
     /// shape in multiplicative noise).
-    seen: std::collections::HashSet<(ObjectId, u32, UserId)>,
+    seen: std::collections::HashSet<(ObjectId, u32, UserId)>, // oat-lint: allow(ordered-output)
 }
 
 #[derive(Debug, Default)]
 struct SparseSeries {
     total: u64,
-    by_hour: HashMap<u32, u32>,
+    by_hour: HashMap<u32, u32>, // oat-lint: allow(ordered-output)
 }
 
 impl ClusteringAnalyzer {
@@ -142,8 +144,8 @@ impl ClusteringAnalyzer {
             trace_start,
             hours: hours.max(1),
             config,
-            counts: HashMap::new(),
-            seen: std::collections::HashSet::new(),
+            counts: HashMap::new(), // oat-lint: allow(ordered-output)
+            seen: std::collections::HashSet::new(), // oat-lint: allow(ordered-output)
         }
     }
 }

@@ -8,6 +8,8 @@ use super::{Analyzer, StreamAnalyzer};
 use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId};
 use serde::{Deserialize, Serialize};
+// Distinct-object sets are only reduced with `len()`, never iterated.
+// oat-lint: allow(ordered-output)
 use std::collections::HashSet;
 
 /// Per-site composition figures.
@@ -75,7 +77,7 @@ impl CompositionReport {
 #[derive(Debug)]
 pub struct CompositionAnalyzer {
     map: SiteMap,
-    seen_objects: Vec<[HashSet<ObjectId>; 3]>,
+    seen_objects: Vec<[HashSet<ObjectId>; 3]>, // oat-lint: allow(ordered-output)
     requests: Vec<[u64; 3]>,
     bytes: Vec<[u64; 3]>,
 }

@@ -10,6 +10,8 @@ use crate::sitemap::SiteMap;
 use oat_httplog::{LogRecord, UserId};
 use oat_useragent::DeviceCategory;
 use serde::{Deserialize, Serialize};
+// Per-user device lookup; finish() only tallies category counts,
+// which are order-independent. oat-lint: allow(ordered-output)
 use std::collections::HashMap;
 
 /// One site's device mix.
@@ -64,7 +66,7 @@ impl DeviceReport {
 #[derive(Debug)]
 pub struct DeviceAnalyzer {
     map: SiteMap,
-    users: Vec<HashMap<UserId, DeviceCategory>>,
+    users: Vec<HashMap<UserId, DeviceCategory>>, // oat-lint: allow(ordered-output)
 }
 
 impl DeviceAnalyzer {
@@ -73,7 +75,7 @@ impl DeviceAnalyzer {
         let n = map.len();
         Self {
             map,
-            users: vec![HashMap::new(); n],
+            users: vec![HashMap::new(); n], // oat-lint: allow(ordered-output)
         }
     }
 }

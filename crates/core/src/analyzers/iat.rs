@@ -9,6 +9,7 @@ use crate::sitemap::SiteMap;
 use oat_httplog::{LogRecord, UserId};
 use oat_stats::Ecdf;
 use serde::{Deserialize, Serialize};
+// oat-lint: allow(ordered-output) — map is only probed per record, never iterated.
 use std::collections::HashMap;
 
 /// One site's IAT distribution.
@@ -48,6 +49,8 @@ impl IatReport {
 #[derive(Debug)]
 pub struct IatAnalyzer {
     map: SiteMap,
+    // Keyed lookups only (insert returns the previous timestamp); iteration
+    // order never matters. oat-lint: allow(ordered-output)
     last_seen: Vec<HashMap<UserId, u64>>,
     gaps: Vec<Vec<f64>>,
 }
@@ -58,7 +61,7 @@ impl IatAnalyzer {
         let n = map.len();
         Self {
             map,
-            last_seen: vec![HashMap::new(); n],
+            last_seen: vec![HashMap::new(); n], // oat-lint: allow(ordered-output)
             gaps: vec![Vec::new(); n],
         }
     }

@@ -9,6 +9,8 @@ use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId};
 use oat_stats::{fit_zipf, zipf, Ecdf, ZipfFit};
 use serde::{Deserialize, Serialize};
+// Per-object request accumulator; finish() reduces values into sorted
+// Ecdfs and order-independent Zipf fits. oat-lint: allow(ordered-output)
 use std::collections::HashMap;
 
 /// Popularity distribution of one (site, class).
@@ -55,7 +57,7 @@ impl PopularityReport {
 #[derive(Debug)]
 pub struct PopularityAnalyzer {
     map: SiteMap,
-    counts: Vec<HashMap<ObjectId, (ContentClass, u64)>>,
+    counts: Vec<HashMap<ObjectId, (ContentClass, u64)>>, // oat-lint: allow(ordered-output)
 }
 
 impl PopularityAnalyzer {
@@ -64,7 +66,7 @@ impl PopularityAnalyzer {
         let n = map.len();
         Self {
             map,
-            counts: vec![HashMap::new(); n],
+            counts: vec![HashMap::new(); n], // oat-lint: allow(ordered-output)
         }
     }
 }

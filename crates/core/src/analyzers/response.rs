@@ -9,7 +9,7 @@ use super::{Analyzer, StreamAnalyzer};
 use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, HttpStatus, LogRecord};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Status-code counts for one (site, class).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -17,7 +17,7 @@ pub struct StatusCounts {
     /// Site code.
     pub code: String,
     /// Requests per status code.
-    pub counts: HashMap<u16, u64>,
+    pub counts: BTreeMap<u16, u64>,
 }
 
 impl StatusCounts {
@@ -67,8 +67,8 @@ impl ResponseReport {
 #[derive(Debug)]
 pub struct ResponseAnalyzer {
     map: SiteMap,
-    video: Vec<HashMap<u16, u64>>,
-    image: Vec<HashMap<u16, u64>>,
+    video: Vec<BTreeMap<u16, u64>>,
+    image: Vec<BTreeMap<u16, u64>>,
 }
 
 impl ResponseAnalyzer {
@@ -77,8 +77,8 @@ impl ResponseAnalyzer {
         let n = map.len();
         Self {
             map,
-            video: vec![HashMap::new(); n],
-            image: vec![HashMap::new(); n],
+            video: vec![BTreeMap::new(); n],
+            image: vec![BTreeMap::new(); n],
         }
     }
 }
@@ -101,7 +101,7 @@ impl Analyzer for ResponseAnalyzer {
     }
 
     fn finish(self) -> ResponseReport {
-        let collect = |tables: Vec<HashMap<u16, u64>>, map: &SiteMap| {
+        let collect = |tables: Vec<BTreeMap<u16, u64>>, map: &SiteMap| {
             map.publishers()
                 .zip(tables)
                 .map(|(publisher, counts)| StatusCounts {

@@ -10,6 +10,7 @@ use crate::sitemap::SiteMap;
 use oat_httplog::{LogRecord, UserId};
 use oat_stats::Ecdf;
 use serde::{Deserialize, Serialize};
+// oat-lint: allow(ordered-output) — per-user accumulator; finish() sorts.
 use std::collections::HashMap;
 
 /// The paper's session timeout (10 minutes).
@@ -64,7 +65,8 @@ struct OpenSession {
 pub struct SessionAnalyzer {
     map: SiteMap,
     timeout_secs: u64,
-    open: Vec<HashMap<UserId, OpenSession>>,
+    // Hot-path accumulator; drained in sorted UserId order by `finish`.
+    open: Vec<HashMap<UserId, OpenSession>>, // oat-lint: allow(ordered-output)
     lengths: Vec<Vec<f64>>,
     request_totals: Vec<u64>,
     session_counts: Vec<u64>,
@@ -82,7 +84,7 @@ impl SessionAnalyzer {
         Self {
             map,
             timeout_secs,
-            open: vec![HashMap::new(); n],
+            open: vec![HashMap::new(); n], // oat-lint: allow(ordered-output)
             lengths: vec![Vec::new(); n],
             request_totals: vec![0; n],
             session_counts: vec![0; n],
@@ -142,9 +144,12 @@ impl Analyzer for SessionAnalyzer {
     }
 
     fn finish(mut self) -> SessionReport {
-        // Close everything still open.
+        // Close everything still open, in sorted user order so the closing
+        // sequence (and thus every downstream artifact) is deterministic.
         for site in 0..self.map.len() {
-            let open = std::mem::take(&mut self.open[site]);
+            let mut open: Vec<(UserId, OpenSession)> =
+                std::mem::take(&mut self.open[site]).into_iter().collect();
+            open.sort_by_key(|&(user, _)| user);
             for (_, session) in open {
                 Self::close(
                     &mut self.lengths[site],

@@ -10,6 +10,8 @@ use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId};
 use oat_stats::{Ecdf, LogHistogram};
 use serde::{Deserialize, Serialize};
+// Per-object size accumulator; finish() reduces values into sorted
+// Ecdfs. oat-lint: allow(ordered-output)
 use std::collections::HashMap;
 
 /// Size distribution of one (site, class).
@@ -68,7 +70,7 @@ impl SizeReport {
 pub struct SizeAnalyzer {
     map: SiteMap,
     // site → object → (class, size); first sighting wins.
-    seen: Vec<HashMap<ObjectId, (ContentClass, u64)>>,
+    seen: Vec<HashMap<ObjectId, (ContentClass, u64)>>, // oat-lint: allow(ordered-output)
 }
 
 impl SizeAnalyzer {
@@ -77,7 +79,7 @@ impl SizeAnalyzer {
         let n = map.len();
         Self {
             map,
-            seen: vec![HashMap::new(); n],
+            seen: vec![HashMap::new(); n], // oat-lint: allow(ordered-output)
         }
     }
 }

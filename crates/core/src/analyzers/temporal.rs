@@ -32,7 +32,7 @@ impl HourlyProfile {
         self.share_pct
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite shares"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }

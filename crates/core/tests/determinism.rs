@@ -1,0 +1,48 @@
+//! Regression test for end-to-end output determinism.
+//!
+//! Two independent runs of the same experiment config must produce
+//! byte-identical serialized reports — this is the property the
+//! `ordered-output` lint rule (see `crates/oat-lint`) exists to protect.
+//! A `HashMap` iteration sneaking into any emission path shows up here as
+//! a byte diff in one of the exported CSVs.
+
+use oat_core::experiment::{self, ExperimentConfig};
+use oat_core::export;
+use std::path::PathBuf;
+
+fn tiny_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::small().with_seed(0x0a7_1e57);
+    // Shrink the trace so the double run stays in test-suite budget.
+    config.trace = config.trace.with_scale(0.1);
+    config
+}
+
+fn export_run(tag: &str) -> (PathBuf, Vec<String>) {
+    let result = experiment::run(&tiny_config()).expect("config is valid");
+    let dir = std::env::temp_dir().join(format!("oat-determinism-{}-{tag}", std::process::id()));
+    let files = export::write_csvs(&result, &dir).expect("export succeeds");
+    (dir, files)
+}
+
+#[test]
+fn repeated_runs_serialize_byte_identically() {
+    let (dir_a, files_a) = export_run("a");
+    let (dir_b, files_b) = export_run("b");
+
+    assert_eq!(files_a, files_b, "runs must export the same file set");
+    assert!(!files_a.is_empty(), "export produced no files");
+    for name in &files_a {
+        let a = std::fs::read(dir_a.join(name)).expect("file a readable");
+        let b = std::fs::read(dir_b.join(name)).expect("file b readable");
+        assert!(
+            a == b,
+            "{name} differs between two runs of the same config \
+             ({} vs {} bytes) — some emission path is order-dependent",
+            a.len(),
+            b.len()
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -37,7 +37,9 @@ pub fn encode(record: &LogRecord) -> String {
 /// Encodes a record, appending to `out` (no trailing newline).
 pub fn encode_into(record: &LogRecord, out: &mut String) {
     use std::fmt::Write as _;
-    write!(
+    // `fmt::Write` for `String` is infallible, so the results are discarded
+    // rather than unwrapped.
+    let _ = write!(
         out,
         "{}\t{}\t{:016x}\t{}\t{}\t{}\t{:016x}\t",
         record.timestamp,
@@ -47,18 +49,16 @@ pub fn encode_into(record: &LogRecord, out: &mut String) {
         record.object_size,
         record.bytes_served,
         record.user.raw(),
-    )
-    .expect("writing to String cannot fail");
+    );
     escape_into(&record.user_agent, out);
-    write!(
+    let _ = write!(
         out,
         "\t{}\t{}\t{}\t{}",
         record.cache_status.as_str(),
         record.status.code(),
         record.pop.raw(),
         record.tz_offset_secs,
-    )
-    .expect("writing to String cannot fail");
+    );
 }
 
 /// Decodes one line (without trailing newline).

@@ -1,0 +1,137 @@
+//! Crate-wide typed error for streaming IO.
+//!
+//! The codecs keep their own precise error types
+//! ([`TextDecodeError`](crate::codec::text::TextDecodeError),
+//! [`BinaryDecodeError`](crate::codec::binary::BinaryDecodeError),
+//! [`BinaryEncodeError`](crate::codec::binary::BinaryEncodeError));
+//! [`HttplogError`] is the union the streaming readers/writers and the shard
+//! utilities propagate, so callers can distinguish "the disk failed" from
+//! "the record is malformed" without string matching.
+
+use crate::codec::binary::{BinaryDecodeError, BinaryEncodeError};
+use crate::codec::text::TextDecodeError;
+use std::fmt;
+use std::io;
+
+/// Error produced by [`io`](crate::io) and [`shard`](crate::shard)
+/// operations.
+#[derive(Debug)]
+pub enum HttplogError {
+    /// An underlying IO operation failed.
+    Io(io::Error),
+    /// A text-format line failed to decode.
+    TextDecode(TextDecodeError),
+    /// A binary frame failed to decode.
+    BinaryDecode(BinaryDecodeError),
+    /// A record could not be encoded as a binary frame.
+    Encode(BinaryEncodeError),
+    /// A configuration value was rejected (e.g. a zero shard interval).
+    InvalidConfig(&'static str),
+}
+
+impl HttplogError {
+    /// True when the input itself (not the environment) is at fault: a
+    /// malformed record or an unencodable one.
+    pub fn is_data_error(&self) -> bool {
+        matches!(
+            self,
+            Self::TextDecode(_) | Self::BinaryDecode(_) | Self::Encode(_)
+        )
+    }
+}
+
+impl fmt::Display for HttplogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::TextDecode(e) => write!(f, "text decode error: {e}"),
+            Self::BinaryDecode(e) => write!(f, "binary decode error: {e}"),
+            Self::Encode(e) => write!(f, "encode error: {e}"),
+            Self::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttplogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::TextDecode(e) => Some(e),
+            Self::BinaryDecode(e) => Some(e),
+            Self::Encode(e) => Some(e),
+            Self::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttplogError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<TextDecodeError> for HttplogError {
+    fn from(e: TextDecodeError) -> Self {
+        Self::TextDecode(e)
+    }
+}
+
+impl From<BinaryDecodeError> for HttplogError {
+    fn from(e: BinaryDecodeError) -> Self {
+        Self::BinaryDecode(e)
+    }
+}
+
+impl From<BinaryEncodeError> for HttplogError {
+    fn from(e: BinaryEncodeError) -> Self {
+        Self::Encode(e)
+    }
+}
+
+/// Lossy downgrade for callers living in `io::Result` land: decode errors
+/// become [`io::ErrorKind::InvalidData`], encode errors
+/// [`io::ErrorKind::InvalidInput`].
+impl From<HttplogError> for io::Error {
+    fn from(e: HttplogError) -> Self {
+        match e {
+            HttplogError::Io(inner) => inner,
+            HttplogError::TextDecode(_) | HttplogError::BinaryDecode(_) => {
+                io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+            }
+            HttplogError::Encode(_) | HttplogError::InvalidConfig(_) => {
+                io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = HttplogError::from(TextDecodeError::MissingField { field: "object" });
+        assert!(e.to_string().contains("object"));
+        assert!(e.source().is_some());
+        assert!(e.is_data_error());
+
+        let io_err = HttplogError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(!io_err.is_data_error());
+    }
+
+    #[test]
+    fn downgrade_to_io_error_keeps_kind() {
+        let decode: io::Error = HttplogError::from(BinaryDecodeError::Truncated).into();
+        assert_eq!(decode.kind(), io::ErrorKind::InvalidData);
+
+        let encode: io::Error =
+            HttplogError::from(BinaryEncodeError::UserAgentTooLong { len: 70_000 }).into();
+        assert_eq!(encode.kind(), io::ErrorKind::InvalidInput);
+
+        let original = io::Error::new(io::ErrorKind::PermissionDenied, "nope");
+        let roundtrip: io::Error = HttplogError::from(original).into();
+        assert_eq!(roundtrip.kind(), io::ErrorKind::PermissionDenied);
+    }
+}

@@ -1,6 +1,7 @@
 //! Buffered streaming readers and writers for both codecs.
 
 use crate::codec::{binary, text};
+use crate::error::HttplogError;
 use crate::record::LogRecord;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
@@ -22,7 +23,7 @@ pub enum Format {
 /// # Example
 ///
 /// ```
-/// use oat_httplog::{LogReader, LogWriter, LogRecord};
+/// use oat_httplog::{HttplogError, LogReader, LogWriter, LogRecord};
 ///
 /// let mut buf = Vec::new();
 /// let mut w = LogWriter::text(&mut buf);
@@ -31,7 +32,7 @@ pub enum Format {
 ///
 /// let records: Vec<_> = LogReader::text(&buf[..]).collect::<Result<_, _>>()?;
 /// assert_eq!(records, vec![LogRecord::example()]);
-/// # Ok::<(), std::io::Error>(())
+/// # Ok::<(), HttplogError>(())
 /// ```
 #[derive(Debug)]
 pub struct LogWriter<W: Write> {
@@ -68,9 +69,9 @@ impl<W: Write> LogWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates IO errors; encoding errors (oversized user agents) are
-    /// reported as [`io::ErrorKind::InvalidInput`].
-    pub fn write(&mut self, record: &LogRecord) -> io::Result<()> {
+    /// [`HttplogError::Io`] for sink failures, [`HttplogError::Encode`]
+    /// for unencodable records (oversized user agents).
+    pub fn write(&mut self, record: &LogRecord) -> Result<(), HttplogError> {
         match self.format {
             Format::Text => {
                 self.line_buf.clear();
@@ -80,8 +81,7 @@ impl<W: Write> LogWriter<W> {
             }
             Format::Binary => {
                 self.frame_buf.clear();
-                binary::encode(record, &mut self.frame_buf)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+                binary::encode(record, &mut self.frame_buf)?;
                 self.inner.write_all(&self.frame_buf)?;
             }
         }
@@ -99,8 +99,9 @@ impl<W: Write> LogWriter<W> {
     /// # Errors
     ///
     /// Propagates IO errors from the underlying writer.
-    pub fn flush(&mut self) -> io::Result<()> {
-        self.inner.flush()
+    pub fn flush(&mut self) -> Result<(), HttplogError> {
+        self.inner.flush()?;
+        Ok(())
     }
 
     /// Consumes the writer, returning the underlying sink (without
@@ -140,7 +141,7 @@ impl<R: Read> LogReader<R> {
         Self::new(inner, Format::Binary)
     }
 
-    fn next_text(&mut self) -> Option<io::Result<LogRecord>> {
+    fn next_text(&mut self) -> Option<Result<LogRecord, HttplogError>> {
         loop {
             self.line_buf.clear();
             match self.inner.read_line(&mut self.line_buf) {
@@ -150,44 +151,52 @@ impl<R: Read> LogReader<R> {
                     if line.is_empty() {
                         continue; // skip blank lines
                     }
-                    return Some(
-                        text::decode(line)
-                            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
-                    );
+                    return Some(text::decode(line).map_err(HttplogError::from));
                 }
-                Err(e) => return Some(Err(e)),
+                Err(e) => return Some(Err(e.into())),
             }
         }
     }
 
-    fn next_binary(&mut self) -> Option<io::Result<LogRecord>> {
+    fn next_binary(&mut self) -> Option<Result<LogRecord, HttplogError>> {
         // Peek: are we at clean EOF?
         match self.inner.fill_buf() {
             Ok([]) => return None,
             Ok(_) => {}
-            Err(e) => return Some(Err(e)),
+            Err(e) => return Some(Err(e.into())),
         }
         Some(read_binary_frame(&mut self.inner))
     }
 }
 
 /// Reads exactly one binary frame from a [`BufRead`].
-fn read_binary_frame<R: BufRead>(r: &mut R) -> io::Result<LogRecord> {
+fn read_binary_frame<R: BufRead>(r: &mut R) -> Result<LogRecord, HttplogError> {
     // Fixed part first (see codec::binary layout), then the UA suffix.
     const FIXED_AFTER_VERSION: usize = 8 + 2 + 8 + 1 + 8 + 8 + 8 + 1 + 2 + 2 + 4 + 2;
     let mut head = [0u8; 1 + FIXED_AFTER_VERSION];
-    r.read_exact(&mut head)?;
+    read_exact_frame(r, &mut head)?;
     let ua_len = u16::from_le_bytes([head[head.len() - 2], head[head.len() - 1]]) as usize;
     let mut frame = head.to_vec();
     frame.resize(head.len() + ua_len, 0);
-    r.read_exact(&mut frame[head.len()..])?;
+    read_exact_frame(r, &mut frame[head.len()..])?;
     let mut slice = &frame[..];
-    binary::decode(&mut slice)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    binary::decode(&mut slice).map_err(HttplogError::from)
+}
+
+/// Like [`Read::read_exact`], but reports a clean truncation as the typed
+/// [`binary::BinaryDecodeError::Truncated`] instead of a bare IO error.
+fn read_exact_frame<R: BufRead>(r: &mut R, buf: &mut [u8]) -> Result<(), HttplogError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            Err(binary::BinaryDecodeError::Truncated.into())
+        }
+        Err(e) => Err(e.into()),
+    }
 }
 
 impl<R: Read> Iterator for LogReader<R> {
-    type Item = io::Result<LogRecord>;
+    type Item = Result<LogRecord, HttplogError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
@@ -210,7 +219,7 @@ impl<R: Read> Iterator for LogReader<R> {
 /// # Errors
 ///
 /// Propagates the first IO/encoding error.
-pub fn write_all<'a, W, I>(sink: W, format: Format, records: I) -> io::Result<u64>
+pub fn write_all<'a, W, I>(sink: W, format: Format, records: I) -> Result<u64, HttplogError>
 where
     W: Write,
     I: IntoIterator<Item = &'a LogRecord>,
@@ -228,13 +237,15 @@ where
 /// # Errors
 ///
 /// Propagates the first IO/decoding error.
-pub fn read_all<R: Read>(source: R, format: Format) -> io::Result<Vec<LogRecord>> {
+pub fn read_all<R: Read>(source: R, format: Format) -> Result<Vec<LogRecord>, HttplogError> {
     LogReader::new(source, format).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::binary::BinaryDecodeError;
+    use crate::codec::text::TextDecodeError;
 
     fn sample_records(n: u64) -> Vec<LogRecord> {
         (0..n)
@@ -284,20 +295,65 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_text_line_errors_once() {
+    fn corrupt_text_line_yields_typed_error_once() {
         let mut reader = LogReader::text("garbage line\n".as_bytes());
-        assert!(reader.next().unwrap().is_err());
+        match reader.next().unwrap() {
+            Err(HttplogError::TextDecode(TextDecodeError::InvalidField { field, .. })) => {
+                assert_eq!(field, "timestamp");
+            }
+            other => panic!("expected a text decode error, got {other:?}"),
+        }
         assert!(reader.next().is_none(), "reader stops after an error");
     }
 
     #[test]
-    fn truncated_binary_stream_errors() {
+    fn truncated_binary_stream_yields_typed_error() {
         let records = sample_records(1);
         let mut buf = Vec::new();
         write_all(&mut buf, Format::Binary, &records).unwrap();
         buf.truncate(buf.len() - 3);
-        let result = read_all(&buf[..], Format::Binary);
-        assert!(result.is_err());
+        match read_all(&buf[..], Format::Binary) {
+            Err(HttplogError::BinaryDecode(BinaryDecodeError::Truncated)) => {}
+            other => panic!("expected a truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_binary_header_yields_typed_error() {
+        let records = sample_records(1);
+        let mut buf = Vec::new();
+        write_all(&mut buf, Format::Binary, &records).unwrap();
+        buf.truncate(10); // inside the fixed-size header
+        match read_all(&buf[..], Format::Binary) {
+            Err(HttplogError::BinaryDecode(BinaryDecodeError::Truncated)) => {}
+            other => panic!("expected a truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_binary_record_yields_typed_error() {
+        let records = sample_records(2);
+        let mut buf = Vec::new();
+        write_all(&mut buf, Format::Binary, &records).unwrap();
+        buf[0] = 99; // clobber the version byte of the first frame
+        match read_all(&buf[..], Format::Binary) {
+            Err(HttplogError::BinaryDecode(BinaryDecodeError::UnsupportedVersion {
+                version: 99,
+            })) => {}
+            other => panic!("expected a version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_ua_yields_encode_error() {
+        let mut record = LogRecord::example();
+        record.user_agent = "x".repeat(70_000);
+        let mut w = LogWriter::binary(Vec::new());
+        match w.write(&record) {
+            Err(e @ HttplogError::Encode(_)) => assert!(e.is_data_error()),
+            other => panic!("expected an encode error, got {other:?}"),
+        }
+        assert_eq!(w.written(), 0, "failed writes are not counted");
     }
 
     #[test]

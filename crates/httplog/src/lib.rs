@@ -36,6 +36,7 @@
 pub mod anonymize;
 pub mod codec;
 pub mod content;
+pub mod error;
 pub mod filter;
 pub mod geo;
 pub mod ids;
@@ -47,6 +48,7 @@ pub mod status;
 
 pub use anonymize::Anonymizer;
 pub use content::{ContentClass, FileFormat};
+pub use error::HttplogError;
 pub use filter::LogStreamExt;
 pub use geo::Region;
 pub use ids::{ObjectId, PopId, PublisherId, UserId};

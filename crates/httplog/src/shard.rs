@@ -5,11 +5,13 @@
 //! boundaries, and [`read_merged`] k-way-merges a directory of shards back
 //! into one time-ordered stream.
 
+use crate::error::HttplogError;
 use crate::io::{Format, LogReader, LogWriter};
 use crate::record::LogRecord;
+use std::collections::hash_map::Entry;
 use std::collections::BinaryHeap;
 use std::fs::File;
-use std::io::{self, BufWriter};
+use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 
 /// Writes records into per-interval shard files named
@@ -29,7 +31,7 @@ use std::path::{Path, PathBuf};
 /// let mut w = ShardedWriter::new("/tmp/logs", "access", Format::Text, 3_600)?;
 /// w.write(&LogRecord::example())?;
 /// w.finish()?;
-/// # Ok::<(), std::io::Error>(())
+/// # Ok::<(), oat_httplog::HttplogError>(())
 /// ```
 #[derive(Debug)]
 pub struct ShardedWriter {
@@ -46,17 +48,16 @@ impl ShardedWriter {
     ///
     /// # Errors
     ///
-    /// Returns an IO error if the directory cannot be created, and
-    /// `InvalidInput` when `interval_secs` is zero.
+    /// [`HttplogError::Io`] if the directory cannot be created, and
+    /// [`HttplogError::InvalidConfig`] when `interval_secs` is zero.
     pub fn new(
         dir: impl Into<PathBuf>,
         prefix: impl Into<String>,
         format: Format,
         interval_secs: u64,
-    ) -> io::Result<Self> {
+    ) -> Result<Self, HttplogError> {
         if interval_secs == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
+            return Err(HttplogError::InvalidConfig(
                 "shard interval must be positive",
             ));
         }
@@ -72,27 +73,29 @@ impl ShardedWriter {
         })
     }
 
-    fn shard_path(&self, index: u64) -> PathBuf {
-        let ext = match self.format {
+    fn shard_path(dir: &Path, prefix: &str, format: Format, index: u64) -> PathBuf {
+        let ext = match format {
             Format::Text => "log",
             Format::Binary => "bin",
         };
-        self.dir.join(format!("{}-{index:06}.{ext}", self.prefix))
+        dir.join(format!("{prefix}-{index:06}.{ext}"))
     }
 
     /// Writes one record into its interval's shard.
     ///
     /// # Errors
     ///
-    /// Propagates file-creation and write errors.
-    pub fn write(&mut self, record: &LogRecord) -> io::Result<()> {
+    /// Propagates file-creation, encoding and write errors.
+    pub fn write(&mut self, record: &LogRecord) -> Result<(), HttplogError> {
         let index = record.timestamp / self.interval_secs;
-        if !self.open.contains_key(&index) {
-            let file = File::create(self.shard_path(index))?;
-            self.open
-                .insert(index, LogWriter::new(BufWriter::new(file), self.format));
-        }
-        let writer = self.open.get_mut(&index).expect("just inserted");
+        let writer = match self.open.entry(index) {
+            Entry::Occupied(slot) => slot.into_mut(),
+            Entry::Vacant(slot) => {
+                let path = Self::shard_path(&self.dir, &self.prefix, self.format, index);
+                let file = File::create(path)?;
+                slot.insert(LogWriter::new(BufWriter::new(file), self.format))
+            }
+        };
         writer.write(record)?;
         self.written += 1;
         Ok(())
@@ -113,7 +116,7 @@ impl ShardedWriter {
     /// # Errors
     ///
     /// Propagates the first flush error.
-    pub fn finish(mut self) -> io::Result<()> {
+    pub fn finish(mut self) -> Result<(), HttplogError> {
         for (_, mut writer) in self.open.drain() {
             writer.flush()?;
         }
@@ -130,7 +133,11 @@ impl ShardedWriter {
 /// # Errors
 ///
 /// Propagates IO/decode errors from any shard.
-pub fn read_merged(dir: &Path, prefix: &str, format: Format) -> io::Result<Vec<LogRecord>> {
+pub fn read_merged(
+    dir: &Path,
+    prefix: &str,
+    format: Format,
+) -> Result<Vec<LogRecord>, HttplogError> {
     let ext = match format {
         Format::Text => "log",
         Format::Binary => "bin",
@@ -149,7 +156,7 @@ pub fn read_merged(dir: &Path, prefix: &str, format: Format) -> io::Result<Vec<L
     let mut readers: Vec<LogReader<File>> = paths
         .iter()
         .map(|p| Ok(LogReader::new(File::open(p)?, format)))
-        .collect::<io::Result<_>>()?;
+        .collect::<Result<_, HttplogError>>()?;
 
     // K-way merge on (timestamp, reader index) via a min-heap.
     struct Head {
@@ -282,7 +289,25 @@ mod tests {
     #[test]
     fn zero_interval_rejected() {
         let err = ShardedWriter::new(tmp("zero"), "x", Format::Text, 0).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(matches!(err, HttplogError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn corrupt_shard_surfaces_decode_error() {
+        let dir = tmp("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = records(3);
+        let mut writer =
+            ShardedWriter::new(&dir, "access", Format::Text, 1_000_000).expect("create writer");
+        for r in &input {
+            writer.write(r).expect("write");
+        }
+        writer.finish().expect("flush");
+        std::fs::write(dir.join("access-999999.log"), "bad\trecord\n").unwrap();
+        match read_merged(&dir, "access", Format::Text) {
+            Err(HttplogError::TextDecode(_)) => {}
+            other => panic!("expected a text decode error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Every violation here is waived by an allow directive; the engine tests
+//! assert that none of them surface.
+
+use std::collections::HashMap; // oat-lint: allow(ordered-output)
+
+pub fn waived() -> usize {
+    // oat-lint: allow(determinism)
+    let t = std::time::Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new(); // oat-lint: allow(ordered-output)
+    m.insert(1, 1);
+    let mut v = vec![0.5_f64, 0.25];
+    // oat-lint: allow(float-ordering, panic-freedom)
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let first = v[0]; // oat-lint: allow(panic-freedom)
+    let _ = t;
+    m.len() + first as usize
+}

@@ -1,0 +1,19 @@
+//! Seeded-violation fixture for oat-lint's unit tests (see the tests in
+//! `oat-lint/src/engine.rs`). Each rule must fire somewhere in this crate.
+
+pub mod allowed;
+pub mod report;
+pub mod testonly;
+
+use std::time::Instant;
+
+/// determinism: wall-clock read in library code.
+pub fn elapsed_marker() -> Instant {
+    Instant::now()
+}
+
+/// float-ordering: NaN panics the comparator mid-sort. The `unwrap` also
+/// counts against the zero panic budget (panic-freedom).
+pub fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

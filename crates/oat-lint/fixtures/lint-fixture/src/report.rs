@@ -1,0 +1,12 @@
+//! ordered-output: `HashMap` iteration feeding serialized output — the
+//! emitted line order changes run to run.
+
+use std::collections::HashMap;
+
+pub fn emit(counts: &HashMap<u32, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&format!("{k},{v}\n"));
+    }
+    out
+}

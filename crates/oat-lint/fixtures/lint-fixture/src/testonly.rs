@@ -1,0 +1,23 @@
+//! Violations that appear only inside `#[cfg(test)]` — the linter must
+//! ignore every one of them.
+
+pub fn touched() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_and_panics_are_fine_in_tests() {
+        let t = std::time::Instant::now();
+        let v = vec![1.0_f64, 2.0];
+        let first = v[0];
+        let max = v
+            .iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap();
+        assert!(t.elapsed().as_secs() < 3600);
+        assert!(first <= max);
+    }
+}

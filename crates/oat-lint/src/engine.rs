@@ -1,0 +1,371 @@
+//! Workspace walker: applies each rule to the files in its scope, honours
+//! allow directives and `#[cfg(test)]` regions, and checks the panic budget.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{scrub, test_region_lines};
+use crate::rules::{
+    determinism_hits, float_ordering_hits, ordered_output_hits, panic_freedom_hits, Finding,
+    RawHit, Rule,
+};
+
+/// What to lint and where. `Options::for_repo` encodes this repository's
+/// layout; tests override the scopes to point at fixture crates.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root; all reported paths are relative to it.
+    pub root: PathBuf,
+    /// Directories (relative to root) whose `.rs` files are scanned.
+    pub scan_roots: Vec<String>,
+    /// Path fragments (on `/`-normalized relative paths) excluded from every
+    /// rule: bench crate, test/bench directories, lint fixtures.
+    pub exclude_contains: Vec<String>,
+    /// Files whose `/`-normalized relative path contains one of these run
+    /// the `ordered-output` rule (report/serialization modules).
+    pub report_paths: Vec<String>,
+    /// Files under one of these prefixes run the `panic-freedom` rule
+    /// (library code of the pipeline crates).
+    pub panic_paths: Vec<String>,
+    /// Panic budget file, relative to root.
+    pub budget_file: String,
+}
+
+impl Options {
+    pub fn for_repo(root: impl Into<PathBuf>) -> Self {
+        Options {
+            root: root.into(),
+            scan_roots: vec!["src".into(), "crates".into(), "examples".into()],
+            exclude_contains: vec![
+                "crates/bench/".into(),
+                "oat-lint/fixtures/".into(),
+                "/tests/".into(),
+                "/benches/".into(),
+                "/target/".into(),
+            ],
+            report_paths: vec![
+                "cdnsim/src/stats.rs".into(),
+                "cdnsim/src/push.rs".into(),
+                "core/src/report.rs".into(),
+                "core/src/export.rs".into(),
+                "core/src/analyzers/".into(),
+            ],
+            panic_paths: vec![
+                "crates/httplog/src/".into(),
+                "crates/workload/src/".into(),
+                "crates/cdnsim/src/".into(),
+                "crates/core/src/".into(),
+            ],
+            budget_file: "oat-lint.budget".into(),
+        }
+    }
+}
+
+/// Everything one run of the linter learned.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings for `determinism`, `ordered-output` and `float-ordering`.
+    pub findings: Vec<Finding>,
+    /// Every unsuppressed `panic-freedom` occurrence in scope. These are
+    /// enforced through the budget ratchet, not individually.
+    pub panic_findings: Vec<Finding>,
+    /// Parsed budget, if the budget file exists.
+    pub panic_budget: Option<usize>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn panic_count(&self) -> usize {
+        self.panic_findings.len()
+    }
+
+    /// True when the panic count exceeds the ratchet.
+    pub fn budget_exceeded(&self) -> bool {
+        matches!(self.panic_budget, Some(b) if self.panic_count() > b)
+    }
+
+    /// True when the ratchet can be tightened (actual count below budget).
+    pub fn budget_stale(&self) -> bool {
+        matches!(self.panic_budget, Some(b) if self.panic_count() < b)
+    }
+}
+
+/// Per-file allow state parsed from `// oat-lint: allow(...)` directives.
+struct Allows {
+    file_wide: BTreeSet<Rule>,
+    /// Lines on which each rule is waived (directive line and the next).
+    by_line: Vec<BTreeSet<Rule>>,
+}
+
+impl Allows {
+    fn parse(comments: &[(usize, String)], n_lines: usize) -> Allows {
+        let mut file_wide = BTreeSet::new();
+        let mut by_line = vec![BTreeSet::new(); n_lines + 2];
+        for (line, text) in comments {
+            let Some(at) = text.find("oat-lint:") else {
+                continue;
+            };
+            let directive = text[at + "oat-lint:".len()..].trim();
+            let (rules, whole_file) = if let Some(rest) = directive.strip_prefix("allow-file(") {
+                (rest, true)
+            } else if let Some(rest) = directive.strip_prefix("allow(") {
+                (rest, false)
+            } else {
+                continue;
+            };
+            let Some(close) = rules.find(')') else {
+                continue;
+            };
+            for name in rules[..close].split(',') {
+                let Some(rule) = Rule::from_name(name.trim()) else {
+                    continue;
+                };
+                if whole_file {
+                    file_wide.insert(rule);
+                } else {
+                    for l in [*line, line + 1] {
+                        if l < by_line.len() {
+                            by_line[l].insert(rule);
+                        }
+                    }
+                }
+            }
+        }
+        Allows { file_wide, by_line }
+    }
+
+    fn allows(&self, rule: Rule, line: usize) -> bool {
+        self.file_wide.contains(&rule) || self.by_line.get(line).is_some_and(|s| s.contains(&rule))
+    }
+}
+
+/// Runs every rule over the workspace described by `opts`.
+pub fn check(opts: &Options) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for scan_root in &opts.scan_roots {
+        let dir = opts.root.join(scan_root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report {
+        findings: Vec::new(),
+        panic_findings: Vec::new(),
+        panic_budget: read_budget(&opts.root.join(&opts.budget_file))?,
+        files_scanned: 0,
+    };
+
+    for path in files {
+        let rel = normalized_rel(&path, &opts.root);
+        if opts.exclude_contains.iter().any(|e| rel.contains(e)) {
+            continue;
+        }
+        report.files_scanned += 1;
+
+        let source = fs::read_to_string(&path)?;
+        let scrubbed = scrub(&source);
+        let is_test = test_region_lines(&scrubbed.text);
+        let n_lines = is_test.len();
+        let allows = Allows::parse(&scrubbed.comments, n_lines);
+
+        let rel_path = PathBuf::from(&rel);
+        let push = |out: &mut Vec<Finding>, rule: Rule, hits: Vec<RawHit>| {
+            for hit in hits {
+                if is_test.get(hit.line).copied().unwrap_or(false) {
+                    continue;
+                }
+                if allows.allows(rule, hit.line) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule,
+                    path: rel_path.clone(),
+                    line: hit.line,
+                    column: hit.column,
+                    message: hit.message,
+                });
+            }
+        };
+
+        push(
+            &mut report.findings,
+            Rule::Determinism,
+            determinism_hits(&scrubbed.text),
+        );
+        push(
+            &mut report.findings,
+            Rule::FloatOrdering,
+            float_ordering_hits(&scrubbed.text),
+        );
+        if opts.report_paths.iter().any(|p| rel.contains(p)) {
+            push(
+                &mut report.findings,
+                Rule::OrderedOutput,
+                ordered_output_hits(&scrubbed.text),
+            );
+        }
+        if opts.panic_paths.iter().any(|p| rel.starts_with(p)) {
+            push(
+                &mut report.panic_findings,
+                Rule::PanicFreedom,
+                panic_freedom_hits(&scrubbed.text),
+            );
+        }
+    }
+
+    report.findings.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, a.column).cmp(&(b.rule, &b.path, b.line, b.column))
+    });
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn normalized_rel(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Budget file format: a line `panic-freedom = <count>` (comments with `#`).
+fn read_budget(path: &Path) -> io::Result<Option<usize>> {
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(path)?;
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if let Some(value) = line.strip_prefix("panic-freedom") {
+            if let Some(n) = value.trim().strip_prefix('=') {
+                return n.trim().parse::<usize>().map(Some).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: bad panic-freedom budget: {e}", path.display()),
+                    )
+                });
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seeded-violation fixture crate lives inside this crate's tree but
+    /// is excluded from the cargo workspace. Resolve it both under cargo and
+    /// under a bare `rustc --test` run from the repo root.
+    fn fixture_root() -> PathBuf {
+        let mut candidates = Vec::new();
+        if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+            candidates.push(PathBuf::from(dir).join("fixtures/lint-fixture"));
+        }
+        candidates.push(PathBuf::from("crates/oat-lint/fixtures/lint-fixture"));
+        candidates.push(PathBuf::from("fixtures/lint-fixture"));
+        candidates
+            .into_iter()
+            .find(|p| p.is_dir())
+            .expect("lint-fixture crate not found")
+    }
+
+    fn fixture_options() -> Options {
+        let root = fixture_root();
+        Options {
+            root,
+            scan_roots: vec!["src".into()],
+            exclude_contains: vec![],
+            report_paths: vec!["src/report.rs".into(), "src/allowed.rs".into()],
+            panic_paths: vec!["src/".into()],
+            budget_file: "oat-lint.budget".into(),
+        }
+    }
+
+    #[test]
+    fn fixture_trips_every_rule_with_location() {
+        let report = check(&fixture_options()).expect("fixture scan");
+
+        for rule in [Rule::Determinism, Rule::OrderedOutput, Rule::FloatOrdering] {
+            let hits: Vec<_> = report.findings.iter().filter(|f| f.rule == rule).collect();
+            assert!(!hits.is_empty(), "fixture must trip {rule}");
+            for f in &hits {
+                assert!(f.line > 0 && f.column > 0, "diagnostic has a location: {f}");
+                let text = f.to_string();
+                assert!(
+                    text.contains(rule.name()) && text.contains(".rs:"),
+                    "{text}"
+                );
+            }
+        }
+
+        assert!(
+            !report.panic_findings.is_empty(),
+            "fixture must contain panic-freedom occurrences"
+        );
+        assert_eq!(report.panic_budget, Some(0), "fixture budget pins zero");
+        assert!(report.budget_exceeded(), "one unwrap over a zero budget");
+    }
+
+    #[test]
+    fn fixture_allow_comments_suppress() {
+        let report = check(&fixture_options()).expect("fixture scan");
+        // allowed.rs seeds one violation per rule, each under an allow
+        // directive; none may surface.
+        assert!(
+            !report
+                .findings
+                .iter()
+                .chain(&report.panic_findings)
+                .any(|f| f.path.ends_with("allowed.rs")),
+            "allow() directives must suppress findings"
+        );
+    }
+
+    #[test]
+    fn fixture_test_module_is_exempt() {
+        let report = check(&fixture_options()).expect("fixture scan");
+        // testonly.rs seeds violations exclusively inside `#[cfg(test)]`.
+        assert!(
+            !report
+                .findings
+                .iter()
+                .chain(&report.panic_findings)
+                .any(|f| f.path.ends_with("testonly.rs")),
+            "cfg(test) regions are exempt"
+        );
+    }
+
+    #[test]
+    fn budget_parsing_and_ratchet() {
+        let report = check(&fixture_options()).expect("fixture scan");
+        assert!(report.panic_count() > 0);
+        let relaxed = Report {
+            panic_budget: Some(report.panic_count() + 5),
+            ..report
+        };
+        assert!(!relaxed.budget_exceeded());
+        assert!(relaxed.budget_stale(), "loose budget reported as stale");
+    }
+}

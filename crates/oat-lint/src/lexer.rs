@@ -1,0 +1,385 @@
+//! Token-level source scanner.
+//!
+//! `oat-lint` deliberately avoids a full AST parser (no `syn`, no
+//! dependencies at all) so it builds anywhere the toolchain does. Instead,
+//! every rule matches against a *scrubbed* view of the source in which
+//! comment bodies and string/char-literal contents are replaced by spaces —
+//! byte positions and line structure are preserved, so diagnostics can point
+//! at the original `file:line:column` while pattern matching never trips
+//! over `"Instant::now"` inside a string or a commented-out `unwrap()`.
+
+/// A source file after scrubbing.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Source text with comments and literal contents blanked to spaces.
+    /// Identical byte length and line structure to the input.
+    pub text: String,
+    /// Each comment's 1-based start line and raw text (markers included).
+    pub comments: Vec<(usize, String)>,
+}
+
+/// Blanks comments and string/char-literal contents out of `source`.
+pub fn scrub(source: &str) -> Scrubbed {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Appends `bytes[from..to]` to `out` as spaces, preserving newlines.
+    let blank = |out: &mut Vec<u8>, line: &mut usize, slice: &[u8]| {
+        for &b in slice {
+            if b == b'\n' {
+                out.push(b'\n');
+                *line += 1;
+            } else {
+                out.push(b' ');
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let rest = &bytes[i..];
+
+        // Line comment (also doc comments `///` and `//!`).
+        if rest.starts_with(b"//") {
+            let start_line = line;
+            let end = memchr_newline(bytes, i);
+            comments.push((
+                start_line,
+                String::from_utf8_lossy(&bytes[i..end]).into_owned(),
+            ));
+            blank(&mut out, &mut line, &bytes[i..end]);
+            i = end;
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if rest.starts_with(b"/*") {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j..].starts_with(b"/*") {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j..].starts_with(b"*/") {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            comments.push((
+                start_line,
+                String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+            ));
+            blank(&mut out, &mut line, &bytes[i..j]);
+            i = j;
+            continue;
+        }
+
+        // Raw / byte string prefixes: r", r#", b", br", br#" — only when not
+        // part of a longer identifier.
+        let prev_is_ident = i > 0 && is_ident_byte(bytes[i - 1]);
+        if !prev_is_ident && (b == b'r' || b == b'b') {
+            if let Some(end) = raw_or_byte_string_end(bytes, i) {
+                blank(&mut out, &mut line, &bytes[i..end]);
+                i = end;
+                continue;
+            }
+        }
+
+        // Ordinary string literal.
+        if b == b'"' {
+            let end = quoted_end(bytes, i, b'"');
+            blank(&mut out, &mut line, &bytes[i..end]);
+            i = end;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            if let Some(end) = char_literal_end(bytes, i) {
+                blank(&mut out, &mut line, &bytes[i..end]);
+                i = end;
+                continue;
+            }
+            // A lifetime: keep the quote, scanning continues normally.
+        }
+
+        if b == b'\n' {
+            line += 1;
+        }
+        out.push(b);
+        i += 1;
+    }
+
+    Scrubbed {
+        text: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+    }
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(bytes.len(), |p| from + p)
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// End (exclusive) of a `"`-delimited literal starting at `open`, honouring
+/// backslash escapes. Unterminated literals run to end of input.
+fn quoted_end(bytes: &[u8], open: usize, quote: u8) -> usize {
+    let mut j = open + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b if b == quote => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If `bytes[i..]` starts a raw or byte string (`r"`, `r#…#"`, `b"`, `br…`),
+/// returns its end; `None` when `r`/`b` is just an identifier head.
+fn raw_or_byte_string_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j < bytes.len() && bytes[j] == b'\'' {
+            // Byte char literal b'x'.
+            return Some(quoted_end(bytes, j, b'\''));
+        }
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < bytes.len() && bytes[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'"' {
+            // Raw string: ends at `"` followed by `hashes` `#`s.
+            let mut k = j + 1;
+            while k < bytes.len() {
+                if bytes[k] == b'"'
+                    && bytes[k + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&b| b == b'#')
+                        .count()
+                        == hashes
+                {
+                    return Some(k + 1 + hashes);
+                }
+                k += 1;
+            }
+            return Some(bytes.len());
+        }
+        return None;
+    }
+    if j < bytes.len() && bytes[j] == b'"' {
+        // Plain byte string b"…".
+        return Some(quoted_end(bytes, j, b'"'));
+    }
+    None
+}
+
+/// If `bytes[i]` (a `'`) opens a char literal, returns its end; `None` for
+/// lifetimes like `'a` / `'static`.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        return Some(quoted_end(bytes, i, b'\''));
+    }
+    // 'x' is a char literal only if a closing quote follows one char
+    // (multi-byte UTF-8 chars also end in a quote within a few bytes).
+    for k in 2..=5 {
+        match bytes.get(i + k) {
+            Some(b'\'') => return Some(i + k + 1),
+            Some(&b) if !is_ident_byte(b) && !(b & 0x80 != 0) => return None,
+            Some(_) => {}
+            None => return None,
+        }
+    }
+    None
+}
+
+/// 1-based line number of byte offset `pos` given precomputed line starts.
+pub fn line_of(line_starts: &[usize], pos: usize) -> usize {
+    match line_starts.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Byte offsets at which each line starts (line 1 starts at 0).
+pub fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Marks lines belonging to `#[cfg(test)]` regions (the attribute's line
+/// through the close of the braced item it gates).
+pub fn test_region_lines(scrubbed: &str) -> Vec<bool> {
+    let starts = line_starts(scrubbed);
+    let n_lines = starts.len();
+    let mut is_test = vec![false; n_lines + 2];
+    let bytes = scrubbed.as_bytes();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0usize;
+    while let Some(p) = find_from(bytes, needle, i) {
+        let attr_line = line_of(&starts, p);
+        let mut j = p + needle.len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if bytes[j..].starts_with(b"#[") {
+                j = skip_balanced(bytes, j + 1, b'[', b']');
+            } else {
+                break;
+            }
+        }
+        // Only treat braced items (`mod`, `fn`, `impl`, `pub …`) as regions.
+        let gate_is_item = [&b"mod"[..], b"fn", b"pub", b"impl", b"struct", b"enum"]
+            .iter()
+            .any(|kw| bytes[j..].starts_with(kw));
+        if gate_is_item {
+            if let Some(open) = bytes[j..].iter().position(|&b| b == b'{' || b == b';') {
+                let open = j + open;
+                let end = if bytes[open] == b'{' {
+                    skip_balanced(bytes, open + 1, b'{', b'}')
+                } else {
+                    open + 1
+                };
+                let end_line = line_of(&starts, end.min(bytes.len().saturating_sub(1)));
+                for mark in is_test
+                    .iter_mut()
+                    .take(end_line.min(n_lines) + 1)
+                    .skip(attr_line)
+                {
+                    *mark = true;
+                }
+                i = end;
+                continue;
+            }
+        }
+        is_test[attr_line] = true;
+        i = p + needle.len();
+    }
+    is_test.truncate(n_lines + 1);
+    is_test
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| from + p)
+}
+
+/// Given `bytes[from]` just *past* an opener, returns the offset just past
+/// the matching closer.
+fn skip_balanced(bytes: &[u8], from: usize, open: u8, close: u8) -> usize {
+    let mut depth = 1usize;
+    let mut j = from;
+    while j < bytes.len() && depth > 0 {
+        if bytes[j] == open {
+            depth += 1;
+        } else if bytes[j] == close {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_blanked() {
+        let src = "let a = \"Instant::now()\"; // thread_rng here\nlet b = 1;";
+        let s = scrub(src);
+        assert!(!s.text.contains("Instant::now"));
+        assert!(!s.text.contains("thread_rng"));
+        assert!(s.text.contains("let b = 1;"));
+        assert_eq!(s.text.len(), src.len());
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].1.contains("thread_rng"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b";
+        let s = scrub(src);
+        assert!(s.text.starts_with('a'));
+        assert!(s.text.ends_with('b'));
+        assert!(!s.text.contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let src = r###"let x = r#"unwrap() "quoted""#; let y = b"panic!"; z"###;
+        let s = scrub(src);
+        assert!(!s.text.contains("unwrap"));
+        assert!(!s.text.contains("panic"));
+        assert!(s.text.ends_with('z'));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\n'; let d = 'x'; g::<'static>() }";
+        let s = scrub(src);
+        assert!(s.text.contains("'a str"));
+        assert!(s.text.contains("'static"));
+        assert!(!s.text.contains("'x'"));
+    }
+
+    #[test]
+    fn multiline_string_preserves_lines() {
+        let src = "let s = \"line one\nline two\";\nnext";
+        let s = scrub(src);
+        assert_eq!(s.text.matches('\n').count(), src.matches('\n').count());
+        assert!(s.text.contains("next"));
+    }
+
+    #[test]
+    fn test_regions_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let s = scrub(src);
+        let marks = test_region_lines(&s.text);
+        assert!(!marks[1], "lib line is not test code");
+        assert!(marks[2], "attribute line");
+        assert!(marks[3] && marks[4] && marks[5], "module body");
+        assert!(!marks[6], "code after the module");
+    }
+
+    #[test]
+    fn line_helpers() {
+        let starts = line_starts("ab\ncd\nef");
+        assert_eq!(starts, vec![0, 3, 6]);
+        assert_eq!(line_of(&starts, 0), 1);
+        assert_eq!(line_of(&starts, 4), 2);
+        assert_eq!(line_of(&starts, 7), 3);
+    }
+}

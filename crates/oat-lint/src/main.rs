@@ -1,0 +1,163 @@
+//! `oat-lint` — workspace determinism & soundness linter.
+//!
+//! The paper's figures must be a pure function of the workload seed; this
+//! binary machine-checks the invariants that guarantee it (see DESIGN.md,
+//! "Invariants & static analysis"):
+//!
+//! * `determinism`    — no unseeded entropy or wall-clock reads in library
+//!   or example code (`thread_rng`, `from_entropy`, `SystemTime::now`,
+//!   `Instant::now`, `random()`).
+//! * `ordered-output` — no `HashMap`/`HashSet` in report/serialization
+//!   modules; iteration order must not leak into emitted bytes.
+//! * `panic-freedom`  — `unwrap`/`expect`/`panic!`/indexing-by-literal in
+//!   the pipeline crates' library code, ratcheted downward by the
+//!   `oat-lint.budget` file.
+//! * `float-ordering` — `partial_cmp(..).unwrap()` on float sort keys.
+//!
+//! Waive a justified occurrence with `// oat-lint: allow(<rule>)` on or
+//! directly above the line, or `// oat-lint: allow-file(<rule>)` for a
+//! whole file. `--deny-all` (the CI mode) promotes every advisory finding
+//! to an error.
+
+mod engine;
+mod lexer;
+mod rules;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use engine::{check, Options};
+use rules::Rule;
+
+struct Cli {
+    root: PathBuf,
+    deny_all: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        deny_all: false,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => cli.deny_all = true,
+            "--verbose" | "-v" => cli.verbose = true,
+            "--root" => {
+                cli.root = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--root needs a path".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "oat-lint: workspace determinism & soundness linter\n\n\
+                     USAGE: oat-lint [--root <dir>] [--deny-all] [--verbose]\n\n\
+                     Rules: determinism, ordered-output, panic-freedom, float-ordering.\n\
+                     Waive with `// oat-lint: allow(<rule>)`; `--deny-all` is the CI mode."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("oat-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match check(&Options::for_repo(cli.root.clone())) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("oat-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // A wrong --root (typo, moved checkout) must not green-light CI.
+    if report.files_scanned == 0 {
+        eprintln!(
+            "oat-lint: no Rust sources found under `{}`; is --root correct?",
+            cli.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+
+    for finding in &report.findings {
+        // `determinism` violations always break replayability; the two
+        // ordering rules are advisory by default and errors under CI.
+        let is_error = cli.deny_all || finding.rule == Rule::Determinism;
+        let level = if is_error { "error" } else { "warning" };
+        eprintln!("{level}{finding}");
+        if is_error {
+            errors += 1;
+        } else {
+            warnings += 1;
+        }
+    }
+
+    match report.panic_budget {
+        Some(budget) if report.budget_exceeded() => {
+            for finding in &report.panic_findings {
+                eprintln!("error{finding}");
+            }
+            eprintln!(
+                "error[panic-freedom]: {} panicking occurrences in pipeline library code \
+                 exceed the budget of {budget} (oat-lint.budget); remove the new ones \
+                 or justify them with `// oat-lint: allow(panic-freedom)`",
+                report.panic_count()
+            );
+            errors += report.panic_count() + 1;
+        }
+        Some(budget) if report.budget_stale() => {
+            eprintln!(
+                "warning[panic-freedom]: budget is stale: {} occurrences remain but the \
+                 budget allows {budget}; ratchet oat-lint.budget down to {}",
+                report.panic_count(),
+                report.panic_count()
+            );
+            warnings += 1;
+        }
+        Some(_) => {}
+        None => {
+            eprintln!(
+                "warning[panic-freedom]: no oat-lint.budget file found; the panic \
+                 ratchet is not enforced"
+            );
+            warnings += 1;
+        }
+    }
+
+    if cli.verbose || errors > 0 || warnings > 0 {
+        eprintln!(
+            "oat-lint: {} files scanned, {} errors, {} warnings, panic count {}{}",
+            report.files_scanned,
+            errors,
+            warnings,
+            report.panic_count(),
+            match report.panic_budget {
+                Some(b) => format!(" (budget {b})"),
+                None => String::new(),
+            }
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

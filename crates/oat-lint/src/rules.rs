@@ -1,0 +1,331 @@
+//! Lint rules and their matchers.
+//!
+//! All matchers run over scrubbed source (see [`crate::lexer`]), so string
+//! literals and comments can never produce findings.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use crate::lexer::{line_of, line_starts};
+
+/// The repo invariants `oat-lint` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unseeded entropy / wall-clock reads outside bench and test code.
+    Determinism,
+    /// `HashMap`/`HashSet` in modules that feed serialized report output.
+    OrderedOutput,
+    /// `unwrap`/`expect`/`panic!`/indexing-by-literal in library code of the
+    /// pipeline crates, ratcheted by the panic budget file.
+    PanicFreedom,
+    /// `partial_cmp(..).unwrap()` on float sort keys (NaN-unsound).
+    FloatOrdering,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 4] = [
+        Rule::Determinism,
+        Rule::OrderedOutput,
+        Rule::PanicFreedom,
+        Rule::FloatOrdering,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::OrderedOutput => "ordered-output",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::FloatOrdering => "float-ordering",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: a rule violated at a location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    pub path: PathBuf,
+    pub line: usize,
+    pub column: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}:{}: {}",
+            self.rule,
+            self.path.display(),
+            self.line,
+            self.column,
+            self.message
+        )
+    }
+}
+
+/// A pattern occurrence inside one file: 1-based line/column plus a message.
+pub struct RawHit {
+    pub line: usize,
+    pub column: usize,
+    pub message: String,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Occurrences of `needle` in `text` at identifier boundaries (the bytes
+/// just before and after must not be identifier characters).
+fn ident_occurrences(text: &str, needle: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let nb = needle.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0usize;
+    while from + nb.len() <= bytes.len() {
+        match bytes[from..]
+            .windows(nb.len())
+            .position(|w| w == nb)
+            .map(|p| from + p)
+        {
+            Some(p) => {
+                let before_ok = p == 0 || !is_ident(bytes[p - 1]);
+                let after = p + nb.len();
+                let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+                if before_ok && after_ok {
+                    hits.push(p);
+                }
+                from = p + 1;
+            }
+            None => break,
+        }
+    }
+    hits
+}
+
+fn to_hits(text: &str, offsets: &[usize], message: impl Fn(usize) -> String) -> Vec<RawHit> {
+    let starts = line_starts(text);
+    offsets
+        .iter()
+        .map(|&p| {
+            let line = line_of(&starts, p);
+            RawHit {
+                line,
+                column: p - starts[line - 1] + 1,
+                message: message(p),
+            }
+        })
+        .collect()
+}
+
+/// Rule 1: entropy and wall-clock sources that break replayability.
+pub fn determinism_hits(text: &str) -> Vec<RawHit> {
+    const BANNED: [(&str, &str); 5] = [
+        ("thread_rng", "unseeded `thread_rng` breaks trace replayability; derive the RNG from the experiment seed"),
+        ("from_entropy", "`from_entropy` seeds from the OS; derive the seed from the experiment config instead"),
+        ("SystemTime::now", "`SystemTime::now` makes output depend on wall-clock time; thread a logical clock through instead"),
+        ("Instant::now", "`Instant::now` makes output depend on wall-clock time; restrict timing to bench code"),
+        ("random", "`random()` draws from thread-local entropy; derive the value from the experiment seed"),
+    ];
+    let mut hits = Vec::new();
+    for (needle, why) in BANNED {
+        for p in ident_occurrences(text, needle) {
+            // `random` only counts as the nullary entry point `random(...)`.
+            if needle == "random" {
+                let after = p + needle.len();
+                if text.as_bytes().get(after) != Some(&b'(') {
+                    continue;
+                }
+            }
+            hits.extend(to_hits(text, &[p], |_| why.to_string()));
+        }
+    }
+    hits.sort_by_key(|h| (h.line, h.column));
+    hits
+}
+
+/// Rule 2: unordered-map types anywhere in report-emitting modules.
+pub fn ordered_output_hits(text: &str) -> Vec<RawHit> {
+    let mut hits = Vec::new();
+    for needle in ["HashMap", "HashSet"] {
+        for p in ident_occurrences(text, needle) {
+            hits.extend(to_hits(text, &[p], |_| {
+                format!(
+                    "`{needle}` in a report path: iteration order is nondeterministic; \
+                     use `BTreeMap`/`BTreeSet` or sort before emission"
+                )
+            }));
+        }
+    }
+    hits.sort_by_key(|h| (h.line, h.column));
+    hits
+}
+
+/// Rule 3: panicking constructs in library code of the pipeline crates.
+pub fn panic_freedom_hits(text: &str) -> Vec<RawHit> {
+    let bytes = text.as_bytes();
+    let mut offsets: Vec<(usize, String)> = Vec::new();
+
+    for (needle, label) in [
+        (".unwrap()", "`unwrap` panics on the error path"),
+        (".expect(", "`expect` panics on the error path"),
+    ] {
+        let nb = needle.as_bytes();
+        let mut from = 0usize;
+        while let Some(p) = bytes[from..]
+            .windows(nb.len())
+            .position(|w| w == nb)
+            .map(|p| from + p)
+        {
+            offsets.push((p + 1, label.to_string()));
+            from = p + nb.len();
+        }
+    }
+
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for p in ident_occurrences(text, mac) {
+            let after = p + mac.len();
+            if bytes.get(after) == Some(&b'!') {
+                offsets.push((p, format!("`{mac}!` aborts the pipeline")));
+            }
+        }
+    }
+
+    // Indexing by integer literal: `expr[0]` where expr ends in an
+    // identifier char, `)` or `]`. Array types/literals (`[u8; 4]`,
+    // `[0; N]`) and attributes (`#[...]`) never match the prefix test.
+    let mut j = 1usize;
+    while j < bytes.len() {
+        if bytes[j] == b'['
+            && (is_ident(bytes[j - 1]) || bytes[j - 1] == b')' || bytes[j - 1] == b']')
+        {
+            let mut k = j + 1;
+            while k < bytes.len() && bytes[k].is_ascii_digit() {
+                k += 1;
+            }
+            if k > j + 1 && bytes.get(k) == Some(&b']') {
+                offsets.push((
+                    j,
+                    "indexing by literal panics when out of bounds".to_string(),
+                ));
+            }
+        }
+        j += 1;
+    }
+
+    offsets.sort();
+    let starts = line_starts(text);
+    offsets
+        .into_iter()
+        .map(|(p, message)| {
+            let line = line_of(&starts, p);
+            RawHit {
+                line,
+                column: p - starts[line - 1] + 1,
+                message,
+            }
+        })
+        .collect()
+}
+
+/// Rule 4: `.partial_cmp(..)` chained into `unwrap`/`expect` within the
+/// following two lines — NaN turns the `None` into a panic mid-sort.
+pub fn float_ordering_hits(text: &str) -> Vec<RawHit> {
+    let bytes = text.as_bytes();
+    let starts = line_starts(text);
+    let mut hits = Vec::new();
+    for p in ident_occurrences(text, "partial_cmp") {
+        if p == 0 || bytes[p - 1] != b'.' {
+            continue; // `fn partial_cmp` definitions are fine.
+        }
+        let line = line_of(&starts, p);
+        let window_end = starts
+            .get(line + 2) // end of line+2 == start of line+3
+            .copied()
+            .unwrap_or(bytes.len());
+        let window = &text[p..window_end];
+        if window.contains(".unwrap()") || window.contains(".expect(") {
+            hits.push(RawHit {
+                line,
+                column: p - starts[line - 1] + 1,
+                message: "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp` \
+                          (or an explicit NaN policy) for float sort keys"
+                    .to_string(),
+            });
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_matches_entropy_sources() {
+        let src = "let r = rand::thread_rng();\nlet t = std::time::Instant::now();\nlet s = SystemTime::now();\nlet x: u8 = rand::random();\nlet rng = SmallRng::from_entropy();\n";
+        let hits = determinism_hits(src);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 2);
+    }
+
+    #[test]
+    fn determinism_ignores_lookalikes() {
+        let src = "let a = my_thread_rng_cache;\nfn randomize() {}\nlet r = randomize();\nlet now = instant_now_cached;\n";
+        assert!(determinism_hits(src).is_empty());
+    }
+
+    #[test]
+    fn ordered_output_flags_hash_collections() {
+        let src = "use std::collections::HashMap;\nlet s: HashSet<u32> = HashSet::new();\n";
+        let hits = ordered_output_hits(src);
+        assert_eq!(hits.len(), 3);
+        assert!(hits[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn panic_freedom_catches_all_forms() {
+        let src = "x.unwrap();\ny.expect( );\npanic!( );\nunreachable!();\nv[0];\nf()[12];\n";
+        let hits = panic_freedom_hits(src);
+        assert_eq!(hits.len(), 6);
+        assert_eq!(hits[4].line, 5);
+    }
+
+    #[test]
+    fn panic_freedom_skips_array_types_and_attrs() {
+        let src =
+            "#[derive(Debug)]\nlet a: [u8; 4] = [0; 4];\nlet b = &xs[i];\nlet c = xs[n - 1];\n";
+        assert!(panic_freedom_hits(src).is_empty());
+    }
+
+    #[test]
+    fn float_ordering_flags_chained_unwrap() {
+        let src = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        let hits = float_ordering_hits(src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn float_ordering_flags_multiline_chain() {
+        let src = "v.sort_by(|a, b| {\n    a.score\n        .partial_cmp(&b.score)\n        .unwrap()\n});\n";
+        assert_eq!(float_ordering_hits(src).len(), 1);
+    }
+
+    #[test]
+    fn float_ordering_ignores_impls_and_fallbacks() {
+        let src = "fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n    self.0.partial_cmp(&other.0)\n}\nlet o = a.partial_cmp(&b).unwrap_or(Ordering::Equal);\n";
+        assert!(float_ordering_hits(src).is_empty());
+    }
+}

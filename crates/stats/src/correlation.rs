@@ -76,11 +76,7 @@ pub fn average_ranks(values: &[f64]) -> Option<Vec<f64>> {
         return None;
     }
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("finite floats are totally ordered")
-    });
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0.0; values.len()];
     let mut i = 0;
     while i < order.len() {

@@ -34,7 +34,7 @@ impl Ecdf {
         I: IntoIterator<Item = f64>,
     {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite floats are totally ordered"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self { sorted }
     }
 
@@ -55,7 +55,7 @@ impl Ecdf {
             }
             sorted.push(x);
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite floats are totally ordered"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ok(Self { sorted })
     }
 

@@ -75,8 +75,7 @@ impl PsquareQuantile {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite floats"));
+                self.heights.sort_by(|a, b| a.total_cmp(b));
             }
             return;
         }
@@ -146,7 +145,7 @@ impl PsquareQuantile {
             n if n < 5 => {
                 // Fall back to the exact quantile of the buffered samples.
                 let mut buf = self.heights[..n].to_vec();
-                buf.sort_by(|a, b| a.partial_cmp(b).expect("finite floats"));
+                buf.sort_by(|a, b| a.total_cmp(b));
                 let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
                 Some(buf[rank - 1])
             }

@@ -201,11 +201,7 @@ pub fn cluster(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
     }
 
     // Canonicalize: sort by distance, assign SciPy-style node ids.
-    raw.sort_by(|x, y| {
-        x.distance
-            .partial_cmp(&y.distance)
-            .expect("finite distances")
-    });
+    raw.sort_by(|x, y| x.distance.total_cmp(&y.distance));
     let mut uf = UnionFind::new(n);
     let mut node_of_root: Vec<usize> = (0..n).collect();
     let mut size_of_root: Vec<usize> = vec![1; n];

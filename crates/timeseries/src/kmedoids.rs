@@ -44,7 +44,7 @@ pub fn pam(matrix: &CondensedMatrix, k: usize, max_iter: usize) -> Option<PamRes
         .min_by(|&a, &b| {
             let ca: f64 = (0..n).map(|j| matrix.get(a, j)).sum();
             let cb: f64 = (0..n).map(|j| matrix.get(b, j)).sum();
-            ca.partial_cmp(&cb).expect("finite distances")
+            ca.total_cmp(&cb)
         })
         .expect("n >= 1");
     medoids.push(first);
@@ -57,7 +57,7 @@ pub fn pam(matrix: &CondensedMatrix, k: usize, max_iter: usize) -> Option<PamRes
                     .map(|j| (nearest[j] - matrix.get(c, j)).max(0.0))
                     .sum()
             };
-            gain(a).partial_cmp(&gain(b)).expect("finite distances")
+            gain(a).total_cmp(&gain(b))
         })?;
         medoids.push(candidate);
         for (j, near) in nearest.iter_mut().enumerate() {
@@ -74,7 +74,7 @@ pub fn pam(matrix: &CondensedMatrix, k: usize, max_iter: usize) -> Option<PamRes
                 .iter()
                 .enumerate()
                 .map(|(c, &m)| (c, matrix.get(m, j)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("k >= 1");
             *label = best;
             cost += d;

@@ -1,0 +1,52 @@
+//! Fast miri subset for the timeseries crate.
+//!
+//! CI runs this file under `cargo +nightly miri test -p oat-timeseries
+//! --test miri_fast` to catch undefined behaviour in the DTW recursion
+//! and the condensed-matrix index arithmetic. Series are tiny (miri
+//! executes ~1000x slower than native); no files, no threads.
+
+use oat_timeseries::{dtw_distance, dtw_path, lb_keogh, CondensedMatrix, Envelope};
+
+#[test]
+fn dtw_distance_identical_series_is_zero() {
+    let a = [1.0, 2.0, 3.0, 2.0];
+    assert_eq!(dtw_distance(&a, &a, None), 0.0);
+}
+
+#[test]
+fn dtw_distance_banded_matches_unconstrained_on_short_series() {
+    let a = [0.0, 1.0, 2.0];
+    let b = [0.0, 2.0, 2.0];
+    let unconstrained = dtw_distance(&a, &b, None);
+    let banded = dtw_distance(&a, &b, Some(3));
+    assert!((unconstrained - banded).abs() < 1e-12);
+}
+
+#[test]
+fn dtw_path_endpoints_are_corners() {
+    let a = [1.0, 5.0, 1.0];
+    let b = [1.0, 1.0, 5.0, 1.0];
+    let (cost, path) = dtw_path(&a, &b).unwrap();
+    assert!(cost >= 0.0);
+    assert_eq!(path.first(), Some(&(0, 0)));
+    assert_eq!(path.last(), Some(&(a.len() - 1, b.len() - 1)));
+}
+
+#[test]
+fn lb_keogh_lower_bounds_dtw() {
+    let a = [0.0, 1.0, 2.0, 1.0];
+    let b = [0.0, 2.0, 1.0, 1.0];
+    let envelope = Envelope::new(&b, Some(1));
+    assert!(lb_keogh(&a, &envelope) <= dtw_distance(&a, &b, Some(1)) + 1e-12);
+}
+
+#[test]
+fn condensed_matrix_round_trips() {
+    let mut m = CondensedMatrix::zeros(4);
+    m.set(0, 3, 2.5);
+    m.set(2, 1, 1.5);
+    assert_eq!(m.get(3, 0), 2.5);
+    assert_eq!(m.get(1, 2), 1.5);
+    assert_eq!(m.get(2, 2), 0.0);
+    assert_eq!(m.max_distance(), Some(2.5));
+}

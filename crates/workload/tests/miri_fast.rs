@@ -1,0 +1,72 @@
+//! Fast miri subset for the workload crate.
+//!
+//! CI runs this file under `cargo +nightly miri test -p oat-workload
+//! --test miri_fast` to catch undefined behaviour in the hot sampling and
+//! merge paths. Inputs are deliberately tiny (miri executes ~1000x slower
+//! than native) and everything stays in memory — no files, no threads.
+
+use oat_httplog::Request;
+use oat_workload::dist::{AliasTable, Exponential, LogNormal};
+use oat_workload::generator::chunk_count;
+use oat_workload::merge::{KWayMerge, SortedShard};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lognormal_sampling_is_finite() {
+    let dist = LogNormal::from_median(600.0, 1.2).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..16 {
+        let x = dist.sample(&mut rng);
+        assert!(x.is_finite() && x > 0.0);
+    }
+}
+
+#[test]
+fn exponential_sampling_is_positive() {
+    let dist = Exponential::new(3.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..16 {
+        let x = dist.sample(&mut rng);
+        assert!(x.is_finite() && x >= 0.0);
+    }
+}
+
+#[test]
+fn alias_table_stays_in_range() {
+    let table = AliasTable::new(&[0.5, 0.25, 0.125, 0.125]).unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..32 {
+        assert!(table.sample(&mut rng) < 4);
+    }
+}
+
+#[test]
+fn kway_merge_orders_across_shards() {
+    let request_at = |ts: u64| Request {
+        timestamp: ts,
+        ..Request::example()
+    };
+    let shards = vec![
+        SortedShard {
+            site: 0,
+            requests: vec![request_at(1), request_at(5)],
+        },
+        SortedShard {
+            site: 1,
+            requests: vec![request_at(2), request_at(3)],
+        },
+    ];
+    let merged: Vec<u64> = KWayMerge::new(shards).map(|(_, r)| r.timestamp).collect();
+    assert_eq!(merged, vec![1, 2, 3, 5]);
+}
+
+#[test]
+fn chunk_count_rounds_up() {
+    use oat_workload::CHUNK_BYTES;
+    // Bodyless/empty objects still occupy one chunk.
+    assert_eq!(chunk_count(0), 1);
+    assert_eq!(chunk_count(1), 1);
+    assert_eq!(chunk_count(CHUNK_BYTES), 1);
+    assert_eq!(chunk_count(CHUNK_BYTES + 1), 2);
+}

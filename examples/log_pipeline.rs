@@ -29,13 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (format, name) in [(Format::Text, "access.log"), (Format::Binary, "access.bin")] {
         let path = dir.join(name);
+        // Wall-clock timing is presentation-only here: it never feeds the
+        // analysis output. oat-lint: allow(determinism)
         let t0 = Instant::now();
         let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
         write_all(file, format, &records)?;
         let wrote = t0.elapsed();
         let size = std::fs::metadata(&path)?.len();
 
-        let t1 = Instant::now();
+        let t1 = Instant::now(); // oat-lint: allow(determinism)
         let back = read_all(std::fs::File::open(&path)?, format)?;
         let read = t1.elapsed();
         assert_eq!(back, records, "round-trip must be lossless");
