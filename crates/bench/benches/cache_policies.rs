@@ -1,9 +1,10 @@
-//! Cache-policy operation throughput under a Zipf-like key stream.
+//! Cache-policy operation throughput under a Zipf-like key stream, and
+//! the full policy-comparison grid driven by the sweep engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oat_cdnsim::cache::CacheKey;
-use oat_cdnsim::PolicyKind;
-use oat_httplog::ObjectId;
+use oat_cdnsim::{PolicyKind, SimConfig, Sweep};
+use oat_httplog::{ObjectId, Region, Request, RequestKind, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,5 +41,50 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies);
+/// The A1-shaped policy × capacity comparison, evaluated as one sweep
+/// over a shared trace instead of one simulator replay per cell.
+fn bench_policy_grid(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n_keys = 10_000usize;
+    let trace: Vec<Request> = (0..100_000usize)
+        .map(|t| {
+            let u: f64 = rng.gen_range(0.0001f64..1.0);
+            let rank = ((n_keys as f64).powf(u) as u64).min(n_keys as u64 - 1);
+            Request {
+                timestamp: t as u64,
+                object: ObjectId::new(rank),
+                object_size: 1_000 + (rank % 64) * 500,
+                user: UserId::new(rng.gen_range(0..5_000u64)),
+                region: Region::ALL[(rank % 4) as usize],
+                kind: RequestKind::Full,
+                ..Request::example()
+            }
+        })
+        .collect();
+    let mut grid = Vec::new();
+    for capacity in [4_000_000u64, 16_000_000] {
+        for policy in PolicyKind::ALL {
+            grid.push(
+                SimConfig::default_edge()
+                    .with_policy(policy)
+                    .with_capacity(capacity),
+            );
+        }
+    }
+    let mut group = c.benchmark_group("cache/policy_grid_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((trace.len() * grid.len()) as u64));
+    group.bench_function(BenchmarkId::from_parameter(grid.len()), |b| {
+        b.iter(|| {
+            Sweep::new(&trace)
+                .run(&grid)
+                .iter()
+                .map(|r| r.stats.hit_ratio())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_policy_grid);
 criterion_main!(benches);

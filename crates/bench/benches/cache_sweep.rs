@@ -1,0 +1,124 @@
+//! Configuration-grid sweep throughput: the single-pass sweep engine
+//! against the K-independent-replay baseline it replaced, plus the
+//! counters-only `replay_stats` fast path against record-producing
+//! `replay`.
+//!
+//! The baseline mirrors the old ablation loop exactly: one fresh
+//! `Simulator` per grid point, a full `trace.requests.clone()` per point,
+//! and the returned records thrown away.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oat_cdnsim::{PolicyKind, SimConfig, Simulator, Sweep};
+use oat_httplog::{ObjectId, Region, Request, RequestKind, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn zipf_trace(n_ops: usize, n_keys: usize, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_ops)
+        .map(|t| {
+            // Approximate Zipf(1) by inverse-power transform.
+            let u: f64 = rng.gen_range(0.0001f64..1.0);
+            let rank = ((n_keys as f64).powf(u) as u64).min(n_keys as u64 - 1);
+            Request {
+                timestamp: t as u64,
+                object: ObjectId::new(rank),
+                object_size: 1_000 + (rank % 64) * 500,
+                user: UserId::new(rng.gen_range(0..5_000u64)),
+                region: Region::ALL[(rank % 4) as usize],
+                kind: RequestKind::Full,
+                ..Request::example()
+            }
+        })
+        .collect()
+}
+
+/// A K-point LRU capacity grid — the shape of the A1/A5 ablations.
+fn capacity_grid(k: usize) -> Vec<SimConfig> {
+    (1..=k)
+        .map(|i| SimConfig::default_edge().with_capacity(i as u64 * 2_000_000))
+        .collect()
+}
+
+fn bench_grid_sweep(c: &mut Criterion) {
+    let trace = zipf_trace(100_000, 10_000, 42);
+    let mut group = c.benchmark_group("sweep/capacity_grid");
+    group.sample_size(10);
+    for k in [4usize, 16] {
+        let grid = capacity_grid(k);
+        group.throughput(Throughput::Elements((trace.len() * k) as u64));
+        // Baseline: K independent replays, each cloning the trace —
+        // the pre-sweep ablation loop.
+        group.bench_with_input(
+            BenchmarkId::new("replay_per_config", k),
+            &grid,
+            |b, grid| {
+                b.iter(|| {
+                    let mut ratios = Vec::with_capacity(grid.len());
+                    for config in grid {
+                        let sim = Simulator::new(config);
+                        sim.replay(trace.clone());
+                        ratios.push(sim.stats().hit_ratio());
+                    }
+                    ratios
+                })
+            },
+        );
+        // The sweep engine: shared trace, one routing pass, one Mattson
+        // stack pass answering every LRU capacity.
+        group.bench_with_input(BenchmarkId::new("sweep_engine", k), &grid, |b, grid| {
+            b.iter(|| {
+                Sweep::new(&trace)
+                    .run(grid)
+                    .iter()
+                    .map(|r| r.stats.hit_ratio())
+                    .collect::<Vec<_>>()
+            })
+        });
+        // Replay-only grids (no Mattson shortcut): same engine, FIFO
+        // points, isolating the shared-partition + counters-only win.
+        let fifo_grid: Vec<SimConfig> = grid
+            .iter()
+            .map(|c| c.clone().with_policy(PolicyKind::Fifo))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("sweep_engine_fifo", k),
+            &fifo_grid,
+            |b, grid| {
+                b.iter(|| {
+                    Sweep::new(&trace)
+                        .run(grid)
+                        .iter()
+                        .map(|r| r.stats.hit_ratio())
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_replay_stats(c: &mut Criterion) {
+    let trace = zipf_trace(100_000, 10_000, 7);
+    let config = SimConfig::default_edge().with_capacity(8_000_000);
+    let mut group = c.benchmark_group("sweep/replay_vs_replay_stats");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("replay_records", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(&config);
+            let records = sim.replay(trace.clone());
+            (records.len(), sim.stats().hit_ratio())
+        })
+    });
+    group.bench_function("replay_stats", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(&config);
+            sim.replay_stats(&trace).hit_ratio()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_sweep, bench_replay_stats);
+criterion_main!(benches);

@@ -12,10 +12,12 @@
 //! values so the comparison that feeds `EXPERIMENTS.md` is mechanical.
 
 use oat_cdnsim::cache::{CachePolicy, LruCache, SlruCache, TieredCache};
-use oat_cdnsim::{cacheable_key, plan_push, LatencyModel, PolicyKind, SimConfig, Simulator};
+use oat_cdnsim::{
+    cacheable_key, plan_push, LatencyModel, PolicyKind, SimConfig, Simulator, Sweep, SweepResult,
+};
 use oat_core::experiment::{ExperimentConfig, ExperimentResult, StreamOptions};
 use oat_core::report;
-use oat_httplog::ContentClass;
+use oat_httplog::{ContentClass, HttpStatus};
 use oat_timeseries::{distance::pairwise_matrix, hierarchical, Linkage, Metric};
 use oat_workload::{generate, SiteProfile, TraceConfig};
 
@@ -32,6 +34,7 @@ struct Options {
     threads: usize,
     stream: bool,
     shard_size: usize,
+    sweep_threads: usize,
 }
 
 impl Default for Options {
@@ -48,6 +51,7 @@ impl Default for Options {
             threads: 0,
             stream: false,
             shard_size: 0,
+            sweep_threads: 0,
         }
     }
 }
@@ -95,6 +99,14 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--threads needs a count (0 = all cores)")?;
                 opts.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
             }
+            "--sweep-threads" => {
+                let v = args
+                    .next()
+                    .ok_or("--sweep-threads needs a count (0 = all cores)")?;
+                opts.sweep_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad sweep thread count {v:?}"))?;
+            }
             "--stream" => opts.stream = true,
             "--shard-size" => {
                 let v = args
@@ -106,10 +118,12 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: repro [--all] [--fig N]... [--ablation NAME] \
                      [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] \
-                     [--csv-dir DIR] [--threads N] [--stream] [--shard-size N]\n\
+                     [--csv-dir DIR] [--threads N] [--sweep-threads N] [--stream] [--shard-size N]\n\
                      ablations: cache-policy tiered-cache push incognito ttl cooperative parent-tier dtw\n\
                      --threads: generation + DTW matrix worker threads (0 = all cores); \
                      results are bit-identical at any setting\n\
+                     --sweep-threads: configuration-grid worker threads for the cache \
+                     ablations (0 = all cores); results are identical at any setting\n\
                      --stream: pipeline generate -> replay -> analyze through bounded \
                      batches (one retained record copy instead of three) — same result\n\
                      --shard-size: users per generation shard (0 = default); any value \
@@ -332,36 +346,46 @@ fn base_trace(opts: &Options) -> oat_workload::Trace {
     generate(&config).expect("valid config")
 }
 
+/// Evaluates a configuration grid over the shared trace — one routing
+/// pass, no per-configuration request clone.
+fn run_sweep(trace: &oat_workload::Trace, grid: &[SimConfig], opts: &Options) -> Vec<SweepResult> {
+    Sweep::new(&trace.requests)
+        .with_threads(opts.sweep_threads)
+        .run(grid)
+}
+
 /// A1 — eviction-policy comparison across capacities.
 fn ablation_cache_policy(opts: &Options) {
     let trace = base_trace(opts);
     println!("A1 — cache policy vs capacity");
     let latency = LatencyModel::broadband();
     println!(
-        "{:<10} {:>10} {:>11} {:>13} {:>13}",
-        "policy", "capacity", "hit-ratio", "byte-savings", "mean latency"
+        "{:<10} {:>10} {:>11} {:>13} {:>13} {:>8}",
+        "policy", "capacity", "hit-ratio", "byte-savings", "mean latency", "engine"
     );
+    let mut grid = Vec::new();
     for capacity in [200_000_000u64, 1_000_000_000, 4_000_000_000, 16_000_000_000] {
         for policy in PolicyKind::ALL {
             if policy == PolicyKind::Infinite && capacity != 16_000_000_000 {
                 continue;
             }
-            let sim = Simulator::new(
-                &SimConfig::default_edge()
+            grid.push(
+                SimConfig::default_edge()
                     .with_policy(policy)
                     .with_capacity(capacity),
             );
-            sim.replay(trace.requests.clone());
-            let stats = sim.stats();
-            println!(
-                "{:<10} {:>10} {:>10.1}% {:>12.1}% {:>10.0} ms",
-                policy.to_string(),
-                report::human_bytes(capacity),
-                100.0 * stats.hit_ratio().unwrap_or(0.0),
-                100.0 * stats.byte_savings().unwrap_or(0.0),
-                latency.mean_from_stats(&stats).unwrap_or(0.0),
-            );
         }
+    }
+    for result in run_sweep(&trace, &grid, opts) {
+        println!(
+            "{:<10} {:>10} {:>10.1}% {:>12.1}% {:>10.0} ms {:>8}",
+            result.config.policy.to_string(),
+            report::human_bytes(result.config.cache_capacity_bytes),
+            100.0 * result.stats.hit_ratio().unwrap_or(0.0),
+            100.0 * result.stats.byte_savings().unwrap_or(0.0),
+            latency.mean_from_stats(&result.stats).unwrap_or(0.0),
+            result.engine,
+        );
     }
 }
 
@@ -438,12 +462,12 @@ fn ablation_push(opts: &Options) {
         let sim = Simulator::new(&SimConfig::default_edge().with_capacity(1_000_000_000));
         let plan = plan_push(&day1, budget);
         sim.preload(plan.iter().map(|p| (p.key, p.size)));
-        sim.replay(rest.clone());
+        let stats = sim.replay_stats(&rest);
         println!(
             "{:>12} {:>10} {:>10.1}%",
             report::human_bytes(budget),
             plan.len(),
-            100.0 * sim.stats().hit_ratio().unwrap_or(0.0),
+            100.0 * stats.hit_ratio().unwrap_or(0.0),
         );
     }
 }
@@ -464,14 +488,13 @@ fn ablation_incognito(opts: &Options) {
         .with_seed(opts.seed);
         let trace = generate(&config).expect("valid config");
         let sim = Simulator::new(&SimConfig::default_edge());
-        let records = sim.replay(trace.requests);
-        let total = records.len() as f64;
-        let not_modified = records.iter().filter(|r| r.status.code() == 304).count() as f64;
+        let stats = sim.replay_stats(&trace.requests);
+        let not_modified = stats.status_count(HttpStatus::NOT_MODIFIED) as f64;
         println!(
             "{:>8.0}% {:>11.2}% {:>10}",
             100.0 * rate,
-            100.0 * not_modified / total,
-            records.len()
+            100.0 * not_modified / (stats.requests as f64).max(1.0),
+            stats.requests
         );
     }
     println!(
@@ -485,21 +508,25 @@ fn ablation_ttl(opts: &Options) {
     let trace = base_trace(opts);
     println!("A5 — freshness TTL vs hit ratio (LRU 4 GB per PoP)");
     println!("{:>8} {:>11}", "ttl", "hit-ratio");
-    for (label, ttl) in [
+    let settings = [
         ("1h", Some(3_600u64)),
         ("6h", Some(6 * 3_600)),
         ("1d", Some(86_400)),
         ("3d", Some(3 * 86_400)),
         ("none", None),
-    ] {
-        let mut config = SimConfig::default_edge();
-        config.ttl_secs = ttl;
-        let sim = Simulator::new(&config);
-        sim.replay(trace.requests.clone());
+    ];
+    let grid: Vec<SimConfig> = settings
+        .iter()
+        .map(|&(_, ttl)| SimConfig {
+            ttl_secs: ttl,
+            ..SimConfig::default_edge()
+        })
+        .collect();
+    for ((label, _), result) in settings.iter().zip(run_sweep(&trace, &grid, opts)) {
         println!(
             "{:>8} {:>10.1}%",
             label,
-            100.0 * sim.stats().hit_ratio().unwrap_or(0.0)
+            100.0 * result.stats.hit_ratio().unwrap_or(0.0)
         );
     }
     println!(
@@ -517,22 +544,25 @@ fn ablation_cooperative(opts: &Options) {
         "{:<12} {:>10} {:>11} {:>13} {:>13}",
         "mode", "capacity", "hit-ratio", "byte-savings", "mean latency"
     );
+    let mut grid = Vec::new();
+    let mut labels = Vec::new();
     for capacity in [500_000_000u64, 2_000_000_000] {
         for (label, cooperative) in [("isolated", false), ("cooperative", true)] {
             let mut config = SimConfig::default_edge().with_capacity(capacity);
             config.cooperative = cooperative;
-            let sim = Simulator::new(&config);
-            sim.replay(trace.requests.clone());
-            let stats = sim.stats();
-            println!(
-                "{:<12} {:>10} {:>10.1}% {:>12.1}% {:>10.0} ms",
-                label,
-                report::human_bytes(capacity),
-                100.0 * stats.hit_ratio().unwrap_or(0.0),
-                100.0 * stats.byte_savings().unwrap_or(0.0),
-                latency.mean_from_stats(&stats).unwrap_or(0.0),
-            );
+            grid.push(config);
+            labels.push(label);
         }
+    }
+    for (label, result) in labels.iter().zip(run_sweep(&trace, &grid, opts)) {
+        println!(
+            "{:<12} {:>10} {:>10.1}% {:>12.1}% {:>10.0} ms",
+            label,
+            report::human_bytes(result.config.cache_capacity_bytes),
+            100.0 * result.stats.hit_ratio().unwrap_or(0.0),
+            100.0 * result.stats.byte_savings().unwrap_or(0.0),
+            latency.mean_from_stats(&result.stats).unwrap_or(0.0),
+        );
     }
     println!(
         "paper: CDNs can reduce network traffic with customized networked \
@@ -549,18 +579,6 @@ fn ablation_parent_tier(opts: &Options) {
         "{:<26} {:>11} {:>13} {:>13}",
         "deployment", "hit-ratio", "byte-savings", "mean latency"
     );
-    let run = |config: SimConfig, label: &str| {
-        let sim = Simulator::new(&config);
-        sim.replay(trace.requests.clone());
-        let stats = sim.stats();
-        println!(
-            "{:<26} {:>10.1}% {:>12.1}% {:>10.0} ms",
-            label,
-            100.0 * stats.hit_ratio().unwrap_or(0.0),
-            100.0 * stats.byte_savings().unwrap_or(0.0),
-            latency.mean_from_stats(&stats).unwrap_or(0.0),
-        );
-    };
     // Four edges per region share one parent; the flat alternative spends
     // the parent's bytes on the edges instead (same total budget).
     let edge = 500_000_000u64;
@@ -568,15 +586,25 @@ fn ablation_parent_tier(opts: &Options) {
         pops_per_region: 4,
         ..SimConfig::default_edge()
     };
-    run(base.clone().with_capacity(edge), "4x edge 500MB");
-    run(
-        base.clone().with_capacity(edge).with_parent(4 * edge),
+    let labels = [
+        "4x edge 500MB",
         "4x edge 500MB + parent 2GB",
-    );
-    run(
-        base.with_capacity(2 * edge),
         "4x flat edge 1GB (same bytes)",
-    );
+    ];
+    let grid = vec![
+        base.clone().with_capacity(edge),
+        base.clone().with_capacity(edge).with_parent(4 * edge),
+        base.with_capacity(2 * edge),
+    ];
+    for (label, result) in labels.iter().zip(run_sweep(&trace, &grid, opts)) {
+        println!(
+            "{:<26} {:>10.1}% {:>12.1}% {:>10.0} ms",
+            label,
+            100.0 * result.stats.hit_ratio().unwrap_or(0.0),
+            100.0 * result.stats.byte_savings().unwrap_or(0.0),
+            latency.mean_from_stats(&result.stats).unwrap_or(0.0),
+        );
+    }
     println!(
         "paper: 'cache placement strategies' — a shared regional tier pools \
          the long tail that per-PoP caches cannot each afford to keep"

@@ -20,6 +20,9 @@
 //!   of popular adult objects closer to end-users").
 //! * [`stats`] — hit ratios, byte savings, per-object and per-status
 //!   accounting feeding Figures 15–16.
+//! * [`sweep`] — single-pass evaluation of whole configuration grids
+//!   (policy × capacity × TTL × topology) over one shared trace, backed by
+//!   [`mattson`]'s exact `O(n log n)` multi-capacity LRU hit curve.
 //!
 //! # Example
 //!
@@ -38,14 +41,18 @@
 
 pub mod cache;
 pub mod latency;
+pub mod mattson;
 pub mod push;
 pub mod simulator;
 pub mod stats;
+pub mod sweep;
 pub mod topology;
 
 pub use cache::{CacheKey, CachePolicy, PolicyKind};
 pub use latency::{LatencyModel, LatencySummary};
+pub use mattson::MattsonCurve;
 pub use push::{cacheable_key, plan_push, Placement};
 pub use simulator::{SimConfig, Simulator};
 pub use stats::ServeStats;
+pub use sweep::{RoutePartition, Sweep, SweepEngine, SweepResult};
 pub use topology::Topology;

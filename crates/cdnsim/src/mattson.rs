@@ -1,0 +1,447 @@
+//! Single-pass multi-capacity LRU hit curves (Mattson et al., 1970).
+//!
+//! A capacity sweep normally replays the trace once per capacity. For LRU
+//! the stack-inclusion property collapses that to **one** pass: the cache
+//! of capacity `C` always holds the top of the recency stack, so a request
+//! hits at capacity `C` iff its *byte-weighted reuse distance* — the size
+//! of the requested key plus the sizes of the distinct keys touched since
+//! its previous access — is at most `C`. Computing every distance with a
+//! Fenwick tree over access positions costs `O(n log n)` total, after
+//! which the hit/byte-hit ratio at *any* capacity is an `O(log n)` lookup
+//! and the full [`ServeStats`] at a capacity is one cheap counting pass —
+//! no cache simulation at all.
+//!
+//! Exactness conditions (checked by [`MattsonCurve::exact_at`], enforced
+//! by the [`sweep`](crate::sweep) driver before taking this path):
+//!
+//! * LRU eviction only — other policies do not satisfy stack inclusion;
+//! * no TTL (expiry breaks recency-only state);
+//! * no cooperative / parent-tier escalation (hits would depend on sibling
+//!   cache contents);
+//! * every key keeps one size across the trace (the generator guarantees
+//!   this: objects have fixed sizes and chunks are cut deterministically);
+//! * the queried capacity admits every object (`capacity ≥` the largest
+//!   cacheable access) — below that, LRU's refuse-oversized-objects rule
+//!   makes cache contents capacity-dependent in a non-nested way.
+//!
+//! Anything outside these conditions falls back to the parallel grid
+//! replay in [`sweep`](crate::sweep); nothing is approximated.
+
+use crate::cache::CacheKey;
+use crate::push::cacheable_key;
+use crate::stats::ServeStats;
+use crate::sweep::RoutePartition;
+use oat_httplog::{HttpStatus, ObjectId, Request, RequestKind};
+use std::collections::HashMap;
+
+/// Sentinel reuse distance for a key's first access (a miss at every
+/// capacity).
+const COLD: u64 = u64::MAX;
+
+/// Fenwick (binary indexed) tree over access positions, holding the byte
+/// size of each key's most recent access.
+///
+/// Values use wrapping arithmetic: every logical prefix sum is a plain sum
+/// of sizes (`< 2^64`), so intermediate wrap-around from subtraction
+/// cancels out exactly.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Adds `v` at 1-based position `i`.
+    fn add(&mut self, mut i: usize, v: u64) {
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(v);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Subtracts `v` at 1-based position `i`.
+    fn sub(&mut self, mut i: usize, v: u64) {
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_sub(v);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `1..=i`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        let mut sum = 0u64;
+        while i > 0 {
+            sum = sum.wrapping_add(self.tree[i]);
+            i &= i - 1;
+        }
+        sum
+    }
+}
+
+/// One body-carrying access with its precomputed reuse distance.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    /// Byte-weighted LRU stack depth at access time ([`COLD`] on first
+    /// access).
+    depth: u64,
+    /// Bytes this access serves (object size, or range length).
+    bytes: u64,
+    /// Owning object (per-object stats are keyed by object, not chunk).
+    object: ObjectId,
+}
+
+/// The exact LRU hit curve of one trace at **all** capacities, built in a
+/// single pass.
+///
+/// # Example
+///
+/// ```
+/// use oat_cdnsim::{MattsonCurve, RoutePartition, Topology};
+/// use oat_httplog::Request;
+///
+/// // Two accesses of the same 2 MB video chunk:
+/// let requests = vec![Request::example(), Request::example()];
+/// let partition = RoutePartition::build(&Topology::default(), &requests);
+/// let curve = MattsonCurve::build(&requests, &partition);
+/// // The second access hits once the per-PoP cache fits the chunk:
+/// assert_eq!(curve.hit_ratio(2_000_000), Some(0.5));
+/// assert_eq!(curve.hit_ratio(1_999_999), Some(0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MattsonCurve {
+    /// Every body access in per-PoP serve order.
+    accesses: Vec<Access>,
+    /// Capacity-independent counters: request/status/bytes-served totals.
+    base: ServeStats,
+    /// Finite reuse distances, ascending.
+    sorted_depths: Vec<u64>,
+    /// `cum_bytes[i]` = bytes served by the accesses behind
+    /// `sorted_depths[..=i]`.
+    cum_bytes: Vec<u64>,
+    /// Total body-carrying accesses.
+    body_requests: u64,
+    /// Total bytes of body-carrying accesses.
+    body_bytes: u64,
+    /// Largest single cacheable access, in bytes.
+    max_access_bytes: u64,
+    /// Whether every key kept one size across the trace.
+    sizes_consistent: bool,
+}
+
+impl MattsonCurve {
+    /// Computes the curve for `requests` under the PoP routing captured in
+    /// `partition` (each PoP runs its own LRU, so distances are computed
+    /// per PoP subsequence and pooled).
+    ///
+    /// Requests must be passed in the same order `partition` was built
+    /// from.
+    pub fn build(requests: &[Request], partition: &RoutePartition) -> Self {
+        let mut accesses = Vec::new();
+        let mut base = ServeStats::new();
+        let mut max_access_bytes = 0u64;
+        let mut sizes_consistent = true;
+
+        for indices in partition.per_pop() {
+            // The pop's body accesses, in serve order.
+            let mut body: Vec<(CacheKey, u64, ObjectId)> = Vec::new();
+            for &i in indices {
+                let Some(req) = requests.get(i as usize) else {
+                    continue;
+                };
+                // Capacity-independent counters only — hit/miss/per-object
+                // accounting is what `stats_at` derives per capacity.
+                base.requests += 1;
+                *base.status_counts.entry(status_of(req).code()).or_insert(0) += 1;
+                base.bytes_served += body_bytes_of(req);
+                if let Some((key, size)) = cacheable_key(req) {
+                    body.push((key, size, req.object));
+                }
+            }
+            // Reuse distances via the Fenwick tree: each key's latest
+            // position holds its size, so the range sum between two
+            // accesses of a key is exactly the bytes of the distinct keys
+            // touched in between.
+            let mut fen = Fenwick::new(body.len());
+            let mut last: HashMap<CacheKey, (usize, u64)> = HashMap::new();
+            for (idx, &(key, size, object)) in body.iter().enumerate() {
+                let pos = idx + 1;
+                let depth = match last.get(&key) {
+                    Some(&(prev, prev_size)) => {
+                        if prev_size != size {
+                            sizes_consistent = false;
+                        }
+                        let between = fen.prefix(pos - 1).wrapping_sub(fen.prefix(prev));
+                        fen.sub(prev, prev_size);
+                        between.wrapping_add(size)
+                    }
+                    None => COLD,
+                };
+                fen.add(pos, size);
+                last.insert(key, (pos, size));
+                max_access_bytes = max_access_bytes.max(size);
+                accesses.push(Access {
+                    depth,
+                    bytes: size,
+                    object,
+                });
+            }
+        }
+
+        // The curve index: ascending finite distances with cumulative
+        // served bytes, so hits/hit-bytes at any capacity are one binary
+        // search away.
+        let mut finite: Vec<(u64, u64)> = accesses
+            .iter()
+            .filter(|a| a.depth != COLD)
+            .map(|a| (a.depth, a.bytes))
+            .collect();
+        finite.sort_unstable();
+        let mut sorted_depths = Vec::with_capacity(finite.len());
+        let mut cum_bytes = Vec::with_capacity(finite.len());
+        let mut running = 0u64;
+        for (depth, bytes) in finite {
+            running += bytes;
+            sorted_depths.push(depth);
+            cum_bytes.push(running);
+        }
+
+        let body_requests = accesses.len() as u64;
+        let body_bytes = accesses.iter().map(|a| a.bytes).sum();
+        Self {
+            accesses,
+            base,
+            sorted_depths,
+            cum_bytes,
+            body_requests,
+            body_bytes,
+            max_access_bytes,
+            sizes_consistent,
+        }
+    }
+
+    /// Whether the curve is an exact model of an LRU cache of
+    /// `capacity_bytes` per PoP (see the module docs for the conditions
+    /// this checks).
+    pub fn exact_at(&self, capacity_bytes: u64) -> bool {
+        self.sizes_consistent && capacity_bytes >= self.max_access_bytes
+    }
+
+    /// Cache hits an LRU of `capacity_bytes` per PoP would record.
+    pub fn hits_at(&self, capacity_bytes: u64) -> u64 {
+        self.sorted_depths.partition_point(|&d| d <= capacity_bytes) as u64
+    }
+
+    /// Bytes those hits would serve from cache.
+    pub fn hit_bytes_at(&self, capacity_bytes: u64) -> u64 {
+        let n = self.sorted_depths.partition_point(|&d| d <= capacity_bytes);
+        if n == 0 {
+            0
+        } else {
+            self.cum_bytes[n - 1]
+        }
+    }
+
+    /// Hit ratio over body-carrying requests (`None` when the trace has
+    /// none) — [`ServeStats::hit_ratio`] of the modelled replay.
+    pub fn hit_ratio(&self, capacity_bytes: u64) -> Option<f64> {
+        (self.body_requests > 0)
+            .then(|| self.hits_at(capacity_bytes) as f64 / self.body_requests as f64)
+    }
+
+    /// Fraction of body bytes served from cache (`None` when no body
+    /// bytes) — [`ServeStats::byte_savings`] of the modelled replay.
+    pub fn byte_hit_ratio(&self, capacity_bytes: u64) -> Option<f64> {
+        (self.body_bytes > 0)
+            .then(|| self.hit_bytes_at(capacity_bytes) as f64 / self.body_bytes as f64)
+    }
+
+    /// Body-carrying accesses in the trace.
+    pub fn body_requests(&self) -> u64 {
+        self.body_requests
+    }
+
+    /// Largest single cacheable access, in bytes — the smallest capacity
+    /// at which the curve is exact.
+    pub fn max_access_bytes(&self) -> u64 {
+        self.max_access_bytes
+    }
+
+    /// Whether every key kept one size across the trace (required for
+    /// exactness).
+    pub fn sizes_consistent(&self) -> bool {
+        self.sizes_consistent
+    }
+
+    /// The full [`ServeStats`] an LRU replay at `capacity_bytes` per PoP
+    /// would produce — per-object counters included — in one counting
+    /// pass, no cache simulation.
+    pub fn stats_at(&self, capacity_bytes: u64) -> ServeStats {
+        let mut stats = self.base.clone();
+        for access in &self.accesses {
+            let hit = access.depth != COLD && access.depth <= capacity_bytes;
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+                stats.origin_bytes += access.bytes;
+            }
+            let entry = stats.per_object.entry(access.object).or_insert((0, 0));
+            entry.0 += u64::from(hit);
+            entry.1 += 1;
+        }
+        stats
+    }
+}
+
+/// The response status the simulator assigns to a request kind.
+fn status_of(req: &Request) -> HttpStatus {
+    match req.kind {
+        RequestKind::Full => HttpStatus::OK,
+        RequestKind::Range { .. } => HttpStatus::PARTIAL_CONTENT,
+        RequestKind::Conditional => HttpStatus::NOT_MODIFIED,
+        RequestKind::Hotlink => HttpStatus::FORBIDDEN,
+        RequestKind::Beacon => HttpStatus::NO_CONTENT,
+        RequestKind::InvalidRange => HttpStatus::RANGE_NOT_SATISFIABLE,
+    }
+}
+
+/// Bytes a request serves (0 for bodyless kinds).
+fn body_bytes_of(req: &Request) -> u64 {
+    match req.kind {
+        RequestKind::Full => req.object_size,
+        RequestKind::Range { length, .. } => length,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use oat_httplog::{Region, UserId};
+
+    fn request(object: u64, size: u64, user: u64, ts: u64) -> Request {
+        Request {
+            timestamp: ts,
+            object: ObjectId::new(object),
+            object_size: size,
+            user: UserId::new(user),
+            region: Region::Europe,
+            kind: RequestKind::Full,
+            ..Request::example()
+        }
+    }
+
+    fn curve_of(requests: &[Request]) -> MattsonCurve {
+        let partition = RoutePartition::build(&Topology::default(), requests);
+        MattsonCurve::build(requests, &partition)
+    }
+
+    #[test]
+    fn empty_trace() {
+        let curve = curve_of(&[]);
+        assert_eq!(curve.body_requests(), 0);
+        assert_eq!(curve.hit_ratio(1_000), None);
+        assert_eq!(curve.byte_hit_ratio(1_000), None);
+        assert_eq!(curve.hits_at(u64::MAX - 1), 0);
+        assert!(curve.exact_at(0));
+        let stats = curve.stats_at(1_000);
+        assert_eq!(stats, ServeStats::new());
+    }
+
+    #[test]
+    fn reuse_distances_drive_hits() {
+        // Same user/region → one PoP. Access pattern: a b a.
+        // Second `a` has distance size(a) + size(b) = 30.
+        let requests = vec![
+            request(1, 10, 1, 0),
+            request(2, 20, 1, 1),
+            request(1, 10, 1, 2),
+        ];
+        let curve = curve_of(&requests);
+        assert_eq!(curve.body_requests(), 3);
+        assert_eq!(curve.hits_at(29), 0);
+        assert_eq!(curve.hits_at(30), 1);
+        assert_eq!(curve.hit_bytes_at(30), 10);
+        assert_eq!(curve.max_access_bytes(), 20);
+        assert!(curve.sizes_consistent());
+    }
+
+    #[test]
+    fn repeated_interleavers_count_once() {
+        // a b b b a: distance of the final `a` counts b once.
+        let requests = vec![
+            request(1, 10, 1, 0),
+            request(2, 20, 1, 1),
+            request(2, 20, 1, 2),
+            request(2, 20, 1, 3),
+            request(1, 10, 1, 4),
+        ];
+        let curve = curve_of(&requests);
+        // Final `a` needs 30 bytes; middle `b`s need 20.
+        assert_eq!(curve.hits_at(19), 0);
+        assert_eq!(curve.hits_at(20), 2);
+        assert_eq!(curve.hits_at(30), 3);
+    }
+
+    #[test]
+    fn stats_at_matches_hand_count() {
+        let requests = vec![
+            request(1, 10, 1, 0),
+            request(2, 20, 1, 1),
+            request(1, 10, 1, 2),
+            Request {
+                kind: RequestKind::Conditional,
+                ..request(1, 10, 1, 3)
+            },
+        ];
+        let curve = curve_of(&requests);
+        let stats = curve.stats_at(30);
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.bytes_served, 40);
+        assert_eq!(stats.origin_bytes, 30);
+        assert_eq!(stats.status_count(HttpStatus::NOT_MODIFIED), 1);
+        assert_eq!(stats.per_object[&ObjectId::new(1)], (1, 2));
+        assert_eq!(stats.per_object[&ObjectId::new(2)], (0, 1));
+    }
+
+    #[test]
+    fn per_pop_isolation() {
+        // Same object from two regions → two PoPs → both accesses cold.
+        let mut eu = request(1, 10, 1, 0);
+        eu.region = Region::Europe;
+        let mut asia = request(1, 10, 2, 1);
+        asia.region = Region::Asia;
+        let curve = curve_of(&[eu, asia]);
+        assert_eq!(curve.hits_at(u64::MAX - 1), 0);
+    }
+
+    #[test]
+    fn inconsistent_sizes_detected() {
+        let requests = vec![request(1, 10, 1, 0), request(1, 11, 1, 1)];
+        let curve = curve_of(&requests);
+        assert!(!curve.sizes_consistent());
+        assert!(!curve.exact_at(1_000_000));
+    }
+
+    #[test]
+    fn curve_is_monotone_in_capacity() {
+        let requests: Vec<Request> = (0..200)
+            .map(|i| request(i % 13, 5 + (i % 7), i % 3, i))
+            .collect();
+        let curve = curve_of(&requests);
+        let mut prev_hits = 0;
+        for cap in (0..200).step_by(7) {
+            let hits = curve.hits_at(cap);
+            assert!(hits >= prev_hits, "hit curve must be non-decreasing");
+            prev_hits = hits;
+        }
+    }
+}

@@ -82,7 +82,79 @@ impl Default for SimConfig {
 
 /// Miss-escalation probe: given a key and its size, returns whether some
 /// upstream copy (regional parent / sibling PoP) can spare the origin.
-type MissProbe<'a> = &'a dyn Fn(&CacheKey, u64) -> bool;
+pub(crate) type MissProbe<'a> = &'a dyn Fn(&CacheKey, u64) -> bool;
+
+/// Builds one PoP cache for `config` — the policy, wrapped in a TTL layer
+/// when freshness expiry is configured.
+pub(crate) fn build_policy(config: &SimConfig) -> Box<dyn CachePolicy> {
+    match config.ttl_secs {
+        Some(ttl) => Box::new(TtlCache::new(
+            BoxedPolicy(config.policy.build(config.cache_capacity_bytes)),
+            ttl,
+        )),
+        None => config.policy.build(config.cache_capacity_bytes),
+    }
+}
+
+/// Applies HTTP + cache semantics for one request against one cache,
+/// returning `(status, cache status, body bytes)` without touching any
+/// statistics or building a record. This is the single source of truth for
+/// request semantics — `serve`, `replay`, `replay_stats` and the sweep
+/// engine all route through it.
+pub(crate) fn serve_outcome(
+    cache: &mut dyn CachePolicy,
+    request: &Request,
+    probe: Option<MissProbe<'_>>,
+) -> (HttpStatus, CacheStatus, u64) {
+    let now = request.timestamp;
+    let object = request.object;
+    match request.kind {
+        RequestKind::Hotlink => (HttpStatus::FORBIDDEN, CacheStatus::Miss, 0),
+        RequestKind::Beacon => (HttpStatus::NO_CONTENT, CacheStatus::Miss, 0),
+        RequestKind::InvalidRange => (HttpStatus::RANGE_NOT_SATISFIABLE, CacheStatus::Miss, 0),
+        RequestKind::Conditional => {
+            // The client holds a fresh copy; the edge answers 304 from
+            // its own copy if cached (no body either way).
+            let cached = cache.contains(&CacheKey::whole(object));
+            let cs = if cached {
+                CacheStatus::Hit
+            } else {
+                CacheStatus::Miss
+            };
+            (HttpStatus::NOT_MODIFIED, cs, 0)
+        }
+        RequestKind::Full => {
+            let key = CacheKey::whole(object);
+            let mut hit = cache.request(key, request.object_size, now);
+            if !hit {
+                // Local miss: a parent/sibling copy still spares the
+                // origin.
+                hit = probe.is_some_and(|p| p(&key, request.object_size));
+            }
+            let cs = if hit {
+                CacheStatus::Hit
+            } else {
+                CacheStatus::Miss
+            };
+            (HttpStatus::OK, cs, request.object_size)
+        }
+        RequestKind::Range { offset, length } => {
+            // The CDN treats video chunks as separate cacheable objects
+            // (paper §V).
+            let key = CacheKey::chunk(object, (offset / CHUNK_BYTES) as u32);
+            let mut hit = cache.request(key, length, now);
+            if !hit {
+                hit = probe.is_some_and(|p| p(&key, length));
+            }
+            let cs = if hit {
+                CacheStatus::Hit
+            } else {
+                CacheStatus::Miss
+            };
+            (HttpStatus::PARTIAL_CONTENT, cs, length)
+        }
+    }
+}
 
 struct Pop {
     cache: Box<dyn CachePolicy>,
@@ -129,15 +201,8 @@ impl Simulator {
         let pops = topology
             .pops()
             .map(|_| {
-                let cache: Box<dyn CachePolicy> = match config.ttl_secs {
-                    Some(ttl) => Box::new(TtlCache::new(
-                        BoxedPolicy(config.policy.build(config.cache_capacity_bytes)),
-                        ttl,
-                    )),
-                    None => config.policy.build(config.cache_capacity_bytes),
-                };
                 Mutex::new(Pop {
-                    cache,
+                    cache: build_policy(config),
                     stats: ServeStats::new(),
                 })
             })
@@ -179,14 +244,17 @@ impl Simulator {
         }
     }
 
-    /// Serves with miss escalation. The local PoP lock is held; the
-    /// regional parent (if any) is consulted first — a real fetch that
-    /// admits into the parent — then siblings are probed with `try_lock`
-    /// (a busy sibling is treated as a miss, mirroring probe timeouts).
-    fn serve_at(&self, pop: &mut Pop, pop_id: PopId, request: Request) -> LogRecord {
-        let region = request.region;
-        let timestamp = request.timestamp;
-        let probe = |key: &CacheKey, size: u64| {
+    /// The miss-escalation probe for a PoP: the regional parent (if any)
+    /// is consulted first — a real fetch that admits into the parent —
+    /// then siblings are probed with `try_lock` (a busy sibling is treated
+    /// as a miss, mirroring probe timeouts).
+    fn escalation_probe(
+        &self,
+        pop_id: PopId,
+        region: oat_httplog::Region,
+        timestamp: u64,
+    ) -> impl Fn(&CacheKey, u64) -> bool + '_ {
+        move |key: &CacheKey, size: u64| {
             if !self.parents.is_empty() {
                 let mut parent = self.parents[region.code() as usize].lock();
                 if parent.request(*key, size, timestamp) {
@@ -200,7 +268,12 @@ impl Simulator {
                     }
                     sibling.try_lock().is_some_and(|s| s.cache.contains(key))
                 })
-        };
+        }
+    }
+
+    /// Serves with miss escalation. The local PoP lock is held.
+    fn serve_at(&self, pop: &mut Pop, pop_id: PopId, request: Request) -> LogRecord {
+        let probe = self.escalation_probe(pop_id, request.region, request.timestamp);
         Self::serve_inner(pop, pop_id, request, Some(&probe))
     }
 
@@ -214,70 +287,46 @@ impl Simulator {
         request: Request,
         probe: Option<MissProbe<'_>>,
     ) -> LogRecord {
-        let now = request.timestamp;
-        let object = request.object;
-        let (status, cache_status, bytes) = match request.kind {
-            RequestKind::Hotlink => (HttpStatus::FORBIDDEN, CacheStatus::Miss, 0),
-            RequestKind::Beacon => (HttpStatus::NO_CONTENT, CacheStatus::Miss, 0),
-            RequestKind::InvalidRange => (HttpStatus::RANGE_NOT_SATISFIABLE, CacheStatus::Miss, 0),
-            RequestKind::Conditional => {
-                // The client holds a fresh copy; the edge answers 304 from
-                // its own copy if cached (no body either way).
-                let cached = pop.cache.contains(&CacheKey::whole(object));
-                let cs = if cached {
-                    CacheStatus::Hit
-                } else {
-                    CacheStatus::Miss
-                };
-                (HttpStatus::NOT_MODIFIED, cs, 0)
-            }
-            RequestKind::Full => {
-                let key = CacheKey::whole(object);
-                let mut hit = pop.cache.request(key, request.object_size, now);
-                if !hit {
-                    // Local miss: a parent/sibling copy still spares the
-                    // origin.
-                    hit = probe.is_some_and(|p| p(&key, request.object_size));
-                }
-                let cs = if hit {
-                    CacheStatus::Hit
-                } else {
-                    CacheStatus::Miss
-                };
-                (HttpStatus::OK, cs, request.object_size)
-            }
-            RequestKind::Range { offset, length } => {
-                // The CDN treats video chunks as separate cacheable objects
-                // (paper §V).
-                let key = CacheKey::chunk(object, (offset / CHUNK_BYTES) as u32);
-                let mut hit = pop.cache.request(key, length, now);
-                if !hit {
-                    hit = probe.is_some_and(|p| p(&key, length));
-                }
-                let cs = if hit {
-                    CacheStatus::Hit
-                } else {
-                    CacheStatus::Miss
-                };
-                (HttpStatus::PARTIAL_CONTENT, cs, length)
-            }
+        let (status, cache_status, bytes) = serve_outcome(pop.cache.as_mut(), &request, probe);
+        pop.stats
+            .record(request.object, status, cache_status.is_hit(), bytes);
+        request.into_record(pop_id, cache_status, status, bytes)
+    }
+
+    /// Serves one request, updating statistics but skipping the
+    /// [`LogRecord`] — the counters-only equivalent of [`Simulator::serve`]
+    /// for callers that only read [`Simulator::stats`] afterwards.
+    pub fn serve_stats(&self, request: &Request) -> (HttpStatus, CacheStatus, u64) {
+        let pop_id = self.topology.route(request.region, request.user);
+        let mut pop = self.pops[pop_id.raw() as usize].lock();
+        let (status, cache_status, bytes) = if self.escalates() {
+            let probe = self.escalation_probe(pop_id, request.region, request.timestamp);
+            serve_outcome(pop.cache.as_mut(), request, Some(&probe))
+        } else {
+            serve_outcome(pop.cache.as_mut(), request, None)
         };
         pop.stats
-            .record(object, status, cache_status.is_hit(), bytes);
-        request.into_record(pop_id, cache_status, status, bytes)
+            .record(request.object, status, cache_status.is_hit(), bytes);
+        (status, cache_status, bytes)
     }
 
     /// Replays a time-sorted request stream, in parallel across PoPs, and
     /// returns the records in the input order.
     pub fn replay(&self, requests: Vec<Request>) -> Vec<LogRecord> {
-        // Partition by PoP, remembering original positions.
+        let total = requests.len();
+        // Partition by PoP, remembering original positions. A counting
+        // pass pre-sizes each partition so large traces never reallocate
+        // mid-partitioning.
+        let mut counts = vec![0usize; self.pops.len()];
+        for req in &requests {
+            counts[self.topology.route(req.region, req.user).raw() as usize] += 1;
+        }
         let mut partitions: Vec<Vec<(usize, Request)>> =
-            (0..self.pops.len()).map(|_| Vec::new()).collect();
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (i, req) in requests.into_iter().enumerate() {
             let pop = self.topology.route(req.region, req.user);
             partitions[pop.raw() as usize].push((i, req));
         }
-        let total: usize = partitions.iter().map(Vec::len).sum();
 
         // Each worker returns its own (position, record) vector; the merge
         // into input order happens after the scope joins, so no thread ever
@@ -324,6 +373,71 @@ impl Simulator {
             .into_iter()
             .map(|s| s.expect("every slot filled"))
             .collect()
+    }
+
+    /// Counters-only replay: serves a time-sorted request slice and
+    /// returns the aggregated statistics without materializing a
+    /// [`LogRecord`] per request — no per-record allocation, no output
+    /// vector, no order-restoring merge. The trace is borrowed, never
+    /// cloned. Statistics equal [`Simulator::replay`] followed by
+    /// [`Simulator::stats`] on the same trace.
+    ///
+    /// Non-escalating configurations replay in parallel across PoPs (each
+    /// PoP's subsequence is independent). Escalating configurations
+    /// (cooperative siblings / parent tier) are served serially in trace
+    /// order, so cross-PoP probe interleavings are deterministic — unlike
+    /// `replay`, whose concurrent `try_lock` probes may resolve
+    /// differently from run to run.
+    pub fn replay_stats(&self, requests: &[Request]) -> ServeStats {
+        if self.escalates() {
+            for req in requests {
+                self.serve_stats(req);
+            }
+            return self.stats();
+        }
+        assert!(
+            requests.len() <= u32::MAX as usize,
+            "replay_stats indexes requests with u32"
+        );
+        let mut counts = vec![0usize; self.pops.len()];
+        for req in requests {
+            counts[self.topology.route(req.region, req.user).raw() as usize] += 1;
+        }
+        let mut partitions: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (i, req) in requests.iter().enumerate() {
+            partitions[self.topology.route(req.region, req.user).raw() as usize].push(i as u32);
+        }
+        let scope_result = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .enumerate()
+                .filter(|(_, part)| !part.is_empty())
+                .map(|(pop_idx, part)| {
+                    let pops = &self.pops;
+                    scope.spawn(move |_| {
+                        let mut pop = pops[pop_idx].lock();
+                        for &i in part {
+                            let Some(req) = requests.get(i as usize) else {
+                                continue;
+                            };
+                            let (status, cache_status, bytes) =
+                                serve_outcome(pop.cache.as_mut(), req, None);
+                            pop.stats
+                                .record(req.object, status, cache_status.is_hit(), bytes);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        if let Err(payload) = scope_result {
+            std::panic::resume_unwind(payload);
+        }
+        self.stats()
     }
 
     /// Replays a stream of time-sorted request batches, handing each batch
@@ -547,6 +661,74 @@ mod tests {
         stream_sim.replay_stream(batches, |records| streamed.extend(records));
         assert_eq!(whole, streamed);
         assert_eq!(batch_sim.stats(), stream_sim.stats());
+    }
+
+    fn mixed_trace(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                let kind = match i % 6 {
+                    0 | 1 => RequestKind::Full,
+                    2 => RequestKind::Range {
+                        offset: 0,
+                        length: CHUNK_BYTES,
+                    },
+                    3 => RequestKind::Conditional,
+                    4 => RequestKind::Hotlink,
+                    _ => RequestKind::Beacon,
+                };
+                let mut r = request(i % 9, i % 13, i, kind);
+                r.region = Region::ALL[(i % 4) as usize];
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_stats_matches_replay() {
+        let full = Simulator::new(&SimConfig::default_edge());
+        full.replay(mixed_trace(600));
+        let fast = Simulator::new(&SimConfig::default_edge());
+        let stats = fast.replay_stats(&mixed_trace(600));
+        assert_eq!(stats, full.stats());
+        assert_eq!(fast.stats(), full.stats());
+    }
+
+    #[test]
+    fn replay_stats_matches_serial_serve_under_escalation() {
+        for config in [
+            SimConfig::default_edge().with_cooperative(),
+            SimConfig {
+                pops_per_region: 2,
+                ..SimConfig::default_edge()
+            }
+            .with_parent(1_000_000_000),
+        ] {
+            let serial = Simulator::new(&config);
+            for req in mixed_trace(400) {
+                serial.serve(req);
+            }
+            let fast = Simulator::new(&config);
+            let stats = fast.replay_stats(&mixed_trace(400));
+            assert_eq!(stats, serial.stats());
+        }
+    }
+
+    #[test]
+    fn serve_stats_matches_serve() {
+        let by_record = Simulator::new(&SimConfig::default_edge());
+        let records: Vec<LogRecord> = mixed_trace(200)
+            .into_iter()
+            .map(|r| by_record.serve(r))
+            .collect();
+        let by_stats = Simulator::new(&SimConfig::default_edge());
+        for (req, rec) in mixed_trace(200).iter().zip(&records) {
+            let (status, cache_status, bytes) = by_stats.serve_stats(req);
+            assert_eq!(
+                (status, cache_status, bytes),
+                (rec.status, rec.cache_status, rec.bytes_served)
+            );
+        }
+        assert_eq!(by_stats.stats(), by_record.stats());
     }
 
     #[test]

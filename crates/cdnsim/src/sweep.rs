@@ -1,0 +1,431 @@
+//! Single-pass multi-configuration cache sweeps.
+//!
+//! The paper's §V cache implications (Fig 15/16 and the A1/A5/A7/A8
+//! ablations) are grids over cache configurations — policy × capacity ×
+//! TTL × topology. Evaluating a grid point used to mean constructing a
+//! fresh [`Simulator`], cloning the full request vector, and replaying the
+//! whole trace; ablation cost grew linearly with grid size. [`Sweep`]
+//! evaluates an entire grid in (near) one pass over the trace instead:
+//!
+//! 1. the PoP routing partition is computed **once** per distinct topology
+//!    ([`RoutePartition`]) and the trace is shared by reference across all
+//!    grid points — no per-configuration request clone;
+//! 2. pure-LRU capacity points collapse onto an exact
+//!    [`MattsonCurve`](crate::MattsonCurve): one `O(n log n)` stack pass
+//!    answers *every* capacity, replacing K independent replays;
+//! 3. the remaining points replay counters-only (no `LogRecord`
+//!    materialization) on a crossbeam worker pool, with results collected
+//!    in grid order.
+//!
+//! Results are byte-identical at any thread count: every grid point is
+//! evaluated independently and deterministically. Configurations with
+//! miss escalation (cooperative siblings, parent tier) are served
+//! serially in trace order inside their grid task — unlike
+//! [`Simulator::replay`], whose cross-PoP `try_lock` probes can race —
+//! so even A7/A8-style points are reproducible.
+
+use crate::cache::PolicyKind;
+use crate::mattson::MattsonCurve;
+use crate::simulator::{build_policy, serve_outcome, SimConfig, Simulator};
+use crate::stats::ServeStats;
+use crate::topology::Topology;
+use oat_httplog::Request;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The per-PoP routing partition of one trace: for each PoP, the indices
+/// of the requests it serves, in trace order.
+///
+/// Routing is a pure function of `(pops_per_region, region, user)`, so one
+/// partition is shared by every grid point with the same topology.
+#[derive(Debug, Clone)]
+pub struct RoutePartition {
+    pops_per_region: usize,
+    per_pop: Vec<Vec<u32>>,
+}
+
+impl RoutePartition {
+    /// Routes every request once, pre-sizing each PoP's index list with a
+    /// counting pass.
+    pub fn build(topology: &Topology, requests: &[Request]) -> Self {
+        assert!(
+            requests.len() <= u32::MAX as usize,
+            "RoutePartition indexes requests with u32"
+        );
+        let mut counts = vec![0usize; topology.pop_count()];
+        for req in requests {
+            counts[topology.route(req.region, req.user).raw() as usize] += 1;
+        }
+        let mut per_pop: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (i, req) in requests.iter().enumerate() {
+            per_pop[topology.route(req.region, req.user).raw() as usize].push(i as u32);
+        }
+        Self {
+            pops_per_region: topology.pops_per_region(),
+            per_pop,
+        }
+    }
+
+    /// Per-PoP request indices, in PoP order.
+    pub fn per_pop(&self) -> &[Vec<u32>] {
+        &self.per_pop
+    }
+
+    /// The `pops_per_region` this partition was routed for.
+    pub fn pops_per_region(&self) -> usize {
+        self.pops_per_region
+    }
+}
+
+/// How a grid point was evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepEngine {
+    /// Answered from the single-pass LRU stack curve (exact, no replay).
+    Mattson,
+    /// Counters-only trace replay.
+    Replay,
+}
+
+impl std::fmt::Display for SweepEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SweepEngine::Mattson => "mattson",
+            SweepEngine::Replay => "replay",
+        })
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The configuration this point evaluated.
+    pub config: SimConfig,
+    /// Aggregated serving statistics across all PoPs.
+    pub stats: ServeStats,
+    /// How the point was evaluated.
+    pub engine: SweepEngine,
+}
+
+/// A configuration-grid evaluator over one shared trace.
+///
+/// # Example
+///
+/// ```
+/// use oat_cdnsim::{SimConfig, Sweep};
+/// use oat_httplog::Request;
+///
+/// let requests = vec![Request::example(); 4];
+/// let grid: Vec<SimConfig> = [1_000_000u64, 4_000_000]
+///     .iter()
+///     .map(|&cap| SimConfig::default_edge().with_capacity(cap))
+///     .collect();
+/// let results = Sweep::new(&requests).run(&grid);
+/// assert_eq!(results.len(), 2);
+/// // Larger caches never hit less:
+/// assert!(results[1].stats.hits >= results[0].stats.hits);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep<'a> {
+    requests: &'a [Request],
+    threads: usize,
+}
+
+impl<'a> Sweep<'a> {
+    /// Creates a sweep over `requests` (time-sorted, as emitted by the
+    /// workload generator) using all cores.
+    pub fn new(requests: &'a [Request]) -> Self {
+        Self {
+            requests,
+            threads: 0,
+        }
+    }
+
+    /// Caps the worker pool (`0` = all cores). Throughput-only: results
+    /// are identical at any setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Evaluates every configuration in `configs`, returning results in
+    /// the same order.
+    pub fn run(&self, configs: &[SimConfig]) -> Vec<SweepResult> {
+        // One routing partition per distinct topology in the grid.
+        let mut partitions: BTreeMap<usize, RoutePartition> = BTreeMap::new();
+        for config in configs {
+            let ppr = config.pops_per_region.max(1);
+            partitions
+                .entry(ppr)
+                .or_insert_with(|| RoutePartition::build(&Topology::new(ppr), self.requests));
+        }
+        // One Mattson curve per topology that has eligible LRU points; the
+        // curve replaces every capacity replay it covers.
+        let mut curves: BTreeMap<usize, MattsonCurve> = BTreeMap::new();
+        for config in configs.iter().filter(|c| mattson_eligible(c)) {
+            let ppr = config.pops_per_region.max(1);
+            if !curves.contains_key(&ppr) {
+                if let Some(partition) = partitions.get(&ppr) {
+                    curves.insert(ppr, MattsonCurve::build(self.requests, partition));
+                }
+            }
+        }
+
+        let workers = resolve_threads(self.threads, configs.len());
+        let next = AtomicUsize::new(0);
+        let scope_result = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, partitions, curves) = (&next, &partitions, &curves);
+                    scope.spawn(move |_| {
+                        let mut local: Vec<(usize, SweepResult)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(config) = configs.get(i) else {
+                                break;
+                            };
+                            local.push((i, self.eval(config, partitions, curves)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut indexed = Vec::with_capacity(configs.len());
+            for handle in handles {
+                match handle.join() {
+                    Ok(mut results) => indexed.append(&mut results),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            indexed
+        });
+        let mut indexed = match scope_result {
+            Ok(results) => results,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        // Deterministic, ordered collection: grid order regardless of
+        // which worker finished when.
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, result)| result).collect()
+    }
+
+    /// Evaluates one grid point.
+    fn eval(
+        &self,
+        config: &SimConfig,
+        partitions: &BTreeMap<usize, RoutePartition>,
+        curves: &BTreeMap<usize, MattsonCurve>,
+    ) -> SweepResult {
+        let ppr = config.pops_per_region.max(1);
+        if mattson_eligible(config) {
+            if let Some(curve) = curves.get(&ppr) {
+                if curve.exact_at(config.cache_capacity_bytes) {
+                    return SweepResult {
+                        config: config.clone(),
+                        stats: curve.stats_at(config.cache_capacity_bytes),
+                        engine: SweepEngine::Mattson,
+                    };
+                }
+            }
+        }
+        let escalates = config.cooperative || config.parent_capacity_bytes.is_some();
+        let stats = if escalates {
+            // Serial, in trace order: cross-PoP probes see one
+            // deterministic interleaving.
+            let sim = Simulator::new(config);
+            for req in self.requests {
+                sim.serve_stats(req);
+            }
+            sim.stats()
+        } else {
+            match partitions.get(&ppr) {
+                Some(partition) => replay_partitioned(self.requests, partition, config),
+                // Unreachable: `run` builds a partition for every ppr.
+                None => ServeStats::new(),
+            }
+        };
+        SweepResult {
+            config: config.clone(),
+            stats,
+            engine: SweepEngine::Replay,
+        }
+    }
+}
+
+/// Counters-only replay of one non-escalating configuration over a shared
+/// partition: each PoP runs its cache to completion with zero locking and
+/// zero record materialization. Statistics equal
+/// [`Simulator::replay`] + [`Simulator::stats`] for the same trace.
+fn replay_partitioned(
+    requests: &[Request],
+    partition: &RoutePartition,
+    config: &SimConfig,
+) -> ServeStats {
+    let mut total = ServeStats::new();
+    for indices in partition.per_pop() {
+        let mut cache = build_policy(config);
+        let mut stats = ServeStats::new();
+        for &i in indices {
+            let Some(req) = requests.get(i as usize) else {
+                continue;
+            };
+            let (status, cache_status, bytes) = serve_outcome(cache.as_mut(), req, None);
+            stats.record(req.object, status, cache_status.is_hit(), bytes);
+        }
+        total.merge(&stats);
+    }
+    total
+}
+
+/// Whether a configuration can be answered from the LRU stack curve
+/// (subject to the curve's own [`MattsonCurve::exact_at`] capacity check).
+fn mattson_eligible(config: &SimConfig) -> bool {
+    config.policy == PolicyKind::Lru
+        && config.ttl_secs.is_none()
+        && !config.cooperative
+        && config.parent_capacity_bytes.is_none()
+}
+
+fn resolve_threads(threads: usize, tasks: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let chosen = if threads == 0 { hw } else { threads };
+    chosen.clamp(1, tasks.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_httplog::{ObjectId, Region, RequestKind, UserId};
+
+    fn trace(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                let object = i % 7;
+                Request {
+                    timestamp: i,
+                    object: ObjectId::new(object),
+                    // Size is a function of the object id, so every key
+                    // keeps one size (the Mattson exactness precondition).
+                    object_size: 1_000 + object * 300,
+                    user: UserId::new(i % 13),
+                    region: Region::ALL[(i % 4) as usize],
+                    kind: RequestKind::Full,
+                    ..Request::example()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid_and_empty_trace() {
+        assert!(Sweep::new(&[]).run(&[]).is_empty());
+        let results = Sweep::new(&[]).run(&[SimConfig::default_edge()]);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].stats, ServeStats::new());
+    }
+
+    #[test]
+    fn results_follow_grid_order() {
+        let requests = trace(200);
+        let grid: Vec<SimConfig> = [4_000_000u64, 2_000_000, 8_000_000]
+            .iter()
+            .map(|&cap| SimConfig::default_edge().with_capacity(cap))
+            .collect();
+        let results = Sweep::new(&requests).run(&grid);
+        let caps: Vec<u64> = results
+            .iter()
+            .map(|r| r.config.cache_capacity_bytes)
+            .collect();
+        assert_eq!(caps, vec![4_000_000, 2_000_000, 8_000_000]);
+    }
+
+    #[test]
+    fn lru_points_use_mattson_and_match_replay() {
+        let requests = trace(400);
+        let grid = vec![
+            SimConfig::default_edge().with_capacity(3_000_000),
+            SimConfig::default_edge()
+                .with_policy(PolicyKind::Fifo)
+                .with_capacity(3_000_000),
+        ];
+        let results = Sweep::new(&requests).run(&grid);
+        assert_eq!(results[0].engine, SweepEngine::Mattson);
+        assert_eq!(results[1].engine, SweepEngine::Replay);
+        for (config, result) in grid.iter().zip(&results) {
+            let sim = Simulator::new(config);
+            sim.replay(requests.clone());
+            assert_eq!(result.stats, sim.stats(), "policy {}", config.policy);
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_falls_back_to_replay() {
+        // Capacity below the largest object: stack inclusion does not
+        // apply, so the LRU point must be replayed.
+        let requests = trace(100);
+        let grid = vec![SimConfig::default_edge().with_capacity(10)];
+        let results = Sweep::new(&requests).run(&grid);
+        assert_eq!(results[0].engine, SweepEngine::Replay);
+        let sim = Simulator::new(&grid[0]);
+        sim.replay(requests.clone());
+        assert_eq!(results[0].stats, sim.stats());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let requests = trace(300);
+        let grid: Vec<SimConfig> = (1..=6u64)
+            .map(|i| SimConfig::default_edge().with_capacity(i * 1_500_000))
+            .collect();
+        let serial = Sweep::new(&requests).with_threads(1).run(&grid);
+        for threads in [2, 3, 8] {
+            let parallel = Sweep::new(&requests).with_threads(threads).run(&grid);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn escalating_points_are_deterministic() {
+        let requests = trace(300);
+        let grid = vec![
+            SimConfig::default_edge()
+                .with_capacity(2_000_000)
+                .with_cooperative(),
+            SimConfig {
+                pops_per_region: 2,
+                ..SimConfig::default_edge()
+            }
+            .with_capacity(2_000_000)
+            .with_parent(8_000_000),
+        ];
+        let a = Sweep::new(&requests).with_threads(2).run(&grid);
+        let b = Sweep::new(&requests).with_threads(1).run(&grid);
+        assert_eq!(a, b);
+        assert_eq!(a[0].engine, SweepEngine::Replay);
+    }
+
+    #[test]
+    fn partition_covers_every_request_once() {
+        let requests = trace(500);
+        let topo = Topology::new(3);
+        let partition = RoutePartition::build(&topo, &requests);
+        assert_eq!(partition.pops_per_region(), 3);
+        let mut seen = vec![false; requests.len()];
+        for indices in partition.per_pop() {
+            for &i in indices {
+                assert!(!seen[i as usize], "request partitioned twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Within a PoP, indices stay in trace order.
+        for indices in partition.per_pop() {
+            assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn engine_display_names() {
+        assert_eq!(SweepEngine::Mattson.to_string(), "mattson");
+        assert_eq!(SweepEngine::Replay.to_string(), "replay");
+    }
+}

@@ -9,7 +9,7 @@
 //! cargo run --release --example cache_tuning
 //! ```
 
-use oat::cdnsim::{plan_push, PolicyKind, SimConfig, Simulator};
+use oat::cdnsim::{plan_push, PolicyKind, SimConfig, Simulator, Sweep};
 use oat::workload::{generate, TraceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,27 +20,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = generate(&config)?;
     eprintln!("{} requests", trace.requests.len());
 
-    println!("policy      capacity     hit-ratio   byte-savings");
+    // The whole policy × capacity grid runs as one sweep over the shared
+    // trace: the routing partition is computed once, LRU capacity points
+    // collapse onto a single Mattson stack pass, and no grid point clones
+    // the request vector.
+    let mut grid = Vec::new();
     for capacity in [200_000_000u64, 1_000_000_000, 4_000_000_000] {
         for policy in PolicyKind::ALL {
             if policy == PolicyKind::Infinite && capacity != 4_000_000_000 {
                 continue; // the ceiling is capacity-independent
             }
-            let sim = Simulator::new(
-                &SimConfig::default_edge()
+            grid.push(
+                SimConfig::default_edge()
                     .with_policy(policy)
                     .with_capacity(capacity),
             );
-            let _records = sim.replay(trace.requests.clone());
-            let stats = sim.stats();
-            println!(
-                "{:<10} {:>10} {:>11.1}% {:>13.1}%",
-                policy.to_string(),
-                oat::analysis::report::human_bytes(capacity),
-                100.0 * stats.hit_ratio().unwrap_or(0.0),
-                100.0 * stats.byte_savings().unwrap_or(0.0),
-            );
         }
+    }
+    println!("policy      capacity     hit-ratio   byte-savings");
+    for result in Sweep::new(&trace.requests).run(&grid) {
+        println!(
+            "{:<10} {:>10} {:>11.1}% {:>13.1}%",
+            result.config.policy.to_string(),
+            oat::analysis::report::human_bytes(result.config.cache_capacity_bytes),
+            100.0 * result.stats.hit_ratio().unwrap_or(0.0),
+            100.0 * result.stats.byte_savings().unwrap_or(0.0),
+        );
     }
 
     // Push placement: plan from the first day, replay the rest.
@@ -59,14 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let base_sim = Simulator::new(&SimConfig::default_edge().with_capacity(1_000_000_000));
-    base_sim.replay(rest.clone());
-    let base = base_sim.stats().hit_ratio().unwrap_or(0.0);
+    let base = base_sim.replay_stats(&rest).hit_ratio().unwrap_or(0.0);
 
     let plan = plan_push(&day1, 300_000_000);
     let push_sim = Simulator::new(&SimConfig::default_edge().with_capacity(1_000_000_000));
     push_sim.preload(plan.iter().map(|p| (p.key, p.size)));
-    push_sim.replay(rest);
-    let pushed = push_sim.stats().hit_ratio().unwrap_or(0.0);
+    let pushed = push_sim.replay_stats(&rest).hit_ratio().unwrap_or(0.0);
 
     println!(
         "\npush placement ({} objects, 300 MB budget): hit ratio {:.1}% -> {:.1}%",
