@@ -1,0 +1,67 @@
+//! Degraded-path replay throughput: the fault-injection layer's overhead
+//! over a healthy replay, on the same synthesized trace.
+//!
+//! Three points: the healthy baseline, an attached-but-empty plan (the
+//! fault clock is consulted and finds nothing), and a sampled
+//! exercise-everything plan (failover + stale serves + shedding +
+//! pressure). Fixed seeds throughout — every iteration replays the
+//! identical degraded schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oat_cdnsim::{FaultPlan, SimConfig, Simulator};
+use oat_workload::{generate, TraceConfig};
+
+const TRACE_SEED: u64 = 0x0A7_5EED;
+const PLAN_SEED: u64 = 0xC4A0_5EED;
+
+fn bench_faulted_replay(c: &mut Criterion) {
+    let config = TraceConfig::small()
+        .with_scale(0.02)
+        .with_catalog_scale(0.05)
+        .with_seed(TRACE_SEED);
+    let trace = generate(&config).expect("valid config");
+    let sim_config = SimConfig::default_edge();
+    let pops = (sim_config.pops_per_region * 4) as u16;
+    let sampled =
+        FaultPlan::sample(PLAN_SEED, config.duration_secs, pops).shifted(config.start_unix);
+    let empty = FaultPlan::new(PLAN_SEED);
+
+    let mut group = c.benchmark_group("chaos/replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.requests.len() as u64));
+    let cases: [(&str, Option<&FaultPlan>); 3] = [
+        ("healthy", None),
+        ("empty_plan", Some(&empty)),
+        ("sampled_plan", Some(&sampled)),
+    ];
+    for (label, plan) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&sim_config);
+                if let Some(plan) = plan {
+                    sim = sim.with_faults((*plan).clone());
+                }
+                let records = sim.replay(trace.requests.clone());
+                (records.len(), sim.stats().shed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_clock(c: &mut Criterion) {
+    let plan = FaultPlan::sample(PLAN_SEED, 604_800, 16);
+    let clock = oat_cdnsim::FaultClock::new(plan);
+    let mut group = c.benchmark_group("chaos/clock");
+    group.bench_function("origin_fetch", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = t.wrapping_add(37) % 604_800;
+            clock.origin_fetch(t, t.wrapping_mul(0x9e37_79b9))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faulted_replay, bench_fault_clock);
+criterion_main!(benches);

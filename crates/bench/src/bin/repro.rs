@@ -6,20 +6,84 @@
 //! repro --fig 3               # one figure
 //! repro --ablation cache-policy|tiered-cache|push|incognito|ttl|dtw
 //! repro --scale 0.25 --all    # denser trace (closer to paper shape)
+//! repro --faults plan.toml    # degraded run under a fault plan
+//! repro --fault-seed 7        # degraded run under a sampled plan
 //! ```
 //!
 //! Each section prints the paper's reported shape next to the measured
 //! values so the comparison that feeds `EXPERIMENTS.md` is mechanical.
+//!
+//! Exit codes: `0` success; `1` export failure; `2` usage error; `130`
+//! interrupted (Ctrl-C — the report produced so far is flushed first);
+//! killed by `SIGPIPE` when stdout's reader goes away (e.g. `repro | head`),
+//! as is conventional for pipeline tools.
 
 use oat_cdnsim::cache::{CachePolicy, LruCache, SlruCache, TieredCache};
 use oat_cdnsim::{
-    cacheable_key, plan_push, LatencyModel, PolicyKind, SimConfig, Simulator, Sweep, SweepResult,
+    cacheable_key, plan_push, FaultPlan, LatencyModel, PolicyKind, SimConfig, Simulator, Sweep,
+    SweepResult,
 };
 use oat_core::experiment::{ExperimentConfig, ExperimentResult, StreamOptions};
 use oat_core::report;
 use oat_httplog::{ContentClass, HttpStatus};
 use oat_timeseries::{distance::pairwise_matrix, hierarchical, Linkage, Metric};
 use oat_workload::{generate, SiteProfile, TraceConfig};
+
+/// Minimal signal handling, dependency-free: Ctrl-C sets a flag that the
+/// figure loop polls so a partial report can be flushed before exiting
+/// with the conventional `130`; `SIGPIPE` is restored to its default
+/// disposition so a closed stdout pipe (`repro | head`) terminates the
+/// process quietly instead of panicking a `println!`.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGPIPE: i32 = 13;
+
+    extern "C" {
+        // POSIX signal(2). `Option<extern "C" fn>` has the null-pointer
+        // layout guarantee, so `None` is `SIG_DFL` (0 on Linux).
+        fn signal(signum: i32, handler: Option<extern "C" fn(i32)>) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, Some(on_sigint));
+            signal(SIGPIPE, None);
+        }
+    }
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn interrupted() -> bool {
+        false
+    }
+}
+
+/// Flushes stdout and exits `130` if Ctrl-C arrived; called between
+/// report phases so a long run always leaves a readable partial report.
+fn checkpoint_interrupt() {
+    if sig::interrupted() {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        eprintln!("repro: interrupted — partial report flushed");
+        std::process::exit(130);
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -35,6 +99,8 @@ struct Options {
     stream: bool,
     shard_size: usize,
     sweep_threads: usize,
+    faults: Option<std::path::PathBuf>,
+    fault_seed: Option<u64>,
 }
 
 impl Default for Options {
@@ -52,6 +118,8 @@ impl Default for Options {
             stream: false,
             shard_size: 0,
             sweep_threads: 0,
+            faults: None,
+            fault_seed: None,
         }
     }
 }
@@ -107,6 +175,14 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad sweep thread count {v:?}"))?;
             }
+            "--faults" => {
+                let v = args.next().ok_or("--faults needs a TOML plan path")?;
+                opts.faults = Some(std::path::PathBuf::from(v));
+            }
+            "--fault-seed" => {
+                let v = args.next().ok_or("--fault-seed needs a value")?;
+                opts.fault_seed = Some(v.parse().map_err(|_| format!("bad fault seed {v:?}"))?);
+            }
             "--stream" => opts.stream = true,
             "--shard-size" => {
                 let v = args
@@ -118,7 +194,8 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: repro [--all] [--fig N]... [--ablation NAME] \
                      [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] \
-                     [--csv-dir DIR] [--threads N] [--sweep-threads N] [--stream] [--shard-size N]\n\
+                     [--csv-dir DIR] [--threads N] [--sweep-threads N] [--stream] [--shard-size N] \
+                     [--faults PLAN.toml] [--fault-seed N]\n\
                      ablations: cache-policy tiered-cache push incognito ttl cooperative parent-tier dtw\n\
                      --threads: generation + DTW matrix worker threads (0 = all cores); \
                      results are bit-identical at any setting\n\
@@ -127,7 +204,13 @@ fn parse_args() -> Result<Options, String> {
                      --stream: pipeline generate -> replay -> analyze through bounded \
                      batches (one retained record copy instead of three) — same result\n\
                      --shard-size: users per generation shard (0 = default); any value \
-                     yields the identical trace"
+                     yields the identical trace\n\
+                     --faults: deterministic fault-injection plan (TOML; window times are \
+                     seconds from trace start); adds the availability section\n\
+                     --fault-seed: derive an exercise-everything fault plan from a seed \
+                     instead of a file\n\
+                     exit codes: 0 ok; 1 export failure; 2 usage error; 130 interrupted \
+                     (partial report flushed); killed by SIGPIPE when stdout closes early"
                 );
                 std::process::exit(0);
             }
@@ -141,6 +224,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn main() {
+    sig::install();
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -151,6 +235,7 @@ fn main() {
 
     if let Some(name) = &opts.ablation {
         run_ablation(name, &opts);
+        checkpoint_interrupt();
         return;
     }
 
@@ -161,6 +246,10 @@ fn main() {
     };
     let result = run_experiment(&opts);
     print_figures(&result, &figures);
+    if opts.faults.is_some() || opts.fault_seed.is_some() {
+        println!("{}", report::render_availability(&result.availability));
+    }
+    checkpoint_interrupt();
     if let Some(dir) = &opts.csv_dir {
         match oat_core::export::write_csvs(&result, dir) {
             Ok(files) => eprintln!(
@@ -187,6 +276,9 @@ fn run_experiment(opts: &Options) -> ExperimentResult {
         .capacity
         .unwrap_or((64e9 * opts.catalog_scale).max(2e9) as u64);
     config.clustering.threads = opts.threads;
+    if let Some(plan) = load_fault_plan(opts, &config) {
+        config.faults = Some(plan);
+    }
     eprintln!(
         "repro: scale {} catalog-scale {} seed {}{}",
         opts.scale,
@@ -213,8 +305,37 @@ fn run_experiment(opts: &Options) -> ExperimentResult {
     result
 }
 
+/// Resolves `--faults` / `--fault-seed` into a plan in absolute trace
+/// time. File plans are authored relative to trace start (hour 1 is
+/// `start = 3600`), so both paths shift by the trace's start epoch.
+fn load_fault_plan(opts: &Options, config: &ExperimentConfig) -> Option<FaultPlan> {
+    let plan = if let Some(path) = &opts.faults {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("repro: cannot read fault plan {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match FaultPlan::from_toml_str(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("repro: invalid fault plan {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(seed) = opts.fault_seed {
+        let pops = (config.sim.pops_per_region * 4) as u16;
+        FaultPlan::sample(seed, config.trace.duration_secs, pops)
+    } else {
+        return None;
+    };
+    Some(plan.shifted(config.trace.start_unix))
+}
+
 fn print_figures(result: &ExperimentResult, figures: &[u8]) {
     for &fig in figures {
+        checkpoint_interrupt();
         match fig {
             1 | 2 if (fig == 1 || !figures.contains(&1)) => {
                 paper(

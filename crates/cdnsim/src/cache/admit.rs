@@ -91,6 +91,12 @@ impl<C: CachePolicy> CachePolicy for AdmitOnSecond<C> {
         self.inner.contains(key)
     }
 
+    fn peek(&self, key: &CacheKey, now: u64) -> bool {
+        // Ghost-set membership doesn't make the next request a hit, so
+        // only the inner cache's answer matters.
+        self.inner.peek(key, now)
+    }
+
     fn len(&self) -> usize {
         self.inner.len()
     }

@@ -72,6 +72,20 @@ pub trait CachePolicy: Send + std::fmt::Debug {
     /// Whether `key` is currently cached (no recency side effects).
     fn contains(&self, key: &CacheKey) -> bool;
 
+    /// Whether a `request` for `key` at `now` would be a hit, without any
+    /// side effects (no recency bump, no admission, no TTL refresh).
+    ///
+    /// Defaults to [`contains`](Self::contains); freshness-aware wrappers
+    /// ([`TtlCache`]) also require freshness. The simulator uses this
+    /// during origin brownouts to decide between a normal hit, a
+    /// stale-while-revalidate serve (present but not peek-able), and a
+    /// load-shed `503` — without spuriously admitting or refreshing
+    /// entries whose origin fetch failed.
+    fn peek(&self, key: &CacheKey, now: u64) -> bool {
+        let _ = now;
+        self.contains(key)
+    }
+
     /// Number of cached entries.
     fn len(&self) -> usize;
 
@@ -166,6 +180,7 @@ pub(crate) mod policy_tests {
         assert!(!cache.request(key(1), 10, 0));
         assert!(cache.request(key(1), 10, 1));
         assert!(cache.contains(&key(1)));
+        assert!(cache.peek(&key(1), 2), "peek matches contains by default");
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.bytes_used(), 10);
         // Never exceeds capacity.

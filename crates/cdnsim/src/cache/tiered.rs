@@ -58,6 +58,10 @@ impl CachePolicy for TieredCache {
         self.small.contains(key) || self.large.contains(key)
     }
 
+    fn peek(&self, key: &CacheKey, now: u64) -> bool {
+        self.small.peek(key, now) || self.large.peek(key, now)
+    }
+
     fn len(&self) -> usize {
         self.small.len() + self.large.len()
     }

@@ -76,6 +76,16 @@ impl<C: CachePolicy> CachePolicy for TtlCache<C> {
         self.inner.contains(key)
     }
 
+    fn peek(&self, key: &CacheKey, now: u64) -> bool {
+        // A hit requires presence in the inner cache *and* freshness; a
+        // present-but-stale entry peeks false (it would revalidate).
+        self.inner.peek(key, now)
+            && self
+                .fetched_at
+                .get(key)
+                .is_some_and(|&t| now.saturating_sub(t) <= self.ttl_secs)
+    }
+
     fn len(&self) -> usize {
         self.inner.len()
     }
@@ -109,6 +119,19 @@ mod tests {
         assert_eq!(cache.expirations(), 1);
         // Refreshed at t=21; fresh again at 25.
         assert!(cache.request(key(1), 5, 25));
+    }
+
+    #[test]
+    fn peek_requires_freshness_and_has_no_side_effects() {
+        let mut cache = TtlCache::new(LruCache::new(100), 10);
+        cache.request(key(1), 5, 0);
+        assert!(cache.peek(&key(1), 10), "boundary second is still fresh");
+        assert!(!cache.peek(&key(1), 11), "expired entry peeks false");
+        assert!(cache.contains(&key(1)), "but it is still present (stale)");
+        assert_eq!(cache.expirations(), 0, "peek never revalidates");
+        // A real request at the same instant revalidates as before.
+        assert!(!cache.request(key(1), 5, 11));
+        assert_eq!(cache.expirations(), 1);
     }
 
     #[test]

@@ -1,0 +1,965 @@
+//! Deterministic fault injection for the CDN simulator.
+//!
+//! The paper's cache-implications analysis (§IV-B/§V) assumes a healthy
+//! CDN, but the traffic it measures — bursty, flash-crowd-prone, served
+//! from geographically spread PoPs — is exactly the traffic that exposes
+//! PoP outages, origin brownouts and overload in production. This module
+//! models those failures as a seeded, serializable schedule
+//! ([`FaultPlan`]) that the simulator consults through a read-only
+//! [`FaultClock`], so every ablation can also be run degraded.
+//!
+//! Determinism is the design constraint: every probabilistic decision
+//! (origin-fetch failures, retry jitter) is a pure function of the plan
+//! seed and the request's identity — never of thread scheduling, shared
+//! RNG stream position, or wall-clock time. The same plan over the same
+//! trace therefore yields byte-identical logs at any thread count, which
+//! is what lets the degraded ablations extend PR 1/2/4's invariance
+//! property tests. See DESIGN.md "Fault model & degradation semantics".
+
+use oat_httplog::PopId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// SplitMix64 mixing step: a high-quality stateless hash of `x`.
+///
+/// The fault model's only randomness primitive — every draw hashes
+/// `(seed, identity, counter)` through it, so draws are independent of
+/// evaluation order.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from `(seed, identity, counter)`.
+fn unit(seed: u64, identity: u64, counter: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(identity ^ splitmix64(counter)));
+    // 53 mantissa bits: the standard u64 → f64 unit-interval mapping.
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A half-open time window `[start, end)` in trace seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Window {
+    /// First second the fault is active.
+    pub start: u64,
+    /// First second the fault is no longer active.
+    pub end: u64,
+}
+
+impl Window {
+    /// Creates a `[start, end)` window.
+    pub fn new(start: u64, end: u64) -> Self {
+        Self { start, end }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: u64) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// One PoP being fully down for a window: its requests fail over to the
+/// nearest healthy sibling in the region, or shed with `503` when the
+/// whole region is dark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PopOutage {
+    /// The affected PoP id.
+    pub pop: u16,
+    /// When the PoP is down.
+    pub window: Window,
+}
+
+/// An origin brownout: during the window each origin fetch independently
+/// fails with `failure_prob`, retried per the plan's [`RetryPolicy`].
+/// Requests whose fetch ultimately fails are served stale from cache when
+/// a copy exists, else shed with `503`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Brownout {
+    /// When the origin is browning out.
+    pub window: Window,
+    /// Per-attempt fetch failure probability in `[0, 1]`.
+    pub failure_prob: f64,
+}
+
+/// Link-latency inflation: responses in the window are delivered `factor`×
+/// slower. The simulator counts affected requests
+/// ([`ServeStats::inflated_requests`](crate::ServeStats)); latency-model
+/// summaries stay separate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyInflation {
+    /// When links are slow.
+    pub window: Window,
+    /// Slowdown factor (≥ 1).
+    pub factor: f64,
+}
+
+/// Capacity pressure on one PoP: within the window, at most
+/// `inflight_budget` body-carrying requests are admitted per second; the
+/// rest are load-shed with `503`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacityPressure {
+    /// The pressured PoP id.
+    pub pop: u16,
+    /// When the pressure applies.
+    pub window: Window,
+    /// Body-carrying requests admitted per second before shedding.
+    pub inflight_budget: u32,
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter for
+/// origin fetches during brownouts.
+///
+/// The unjittered backoff before retry `n` (1-based) is
+/// `min(base_backoff_ms << (n-1), max_backoff_ms)` — monotone
+/// non-decreasing and capped. Jitter adds up to `jitter_frac` of that
+/// value, drawn from the plan's splitmix stream keyed by the request
+/// identity and attempt number, never from `thread_rng`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u8,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Jitter as a fraction of the backoff, in `[0, 1]`.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// Unjittered backoff before retry `attempt` (1-based); 0 for
+    /// `attempt == 0` (the initial try has no backoff).
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let exp = (attempt - 1).min(63);
+        let raw = match 1u64.checked_shl(exp) {
+            Some(mult) => self.base_backoff_ms.saturating_mul(mult),
+            None => u64::MAX,
+        };
+        raw.min(self.max_backoff_ms)
+    }
+
+    /// Jittered backoff before retry `attempt`: the unjittered value plus
+    /// up to `jitter_frac` of itself, deterministic in
+    /// `(seed, identity, attempt)`.
+    pub fn jittered_backoff_ms(&self, seed: u64, identity: u64, attempt: u32) -> u64 {
+        let base = self.backoff_ms(attempt);
+        let jitter = (unit(seed ^ JITTER_SALT, identity, attempt as u64)
+            * self.jitter_frac.clamp(0.0, 1.0)
+            * base as f64) as u64;
+        base.saturating_add(jitter)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            jitter_frac: 0.5,
+        }
+    }
+}
+
+const JITTER_SALT: u64 = 0x6a69_7474_6572_2121; // "jitter!!"
+const FETCH_SALT: u64 = 0x6f72_6967_696e_3f3f; // "origin??"
+
+/// A seeded, serializable schedule of faults for one simulation run.
+///
+/// An empty plan (the default) injects nothing, so a fault-aware
+/// simulator over an empty plan behaves identically to a healthy one.
+///
+/// # Example
+///
+/// ```
+/// use oat_cdnsim::faults::FaultPlan;
+///
+/// let plan = FaultPlan::sample(7, 86_400, 4);
+/// let toml = plan.to_toml();
+/// assert_eq!(FaultPlan::from_toml_str(&toml).unwrap(), plan);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision (fetch failures, jitter).
+    #[serde(default)]
+    pub seed: u64,
+    /// PoP outage windows.
+    #[serde(default)]
+    pub outages: Vec<PopOutage>,
+    /// Origin brownout intervals.
+    #[serde(default)]
+    pub brownouts: Vec<Brownout>,
+    /// Link-latency inflation windows.
+    #[serde(default)]
+    pub latency: Vec<LatencyInflation>,
+    /// Per-PoP capacity-pressure windows.
+    #[serde(default)]
+    pub pressure: Vec<CapacityPressure>,
+    /// Retry schedule for origin fetches during brownouts.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed — a base to push windows onto.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.brownouts.is_empty()
+            && self.latency.is_empty()
+            && self.pressure.is_empty()
+    }
+
+    /// Checks value ranges (probabilities in `[0, 1]`, factors ≥ 1,
+    /// windows non-inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid value.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let windows = self
+            .outages
+            .iter()
+            .map(|o| o.window)
+            .chain(self.brownouts.iter().map(|b| b.window))
+            .chain(self.latency.iter().map(|l| l.window))
+            .chain(self.pressure.iter().map(|p| p.window));
+        for w in windows {
+            if w.start > w.end {
+                return Err(FaultPlanError::new(format!(
+                    "window starts at {} but ends at {}",
+                    w.start, w.end
+                )));
+            }
+        }
+        for b in &self.brownouts {
+            if !(0.0..=1.0).contains(&b.failure_prob) {
+                return Err(FaultPlanError::new(format!(
+                    "brownout failure_prob {} outside [0, 1]",
+                    b.failure_prob
+                )));
+            }
+        }
+        for l in &self.latency {
+            if l.factor < 1.0 || !l.factor.is_finite() {
+                return Err(FaultPlanError::new(format!(
+                    "latency factor {} must be a finite value ≥ 1",
+                    l.factor
+                )));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.retry.jitter_frac) {
+            return Err(FaultPlanError::new(format!(
+                "retry jitter_frac {} outside [0, 1]",
+                self.retry.jitter_frac
+            )));
+        }
+        Ok(())
+    }
+
+    /// Derives a plausible exercise-everything plan from a seed: one PoP
+    /// outage, one origin brownout with latency inflation over it, and
+    /// capacity pressure on another PoP, all placed deterministically
+    /// within a `trace_secs`-long trace on `pop_count` PoPs.
+    pub fn sample(seed: u64, trace_secs: u64, pop_count: u16) -> Self {
+        let span = trace_secs.max(64);
+        let pops = u64::from(pop_count.max(1));
+        let mut counter = 0u64;
+        let mut draw = |range: u64| {
+            counter += 1;
+            splitmix64(seed ^ splitmix64(counter)) % range.max(1)
+        };
+
+        let eighth = span / 8;
+        let outage_pop = draw(pops) as u16;
+        let outage_start = span / 4 + draw(eighth);
+        let brownout_start = span / 2 + draw(eighth);
+        let brownout_len = eighth + draw(eighth);
+        let brownout_window = Window::new(brownout_start, brownout_start + brownout_len);
+        let failure_prob = 0.5 + draw(40) as f64 / 100.0;
+        let pressure_pop = draw(pops) as u16;
+        let pressure_start = draw(span / 4);
+
+        Self {
+            seed,
+            outages: vec![PopOutage {
+                pop: outage_pop,
+                window: Window::new(outage_start, outage_start + eighth),
+            }],
+            brownouts: vec![Brownout {
+                window: brownout_window,
+                failure_prob,
+            }],
+            latency: vec![LatencyInflation {
+                window: brownout_window,
+                factor: 1.5 + draw(20) as f64 / 10.0,
+            }],
+            pressure: vec![CapacityPressure {
+                pop: pressure_pop,
+                window: Window::new(pressure_start, pressure_start + eighth),
+                inflight_budget: 1 + draw(8) as u32,
+            }],
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Returns the plan with every window shifted `offset` seconds later
+    /// (saturating). Fault windows compare against absolute request
+    /// timestamps, so a plan authored relative to trace start must be
+    /// shifted by the trace's start epoch before it is attached.
+    #[must_use]
+    pub fn shifted(mut self, offset: u64) -> Self {
+        fn shift(w: &mut Window, offset: u64) {
+            w.start = w.start.saturating_add(offset);
+            w.end = w.end.saturating_add(offset);
+        }
+        for o in &mut self.outages {
+            shift(&mut o.window, offset);
+        }
+        for b in &mut self.brownouts {
+            shift(&mut b.window, offset);
+        }
+        for l in &mut self.latency {
+            shift(&mut l.window, offset);
+        }
+        for p in &mut self.pressure {
+            shift(&mut p.window, offset);
+        }
+        self
+    }
+
+    /// Serializes the plan in the TOML subset [`FaultPlan::from_toml_str`]
+    /// reads.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        // Writing to a String is infallible; results are discarded.
+        let _ = writeln!(out, "# oat-cdnsim fault plan");
+        let _ = writeln!(out, "seed = {}", self.seed);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "[retry]");
+        let _ = writeln!(out, "max_retries = {}", self.retry.max_retries);
+        let _ = writeln!(out, "base_backoff_ms = {}", self.retry.base_backoff_ms);
+        let _ = writeln!(out, "max_backoff_ms = {}", self.retry.max_backoff_ms);
+        let _ = writeln!(out, "jitter_frac = {}", self.retry.jitter_frac);
+        for o in &self.outages {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[[outage]]");
+            let _ = writeln!(out, "pop = {}", o.pop);
+            let _ = writeln!(out, "start = {}", o.window.start);
+            let _ = writeln!(out, "end = {}", o.window.end);
+        }
+        for b in &self.brownouts {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[[brownout]]");
+            let _ = writeln!(out, "start = {}", b.window.start);
+            let _ = writeln!(out, "end = {}", b.window.end);
+            let _ = writeln!(out, "failure_prob = {}", b.failure_prob);
+        }
+        for l in &self.latency {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[[latency]]");
+            let _ = writeln!(out, "start = {}", l.window.start);
+            let _ = writeln!(out, "end = {}", l.window.end);
+            let _ = writeln!(out, "factor = {}", l.factor);
+        }
+        for p in &self.pressure {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[[pressure]]");
+            let _ = writeln!(out, "pop = {}", p.pop);
+            let _ = writeln!(out, "start = {}", p.window.start);
+            let _ = writeln!(out, "end = {}", p.window.end);
+            let _ = writeln!(out, "inflight_budget = {}", p.inflight_budget);
+        }
+        out
+    }
+
+    /// Parses a plan from the TOML subset written by [`FaultPlan::to_toml`]:
+    /// top-level `key = value` pairs, a `[retry]` table, and
+    /// `[[outage]]`/`[[brownout]]`/`[[latency]]`/`[[pressure]]` arrays of
+    /// tables, with `#` comments. Hand-rolled because the workspace has no
+    /// TOML dependency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultPlanError`] naming the offending line for unknown
+    /// sections/keys, malformed values, or failed [`FaultPlan::validate`].
+    pub fn from_toml_str(input: &str) -> Result<Self, FaultPlanError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Section {
+            Top,
+            Retry,
+            Outage,
+            Brownout,
+            Latency,
+            Pressure,
+        }
+
+        let mut plan = FaultPlan::default();
+        let mut section = Section::Top;
+        for (lineno, raw) in input.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                section = match name.trim() {
+                    "outage" => {
+                        plan.outages.push(PopOutage {
+                            pop: 0,
+                            window: Window::new(0, 0),
+                        });
+                        Section::Outage
+                    }
+                    "brownout" => {
+                        plan.brownouts.push(Brownout {
+                            window: Window::new(0, 0),
+                            failure_prob: 0.0,
+                        });
+                        Section::Brownout
+                    }
+                    "latency" => {
+                        plan.latency.push(LatencyInflation {
+                            window: Window::new(0, 0),
+                            factor: 1.0,
+                        });
+                        Section::Latency
+                    }
+                    "pressure" => {
+                        plan.pressure.push(CapacityPressure {
+                            pop: 0,
+                            window: Window::new(0, 0),
+                            inflight_budget: 0,
+                        });
+                        Section::Pressure
+                    }
+                    other => {
+                        return Err(FaultPlanError::at(
+                            lineno,
+                            format!("unknown array section [[{other}]]"),
+                        ))
+                    }
+                };
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = match name.trim() {
+                    "retry" => Section::Retry,
+                    other => {
+                        return Err(FaultPlanError::at(
+                            lineno,
+                            format!("unknown section [{other}]"),
+                        ))
+                    }
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(FaultPlanError::at(
+                    lineno,
+                    format!("expected `key = value`, found {line:?}"),
+                ));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let bad_key = |sec: &str| {
+                Err(FaultPlanError::at(
+                    lineno,
+                    format!("unknown key `{key}` in {sec}"),
+                ))
+            };
+            match section {
+                Section::Top => match key {
+                    "seed" => plan.seed = parse_num(value, lineno)?,
+                    _ => return bad_key("the top-level table"),
+                },
+                Section::Retry => match key {
+                    "max_retries" => plan.retry.max_retries = parse_num(value, lineno)?,
+                    "base_backoff_ms" => plan.retry.base_backoff_ms = parse_num(value, lineno)?,
+                    "max_backoff_ms" => plan.retry.max_backoff_ms = parse_num(value, lineno)?,
+                    "jitter_frac" => plan.retry.jitter_frac = parse_float(value, lineno)?,
+                    _ => return bad_key("[retry]"),
+                },
+                Section::Outage => {
+                    let Some(outage) = plan.outages.last_mut() else {
+                        return Err(FaultPlanError::at(lineno, "key outside a table".into()));
+                    };
+                    match key {
+                        "pop" => outage.pop = parse_num(value, lineno)?,
+                        "start" => outage.window.start = parse_num(value, lineno)?,
+                        "end" => outage.window.end = parse_num(value, lineno)?,
+                        _ => return bad_key("[[outage]]"),
+                    }
+                }
+                Section::Brownout => {
+                    let Some(brownout) = plan.brownouts.last_mut() else {
+                        return Err(FaultPlanError::at(lineno, "key outside a table".into()));
+                    };
+                    match key {
+                        "start" => brownout.window.start = parse_num(value, lineno)?,
+                        "end" => brownout.window.end = parse_num(value, lineno)?,
+                        "failure_prob" => brownout.failure_prob = parse_float(value, lineno)?,
+                        _ => return bad_key("[[brownout]]"),
+                    }
+                }
+                Section::Latency => {
+                    let Some(latency) = plan.latency.last_mut() else {
+                        return Err(FaultPlanError::at(lineno, "key outside a table".into()));
+                    };
+                    match key {
+                        "start" => latency.window.start = parse_num(value, lineno)?,
+                        "end" => latency.window.end = parse_num(value, lineno)?,
+                        "factor" => latency.factor = parse_float(value, lineno)?,
+                        _ => return bad_key("[[latency]]"),
+                    }
+                }
+                Section::Pressure => {
+                    let Some(pressure) = plan.pressure.last_mut() else {
+                        return Err(FaultPlanError::at(lineno, "key outside a table".into()));
+                    };
+                    match key {
+                        "pop" => pressure.pop = parse_num(value, lineno)?,
+                        "start" => pressure.window.start = parse_num(value, lineno)?,
+                        "end" => pressure.window.end = parse_num(value, lineno)?,
+                        "inflight_budget" => pressure.inflight_budget = parse_num(value, lineno)?,
+                        _ => return bad_key("[[pressure]]"),
+                    }
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, lineno: usize) -> Result<T, FaultPlanError> {
+    value
+        .parse()
+        .map_err(|_| FaultPlanError::at(lineno, format!("malformed integer {value:?}")))
+}
+
+fn parse_float(value: &str, lineno: usize) -> Result<f64, FaultPlanError> {
+    value
+        .parse()
+        .map_err(|_| FaultPlanError::at(lineno, format!("malformed number {value:?}")))
+}
+
+/// Error parsing or validating a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError {
+    /// 1-based line number, when the error is tied to an input line.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl FaultPlanError {
+    fn new(message: String) -> Self {
+        Self {
+            line: None,
+            message,
+        }
+    }
+
+    fn at(line: usize, message: String) -> Self {
+        Self {
+            line: Some(line),
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "fault plan line {line}: {}", self.message),
+            None => write!(f, "fault plan: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// The outcome of an origin fetch attempt sequence during a brownout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OriginFetch {
+    /// Retries spent beyond the first attempt.
+    pub retries: u8,
+    /// Whether any attempt succeeded.
+    pub ok: bool,
+}
+
+impl OriginFetch {
+    /// A healthy first-try fetch (no brownout active).
+    pub const CLEAN: OriginFetch = OriginFetch {
+        retries: 0,
+        ok: true,
+    };
+}
+
+/// Read-only fault view the simulator consults while serving: answers
+/// "is this PoP down at `t`?", "does this origin fetch succeed, and after
+/// how many retries?" and friends, all as pure functions of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultClock {
+    plan: FaultPlan,
+}
+
+impl FaultClock {
+    /// Wraps a plan for serving-time queries.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether `pop` is inside an outage window at `t`.
+    pub fn pop_down(&self, pop: PopId, t: u64) -> bool {
+        self.plan
+            .outages
+            .iter()
+            .any(|o| o.pop == pop.raw() && o.window.contains(t))
+    }
+
+    /// The origin-fetch failure probability at `t` (the strongest of any
+    /// overlapping brownouts), or `None` outside every brownout.
+    pub fn failure_prob(&self, t: u64) -> Option<f64> {
+        self.plan
+            .brownouts
+            .iter()
+            .filter(|b| b.window.contains(t))
+            .map(|b| b.failure_prob)
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.max(p))))
+    }
+
+    /// The link-latency slowdown at `t` (1.0 when no inflation window is
+    /// active; the largest factor of overlapping windows otherwise).
+    pub fn latency_factor(&self, t: u64) -> f64 {
+        self.plan
+            .latency
+            .iter()
+            .filter(|l| l.window.contains(t))
+            .map(|l| l.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// The per-second body-request budget of `pop` at `t`, or `None`
+    /// when no pressure window is active (the tightest of any overlapping
+    /// windows otherwise).
+    pub fn pressure_budget(&self, pop: PopId, t: u64) -> Option<u32> {
+        self.plan
+            .pressure
+            .iter()
+            .filter(|p| p.pop == pop.raw() && p.window.contains(t))
+            .map(|p| p.inflight_budget)
+            .min()
+    }
+
+    /// Resolves an origin fetch for the request identified by `identity`
+    /// at `t`: each attempt (1 + up to `max_retries` retries) fails
+    /// independently with the active brownout's probability; the draw for
+    /// attempt `n` is a pure function of `(seed, identity, n)`.
+    ///
+    /// Outside any brownout this is [`OriginFetch::CLEAN`].
+    pub fn origin_fetch(&self, t: u64, identity: u64) -> OriginFetch {
+        let Some(prob) = self.failure_prob(t) else {
+            return OriginFetch::CLEAN;
+        };
+        let max = self.plan.retry.max_retries;
+        for attempt in 0..=u64::from(max) {
+            if unit(self.plan.seed ^ FETCH_SALT, identity, attempt) >= prob {
+                return OriginFetch {
+                    retries: attempt as u8,
+                    ok: true,
+                };
+            }
+        }
+        OriginFetch {
+            retries: max,
+            ok: false,
+        }
+    }
+
+    /// The jittered backoff (ms) before retry `attempt` of the request
+    /// identified by `identity` — exposed so latency accounting and tests
+    /// see the exact schedule the fetch model uses.
+    pub fn backoff_ms(&self, identity: u64, attempt: u32) -> u64 {
+        self.plan
+            .retry
+            .jittered_backoff_ms(self.plan.seed, identity, attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifted_moves_every_window() {
+        let plan = FaultPlan::sample(9, 1_000, 4);
+        let offset = 1_400_000_000;
+        let shifted = plan.clone().shifted(offset);
+        assert_eq!(
+            shifted.outages[0].window.start,
+            plan.outages[0].window.start + offset
+        );
+        assert_eq!(
+            shifted.brownouts[0].window.end,
+            plan.brownouts[0].window.end + offset
+        );
+        assert_eq!(
+            shifted.latency[0].window.start,
+            plan.latency[0].window.start + offset
+        );
+        assert_eq!(
+            shifted.pressure[0].window.end,
+            plan.pressure[0].window.end + offset
+        );
+        assert_eq!(shifted.seed, plan.seed, "shift leaves the seed alone");
+        shifted.validate().expect("shifting preserves validity");
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = Window::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(
+            !Window::new(5, 5).contains(5),
+            "empty window matches nothing"
+        );
+    }
+
+    #[test]
+    fn default_plan_is_empty_and_clean() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        plan.validate().expect("default plan is valid");
+        let clock = FaultClock::new(plan);
+        assert!(!clock.pop_down(PopId::new(0), 0));
+        assert_eq!(clock.failure_prob(0), None);
+        assert_eq!(clock.latency_factor(0), 1.0);
+        assert_eq!(clock.pressure_budget(PopId::new(0), 0), None);
+        assert_eq!(clock.origin_fetch(0, 42), OriginFetch::CLEAN);
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_capped() {
+        let retry = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            jitter_frac: 0.5,
+        };
+        assert_eq!(retry.backoff_ms(0), 0);
+        assert_eq!(retry.backoff_ms(1), 50);
+        assert_eq!(retry.backoff_ms(2), 100);
+        assert_eq!(retry.backoff_ms(6), 1_600);
+        assert_eq!(retry.backoff_ms(7), 2_000, "capped");
+        assert_eq!(retry.backoff_ms(100), 2_000, "huge attempts saturate");
+        for n in 1..100 {
+            assert!(retry.backoff_ms(n + 1) >= retry.backoff_ms(n));
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let retry = RetryPolicy::default();
+        for attempt in 1..20u32 {
+            let a = retry.jittered_backoff_ms(7, 99, attempt);
+            let b = retry.jittered_backoff_ms(7, 99, attempt);
+            assert_eq!(a, b, "same inputs, same jitter");
+            let base = retry.backoff_ms(attempt);
+            assert!(a >= base);
+            assert!((a as f64) <= base as f64 * (1.0 + retry.jitter_frac));
+        }
+        // Different identities draw different jitter at least once.
+        let distinct = (0..32u64)
+            .map(|id| retry.jittered_backoff_ms(7, id, 3))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn origin_fetch_is_deterministic_and_bounded() {
+        let mut plan = FaultPlan::new(0xFEED);
+        plan.brownouts.push(Brownout {
+            window: Window::new(0, 100),
+            failure_prob: 0.9,
+        });
+        let clock = FaultClock::new(plan);
+        let mut failures = 0;
+        for identity in 0..200u64 {
+            let f1 = clock.origin_fetch(50, identity);
+            let f2 = clock.origin_fetch(50, identity);
+            assert_eq!(f1, f2);
+            assert!(f1.retries <= clock.plan().retry.max_retries);
+            if !f1.ok {
+                failures += 1;
+                assert_eq!(f1.retries, clock.plan().retry.max_retries);
+            }
+        }
+        // p=0.9 with 3 retries ⇒ ~66% of fetches fail outright.
+        assert!(failures > 50, "{failures} failures out of 200");
+        assert!(failures < 190, "{failures} failures out of 200");
+        // Outside the window every fetch is clean.
+        assert_eq!(clock.origin_fetch(100, 1), OriginFetch::CLEAN);
+    }
+
+    #[test]
+    fn certain_failure_and_certain_success() {
+        let mut plan = FaultPlan::new(1);
+        plan.brownouts.push(Brownout {
+            window: Window::new(0, 10),
+            failure_prob: 1.0,
+        });
+        plan.brownouts.push(Brownout {
+            window: Window::new(20, 30),
+            failure_prob: 0.0,
+        });
+        let clock = FaultClock::new(plan);
+        for identity in 0..50u64 {
+            assert!(!clock.origin_fetch(5, identity).ok, "p=1 always fails");
+            let clean = clock.origin_fetch(25, identity);
+            assert!(clean.ok, "p=0 always succeeds");
+            assert_eq!(clean.retries, 0);
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_take_the_strictest_value() {
+        let mut plan = FaultPlan::new(2);
+        plan.brownouts.push(Brownout {
+            window: Window::new(0, 100),
+            failure_prob: 0.2,
+        });
+        plan.brownouts.push(Brownout {
+            window: Window::new(50, 60),
+            failure_prob: 0.8,
+        });
+        plan.latency.push(LatencyInflation {
+            window: Window::new(0, 100),
+            factor: 2.0,
+        });
+        plan.latency.push(LatencyInflation {
+            window: Window::new(50, 60),
+            factor: 4.0,
+        });
+        plan.pressure.push(CapacityPressure {
+            pop: 1,
+            window: Window::new(0, 100),
+            inflight_budget: 10,
+        });
+        plan.pressure.push(CapacityPressure {
+            pop: 1,
+            window: Window::new(50, 60),
+            inflight_budget: 2,
+        });
+        let clock = FaultClock::new(plan);
+        assert_eq!(clock.failure_prob(55), Some(0.8));
+        assert_eq!(clock.latency_factor(55), 4.0);
+        assert_eq!(clock.pressure_budget(PopId::new(1), 55), Some(2));
+        assert_eq!(clock.failure_prob(10), Some(0.2));
+        assert_eq!(clock.pressure_budget(PopId::new(2), 55), None);
+    }
+
+    #[test]
+    fn toml_round_trip() {
+        let plan = FaultPlan::sample(0xABCD, 604_800, 8);
+        let toml = plan.to_toml();
+        let parsed = FaultPlan::from_toml_str(&toml).expect("own output parses");
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn toml_round_trip_empty_plan() {
+        let plan = FaultPlan::new(5);
+        let parsed = FaultPlan::from_toml_str(&plan.to_toml()).expect("parses");
+        assert_eq!(parsed, plan);
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn toml_parses_comments_and_whitespace() {
+        let input = r"
+            # a fault plan
+            seed = 9   # trailing comment
+
+            [retry]
+            max_retries = 2
+
+            [[outage]]
+            pop = 3
+            start = 100
+            end = 200
+        ";
+        let plan = FaultPlan::from_toml_str(input).expect("parses");
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.retry.max_retries, 2);
+        // Unspecified retry keys keep their defaults.
+        assert_eq!(
+            plan.retry.base_backoff_ms,
+            RetryPolicy::default().base_backoff_ms
+        );
+        assert_eq!(plan.outages.len(), 1);
+        assert_eq!(plan.outages[0].pop, 3);
+        assert_eq!(plan.outages[0].window, Window::new(100, 200));
+    }
+
+    #[test]
+    fn toml_rejects_unknown_keys_and_sections() {
+        let err = FaultPlan::from_toml_str("banana = 1").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.to_string().contains("banana"));
+        assert!(FaultPlan::from_toml_str("[nope]").is_err());
+        assert!(FaultPlan::from_toml_str("[[nope]]").is_err());
+        assert!(FaultPlan::from_toml_str("seed = twelve").is_err());
+        assert!(FaultPlan::from_toml_str("no equals sign here").is_err());
+    }
+
+    #[test]
+    fn toml_rejects_invalid_values() {
+        let inverted = "[[outage]]\npop = 0\nstart = 10\nend = 5\n";
+        assert!(FaultPlan::from_toml_str(inverted).is_err());
+        let bad_prob = "[[brownout]]\nstart = 0\nend = 10\nfailure_prob = 1.5\n";
+        assert!(FaultPlan::from_toml_str(bad_prob).is_err());
+        let bad_factor = "[[latency]]\nstart = 0\nend = 10\nfactor = 0.5\n";
+        assert!(FaultPlan::from_toml_str(bad_factor).is_err());
+        let bad_jitter = "[retry]\njitter_frac = 2.0\n";
+        assert!(FaultPlan::from_toml_str(bad_jitter).is_err());
+    }
+
+    #[test]
+    fn sampled_plans_are_valid_and_seed_sensitive() {
+        let a = FaultPlan::sample(1, 604_800, 4);
+        let b = FaultPlan::sample(1, 604_800, 4);
+        let c = FaultPlan::sample(2, 604_800, 4);
+        assert_eq!(a, b, "sampling is deterministic");
+        assert_ne!(a, c, "different seeds differ");
+        for plan in [a, c, FaultPlan::sample(99, 60, 1)] {
+            plan.validate().expect("sampled plans validate");
+            assert!(!plan.is_empty());
+        }
+    }
+}

@@ -23,6 +23,11 @@
 //! * [`sweep`] — single-pass evaluation of whole configuration grids
 //!   (policy × capacity × TTL × topology) over one shared trace, backed by
 //!   [`mattson`]'s exact `O(n log n)` multi-capacity LRU hit curve.
+//! * [`faults`] — a deterministic fault-injection schedule (PoP outages,
+//!   origin brownouts, latency inflation, capacity pressure) and the
+//!   graceful-degradation semantics (failover, bounded retry with seeded
+//!   jitter, stale-while-revalidate, load shedding) the simulator applies
+//!   when one is attached.
 //!
 //! # Example
 //!
@@ -40,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod faults;
 pub mod latency;
 pub mod mattson;
 pub mod push;
@@ -49,6 +55,7 @@ pub mod sweep;
 pub mod topology;
 
 pub use cache::{CacheKey, CachePolicy, PolicyKind};
+pub use faults::{FaultClock, FaultPlan, FaultPlanError, RetryPolicy, Window};
 pub use latency::{LatencyModel, LatencySummary};
 pub use mattson::MattsonCurve;
 pub use push::{cacheable_key, plan_push, Placement};

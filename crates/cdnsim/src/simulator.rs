@@ -2,10 +2,11 @@
 //! semantics, runs the caches, and emits finished log records.
 
 use crate::cache::{CacheKey, CachePolicy, PolicyKind, TtlCache};
+use crate::faults::{splitmix64, FaultClock, FaultPlan};
 use crate::stats::ServeStats;
 use crate::topology::Topology;
 use oat_httplog::request::CHUNK_BYTES;
-use oat_httplog::{CacheStatus, HttpStatus, LogRecord, PopId, Request, RequestKind};
+use oat_httplog::{CacheStatus, DegradedServe, HttpStatus, LogRecord, PopId, Request, RequestKind};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -156,9 +157,142 @@ pub(crate) fn serve_outcome(
     }
 }
 
+/// A stable identity for one request, independent of routing and thread
+/// scheduling — the key every per-request fault draw (fetch failures,
+/// retry jitter) is derived from, so fault decisions replay identically
+/// at any thread count.
+pub(crate) fn request_identity(request: &Request) -> u64 {
+    let kind = match request.kind {
+        RequestKind::Full => 1,
+        RequestKind::Range { offset, length } => splitmix64(2 ^ offset.wrapping_mul(31) ^ length),
+        RequestKind::Conditional => 3,
+        RequestKind::Hotlink => 4,
+        RequestKind::Beacon => 5,
+        RequestKind::InvalidRange => 6,
+    };
+    splitmix64(
+        request.timestamp
+            ^ splitmix64(request.user.raw() ^ splitmix64(request.object.raw() ^ kind)),
+    )
+}
+
+/// The body-carrying cache lookup a request implies: `(key, bytes,
+/// success status)`, or `None` for bodyless kinds.
+fn body_key(request: &Request) -> Option<(CacheKey, u64, HttpStatus)> {
+    match request.kind {
+        RequestKind::Full => Some((
+            CacheKey::whole(request.object),
+            request.object_size,
+            HttpStatus::OK,
+        )),
+        RequestKind::Range { offset, length } => Some((
+            CacheKey::chunk(request.object, (offset / CHUNK_BYTES) as u32),
+            length,
+            HttpStatus::PARTIAL_CONTENT,
+        )),
+        _ => None,
+    }
+}
+
+/// What one faulted serve produced, before a record or stats entry is
+/// built from it.
+struct DegradedOutcome {
+    status: HttpStatus,
+    cache_status: CacheStatus,
+    bytes: u64,
+    degraded: DegradedServe,
+    retries: u8,
+}
+
+impl DegradedOutcome {
+    fn shed(retries: u8) -> Self {
+        Self {
+            status: HttpStatus::SERVICE_UNAVAILABLE,
+            cache_status: CacheStatus::Miss,
+            bytes: 0,
+            degraded: DegradedServe::Shed,
+            retries,
+        }
+    }
+}
+
+/// Applies fault-aware HTTP semantics for one request against one cache.
+///
+/// Outside a brownout (or for bodyless kinds) this is exactly
+/// [`serve_outcome`], tagged `Failover` when serving at a sibling PoP.
+/// During an origin brownout, for body-carrying requests:
+///
+/// 1. A fresh cached copy ([`CachePolicy::peek`]) serves normally — the
+///    origin is not involved.
+/// 2. Otherwise the origin fetch is resolved through the plan's retry
+///    schedule. Success serves normally (the retries are accounted);
+/// 3. failure serves a present-but-stale copy as `Stale`
+///    (stale-while-revalidate) **without mutating the cache** — no TTL
+///    refresh, no recency bump, no admission — because no origin fetch
+///    actually completed;
+/// 4. failure with no cached copy sheds the request with `503`.
+///
+/// Escalation probes (parent tier / cooperative siblings) are skipped on
+/// a failed fetch: in this model they revalidate through the same
+/// browning origin. Conditional 304s are answered from the edge's own
+/// validators and never consult the origin.
+fn degraded_outcome(
+    cache: &mut dyn CachePolicy,
+    request: &Request,
+    probe: Option<MissProbe<'_>>,
+    clock: &FaultClock,
+    failover: bool,
+) -> DegradedOutcome {
+    let base_degraded = if failover {
+        DegradedServe::Failover
+    } else {
+        DegradedServe::None
+    };
+    let t = request.timestamp;
+    if let Some((key, bytes, ok_status)) = body_key(request) {
+        if clock.failure_prob(t).is_some() && !cache.peek(&key, t) {
+            let fetch = clock.origin_fetch(t, request_identity(request));
+            if !fetch.ok {
+                return if cache.contains(&key) {
+                    DegradedOutcome {
+                        status: ok_status,
+                        cache_status: CacheStatus::Hit,
+                        bytes,
+                        degraded: DegradedServe::Stale,
+                        retries: fetch.retries,
+                    }
+                } else {
+                    DegradedOutcome::shed(fetch.retries)
+                };
+            }
+            let (status, cache_status, bytes) = serve_outcome(cache, request, probe);
+            return DegradedOutcome {
+                status,
+                cache_status,
+                bytes,
+                degraded: base_degraded,
+                retries: fetch.retries,
+            };
+        }
+    }
+    let (status, cache_status, bytes) = serve_outcome(cache, request, probe);
+    DegradedOutcome {
+        status,
+        cache_status,
+        bytes,
+        degraded: base_degraded,
+        retries: 0,
+    }
+}
+
 struct Pop {
     cache: Box<dyn CachePolicy>,
     stats: ServeStats,
+    /// Capacity-pressure token bucket: the second `bucket_count` refers
+    /// to. `u64::MAX` until the first pressured request arrives.
+    bucket_sec: u64,
+    /// Body-carrying requests admitted during `bucket_sec`.
+    bucket_count: u32,
 }
 
 impl std::fmt::Debug for Pop {
@@ -192,6 +326,9 @@ pub struct Simulator {
     cooperative: bool,
     /// One parent cache per region, when the tier is configured.
     parents: Vec<Mutex<Box<dyn CachePolicy>>>,
+    /// Fault schedule, when degraded serving is enabled
+    /// (see [`Simulator::with_faults`]).
+    faults: Option<FaultClock>,
 }
 
 impl Simulator {
@@ -204,6 +341,8 @@ impl Simulator {
                 Mutex::new(Pop {
                     cache: build_policy(config),
                     stats: ServeStats::new(),
+                    bucket_sec: u64::MAX,
+                    bucket_count: 0,
                 })
             })
             .collect();
@@ -219,7 +358,24 @@ impl Simulator {
             pops,
             cooperative: config.cooperative,
             parents,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault schedule (builder-style): all subsequent serving
+    /// consults the plan for PoP outages, origin brownouts, latency
+    /// inflation and capacity pressure, degrading gracefully (failover,
+    /// stale-while-revalidate, load shedding) instead of assuming a
+    /// healthy CDN. An empty plan leaves behavior identical to a
+    /// fault-free simulator.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultClock::new(plan));
+        self
+    }
+
+    /// The attached fault plan, if degraded serving is enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(FaultClock::plan)
     }
 
     /// The topology in use.
@@ -235,6 +391,17 @@ impl Simulator {
 
     /// Serves one request, returning the finished log record.
     pub fn serve(&self, request: Request) -> LogRecord {
+        if let Some(clock) = &self.faults {
+            let (pop_id, outcome) = self.serve_faulted_core(clock, &request);
+            return request.into_record_degraded(
+                pop_id,
+                outcome.cache_status,
+                outcome.status,
+                outcome.bytes,
+                outcome.degraded,
+                outcome.retries,
+            );
+        }
         let pop_id = self.topology.route(request.region, request.user);
         let mut pop = self.pops[pop_id.raw() as usize].lock();
         if self.escalates() {
@@ -242,6 +409,101 @@ impl Simulator {
         } else {
             Self::serve_local(&mut pop, pop_id, request)
         }
+    }
+
+    /// The PoP that actually serves a request routed to `routed` at `t`:
+    /// `routed` itself when healthy, else the first healthy sibling in
+    /// deterministic wrap-around order, else `None` (the whole region is
+    /// dark and the request is shed).
+    fn effective_pop(&self, clock: &FaultClock, routed: PopId, t: u64) -> Option<PopId> {
+        if !clock.pop_down(routed, t) {
+            return Some(routed);
+        }
+        self.topology
+            .siblings(routed)
+            .find(|&sibling| !clock.pop_down(sibling, t))
+    }
+
+    /// The partition a request belongs to for parallel replay: the PoP
+    /// whose cache and statistics the serve touches. With faults this is
+    /// the *effective* PoP (failover target; the routed PoP for a
+    /// region-dark shed), so each PoP's state is still owned by exactly
+    /// one replay worker.
+    fn partition_index(&self, request: &Request) -> usize {
+        let routed = self.topology.route(request.region, request.user);
+        let pop = match &self.faults {
+            Some(clock) => self
+                .effective_pop(clock, routed, request.timestamp)
+                .unwrap_or(routed),
+            None => routed,
+        };
+        pop.raw() as usize
+    }
+
+    /// Serves one request under the fault schedule, updating the serving
+    /// PoP's statistics and returning `(serving PoP, outcome)`.
+    ///
+    /// Check order: PoP outage (failover / region-dark shed), then
+    /// capacity pressure (per-second admission budget on body-carrying
+    /// requests), then [`degraded_outcome`] for origin-brownout handling.
+    fn serve_faulted_core(
+        &self,
+        clock: &FaultClock,
+        request: &Request,
+    ) -> (PopId, DegradedOutcome) {
+        let t = request.timestamp;
+        let routed = self.topology.route(request.region, request.user);
+        let Some(pop_id) = self.effective_pop(clock, routed, t) else {
+            // Every PoP of the region is down: shed, accounted to the
+            // routed PoP (the one the user was sent to).
+            let outcome = DegradedOutcome::shed(0);
+            let mut pop = self.pops[routed.raw() as usize].lock();
+            pop.stats
+                .record(request.object, outcome.status, false, outcome.bytes);
+            pop.stats
+                .note_degraded(outcome.degraded, outcome.retries, outcome.bytes);
+            return (routed, outcome);
+        };
+        let failover = pop_id != routed;
+        let mut pop = self.pops[pop_id.raw() as usize].lock();
+        // Capacity pressure: shed body-carrying requests beyond the
+        // per-second budget before they touch the cache. Requests arrive
+        // in trace order per PoP, so the bucket is deterministic.
+        if body_key(request).is_some() {
+            if let Some(budget) = clock.pressure_budget(pop_id, t) {
+                if pop.bucket_sec != t {
+                    pop.bucket_sec = t;
+                    pop.bucket_count = 0;
+                }
+                if pop.bucket_count >= budget {
+                    let outcome = DegradedOutcome::shed(0);
+                    pop.stats
+                        .record(request.object, outcome.status, false, outcome.bytes);
+                    pop.stats
+                        .note_degraded(outcome.degraded, outcome.retries, outcome.bytes);
+                    return (pop_id, outcome);
+                }
+                pop.bucket_count += 1;
+            }
+        }
+        let outcome = if self.escalates() {
+            let probe = self.escalation_probe(pop_id, request.region, t);
+            degraded_outcome(pop.cache.as_mut(), request, Some(&probe), clock, failover)
+        } else {
+            degraded_outcome(pop.cache.as_mut(), request, None, clock, failover)
+        };
+        if outcome.status != HttpStatus::SERVICE_UNAVAILABLE && clock.latency_factor(t) > 1.0 {
+            pop.stats.note_inflated();
+        }
+        pop.stats.record(
+            request.object,
+            outcome.status,
+            outcome.cache_status.is_hit(),
+            outcome.bytes,
+        );
+        pop.stats
+            .note_degraded(outcome.degraded, outcome.retries, outcome.bytes);
+        (pop_id, outcome)
     }
 
     /// The miss-escalation probe for a PoP: the regional parent (if any)
@@ -297,6 +559,10 @@ impl Simulator {
     /// [`LogRecord`] — the counters-only equivalent of [`Simulator::serve`]
     /// for callers that only read [`Simulator::stats`] afterwards.
     pub fn serve_stats(&self, request: &Request) -> (HttpStatus, CacheStatus, u64) {
+        if let Some(clock) = &self.faults {
+            let (_, outcome) = self.serve_faulted_core(clock, request);
+            return (outcome.status, outcome.cache_status, outcome.bytes);
+        }
         let pop_id = self.topology.route(request.region, request.user);
         let mut pop = self.pops[pop_id.raw() as usize].lock();
         let (status, cache_status, bytes) = if self.escalates() {
@@ -313,25 +579,31 @@ impl Simulator {
     /// Replays a time-sorted request stream, in parallel across PoPs, and
     /// returns the records in the input order.
     pub fn replay(&self, requests: Vec<Request>) -> Vec<LogRecord> {
+        if self.faults.is_some() && self.escalates() {
+            // Faulted escalation serves serially in trace order, so
+            // cross-PoP probe interleavings (and therefore the emitted
+            // records) are deterministic.
+            return requests.into_iter().map(|r| self.serve(r)).collect();
+        }
         let total = requests.len();
-        // Partition by PoP, remembering original positions. A counting
-        // pass pre-sizes each partition so large traces never reallocate
-        // mid-partitioning.
+        // Partition by serving PoP, remembering original positions. A
+        // counting pass pre-sizes each partition so large traces never
+        // reallocate mid-partitioning.
         let mut counts = vec![0usize; self.pops.len()];
         for req in &requests {
-            counts[self.topology.route(req.region, req.user).raw() as usize] += 1;
+            counts[self.partition_index(req)] += 1;
         }
         let mut partitions: Vec<Vec<(usize, Request)>> =
             counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (i, req) in requests.into_iter().enumerate() {
-            let pop = self.topology.route(req.region, req.user);
-            partitions[pop.raw() as usize].push((i, req));
+            let idx = self.partition_index(&req);
+            partitions[idx].push((i, req));
         }
 
         // Each worker returns its own (position, record) vector; the merge
         // into input order happens after the scope joins, so no thread ever
         // contends on a shared output lock.
-        let merged: Vec<Vec<(usize, LogRecord)>> = crossbeam::thread::scope(|scope| {
+        let merged: Vec<Vec<(usize, LogRecord)>> = match crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .into_iter()
                 .enumerate()
@@ -342,7 +614,14 @@ impl Simulator {
                     scope.spawn(move |_| {
                         let pop_id = PopId::new(pop_idx as u16);
                         let mut local = Vec::with_capacity(part.len());
-                        if this.escalates() {
+                        if this.faults.is_some() {
+                            // Per-request serve: the partition already
+                            // groups by effective PoP, so only this
+                            // worker locks this PoP's state.
+                            for (i, req) in part {
+                                local.push((i, this.serve(req)));
+                            }
+                        } else if this.escalates() {
                             // Lock per request so sibling probes can interleave.
                             for (i, req) in part {
                                 let mut pop = pops[pop_idx].lock();
@@ -360,19 +639,23 @@ impl Simulator {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("replay worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
-        })
-        .expect("replay threads panicked");
+        }) {
+            Ok(merged) => merged,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
 
         let mut slots: Vec<Option<LogRecord>> = (0..total).map(|_| None).collect();
         for (i, rec) in merged.into_iter().flatten() {
             slots[i] = Some(rec);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every slot filled"))
-            .collect()
+        // Every input index landed in exactly one partition, so every
+        // slot is filled; flatten rather than unwrap per slot.
+        slots.into_iter().flatten().collect()
     }
 
     /// Counters-only replay: serves a time-sorted request slice and
@@ -401,11 +684,11 @@ impl Simulator {
         );
         let mut counts = vec![0usize; self.pops.len()];
         for req in requests {
-            counts[self.topology.route(req.region, req.user).raw() as usize] += 1;
+            counts[self.partition_index(req)] += 1;
         }
         let mut partitions: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (i, req) in requests.iter().enumerate() {
-            partitions[self.topology.route(req.region, req.user).raw() as usize].push(i as u32);
+            partitions[self.partition_index(req)].push(i as u32);
         }
         let scope_result = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = partitions
@@ -414,7 +697,18 @@ impl Simulator {
                 .filter(|(_, part)| !part.is_empty())
                 .map(|(pop_idx, part)| {
                     let pops = &self.pops;
+                    let this = &*self;
                     scope.spawn(move |_| {
+                        if this.faults.is_some() {
+                            // Per-request serve with internal locking; the
+                            // effective-PoP partition keeps it uncontended.
+                            for &i in part {
+                                if let Some(req) = requests.get(i as usize) {
+                                    this.serve_stats(req);
+                                }
+                            }
+                            return;
+                        }
                         let mut pop = pops[pop_idx].lock();
                         for &i in part {
                             let Some(req) = requests.get(i as usize) else {
@@ -483,6 +777,10 @@ impl Simulator {
     }
 
     /// Statistics of one PoP, if the id is valid.
+    ///
+    /// A valid-but-idle PoP returns `Some` zeroed counters; `None` means
+    /// the id does not exist in this topology. Callers can therefore
+    /// distinguish "nothing was routed here" from "no such PoP".
     pub fn pop_stats(&self, pop: PopId) -> Option<ServeStats> {
         self.pops
             .get(pop.raw() as usize)
@@ -503,6 +801,9 @@ impl CachePolicy for BoxedPolicy {
     }
     fn contains(&self, key: &CacheKey) -> bool {
         self.0.contains(key)
+    }
+    fn peek(&self, key: &CacheKey, now: u64) -> bool {
+        self.0.peek(key, now)
     }
     fn len(&self) -> usize {
         self.0.len()
@@ -854,6 +1155,211 @@ mod tests {
         let mut c = request(1, 7, 2, RequestKind::Full);
         c.region = Region::Asia;
         assert_eq!(sim.serve(c).cache_status, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn pop_stats_distinguishes_idle_from_unknown() {
+        let sim = Simulator::new(&SimConfig::default_edge());
+        // No traffic yet: every valid PoP reports zeroed stats.
+        let idle = sim.pop_stats(PopId::new(0)).expect("valid PoP");
+        assert_eq!(idle.requests, 0);
+        assert_eq!(idle, ServeStats::new());
+        // An id outside the topology is unknown, not idle.
+        assert!(sim.pop_stats(PopId::new(99)).is_none());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_noop() {
+        let healthy = Simulator::new(&SimConfig::default_edge());
+        let healthy_records = healthy.replay(mixed_trace(300));
+        let faulted = Simulator::new(&SimConfig::default_edge()).with_faults(FaultPlan::new(1));
+        let faulted_records = faulted.replay(mixed_trace(300));
+        assert_eq!(healthy_records, faulted_records);
+        assert_eq!(healthy.stats(), faulted.stats());
+    }
+
+    #[test]
+    fn outage_fails_over_to_the_sibling_pop() {
+        use crate::faults::{PopOutage, Window};
+        let config = SimConfig {
+            pops_per_region: 2,
+            ..SimConfig::default_edge()
+        };
+        let routed = Topology::new(2).route(Region::Europe, UserId::new(1));
+        let mut plan = FaultPlan::new(7);
+        plan.outages.push(PopOutage {
+            pop: routed.raw(),
+            window: Window::new(0, 100),
+        });
+        let sim = Simulator::new(&config).with_faults(plan);
+        let rec = sim.serve(request(1, 1, 10, RequestKind::Full));
+        assert_ne!(rec.pop, routed, "served at a sibling");
+        assert_eq!(rec.degraded, DegradedServe::Failover);
+        assert_eq!(rec.status, HttpStatus::OK);
+        let stats = sim.stats();
+        assert_eq!(stats.degraded_hits, 1);
+        assert_eq!(stats.degraded_bytes, rec.bytes_served);
+        // After the outage the same user lands on the routed PoP again.
+        let later = sim.serve(request(1, 1, 200, RequestKind::Full));
+        assert_eq!(later.pop, routed);
+        assert_eq!(later.degraded, DegradedServe::None);
+    }
+
+    #[test]
+    fn dark_region_sheds_at_the_routed_pop() {
+        use crate::faults::{PopOutage, Window};
+        let routed = Topology::new(1).route(Region::Europe, UserId::new(1));
+        let mut plan = FaultPlan::new(5);
+        plan.outages.push(PopOutage {
+            pop: routed.raw(),
+            window: Window::new(0, 100),
+        });
+        let sim = Simulator::new(&SimConfig::default_edge()).with_faults(plan);
+        let rec = sim.serve(request(1, 1, 10, RequestKind::Full));
+        assert_eq!(rec.status, HttpStatus::SERVICE_UNAVAILABLE);
+        assert_eq!(rec.degraded, DegradedServe::Shed);
+        assert_eq!(rec.bytes_served, 0);
+        assert_eq!(
+            rec.pop, routed,
+            "the shed is accounted where the user was sent"
+        );
+        let pop = sim.pop_stats(routed).expect("valid PoP");
+        assert_eq!(pop.shed, 1);
+        assert_eq!(pop.availability(), Some(0.0));
+    }
+
+    #[test]
+    fn brownout_serves_stale_past_ttl_without_refreshing() {
+        use crate::faults::{Brownout, Window};
+        let config = SimConfig::default_edge().with_ttl(10);
+        let mut plan = FaultPlan::new(3);
+        plan.brownouts.push(Brownout {
+            window: Window::new(10, 40),
+            failure_prob: 1.0,
+        });
+        let sim = Simulator::new(&config).with_faults(plan);
+        // Warm at t=0, before the brownout.
+        assert_eq!(
+            sim.serve(request(1, 1, 0, RequestKind::Full)).cache_status,
+            CacheStatus::Miss
+        );
+        // t=10: brownout just started, but the entry is exactly at its TTL
+        // boundary — still fresh, so this is a normal healthy hit.
+        let boundary = sim.serve(request(1, 1, 10, RequestKind::Full));
+        assert_eq!(boundary.cache_status, CacheStatus::Hit);
+        assert_eq!(boundary.degraded, DegradedServe::None);
+        assert_eq!(boundary.retries, 0);
+        // t=11: expired; every origin attempt fails; the stale copy is
+        // served without refreshing the TTL.
+        let stale = sim.serve(request(1, 1, 11, RequestKind::Full));
+        assert_eq!(stale.cache_status, CacheStatus::Hit);
+        assert_eq!(stale.status, HttpStatus::OK);
+        assert_eq!(stale.degraded, DegradedServe::Stale);
+        assert_eq!(stale.retries, 3, "full retry budget burnt");
+        // t=12: still stale — the serve above did not reset freshness.
+        let again = sim.serve(request(1, 1, 12, RequestKind::Full));
+        assert_eq!(again.degraded, DegradedServe::Stale);
+        // t=40: brownout over (end is exclusive); the entry revalidates
+        // against the healthy origin as a plain miss.
+        let revalidated = sim.serve(request(1, 1, 40, RequestKind::Full));
+        assert_eq!(revalidated.cache_status, CacheStatus::Miss);
+        assert_eq!(revalidated.degraded, DegradedServe::None);
+        assert_eq!(revalidated.retries, 0);
+        let stats = sim.stats();
+        assert_eq!(stats.stale_hits, 2);
+        assert_eq!(stats.retries, 6);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn brownout_sheds_cold_objects_after_retries() {
+        use crate::faults::{Brownout, Window};
+        let mut plan = FaultPlan::new(4);
+        plan.brownouts.push(Brownout {
+            window: Window::new(0, 100),
+            failure_prob: 1.0,
+        });
+        let sim = Simulator::new(&SimConfig::default_edge()).with_faults(plan);
+        let rec = sim.serve(request(1, 1, 5, RequestKind::Full));
+        assert_eq!(rec.status, HttpStatus::SERVICE_UNAVAILABLE);
+        assert_eq!(rec.degraded, DegradedServe::Shed);
+        assert_eq!(rec.bytes_served, 0);
+        assert_eq!(rec.retries, 3);
+        // Bodyless kinds never consult the origin, so they are unaffected.
+        let beacon = sim.serve(request(2, 1, 6, RequestKind::Beacon));
+        assert_eq!(beacon.status, HttpStatus::NO_CONTENT);
+        assert_eq!(beacon.degraded, DegradedServe::None);
+        let stats = sim.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.availability(), Some(0.5));
+    }
+
+    #[test]
+    fn capacity_pressure_sheds_over_budget() {
+        use crate::faults::{CapacityPressure, Window};
+        let routed = Topology::new(1).route(Region::Europe, UserId::new(1));
+        let mut plan = FaultPlan::new(6);
+        plan.pressure.push(CapacityPressure {
+            pop: routed.raw(),
+            window: Window::new(0, 100),
+            inflight_budget: 2,
+        });
+        let sim = Simulator::new(&SimConfig::default_edge()).with_faults(plan);
+        // Three body requests in the same second: the third is shed.
+        let recs: Vec<LogRecord> = (1..=3u64)
+            .map(|u| sim.serve(request(u, u, 5, RequestKind::Full)))
+            .collect();
+        assert_eq!(recs[0].degraded, DegradedServe::None);
+        assert_eq!(recs[1].degraded, DegradedServe::None);
+        assert_eq!(recs[2].status, HttpStatus::SERVICE_UNAVAILABLE);
+        assert_eq!(recs[2].degraded, DegradedServe::Shed);
+        // A bodyless request is never budgeted, even over the limit.
+        let beacon = sim.serve(request(9, 9, 5, RequestKind::Beacon));
+        assert_eq!(beacon.degraded, DegradedServe::None);
+        // The bucket resets on the next second.
+        let next = sim.serve(request(4, 4, 6, RequestKind::Full));
+        assert_eq!(next.degraded, DegradedServe::None);
+        assert_eq!(sim.stats().shed, 1);
+    }
+
+    #[test]
+    fn latency_inflation_counts_served_requests() {
+        use crate::faults::{LatencyInflation, Window};
+        let mut plan = FaultPlan::new(8);
+        plan.latency.push(LatencyInflation {
+            window: Window::new(0, 10),
+            factor: 2.5,
+        });
+        let sim = Simulator::new(&SimConfig::default_edge()).with_faults(plan);
+        sim.serve(request(1, 1, 5, RequestKind::Full)); // inside the window
+        sim.serve(request(1, 1, 50, RequestKind::Full)); // outside
+        assert_eq!(sim.stats().inflated_requests, 1);
+    }
+
+    #[test]
+    fn faulted_replay_matches_serial_serve() {
+        let config = SimConfig {
+            pops_per_region: 2,
+            cache_capacity_bytes: 50_000_000,
+            ..SimConfig::default_edge()
+        };
+        let plan = FaultPlan::sample(0xC0FFEE, 600, 8);
+        let serial_sim = Simulator::new(&config).with_faults(plan.clone());
+        let serial: Vec<LogRecord> = mixed_trace(600)
+            .into_iter()
+            .map(|r| serial_sim.serve(r))
+            .collect();
+        let par_sim = Simulator::new(&config).with_faults(plan.clone());
+        let parallel = par_sim.replay(mixed_trace(600));
+        assert_eq!(parallel, serial);
+        assert_eq!(par_sim.stats(), serial_sim.stats());
+        // Counters-only replay agrees counter-for-counter.
+        let stats_sim = Simulator::new(&config).with_faults(plan);
+        assert_eq!(
+            stats_sim.replay_stats(&mixed_trace(600)),
+            serial_sim.stats()
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Serving statistics: hit ratios, byte volumes, response-code counts.
 
-use oat_httplog::{HttpStatus, ObjectId};
+use oat_httplog::{DegradedServe, HttpStatus, ObjectId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -25,6 +25,25 @@ pub struct ServeStats {
     /// Per-object (hits, body requests) — feeds the paper's Figure 15
     /// per-object hit-ratio distributions.
     pub per_object: BTreeMap<ObjectId, (u64, u64)>,
+    /// Requests served at a sibling PoP because the routed PoP was down.
+    #[serde(default)]
+    pub degraded_hits: u64,
+    /// Requests served stale past TTL during an origin brownout.
+    #[serde(default)]
+    pub stale_hits: u64,
+    /// Requests load-shed with `503` (origin unreachable with no cached
+    /// copy, region dark, or capacity pressure).
+    #[serde(default)]
+    pub shed: u64,
+    /// Origin-fetch retries spent beyond first attempts.
+    #[serde(default)]
+    pub retries: u64,
+    /// Bytes served degraded (failover or stale).
+    #[serde(default)]
+    pub degraded_bytes: u64,
+    /// Requests delivered inside a link-latency inflation window.
+    #[serde(default)]
+    pub inflated_requests: u64,
 }
 
 impl ServeStats {
@@ -49,6 +68,50 @@ impl ServeStats {
             entry.0 += u64::from(hit);
             entry.1 += 1;
         }
+    }
+
+    /// Records the degradation outcome of one request, after
+    /// [`record`](Self::record) has counted its response. `bytes` is what
+    /// the request actually served (0 for a shed `503`).
+    pub fn note_degraded(&mut self, degraded: DegradedServe, retries: u8, bytes: u64) {
+        self.retries += u64::from(retries);
+        match degraded {
+            DegradedServe::None => {}
+            DegradedServe::Failover => {
+                self.degraded_hits += 1;
+                self.degraded_bytes += bytes;
+            }
+            DegradedServe::Stale => {
+                self.stale_hits += 1;
+                self.degraded_bytes += bytes;
+            }
+            DegradedServe::Shed => self.shed += 1,
+        }
+    }
+
+    /// Counts one request delivered inside a latency-inflation window.
+    pub fn note_inflated(&mut self) {
+        self.inflated_requests += 1;
+    }
+
+    /// Fraction of requests answered with something other than a shed
+    /// `503` (`None` before any request). Degraded serves count as
+    /// available — that is the point of graceful degradation.
+    pub fn availability(&self) -> Option<f64> {
+        (self.requests > 0).then(|| 1.0 - self.shed as f64 / self.requests as f64)
+    }
+
+    /// Mean origin-fetch attempts per request relative to the retry-free
+    /// baseline: `1 + retries / requests` (`None` before any request). A
+    /// value of 1.0 means no retry amplification.
+    pub fn retry_amplification(&self) -> Option<f64> {
+        (self.requests > 0).then(|| 1.0 + self.retries as f64 / self.requests as f64)
+    }
+
+    /// Fraction of served bytes delivered degraded — via failover or
+    /// stale-while-revalidate (`None` before any byte is served).
+    pub fn degraded_byte_hit_rate(&self) -> Option<f64> {
+        (self.bytes_served > 0).then(|| self.degraded_bytes as f64 / self.bytes_served as f64)
     }
 
     /// Overall cache hit ratio over body-carrying requests
@@ -99,6 +162,12 @@ impl ServeStats {
             entry.0 += h;
             entry.1 += t;
         }
+        self.degraded_hits += other.degraded_hits;
+        self.stale_hits += other.stale_hits;
+        self.shed += other.shed;
+        self.retries += other.retries;
+        self.degraded_bytes += other.degraded_bytes;
+        self.inflated_requests += other.inflated_requests;
     }
 }
 
@@ -149,6 +218,59 @@ mod tests {
         assert_eq!(s.bytes_served, 300);
         assert_eq!(s.origin_bytes, 100);
         assert!((s.byte_savings().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_accounting() {
+        let mut s = ServeStats::new();
+        assert_eq!(s.availability(), None);
+        assert_eq!(s.retry_amplification(), None);
+        assert_eq!(s.degraded_byte_hit_rate(), None);
+        // Healthy hit.
+        s.record(obj(1), HttpStatus::OK, true, 100);
+        s.note_degraded(DegradedServe::None, 0, 100);
+        // Stale serve with 2 retries burnt.
+        s.record(obj(1), HttpStatus::OK, true, 100);
+        s.note_degraded(DegradedServe::Stale, 2, 100);
+        // Failover serve.
+        s.record(obj(2), HttpStatus::OK, false, 50);
+        s.note_degraded(DegradedServe::Failover, 0, 50);
+        // Shed 503 after a full retry budget.
+        s.record(obj(3), HttpStatus::SERVICE_UNAVAILABLE, false, 0);
+        s.note_degraded(DegradedServe::Shed, 3, 0);
+        s.note_inflated();
+
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.stale_hits, 1);
+        assert_eq!(s.degraded_hits, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.retries, 5);
+        assert_eq!(s.degraded_bytes, 150);
+        assert_eq!(s.inflated_requests, 1);
+        assert_eq!(s.availability(), Some(0.75));
+        assert_eq!(s.retry_amplification(), Some(1.0 + 5.0 / 4.0));
+        assert_eq!(s.degraded_byte_hit_rate(), Some(150.0 / 250.0));
+        // The shed 503 is bodyless: no per-object or hit/miss pollution.
+        assert!(!s.per_object.contains_key(&obj(3)));
+        assert_eq!(s.status_count(HttpStatus::SERVICE_UNAVAILABLE), 1);
+    }
+
+    #[test]
+    fn merge_combines_degradation_counters() {
+        let mut a = ServeStats::new();
+        a.record(obj(1), HttpStatus::OK, true, 10);
+        a.note_degraded(DegradedServe::Stale, 1, 10);
+        let mut b = ServeStats::new();
+        b.record(obj(2), HttpStatus::SERVICE_UNAVAILABLE, false, 0);
+        b.note_degraded(DegradedServe::Shed, 3, 0);
+        b.note_inflated();
+        a.merge(&b);
+        assert_eq!(a.stale_hits, 1);
+        assert_eq!(a.shed, 1);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.degraded_bytes, 10);
+        assert_eq!(a.inflated_requests, 1);
+        assert_eq!(a.availability(), Some(0.5));
     }
 
     #[test]

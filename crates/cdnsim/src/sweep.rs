@@ -23,8 +23,13 @@
 //! serially in trace order inside their grid task — unlike
 //! [`Simulator::replay`], whose cross-PoP `try_lock` probes can race —
 //! so even A7/A8-style points are reproducible.
+//!
+//! [`Sweep::with_faults`] evaluates the whole grid degraded under one
+//! [`FaultPlan`], so a healthy grid and its degraded twin come from the
+//! same trace and can be compared point for point.
 
 use crate::cache::PolicyKind;
+use crate::faults::FaultPlan;
 use crate::mattson::MattsonCurve;
 use crate::simulator::{build_policy, serve_outcome, SimConfig, Simulator};
 use crate::stats::ServeStats;
@@ -128,6 +133,7 @@ pub struct SweepResult {
 pub struct Sweep<'a> {
     requests: &'a [Request],
     threads: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> Sweep<'a> {
@@ -137,6 +143,7 @@ impl<'a> Sweep<'a> {
         Self {
             requests,
             threads: 0,
+            faults: None,
         }
     }
 
@@ -144,6 +151,16 @@ impl<'a> Sweep<'a> {
     /// are identical at any setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a fault schedule: every grid point is evaluated degraded
+    /// under the same plan, so healthy-vs-degraded grids can be compared
+    /// point for point. Fault handling bypasses the Mattson shortcut
+    /// (degraded serving is not a pure LRU stack process), so every point
+    /// replays.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -159,9 +176,13 @@ impl<'a> Sweep<'a> {
                 .or_insert_with(|| RoutePartition::build(&Topology::new(ppr), self.requests));
         }
         // One Mattson curve per topology that has eligible LRU points; the
-        // curve replaces every capacity replay it covers.
+        // curve replaces every capacity replay it covers. Faulted sweeps
+        // never build curves — every point replays degraded.
         let mut curves: BTreeMap<usize, MattsonCurve> = BTreeMap::new();
-        for config in configs.iter().filter(|c| mattson_eligible(c)) {
+        for config in configs
+            .iter()
+            .filter(|c| self.faults.is_none() && mattson_eligible(c))
+        {
             let ppr = config.pops_per_region.max(1);
             if !curves.contains_key(&ppr) {
                 if let Some(partition) = partitions.get(&ppr) {
@@ -216,6 +237,18 @@ impl<'a> Sweep<'a> {
         curves: &BTreeMap<usize, MattsonCurve>,
     ) -> SweepResult {
         let ppr = config.pops_per_region.max(1);
+        if let Some(plan) = &self.faults {
+            // Degraded evaluation: one fault-aware simulator per point.
+            // `replay_stats` partitions by effective PoP and keeps
+            // escalating points serial, so results are deterministic at
+            // any thread count.
+            let sim = Simulator::new(config).with_faults(plan.clone());
+            return SweepResult {
+                config: config.clone(),
+                stats: sim.replay_stats(self.requests),
+                engine: SweepEngine::Replay,
+            };
+        }
         if mattson_eligible(config) {
             if let Some(curve) = curves.get(&ppr) {
                 if curve.exact_at(config.cache_capacity_bytes) {
@@ -401,6 +434,51 @@ mod tests {
         let b = Sweep::new(&requests).with_threads(1).run(&grid);
         assert_eq!(a, b);
         assert_eq!(a[0].engine, SweepEngine::Replay);
+    }
+
+    #[test]
+    fn faulted_sweep_matches_independent_simulation() {
+        let requests = trace(400);
+        let plan = FaultPlan::sample(0xAB, 400, 4);
+        // An A1-shaped grid: LRU capacity sweep.
+        let grid: Vec<SimConfig> = [2_000_000u64, 4_000_000, 8_000_000]
+            .iter()
+            .map(|&cap| SimConfig::default_edge().with_capacity(cap))
+            .collect();
+        let results = Sweep::new(&requests).with_faults(plan.clone()).run(&grid);
+        for (config, result) in grid.iter().zip(&results) {
+            assert_eq!(result.engine, SweepEngine::Replay, "faults bypass Mattson");
+            let sim = Simulator::new(config).with_faults(plan.clone());
+            assert_eq!(
+                result.stats,
+                sim.replay_stats(&requests),
+                "counter-for-counter"
+            );
+        }
+        // The plan actually degraded traffic somewhere in the grid.
+        assert!(results
+            .iter()
+            .any(|r| r.stats.shed + r.stats.stale_hits + r.stats.degraded_hits > 0));
+    }
+
+    #[test]
+    fn faulted_sweep_is_thread_invariant() {
+        let requests = trace(300);
+        let plan = FaultPlan::sample(9, 300, 4);
+        let grid: Vec<SimConfig> = (1..=4u64)
+            .map(|i| SimConfig::default_edge().with_capacity(i * 1_500_000))
+            .collect();
+        let serial = Sweep::new(&requests)
+            .with_threads(1)
+            .with_faults(plan.clone())
+            .run(&grid);
+        for threads in [2, 4] {
+            let parallel = Sweep::new(&requests)
+                .with_threads(threads)
+                .with_faults(plan.clone())
+                .run(&grid);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]

@@ -62,6 +62,19 @@ impl Topology {
     pub fn pops(&self) -> impl Iterator<Item = PopId> + '_ {
         (0..self.pop_count()).map(|i| PopId::new(i as u16))
     }
+
+    /// The other PoPs in `pop`'s region, in deterministic wrap-around
+    /// order starting just after `pop` — the failover candidate sequence
+    /// when `pop` is down. Empty for an invalid `pop` or a one-PoP region.
+    pub fn siblings(&self, pop: PopId) -> impl Iterator<Item = PopId> + '_ {
+        let idx = pop.raw() as usize;
+        let ppr = self.pops_per_region;
+        let base = (idx / ppr) * ppr;
+        let take = if idx < self.pop_count() { ppr - 1 } else { 0 };
+        (1..ppr)
+            .take(take)
+            .map(move |step| PopId::new((base + (idx - base + step) % ppr) as u16))
+    }
 }
 
 impl Default for Topology {
@@ -103,6 +116,31 @@ mod tests {
             seen.insert(topo.route(Region::Europe, UserId::new(uid)));
         }
         assert_eq!(seen.len(), 4, "all PoPs of the region receive users");
+    }
+
+    #[test]
+    fn siblings_wrap_within_the_region() {
+        let topo = Topology::new(3);
+        // Europe is region code 1 → PoPs 3, 4, 5.
+        let sibs: Vec<u16> = topo.siblings(PopId::new(4)).map(|p| p.raw()).collect();
+        assert_eq!(sibs, vec![5, 3], "wrap-around order, self excluded");
+        let sibs: Vec<u16> = topo.siblings(PopId::new(3)).map(|p| p.raw()).collect();
+        assert_eq!(sibs, vec![4, 5]);
+        for pop in topo.pops() {
+            let region = topo.pop_region(pop);
+            for sib in topo.siblings(pop) {
+                assert_ne!(sib, pop, "a PoP is not its own sibling");
+                assert_eq!(topo.pop_region(sib), region, "siblings share the region");
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_edge_cases() {
+        let single = Topology::new(1);
+        assert_eq!(single.siblings(PopId::new(2)).count(), 0, "one-PoP region");
+        let topo = Topology::new(2);
+        assert_eq!(topo.siblings(PopId::new(99)).count(), 0, "invalid PoP");
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Availability under injected faults — graceful-degradation accounting.
+//!
+//! Not a paper figure: the paper measures a healthy CDN. This analyzer
+//! quantifies what the reproduction's fault-injection layer
+//! (`oat_cdnsim::faults`) did to each site's traffic — how many requests
+//! were load-shed, served stale, or failed over, and how much origin
+//! retrying the degradation cost. Over a healthy trace every site reports
+//! availability 1.0 and zero degraded counters.
+
+use super::{Analyzer, StreamAnalyzer};
+use crate::sitemap::SiteMap;
+use oat_httplog::{DegradedServe, LogRecord};
+use serde::{Deserialize, Serialize};
+
+/// Degradation counters and derived service-level metrics for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteAvailability {
+    /// Site code.
+    pub code: String,
+    /// Total requests observed.
+    pub requests: u64,
+    /// Requests load-shed with `503` (outage with no healthy sibling,
+    /// capacity pressure, or a brownout miss after retries).
+    pub shed: u64,
+    /// Requests served by a sibling PoP while the routed PoP was down.
+    pub failover: u64,
+    /// Requests served stale past their TTL during an origin brownout.
+    pub stale: u64,
+    /// Origin-fetch retries performed across all requests.
+    pub retries: u64,
+    /// Bytes served, including degraded serves.
+    pub bytes_served: u64,
+    /// Bytes served degraded (failover + stale).
+    pub degraded_bytes: u64,
+}
+
+impl SiteAvailability {
+    /// Fraction of requests that received a response body or healthy
+    /// status rather than a `503` shed; `None` for an empty site.
+    pub fn availability(&self) -> Option<f64> {
+        (self.requests > 0).then(|| 1.0 - self.shed as f64 / self.requests as f64)
+    }
+
+    /// Mean origin attempts per request (`1.0` without faults); `None`
+    /// for an empty site.
+    pub fn retry_amplification(&self) -> Option<f64> {
+        (self.requests > 0).then(|| 1.0 + self.retries as f64 / self.requests as f64)
+    }
+
+    /// Fraction of served bytes that came from a degraded serve; `None`
+    /// when no bytes were served.
+    pub fn degraded_byte_hit_rate(&self) -> Option<f64> {
+        (self.bytes_served > 0).then(|| self.degraded_bytes as f64 / self.bytes_served as f64)
+    }
+
+    /// Requests that saw any degradation at all.
+    pub fn degraded_requests(&self) -> u64 {
+        self.shed + self.failover + self.stale
+    }
+}
+
+/// The availability report: one entry per site, in reporting order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityReport {
+    /// Per-site counters.
+    pub sites: Vec<SiteAvailability>,
+}
+
+impl AvailabilityReport {
+    /// Counters for one site.
+    pub fn site(&self, code: &str) -> Option<&SiteAvailability> {
+        self.sites.iter().find(|s| s.code == code)
+    }
+
+    /// Whether no request on any site was degraded (the healthy-trace
+    /// invariant).
+    pub fn is_healthy(&self) -> bool {
+        self.sites
+            .iter()
+            .all(|s| s.degraded_requests() == 0 && s.retries == 0)
+    }
+}
+
+/// Per-site tallies while the stream is in flight.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    requests: u64,
+    shed: u64,
+    failover: u64,
+    stale: u64,
+    retries: u64,
+    bytes_served: u64,
+    degraded_bytes: u64,
+}
+
+/// Streaming analyzer for the availability report.
+#[derive(Debug)]
+pub struct AvailabilityAnalyzer {
+    map: SiteMap,
+    sites: Vec<Tally>,
+}
+
+impl AvailabilityAnalyzer {
+    /// Creates an analyzer for the sites in `map`.
+    pub fn new(map: SiteMap) -> Self {
+        let n = map.len();
+        Self {
+            map,
+            sites: vec![Tally::default(); n],
+        }
+    }
+}
+
+impl StreamAnalyzer for AvailabilityAnalyzer {}
+
+impl Analyzer for AvailabilityAnalyzer {
+    type Output = AvailabilityReport;
+
+    fn observe(&mut self, record: &LogRecord) {
+        let Some(site) = self.map.index(record.publisher) else {
+            return;
+        };
+        let tally = &mut self.sites[site];
+        tally.requests += 1;
+        tally.bytes_served += record.bytes_served;
+        tally.retries += u64::from(record.retries);
+        match record.degraded {
+            DegradedServe::None => {}
+            DegradedServe::Failover => {
+                tally.failover += 1;
+                tally.degraded_bytes += record.bytes_served;
+            }
+            DegradedServe::Stale => {
+                tally.stale += 1;
+                tally.degraded_bytes += record.bytes_served;
+            }
+            DegradedServe::Shed => tally.shed += 1,
+        }
+    }
+
+    fn finish(self) -> AvailabilityReport {
+        let sites = self
+            .map
+            .publishers()
+            .zip(self.sites)
+            .map(|(publisher, t)| SiteAvailability {
+                // `publishers()` only yields mapped ids, so the lookup
+                // cannot miss; "?" keeps the fold panic-free regardless.
+                code: self.map.code(publisher).unwrap_or("?").to_string(),
+                requests: t.requests,
+                shed: t.shed,
+                failover: t.failover,
+                stale: t.stale,
+                retries: t.retries,
+                bytes_served: t.bytes_served,
+                degraded_bytes: t.degraded_bytes,
+            })
+            .collect();
+        AvailabilityReport { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_analyzer;
+    use super::*;
+    use oat_httplog::PublisherId;
+
+    fn record(publisher: u16, degraded: DegradedServe, retries: u8, bytes: u64) -> LogRecord {
+        LogRecord {
+            publisher: PublisherId::new(publisher),
+            degraded,
+            retries,
+            bytes_served: bytes,
+            ..LogRecord::example()
+        }
+    }
+
+    #[test]
+    fn counts_degradation_per_site() {
+        let records = vec![
+            record(1, DegradedServe::None, 0, 100),
+            record(1, DegradedServe::Failover, 0, 200),
+            record(1, DegradedServe::Stale, 2, 300),
+            record(1, DegradedServe::Shed, 3, 0),
+            record(2, DegradedServe::None, 1, 50),
+        ];
+        let report = run_analyzer(AvailabilityAnalyzer::new(SiteMap::paper_five()), &records);
+        assert!(!report.is_healthy());
+        let v1 = report.site("V-1").unwrap();
+        assert_eq!(v1.requests, 4);
+        assert_eq!(v1.shed, 1);
+        assert_eq!(v1.failover, 1);
+        assert_eq!(v1.stale, 1);
+        assert_eq!(v1.retries, 5);
+        assert_eq!(v1.bytes_served, 600);
+        assert_eq!(v1.degraded_bytes, 500);
+        assert_eq!(v1.degraded_requests(), 3);
+        assert!((v1.availability().unwrap() - 0.75).abs() < 1e-12);
+        assert!((v1.retry_amplification().unwrap() - 2.25).abs() < 1e-12);
+        assert!((v1.degraded_byte_hit_rate().unwrap() - 500.0 / 600.0).abs() < 1e-12);
+        // A retry on a non-degraded serve (origin recovered) still counts.
+        let v2 = report.site("V-2").unwrap();
+        assert_eq!(v2.retries, 1);
+        assert_eq!(v2.availability(), Some(1.0));
+    }
+
+    #[test]
+    fn healthy_records_report_full_availability() {
+        let records = vec![
+            record(1, DegradedServe::None, 0, 100),
+            record(3, DegradedServe::None, 0, 100),
+        ];
+        let report = run_analyzer(AvailabilityAnalyzer::new(SiteMap::paper_five()), &records);
+        assert!(report.is_healthy());
+        assert_eq!(report.site("V-1").unwrap().availability(), Some(1.0));
+        // An idle site has no defined availability.
+        let idle = report.site("P-2").unwrap();
+        assert_eq!(idle.availability(), None);
+        assert_eq!(idle.retry_amplification(), None);
+        assert_eq!(idle.degraded_byte_hit_rate(), None);
+        assert!(report.site("NOPE").is_none());
+    }
+}

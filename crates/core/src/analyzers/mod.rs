@@ -10,6 +10,7 @@ use oat_httplog::LogRecord;
 
 pub mod addiction;
 pub mod aging;
+pub mod availability;
 pub mod cache;
 pub mod clustering;
 pub mod composition;

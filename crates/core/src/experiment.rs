@@ -3,6 +3,7 @@
 use crate::analyzers::{
     addiction::{AddictionAnalyzer, AddictionReport},
     aging::{AgingAnalyzer, AgingReport},
+    availability::{AvailabilityAnalyzer, AvailabilityReport},
     cache::{CacheAnalyzer, CacheReport},
     clustering::{ClusteringAnalyzer, ClusteringConfig, ClusteringReport},
     composition::{CompositionAnalyzer, CompositionReport},
@@ -17,7 +18,7 @@ use crate::analyzers::{
     Analyzer, StreamAnalyzer,
 };
 use crate::sitemap::SiteMap;
-use oat_cdnsim::{ServeStats, SimConfig, Simulator};
+use oat_cdnsim::{FaultPlan, ServeStats, SimConfig, Simulator};
 use oat_httplog::{ContentClass, LogRecord};
 use oat_workload::{generate, generate_streaming, ConfigError, GenOptions, TraceConfig};
 use serde::{Deserialize, Serialize};
@@ -35,6 +36,12 @@ pub struct ExperimentConfig {
     /// Which (site, class) pairs to cluster; defaults to the paper's
     /// V-2 video and P-2 image.
     pub clustering_targets: Vec<(String, ContentClass)>,
+    /// Optional deterministic fault-injection schedule; `None` (the
+    /// default) replays a healthy CDN. Windows compare against absolute
+    /// request timestamps — shift trace-relative plans by
+    /// `trace.start_unix` ([`FaultPlan::shifted`]) before attaching.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl ExperimentConfig {
@@ -48,6 +55,7 @@ impl ExperimentConfig {
                 ("V-2".to_string(), ContentClass::Video),
                 ("P-2".to_string(), ContentClass::Image),
             ],
+            faults: None,
         }
     }
 
@@ -66,6 +74,23 @@ impl ExperimentConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.trace.seed = seed;
         self
+    }
+
+    /// Attaches a fault plan (builder-style). The plan's windows must
+    /// already be in absolute trace time.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The simulator for this config: healthy, or fault-injecting when a
+    /// plan is attached.
+    fn simulator(&self) -> Simulator {
+        let sim = Simulator::new(&self.sim);
+        match &self.faults {
+            Some(plan) => sim.with_faults(plan.clone()),
+            None => sim,
+        }
     }
 }
 
@@ -102,6 +127,9 @@ pub struct ExperimentResult {
     pub cache: CacheReport,
     /// Figure 16.
     pub responses: ResponseReport,
+    /// Per-site availability under the configured fault plan (all-healthy
+    /// without one).
+    pub availability: AvailabilityReport,
     /// Records analyzed.
     pub records: u64,
     /// Aggregated simulator statistics.
@@ -159,7 +187,7 @@ impl From<ConfigError> for ExperimentError {
 pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult, ExperimentError> {
     let trace = generate(&config.trace)?;
     let map = SiteMap::from_profiles(&config.trace.sites);
-    let simulator = Simulator::new(&config.sim);
+    let simulator = config.simulator();
     let records = simulator.replay(trace.requests);
     let sim_stats = simulator.stats();
     Ok(analyze(
@@ -199,7 +227,7 @@ pub fn run_streaming(
     };
     let stream = generate_streaming(&config.trace, &gen_opts, opts.batch_size)?;
     let map = SiteMap::from_profiles(&config.trace.sites);
-    let simulator = Simulator::new(&config.sim);
+    let simulator = config.simulator();
     let hours = (config.trace.duration_secs / 3600) as usize;
     let days = (config.trace.duration_secs / 86_400).max(1) as usize;
 
@@ -209,6 +237,7 @@ pub fn run_streaming(
     let sizes = SizeAnalyzer::new(map.clone());
     let popularity = PopularityAnalyzer::new(map.clone());
     let responses = ResponseAnalyzer::new(map.clone());
+    let availability = AvailabilityAnalyzer::new(map.clone());
     let aging = AgingAnalyzer::new(map.clone(), days);
     let iat = IatAnalyzer::new(map.clone());
     let sessions = SessionAnalyzer::new(map.clone());
@@ -230,6 +259,7 @@ pub fn run_streaming(
         let (sizes_tx, sizes) = spawn_feed(scope, sizes);
         let (popularity_tx, popularity) = spawn_feed(scope, popularity);
         let (responses_tx, responses) = spawn_feed(scope, responses);
+        let (availability_tx, availability) = spawn_feed(scope, availability);
         let feeds = [
             composition_tx,
             temporal_tx,
@@ -237,6 +267,7 @@ pub fn run_streaming(
             sizes_tx,
             popularity_tx,
             responses_tx,
+            availability_tx,
         ];
 
         // Drive the pipeline: replay each request batch as it arrives,
@@ -259,6 +290,7 @@ pub fn run_streaming(
         let sizes = sizes.join().expect("size analyzer panicked");
         let popularity = popularity.join().expect("popularity analyzer panicked");
         let responses = responses.join().expect("response analyzer panicked");
+        let availability = availability.join().expect("availability analyzer panicked");
 
         // Multi-pass analyzers replay the retained chunks, fanned out like
         // the batch path.
@@ -290,6 +322,7 @@ pub fn run_streaming(
                 addiction: addiction.join().expect("addiction analyzer panicked"),
                 cache: cache.join().expect("cache analyzer panicked"),
                 responses,
+                availability,
                 records,
                 sim_stats,
             }
@@ -380,6 +413,7 @@ pub fn analyze(
     let addiction = AddictionAnalyzer::new(map.clone());
     let cache = CacheAnalyzer::new(map.clone());
     let responses = ResponseAnalyzer::new(map.clone());
+    let availability = AvailabilityAnalyzer::new(map.clone());
     let clusterers = build_clusterers(map, trace_start, hours, clustering, clustering_targets);
 
     // Fan out: every analyzer streams the shared slice on its own thread.
@@ -397,6 +431,7 @@ pub fn analyze(
         let addiction = scope.spawn(move |_| run_analyzer(addiction, records));
         let cache = scope.spawn(move |_| run_analyzer(cache, records));
         let responses = scope.spawn(move |_| run_analyzer(responses, records));
+        let availability = scope.spawn(move |_| run_analyzer(availability, records));
         let clusterers: Vec<_> = clusterers
             .into_iter()
             .map(|c| scope.spawn(move |_| run_analyzer(c, records)))
@@ -418,6 +453,7 @@ pub fn analyze(
             addiction: addiction.join().expect("addiction analyzer panicked"),
             cache: cache.join().expect("cache analyzer panicked"),
             responses: responses.join().expect("response analyzer panicked"),
+            availability: availability.join().expect("availability analyzer panicked"),
             records: records.len() as u64,
             sim_stats,
         }
@@ -452,7 +488,46 @@ mod tests {
         assert_eq!(result.addiction.video.len(), 5);
         assert_eq!(result.cache.summaries.len(), 5);
         assert_eq!(result.responses.video.len(), 5);
+        assert_eq!(result.availability.sites.len(), 5);
+        assert!(
+            result.availability.is_healthy(),
+            "no fault plan, so nothing may degrade"
+        );
         assert_eq!(result.sim_stats.requests, result.records);
+    }
+
+    #[test]
+    fn faulted_run_degrades_and_streams_identically() {
+        let mut config = tiny();
+        let pops = (config.sim.pops_per_region * 4) as u16;
+        config.faults = Some(
+            FaultPlan::sample(0xFA_17, config.trace.duration_secs, pops)
+                .shifted(config.trace.start_unix),
+        );
+        let batch = run(&config).unwrap();
+        let s = &batch.sim_stats;
+        assert!(
+            s.degraded_hits + s.stale_hits + s.shed + s.retries > 0,
+            "the sampled plan injected nothing observable"
+        );
+        assert!(!batch.availability.is_healthy());
+        let availability_totals: u64 = batch
+            .availability
+            .sites
+            .iter()
+            .map(|site| site.requests)
+            .sum();
+        assert_eq!(availability_totals, batch.records);
+        let streamed = run_streaming(
+            &config,
+            &StreamOptions {
+                threads: 2,
+                shard_size: 37,
+                batch_size: 1_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(batch, streamed);
     }
 
     #[test]

@@ -218,6 +218,32 @@ pub fn write_csvs(result: &ExperimentResult, dir: &Path) -> io::Result<Vec<Strin
     }
     emit("fig16_responses.csv", responses)?;
 
+    // Availability — per-site graceful-degradation counters (not a paper
+    // figure; all-healthy zeros without a fault plan).
+    let mut availability = String::from(
+        "site,requests,shed,failover,stale,retries,degraded_bytes,\
+         availability,retry_amplification,degraded_byte_hit_rate\n",
+    );
+    for s in &result.availability.sites {
+        availability.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            s.code,
+            s.requests,
+            s.shed,
+            s.failover,
+            s.stale,
+            s.retries,
+            s.degraded_bytes,
+            s.availability()
+                .map_or(String::new(), |v| format!("{v:.6}")),
+            s.retry_amplification()
+                .map_or(String::new(), |v| format!("{v:.6}")),
+            s.degraded_byte_hit_rate()
+                .map_or(String::new(), |v| format!("{v:.6}")),
+        ));
+    }
+    emit("availability.csv", availability)?;
+
     Ok(written)
 }
 
@@ -238,11 +264,27 @@ mod tests {
         let dir = std::env::temp_dir().join("oat-export-test");
         let _ = std::fs::remove_dir_all(&dir);
         let files = write_csvs(&result(), &dir).expect("export");
-        // 16 figures → at least 17 files (clusterings add two each).
-        assert!(files.len() >= 17, "got {files:?}");
+        // 16 figures + availability → at least 18 files (clusterings add
+        // two each).
+        assert!(files.len() >= 18, "got {files:?}");
         for prefix in [
-            "fig01", "fig03", "fig04", "fig05a", "fig05b", "fig06a", "fig06b", "fig07", "fig08",
-            "fig09_10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig01",
+            "fig03",
+            "fig04",
+            "fig05a",
+            "fig05b",
+            "fig06a",
+            "fig06b",
+            "fig07",
+            "fig08",
+            "fig09_10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "availability",
         ] {
             assert!(
                 files.iter().any(|f| f.starts_with(prefix)),

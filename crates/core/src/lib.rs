@@ -18,6 +18,7 @@
 //! | 13, 14 | [`analyzers::addiction`] |
 //! | 15 | [`analyzers::cache`] |
 //! | 16 | [`analyzers::response`] |
+//! | — (fault runs) | [`analyzers::availability`] |
 //!
 //! [`experiment::run`] wires the whole reproduction end-to-end: synthesize
 //! a trace (`oat-workload`), replay it through the CDN (`oat-cdnsim`), and

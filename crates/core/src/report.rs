@@ -4,9 +4,9 @@
 //! next to the paper's reported shapes.
 
 use crate::analyzers::{
-    addiction::AddictionReport, aging::AgingReport, cache::CacheReport,
-    clustering::ClusteringReport, composition::CompositionReport, device::DeviceReport,
-    iat::IatReport, popularity::PopularityReport, response::ResponseReport,
+    addiction::AddictionReport, aging::AgingReport, availability::AvailabilityReport,
+    cache::CacheReport, clustering::ClusteringReport, composition::CompositionReport,
+    device::DeviceReport, iat::IatReport, popularity::PopularityReport, response::ResponseReport,
     sessions::SessionReport, sizes::SizeReport, temporal::TemporalReport,
 };
 use crate::experiment::ExperimentResult;
@@ -370,6 +370,37 @@ pub fn render_responses(report: &ResponseReport) -> String {
     out
 }
 
+/// Availability & graceful degradation (fault-injection runs).
+pub fn render_availability(report: &AvailabilityReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Availability — graceful degradation under the fault plan"
+    );
+    let _ = writeln!(
+        out,
+        "{:<5} {:>9} {:>8} {:>9} {:>7} {:>10} {:>12}",
+        "site", "avail", "shed", "failover", "stale", "retry amp", "degr byte %"
+    );
+    for s in &report.sites {
+        let _ = writeln!(
+            out,
+            "{:<5} {:>9} {:>8} {:>9} {:>7} {:>10} {:>12}",
+            s.code,
+            s.availability()
+                .map_or("-".to_string(), |a| format!("{:.3}%", 100.0 * a)),
+            s.shed,
+            s.failover,
+            s.stale,
+            s.retry_amplification()
+                .map_or("-".to_string(), |r| format!("{r:.3}")),
+            s.degraded_byte_hit_rate()
+                .map_or("-".to_string(), |r| format!("{:.2}%", 100.0 * r)),
+        );
+    }
+    out
+}
+
 /// Renders every figure of an experiment, in paper order.
 pub fn render_all(result: &ExperimentResult) -> String {
     let mut out = String::new();
@@ -403,6 +434,8 @@ pub fn render_all(result: &ExperimentResult) -> String {
     out.push_str(&render_cache(&result.cache));
     out.push('\n');
     out.push_str(&render_responses(&result.responses));
+    out.push('\n');
+    out.push_str(&render_availability(&result.availability));
     out
 }
 
@@ -440,6 +473,7 @@ mod tests {
             "Fig 13/14",
             "Fig 15",
             "Fig 16",
+            "Availability",
             "V-1",
             "V-2",
             "P-1",

@@ -6,7 +6,8 @@
 //! A `HashMap` iteration sneaking into any emission path shows up here as
 //! a byte diff in one of the exported CSVs.
 
-use oat_core::experiment::{self, ExperimentConfig};
+use oat_cdnsim::FaultPlan;
+use oat_core::experiment::{self, ExperimentConfig, StreamOptions};
 use oat_core::export;
 use std::path::PathBuf;
 
@@ -45,4 +46,62 @@ fn repeated_runs_serialize_byte_identically() {
 
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// A fault-injecting streaming run exports byte-identical CSVs at any
+/// thread count: every fault decision is a pure function of the plan seed
+/// and the request identity, never of scheduling.
+#[test]
+fn faulted_exports_are_byte_identical_across_thread_counts() {
+    let mut config = tiny_config();
+    let pops = (config.sim.pops_per_region * 4) as u16;
+    config.faults = Some(
+        FaultPlan::sample(0xFA_0175, config.trace.duration_secs, pops)
+            .shifted(config.trace.start_unix),
+    );
+
+    let mut baseline: Option<(PathBuf, Vec<String>)> = None;
+    for threads in [1usize, 4, 8] {
+        let opts = StreamOptions {
+            threads,
+            shard_size: 53,
+            batch_size: 2_048,
+        };
+        let result = experiment::run_streaming(&config, &opts).expect("config is valid");
+        assert!(
+            !result.availability.is_healthy(),
+            "the sampled fault plan must visibly degrade the run"
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "oat-fault-determinism-{}-t{threads}",
+            std::process::id()
+        ));
+        let files = export::write_csvs(&result, &dir).expect("export succeeds");
+        assert!(
+            files.iter().any(|f| f == "availability.csv"),
+            "availability series missing from {files:?}"
+        );
+        match &baseline {
+            None => baseline = Some((dir, files)),
+            Some((base_dir, base_files)) => {
+                assert_eq!(
+                    base_files, &files,
+                    "file set changed with {threads} threads"
+                );
+                for name in base_files {
+                    let a = std::fs::read(base_dir.join(name)).expect("baseline readable");
+                    let b = std::fs::read(dir.join(name)).expect("file readable");
+                    assert!(
+                        a == b,
+                        "{name} differs between 1 and {threads} generation threads \
+                         under the same fault plan"
+                    );
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    if let Some((dir, _)) = baseline {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

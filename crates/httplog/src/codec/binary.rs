@@ -3,7 +3,7 @@
 //! Layout (little-endian), one frame per record:
 //!
 //! ```text
-//! u8   version (currently 1)
+//! u8   version (currently 2)
 //! u64  timestamp
 //! u16  publisher
 //! u64  object
@@ -15,20 +15,40 @@
 //! u16  http status
 //! u16  pop
 //! i32  tz_offset_secs
+//! u8   degraded-serve code (version ≥ 2)
+//! u8   retries (version ≥ 2)
 //! u16  user-agent byte length, then that many UTF-8 bytes
 //! ```
+//!
+//! Version 1 frames (no `degraded`/`retries` bytes) still decode; the
+//! two fields default to their healthy values.
 
 use crate::content::FileFormat;
 use crate::ids::{ObjectId, PopId, PublisherId, UserId};
 use crate::record::LogRecord;
-use crate::status::{CacheStatus, HttpStatus};
+use crate::status::{CacheStatus, DegradedServe, HttpStatus};
 use bytes::{Buf, BufMut};
 
 /// Current frame version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
-/// Fixed-size portion of a frame (everything but the UA bytes).
-const FIXED_LEN: usize = 1 + 8 + 2 + 8 + 1 + 8 + 8 + 8 + 1 + 2 + 2 + 4 + 2;
+/// Fixed-size portion of a current-version frame (everything but the UA
+/// bytes).
+const FIXED_LEN: usize = 1 + 8 + 2 + 8 + 1 + 8 + 8 + 8 + 1 + 2 + 2 + 4 + 1 + 1 + 2;
+
+/// Fixed-size portion of a version-1 frame.
+const FIXED_LEN_V1: usize = 1 + 8 + 2 + 8 + 1 + 8 + 8 + 8 + 1 + 2 + 2 + 4 + 2;
+
+/// Fixed frame length (including the version byte) for `version`, or
+/// `None` for unknown versions. Used by the framed reader in
+/// [`crate::io`] to size its header read per version.
+pub(crate) fn fixed_len(version: u8) -> Option<usize> {
+    match version {
+        1 => Some(FIXED_LEN_V1),
+        2 => Some(FIXED_LEN),
+        _ => None,
+    }
+}
 
 /// Encodes one record into `buf`.
 ///
@@ -52,6 +72,8 @@ pub fn encode<B: BufMut>(record: &LogRecord, buf: &mut B) -> Result<(), BinaryEn
     buf.put_u16_le(record.status.code());
     buf.put_u16_le(record.pop.raw());
     buf.put_i32_le(record.tz_offset_secs);
+    buf.put_u8(record.degraded.code());
+    buf.put_u8(record.retries);
     buf.put_u16_le(ua_len);
     buf.put_slice(ua);
     Ok(())
@@ -64,13 +86,16 @@ pub fn encode<B: BufMut>(record: &LogRecord, buf: &mut B) -> Result<(), BinaryEn
 /// Returns [`BinaryDecodeError`] on truncation, version mismatch, or invalid
 /// field encodings.
 pub fn decode<B: Buf>(buf: &mut B) -> Result<LogRecord, BinaryDecodeError> {
-    if buf.remaining() < FIXED_LEN {
+    let Some(&version) = buf.chunk().first() else {
+        return Err(BinaryDecodeError::Truncated);
+    };
+    let Some(fixed) = fixed_len(version) else {
+        return Err(BinaryDecodeError::UnsupportedVersion { version });
+    };
+    if buf.remaining() < fixed {
         return Err(BinaryDecodeError::Truncated);
     }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(BinaryDecodeError::UnsupportedVersion { version });
-    }
+    buf.advance(1);
     let timestamp = buf.get_u64_le();
     let publisher = PublisherId::new(buf.get_u16_le());
     let object = ObjectId::new(buf.get_u64_le());
@@ -91,6 +116,14 @@ pub fn decode<B: Buf>(buf: &mut B) -> Result<LogRecord, BinaryDecodeError> {
         .map_err(|_| BinaryDecodeError::InvalidStatus { code: status_raw })?;
     let pop = PopId::new(buf.get_u16_le());
     let tz_offset_secs = buf.get_i32_le();
+    let (degraded, retries) = if version >= 2 {
+        let degraded_raw = buf.get_u8();
+        let degraded = DegradedServe::from_code(degraded_raw)
+            .ok_or(BinaryDecodeError::InvalidDegraded { code: degraded_raw })?;
+        (degraded, buf.get_u8())
+    } else {
+        (DegradedServe::None, 0)
+    };
     let ua_len = buf.get_u16_le() as usize;
     if buf.remaining() < ua_len {
         return Err(BinaryDecodeError::Truncated);
@@ -111,6 +144,8 @@ pub fn decode<B: Buf>(buf: &mut B) -> Result<LogRecord, BinaryDecodeError> {
         status,
         pop,
         tz_offset_secs,
+        degraded,
+        retries,
     })
 }
 
@@ -119,7 +154,9 @@ pub fn format_code(format: FileFormat) -> u8 {
     FileFormat::ALL
         .iter()
         .position(|&f| f == format)
-        .expect("every format is in ALL") as u8
+        // Every variant appears in ALL; the 0xFF fallback would fail
+        // decode loudly rather than panic encode.
+        .map_or(u8::MAX, |i| i as u8)
 }
 
 /// Inverse of [`format_code`].
@@ -177,6 +214,11 @@ pub enum BinaryDecodeError {
         /// The code found.
         code: u16,
     },
+    /// Unknown degraded-serve code.
+    InvalidDegraded {
+        /// The code found.
+        code: u8,
+    },
     /// The user-agent bytes were not valid UTF-8.
     InvalidUtf8,
 }
@@ -189,6 +231,7 @@ impl std::fmt::Display for BinaryDecodeError {
             Self::InvalidFormat { code } => write!(f, "invalid format code {code}"),
             Self::InvalidCacheStatus { value } => write!(f, "invalid cache-status byte {value}"),
             Self::InvalidStatus { code } => write!(f, "invalid http status {code}"),
+            Self::InvalidDegraded { code } => write!(f, "invalid degraded-serve code {code}"),
             Self::InvalidUtf8 => f.write_str("user-agent is not valid UTF-8"),
         }
     }
@@ -297,6 +340,78 @@ mod tests {
         assert_eq!(
             decode(&mut slice).unwrap_err(),
             BinaryDecodeError::InvalidFormat { code: 200 }
+        );
+    }
+
+    /// Encodes `record` as a version-1 frame (no degraded/retries bytes),
+    /// as written by pre-fault-model builds.
+    fn encode_v1(record: &LogRecord, buf: &mut BytesMut) {
+        let ua = record.user_agent.as_bytes();
+        buf.put_u8(1);
+        buf.put_u64_le(record.timestamp);
+        buf.put_u16_le(record.publisher.raw());
+        buf.put_u64_le(record.object.raw());
+        buf.put_u8(format_code(record.format));
+        buf.put_u64_le(record.object_size);
+        buf.put_u64_le(record.bytes_served);
+        buf.put_u64_le(record.user.raw());
+        buf.put_u8(if record.cache_status.is_hit() { 1 } else { 0 });
+        buf.put_u16_le(record.status.code());
+        buf.put_u16_le(record.pop.raw());
+        buf.put_i32_le(record.tz_offset_secs);
+        buf.put_u16_le(ua.len() as u16);
+        buf.put_slice(ua);
+    }
+
+    #[test]
+    fn roundtrip_degraded_fields() {
+        let mut r = LogRecord::example();
+        r.degraded = DegradedServe::Failover;
+        r.retries = 2;
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let mut slice = buf.freeze();
+        assert_eq!(decode(&mut slice).unwrap(), r);
+        assert!(!slice.has_remaining());
+    }
+
+    #[test]
+    fn version_1_frames_decode_with_healthy_defaults() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode_v1(&r, &mut buf);
+        let mut slice = buf.freeze();
+        let decoded = decode(&mut slice).unwrap();
+        assert_eq!(decoded.degraded, DegradedServe::None);
+        assert_eq!(decoded.retries, 0);
+        assert_eq!(decoded, r);
+        assert!(!slice.has_remaining());
+    }
+
+    #[test]
+    fn truncated_version_1_fixed_part() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode_v1(&r, &mut buf);
+        let mut short = buf.freeze().slice(0..FIXED_LEN_V1 - 1);
+        assert_eq!(
+            decode(&mut short).unwrap_err(),
+            BinaryDecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn invalid_degraded_code() {
+        let r = LogRecord::example();
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf).unwrap();
+        let mut bytes = buf.to_vec();
+        // Degraded byte offset: 1+8+2+8+1+8+8+8+1+2+2+4 = 53.
+        bytes[53] = 200;
+        let mut slice = &bytes[..];
+        assert_eq!(
+            decode(&mut slice).unwrap_err(),
+            BinaryDecodeError::InvalidDegraded { code: 200 }
         );
     }
 

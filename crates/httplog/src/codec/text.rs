@@ -1,21 +1,26 @@
 //! Tab-separated text codec.
 //!
-//! One record per line, 12 tab-separated fields:
+//! One record per line, 14 tab-separated fields:
 //!
 //! ```text
 //! timestamp  publisher  object(hex)  format  object_size  bytes_served
 //! user(hex)  user_agent(escaped)  cache  status  pop  tz_offset
+//! degraded  retries
 //! ```
 //!
 //! The user-agent field escapes backslash, tab, newline and carriage return
 //! so a record always occupies exactly one line.
+//!
+//! The trailing `degraded`/`retries` fields were added with the fault
+//! model; 12-field lines from earlier writers still decode (the two
+//! fields default to `-`/`0`).
 
 use crate::content::FileFormat;
 use crate::ids::{ObjectId, PopId, PublisherId, UserId};
 use crate::record::LogRecord;
-use crate::status::{CacheStatus, HttpStatus};
+use crate::status::{CacheStatus, DegradedServe, HttpStatus};
 
-const FIELD_COUNT: usize = 12;
+const FIELD_COUNT: usize = 14;
 
 /// Encodes a record as a single line (no trailing newline).
 ///
@@ -26,7 +31,7 @@ const FIELD_COUNT: usize = 12;
 /// use oat_httplog::LogRecord;
 ///
 /// let line = text::encode(&LogRecord::example());
-/// assert_eq!(line.split('\t').count(), 12);
+/// assert_eq!(line.split('\t').count(), 14);
 /// ```
 pub fn encode(record: &LogRecord) -> String {
     let mut out = String::with_capacity(96 + record.user_agent.len());
@@ -53,11 +58,13 @@ pub fn encode_into(record: &LogRecord, out: &mut String) {
     escape_into(&record.user_agent, out);
     let _ = write!(
         out,
-        "\t{}\t{}\t{}\t{}",
+        "\t{}\t{}\t{}\t{}\t{}\t{}",
         record.cache_status.as_str(),
         record.status.code(),
         record.pop.raw(),
         record.tz_offset_secs,
+        record.degraded.as_str(),
+        record.retries,
     );
 }
 
@@ -102,6 +109,27 @@ pub fn decode(line: &str) -> Result<LogRecord, TextDecodeError> {
             value: tz_field.to_string(),
         })?;
 
+    // Trailing fault-model fields: absent on 12-field lines from earlier
+    // writers, in which case both default to their healthy values.
+    let degraded = match fields.next() {
+        None => DegradedServe::None,
+        Some(token) => {
+            DegradedServe::from_str_token(token).ok_or_else(|| TextDecodeError::InvalidField {
+                field: "degraded",
+                value: token.to_string(),
+            })?
+        }
+    };
+    let retries = match fields.next() {
+        None => 0,
+        Some(raw) => raw
+            .parse::<u8>()
+            .map_err(|_| TextDecodeError::InvalidField {
+                field: "retries",
+                value: raw.to_string(),
+            })?,
+    };
+
     if fields.next().is_some() {
         return Err(TextDecodeError::TooManyFields {
             expected: FIELD_COUNT,
@@ -121,6 +149,8 @@ pub fn decode(line: &str) -> Result<LogRecord, TextDecodeError> {
         status,
         pop,
         tz_offset_secs,
+        degraded,
+        retries,
     })
 }
 
@@ -316,6 +346,56 @@ mod tests {
         let r = LogRecord::example();
         let line = encode(&r).replace("\tmp4\t", "\texotic\t");
         assert_eq!(decode(&line).unwrap().format, FileFormat::Bin);
+    }
+
+    #[test]
+    fn roundtrip_degraded_fields() {
+        let mut r = LogRecord::example();
+        r.degraded = DegradedServe::Stale;
+        r.retries = 3;
+        let line = encode(&r);
+        assert!(line.ends_with("\tSTALE\t3"));
+        assert_eq!(decode(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn twelve_field_lines_decode_with_healthy_defaults() {
+        // A line from a pre-fault-model writer: strip the trailing
+        // `degraded` and `retries` fields.
+        let full = encode(&LogRecord::example());
+        let legacy = full
+            .rsplitn(3, '\t')
+            .last()
+            .expect("rsplitn yields at least one piece")
+            .to_string();
+        assert_eq!(legacy.matches('\t').count(), 11);
+        let decoded = decode(&legacy).unwrap();
+        assert_eq!(decoded.degraded, DegradedServe::None);
+        assert_eq!(decoded.retries, 0);
+        assert_eq!(decoded, LogRecord::example());
+    }
+
+    #[test]
+    fn invalid_degraded_token() {
+        let line = encode(&LogRecord::example()).replace("\t-\t", "\tBROKEN\t");
+        match decode(&line).unwrap_err() {
+            TextDecodeError::InvalidField { field, value } => {
+                assert_eq!(field, "degraded");
+                assert_eq!(value, "BROKEN");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_retries_value() {
+        let mut r = LogRecord::example();
+        r.retries = 7;
+        let line = encode(&r).replace("\t7", "\t-7");
+        match decode(&line).unwrap_err() {
+            TextDecodeError::InvalidField { field, .. } => assert_eq!(field, "retries"),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

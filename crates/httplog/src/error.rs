@@ -27,6 +27,14 @@ pub enum HttplogError {
     Encode(BinaryEncodeError),
     /// A configuration value was rejected (e.g. a zero shard interval).
     InvalidConfig(&'static str),
+    /// A lossy shard read quarantined more records than its error budget
+    /// allows (see [`read_merged_lossy`](crate::shard::read_merged_lossy)).
+    ErrorBudgetExceeded {
+        /// Corrupt/truncated records quarantined before giving up.
+        quarantined: u64,
+        /// The configured budget that was exceeded.
+        budget: u64,
+    },
 }
 
 impl HttplogError {
@@ -35,7 +43,10 @@ impl HttplogError {
     pub fn is_data_error(&self) -> bool {
         matches!(
             self,
-            Self::TextDecode(_) | Self::BinaryDecode(_) | Self::Encode(_)
+            Self::TextDecode(_)
+                | Self::BinaryDecode(_)
+                | Self::Encode(_)
+                | Self::ErrorBudgetExceeded { .. }
         )
     }
 }
@@ -48,6 +59,13 @@ impl fmt::Display for HttplogError {
             Self::BinaryDecode(e) => write!(f, "binary decode error: {e}"),
             Self::Encode(e) => write!(f, "encode error: {e}"),
             Self::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            Self::ErrorBudgetExceeded {
+                quarantined,
+                budget,
+            } => write!(
+                f,
+                "quarantined {quarantined} corrupt records, exceeding the error budget of {budget}"
+            ),
         }
     }
 }
@@ -60,6 +78,7 @@ impl std::error::Error for HttplogError {
             Self::BinaryDecode(e) => Some(e),
             Self::Encode(e) => Some(e),
             Self::InvalidConfig(_) => None,
+            Self::ErrorBudgetExceeded { .. } => None,
         }
     }
 }
@@ -100,6 +119,9 @@ impl From<HttplogError> for io::Error {
             }
             HttplogError::Encode(_) | HttplogError::InvalidConfig(_) => {
                 io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+            }
+            HttplogError::ErrorBudgetExceeded { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, e.to_string())
             }
         }
     }

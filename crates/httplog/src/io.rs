@@ -118,6 +118,7 @@ pub struct LogReader<R: Read> {
     format: Format,
     line_buf: String,
     done: bool,
+    fail_fast: bool,
 }
 
 impl<R: Read> LogReader<R> {
@@ -128,7 +129,22 @@ impl<R: Read> LogReader<R> {
             format,
             line_buf: String::new(),
             done: false,
+            fail_fast: true,
         }
+    }
+
+    /// Keeps reading past corrupt records instead of stopping at the first
+    /// error, for callers that quarantine bad records (for example
+    /// [`read_merged_lossy`](crate::shard::read_merged_lossy)).
+    ///
+    /// Only errors that leave the stream at a record boundary are
+    /// resumable: malformed text lines (the line was fully consumed) and
+    /// binary frames whose body fails validation (the frame was fully
+    /// consumed). IO errors, truncated frames and unknown frame versions
+    /// remain terminal — there is no boundary to resync to.
+    pub fn resilient(mut self) -> Self {
+        self.fail_fast = false;
+        self
     }
 
     /// Creates a text-format reader.
@@ -171,16 +187,38 @@ impl<R: Read> LogReader<R> {
 
 /// Reads exactly one binary frame from a [`BufRead`].
 fn read_binary_frame<R: BufRead>(r: &mut R) -> Result<LogRecord, HttplogError> {
-    // Fixed part first (see codec::binary layout), then the UA suffix.
-    const FIXED_AFTER_VERSION: usize = 8 + 2 + 8 + 1 + 8 + 8 + 8 + 1 + 2 + 2 + 4 + 2;
-    let mut head = [0u8; 1 + FIXED_AFTER_VERSION];
-    read_exact_frame(r, &mut head)?;
-    let ua_len = u16::from_le_bytes([head[head.len() - 2], head[head.len() - 1]]) as usize;
-    let mut frame = head.to_vec();
-    frame.resize(head.len() + ua_len, 0);
-    read_exact_frame(r, &mut frame[head.len()..])?;
+    // Version byte first — it determines the fixed-part length — then the
+    // rest of the fixed part (see codec::binary layout), then the UA
+    // suffix.
+    let mut version = [0u8; 1];
+    read_exact_frame(r, &mut version)?;
+    let [version] = version;
+    let fixed = binary::fixed_len(version)
+        .ok_or(binary::BinaryDecodeError::UnsupportedVersion { version })?;
+    let mut frame = vec![0u8; fixed];
+    if let Some(first) = frame.first_mut() {
+        *first = version;
+    }
+    read_exact_frame(r, &mut frame[1..])?;
+    let ua_len = u16::from_le_bytes([frame[fixed - 2], frame[fixed - 1]]) as usize;
+    frame.resize(fixed + ua_len, 0);
+    read_exact_frame(r, &mut frame[fixed..])?;
     let mut slice = &frame[..];
     binary::decode(&mut slice).map_err(HttplogError::from)
+}
+
+/// Whether the stream is still positioned at a record boundary after `e`,
+/// so a resilient reader may continue past it.
+fn error_is_resumable(e: &HttplogError) -> bool {
+    match e {
+        HttplogError::TextDecode(_) => true,
+        HttplogError::BinaryDecode(inner) => !matches!(
+            inner,
+            binary::BinaryDecodeError::Truncated
+                | binary::BinaryDecodeError::UnsupportedVersion { .. }
+        ),
+        _ => false,
+    }
 }
 
 /// Like [`Read::read_exact`], but reports a clean truncation as the typed
@@ -206,9 +244,12 @@ impl<R: Read> Iterator for LogReader<R> {
             Format::Text => self.next_text(),
             Format::Binary => self.next_binary(),
         };
-        if matches!(item, Some(Err(_)) | None) {
-            // Stop after the first error or at EOF.
-            self.done = true;
+        match &item {
+            None => self.done = true,
+            // Stop after the first error unless the reader is resilient
+            // and the stream is still at a record boundary.
+            Some(Err(e)) if self.fail_fast || !error_is_resumable(e) => self.done = true,
+            _ => {}
         }
         item
     }
@@ -354,6 +395,50 @@ mod tests {
             other => panic!("expected an encode error, got {other:?}"),
         }
         assert_eq!(w.written(), 0, "failed writes are not counted");
+    }
+
+    #[test]
+    fn resilient_text_reader_skips_corrupt_lines() {
+        let records = sample_records(2);
+        let mut buf = Vec::new();
+        write_all(&mut buf, Format::Text, &records[..1]).unwrap();
+        buf.extend_from_slice(b"garbage line\n");
+        write_all(&mut buf, Format::Text, &records[1..]).unwrap();
+
+        let items: Vec<_> = LogReader::text(&buf[..]).resilient().collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_ref().unwrap(), &records[0]);
+        assert!(items[1].is_err());
+        assert_eq!(items[2].as_ref().unwrap(), &records[1]);
+    }
+
+    #[test]
+    fn resilient_binary_reader_skips_bad_frames() {
+        let records = sample_records(3);
+        let mut buf = Vec::new();
+        write_all(&mut buf, Format::Binary, &records).unwrap();
+        // Clobber the format byte of the second frame (frame length =
+        // fixed part + UA bytes; offset 19 within the frame).
+        let frame_len = buf.len() / 3;
+        buf[frame_len + 19] = 200;
+
+        let items: Vec<_> = LogReader::binary(&buf[..]).resilient().collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_ref().unwrap(), &records[0]);
+        assert!(items[1].is_err());
+        assert_eq!(items[2].as_ref().unwrap(), &records[2]);
+    }
+
+    #[test]
+    fn resilient_reader_still_stops_on_truncation() {
+        let records = sample_records(2);
+        let mut buf = Vec::new();
+        write_all(&mut buf, Format::Binary, &records).unwrap();
+        buf.truncate(buf.len() - 3);
+        let items: Vec<_> = LogReader::binary(&buf[..]).resilient().collect();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].is_ok());
+        assert!(items[1].is_err(), "truncated tail is a terminal error");
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub use ids::{ObjectId, PopId, PublisherId, UserId};
 pub use io::{LogReader, LogWriter};
 pub use record::LogRecord;
 pub use request::{Request, RequestKind};
-pub use shard::ShardedWriter;
-pub use status::{CacheStatus, HttpStatus};
+pub use shard::{ErrorBudget, QuarantineReport, ShardedWriter};
+pub use status::{CacheStatus, DegradedServe, HttpStatus};

@@ -2,7 +2,7 @@
 
 use crate::content::FileFormat;
 use crate::ids::{ObjectId, PopId, PublisherId, UserId};
-use crate::status::{CacheStatus, HttpStatus};
+use crate::status::{CacheStatus, DegradedServe, HttpStatus};
 use crate::ContentClass;
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +49,14 @@ pub struct LogRecord {
     /// Coarse client UTC offset in seconds (from pre-anonymization
     /// geolocation), used for local-time analyses such as Figure 3.
     pub tz_offset_secs: i32,
+    /// Degradation path taken by fault handling, if any
+    /// ([`DegradedServe::None`] for healthy serves).
+    #[serde(default)]
+    pub degraded: DegradedServe,
+    /// Origin retry attempts spent on this response beyond the first
+    /// (0 for hits and for first-try fetches).
+    #[serde(default)]
+    pub retries: u8,
 }
 
 impl LogRecord {
@@ -90,6 +98,8 @@ impl LogRecord {
             status: HttpStatus::PARTIAL_CONTENT,
             pop: PopId::new(3),
             tz_offset_secs: -5 * 3600,
+            degraded: DegradedServe::None,
+            retries: 0,
         }
     }
 }

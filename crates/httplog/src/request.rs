@@ -9,7 +9,7 @@ use crate::content::FileFormat;
 use crate::geo::Region;
 use crate::ids::{ObjectId, PublisherId, UserId};
 use crate::record::LogRecord;
-use crate::status::{CacheStatus, HttpStatus};
+use crate::status::{CacheStatus, DegradedServe, HttpStatus};
 use crate::{ContentClass, PopId};
 use serde::{Deserialize, Serialize};
 
@@ -77,14 +77,35 @@ impl Request {
         self.format.class()
     }
 
-    /// Finalizes this request into a [`LogRecord`] with the response fields
-    /// decided by the serving edge.
+    /// Finalizes this request into a healthy [`LogRecord`] with the
+    /// response fields decided by the serving edge.
     pub fn into_record(
         self,
         pop: PopId,
         cache_status: CacheStatus,
         status: HttpStatus,
         bytes_served: u64,
+    ) -> LogRecord {
+        self.into_record_degraded(
+            pop,
+            cache_status,
+            status,
+            bytes_served,
+            DegradedServe::None,
+            0,
+        )
+    }
+
+    /// Finalizes this request into a [`LogRecord`] carrying the fault
+    /// model's degradation outcome and origin retry count.
+    pub fn into_record_degraded(
+        self,
+        pop: PopId,
+        cache_status: CacheStatus,
+        status: HttpStatus,
+        bytes_served: u64,
+        degraded: DegradedServe,
+        retries: u8,
     ) -> LogRecord {
         LogRecord {
             timestamp: self.timestamp,
@@ -99,6 +120,8 @@ impl Request {
             status,
             pop,
             tz_offset_secs: self.tz_offset_secs,
+            degraded,
+            retries,
         }
     }
 
@@ -142,6 +165,22 @@ mod tests {
         assert_eq!(rec.bytes_served, 2_000_000);
         assert_eq!(rec.status, HttpStatus::PARTIAL_CONTENT);
         assert_eq!(rec.tz_offset_secs, req.tz_offset_secs);
+        assert_eq!(rec.degraded, DegradedServe::None);
+        assert_eq!(rec.retries, 0);
+    }
+
+    #[test]
+    fn into_record_degraded_carries_fault_fields() {
+        let rec = Request::example().into_record_degraded(
+            PopId::new(2),
+            CacheStatus::Hit,
+            HttpStatus::PARTIAL_CONTENT,
+            2_000_000,
+            DegradedServe::Stale,
+            3,
+        );
+        assert_eq!(rec.degraded, DegradedServe::Stale);
+        assert_eq!(rec.retries, 3);
     }
 
     #[test]

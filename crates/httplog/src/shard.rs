@@ -124,20 +124,8 @@ impl ShardedWriter {
     }
 }
 
-/// Reads every `<prefix>-*.{log,bin}` shard in `dir` and k-way-merges them
-/// into one stream ordered by timestamp.
-///
-/// Each shard must itself be timestamp-ordered (which [`ShardedWriter`]
-/// guarantees for a time-ordered input, and CDN dumps guarantee per file).
-///
-/// # Errors
-///
-/// Propagates IO/decode errors from any shard.
-pub fn read_merged(
-    dir: &Path,
-    prefix: &str,
-    format: Format,
-) -> Result<Vec<LogRecord>, HttplogError> {
+/// Lists the `<prefix>-*.{log,bin}` shard files of `dir`, sorted by name.
+fn shard_files(dir: &Path, prefix: &str, format: Format) -> Result<Vec<PathBuf>, HttplogError> {
     let ext = match format {
         Format::Text => "log",
         Format::Binary => "bin",
@@ -152,35 +140,53 @@ pub fn read_merged(
         })
         .collect();
     paths.sort();
+    Ok(paths)
+}
 
+/// K-way-merge heap entry: the next record of one shard. Ordered reversed
+/// on `(timestamp, source)` because [`BinaryHeap`] is a max-heap.
+struct Head {
+    timestamp: u64,
+    source: usize,
+    record: LogRecord,
+}
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        (self.timestamp, self.source) == (other.timestamp, other.source)
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.timestamp, other.source).cmp(&(self.timestamp, self.source))
+    }
+}
+
+/// Reads every `<prefix>-*.{log,bin}` shard in `dir` and k-way-merges them
+/// into one stream ordered by timestamp.
+///
+/// Each shard must itself be timestamp-ordered (which [`ShardedWriter`]
+/// guarantees for a time-ordered input, and CDN dumps guarantee per file).
+///
+/// # Errors
+///
+/// Propagates IO/decode errors from any shard. For inputs that may contain
+/// corrupt records, see [`read_merged_lossy`].
+pub fn read_merged(
+    dir: &Path,
+    prefix: &str,
+    format: Format,
+) -> Result<Vec<LogRecord>, HttplogError> {
+    let paths = shard_files(dir, prefix, format)?;
     let mut readers: Vec<LogReader<File>> = paths
         .iter()
         .map(|p| Ok(LogReader::new(File::open(p)?, format)))
         .collect::<Result<_, HttplogError>>()?;
-
-    // K-way merge on (timestamp, reader index) via a min-heap.
-    struct Head {
-        timestamp: u64,
-        source: usize,
-        record: LogRecord,
-    }
-    impl PartialEq for Head {
-        fn eq(&self, other: &Self) -> bool {
-            (self.timestamp, self.source) == (other.timestamp, other.source)
-        }
-    }
-    impl Eq for Head {}
-    impl PartialOrd for Head {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Head {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reversed: BinaryHeap is a max-heap.
-            (other.timestamp, other.source).cmp(&(self.timestamp, self.source))
-        }
-    }
 
     let mut heap = BinaryHeap::new();
     for (source, reader) in readers.iter_mut().enumerate() {
@@ -206,6 +212,139 @@ pub fn read_merged(
         }
     }
     Ok(out)
+}
+
+/// Error budget for [`read_merged_lossy`]: how many corrupt records may be
+/// quarantined before the read aborts, and how many of them are sampled
+/// verbatim into the [`QuarantineReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorBudget {
+    /// Maximum corrupt/truncated records tolerated across all shards.
+    pub max_quarantined: u64,
+    /// How many quarantined records to describe in the report.
+    pub max_samples: usize,
+}
+
+impl ErrorBudget {
+    /// A budget tolerating `max_quarantined` bad records (8 sampled).
+    pub fn new(max_quarantined: u64) -> Self {
+        Self {
+            max_quarantined,
+            max_samples: 8,
+        }
+    }
+
+    /// Sets the number of sampled diagnostics (builder-style).
+    pub fn with_samples(mut self, max_samples: usize) -> Self {
+        self.max_samples = max_samples;
+        self
+    }
+}
+
+impl Default for ErrorBudget {
+    fn default() -> Self {
+        Self::new(1_000)
+    }
+}
+
+/// What a lossy merged read quarantined: the number of corrupt/truncated
+/// records skipped, and the first few diagnostics (shard path + decode
+/// error).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Corrupt/truncated records skipped.
+    pub quarantined: u64,
+    /// First-N diagnostics, one per sampled bad record.
+    pub samples: Vec<String>,
+}
+
+impl QuarantineReport {
+    /// Whether anything was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined == 0
+    }
+}
+
+/// Pulls the next decodable record from one shard, quarantining corrupt
+/// ones under the budget. `Ok(None)` means the shard is exhausted.
+fn next_good(
+    reader: &mut LogReader<File>,
+    path: &Path,
+    budget: ErrorBudget,
+    report: &mut QuarantineReport,
+) -> Result<Option<LogRecord>, HttplogError> {
+    loop {
+        match reader.next() {
+            None => return Ok(None),
+            Some(Ok(record)) => return Ok(Some(record)),
+            Some(Err(e)) if e.is_data_error() => {
+                report.quarantined += 1;
+                if report.samples.len() < budget.max_samples {
+                    report.samples.push(format!("{}: {e}", path.display()));
+                }
+                if report.quarantined > budget.max_quarantined {
+                    return Err(HttplogError::ErrorBudgetExceeded {
+                        quarantined: report.quarantined,
+                        budget: budget.max_quarantined,
+                    });
+                }
+                // A terminal data error (truncated tail) ends the shard;
+                // the next iteration observes `None`.
+            }
+            Some(Err(e)) => return Err(e),
+        }
+    }
+}
+
+/// Like [`read_merged`], but quarantines corrupt/truncated records instead
+/// of aborting the whole merge: each bad record is counted (and the first
+/// few sampled) in the returned [`QuarantineReport`], and the merge
+/// continues from the next record boundary.
+///
+/// # Errors
+///
+/// [`HttplogError::ErrorBudgetExceeded`] once more than
+/// `budget.max_quarantined` records have been skipped — a shard set that
+/// corrupt is more likely misconfigured than damaged — and
+/// [`HttplogError::Io`] for environment failures, which are never
+/// quarantined.
+pub fn read_merged_lossy(
+    dir: &Path,
+    prefix: &str,
+    format: Format,
+    budget: ErrorBudget,
+) -> Result<(Vec<LogRecord>, QuarantineReport), HttplogError> {
+    let paths = shard_files(dir, prefix, format)?;
+    let mut readers: Vec<LogReader<File>> = paths
+        .iter()
+        .map(|p| Ok(LogReader::new(File::open(p)?, format).resilient()))
+        .collect::<Result<_, HttplogError>>()?;
+
+    let mut report = QuarantineReport::default();
+    let mut heap = BinaryHeap::new();
+    for (source, reader) in readers.iter_mut().enumerate() {
+        if let Some(record) = next_good(reader, &paths[source], budget, &mut report)? {
+            heap.push(Head {
+                timestamp: record.timestamp,
+                source,
+                record,
+            });
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(head) = heap.pop() {
+        out.push(head.record);
+        let source = head.source;
+        if let Some(record) = next_good(&mut readers[source], &paths[source], budget, &mut report)?
+        {
+            heap.push(Head {
+                timestamp: record.timestamp,
+                source,
+                record,
+            });
+        }
+    }
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -329,6 +468,125 @@ mod tests {
         std::fs::write(dir.join("access-notes.txt"), "wrong extension").unwrap();
         let merged = read_merged(&dir, "access", Format::Text).expect("merge");
         assert_eq!(merged, input);
+    }
+
+    #[test]
+    fn lossy_merge_quarantines_corrupt_lines() {
+        let dir = tmp("lossy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = records(5);
+        let mut writer =
+            ShardedWriter::new(&dir, "access", Format::Text, 1_000_000).expect("create writer");
+        for r in &input {
+            writer.write(r).expect("write");
+        }
+        writer.finish().expect("flush");
+        // A later shard holding one good record sandwiched by garbage.
+        let good = crate::codec::text::encode(&LogRecord {
+            timestamp: 999_000,
+            ..LogRecord::example()
+        });
+        std::fs::write(
+            dir.join("access-000001.log"),
+            format!("bad\trecord\n{good}\nanother bad one\n"),
+        )
+        .unwrap();
+
+        // Strict merge aborts …
+        assert!(read_merged(&dir, "access", Format::Text).is_err());
+        // … lossy merge quarantines and keeps every good record.
+        let (merged, report) =
+            read_merged_lossy(&dir, "access", Format::Text, ErrorBudget::default())
+                .expect("lossy merge");
+        assert_eq!(merged.len(), input.len() + 1);
+        assert!(merged.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert_eq!(report.quarantined, 2);
+        assert!(!report.is_clean());
+        assert_eq!(report.samples.len(), 2);
+        assert!(report.samples[0].contains("access-000001.log"));
+    }
+
+    #[test]
+    fn lossy_merge_respects_error_budget() {
+        let dir = tmp("lossy-budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("access-000000.log"), "bad\nworse\nawful\n").unwrap();
+        let err = read_merged_lossy(&dir, "access", Format::Text, ErrorBudget::new(2))
+            .expect_err("budget of 2 cannot absorb 3 bad records");
+        match err {
+            HttplogError::ErrorBudgetExceeded {
+                quarantined,
+                budget,
+            } => {
+                assert_eq!(quarantined, 3);
+                assert_eq!(budget, 2);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_merge_sample_cap() {
+        let dir = tmp("lossy-samples");
+        std::fs::create_dir_all(&dir).unwrap();
+        let garbage = "bad line\n".repeat(10);
+        std::fs::write(dir.join("access-000000.log"), garbage).unwrap();
+        let (merged, report) = read_merged_lossy(
+            &dir,
+            "access",
+            Format::Text,
+            ErrorBudget::new(100).with_samples(3),
+        )
+        .expect("within budget");
+        assert!(merged.is_empty());
+        assert_eq!(report.quarantined, 10);
+        assert_eq!(report.samples.len(), 3, "samples are capped");
+    }
+
+    #[test]
+    fn lossy_merge_quarantines_truncated_binary_tail() {
+        let dir = tmp("lossy-truncated");
+        let input = records(6);
+        let mut writer =
+            ShardedWriter::new(&dir, "edge", Format::Binary, 3_000).expect("create writer");
+        for r in &input {
+            writer.write(r).expect("write");
+        }
+        writer.finish().expect("flush");
+        // Truncate the last shard mid-frame.
+        let paths = shard_files(&dir, "edge", Format::Binary).unwrap();
+        let last = paths.last().expect("shards exist");
+        let bytes = std::fs::read(last).unwrap();
+        std::fs::write(last, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (merged, report) =
+            read_merged_lossy(&dir, "edge", Format::Binary, ErrorBudget::default())
+                .expect("lossy merge");
+        assert_eq!(
+            merged.len(),
+            input.len() - 1,
+            "only the clipped tail is lost"
+        );
+        assert_eq!(report.quarantined, 1);
+        assert!(report.samples[0].contains("truncated"));
+    }
+
+    #[test]
+    fn lossy_merge_on_clean_input_matches_strict() {
+        let dir = tmp("lossy-clean");
+        let input = records(12);
+        let mut writer =
+            ShardedWriter::new(&dir, "access", Format::Text, 3_600).expect("create writer");
+        for r in &input {
+            writer.write(r).expect("write");
+        }
+        writer.finish().expect("flush");
+        let strict = read_merged(&dir, "access", Format::Text).expect("strict");
+        let (lossy, report) =
+            read_merged_lossy(&dir, "access", Format::Text, ErrorBudget::default()).expect("lossy");
+        assert_eq!(strict, lossy);
+        assert!(report.is_clean());
+        assert!(report.samples.is_empty());
     }
 
     #[test]

@@ -44,6 +44,82 @@ impl std::fmt::Display for CacheStatus {
     }
 }
 
+/// How fault handling degraded a response, if at all.
+///
+/// Healthy serves carry [`DegradedServe::None`]; the other variants mark
+/// the graceful-degradation paths of the CDN simulator's fault model
+/// (DESIGN.md "Fault model & degradation semantics"). The log-format
+/// token is `-` for healthy serves so that healthy logs stay visually
+/// unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DegradedServe {
+    /// Healthy serve: no fault handling was involved.
+    #[default]
+    None,
+    /// Served by a healthy sibling PoP while the routed PoP was down.
+    Failover,
+    /// Served from a cached copy without origin revalidation
+    /// (stale-while-revalidate during an origin brownout).
+    Stale,
+    /// Load-shed or origin-unreachable: answered `503` without a body.
+    Shed,
+}
+
+impl DegradedServe {
+    /// The log-format token (`-` / `FAILOVER` / `STALE` / `SHED`).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            DegradedServe::None => "-",
+            DegradedServe::Failover => "FAILOVER",
+            DegradedServe::Stale => "STALE",
+            DegradedServe::Shed => "SHED",
+        }
+    }
+
+    /// Parses a log-format token.
+    pub fn from_str_token(s: &str) -> Option<Self> {
+        match s {
+            "-" => Some(DegradedServe::None),
+            "FAILOVER" => Some(DegradedServe::Failover),
+            "STALE" => Some(DegradedServe::Stale),
+            "SHED" => Some(DegradedServe::Shed),
+            _ => None,
+        }
+    }
+
+    /// Compact wire code for the binary codec.
+    pub const fn code(self) -> u8 {
+        match self {
+            DegradedServe::None => 0,
+            DegradedServe::Failover => 1,
+            DegradedServe::Stale => 2,
+            DegradedServe::Shed => 3,
+        }
+    }
+
+    /// Inverse of [`DegradedServe::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(DegradedServe::None),
+            1 => Some(DegradedServe::Failover),
+            2 => Some(DegradedServe::Stale),
+            3 => Some(DegradedServe::Shed),
+            _ => None,
+        }
+    }
+
+    /// Whether any degradation path was taken.
+    pub const fn is_degraded(self) -> bool {
+        !matches!(self, DegradedServe::None)
+    }
+}
+
+impl std::fmt::Display for DegradedServe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// An HTTP response status code.
 ///
 /// A thin validated wrapper over the numeric code. The paper's Figure 16
@@ -80,6 +156,9 @@ impl HttpStatus {
     pub const NOT_FOUND: HttpStatus = HttpStatus(404);
     /// `416 Range Not Satisfiable`.
     pub const RANGE_NOT_SATISFIABLE: HttpStatus = HttpStatus(416);
+    /// `503 Service Unavailable` (load shedding / failed origin fetch
+    /// under the fault model).
+    pub const SERVICE_UNAVAILABLE: HttpStatus = HttpStatus(503);
 
     /// The codes the paper's Figure 16 reports, in x-axis order.
     pub const FIGURE_16: [HttpStatus; 6] = [
@@ -216,5 +295,32 @@ mod tests {
     fn error_display() {
         let e = HttpStatus::new(42).unwrap_err();
         assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn service_unavailable_is_bodyless_server_error() {
+        let s = HttpStatus::SERVICE_UNAVAILABLE;
+        assert_eq!(s.code(), 503);
+        assert!(!s.carries_body());
+        assert!(!s.is_success());
+    }
+
+    #[test]
+    fn degraded_serve_tokens_round_trip() {
+        for d in [
+            DegradedServe::None,
+            DegradedServe::Failover,
+            DegradedServe::Stale,
+            DegradedServe::Shed,
+        ] {
+            assert_eq!(DegradedServe::from_str_token(d.as_str()), Some(d));
+            assert_eq!(DegradedServe::from_code(d.code()), Some(d));
+        }
+        assert_eq!(DegradedServe::from_str_token("stale"), None);
+        assert_eq!(DegradedServe::from_code(9), None);
+        assert_eq!(DegradedServe::default(), DegradedServe::None);
+        assert!(!DegradedServe::None.is_degraded());
+        assert!(DegradedServe::Shed.is_degraded());
+        assert_eq!(DegradedServe::Failover.to_string(), "FAILOVER");
     }
 }

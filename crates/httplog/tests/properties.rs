@@ -4,45 +4,57 @@ use bytes::BytesMut;
 use oat_httplog::codec::{binary, text};
 use oat_httplog::io::{read_all, write_all, Format};
 use oat_httplog::{
-    Anonymizer, CacheStatus, FileFormat, HttpStatus, LogRecord, ObjectId, PopId, PublisherId,
-    UserId,
+    Anonymizer, CacheStatus, DegradedServe, FileFormat, HttpStatus, LogRecord, ObjectId, PopId,
+    PublisherId, UserId,
 };
 use proptest::prelude::*;
 
 fn record_strategy() -> impl Strategy<Value = LogRecord> {
     (
-        any::<u64>(),
-        any::<u16>(),
-        any::<u64>(),
-        0usize..FileFormat::ALL.len(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        // UA strings including escapes and unicode.
-        "[ -~\\t\\n\\\\éλ]{0,120}",
-        any::<bool>(),
-        100u16..=599,
-        any::<u16>(),
-        -14 * 3600i32..=14 * 3600,
+        (
+            any::<u64>(),
+            any::<u16>(),
+            any::<u64>(),
+            0usize..FileFormat::ALL.len(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            // UA strings including escapes and unicode.
+            "[ -~\\t\\n\\\\éλ]{0,120}",
+            any::<bool>(),
+            100u16..=599,
+            any::<u16>(),
+            -14 * 3600i32..=14 * 3600,
+        ),
+        0u8..=3,
+        any::<u8>(),
     )
         .prop_map(
-            |(ts, pubid, obj, fmt, size, served, user, ua, hit, status, pop, tz)| LogRecord {
-                timestamp: ts,
-                publisher: PublisherId::new(pubid),
-                object: ObjectId::new(obj),
-                format: FileFormat::ALL[fmt],
-                object_size: size,
-                bytes_served: served,
-                user: UserId::new(user),
-                user_agent: ua,
-                cache_status: if hit {
-                    CacheStatus::Hit
-                } else {
-                    CacheStatus::Miss
-                },
-                status: HttpStatus::new(status).expect("status in range"),
-                pop: PopId::new(pop),
-                tz_offset_secs: tz,
+            |(
+                (ts, pubid, obj, fmt, size, served, user, ua, hit, status, pop, tz),
+                deg,
+                retries,
+            )| {
+                LogRecord {
+                    timestamp: ts,
+                    publisher: PublisherId::new(pubid),
+                    object: ObjectId::new(obj),
+                    format: FileFormat::ALL[fmt],
+                    object_size: size,
+                    bytes_served: served,
+                    user: UserId::new(user),
+                    user_agent: ua,
+                    cache_status: if hit {
+                        CacheStatus::Hit
+                    } else {
+                        CacheStatus::Miss
+                    },
+                    status: HttpStatus::new(status).expect("status in range"),
+                    pop: PopId::new(pop),
+                    tz_offset_secs: tz,
+                    degraded: DegradedServe::from_code(deg).expect("code in range"),
+                    retries,
+                }
             },
         )
 }
