@@ -1,0 +1,91 @@
+//! Out-of-core columnar path throughput: spool write, zone-pruned scan,
+//! and bounded-memory replay vs. their in-memory equivalents.
+//!
+//! The interesting comparison is records/s at constant (bounded) memory:
+//! the columnar reader re-reads from disk each pass where the in-memory
+//! path folds over a resident `Vec`, so the delta bounds the out-of-core
+//! tax paid per multi-pass analyzer. Peak RSS is outside criterion's
+//! scope: check it with `repro bench scale --max-rss-mb N`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oat_cdnsim::{SimConfig, Simulator};
+use oat_httplog::{ColumnarDirReader, ColumnarDirWriter, Request, ShardFilter};
+use oat_workload::{generate_with, GenOptions, TraceConfig};
+
+fn bench_columnar(c: &mut Criterion) {
+    let config = TraceConfig::paper_week()
+        .with_scale(0.01)
+        .with_catalog_scale(0.02);
+    let requests = generate_with(&config, &GenOptions::default())
+        .expect("valid")
+        .requests;
+    let n = requests.len() as u64;
+    let dir = std::env::temp_dir().join(format!("oat-bench-columnar-{}", std::process::id()));
+
+    let mut group = c.benchmark_group("columnar");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("spool_write_1pct_week", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut writer =
+                ColumnarDirWriter::<Request>::new(&dir, "req", 1 << 20).expect("create");
+            writer.push_batch(&requests).expect("spool");
+            writer.finish().expect("finish")
+        })
+    });
+
+    // One spool for the read-side benches.
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = ColumnarDirWriter::<Request>::new(&dir, "req", 1 << 20).expect("create");
+    writer.push_batch(&requests).expect("spool");
+    writer.finish().expect("finish");
+    let reader = ColumnarDirReader::<Request>::open(&dir, "req").expect("open");
+
+    group.bench_function("scan_full_1pct_week", |b| {
+        b.iter(|| {
+            let mut rows = 0u64;
+            reader
+                .scan(&ShardFilter::all(), 0, |batch| rows += batch.len() as u64)
+                .expect("scan");
+            rows
+        })
+    });
+
+    let mid = config.start_unix + config.duration_secs / 2;
+    group.bench_function("scan_zone_pruned_half_week", |b| {
+        b.iter(|| {
+            let mut rows = 0u64;
+            reader
+                .scan(&ShardFilter::all().with_time(mid..u64::MAX), 0, |batch| {
+                    rows += batch.len() as u64
+                })
+                .expect("scan");
+            rows
+        })
+    });
+
+    group.bench_function("replay_columnar_1pct_week", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(&SimConfig::default_edge());
+            let mut records = 0u64;
+            sim.replay_columnar(&reader, 0, |batch| records += batch.len() as u64)
+                .expect("replay");
+            records
+        })
+    });
+
+    group.bench_function("replay_in_memory_1pct_week", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(&SimConfig::default_edge());
+            sim.replay(requests.clone()).len() as u64
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_columnar);
+criterion_main!(benches);

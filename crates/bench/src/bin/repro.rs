@@ -101,6 +101,9 @@ struct Options {
     sweep_threads: usize,
     faults: Option<std::path::PathBuf>,
     fault_seed: Option<u64>,
+    columnar: Option<std::path::PathBuf>,
+    max_rss_mb: Option<u64>,
+    bench_scale: bool,
 }
 
 impl Default for Options {
@@ -120,6 +123,9 @@ impl Default for Options {
             sweep_threads: 0,
             faults: None,
             fault_seed: None,
+            columnar: None,
+            max_rss_mb: None,
+            bench_scale: false,
         }
     }
 }
@@ -184,6 +190,21 @@ fn parse_args() -> Result<Options, String> {
                 opts.fault_seed = Some(v.parse().map_err(|_| format!("bad fault seed {v:?}"))?);
             }
             "--stream" => opts.stream = true,
+            "--columnar" => {
+                let v = args.next().ok_or("--columnar needs a directory")?;
+                opts.columnar = Some(std::path::PathBuf::from(v));
+            }
+            "--max-rss-mb" => {
+                let v = args.next().ok_or("--max-rss-mb needs a MiB cap")?;
+                opts.max_rss_mb = Some(v.parse().map_err(|_| format!("bad RSS cap {v:?}"))?);
+            }
+            "bench" => {
+                let sub = args.next().ok_or("bench needs a subcommand (scale)")?;
+                if sub != "scale" {
+                    return Err(format!("unknown bench subcommand {sub:?} (expected scale)"));
+                }
+                opts.bench_scale = true;
+            }
             "--shard-size" => {
                 let v = args
                     .next()
@@ -192,25 +213,36 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--all] [--fig N]... [--ablation NAME] \
+                    "usage: repro [bench scale] [--all] [--fig N]... [--ablation NAME] \
                      [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] \
                      [--csv-dir DIR] [--threads N] [--sweep-threads N] [--stream] [--shard-size N] \
+                     [--columnar DIR] [--max-rss-mb N] \
                      [--faults PLAN.toml] [--fault-seed N]\n\
+                     bench scale: out-of-core throughput benchmark — generates a columnar \
+                     request spool, replays + analyzes it in bounded batches, and writes \
+                     BENCH_scale.json (records/sec generate, records/sec analyze, peak RSS)\n\
                      ablations: cache-policy tiered-cache push incognito ttl cooperative parent-tier dtw\n\
                      --threads: generation + DTW matrix worker threads (0 = all cores); \
                      results are bit-identical at any setting\n\
                      --sweep-threads: configuration-grid worker threads for the cache \
                      ablations (0 = all cores); results are identical at any setting\n\
                      --stream: pipeline generate -> replay -> analyze through bounded \
-                     batches (one retained record copy instead of three) — same result\n\
+                     batches with records spooled to columnar shards on disk (no retained \
+                     in-memory copy) — same result\n\
                      --shard-size: users per generation shard (0 = default); any value \
                      yields the identical trace\n\
+                     --columnar: directory for columnar shard spools (bench scale's request \
+                     spool, or --stream's record spool base); default = system temp; an \
+                     existing bench-scale spool is reused, skipping generation\n\
+                     --max-rss-mb: exit 3 if the process's peak RSS (VmHWM) exceeded this \
+                     many MiB by the end of the run\n\
                      --faults: deterministic fault-injection plan (TOML; window times are \
                      seconds from trace start); adds the availability section\n\
                      --fault-seed: derive an exercise-everything fault plan from a seed \
                      instead of a file\n\
-                     exit codes: 0 ok; 1 export failure; 2 usage error; 130 interrupted \
-                     (partial report flushed); killed by SIGPIPE when stdout closes early"
+                     exit codes: 0 ok; 1 export/bench failure; 2 usage error; 3 RSS cap \
+                     exceeded; 130 interrupted (partial report flushed); killed by SIGPIPE \
+                     when stdout closes early"
                 );
                 std::process::exit(0);
             }
@@ -233,9 +265,20 @@ fn main() {
         }
     };
 
+    if opts.bench_scale {
+        if let Err(e) = run_bench_scale(&opts) {
+            eprintln!("repro: bench scale failed: {e}");
+            std::process::exit(1);
+        }
+        checkpoint_interrupt();
+        enforce_rss_cap(&opts);
+        return;
+    }
+
     if let Some(name) = &opts.ablation {
         run_ablation(name, &opts);
         checkpoint_interrupt();
+        enforce_rss_cap(&opts);
         return;
     }
 
@@ -263,6 +306,156 @@ fn main() {
             }
         }
     }
+    enforce_rss_cap(&opts);
+}
+
+/// Peak resident-set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`); `None` where procfs is unavailable.
+fn peak_rss_mb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024)
+}
+
+/// Enforces `--max-rss-mb`: exits `3` if the process's peak RSS exceeded
+/// the cap. A platform without procfs reports and passes.
+fn enforce_rss_cap(opts: &Options) {
+    let Some(cap) = opts.max_rss_mb else {
+        return;
+    };
+    match peak_rss_mb() {
+        Some(peak) if peak > cap => {
+            eprintln!("repro: peak RSS {peak} MiB exceeds --max-rss-mb {cap}");
+            std::process::exit(3);
+        }
+        Some(peak) => eprintln!("repro: peak RSS {peak} MiB within --max-rss-mb {cap}"),
+        None => eprintln!("repro: --max-rss-mb set but peak RSS is unavailable here"),
+    }
+}
+
+/// `repro bench scale`: generates a columnar request spool out-of-core,
+/// then replays + analyzes it (popularity, sessions, availability) in
+/// bounded batches, and writes throughput + peak RSS to
+/// `BENCH_scale.json` so the perf trajectory is tracked per PR.
+///
+/// When `--columnar DIR` already holds a spool, generation is skipped and
+/// the existing shards are replayed. Trace generation k-way merges whole
+/// per-shard runs in memory, so its peak RSS scales with the trace; the
+/// analyze side is the bounded-memory invariant, and reusing a spool lets
+/// a fresh process measure it alone (`generate_secs`/`generate_rps` are
+/// `null` in the JSON for that run).
+fn run_bench_scale(opts: &Options) -> Result<(), String> {
+    use oat_core::analyzers::availability::AvailabilityAnalyzer;
+    use oat_core::analyzers::popularity::PopularityAnalyzer;
+    use oat_core::analyzers::sessions::SessionAnalyzer;
+    use oat_core::analyzers::Analyzer as _;
+    use oat_httplog::{ColumnarDirReader, Request};
+    use oat_workload::{generate_columnar, GenOptions};
+
+    let mut config = ExperimentConfig::small();
+    config.trace.scale = opts.scale;
+    config.trace.catalog_scale = opts.catalog_scale;
+    config.trace.seed = opts.seed;
+    config.sim.cache_capacity_bytes = opts
+        .capacity
+        .unwrap_or((64e9 * opts.catalog_scale).max(2e9) as u64);
+
+    let keep_spool = opts.columnar.is_some();
+    let dir = opts.columnar.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("oat-bench-scale-{}", std::process::id()))
+    });
+    let gen_opts = GenOptions {
+        threads: opts.threads,
+        shard_size: opts.shard_size,
+    };
+
+    let existing = if keep_spool {
+        ColumnarDirReader::<Request>::open(&dir, "req")
+            .ok()
+            .filter(|r| r.shards() > 0)
+    } else {
+        None
+    };
+    let (reader, rows, shards, generate_secs) = match existing {
+        Some(reader) => {
+            let rows = reader.rows().map_err(|e| format!("spool rows: {e}"))?;
+            let shards = reader.shards() as u64;
+            eprintln!(
+                "bench scale: reusing columnar spool in {} (skipping generation)",
+                dir.display()
+            );
+            (reader, rows, shards, None)
+        }
+        None => {
+            eprintln!(
+                "bench scale: generating columnar request spool in {}",
+                dir.display()
+            );
+            let gen_start = std::time::Instant::now();
+            let trace = generate_columnar(&config.trace, &gen_opts, 0, &dir, "req", 0)
+                .map_err(|e| format!("generate: {e}"))?;
+            let generate_secs = gen_start.elapsed().as_secs_f64();
+            let reader = trace.reader().map_err(|e| format!("open spool: {e}"))?;
+            (reader, trace.rows, trace.shards, Some(generate_secs))
+        }
+    };
+    checkpoint_interrupt();
+
+    let map = oat_core::SiteMap::from_profiles(&config.trace.sites);
+    let simulator = Simulator::new(&config.sim);
+    let mut popularity = PopularityAnalyzer::new(map.clone());
+    let mut sessions = SessionAnalyzer::new(map.clone());
+    let mut availability = AvailabilityAnalyzer::new(map);
+
+    eprintln!("bench scale: replaying + analyzing {rows} records from {shards} shards");
+    let analyze_start = std::time::Instant::now();
+    let replayed = simulator
+        .replay_columnar(&reader, 0, |records| {
+            popularity.observe_batch(&records);
+            sessions.observe_batch(&records);
+            availability.observe_batch(&records);
+        })
+        .map_err(|e| format!("replay: {e}"))?;
+    let analyze_secs = analyze_start.elapsed().as_secs_f64();
+    // The folds themselves are part of the measured work; the reports are
+    // summarized so the analysis cannot be optimized away.
+    let popularity = popularity.finish();
+    let sessions = sessions.finish();
+    let availability = availability.finish();
+    eprintln!(
+        "bench scale: {} popularity series, {} session series, healthy={}",
+        popularity.video.len() + popularity.image.len(),
+        sessions.sites.len(),
+        availability.is_healthy()
+    );
+    if !keep_spool {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let rps = |records: u64, secs: f64| records as f64 / secs.max(1e-9);
+    let peak = peak_rss_mb();
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"scale\": {},\n  \"catalog_scale\": {},\n  \
+         \"seed\": {},\n  \"records\": {},\n  \"spool_shards\": {},\n  \
+         \"generate_secs\": {},\n  \"generate_rps\": {},\n  \
+         \"analyze_secs\": {:.3},\n  \"analyze_rps\": {:.0},\n  \"peak_rss_mb\": {}\n}}\n",
+        opts.scale,
+        opts.catalog_scale,
+        opts.seed,
+        rows,
+        shards,
+        generate_secs.map_or("null".to_string(), |s| format!("{s:.3}")),
+        generate_secs.map_or("null".to_string(), |s| format!("{:.0}", rps(rows, s))),
+        analyze_secs,
+        rps(replayed, analyze_secs),
+        peak.map_or("null".to_string(), |mb| mb.to_string()),
+    );
+    std::fs::write("BENCH_scale.json", &json)
+        .map_err(|e| format!("write BENCH_scale.json: {e}"))?;
+    print!("{json}");
+    eprintln!("bench scale: wrote BENCH_scale.json");
+    Ok(())
 }
 
 fn run_experiment(opts: &Options) -> ExperimentResult {
@@ -292,6 +485,8 @@ fn run_experiment(opts: &Options) -> ExperimentResult {
             threads: opts.threads,
             shard_size: opts.shard_size,
             batch_size: 0,
+            spool_dir: opts.columnar.clone(),
+            rows_per_shard: 0,
         };
         oat_core::experiment::run_streaming(&config, &stream_opts).expect("valid config")
     } else {

@@ -6,7 +6,10 @@ use crate::faults::{splitmix64, FaultClock, FaultPlan};
 use crate::stats::ServeStats;
 use crate::topology::Topology;
 use oat_httplog::request::CHUNK_BYTES;
-use oat_httplog::{CacheStatus, DegradedServe, HttpStatus, LogRecord, PopId, Request, RequestKind};
+use oat_httplog::{
+    CacheStatus, ColumnarDirReader, DegradedServe, HttpStatus, HttplogError, LogRecord, PopId,
+    Request, RequestKind, ShardFilter,
+};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -752,6 +755,31 @@ impl Simulator {
         }
     }
 
+    /// Replays a columnar shard directory out-of-core, handing each batch
+    /// of finished records to `sink` as soon as it is served.
+    ///
+    /// Requests are streamed from disk `batch_rows` at a time (`0` picks the
+    /// reader's default), so peak memory is one request batch plus one
+    /// record batch regardless of trace size. Cache and statistics state
+    /// carries across batches exactly as in [`Simulator::replay_stream`]:
+    /// the concatenated sink output is identical to one
+    /// [`Simulator::replay`] over the whole materialized trace.
+    ///
+    /// Returns the number of requests replayed.
+    pub fn replay_columnar<F>(
+        &self,
+        reader: &ColumnarDirReader<Request>,
+        batch_rows: usize,
+        mut sink: F,
+    ) -> Result<u64, HttplogError>
+    where
+        F: FnMut(Vec<LogRecord>),
+    {
+        reader.scan(&ShardFilter::all(), batch_rows, |batch| {
+            sink(self.replay(batch.to_vec()));
+        })
+    }
+
     /// Pushes (prefetches) entries into *every* PoP cache — the paper's
     /// "push copies of popular objects closer to end-users" implication.
     pub fn preload<I>(&self, placements: I)
@@ -962,6 +990,42 @@ mod tests {
         stream_sim.replay_stream(batches, |records| streamed.extend(records));
         assert_eq!(whole, streamed);
         assert_eq!(batch_sim.stats(), stream_sim.stats());
+    }
+
+    #[test]
+    fn replay_columnar_matches_replay() {
+        use oat_httplog::ColumnarDirWriter;
+
+        let dir = std::env::temp_dir()
+            .join("oat-cdnsim-tests")
+            .join("replay-columnar");
+        let _ = std::fs::remove_dir_all(&dir);
+        let make = |n: u64| -> Vec<Request> {
+            (0..n)
+                .map(|i| {
+                    let mut r = request(i % 7, i % 13, i, RequestKind::Full);
+                    r.region = Region::ALL[(i % 4) as usize];
+                    r
+                })
+                .collect()
+        };
+        let mut writer = ColumnarDirWriter::new(&dir, "req", 128).expect("create writer");
+        writer.push_batch(&make(500)).expect("spool");
+        writer.finish().expect("finish");
+
+        let batch_sim = Simulator::new(&SimConfig::default_edge());
+        let whole = batch_sim.replay(make(500));
+
+        let reader = ColumnarDirReader::open(&dir, "req").expect("open dir");
+        let columnar_sim = Simulator::new(&SimConfig::default_edge());
+        let mut streamed = Vec::new();
+        let replayed = columnar_sim
+            .replay_columnar(&reader, 64, |records| streamed.extend(records))
+            .expect("replay columnar");
+        assert_eq!(replayed, 500);
+        assert_eq!(whole, streamed);
+        assert_eq!(batch_sim.stats(), columnar_sim.stats());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     fn mixed_trace(n: u64) -> Vec<Request> {

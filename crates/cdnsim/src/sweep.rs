@@ -34,7 +34,7 @@ use crate::mattson::MattsonCurve;
 use crate::simulator::{build_policy, serve_outcome, SimConfig, Simulator};
 use crate::stats::ServeStats;
 use crate::topology::Topology;
-use oat_httplog::Request;
+use oat_httplog::{ColumnarDirReader, HttplogError, Request, ShardFilter};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -227,6 +227,87 @@ impl<'a> Sweep<'a> {
         // which worker finished when.
         indexed.sort_by_key(|&(i, _)| i);
         indexed.into_iter().map(|(_, result)| result).collect()
+    }
+
+    /// Evaluates every configuration against a columnar shard directory,
+    /// streaming requests from disk instead of the in-memory trace.
+    ///
+    /// Each grid point replays the whole directory through
+    /// [`Simulator::replay_stats`] in bounded batches of `batch_rows`
+    /// requests (`0` picks the reader default), so peak memory per worker
+    /// is one request batch — independent of trace size. Statistics equal
+    /// [`Sweep::run`] over the materialized trace, point for point, and
+    /// results come back in grid order. The Mattson shortcut needs the
+    /// whole trace resident and is never taken here, so every point
+    /// reports [`SweepEngine::Replay`]; the trace slice this sweep was
+    /// constructed over is not consulted.
+    ///
+    /// The first shard-read error aborts the sweep.
+    pub fn run_columnar(
+        &self,
+        reader: &ColumnarDirReader<Request>,
+        configs: &[SimConfig],
+        batch_rows: usize,
+    ) -> Result<Vec<SweepResult>, HttplogError> {
+        let workers = resolve_threads(self.threads, configs.len());
+        let next = AtomicUsize::new(0);
+        let scope_result = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move |_| {
+                        let mut local: Vec<(usize, Result<SweepResult, HttplogError>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(config) = configs.get(i) else {
+                                break;
+                            };
+                            local.push((i, self.eval_columnar(config, reader, batch_rows)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut indexed = Vec::with_capacity(configs.len());
+            for handle in handles {
+                match handle.join() {
+                    Ok(mut results) => indexed.append(&mut results),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            indexed
+        });
+        let mut indexed = match scope_result {
+            Ok(results) => results,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, result)| result).collect()
+    }
+
+    /// Evaluates one grid point from disk: a fresh (optionally fault-aware)
+    /// simulator accumulates [`Simulator::replay_stats`] state across
+    /// streamed batches — caches and counters live in the simulator, and
+    /// fault windows key off request timestamps, so batch boundaries never
+    /// change the outcome.
+    fn eval_columnar(
+        &self,
+        config: &SimConfig,
+        reader: &ColumnarDirReader<Request>,
+        batch_rows: usize,
+    ) -> Result<SweepResult, HttplogError> {
+        let sim = match &self.faults {
+            Some(plan) => Simulator::new(config).with_faults(plan.clone()),
+            None => Simulator::new(config),
+        };
+        reader.scan(&ShardFilter::all(), batch_rows, |batch| {
+            sim.replay_stats(batch);
+        })?;
+        Ok(SweepResult {
+            config: config.clone(),
+            stats: sim.stats(),
+            engine: SweepEngine::Replay,
+        })
     }
 
     /// Evaluates one grid point.
@@ -434,6 +515,85 @@ mod tests {
         let b = Sweep::new(&requests).with_threads(1).run(&grid);
         assert_eq!(a, b);
         assert_eq!(a[0].engine, SweepEngine::Replay);
+    }
+
+    fn spool(name: &str, requests: &[Request]) -> (std::path::PathBuf, ColumnarDirReader<Request>) {
+        use oat_httplog::ColumnarDirWriter;
+        let dir = std::env::temp_dir().join("oat-sweep-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut writer = ColumnarDirWriter::new(&dir, "req", 96).expect("create writer");
+        writer.push_batch(requests).expect("spool");
+        writer.finish().expect("finish");
+        let reader = ColumnarDirReader::open(&dir, "req").expect("open dir");
+        (dir, reader)
+    }
+
+    #[test]
+    fn run_columnar_matches_run() {
+        let requests = trace(400);
+        let (dir, reader) = spool("matches-run", &requests);
+        // Mixed grid: a Mattson-eligible LRU point, a FIFO point, and an
+        // escalating cooperative point.
+        let grid = vec![
+            SimConfig::default_edge().with_capacity(3_000_000),
+            SimConfig::default_edge()
+                .with_policy(PolicyKind::Fifo)
+                .with_capacity(3_000_000),
+            SimConfig::default_edge()
+                .with_capacity(2_000_000)
+                .with_cooperative(),
+        ];
+        let in_memory = Sweep::new(&requests).run(&grid);
+        let columnar = Sweep::new(&requests)
+            .run_columnar(&reader, &grid, 64)
+            .expect("columnar sweep");
+        assert_eq!(columnar.len(), in_memory.len());
+        for (mem, col) in in_memory.iter().zip(&columnar) {
+            assert_eq!(mem.config, col.config);
+            assert_eq!(mem.stats, col.stats, "policy {}", mem.config.policy);
+            // The disk path never takes the Mattson shortcut.
+            assert_eq!(col.engine, SweepEngine::Replay);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_columnar_thread_count_does_not_change_results() {
+        let requests = trace(300);
+        let (dir, reader) = spool("threads", &requests);
+        let grid: Vec<SimConfig> = (1..=5u64)
+            .map(|i| SimConfig::default_edge().with_capacity(i * 1_500_000))
+            .collect();
+        let serial = Sweep::new(&requests)
+            .with_threads(1)
+            .run_columnar(&reader, &grid, 50)
+            .expect("serial");
+        for threads in [2, 4] {
+            let parallel = Sweep::new(&requests)
+                .with_threads(threads)
+                .run_columnar(&reader, &grid, 50)
+                .expect("parallel");
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_run_columnar_matches_run() {
+        let requests = trace(400);
+        let (dir, reader) = spool("faulted", &requests);
+        let plan = FaultPlan::sample(0xAB, 400, 4);
+        let grid: Vec<SimConfig> = [2_000_000u64, 8_000_000]
+            .iter()
+            .map(|&cap| SimConfig::default_edge().with_capacity(cap))
+            .collect();
+        let in_memory = Sweep::new(&requests).with_faults(plan.clone()).run(&grid);
+        let columnar = Sweep::new(&requests)
+            .with_faults(plan)
+            .run_columnar(&reader, &grid, 64)
+            .expect("columnar sweep");
+        assert_eq!(in_memory, columnar);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -128,6 +128,12 @@ impl AddictionAnalyzer {
 impl Analyzer for AddictionAnalyzer {
     type Output = AddictionReport;
 
+    // Cross-record state (not a pure incremental fold): the streaming
+    // pipeline replays this analyzer from the on-disk record spool.
+    fn needs_replay(&self) -> bool {
+        true
+    }
+
     fn observe(&mut self, record: &LogRecord) {
         let Some(site) = self.map.index(record.publisher) else {
             return;

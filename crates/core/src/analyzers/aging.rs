@@ -76,6 +76,12 @@ impl AgingAnalyzer {
 impl Analyzer for AgingAnalyzer {
     type Output = AgingReport;
 
+    // Cross-record state (not a pure incremental fold): the streaming
+    // pipeline replays this analyzer from the on-disk record spool.
+    fn needs_replay(&self) -> bool {
+        true
+    }
+
     fn observe(&mut self, record: &LogRecord) {
         let Some(site) = self.map.index(record.publisher) else {
             return;

@@ -102,6 +102,12 @@ impl CacheAnalyzer {
 impl Analyzer for CacheAnalyzer {
     type Output = CacheReport;
 
+    // Cross-record state (not a pure incremental fold): the streaming
+    // pipeline replays this analyzer from the on-disk record spool.
+    fn needs_replay(&self) -> bool {
+        true
+    }
+
     fn observe(&mut self, record: &LogRecord) {
         if !record.status.carries_body() {
             return;

@@ -153,6 +153,12 @@ impl ClusteringAnalyzer {
 impl Analyzer for ClusteringAnalyzer {
     type Output = ClusteringReport;
 
+    // Cross-record state (not a pure incremental fold): the streaming
+    // pipeline replays this analyzer from the on-disk record spool.
+    fn needs_replay(&self) -> bool {
+        true
+    }
+
     fn observe(&mut self, record: &LogRecord) {
         if record.publisher != self.publisher
             || record.content_class() != self.class

@@ -70,6 +70,12 @@ impl IatAnalyzer {
 impl Analyzer for IatAnalyzer {
     type Output = IatReport;
 
+    // Cross-record state (not a pure incremental fold): the streaming
+    // pipeline replays this analyzer from the on-disk record spool.
+    fn needs_replay(&self) -> bool {
+        true
+    }
+
     fn observe(&mut self, record: &LogRecord) {
         let Some(site) = self.map.index(record.publisher) else {
             return;

@@ -6,7 +6,7 @@
 //! [`experiment`](crate::experiment) runner fans them out over scoped
 //! threads, each streaming the shared record slice once.
 
-use oat_httplog::LogRecord;
+use oat_httplog::{ColumnarDirReader, HttplogError, LogRecord, ShardFilter};
 
 pub mod addiction;
 pub mod aging;
@@ -43,6 +43,18 @@ pub trait Analyzer {
 
     /// Finalizes and returns the figure data.
     fn finish(self) -> Self::Output;
+
+    /// Whether this analyzer's fold needs the *whole* record set replayed
+    /// after streaming ends (cross-record state such as per-user request
+    /// histories or per-object hour matrices), rather than being safe to
+    /// feed incrementally while earlier batches are discarded.
+    ///
+    /// The default is `false` (single-pass). Multi-pass analyzers override
+    /// this to `true`, and the streaming pipeline replays them from the
+    /// on-disk columnar spool instead of a retained in-memory copy.
+    fn needs_replay(&self) -> bool {
+        false
+    }
 }
 
 /// Marker for analyzers that are truly single-pass: their output depends
@@ -58,15 +70,25 @@ pub fn run_analyzer<A: Analyzer>(mut analyzer: A, records: &[LogRecord]) -> A::O
     analyzer.finish()
 }
 
-/// Runs one analyzer over a chunked record set (the retained copy kept by
-/// the streaming pipeline). Equivalent to [`run_analyzer`] over the
-/// concatenation of the chunks.
-pub fn run_analyzer_chunks<A: Analyzer>(
+/// Replays one multi-pass analyzer from an on-disk columnar record spool
+/// in bounded batches of `batch_rows` rows (`0` picks the reader default).
+/// Equivalent to [`run_analyzer`] over the materialized record set, while
+/// only one batch is ever resident.
+///
+/// # Errors
+///
+/// Propagates the first shard-read error.
+pub fn run_analyzer_replay<A: Analyzer>(
     mut analyzer: A,
-    chunks: &[std::sync::Arc<Vec<LogRecord>>],
-) -> A::Output {
-    for chunk in chunks {
-        analyzer.observe_batch(chunk);
-    }
-    analyzer.finish()
+    reader: &ColumnarDirReader<LogRecord>,
+    batch_rows: usize,
+) -> Result<A::Output, HttplogError> {
+    debug_assert!(
+        analyzer.needs_replay(),
+        "single-pass analyzers should be fed incrementally, not replayed"
+    );
+    reader.scan(&ShardFilter::all(), batch_rows, |batch| {
+        analyzer.observe_batch(batch);
+    })?;
+    Ok(analyzer.finish())
 }

@@ -11,18 +11,20 @@ use crate::analyzers::{
     iat::{IatAnalyzer, IatReport},
     popularity::{PopularityAnalyzer, PopularityReport},
     response::{ResponseAnalyzer, ResponseReport},
-    run_analyzer, run_analyzer_chunks,
+    run_analyzer, run_analyzer_replay,
     sessions::{SessionAnalyzer, SessionReport},
     sizes::{SizeAnalyzer, SizeReport},
     temporal::{TemporalAnalyzer, TemporalReport},
-    Analyzer, StreamAnalyzer,
+    StreamAnalyzer,
 };
 use crate::sitemap::SiteMap;
 use oat_cdnsim::{FaultPlan, ServeStats, SimConfig, Simulator};
-use oat_httplog::{ContentClass, LogRecord};
+use oat_httplog::{ColumnarDirReader, ColumnarDirWriter, ContentClass, HttplogError, LogRecord};
 use oat_workload::{generate, generate_streaming, ConfigError, GenOptions, TraceConfig};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 /// Configuration for one full reproduction run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -139,27 +141,55 @@ pub struct ExperimentResult {
 /// Options for the streaming pipeline ([`run_streaming`]). Every knob
 /// affects only resource usage, never the result: a streaming run is
 /// result-identical to [`run`] for the same [`ExperimentConfig`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamOptions {
     /// Worker threads for trace generation; `0` = all available cores.
     pub threads: usize,
     /// Users per generation shard; `0` = the workload crate's default.
     pub shard_size: usize,
-    /// Requests per pipeline batch; `0` = the workload crate's default.
+    /// Requests per pipeline batch (also the multi-pass replay batch);
+    /// `0` = the workload crate's default.
     pub batch_size: usize,
+    /// Base directory for the on-disk columnar record spool the multi-pass
+    /// analyzers replay from; `None` = the system temp directory. Each run
+    /// spools into (and removes) its own unique subdirectory.
+    #[serde(default)]
+    pub spool_dir: Option<PathBuf>,
+    /// Rows per columnar spool shard; `0` = the httplog crate's default.
+    #[serde(default)]
+    pub rows_per_shard: usize,
+}
+
+/// Resource accounting for one streaming run (returned by
+/// [`run_streaming_gauged`]): evidence that the pipeline is out-of-core,
+/// not a retained in-memory copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamGauge {
+    /// Peak number of replayed records simultaneously resident in memory
+    /// (live record batches across the simulator, analyzer feeds, and the
+    /// spool writer). Bounded by a few pipeline batches regardless of
+    /// trace size.
+    pub peak_live_records: u64,
+    /// Records spooled to (and replayed from) the columnar directory.
+    pub spooled_rows: u64,
+    /// Columnar shards the spool rotated through.
+    pub spool_shards: u64,
 }
 
 /// Error running an experiment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub enum ExperimentError {
     /// Invalid workload configuration.
     Config(ConfigError),
+    /// The on-disk record spool failed to write or replay.
+    Spool(HttplogError),
 }
 
 impl std::fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Config(e) => write!(f, "invalid workload config: {e}"),
+            Self::Spool(e) => write!(f, "record spool failed: {e}"),
         }
     }
 }
@@ -168,6 +198,7 @@ impl std::error::Error for ExperimentError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Config(e) => Some(e),
+            Self::Spool(e) => Some(e),
         }
     }
 }
@@ -175,6 +206,12 @@ impl std::error::Error for ExperimentError {
 impl From<ConfigError> for ExperimentError {
     fn from(e: ConfigError) -> Self {
         Self::Config(e)
+    }
+}
+
+impl From<HttplogError> for ExperimentError {
+    fn from(e: HttplogError) -> Self {
+        Self::Spool(e)
     }
 }
 
@@ -202,25 +239,45 @@ pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult, ExperimentErro
 }
 
 /// Runs a full reproduction through the streaming pipeline: trace batches
-/// flow generator → simulator → analyzers through bounded channels, so the
-/// run never materializes more than one full copy of the record set (the
-/// retained chunks needed by the multi-pass analyzers) plus the bounded
-/// in-flight batches.
+/// flow generator → simulator → analyzers through bounded channels, and
+/// the replayed records are spooled to an on-disk columnar shard directory
+/// instead of being retained in memory — peak record residency is a few
+/// pipeline batches regardless of trace size.
 ///
 /// Single-pass analyzers ([`StreamAnalyzer`]) consume each record batch as
 /// soon as the simulator emits it; multi-pass analyzers (sessions,
-/// addiction, clustering, cache, aging, iat) replay the retained chunks
-/// once generation finishes. The result equals [`run`] exactly — same
-/// requests (per-user RNG streams), same replay order per PoP, same
-/// analyzer folds.
+/// addiction, clustering, cache, aging, iat — [`Analyzer::needs_replay`])
+/// replay the spool in bounded batches once generation finishes. The
+/// spool lives in a unique per-run subdirectory of
+/// [`StreamOptions::spool_dir`] and is removed when the run ends. The
+/// result equals [`run`] exactly — same requests (per-user RNG streams),
+/// same replay order per PoP, same analyzer folds.
+///
+/// [`Analyzer::needs_replay`]: crate::analyzers::Analyzer::needs_replay
 ///
 /// # Errors
 ///
-/// Returns [`ExperimentError::Config`] if the trace config is invalid.
+/// Returns [`ExperimentError::Config`] if the trace config is invalid, or
+/// [`ExperimentError::Spool`] if the record spool fails to write or
+/// replay.
 pub fn run_streaming(
     config: &ExperimentConfig,
     opts: &StreamOptions,
 ) -> Result<ExperimentResult, ExperimentError> {
+    run_streaming_gauged(config, opts).map(|(result, _)| result)
+}
+
+/// [`run_streaming`], also returning the run's [`StreamGauge`] resource
+/// accounting (peak live records, spool size). The experiment result is
+/// identical to [`run_streaming`] / [`run`].
+///
+/// # Errors
+///
+/// As for [`run_streaming`].
+pub fn run_streaming_gauged(
+    config: &ExperimentConfig,
+    opts: &StreamOptions,
+) -> Result<(ExperimentResult, StreamGauge), ExperimentError> {
     let gen_opts = GenOptions {
         threads: opts.threads,
         shard_size: opts.shard_size,
@@ -251,8 +308,12 @@ pub fn run_streaming(
         &config.clustering_targets,
     );
 
+    let spool = SpoolGuard::create(opts.spool_dir.as_deref(), config.trace.seed)?;
+    let mut writer: ColumnarDirWriter<LogRecord> =
+        ColumnarDirWriter::new(spool.dir(), SPOOL_PREFIX, opts.rows_per_shard)?;
+
     let simulator = &simulator;
-    let result = crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         let (composition_tx, composition) = spawn_feed(scope, composition);
         let (temporal_tx, temporal) = spawn_feed(scope, temporal);
         let (devices_tx, devices) = spawn_feed(scope, devices);
@@ -271,66 +332,184 @@ pub fn run_streaming(
         ];
 
         // Drive the pipeline: replay each request batch as it arrives,
-        // broadcast the records to the single-pass feeds, and retain the
-        // chunk — the single full copy, needed by the multi-pass pass.
-        let mut retained: Vec<Arc<Vec<LogRecord>>> = Vec::new();
+        // broadcast the records to the single-pass feeds, and spool the
+        // chunk to the columnar directory. Nothing retains the chunks:
+        // once the feeds drain a batch it is freed.
+        let mut gauge = LiveGauge::new();
+        let mut spool_err: Option<HttplogError> = None;
         for batch in stream.batches.iter() {
             let chunk = Arc::new(simulator.replay(batch));
-            for tx in &feeds {
-                tx.send(Arc::clone(&chunk)).expect("analyzer feed alive");
+            if let Err(e) = writer.push_batch(chunk.as_slice()) {
+                spool_err = Some(e);
+                break;
             }
-            retained.push(chunk);
+            for tx in &feeds {
+                // A dead feed means its analyzer panicked; the join below
+                // re-raises that payload, so the lost send is moot.
+                let _ = tx.send(Arc::clone(&chunk));
+            }
+            gauge.track(&chunk);
         }
         drop(feeds); // close the feeds so the single-pass analyzers finish
         let sim_stats = simulator.stats();
 
-        let composition = composition.join().expect("composition analyzer panicked");
-        let temporal = temporal.join().expect("temporal analyzer panicked");
-        let devices = devices.join().expect("device analyzer panicked");
-        let sizes = sizes.join().expect("size analyzer panicked");
-        let popularity = popularity.join().expect("popularity analyzer panicked");
-        let responses = responses.join().expect("response analyzer panicked");
-        let availability = availability.join().expect("availability analyzer panicked");
+        let composition = join_scoped(composition);
+        let temporal = join_scoped(temporal);
+        let devices = join_scoped(devices);
+        let sizes = join_scoped(sizes);
+        let popularity = join_scoped(popularity);
+        let responses = join_scoped(responses);
+        let availability = join_scoped(availability);
 
-        // Multi-pass analyzers replay the retained chunks, fanned out like
-        // the batch path.
-        let records = retained.iter().map(|c| c.len()).sum::<usize>() as u64;
-        let retained = &retained;
-        crossbeam::thread::scope(|scope| {
-            let aging = scope.spawn(move |_| run_analyzer_chunks(aging, retained));
-            let iat = scope.spawn(move |_| run_analyzer_chunks(iat, retained));
-            let sessions = scope.spawn(move |_| run_analyzer_chunks(sessions, retained));
-            let addiction = scope.spawn(move |_| run_analyzer_chunks(addiction, retained));
-            let cache = scope.spawn(move |_| run_analyzer_chunks(cache, retained));
-            let clusterers: Vec<_> = clusterers
-                .into_iter()
-                .map(|c| scope.spawn(move |_| run_analyzer_chunks(c, retained)))
-                .collect();
-            ExperimentResult {
-                composition,
-                temporal,
-                devices,
-                sizes,
-                popularity,
-                aging: aging.join().expect("aging analyzer panicked"),
-                clusterings: clusterers
+        if let Some(e) = spool_err {
+            return Err(ExperimentError::Spool(e));
+        }
+        let (records, spool_shards) = writer.finish()?;
+        let reader: ColumnarDirReader<LogRecord> =
+            ColumnarDirReader::open(spool.dir(), SPOOL_PREFIX)?;
+
+        // Multi-pass analyzers replay the spool from disk, fanned out like
+        // the batch path; each pass holds one bounded batch at a time.
+        let reader = &reader;
+        let batch_rows = opts.batch_size;
+        let (aging, iat, sessions, addiction, cache, clusterings) =
+            scope_output(crossbeam::thread::scope(|scope| {
+                let aging = scope.spawn(move |_| run_analyzer_replay(aging, reader, batch_rows));
+                let iat = scope.spawn(move |_| run_analyzer_replay(iat, reader, batch_rows));
+                let sessions =
+                    scope.spawn(move |_| run_analyzer_replay(sessions, reader, batch_rows));
+                let addiction =
+                    scope.spawn(move |_| run_analyzer_replay(addiction, reader, batch_rows));
+                let cache = scope.spawn(move |_| run_analyzer_replay(cache, reader, batch_rows));
+                let clusterers: Vec<_> = clusterers
                     .into_iter()
-                    .map(|h| h.join().expect("clustering analyzer panicked"))
-                    .collect(),
-                iat: iat.join().expect("iat analyzer panicked"),
-                sessions: sessions.join().expect("session analyzer panicked"),
-                addiction: addiction.join().expect("addiction analyzer panicked"),
-                cache: cache.join().expect("cache analyzer panicked"),
-                responses,
-                availability,
-                records,
-                sim_stats,
-            }
-        })
-        .expect("multi-pass analyzer thread panicked")
-    })
-    .expect("streaming pipeline thread panicked");
-    Ok(result)
+                    .map(|c| scope.spawn(move |_| run_analyzer_replay(c, reader, batch_rows)))
+                    .collect();
+                (
+                    join_scoped(aging),
+                    join_scoped(iat),
+                    join_scoped(sessions),
+                    join_scoped(addiction),
+                    join_scoped(cache),
+                    clusterers.into_iter().map(join_scoped).collect::<Vec<_>>(),
+                )
+            }));
+
+        let result = ExperimentResult {
+            composition,
+            temporal,
+            devices,
+            sizes,
+            popularity,
+            aging: aging?,
+            clusterings: clusterings
+                .into_iter()
+                .collect::<Result<Vec<_>, HttplogError>>()?,
+            iat: iat?,
+            sessions: sessions?,
+            addiction: addiction?,
+            cache: cache?,
+            responses,
+            availability,
+            records,
+            sim_stats,
+        };
+        Ok((
+            result,
+            StreamGauge {
+                peak_live_records: gauge.peak,
+                spooled_rows: records,
+                spool_shards,
+            },
+        ))
+    });
+    scope_output(scope_result)
+}
+
+/// Prefix for the columnar shard files inside a run's spool directory.
+const SPOOL_PREFIX: &str = "records";
+
+/// Distinguishes concurrent spools from the same process (e.g. parallel
+/// test threads sharing a pid and a seed).
+static SPOOL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique per-run spool directory, removed (with its shards) on drop —
+/// including on error and panic unwinds.
+#[derive(Debug)]
+struct SpoolGuard {
+    dir: PathBuf,
+}
+
+impl SpoolGuard {
+    fn create(base: Option<&Path>, seed: u64) -> Result<Self, HttplogError> {
+        let base = match base {
+            Some(dir) => dir.to_path_buf(),
+            None => std::env::temp_dir(),
+        };
+        let seq = SPOOL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = base.join(format!(
+            "oat-stream-spool-{}-{seed:x}-{seq}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for SpoolGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Tracks the peak number of simultaneously live replayed records via weak
+/// references: a chunk counts until the last feed drops it.
+struct LiveGauge {
+    tracked: Vec<Weak<Vec<LogRecord>>>,
+    peak: u64,
+}
+
+impl LiveGauge {
+    fn new() -> Self {
+        Self {
+            tracked: Vec::new(),
+            peak: 0,
+        }
+    }
+
+    fn track(&mut self, chunk: &Arc<Vec<LogRecord>>) {
+        self.tracked.push(Arc::downgrade(chunk));
+        self.tracked.retain(|weak| weak.strong_count() > 0);
+        let live: u64 = self
+            .tracked
+            .iter()
+            .filter_map(Weak::upgrade)
+            .map(|chunk| chunk.len() as u64)
+            .sum();
+        self.peak = self.peak.max(live);
+    }
+}
+
+/// Joins a scoped thread, re-raising its panic payload instead of wrapping
+/// it in a fresh panic.
+fn join_scoped<T>(handle: crossbeam::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Unwraps a [`crossbeam::thread::scope`] result, re-raising the panic of
+/// any thread the scope had to clean up after.
+fn scope_output<T>(result: std::thread::Result<T>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
 }
 
 /// Spawns one single-pass analyzer on a scoped thread fed by a bounded
@@ -347,6 +526,10 @@ where
     A: StreamAnalyzer + Send + 'env,
     A::Output: Send + 'env,
 {
+    debug_assert!(
+        !analyzer.needs_replay(),
+        "multi-pass analyzers replay the spool; only single-pass ones are fed"
+    );
     let (tx, rx) = crossbeam::channel::bounded::<Arc<Vec<LogRecord>>>(2);
     let handle = scope.spawn(move |_| {
         for chunk in rx.iter() {
@@ -419,7 +602,7 @@ pub fn analyze(
     // Fan out: every analyzer streams the shared slice on its own thread.
     // Each is a pure fold over `records`, so concurrency only reorders
     // wall-clock work, never the per-analyzer arithmetic.
-    crossbeam::thread::scope(|scope| {
+    scope_output(crossbeam::thread::scope(|scope| {
         let composition = scope.spawn(move |_| run_analyzer(composition, records));
         let temporal = scope.spawn(move |_| run_analyzer(temporal, records));
         let devices = scope.spawn(move |_| run_analyzer(devices, records));
@@ -438,27 +621,23 @@ pub fn analyze(
             .collect();
 
         ExperimentResult {
-            composition: composition.join().expect("composition analyzer panicked"),
-            temporal: temporal.join().expect("temporal analyzer panicked"),
-            devices: devices.join().expect("device analyzer panicked"),
-            sizes: sizes.join().expect("size analyzer panicked"),
-            popularity: popularity.join().expect("popularity analyzer panicked"),
-            aging: aging.join().expect("aging analyzer panicked"),
-            clusterings: clusterers
-                .into_iter()
-                .map(|h| h.join().expect("clustering analyzer panicked"))
-                .collect(),
-            iat: iat.join().expect("iat analyzer panicked"),
-            sessions: sessions.join().expect("session analyzer panicked"),
-            addiction: addiction.join().expect("addiction analyzer panicked"),
-            cache: cache.join().expect("cache analyzer panicked"),
-            responses: responses.join().expect("response analyzer panicked"),
-            availability: availability.join().expect("availability analyzer panicked"),
+            composition: join_scoped(composition),
+            temporal: join_scoped(temporal),
+            devices: join_scoped(devices),
+            sizes: join_scoped(sizes),
+            popularity: join_scoped(popularity),
+            aging: join_scoped(aging),
+            clusterings: clusterers.into_iter().map(join_scoped).collect(),
+            iat: join_scoped(iat),
+            sessions: join_scoped(sessions),
+            addiction: join_scoped(addiction),
+            cache: join_scoped(cache),
+            responses: join_scoped(responses),
+            availability: join_scoped(availability),
             records: records.len() as u64,
             sim_stats,
         }
-    })
-    .expect("analyzer thread panicked")
+    }))
 }
 
 #[cfg(test)]
@@ -524,6 +703,7 @@ mod tests {
                 threads: 2,
                 shard_size: 37,
                 batch_size: 1_000,
+                ..StreamOptions::default()
             },
         )
         .unwrap();
@@ -548,10 +728,54 @@ mod tests {
                 threads: 2,
                 shard_size: 37,
                 batch_size: 1_000,
+                ..StreamOptions::default()
             },
         )
         .unwrap();
         assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn streaming_is_out_of_core() {
+        let spool_base = std::env::temp_dir().join("oat-experiment-tests-spool");
+        let _ = std::fs::remove_dir_all(&spool_base);
+        let batch = run(&tiny()).unwrap();
+        let opts = StreamOptions {
+            threads: 2,
+            shard_size: 37,
+            batch_size: 250,
+            spool_dir: Some(spool_base.clone()),
+            rows_per_shard: 600,
+        };
+        let (streamed, gauge) = run_streaming_gauged(&tiny(), &opts).unwrap();
+        assert_eq!(batch, streamed);
+        assert_eq!(gauge.spooled_rows, streamed.records);
+        assert!(
+            gauge.spool_shards >= 2,
+            "expected several spool shards, got {}",
+            gauge.spool_shards
+        );
+        // The bounded-memory invariant: peak live records is a handful of
+        // pipeline batches (producer + two queued per bounded feed + in
+        // flight), never the whole trace — the old pipeline retained every
+        // chunk, so its peak equaled `records`.
+        assert!(
+            gauge.peak_live_records < streamed.records,
+            "peak {} should be below the trace size {}",
+            gauge.peak_live_records,
+            streamed.records
+        );
+        assert!(
+            gauge.peak_live_records <= 8 * 250,
+            "peak {} not bounded by a few batches",
+            gauge.peak_live_records
+        );
+        // The per-run spool subdirectory is cleaned up on exit.
+        let leftovers: Vec<_> = std::fs::read_dir(&spool_base)
+            .map(|entries| entries.filter_map(Result::ok).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "spool not cleaned up: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&spool_base);
     }
 
     #[test]

@@ -46,5 +46,8 @@ pub mod report;
 pub mod sitemap;
 
 pub use analyzers::{Analyzer, StreamAnalyzer};
-pub use experiment::{run, run_streaming, ExperimentConfig, ExperimentResult, StreamOptions};
+pub use experiment::{
+    run, run_streaming, run_streaming_gauged, ExperimentConfig, ExperimentResult, StreamGauge,
+    StreamOptions,
+};
 pub use sitemap::SiteMap;

@@ -66,6 +66,7 @@ fn faulted_exports_are_byte_identical_across_thread_counts() {
             threads,
             shard_size: 53,
             batch_size: 2_048,
+            ..StreamOptions::default()
         };
         let result = experiment::run_streaming(&config, &opts).expect("config is valid");
         assert!(

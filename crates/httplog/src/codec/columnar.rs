@@ -1,0 +1,1884 @@
+//! Columnar (struct-of-arrays) shard codec with mmap zero-copy reads.
+//!
+//! The row codecs ([`binary`](crate::codec::binary), [`text`](crate::codec::text))
+//! interleave every field of every record, so a single-column pass (say, all
+//! timestamps) still decodes whole frames. This module stores one on-disk
+//! *shard* per bounded run of rows in column order: each fixed-width field
+//! occupies one contiguous little-endian array, the variable-width
+//! user-agent strings are dictionary-encoded (a `u32` index column plus a
+//! per-shard string table), and a fixed-size footer records the row count,
+//! per-column byte offsets and a *zone map* (min/max timestamp, publisher
+//! bitmask, status-class bitmask) so time/site filters skip whole shards
+//! without touching their bytes.
+//!
+//! Shards are read through `mmap(2)` when available, and column views are
+//! zero-copy: an alignment-checked cast re-types the mapped bytes in place.
+//! Every column is 8-byte aligned by construction and the mapping is
+//! page-aligned, so the checks cannot fail on well-formed shards; corrupt
+//! ones are rejected at [`ColumnarShard::open`]. On non-unix targets (or if
+//! the map fails) the file is read into an owned 8-byte-aligned buffer and
+//! the same views apply.
+//!
+//! This file is the only module in the workspace allowed to contain
+//! `unsafe` (enforced by `oat-lint`'s `unsafe-confinement` rule); the casts
+//! are covered by round-trip property tests in `tests/properties.rs`.
+//!
+//! # Layout
+//!
+//! ```text
+//! [ 8] magic "OATCOL1\n"
+//! [ 1] schema code (0 = LogRecord, 1 = Request)
+//! [ 1] version (currently 1)
+//! [ 6] zero padding (data starts 8-aligned)
+//! per column, in schema order:
+//!     zero padding to the next multiple of 8, then rows × width bytes (LE)
+//! dictionary: u32 entry count, then per entry u32 byte length + UTF-8 bytes
+//! [176] footer:
+//!     u64       row count
+//!     u64 × 14  per-column byte offsets (unused trailing columns are 0)
+//!     u64       dictionary offset
+//!     u64       zone: min timestamp        (u64::MAX when the shard is empty)
+//!     u64       zone: max timestamp
+//!     u64       zone: publisher bitmask    (bit = publisher id mod 64)
+//!     u64       zone: status-class bitmask (bit = status / 100)
+//!     u8        schema code (must equal the header's)
+//!     u8        version
+//!     u8 × 6    zero padding
+//!     [8]       footer magic "OATCFTR\n"
+//! ```
+//!
+//! All integers are little-endian. Signed columns (`tz_offset_secs`) store
+//! the two's-complement bit pattern.
+//!
+//! # Example
+//!
+//! ```
+//! use oat_httplog::codec::columnar::{ColumnBuilder, ColumnarShard, ShardFilter};
+//! use oat_httplog::LogRecord;
+//!
+//! let dir = std::env::temp_dir().join("oat-columnar-doc");
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("example.col");
+//!
+//! let mut builder = ColumnBuilder::<LogRecord>::new();
+//! builder.push(&LogRecord::example())?;
+//! builder.write_file(&path)?;
+//!
+//! let shard = ColumnarShard::open(&path)?;
+//! assert_eq!(shard.rows(), 1);
+//! let mut out: Vec<LogRecord> = Vec::new();
+//! shard.read_matching(&ShardFilter::all(), 0..shard.rows(), &mut out)?;
+//! assert_eq!(out, vec![LogRecord::example()]);
+//! # std::fs::remove_file(&path)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+// The zero-copy column views and the mmap wrapper below are the single
+// sanctioned home for `unsafe` in this workspace; see the module docs and
+// the `unsafe-confinement` lint rule.
+#![allow(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::path::Path;
+
+use crate::codec::binary::{format_code, format_from_code};
+use crate::ids::{ObjectId, PopId, PublisherId, UserId};
+use crate::record::LogRecord;
+use crate::request::{Request, RequestKind};
+use crate::status::{CacheStatus, DegradedServe, HttpStatus};
+use crate::Region;
+
+/// Leading file magic.
+pub const MAGIC: [u8; 8] = *b"OATCOL1\n";
+/// Trailing footer magic.
+pub const FOOTER_MAGIC: [u8; 8] = *b"OATCFTR\n";
+/// Current shard format version.
+pub const VERSION: u8 = 1;
+/// Header length in bytes (magic + schema + version + padding).
+pub const HEADER_LEN: usize = 16;
+/// Footer length in bytes.
+pub const FOOTER_LEN: usize = 176;
+/// Maximum column count across schemas (the footer reserves this many
+/// offset slots).
+pub const MAX_COLS: usize = 14;
+
+/// Column widths (bytes) for [`Schema::Record`], in column order:
+/// timestamp, object, object_size, bytes_served, user, publisher, status,
+/// pop, tz_offset, ua index, format, cache, degraded, retries.
+const RECORD_WIDTHS: [usize; 14] = [8, 8, 8, 8, 8, 2, 2, 2, 4, 4, 1, 1, 1, 1];
+
+/// Column widths (bytes) for [`Schema::Request`], in column order:
+/// timestamp, object, object_size, kind_offset, kind_length, user,
+/// publisher, tz_offset, ua index, format, region, incognito, kind.
+const REQUEST_WIDTHS: [usize; 13] = [8, 8, 8, 8, 8, 8, 2, 4, 4, 1, 1, 1, 1];
+
+/// Which row type a shard stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Schema {
+    /// Finished [`LogRecord`]s (analyzer input).
+    Record,
+    /// Pre-response [`Request`]s (simulator input).
+    Request,
+}
+
+impl Schema {
+    /// Stable wire code.
+    pub const fn code(self) -> u8 {
+        match self {
+            Schema::Record => 0,
+            Schema::Request => 1,
+        }
+    }
+
+    /// Inverse of [`Schema::code`].
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Schema::Record),
+            1 => Some(Schema::Request),
+            _ => None,
+        }
+    }
+
+    /// Per-column byte widths in column order.
+    pub const fn widths(self) -> &'static [usize] {
+        match self {
+            Schema::Record => &RECORD_WIDTHS,
+            Schema::Request => &REQUEST_WIDTHS,
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Schema::Record => "record",
+            Schema::Request => "request",
+        })
+    }
+}
+
+/// The status class (`status / 100`, 1–5) used in zone maps and
+/// [`ShardFilter::status_classes`].
+pub fn status_class(status: HttpStatus) -> u8 {
+    (status.code() / 100) as u8
+}
+
+/// Error reading or writing a columnar shard.
+#[derive(Debug)]
+pub enum ColumnarError {
+    /// Underlying I/O failure (environmental, not data corruption).
+    Io(io::Error),
+    /// Structurally invalid shard bytes.
+    Corrupt {
+        /// What failed to validate.
+        what: &'static str,
+    },
+    /// Unknown format version byte.
+    UnsupportedVersion {
+        /// The version byte found.
+        version: u8,
+    },
+    /// Unknown schema code byte.
+    UnknownSchema {
+        /// The code found.
+        code: u8,
+    },
+    /// The shard stores a different row type than requested.
+    SchemaMismatch {
+        /// The schema the caller asked for.
+        expected: Schema,
+        /// The schema recorded in the shard.
+        found: Schema,
+    },
+    /// A stored field value decodes to no valid domain value.
+    InvalidValue {
+        /// Row index within the shard.
+        row: u64,
+        /// Field (column) name.
+        field: &'static str,
+        /// The raw value found, widened to u64.
+        value: u64,
+    },
+    /// More than `u32::MAX` distinct user-agent strings in one shard.
+    DictionaryOverflow,
+}
+
+impl ColumnarError {
+    /// True for malformed-data errors (anything but [`ColumnarError::Io`]):
+    /// the errors a lossy reader may quarantine and skip.
+    pub fn is_data_error(&self) -> bool {
+        !matches!(self, ColumnarError::Io(_))
+    }
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::Io(e) => write!(f, "columnar shard I/O error: {e}"),
+            ColumnarError::Corrupt { what } => write!(f, "corrupt columnar shard: {what}"),
+            ColumnarError::UnsupportedVersion { version } => {
+                write!(f, "unsupported columnar shard version {version}")
+            }
+            ColumnarError::UnknownSchema { code } => {
+                write!(f, "unknown columnar schema code {code}")
+            }
+            ColumnarError::SchemaMismatch { expected, found } => {
+                write!(
+                    f,
+                    "columnar schema mismatch: expected {expected}, found {found}"
+                )
+            }
+            ColumnarError::InvalidValue { row, field, value } => {
+                write!(f, "invalid value {value} for `{field}` at shard row {row}")
+            }
+            ColumnarError::DictionaryOverflow => {
+                f.write_str("user-agent dictionary exceeds u32::MAX entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ColumnarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ColumnarError {
+    fn from(e: io::Error) -> Self {
+        ColumnarError::Io(e)
+    }
+}
+
+/// Per-shard summary statistics that let filtered scans skip whole shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Smallest row timestamp (`u64::MAX` when the shard is empty).
+    pub min_timestamp: u64,
+    /// Largest row timestamp (0 when the shard is empty).
+    pub max_timestamp: u64,
+    /// Publisher (site) presence bitmask: bit `publisher mod 64` is set for
+    /// every publisher appearing in the shard.
+    pub publisher_mask: u64,
+    /// Status-class presence bitmask: bit `status / 100` is set for every
+    /// response status appearing in the shard. Schemas without a status
+    /// column record `u64::MAX` (all classes possible) so status filters
+    /// stay conservative.
+    pub status_mask: u64,
+}
+
+impl ZoneMap {
+    /// The zone map of an empty shard.
+    pub const fn empty() -> Self {
+        ZoneMap {
+            min_timestamp: u64::MAX,
+            max_timestamp: 0,
+            publisher_mask: 0,
+            status_mask: 0,
+        }
+    }
+
+    fn observe(&mut self, timestamp: u64, publisher: PublisherId, status_class: Option<u8>) {
+        self.min_timestamp = self.min_timestamp.min(timestamp);
+        self.max_timestamp = self.max_timestamp.max(timestamp);
+        self.publisher_mask |= 1u64 << (u64::from(publisher.raw()) % 64);
+        match status_class {
+            Some(class) => self.status_mask |= 1u64 << (u64::from(class) % 64),
+            // No status column in this schema: every class is possible.
+            None => self.status_mask = u64::MAX,
+        }
+    }
+
+    /// Whether a shard with this zone map can contain any row matching
+    /// `filter`. `false` means the whole shard may be skipped; `true` is
+    /// conservative (the shard may still contain zero matching rows).
+    pub fn may_match(&self, filter: &ShardFilter) -> bool {
+        if let Some(time) = &filter.time {
+            // Half-open filter range vs. closed [min, max] zone range.
+            if self.min_timestamp > self.max_timestamp {
+                return false; // Empty shard.
+            }
+            if time.start > self.max_timestamp || time.end <= self.min_timestamp {
+                return false;
+            }
+        }
+        if let Some(publishers) = &filter.publishers {
+            let hit = publishers
+                .iter()
+                .any(|p| self.publisher_mask & (1u64 << (u64::from(p.raw()) % 64)) != 0);
+            if !hit {
+                return false;
+            }
+        }
+        if let Some(classes) = &filter.status_classes {
+            let hit = classes
+                .iter()
+                .any(|c| self.status_mask & (1u64 << (u64::from(*c) % 64)) != 0);
+            if !hit {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A row predicate evaluated against zone maps (shard granularity) and
+/// individual rows. `None` dimensions match everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardFilter {
+    /// Half-open timestamp range `[start, end)`.
+    pub time: Option<Range<u64>>,
+    /// Publisher (site) allow-list.
+    pub publishers: Option<Vec<PublisherId>>,
+    /// Status-class allow-list (1–5, see [`status_class`]). Ignored for
+    /// rows without a status field.
+    pub status_classes: Option<Vec<u8>>,
+}
+
+impl ShardFilter {
+    /// The match-everything filter.
+    pub fn all() -> Self {
+        ShardFilter::default()
+    }
+
+    /// Restricts to rows with `start <= timestamp < end`.
+    pub fn with_time(mut self, time: Range<u64>) -> Self {
+        self.time = Some(time);
+        self
+    }
+
+    /// Restricts to rows from the given publishers.
+    pub fn with_publishers(mut self, publishers: Vec<PublisherId>) -> Self {
+        self.publishers = Some(publishers);
+        self
+    }
+
+    /// Restricts to rows whose status class (1–5) is listed.
+    pub fn with_status_classes(mut self, classes: Vec<u8>) -> Self {
+        self.status_classes = Some(classes);
+        self
+    }
+
+    /// True when no dimension is constrained.
+    pub fn is_all(&self) -> bool {
+        self.time.is_none() && self.publishers.is_none() && self.status_classes.is_none()
+    }
+
+    /// Row-level predicate. Rows without a status field (requests) pass the
+    /// status dimension unconditionally, mirroring [`ZoneMap::may_match`].
+    pub fn matches<T: ColumnarRow>(&self, row: &T) -> bool {
+        if let Some(time) = &self.time {
+            if !time.contains(&row.row_timestamp()) {
+                return false;
+            }
+        }
+        if let Some(publishers) = &self.publishers {
+            if !publishers.contains(&row.row_publisher()) {
+                return false;
+            }
+        }
+        if let Some(classes) = &self.status_classes {
+            if let Some(class) = row.row_status_class() {
+                if !classes.contains(&class) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A row type storable in columnar shards.
+///
+/// Implemented for [`LogRecord`] and [`Request`]; the encode/decode hooks
+/// use builder/shard internals private to this module, so downstream crates
+/// consume the two provided implementations rather than adding their own.
+pub trait ColumnarRow: Sized + Clone + Send + 'static {
+    /// The schema tag written into shard headers and footers.
+    const SCHEMA: Schema;
+
+    /// Appends this row's fields, in column order, to a shard under
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::DictionaryOverflow`] when the shard's
+    /// user-agent dictionary is full.
+    fn append_to(&self, builder: &mut ColumnBuilder<Self>) -> Result<(), ColumnarError>;
+
+    /// Materializes row `index` from an opened shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::InvalidValue`] when a stored field decodes
+    /// to no valid domain value.
+    fn read_row(shard: &ColumnarShard, index: usize) -> Result<Self, ColumnarError>;
+
+    /// Row timestamp (drives zone maps and time filters).
+    fn row_timestamp(&self) -> u64;
+
+    /// Row publisher (drives zone maps and site filters).
+    fn row_publisher(&self) -> PublisherId;
+
+    /// HTTP status class 1–5, when the row carries a response status.
+    fn row_status_class(&self) -> Option<u8>;
+}
+
+/// Streaming writer for one columnar shard: rows go in, column buffers
+/// accumulate in memory, [`ColumnBuilder::write_file`] lays them out on
+/// disk. Peak memory is proportional to the rows buffered, so callers
+/// bound it by rotating shards (see `ColumnarDirWriter` in
+/// [`crate::shard`]).
+#[derive(Debug)]
+pub struct ColumnBuilder<T: ColumnarRow> {
+    cols: Vec<Vec<u8>>,
+    dict: Vec<String>,
+    dict_index: BTreeMap<String, u32>,
+    dict_bytes: usize,
+    rows: usize,
+    zone: ZoneMap,
+    _row: PhantomData<fn() -> T>,
+}
+
+impl<T: ColumnarRow> Default for ColumnBuilder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: ColumnarRow> ColumnBuilder<T> {
+    /// Creates an empty builder for `T`'s schema.
+    pub fn new() -> Self {
+        ColumnBuilder {
+            cols: vec![Vec::new(); T::SCHEMA.widths().len()],
+            dict: Vec::new(),
+            dict_index: BTreeMap::new(),
+            dict_bytes: 0,
+            rows: 0,
+            zone: ZoneMap::empty(),
+            _row: PhantomData,
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::DictionaryOverflow`] when the shard's
+    /// user-agent dictionary is full.
+    pub fn push(&mut self, row: &T) -> Result<(), ColumnarError> {
+        row.append_to(self)?;
+        self.zone.observe(
+            row.row_timestamp(),
+            row.row_publisher(),
+            row.row_status_class(),
+        );
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Appends a batch of rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnBuilder::push`].
+    pub fn push_batch(&mut self, rows: &[T]) -> Result<(), ColumnarError> {
+        for row in rows {
+            self.push(row)?;
+        }
+        Ok(())
+    }
+
+    /// Rows buffered so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Approximate bytes currently buffered (columns + dictionary).
+    pub fn buffered_bytes(&self) -> usize {
+        self.cols.iter().map(Vec::len).sum::<usize>() + self.dict_bytes
+    }
+
+    /// The zone map accumulated so far.
+    pub fn zone(&self) -> &ZoneMap {
+        &self.zone
+    }
+
+    /// Drops all buffered rows, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        for col in &mut self.cols {
+            col.clear();
+        }
+        self.dict.clear();
+        self.dict_index.clear();
+        self.dict_bytes = 0;
+        self.rows = 0;
+        self.zone = ZoneMap::empty();
+    }
+
+    /// Serializes the buffered rows as one shard into `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::Io`] on write failure.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), ColumnarError> {
+        const ZEROS: [u8; 8] = [0; 8];
+        let widths = T::SCHEMA.widths();
+        w.write_all(&MAGIC)?;
+        w.write_all(&[T::SCHEMA.code(), VERSION, 0, 0, 0, 0, 0, 0])?;
+
+        let mut off = HEADER_LEN as u64;
+        let mut col_offsets = [0u64; MAX_COLS];
+        for (i, col) in self.cols.iter().enumerate() {
+            let pad = (8 - (off % 8) as usize) % 8;
+            w.write_all(&ZEROS[..pad])?;
+            off += pad as u64;
+            if let Some(slot) = col_offsets.get_mut(i) {
+                *slot = off;
+            }
+            debug_assert_eq!(col.len(), self.rows * widths.get(i).copied().unwrap_or(0));
+            w.write_all(col)?;
+            off += col.len() as u64;
+        }
+
+        let dict_off = off;
+        w.write_all(&(self.dict.len() as u32).to_le_bytes())?;
+        for entry in &self.dict {
+            w.write_all(&(entry.len() as u32).to_le_bytes())?;
+            w.write_all(entry.as_bytes())?;
+        }
+
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        for slot in &col_offsets {
+            footer.extend_from_slice(&slot.to_le_bytes());
+        }
+        footer.extend_from_slice(&dict_off.to_le_bytes());
+        footer.extend_from_slice(&self.zone.min_timestamp.to_le_bytes());
+        footer.extend_from_slice(&self.zone.max_timestamp.to_le_bytes());
+        footer.extend_from_slice(&self.zone.publisher_mask.to_le_bytes());
+        footer.extend_from_slice(&self.zone.status_mask.to_le_bytes());
+        footer.extend_from_slice(&[T::SCHEMA.code(), VERSION, 0, 0, 0, 0, 0, 0]);
+        footer.extend_from_slice(&FOOTER_MAGIC);
+        debug_assert_eq!(footer.len(), FOOTER_LEN);
+        w.write_all(&footer)?;
+        Ok(())
+    }
+
+    /// Writes the buffered rows to a new shard file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::Io`] on create/write failure.
+    pub fn write_file(&self, path: &Path) -> Result<(), ColumnarError> {
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Interns a user-agent string, returning its dictionary index.
+    fn intern_user_agent(&mut self, ua: &str) -> Result<u32, ColumnarError> {
+        if let Some(&idx) = self.dict_index.get(ua) {
+            return Ok(idx);
+        }
+        let idx = u32::try_from(self.dict.len()).map_err(|_| ColumnarError::DictionaryOverflow)?;
+        if idx == u32::MAX {
+            return Err(ColumnarError::DictionaryOverflow);
+        }
+        self.dict.push(ua.to_string());
+        self.dict_index.insert(ua.to_string(), idx);
+        self.dict_bytes += ua.len() + 4;
+        Ok(idx)
+    }
+
+    fn put(&mut self, col: usize, bytes: &[u8]) {
+        if let Some(buf) = self.cols.get_mut(col) {
+            buf.extend_from_slice(bytes);
+        } else {
+            debug_assert!(false, "column index {col} out of range");
+        }
+    }
+
+    fn put_u64(&mut self, col: usize, v: u64) {
+        self.put(col, &v.to_le_bytes());
+    }
+
+    fn put_u32(&mut self, col: usize, v: u32) {
+        self.put(col, &v.to_le_bytes());
+    }
+
+    fn put_u16(&mut self, col: usize, v: u16) {
+        self.put(col, &v.to_le_bytes());
+    }
+
+    fn put_i32(&mut self, col: usize, v: i32) {
+        self.put(col, &v.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, col: usize, v: u8) {
+        self.put(col, &[v]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row codecs.
+// ---------------------------------------------------------------------------
+
+impl ColumnarRow for LogRecord {
+    const SCHEMA: Schema = Schema::Record;
+
+    fn append_to(&self, b: &mut ColumnBuilder<Self>) -> Result<(), ColumnarError> {
+        let ua = b.intern_user_agent(&self.user_agent)?;
+        b.put_u64(0, self.timestamp);
+        b.put_u64(1, self.object.raw());
+        b.put_u64(2, self.object_size);
+        b.put_u64(3, self.bytes_served);
+        b.put_u64(4, self.user.raw());
+        b.put_u16(5, self.publisher.raw());
+        b.put_u16(6, self.status.code());
+        b.put_u16(7, self.pop.raw());
+        b.put_i32(8, self.tz_offset_secs);
+        b.put_u32(9, ua);
+        b.put_u8(10, format_code(self.format));
+        b.put_u8(11, if self.cache_status.is_hit() { 1 } else { 0 });
+        b.put_u8(12, self.degraded.code());
+        b.put_u8(13, self.retries);
+        Ok(())
+    }
+
+    fn read_row(shard: &ColumnarShard, i: usize) -> Result<Self, ColumnarError> {
+        let row = i as u64;
+        let format_raw = shard.u8_at(10, i)?;
+        let format = format_from_code(format_raw).ok_or(ColumnarError::InvalidValue {
+            row,
+            field: "format",
+            value: u64::from(format_raw),
+        })?;
+        let cache_raw = shard.u8_at(11, i)?;
+        let cache_status = match cache_raw {
+            0 => CacheStatus::Miss,
+            1 => CacheStatus::Hit,
+            other => {
+                return Err(ColumnarError::InvalidValue {
+                    row,
+                    field: "cache_status",
+                    value: u64::from(other),
+                })
+            }
+        };
+        let status_raw = shard.u16_at(6, i)?;
+        let status = HttpStatus::new(status_raw).map_err(|_| ColumnarError::InvalidValue {
+            row,
+            field: "status",
+            value: u64::from(status_raw),
+        })?;
+        let degraded_raw = shard.u8_at(12, i)?;
+        let degraded =
+            DegradedServe::from_code(degraded_raw).ok_or(ColumnarError::InvalidValue {
+                row,
+                field: "degraded",
+                value: u64::from(degraded_raw),
+            })?;
+        Ok(LogRecord {
+            timestamp: shard.u64_at(0, i)?,
+            publisher: PublisherId::new(shard.u16_at(5, i)?),
+            object: ObjectId::new(shard.u64_at(1, i)?),
+            format,
+            object_size: shard.u64_at(2, i)?,
+            bytes_served: shard.u64_at(3, i)?,
+            user: UserId::new(shard.u64_at(4, i)?),
+            user_agent: shard.user_agent_at(9, i)?,
+            cache_status,
+            status,
+            pop: PopId::new(shard.u16_at(7, i)?),
+            tz_offset_secs: shard.i32_at(8, i)?,
+            degraded,
+            retries: shard.u8_at(13, i)?,
+        })
+    }
+
+    fn row_timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    fn row_publisher(&self) -> PublisherId {
+        self.publisher
+    }
+
+    fn row_status_class(&self) -> Option<u8> {
+        Some(status_class(self.status))
+    }
+}
+
+/// Stable wire codes for [`RequestKind`] discriminants.
+const KIND_FULL: u8 = 0;
+const KIND_RANGE: u8 = 1;
+const KIND_CONDITIONAL: u8 = 2;
+const KIND_INVALID_RANGE: u8 = 3;
+const KIND_HOTLINK: u8 = 4;
+const KIND_BEACON: u8 = 5;
+
+impl ColumnarRow for Request {
+    const SCHEMA: Schema = Schema::Request;
+
+    fn append_to(&self, b: &mut ColumnBuilder<Self>) -> Result<(), ColumnarError> {
+        let ua = b.intern_user_agent(&self.user_agent)?;
+        let (kind, kind_offset, kind_length) = match self.kind {
+            RequestKind::Full => (KIND_FULL, 0, 0),
+            RequestKind::Range { offset, length } => (KIND_RANGE, offset, length),
+            RequestKind::Conditional => (KIND_CONDITIONAL, 0, 0),
+            RequestKind::InvalidRange => (KIND_INVALID_RANGE, 0, 0),
+            RequestKind::Hotlink => (KIND_HOTLINK, 0, 0),
+            RequestKind::Beacon => (KIND_BEACON, 0, 0),
+        };
+        b.put_u64(0, self.timestamp);
+        b.put_u64(1, self.object.raw());
+        b.put_u64(2, self.object_size);
+        b.put_u64(3, kind_offset);
+        b.put_u64(4, kind_length);
+        b.put_u64(5, self.user.raw());
+        b.put_u16(6, self.publisher.raw());
+        b.put_i32(7, self.tz_offset_secs);
+        b.put_u32(8, ua);
+        b.put_u8(9, format_code(self.format));
+        b.put_u8(10, self.region.code());
+        b.put_u8(11, u8::from(self.incognito));
+        b.put_u8(12, kind);
+        Ok(())
+    }
+
+    fn read_row(shard: &ColumnarShard, i: usize) -> Result<Self, ColumnarError> {
+        let row = i as u64;
+        let format_raw = shard.u8_at(9, i)?;
+        let format = format_from_code(format_raw).ok_or(ColumnarError::InvalidValue {
+            row,
+            field: "format",
+            value: u64::from(format_raw),
+        })?;
+        let region_raw = shard.u8_at(10, i)?;
+        let region = Region::from_code(region_raw).ok_or(ColumnarError::InvalidValue {
+            row,
+            field: "region",
+            value: u64::from(region_raw),
+        })?;
+        let incognito_raw = shard.u8_at(11, i)?;
+        let incognito = match incognito_raw {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(ColumnarError::InvalidValue {
+                    row,
+                    field: "incognito",
+                    value: u64::from(other),
+                })
+            }
+        };
+        let kind_raw = shard.u8_at(12, i)?;
+        let kind = match kind_raw {
+            KIND_FULL => RequestKind::Full,
+            KIND_RANGE => RequestKind::Range {
+                offset: shard.u64_at(3, i)?,
+                length: shard.u64_at(4, i)?,
+            },
+            KIND_CONDITIONAL => RequestKind::Conditional,
+            KIND_INVALID_RANGE => RequestKind::InvalidRange,
+            KIND_HOTLINK => RequestKind::Hotlink,
+            KIND_BEACON => RequestKind::Beacon,
+            other => {
+                return Err(ColumnarError::InvalidValue {
+                    row,
+                    field: "kind",
+                    value: u64::from(other),
+                })
+            }
+        };
+        Ok(Request {
+            timestamp: shard.u64_at(0, i)?,
+            publisher: PublisherId::new(shard.u16_at(6, i)?),
+            object: ObjectId::new(shard.u64_at(1, i)?),
+            format,
+            object_size: shard.u64_at(2, i)?,
+            user: UserId::new(shard.u64_at(5, i)?),
+            user_agent: shard.user_agent_at(8, i)?,
+            region,
+            tz_offset_secs: shard.i32_at(7, i)?,
+            incognito,
+            kind,
+        })
+    }
+
+    fn row_timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    fn row_publisher(&self) -> PublisherId {
+        self.publisher
+    }
+
+    fn row_status_class(&self) -> Option<u8> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard bytes: mmap with an owned aligned fallback.
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod mm {
+    //! Minimal read-only `mmap(2)` wrapper over raw syscalls — the
+    //! container environment provides no `libc`/`memmap` crate, so the two
+    //! symbols are declared directly (the same pattern the repro binary
+    //! uses for `signal(2)`).
+
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: isize,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A read-only, private, whole-file mapping. Unmapped on drop.
+    #[derive(Debug)]
+    pub(super) struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only (PROT_READ) and private; the pages
+    // never change under us and carry no thread affinity.
+    unsafe impl Send for Mapping {}
+    // SAFETY: as above — concurrent reads of immutable pages are safe.
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps `len` bytes of `file` read-only, or `None` if the kernel
+        /// refuses (callers then fall back to an owned read). `len` must be
+        /// non-zero: zero-length maps are `EINVAL` by spec.
+        pub(super) fn map(file: &File, len: usize) -> Option<Mapping> {
+            if len == 0 {
+                return None;
+            }
+            // SAFETY: a NULL addr asks the kernel to pick the placement;
+            // the fd is open for reading and outlives the call (the pages
+            // stay valid after close); PROT_READ|MAP_PRIVATE cannot alias
+            // writable memory.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                return None;
+            }
+            Some(Mapping {
+                ptr: ptr.cast_const().cast::<u8>(),
+                len,
+            })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, established in `map` and released only in `drop`.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` describe the mapping created in `map`;
+            // it is unmapped exactly once.
+            let _ = unsafe { munmap(self.ptr.cast_mut().cast::<c_void>(), self.len) };
+        }
+    }
+}
+
+/// The raw bytes of one shard: an mmap'd view where available, otherwise an
+/// owned 8-byte-aligned buffer. Either way [`ShardBytes::as_slice`] starts
+/// 8-byte aligned, which the zero-copy column views rely on.
+#[derive(Debug)]
+pub struct ShardBytes {
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    #[cfg(unix)]
+    Mapped(mm::Mapping),
+    Owned {
+        /// `u64` backing storage guarantees 8-byte alignment.
+        buf: Vec<u64>,
+        len: usize,
+    },
+}
+
+impl ShardBytes {
+    /// Opens `path` and maps (or reads) its full contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on open/stat/read failure.
+    pub fn open(path: &Path) -> io::Result<ShardBytes> {
+        let mut file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "shard exceeds usize"))?;
+        #[cfg(unix)]
+        if let Some(mapping) = mm::Mapping::map(&file, len) {
+            return Ok(ShardBytes {
+                repr: Repr::Mapped(mapping),
+            });
+        }
+        Self::read_owned(&mut file, len)
+    }
+
+    fn read_owned(file: &mut File, len: usize) -> io::Result<ShardBytes> {
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        if len > 0 {
+            // SAFETY: a `u64` buffer of ⌈len/8⌉ elements spans at least
+            // `len` initialized bytes; viewing them as `u8` is always valid.
+            let bytes = unsafe {
+                std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), buf.len() * 8)
+            };
+            file.read_exact(&mut bytes[..len])?;
+        }
+        Ok(ShardBytes {
+            repr: Repr::Owned { buf, len },
+        })
+    }
+
+    /// Whether the bytes are an actual memory mapping (as opposed to the
+    /// owned-buffer fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            #[cfg(unix)]
+            Repr::Mapped(_) => true,
+            Repr::Owned { .. } => false,
+        }
+    }
+
+    /// The shard bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(unix)]
+            Repr::Mapped(m) => m.as_slice(),
+            Repr::Owned { buf, len } => {
+                // SAFETY: `buf` spans at least `len` initialized bytes (see
+                // `read_owned`), and `u64 -> u8` reinterpretation is valid.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len) }
+            }
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the shard holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Marker for primitive types whose byte layout lets shard bytes be
+/// reinterpreted in place: no padding, no invalid bit patterns, alignment
+/// at most 8.
+#[cfg(target_endian = "little")]
+trait Pod: Copy {}
+#[cfg(target_endian = "little")]
+mod pod_impls {
+    impl super::Pod for u8 {}
+    impl super::Pod for u16 {}
+    impl super::Pod for u32 {}
+    impl super::Pod for u64 {}
+    impl super::Pod for i32 {}
+}
+
+/// Reinterprets `bytes` as a slice of `T` without copying.
+///
+/// Only sound on little-endian targets for multi-byte `T` (the on-disk
+/// layout is little-endian); callers gate on `cfg(target_endian)`.
+#[cfg(target_endian = "little")]
+fn cast_slice<T: Pod>(bytes: &[u8]) -> Result<&[T], ColumnarError> {
+    let size = std::mem::size_of::<T>();
+    if size == 0 || bytes.len() % size != 0 {
+        return Err(ColumnarError::Corrupt {
+            what: "column byte length is not a multiple of the element width",
+        });
+    }
+    if (bytes.as_ptr() as usize) % std::mem::align_of::<T>() != 0 {
+        return Err(ColumnarError::Corrupt {
+            what: "column bytes are not aligned for a zero-copy view",
+        });
+    }
+    // SAFETY: `T: Pod` admits every bit pattern and has no padding; the
+    // pointer is checked aligned for `T` just above; the length is an exact
+    // multiple of `size_of::<T>()`; the lifetime is inherited from `bytes`.
+    Ok(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) })
+}
+
+// ---------------------------------------------------------------------------
+// Shard reader.
+// ---------------------------------------------------------------------------
+
+/// One opened columnar shard: validated structure, parsed dictionary, and
+/// zero-copy access to the column bytes.
+#[derive(Debug)]
+pub struct ColumnarShard {
+    bytes: ShardBytes,
+    rows: usize,
+    schema: Schema,
+    col_offsets: [usize; MAX_COLS],
+    dict: Vec<String>,
+    zone: ZoneMap,
+}
+
+impl ColumnarShard {
+    /// Opens and validates the shard at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ColumnarError::Io`] on I/O failure; [`ColumnarError::Corrupt`],
+    /// [`ColumnarError::UnsupportedVersion`] or
+    /// [`ColumnarError::UnknownSchema`] when the bytes are not a
+    /// well-formed shard.
+    pub fn open(path: &Path) -> Result<ColumnarShard, ColumnarError> {
+        Self::parse(ShardBytes::open(path)?)
+    }
+
+    /// Validates already-loaded shard bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarShard::open`], minus the I/O cases.
+    pub fn parse(bytes: ShardBytes) -> Result<ColumnarShard, ColumnarError> {
+        let data = bytes.as_slice();
+        let len = data.len();
+        if len < HEADER_LEN + FOOTER_LEN {
+            return Err(ColumnarError::Corrupt {
+                what: "file shorter than header + footer",
+            });
+        }
+        if data.get(..8) != Some(&MAGIC[..]) {
+            return Err(ColumnarError::Corrupt {
+                what: "bad file magic",
+            });
+        }
+        let header_schema = read_u8(data, 8)?;
+        let header_version = read_u8(data, 9)?;
+
+        let footer_start = len - FOOTER_LEN;
+        if data.get(len - 8..) != Some(&FOOTER_MAGIC[..]) {
+            return Err(ColumnarError::Corrupt {
+                what: "bad footer magic",
+            });
+        }
+        let mut at = footer_start;
+        let rows_raw = read_u64(data, at)?;
+        at += 8;
+        let mut col_offsets_raw = [0u64; MAX_COLS];
+        for slot in &mut col_offsets_raw {
+            *slot = read_u64(data, at)?;
+            at += 8;
+        }
+        let dict_off_raw = read_u64(data, at)?;
+        at += 8;
+        let zone = ZoneMap {
+            min_timestamp: read_u64(data, at)?,
+            max_timestamp: read_u64(data, at + 8)?,
+            publisher_mask: read_u64(data, at + 16)?,
+            status_mask: read_u64(data, at + 24)?,
+        };
+        at += 32;
+        let footer_schema = read_u8(data, at)?;
+        let footer_version = read_u8(data, at + 1)?;
+
+        if header_version != VERSION {
+            return Err(ColumnarError::UnsupportedVersion {
+                version: header_version,
+            });
+        }
+        if footer_version != header_version {
+            return Err(ColumnarError::Corrupt {
+                what: "footer version disagrees with header",
+            });
+        }
+        let schema = Schema::from_code(header_schema).ok_or(ColumnarError::UnknownSchema {
+            code: header_schema,
+        })?;
+        if footer_schema != header_schema {
+            return Err(ColumnarError::Corrupt {
+                what: "footer schema disagrees with header",
+            });
+        }
+
+        let rows = usize::try_from(rows_raw).map_err(|_| ColumnarError::Corrupt {
+            what: "row count exceeds usize",
+        })?;
+        let dict_off = usize::try_from(dict_off_raw).map_err(|_| ColumnarError::Corrupt {
+            what: "dictionary offset exceeds usize",
+        })?;
+        if dict_off < HEADER_LEN || dict_off > footer_start {
+            return Err(ColumnarError::Corrupt {
+                what: "dictionary offset out of bounds",
+            });
+        }
+
+        let widths = schema.widths();
+        let mut col_offsets = [0usize; MAX_COLS];
+        let mut prev_end = HEADER_LEN;
+        for (i, &width) in widths.iter().enumerate() {
+            let off_raw = col_offsets_raw.get(i).copied().unwrap_or(0);
+            let off = usize::try_from(off_raw).map_err(|_| ColumnarError::Corrupt {
+                what: "column offset exceeds usize",
+            })?;
+            if off % 8 != 0 || off < prev_end {
+                return Err(ColumnarError::Corrupt {
+                    what: "column offset misordered or misaligned",
+                });
+            }
+            let col_len = rows.checked_mul(width).ok_or(ColumnarError::Corrupt {
+                what: "column length overflows",
+            })?;
+            let end = off.checked_add(col_len).ok_or(ColumnarError::Corrupt {
+                what: "column extent overflows",
+            })?;
+            if end > dict_off {
+                return Err(ColumnarError::Corrupt {
+                    what: "column extends past the dictionary",
+                });
+            }
+            if let Some(slot) = col_offsets.get_mut(i) {
+                *slot = off;
+            }
+            prev_end = end;
+        }
+        // Trailing (unused) footer slots must be zero.
+        if col_offsets_raw
+            .get(widths.len()..)
+            .is_some_and(|rest| rest.iter().any(|&o| o != 0))
+        {
+            return Err(ColumnarError::Corrupt {
+                what: "unused column-offset slots are non-zero",
+            });
+        }
+
+        let dict = parse_dict(data, dict_off, footer_start)?;
+
+        let shard = ColumnarShard {
+            bytes,
+            rows,
+            schema,
+            col_offsets,
+            dict,
+            zone,
+        };
+        // Every user-agent index must resolve; checking once here keeps the
+        // per-row decode path panic- and surprise-free.
+        let ua_col = match schema {
+            Schema::Record => 9,
+            Schema::Request => 8,
+        };
+        let dict_len = shard.dict.len() as u32;
+        for i in 0..rows {
+            let idx = shard.u32_at(ua_col, i)?;
+            if idx >= dict_len {
+                return Err(ColumnarError::InvalidValue {
+                    row: i as u64,
+                    field: "user_agent",
+                    value: u64::from(idx),
+                });
+            }
+        }
+        Ok(shard)
+    }
+
+    /// As [`ColumnarShard::open`], additionally requiring the shard to
+    /// store `expected` rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarShard::open`], plus [`ColumnarError::SchemaMismatch`].
+    pub fn open_expecting(path: &Path, expected: Schema) -> Result<ColumnarShard, ColumnarError> {
+        let shard = Self::open(path)?;
+        if shard.schema != expected {
+            return Err(ColumnarError::SchemaMismatch {
+                expected,
+                found: shard.schema,
+            });
+        }
+        Ok(shard)
+    }
+
+    /// Number of rows stored.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The row schema stored.
+    pub fn schema(&self) -> Schema {
+        self.schema
+    }
+
+    /// The shard's zone map.
+    pub fn zone(&self) -> &ZoneMap {
+        &self.zone
+    }
+
+    /// The per-shard user-agent dictionary, in index order.
+    pub fn user_agent_dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// Whether the shard bytes are memory-mapped (vs. the owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.bytes.is_mapped()
+    }
+
+    /// Raw bytes of column `col` (validated at open).
+    fn col_bytes(&self, col: usize) -> Result<&[u8], ColumnarError> {
+        let width = self
+            .schema
+            .widths()
+            .get(col)
+            .copied()
+            .ok_or(ColumnarError::Corrupt {
+                what: "column index out of range",
+            })?;
+        let off = self.col_offsets.get(col).copied().unwrap_or(0);
+        self.bytes
+            .as_slice()
+            .get(off..off + self.rows * width)
+            .ok_or(ColumnarError::Corrupt {
+                what: "column bytes out of range",
+            })
+    }
+
+    fn u64_at(&self, col: usize, i: usize) -> Result<u64, ColumnarError> {
+        let bytes = self.col_bytes(col)?;
+        read_u64(bytes, i * 8)
+    }
+
+    fn u32_at(&self, col: usize, i: usize) -> Result<u32, ColumnarError> {
+        let bytes = self.col_bytes(col)?;
+        read_u32(bytes, i * 4)
+    }
+
+    fn u16_at(&self, col: usize, i: usize) -> Result<u16, ColumnarError> {
+        let bytes = self.col_bytes(col)?;
+        read_u16(bytes, i * 2)
+    }
+
+    fn i32_at(&self, col: usize, i: usize) -> Result<i32, ColumnarError> {
+        Ok(self.u32_at(col, i)? as i32)
+    }
+
+    fn u8_at(&self, col: usize, i: usize) -> Result<u8, ColumnarError> {
+        let bytes = self.col_bytes(col)?;
+        bytes.get(i).copied().ok_or(ColumnarError::Corrupt {
+            what: "row index out of range",
+        })
+    }
+
+    fn user_agent_at(&self, col: usize, i: usize) -> Result<String, ColumnarError> {
+        let idx = self.u32_at(col, i)?;
+        self.dict
+            .get(idx as usize)
+            .cloned()
+            .ok_or(ColumnarError::InvalidValue {
+                row: i as u64,
+                field: "user_agent",
+                value: u64::from(idx),
+            })
+    }
+
+    /// Zero-copy view of the timestamp column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::Corrupt`] if the column bytes cannot be
+    /// viewed in place (never on shards validated by `open`).
+    #[cfg(target_endian = "little")]
+    pub fn timestamps(&self) -> Result<&[u64], ColumnarError> {
+        cast_slice(self.col_bytes(0)?)
+    }
+
+    /// Zero-copy view of the object-id column.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarShard::timestamps`].
+    #[cfg(target_endian = "little")]
+    pub fn objects(&self) -> Result<&[u64], ColumnarError> {
+        cast_slice(self.col_bytes(1)?)
+    }
+
+    /// Zero-copy view of the object-size column.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarShard::timestamps`].
+    #[cfg(target_endian = "little")]
+    pub fn object_sizes(&self) -> Result<&[u64], ColumnarError> {
+        cast_slice(self.col_bytes(2)?)
+    }
+
+    /// Zero-copy view of the user-id column.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarShard::timestamps`].
+    #[cfg(target_endian = "little")]
+    pub fn users(&self) -> Result<&[u64], ColumnarError> {
+        let col = match self.schema {
+            Schema::Record => 4,
+            Schema::Request => 5,
+        };
+        cast_slice(self.col_bytes(col)?)
+    }
+
+    /// Zero-copy view of the publisher column.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarShard::timestamps`].
+    #[cfg(target_endian = "little")]
+    pub fn publishers(&self) -> Result<&[u16], ColumnarError> {
+        let col = match self.schema {
+            Schema::Record => 5,
+            Schema::Request => 6,
+        };
+        cast_slice(self.col_bytes(col)?)
+    }
+
+    /// Zero-copy view of the HTTP-status column ([`Schema::Record`] only).
+    ///
+    /// # Errors
+    ///
+    /// [`ColumnarError::SchemaMismatch`] on request shards, otherwise as
+    /// [`ColumnarShard::timestamps`].
+    #[cfg(target_endian = "little")]
+    pub fn statuses(&self) -> Result<&[u16], ColumnarError> {
+        if self.schema != Schema::Record {
+            return Err(ColumnarError::SchemaMismatch {
+                expected: Schema::Record,
+                found: self.schema,
+            });
+        }
+        cast_slice(self.col_bytes(6)?)
+    }
+
+    /// Materializes rows `range` (clamped to the shard) into `out`,
+    /// appending. `out` is not cleared.
+    ///
+    /// # Errors
+    ///
+    /// [`ColumnarError::SchemaMismatch`] when `T` is not the stored row
+    /// type; [`ColumnarError::InvalidValue`] on undecodable fields.
+    pub fn read_rows<T: ColumnarRow>(
+        &self,
+        range: Range<usize>,
+        out: &mut Vec<T>,
+    ) -> Result<(), ColumnarError> {
+        self.read_matching(&ShardFilter::all(), range, out)
+    }
+
+    /// Materializes the rows of `range` (clamped to the shard) that match
+    /// `filter` into `out`, appending. Filter dimensions are tested on the
+    /// raw columns first, so non-matching rows are never materialized.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarShard::read_rows`].
+    pub fn read_matching<T: ColumnarRow>(
+        &self,
+        filter: &ShardFilter,
+        range: Range<usize>,
+        out: &mut Vec<T>,
+    ) -> Result<(), ColumnarError> {
+        if T::SCHEMA != self.schema {
+            return Err(ColumnarError::SchemaMismatch {
+                expected: T::SCHEMA,
+                found: self.schema,
+            });
+        }
+        let start = range.start.min(self.rows);
+        let end = range.end.min(self.rows);
+        for i in start..end {
+            if !self.row_matches(filter, i)? {
+                continue;
+            }
+            out.push(T::read_row(self, i)?);
+        }
+        Ok(())
+    }
+
+    /// Evaluates `filter` on row `i` using raw column reads only.
+    fn row_matches(&self, filter: &ShardFilter, i: usize) -> Result<bool, ColumnarError> {
+        if let Some(time) = &filter.time {
+            if !time.contains(&self.u64_at(0, i)?) {
+                return Ok(false);
+            }
+        }
+        if let Some(publishers) = &filter.publishers {
+            let col = match self.schema {
+                Schema::Record => 5,
+                Schema::Request => 6,
+            };
+            let publisher = PublisherId::new(self.u16_at(col, i)?);
+            if !publishers.contains(&publisher) {
+                return Ok(false);
+            }
+        }
+        if let Some(classes) = &filter.status_classes {
+            if self.schema == Schema::Record {
+                let class = (self.u16_at(6, i)? / 100) as u8;
+                if !classes.contains(&class) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn parse_dict(data: &[u8], dict_off: usize, end: usize) -> Result<Vec<String>, ColumnarError> {
+    let mut at = dict_off;
+    if at + 4 > end {
+        return Err(ColumnarError::Corrupt {
+            what: "dictionary header truncated",
+        });
+    }
+    let count = read_u32(data, at)? as usize;
+    at += 4;
+    let mut dict = Vec::new();
+    for _ in 0..count {
+        if at + 4 > end {
+            return Err(ColumnarError::Corrupt {
+                what: "dictionary entry header truncated",
+            });
+        }
+        let len = read_u32(data, at)? as usize;
+        at += 4;
+        let bytes = data
+            .get(
+                at..at.checked_add(len).ok_or(ColumnarError::Corrupt {
+                    what: "dictionary entry length overflows",
+                })?,
+            )
+            .ok_or(ColumnarError::Corrupt {
+                what: "dictionary entry truncated",
+            })?;
+        if at + len > end {
+            return Err(ColumnarError::Corrupt {
+                what: "dictionary entry extends past the footer",
+            });
+        }
+        let s = std::str::from_utf8(bytes).map_err(|_| ColumnarError::Corrupt {
+            what: "dictionary entry is not valid UTF-8",
+        })?;
+        dict.push(s.to_string());
+        at += len;
+    }
+    if at != end {
+        return Err(ColumnarError::Corrupt {
+            what: "trailing bytes between dictionary and footer",
+        });
+    }
+    Ok(dict)
+}
+
+fn read_u8(data: &[u8], at: usize) -> Result<u8, ColumnarError> {
+    data.get(at).copied().ok_or(ColumnarError::Corrupt {
+        what: "read past end of shard",
+    })
+}
+
+fn read_u16(data: &[u8], at: usize) -> Result<u16, ColumnarError> {
+    let b = data
+        .get(at..at.checked_add(2).ok_or(OVERFLOW)?)
+        .ok_or(ColumnarError::Corrupt {
+            what: "read past end of shard",
+        })?;
+    let mut a = [0u8; 2];
+    a.copy_from_slice(b);
+    Ok(u16::from_le_bytes(a))
+}
+
+fn read_u32(data: &[u8], at: usize) -> Result<u32, ColumnarError> {
+    let b = data
+        .get(at..at.checked_add(4).ok_or(OVERFLOW)?)
+        .ok_or(ColumnarError::Corrupt {
+            what: "read past end of shard",
+        })?;
+    let mut a = [0u8; 4];
+    a.copy_from_slice(b);
+    Ok(u32::from_le_bytes(a))
+}
+
+fn read_u64(data: &[u8], at: usize) -> Result<u64, ColumnarError> {
+    let b = data
+        .get(at..at.checked_add(8).ok_or(OVERFLOW)?)
+        .ok_or(ColumnarError::Corrupt {
+            what: "read past end of shard",
+        })?;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(b);
+    Ok(u64::from_le_bytes(a))
+}
+
+const OVERFLOW: ColumnarError = ColumnarError::Corrupt {
+    what: "offset arithmetic overflows",
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("oat-columnar-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<LogRecord> {
+        (0..10u64)
+            .map(|i| {
+                let mut r = LogRecord::example();
+                r.timestamp += i * 60;
+                r.publisher = PublisherId::new((i % 3) as u16);
+                r.user_agent = format!("agent-{}", i % 4);
+                r.retries = i as u8;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let dir = tmpdir("rec-rt");
+        let path = dir.join("s.col");
+        let records = sample_records();
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&records).unwrap();
+        assert_eq!(b.rows(), records.len());
+        b.write_file(&path).unwrap();
+
+        let shard = ColumnarShard::open(&path).unwrap();
+        assert_eq!(shard.rows(), records.len());
+        assert_eq!(shard.schema(), Schema::Record);
+        let mut out: Vec<LogRecord> = Vec::new();
+        shard.read_rows(0..shard.rows(), &mut out).unwrap();
+        assert_eq!(out, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn request_roundtrip_all_kinds() {
+        let dir = tmpdir("req-rt");
+        let path = dir.join("s.col");
+        let kinds = [
+            RequestKind::Full,
+            RequestKind::Range {
+                offset: 4_000_000,
+                length: 2_000_000,
+            },
+            RequestKind::Conditional,
+            RequestKind::InvalidRange,
+            RequestKind::Hotlink,
+            RequestKind::Beacon,
+        ];
+        let requests: Vec<Request> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let mut r = Request::example();
+                r.timestamp += i as u64;
+                r.incognito = i % 2 == 0;
+                r.kind = kind;
+                r
+            })
+            .collect();
+        let mut b = ColumnBuilder::<Request>::new();
+        b.push_batch(&requests).unwrap();
+        b.write_file(&path).unwrap();
+
+        let shard = ColumnarShard::open_expecting(&path, Schema::Request).unwrap();
+        let mut out: Vec<Request> = Vec::new();
+        shard.read_rows(0..shard.rows(), &mut out).unwrap();
+        assert_eq!(out, requests);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn schema_mismatch_is_detected() {
+        let dir = tmpdir("mismatch");
+        let path = dir.join("s.col");
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push(&LogRecord::example()).unwrap();
+        b.write_file(&path).unwrap();
+
+        assert!(matches!(
+            ColumnarShard::open_expecting(&path, Schema::Request),
+            Err(ColumnarError::SchemaMismatch { .. })
+        ));
+        let shard = ColumnarShard::open(&path).unwrap();
+        let mut out: Vec<Request> = Vec::new();
+        assert!(matches!(
+            shard.read_rows(0..1, &mut out),
+            Err(ColumnarError::SchemaMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zone_map_tracks_rows() {
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        for r in sample_records() {
+            b.push(&r).unwrap();
+        }
+        let zone = b.zone();
+        let base = LogRecord::example().timestamp;
+        assert_eq!(zone.min_timestamp, base);
+        assert_eq!(zone.max_timestamp, base + 9 * 60);
+        for p in 0..3u16 {
+            assert_ne!(zone.publisher_mask & (1 << p), 0);
+        }
+        // All samples are 206 → only class 2 set.
+        assert_eq!(zone.status_mask, 1 << 2);
+    }
+
+    #[test]
+    fn zone_pruning_is_conservative() {
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&sample_records()).unwrap();
+        let zone = *b.zone();
+        let base = LogRecord::example().timestamp;
+
+        assert!(zone.may_match(&ShardFilter::all()));
+        assert!(zone.may_match(&ShardFilter::all().with_time(base..base + 1)));
+        assert!(!zone.may_match(&ShardFilter::all().with_time(0..base)));
+        assert!(!zone.may_match(&ShardFilter::all().with_time(base + 10 * 60..base + 20 * 60)));
+        assert!(zone.may_match(&ShardFilter::all().with_publishers(vec![PublisherId::new(1)])));
+        assert!(!zone.may_match(&ShardFilter::all().with_publishers(vec![PublisherId::new(7)])));
+        assert!(zone.may_match(&ShardFilter::all().with_status_classes(vec![2])));
+        assert!(!zone.may_match(&ShardFilter::all().with_status_classes(vec![5])));
+    }
+
+    #[test]
+    fn request_shards_never_prune_on_status() {
+        let mut b = ColumnBuilder::<Request>::new();
+        b.push(&Request::example()).unwrap();
+        assert!(b
+            .zone()
+            .may_match(&ShardFilter::all().with_status_classes(vec![5])));
+    }
+
+    #[test]
+    fn filtered_read_equals_full_scan_plus_filter() {
+        let dir = tmpdir("filter");
+        let path = dir.join("s.col");
+        let records = sample_records();
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&records).unwrap();
+        b.write_file(&path).unwrap();
+        let shard = ColumnarShard::open(&path).unwrap();
+
+        let base = LogRecord::example().timestamp;
+        let filter = ShardFilter::all()
+            .with_time(base + 60..base + 8 * 60)
+            .with_publishers(vec![PublisherId::new(1), PublisherId::new(2)]);
+        let mut fast: Vec<LogRecord> = Vec::new();
+        shard
+            .read_matching(&filter, 0..shard.rows(), &mut fast)
+            .unwrap();
+        let slow: Vec<LogRecord> = records
+            .iter()
+            .filter(|r| filter.matches(*r))
+            .cloned()
+            .collect();
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_shard_roundtrips() {
+        let dir = tmpdir("empty");
+        let path = dir.join("s.col");
+        let b = ColumnBuilder::<LogRecord>::new();
+        b.write_file(&path).unwrap();
+        let shard = ColumnarShard::open(&path).unwrap();
+        assert_eq!(shard.rows(), 0);
+        assert_eq!(*shard.zone(), ZoneMap::empty());
+        let mut out: Vec<LogRecord> = Vec::new();
+        shard.read_rows(0..10, &mut out).unwrap();
+        assert!(out.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_shards_are_rejected() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("s.col");
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&sample_records()).unwrap();
+        b.write_file(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncations at every interesting boundary.
+        for cut in [0, 4, HEADER_LEN, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = ColumnarShard::open(&path).unwrap_err();
+            assert!(err.is_data_error(), "cut at {cut}: {err}");
+        }
+
+        // Bad leading magic.
+        let mut bad = full.clone();
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ColumnarShard::open(&path),
+            Err(ColumnarError::Corrupt { .. })
+        ));
+
+        // Unsupported version.
+        let mut bad = full.clone();
+        bad[9] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ColumnarShard::open(&path),
+            Err(ColumnarError::UnsupportedVersion { version: 99 })
+        ));
+
+        // Unknown schema code.
+        let mut bad = full.clone();
+        bad[8] = 7;
+        let footer_schema_at = full.len() - FOOTER_LEN + 8 + 8 * MAX_COLS + 8 + 32;
+        bad[footer_schema_at] = 7;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ColumnarShard::open(&path),
+            Err(ColumnarError::UnknownSchema { code: 7 })
+        ));
+
+        // Status column corrupted to an invalid code: caught on read.
+        std::fs::write(&path, &full).unwrap();
+        let shard = ColumnarShard::open(&path).unwrap();
+        let status_off = shard.col_offsets[6];
+        drop(shard);
+        let mut bad = full.clone();
+        bad[status_off] = 0xFF;
+        bad[status_off + 1] = 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        let shard = ColumnarShard::open(&path).unwrap();
+        let mut out: Vec<LogRecord> = Vec::new();
+        assert!(matches!(
+            shard.read_rows(0..shard.rows(), &mut out),
+            Err(ColumnarError::InvalidValue {
+                field: "status",
+                ..
+            })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_copy_views_match_rows() {
+        let dir = tmpdir("views");
+        let path = dir.join("s.col");
+        let records = sample_records();
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&records).unwrap();
+        b.write_file(&path).unwrap();
+        let shard = ColumnarShard::open(&path).unwrap();
+
+        #[cfg(target_endian = "little")]
+        {
+            let ts: Vec<u64> = records.iter().map(|r| r.timestamp).collect();
+            assert_eq!(shard.timestamps().unwrap(), &ts[..]);
+            let pubs: Vec<u16> = records.iter().map(|r| r.publisher.raw()).collect();
+            assert_eq!(shard.publishers().unwrap(), &pubs[..]);
+            let statuses: Vec<u16> = records.iter().map(|r| r.status.code()).collect();
+            assert_eq!(shard.statuses().unwrap(), &statuses[..]);
+            let objects: Vec<u64> = records.iter().map(|r| r.object.raw()).collect();
+            assert_eq!(shard.objects().unwrap(), &objects[..]);
+            let sizes: Vec<u64> = records.iter().map(|r| r.object_size).collect();
+            assert_eq!(shard.object_sizes().unwrap(), &sizes[..]);
+            let users: Vec<u64> = records.iter().map(|r| r.user.raw()).collect();
+            assert_eq!(shard.users().unwrap(), &users[..]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dictionary_deduplicates_user_agents() {
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&sample_records()).unwrap();
+        // 10 rows but only 4 distinct agents.
+        let dir = tmpdir("dict");
+        let path = dir.join("s.col");
+        b.write_file(&path).unwrap();
+        let shard = ColumnarShard::open(&path).unwrap();
+        assert_eq!(shard.user_agent_dict().len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn builder_clear_resets_everything() {
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&sample_records()).unwrap();
+        assert!(b.rows() > 0 && b.buffered_bytes() > 0);
+        b.clear();
+        assert_eq!(b.rows(), 0);
+        assert_eq!(b.buffered_bytes(), 0);
+        assert_eq!(*b.zone(), ZoneMap::empty());
+    }
+
+    #[test]
+    fn owned_fallback_reads_identically() {
+        let dir = tmpdir("owned");
+        let path = dir.join("s.col");
+        let records = sample_records();
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&records).unwrap();
+        b.write_file(&path).unwrap();
+
+        let mut file = File::open(&path).unwrap();
+        let len = file.metadata().unwrap().len() as usize;
+        let bytes = ShardBytes::read_owned(&mut file, len).unwrap();
+        assert!(!bytes.is_mapped());
+        let shard = ColumnarShard::parse(bytes).unwrap();
+        let mut out: Vec<LogRecord> = Vec::new();
+        shard.read_rows(0..shard.rows(), &mut out).unwrap();
+        assert_eq!(out, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

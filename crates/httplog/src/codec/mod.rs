@@ -1,14 +1,18 @@
 //! Log-record codecs.
 //!
-//! Two wire formats are provided:
+//! Three wire formats are provided:
 //!
 //! * [`text`] — a tab-separated, human-greppable format, one record per
 //!   line, mirroring classic CDN access-log dumps.
 //! * [`binary`] — a compact length-prefixed binary format (~4–6× smaller,
 //!   ~10× faster to parse), for large synthetic traces.
+//! * [`columnar`] — a struct-of-arrays shard format with per-shard zone
+//!   maps and mmap zero-copy reads, for out-of-core multi-pass analysis.
 //!
-//! Both codecs round-trip every [`LogRecord`](crate::LogRecord) exactly;
-//! the property tests enforce this.
+//! All codecs round-trip every [`LogRecord`](crate::LogRecord) exactly;
+//! the property tests enforce this. The row codecs remain conversion
+//! targets for columnar data (see [`crate::io`]).
 
 pub mod binary;
+pub mod columnar;
 pub mod text;

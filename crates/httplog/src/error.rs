@@ -9,6 +9,7 @@
 //! "the record is malformed" without string matching.
 
 use crate::codec::binary::{BinaryDecodeError, BinaryEncodeError};
+use crate::codec::columnar::ColumnarError;
 use crate::codec::text::TextDecodeError;
 use std::fmt;
 use std::io;
@@ -35,19 +36,23 @@ pub enum HttplogError {
         /// The configured budget that was exceeded.
         budget: u64,
     },
+    /// A columnar shard failed to read or write (see
+    /// [`codec::columnar`](crate::codec::columnar)).
+    Columnar(ColumnarError),
 }
 
 impl HttplogError {
     /// True when the input itself (not the environment) is at fault: a
     /// malformed record or an unencodable one.
     pub fn is_data_error(&self) -> bool {
-        matches!(
-            self,
+        match self {
             Self::TextDecode(_)
-                | Self::BinaryDecode(_)
-                | Self::Encode(_)
-                | Self::ErrorBudgetExceeded { .. }
-        )
+            | Self::BinaryDecode(_)
+            | Self::Encode(_)
+            | Self::ErrorBudgetExceeded { .. } => true,
+            Self::Columnar(e) => e.is_data_error(),
+            Self::Io(_) | Self::InvalidConfig(_) => false,
+        }
     }
 }
 
@@ -66,6 +71,7 @@ impl fmt::Display for HttplogError {
                 f,
                 "quarantined {quarantined} corrupt records, exceeding the error budget of {budget}"
             ),
+            Self::Columnar(e) => write!(f, "columnar shard error: {e}"),
         }
     }
 }
@@ -79,6 +85,7 @@ impl std::error::Error for HttplogError {
             Self::Encode(e) => Some(e),
             Self::InvalidConfig(_) => None,
             Self::ErrorBudgetExceeded { .. } => None,
+            Self::Columnar(e) => Some(e),
         }
     }
 }
@@ -107,6 +114,17 @@ impl From<BinaryEncodeError> for HttplogError {
     }
 }
 
+/// Columnar I/O failures surface as [`HttplogError::Io`] so environmental
+/// and data faults stay distinguishable at this level too.
+impl From<ColumnarError> for HttplogError {
+    fn from(e: ColumnarError) -> Self {
+        match e {
+            ColumnarError::Io(inner) => Self::Io(inner),
+            other => Self::Columnar(other),
+        }
+    }
+}
+
 /// Lossy downgrade for callers living in `io::Result` land: decode errors
 /// become [`io::ErrorKind::InvalidData`], encode errors
 /// [`io::ErrorKind::InvalidInput`].
@@ -120,7 +138,7 @@ impl From<HttplogError> for io::Error {
             HttplogError::Encode(_) | HttplogError::InvalidConfig(_) => {
                 io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
             }
-            HttplogError::ErrorBudgetExceeded { .. } => {
+            HttplogError::ErrorBudgetExceeded { .. } | HttplogError::Columnar(_) => {
                 io::Error::new(io::ErrorKind::InvalidData, e.to_string())
             }
         }

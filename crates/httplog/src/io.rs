@@ -282,6 +282,64 @@ pub fn read_all<R: Read>(source: R, format: Format) -> Result<Vec<LogRecord>, Ht
     LogReader::new(source, format).collect()
 }
 
+/// Converts a row-codec record stream into a
+/// [columnar](crate::codec::columnar) shard directory, returning the
+/// record count. Memory is bounded by one shard's column buffers.
+///
+/// # Errors
+///
+/// Propagates the first decode/IO error from either side.
+pub fn transcode_to_columnar<R: Read>(
+    source: R,
+    format: Format,
+    dir: &std::path::Path,
+    prefix: &str,
+    rows_per_shard: usize,
+) -> Result<u64, HttplogError> {
+    let mut writer =
+        crate::shard::ColumnarDirWriter::<LogRecord>::new(dir, prefix, rows_per_shard)?;
+    for record in LogReader::new(source, format) {
+        writer.push(&record?)?;
+    }
+    let (rows, _) = writer.finish()?;
+    Ok(rows)
+}
+
+/// Converts a columnar shard directory back into a row-codec stream (the
+/// row codecs remain the interchange formats), returning the record
+/// count. Memory is bounded by one decode batch.
+///
+/// # Errors
+///
+/// Propagates the first decode/encode/IO error from either side.
+pub fn transcode_from_columnar<W: Write>(
+    dir: &std::path::Path,
+    prefix: &str,
+    sink: W,
+    format: Format,
+) -> Result<u64, HttplogError> {
+    use crate::codec::columnar::ShardFilter;
+    let reader = crate::shard::ColumnarDirReader::<LogRecord>::open(dir, prefix)?;
+    let mut writer = LogWriter::new(sink, format);
+    let mut first_err = None;
+    reader.scan(&ShardFilter::all(), 0, |batch| {
+        if first_err.is_some() {
+            return;
+        }
+        for record in batch {
+            if let Err(e) = writer.write(record) {
+                first_err = Some(e);
+                return;
+            }
+        }
+    })?;
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    writer.flush()?;
+    Ok(writer.written())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

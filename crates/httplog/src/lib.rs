@@ -29,7 +29,10 @@
 //! # Ok::<(), oat_httplog::codec::text::TextDecodeError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `codec::columnar` opts back in for its
+// alignment-checked zero-copy casts and mmap wrapper — the only module in
+// the workspace allowed to (enforced by oat-lint's `unsafe-confinement`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -47,6 +50,9 @@ pub mod shard;
 pub mod status;
 
 pub use anonymize::Anonymizer;
+pub use codec::columnar::{
+    ColumnBuilder, ColumnarError, ColumnarRow, ColumnarShard, Schema, ShardFilter, ZoneMap,
+};
 pub use content::{ContentClass, FileFormat};
 pub use error::HttplogError;
 pub use filter::LogStreamExt;
@@ -55,5 +61,7 @@ pub use ids::{ObjectId, PopId, PublisherId, UserId};
 pub use io::{LogReader, LogWriter};
 pub use record::LogRecord;
 pub use request::{Request, RequestKind};
-pub use shard::{ErrorBudget, QuarantineReport, ShardedWriter};
+pub use shard::{
+    ColumnarDirReader, ColumnarDirWriter, ErrorBudget, QuarantineReport, ShardedWriter,
+};
 pub use status::{CacheStatus, DegradedServe, HttpStatus};

@@ -1,10 +1,19 @@
-//! Time-rotated log shards.
+//! Time-rotated log shards and out-of-core columnar shard directories.
 //!
 //! Production CDN logs arrive as per-interval files (hourly dumps per
 //! PoP). [`ShardedWriter`] rotates output files on record-timestamp
 //! boundaries, and [`read_merged`] k-way-merges a directory of shards back
 //! into one time-ordered stream.
+//!
+//! For out-of-core analysis, [`ColumnarDirWriter`] rotates
+//! [columnar](crate::codec::columnar) shards on a fixed row count and
+//! [`ColumnarDirReader`] makes repeated bounded-memory passes over the
+//! resulting directory, skipping whole shards whose zone maps cannot match
+//! a [`ShardFilter`].
 
+use crate::codec::columnar::{
+    ColumnBuilder, ColumnarError, ColumnarRow, ColumnarShard, ShardFilter,
+};
 use crate::error::HttplogError;
 use crate::io::{Format, LogReader, LogWriter};
 use crate::record::LogRecord;
@@ -12,6 +21,7 @@ use std::collections::hash_map::Entry;
 use std::collections::BinaryHeap;
 use std::fs::File;
 use std::io::BufWriter;
+use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 
 /// Writes records into per-interval shard files named
@@ -347,6 +357,335 @@ pub fn read_merged_lossy(
     Ok((out, report))
 }
 
+/// Default rows per columnar shard (≈4 M rows ≈ 250 MB of record columns):
+/// large enough to amortize per-shard overhead, small enough that one
+/// shard's decode buffers stay far below the out-of-core RSS targets.
+pub const DEFAULT_ROWS_PER_SHARD: usize = 4_000_000;
+
+/// Writes a stream of rows into rotating
+/// [columnar](crate::codec::columnar) shards `<prefix>-NNNNNN.col` under a
+/// directory.
+///
+/// Rows land in arrival order; a shard is sealed and flushed to disk every
+/// `rows_per_shard` rows, so peak memory is bounded by one shard's column
+/// buffers regardless of stream length.
+///
+/// # Example
+///
+/// ```no_run
+/// use oat_httplog::shard::ColumnarDirWriter;
+/// use oat_httplog::LogRecord;
+///
+/// let mut w = ColumnarDirWriter::<LogRecord>::new("/tmp/cols", "trace", 100_000)?;
+/// w.push(&LogRecord::example())?;
+/// w.finish()?;
+/// # Ok::<(), oat_httplog::HttplogError>(())
+/// ```
+#[derive(Debug)]
+pub struct ColumnarDirWriter<T: ColumnarRow> {
+    dir: PathBuf,
+    prefix: String,
+    rows_per_shard: usize,
+    builder: ColumnBuilder<T>,
+    shards: u64,
+    rows: u64,
+}
+
+impl<T: ColumnarRow> ColumnarDirWriter<T> {
+    /// Creates a writer rotating every `rows_per_shard` rows (`0` =
+    /// [`DEFAULT_ROWS_PER_SHARD`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HttplogError::Io`] if the directory cannot be created.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        prefix: impl Into<String>,
+        rows_per_shard: usize,
+    ) -> Result<Self, HttplogError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            prefix: prefix.into(),
+            rows_per_shard: if rows_per_shard == 0 {
+                DEFAULT_ROWS_PER_SHARD
+            } else {
+                rows_per_shard
+            },
+            builder: ColumnBuilder::new(),
+            shards: 0,
+            rows: 0,
+        })
+    }
+
+    fn shard_path(dir: &Path, prefix: &str, index: u64) -> PathBuf {
+        dir.join(format!("{prefix}-{index:06}.col"))
+    }
+
+    /// Appends one row, sealing the current shard if it is full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode and file-write errors.
+    pub fn push(&mut self, row: &T) -> Result<(), HttplogError> {
+        self.builder.push(row)?;
+        self.rows += 1;
+        if self.builder.rows() >= self.rows_per_shard {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a batch of rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarDirWriter::push`].
+    pub fn push_batch(&mut self, rows: &[T]) -> Result<(), HttplogError> {
+        for row in rows {
+            self.push(row)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the in-progress shard to disk (no-op when empty).
+    fn seal(&mut self) -> Result<(), HttplogError> {
+        if self.builder.rows() == 0 {
+            return Ok(());
+        }
+        let path = Self::shard_path(&self.dir, &self.prefix, self.shards);
+        self.builder.write_file(&path)?;
+        self.builder.clear();
+        self.shards += 1;
+        Ok(())
+    }
+
+    /// Total rows pushed.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Shards sealed so far (excluding the in-progress one).
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Seals the final shard and returns `(rows, shards)` written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final shard's write error.
+    pub fn finish(mut self) -> Result<(u64, u64), HttplogError> {
+        self.seal()?;
+        Ok((self.rows, self.shards))
+    }
+}
+
+/// A bounded-memory reader over a [`ColumnarDirWriter`] output directory.
+///
+/// The reader holds only the sorted shard path list; every
+/// [`scan`](ColumnarDirReader::scan) opens (mmaps) one shard at a time, so
+/// repeated passes touch at most one shard's pages plus one decode batch
+/// of rows. Shards whose [zone maps](crate::codec::columnar::ZoneMap)
+/// cannot match the filter are skipped without reading their columns.
+#[derive(Debug, Clone)]
+pub struct ColumnarDirReader<T: ColumnarRow> {
+    paths: Vec<PathBuf>,
+    _row: PhantomData<fn() -> T>,
+}
+
+impl<T: ColumnarRow> ColumnarDirReader<T> {
+    /// Opens the `<prefix>-*.col` shards of `dir`, sorted by name (which
+    /// is write order for [`ColumnarDirWriter`] output).
+    ///
+    /// The shard files are listed, not parsed: corrupt shards surface on
+    /// the first scan (or are quarantined by
+    /// [`scan_lossy`](ColumnarDirReader::scan_lossy)).
+    ///
+    /// # Errors
+    ///
+    /// [`HttplogError::Io`] if the directory cannot be read.
+    pub fn open(dir: &Path, prefix: &str) -> Result<Self, HttplogError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension().and_then(|e| e.to_str()) == Some("col")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with(prefix))
+            })
+            .collect();
+        paths.sort();
+        Ok(Self {
+            paths,
+            _row: PhantomData,
+        })
+    }
+
+    /// Number of shard files.
+    pub fn shards(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The shard paths, in scan order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+
+    /// Total rows across all shards (reads only footers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard open/parse error.
+    pub fn rows(&self) -> Result<u64, HttplogError> {
+        let mut total: u64 = 0;
+        for path in &self.paths {
+            let shard = ColumnarShard::open_expecting(path, T::SCHEMA)?;
+            total += shard.rows() as u64;
+        }
+        Ok(total)
+    }
+
+    /// One bounded-memory pass: feeds `sink` batches of at most
+    /// `batch_rows` rows (`0` = 65 536) matching `filter`, in shard order,
+    /// and returns the number of rows delivered. Shards pruned by their
+    /// zone map are never opened beyond the footer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard open/parse/decode errors.
+    pub fn scan<F>(
+        &self,
+        filter: &ShardFilter,
+        batch_rows: usize,
+        mut sink: F,
+    ) -> Result<u64, HttplogError>
+    where
+        F: FnMut(&[T]),
+    {
+        let batch_rows = if batch_rows == 0 { 65_536 } else { batch_rows };
+        let mut delivered: u64 = 0;
+        let mut batch: Vec<T> = Vec::new();
+        for path in &self.paths {
+            let shard = ColumnarShard::open_expecting(path, T::SCHEMA)?;
+            if !shard.zone().may_match(filter) {
+                continue;
+            }
+            let rows = shard.rows();
+            let mut lo = 0;
+            while lo < rows {
+                let hi = lo.saturating_add(batch_rows).min(rows);
+                batch.clear();
+                shard.read_matching(filter, lo..hi, &mut batch)?;
+                if !batch.is_empty() {
+                    delivered += batch.len() as u64;
+                    sink(&batch);
+                }
+                lo = hi;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Like [`scan`](ColumnarDirReader::scan), but quarantines damage
+    /// instead of aborting: a shard that fails to open/parse is skipped
+    /// (counted once), and within a readable shard each row that fails to
+    /// decode is skipped (counted per row). IO errors remain fatal.
+    ///
+    /// # Errors
+    ///
+    /// [`HttplogError::ErrorBudgetExceeded`] once the quarantine count
+    /// passes `budget.max_quarantined`, and [`HttplogError::Io`] for
+    /// environment failures.
+    pub fn scan_lossy<F>(
+        &self,
+        filter: &ShardFilter,
+        batch_rows: usize,
+        budget: ErrorBudget,
+        mut sink: F,
+    ) -> Result<(u64, QuarantineReport), HttplogError>
+    where
+        F: FnMut(&[T]),
+    {
+        let batch_rows = if batch_rows == 0 { 65_536 } else { batch_rows };
+        let mut delivered: u64 = 0;
+        let mut report = QuarantineReport::default();
+        let quarantine = |report: &mut QuarantineReport,
+                          path: &Path,
+                          e: &ColumnarError|
+         -> Result<(), HttplogError> {
+            report.quarantined += 1;
+            if report.samples.len() < budget.max_samples {
+                report.samples.push(format!("{}: {e}", path.display()));
+            }
+            if report.quarantined > budget.max_quarantined {
+                return Err(HttplogError::ErrorBudgetExceeded {
+                    quarantined: report.quarantined,
+                    budget: budget.max_quarantined,
+                });
+            }
+            Ok(())
+        };
+        let mut batch: Vec<T> = Vec::new();
+        for path in &self.paths {
+            let shard = match ColumnarShard::open_expecting(path, T::SCHEMA) {
+                Ok(shard) => shard,
+                Err(e) if e.is_data_error() => {
+                    quarantine(&mut report, path, &e)?;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            if !shard.zone().may_match(filter) {
+                continue;
+            }
+            let rows = shard.rows();
+            let mut lo = 0;
+            while lo < rows {
+                let hi = lo.saturating_add(batch_rows).min(rows);
+                batch.clear();
+                match shard.read_matching(filter, lo..hi, &mut batch) {
+                    Ok(()) => {}
+                    Err(e) if e.is_data_error() => {
+                        // Re-read the window row by row so one bad row
+                        // doesn't quarantine its whole batch.
+                        batch.clear();
+                        for i in lo..hi {
+                            match shard.read_matching(filter, i..i + 1, &mut batch) {
+                                Ok(()) => {}
+                                Err(e) if e.is_data_error() => {
+                                    quarantine(&mut report, path, &e)?;
+                                }
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+                if !batch.is_empty() {
+                    delivered += batch.len() as u64;
+                    sink(&batch);
+                }
+                lo = hi;
+            }
+        }
+        Ok((delivered, report))
+    }
+
+    /// Materializes every matching row (convenience for tests and small
+    /// directories; prefer [`scan`](ColumnarDirReader::scan) at scale).
+    ///
+    /// # Errors
+    ///
+    /// As [`scan`](ColumnarDirReader::scan).
+    pub fn read_all(&self, filter: &ShardFilter) -> Result<Vec<T>, HttplogError> {
+        let mut out = Vec::new();
+        self.scan(filter, 0, |batch| out.extend_from_slice(batch))?;
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,5 +935,124 @@ mod tests {
         assert!(read_merged(&dir, "access", Format::Text)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn columnar_dir_rotates_and_reads_back() {
+        let dir = tmp("col-rotate");
+        let input = records(25);
+        let mut w = ColumnarDirWriter::<LogRecord>::new(&dir, "trace", 10).expect("writer");
+        w.push_batch(&input).expect("push");
+        assert_eq!(w.rows(), 25);
+        assert_eq!(w.shards(), 2, "two full shards sealed, tail in memory");
+        let (rows, shards) = w.finish().expect("finish");
+        assert_eq!((rows, shards), (25, 3));
+
+        let r = ColumnarDirReader::<LogRecord>::open(&dir, "trace").expect("reader");
+        assert_eq!(r.shards(), 3);
+        assert_eq!(r.rows().expect("rows"), 25);
+        let back = r.read_all(&ShardFilter::all()).expect("read");
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn columnar_scan_batches_are_bounded_and_ordered() {
+        let dir = tmp("col-batch");
+        let input = records(23);
+        let mut w = ColumnarDirWriter::<LogRecord>::new(&dir, "trace", 9).expect("writer");
+        w.push_batch(&input).expect("push");
+        w.finish().expect("finish");
+
+        let r = ColumnarDirReader::<LogRecord>::open(&dir, "trace").expect("reader");
+        let mut seen = Vec::new();
+        let mut max_batch = 0;
+        let n = r
+            .scan(&ShardFilter::all(), 4, |batch| {
+                max_batch = max_batch.max(batch.len());
+                seen.extend_from_slice(batch);
+            })
+            .expect("scan");
+        assert_eq!(n, 23);
+        assert!(max_batch <= 4, "batches respect the row bound");
+        assert_eq!(seen, input);
+    }
+
+    #[test]
+    fn columnar_zone_pruning_matches_full_scan() {
+        let dir = tmp("col-prune");
+        let input = records(40); // timestamps 0..39k, 10 rows per shard
+        let mut w = ColumnarDirWriter::<LogRecord>::new(&dir, "trace", 10).expect("writer");
+        w.push_batch(&input).expect("push");
+        w.finish().expect("finish");
+
+        let r = ColumnarDirReader::<LogRecord>::open(&dir, "trace").expect("reader");
+        let filter = ShardFilter::all().with_time(12_000..27_000);
+        let pruned = r.read_all(&filter).expect("filtered read");
+        let expected: Vec<LogRecord> = input
+            .iter()
+            .filter(|rec| (12_000..27_000).contains(&rec.timestamp))
+            .cloned()
+            .collect();
+        assert_eq!(pruned, expected);
+    }
+
+    #[test]
+    fn columnar_lossy_scan_quarantines_corrupt_shard() {
+        let dir = tmp("col-lossy");
+        let input = records(30);
+        let mut w = ColumnarDirWriter::<LogRecord>::new(&dir, "trace", 10).expect("writer");
+        w.push_batch(&input).expect("push");
+        w.finish().expect("finish");
+
+        // Truncate the middle shard so it fails to parse.
+        let middle = dir.join("trace-000001.col");
+        let bytes = std::fs::read(&middle).unwrap();
+        std::fs::write(&middle, &bytes[..bytes.len() / 2]).unwrap();
+
+        let r = ColumnarDirReader::<LogRecord>::open(&dir, "trace").expect("reader");
+        assert!(r.read_all(&ShardFilter::all()).is_err(), "strict aborts");
+
+        let mut seen: Vec<LogRecord> = Vec::new();
+        let (n, report) = r
+            .scan_lossy(&ShardFilter::all(), 0, ErrorBudget::default(), |batch| {
+                seen.extend_from_slice(batch)
+            })
+            .expect("lossy scan");
+        assert_eq!(n, 20, "both intact shards survive");
+        assert_eq!(report.quarantined, 1);
+        assert!(report.samples[0].contains("trace-000001.col"));
+        let expected: Vec<LogRecord> = input[..10].iter().chain(&input[20..]).cloned().collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn columnar_lossy_scan_respects_budget() {
+        let dir = tmp("col-lossy-budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("trace-000000.col"), b"garbage").unwrap();
+        std::fs::write(dir.join("trace-000001.col"), b"more garbage").unwrap();
+        let r = ColumnarDirReader::<LogRecord>::open(&dir, "trace").expect("reader");
+        let err = r
+            .scan_lossy(&ShardFilter::all(), 0, ErrorBudget::new(1), |_| {})
+            .expect_err("budget of 1 cannot absorb 2 bad shards");
+        assert!(matches!(err, HttplogError::ErrorBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn transcode_roundtrip_binary_to_columnar_and_back() {
+        let dir = tmp("col-transcode");
+        let input = records(17);
+        let mut row_bytes = Vec::new();
+        crate::io::write_all(&mut row_bytes, Format::Binary, &input).expect("encode");
+
+        let n = crate::io::transcode_to_columnar(&row_bytes[..], Format::Binary, &dir, "t", 5)
+            .expect("to columnar");
+        assert_eq!(n, 17);
+
+        let mut back_bytes = Vec::new();
+        let m = crate::io::transcode_from_columnar(&dir, "t", &mut back_bytes, Format::Binary)
+            .expect("from columnar");
+        assert_eq!(m, 17);
+        assert_eq!(back_bytes, row_bytes, "row codec bytes are identical");
     }
 }

@@ -1,13 +1,44 @@
-//! Property-based tests: both codecs round-trip arbitrary records.
+//! Property-based tests: both row codecs round-trip arbitrary records, and
+//! the columnar shard path (spool → zone-pruned scan → quarantine) agrees
+//! with them byte for byte.
 
 use bytes::BytesMut;
 use oat_httplog::codec::{binary, text};
 use oat_httplog::io::{read_all, write_all, Format};
 use oat_httplog::{
-    Anonymizer, CacheStatus, DegradedServe, FileFormat, HttpStatus, LogRecord, ObjectId, PopId,
-    PublisherId, UserId,
+    Anonymizer, CacheStatus, ColumnarDirReader, ColumnarDirWriter, DegradedServe, ErrorBudget,
+    FileFormat, HttpStatus, HttplogError, LogRecord, ObjectId, PopId, PublisherId, ShardFilter,
+    UserId,
 };
 use proptest::prelude::*;
+
+/// Fresh per-case spool directory (unique across parallel test threads).
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "oat-httplog-props-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Spools `records` into a columnar directory and reopens it for reading.
+fn spool(
+    records: &[LogRecord],
+    rows_per_shard: usize,
+    tag: &str,
+) -> (std::path::PathBuf, ColumnarDirReader<LogRecord>) {
+    let dir = temp_dir(tag);
+    let mut writer =
+        ColumnarDirWriter::<LogRecord>::new(&dir, "rec", rows_per_shard).expect("create writer");
+    writer.push_batch(records).expect("spool records");
+    writer.finish().expect("finish spool");
+    let reader = ColumnarDirReader::open(&dir, "rec").expect("open spool");
+    (dir, reader)
+}
 
 fn record_strategy() -> impl Strategy<Value = LogRecord> {
     (
@@ -106,5 +137,138 @@ proptest! {
         let ids: std::collections::HashSet<u64> =
             urls.iter().map(|u| anon.object_id(u).raw()).collect();
         prop_assert_eq!(ids.len(), urls.len());
+    }
+
+    /// Round-tripping through the columnar spool is invisible to every row
+    /// codec: the text and binary encodings of the read-back records are
+    /// byte-identical to encoding the originals directly.
+    #[test]
+    fn columnar_roundtrip_is_byte_identical_per_codec(
+        records in prop::collection::vec(record_strategy(), 1..40),
+        rows_per_shard in 1usize..16,
+    ) {
+        let (dir, reader) = spool(&records, rows_per_shard, "roundtrip");
+        let back = reader.read_all(&ShardFilter::all()).expect("read back");
+        prop_assert_eq!(&back, &records);
+        for (original, restored) in records.iter().zip(&back) {
+            // Text codec (format v1 lines).
+            prop_assert_eq!(text::encode(original), text::encode(restored));
+            // Binary codec (current frame version).
+            let (mut a, mut b) = (BytesMut::new(), BytesMut::new());
+            binary::encode(original, &mut a).expect("UA fits frame");
+            binary::encode(restored, &mut b).expect("UA fits frame");
+            prop_assert_eq!(a.freeze(), b.freeze());
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Zone-map pruning is an optimization, never a filter: a pruned scan
+    /// returns exactly the rows a full scan plus per-row predicate returns,
+    /// in the same order, for arbitrary time/publisher/status filters.
+    #[test]
+    fn zone_pruned_scan_equals_full_scan(
+        records in prop::collection::vec(record_strategy(), 1..60),
+        rows_per_shard in 1usize..8,
+        bounds in (any::<u64>(), any::<u64>()),
+        use_time in any::<bool>(),
+        publishers in prop::collection::vec(any::<u16>(), 0..4),
+        classes in prop::collection::vec(1u8..=5, 0..3),
+    ) {
+        let mut filter = ShardFilter::all();
+        if use_time {
+            let (lo, hi) = (bounds.0.min(bounds.1), bounds.0.max(bounds.1));
+            filter = filter.with_time(lo..hi);
+        }
+        if !publishers.is_empty() {
+            filter = filter.with_publishers(
+                publishers.iter().copied().map(PublisherId::new).collect(),
+            );
+        }
+        if !classes.is_empty() {
+            filter = filter.with_status_classes(classes);
+        }
+        let (dir, reader) = spool(&records, rows_per_shard, "pruned");
+        let pruned = reader.read_all(&filter).expect("pruned scan");
+        let expected: Vec<LogRecord> = records
+            .iter()
+            .filter(|r| filter.matches(*r))
+            .cloned()
+            .collect();
+        prop_assert_eq!(pruned, expected);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Damaged shards never panic the lossy reader: truncation is always
+    /// quarantined shard-by-shard under a generous budget, surviving rows
+    /// still flow, and a zero budget fails closed.
+    #[test]
+    fn quarantine_survives_truncated_shards(
+        records in prop::collection::vec(record_strategy(), 2..40),
+        rows_per_shard in 1usize..8,
+        shard_pick in any::<u64>(),
+        keep_fraction in 0.0f64..0.95,
+    ) {
+        let (dir, reader) = spool(&records, rows_per_shard, "truncated");
+        let paths = reader.paths().to_vec();
+        let victim = &paths[(shard_pick % paths.len() as u64) as usize];
+        let bytes = std::fs::read(victim).expect("read shard");
+        std::fs::write(victim, &bytes[..(bytes.len() as f64 * keep_fraction) as usize])
+            .expect("truncate shard");
+
+        let budget = ErrorBudget::new(records.len() as u64 + 1);
+        let mut survivors: Vec<LogRecord> = Vec::new();
+        let (delivered, report) = reader
+            .scan_lossy(&ShardFilter::all(), 0, budget, |batch| {
+                survivors.extend_from_slice(batch);
+            })
+            .expect("lossy scan within budget");
+        prop_assert!(report.quarantined >= 1);
+        prop_assert_eq!(delivered as usize, survivors.len());
+        prop_assert!(delivered < records.len() as u64);
+        // Every surviving row is one of the originals, in trace order.
+        let mut cursor = records.iter();
+        for row in &survivors {
+            prop_assert!(cursor.any(|r| r == row));
+        }
+        // Fail-closed: a zero budget refuses the damaged directory.
+        let strict = reader.scan_lossy(&ShardFilter::all(), 0, ErrorBudget::new(0), |_| {});
+        prop_assert!(matches!(
+            strict,
+            Err(HttplogError::ErrorBudgetExceeded { .. })
+        ));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Arbitrary single-byte corruption never panics the lossy reader: it
+    /// either delivers (possibly altered) rows or quarantines cleanly.
+    #[test]
+    fn quarantine_never_panics_on_corrupt_shards(
+        records in prop::collection::vec(record_strategy(), 2..40),
+        rows_per_shard in 1usize..8,
+        shard_pick in any::<u64>(),
+        offset_pick in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let (dir, reader) = spool(&records, rows_per_shard, "corrupt");
+        let paths = reader.paths().to_vec();
+        let victim = &paths[(shard_pick % paths.len() as u64) as usize];
+        let mut bytes = std::fs::read(victim).expect("read shard");
+        let offset = (offset_pick % bytes.len() as u64) as usize;
+        bytes[offset] ^= flip;
+        std::fs::write(victim, &bytes).expect("corrupt shard");
+
+        let budget = ErrorBudget::new(records.len() as u64 + 1);
+        let mut delivered = 0u64;
+        let outcome = reader.scan_lossy(&ShardFilter::all(), 0, budget, |batch| {
+            delivered += batch.len() as u64;
+        });
+        match outcome {
+            Ok((n, _report)) => {
+                prop_assert_eq!(n, delivered);
+                prop_assert!(n <= records.len() as u64);
+            }
+            Err(e) => prop_assert!(e.is_data_error()),
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -12,6 +12,8 @@ pub fn waived() -> usize {
     // oat-lint: allow(float-ordering, panic-freedom)
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let first = v[0]; // oat-lint: allow(panic-freedom)
+    // oat-lint: allow(unsafe-confinement)
+    let head = unsafe { *v.as_ptr() };
     let _ = t;
-    m.len() + first as usize
+    m.len() + (first + head) as usize
 }

@@ -17,3 +17,8 @@ pub fn elapsed_marker() -> Instant {
 pub fn sort_scores(scores: &mut [f64]) {
     scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
 }
+
+/// unsafe-confinement: raw-pointer code outside the audited allowlist.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

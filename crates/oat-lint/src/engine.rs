@@ -8,8 +8,8 @@ use std::path::{Path, PathBuf};
 
 use crate::lexer::{scrub, test_region_lines};
 use crate::rules::{
-    determinism_hits, float_ordering_hits, ordered_output_hits, panic_freedom_hits, Finding,
-    RawHit, Rule,
+    determinism_hits, float_ordering_hits, ordered_output_hits, panic_freedom_hits,
+    unsafe_confinement_hits, Finding, RawHit, Rule,
 };
 
 /// What to lint and where. `Options::for_repo` encodes this repository's
@@ -29,6 +29,9 @@ pub struct Options {
     /// Files under one of these prefixes run the `panic-freedom` rule
     /// (library code of the pipeline crates).
     pub panic_paths: Vec<String>,
+    /// Files whose `/`-normalized relative path contains one of these are
+    /// exempt from `unsafe-confinement` (the audited zero-copy modules).
+    pub unsafe_allowed_paths: Vec<String>,
     /// Panic budget file, relative to root.
     pub budget_file: String,
 }
@@ -58,6 +61,7 @@ impl Options {
                 "crates/cdnsim/src/".into(),
                 "crates/core/src/".into(),
             ],
+            unsafe_allowed_paths: vec!["httplog/src/codec/columnar.rs".into()],
             budget_file: "oat-lint.budget".into(),
         }
     }
@@ -202,6 +206,13 @@ pub fn check(opts: &Options) -> io::Result<Report> {
             Rule::FloatOrdering,
             float_ordering_hits(&scrubbed.text),
         );
+        if !opts.unsafe_allowed_paths.iter().any(|p| rel.contains(p)) {
+            push(
+                &mut report.findings,
+                Rule::UnsafeConfinement,
+                unsafe_confinement_hits(&scrubbed.text),
+            );
+        }
         if opts.report_paths.iter().any(|p| rel.contains(p)) {
             push(
                 &mut report.findings,
@@ -299,6 +310,7 @@ mod tests {
             exclude_contains: vec![],
             report_paths: vec!["src/report.rs".into(), "src/allowed.rs".into()],
             panic_paths: vec!["src/".into()],
+            unsafe_allowed_paths: vec![],
             budget_file: "oat-lint.budget".into(),
         }
     }
@@ -307,7 +319,12 @@ mod tests {
     fn fixture_trips_every_rule_with_location() {
         let report = check(&fixture_options()).expect("fixture scan");
 
-        for rule in [Rule::Determinism, Rule::OrderedOutput, Rule::FloatOrdering] {
+        for rule in [
+            Rule::Determinism,
+            Rule::OrderedOutput,
+            Rule::FloatOrdering,
+            Rule::UnsafeConfinement,
+        ] {
             let hits: Vec<_> = report.findings.iter().filter(|f| f.rule == rule).collect();
             assert!(!hits.is_empty(), "fixture must trip {rule}");
             for f in &hits {

@@ -13,6 +13,8 @@
 //!   the pipeline crates' library code, ratcheted downward by the
 //!   `oat-lint.budget` file.
 //! * `float-ordering` — `partial_cmp(..).unwrap()` on float sort keys.
+//! * `unsafe-confinement` — `unsafe` anywhere outside the audited
+//!   zero-copy columnar codec (`httplog/src/codec/columnar.rs`).
 //!
 //! Waive a justified occurrence with `// oat-lint: allow(<rule>)` on or
 //! directly above the line, or `// oat-lint: allow-file(<rule>)` for a
@@ -56,7 +58,8 @@ fn parse_args() -> Result<Cli, String> {
                 println!(
                     "oat-lint: workspace determinism & soundness linter\n\n\
                      USAGE: oat-lint [--root <dir>] [--deny-all] [--verbose]\n\n\
-                     Rules: determinism, ordered-output, panic-freedom, float-ordering.\n\
+                     Rules: determinism, ordered-output, panic-freedom, float-ordering,\n\
+                     unsafe-confinement.\n\
                      Waive with `// oat-lint: allow(<rule>)`; `--deny-all` is the CI mode."
                 );
                 std::process::exit(0);
@@ -97,9 +100,12 @@ fn main() -> ExitCode {
     let mut warnings = 0usize;
 
     for finding in &report.findings {
-        // `determinism` violations always break replayability; the two
-        // ordering rules are advisory by default and errors under CI.
-        let is_error = cli.deny_all || finding.rule == Rule::Determinism;
+        // `determinism` violations always break replayability and stray
+        // `unsafe` voids the soundness audit; the two ordering rules are
+        // advisory by default and errors under CI.
+        let is_error = cli.deny_all
+            || finding.rule == Rule::Determinism
+            || finding.rule == Rule::UnsafeConfinement;
         let level = if is_error { "error" } else { "warning" };
         eprintln!("{level}{finding}");
         if is_error {

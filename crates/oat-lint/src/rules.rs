@@ -20,14 +20,18 @@ pub enum Rule {
     PanicFreedom,
     /// `partial_cmp(..).unwrap()` on float sort keys (NaN-unsound).
     FloatOrdering,
+    /// `unsafe` outside the audited allowlist (the columnar codec's
+    /// mmap/zero-copy module).
+    UnsafeConfinement,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::Determinism,
         Rule::OrderedOutput,
         Rule::PanicFreedom,
         Rule::FloatOrdering,
+        Rule::UnsafeConfinement,
     ];
 
     pub fn name(self) -> &'static str {
@@ -36,6 +40,7 @@ impl Rule {
             Rule::OrderedOutput => "ordered-output",
             Rule::PanicFreedom => "panic-freedom",
             Rule::FloatOrdering => "float-ordering",
+            Rule::UnsafeConfinement => "unsafe-confinement",
         }
     }
 
@@ -267,6 +272,18 @@ pub fn float_ordering_hits(text: &str) -> Vec<RawHit> {
     hits
 }
 
+/// Rule 5: the `unsafe` keyword anywhere outside the audited allowlist.
+/// Matched post-scrub, so `unsafe` in comments/strings and identifiers
+/// like `unsafe_code` (the `#![deny(unsafe_code)]` attribute) never trip.
+pub fn unsafe_confinement_hits(text: &str) -> Vec<RawHit> {
+    let offsets = ident_occurrences(text, "unsafe");
+    to_hits(text, &offsets, |_| {
+        "`unsafe` outside the audited columnar codec; keep raw-pointer and mmap \
+         code confined to `httplog/src/codec/columnar.rs`"
+            .to_string()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +338,20 @@ mod tests {
     fn float_ordering_flags_multiline_chain() {
         let src = "v.sort_by(|a, b| {\n    a.score\n        .partial_cmp(&b.score)\n        .unwrap()\n});\n";
         assert_eq!(float_ordering_hits(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_confinement_matches_keyword_only() {
+        let src = "let p = unsafe { &*ptr };\nunsafe fn wild() {}\n";
+        let hits = unsafe_confinement_hits(src);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].message.contains("columnar"));
+    }
+
+    #[test]
+    fn unsafe_confinement_ignores_identifiers() {
+        let src = "#![deny(unsafe_code)]\nlet unsafety = 1;\nlet not_unsafe = 2;\n";
+        assert!(unsafe_confinement_hits(src).is_empty());
     }
 
     #[test]

@@ -82,12 +82,15 @@ pub fn dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
 /// assert!(dtw_distance_ea(&a, &b, None, 0.1).is_infinite());
 /// ```
 pub fn dtw_distance_ea(a: &[f64], b: &[f64], band: Option<usize>, cutoff: f64) -> f64 {
-    dtw_core(a, b, band, cutoff * cutoff).sqrt()
+    dtw_core(a, b, band, cutoff).sqrt()
 }
 
 /// Shared DP core: returns the accumulated *squared* cost, abandoning with
-/// `f64::INFINITY` once every in-band cell of a row exceeds `cutoff_sq`.
-fn dtw_core(a: &[f64], b: &[f64], band: Option<usize>, cutoff_sq: f64) -> f64 {
+/// `f64::INFINITY` once every in-band cell of a row exceeds `cutoff`
+/// (compared in the un-squared domain: squaring the cutoff instead can
+/// round below the true squared distance and wrongly prune a candidate
+/// sitting exactly at the cutoff).
+fn dtw_core(a: &[f64], b: &[f64], band: Option<usize>, cutoff: f64) -> f64 {
     if a.is_empty() || b.is_empty() {
         return f64::INFINITY;
     }
@@ -114,12 +117,12 @@ fn dtw_core(a: &[f64], b: &[f64], band: Option<usize>, cutoff_sq: f64) -> f64 {
         // Early abandon: every warping path crosses each row, so the row
         // minimum lower-bounds the final cost. Checked only for finite
         // cutoffs to keep the exhaustive path branch-free.
-        if cutoff_sq.is_finite() {
+        if cutoff.is_finite() {
             let row_min = curr[j_lo..=j_hi]
                 .iter()
                 .copied()
                 .fold(f64::INFINITY, f64::min);
-            if row_min > cutoff_sq {
+            if row_min.sqrt() > cutoff {
                 return f64::INFINITY;
             }
         }

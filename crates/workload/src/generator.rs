@@ -15,7 +15,9 @@ use crate::dist::LogNormal;
 use crate::merge::{merge_shards, KWayMerge, SortedShard};
 use crate::profile::SiteProfile;
 use crate::users::{build_population, UserProfile};
-use oat_httplog::{ContentClass, Request, RequestKind};
+use oat_httplog::{
+    ColumnarDirReader, ColumnarDirWriter, ContentClass, HttplogError, Request, RequestKind,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -346,6 +348,120 @@ pub fn generate_streaming(
         populations,
         config: config.clone(),
         batches: rx,
+    })
+}
+
+/// A trace spooled to an on-disk [columnar](oat_httplog::codec::columnar)
+/// shard directory instead of memory: the generative ground truth plus the
+/// spool location. Peak RSS during generation is bounded by one shard's
+/// column buffers plus the bounded in-flight batches, never the trace
+/// length.
+#[derive(Debug)]
+pub struct ColumnarTrace {
+    /// Per-site catalogs, index-aligned with `config.sites`.
+    pub catalogs: Arc<Vec<Catalog>>,
+    /// Per-site user populations, index-aligned with `config.sites`.
+    pub populations: Arc<Vec<Vec<UserProfile>>>,
+    /// The configuration the trace was generated from.
+    pub config: TraceConfig,
+    /// Directory holding the request shards.
+    pub dir: std::path::PathBuf,
+    /// Shard filename prefix.
+    pub prefix: String,
+    /// Requests written.
+    pub rows: u64,
+    /// Shards written.
+    pub shards: u64,
+}
+
+impl ColumnarTrace {
+    /// Opens a bounded-memory reader over the spooled request shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HttplogError::Io`] if the spool directory cannot be
+    /// listed.
+    pub fn reader(&self) -> Result<ColumnarDirReader<Request>, HttplogError> {
+        ColumnarDirReader::open(&self.dir, &self.prefix)
+    }
+}
+
+/// Error from [`generate_columnar`]: either the config was invalid or the
+/// spool directory could not be written.
+#[derive(Debug)]
+pub enum ColumnarGenError {
+    /// The trace config failed validation.
+    Config(ConfigError),
+    /// Writing the shard directory failed.
+    Spool(HttplogError),
+}
+
+impl std::fmt::Display for ColumnarGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid trace config: {e}"),
+            Self::Spool(e) => write!(f, "columnar spool failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarGenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Spool(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for ColumnarGenError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<HttplogError> for ColumnarGenError {
+    fn from(e: HttplogError) -> Self {
+        Self::Spool(e)
+    }
+}
+
+/// Generates a trace straight into a columnar shard directory
+/// (`<prefix>-NNNNNN.col` under `dir`), streaming batches from
+/// [`generate_streaming`] into a [`ColumnarDirWriter`] so the full request
+/// set is never resident.
+///
+/// The spooled rows concatenate to exactly the `requests` of
+/// [`generate_with`] for the same config: batch, streaming and columnar
+/// paths are interchangeable. `rows_per_shard = 0` uses the shard-size
+/// default ([`oat_httplog::shard::DEFAULT_ROWS_PER_SHARD`]).
+///
+/// # Errors
+///
+/// [`ColumnarGenError::Config`] if the config fails validation,
+/// [`ColumnarGenError::Spool`] if the shard directory cannot be written.
+pub fn generate_columnar(
+    config: &TraceConfig,
+    opts: &GenOptions,
+    batch_size: usize,
+    dir: &std::path::Path,
+    prefix: &str,
+    rows_per_shard: usize,
+) -> Result<ColumnarTrace, ColumnarGenError> {
+    let stream = generate_streaming(config, opts, batch_size)?;
+    let mut writer = ColumnarDirWriter::<Request>::new(dir, prefix, rows_per_shard)?;
+    for batch in stream.batches.iter() {
+        writer.push_batch(&batch)?;
+    }
+    let (rows, shards) = writer.finish()?;
+    Ok(ColumnarTrace {
+        catalogs: stream.catalogs,
+        populations: stream.populations,
+        config: stream.config,
+        dir: dir.to_path_buf(),
+        prefix: prefix.to_string(),
+        rows,
+        shards,
     })
 }
 
@@ -890,6 +1006,46 @@ mod tests {
             collected.extend(batch);
         }
         assert_eq!(batch_trace.requests, collected);
+    }
+
+    #[test]
+    fn columnar_spool_concatenates_to_batch_trace() {
+        let config = tiny_config();
+        let batch_trace = generate(&config).unwrap();
+        let dir = std::env::temp_dir()
+            .join("oat-generator-tests")
+            .join("columnar-spool");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spooled = generate_columnar(
+            &config,
+            &GenOptions {
+                threads: 2,
+                shard_size: 32,
+            },
+            500,
+            &dir,
+            "req",
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(spooled.rows as usize, batch_trace.requests.len());
+        assert!(spooled.shards >= 1);
+        let reader = spooled.reader().unwrap();
+        let back = reader.read_all(&oat_httplog::ShardFilter::all()).unwrap();
+        assert_eq!(back, batch_trace.requests);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn columnar_spool_rejects_invalid_config() {
+        let mut config = tiny_config();
+        config.scale = -1.0;
+        let dir = std::env::temp_dir()
+            .join("oat-generator-tests")
+            .join("columnar-invalid");
+        let err =
+            generate_columnar(&config, &GenOptions::default(), 0, &dir, "req", 0).unwrap_err();
+        assert!(matches!(err, ColumnarGenError::Config(_)), "{err:?}");
     }
 
     #[test]

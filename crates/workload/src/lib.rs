@@ -54,8 +54,9 @@ pub mod users;
 
 pub use catalog::{Catalog, CatalogObject};
 pub use generator::{
-    generate, generate_streaming, generate_with, ConfigError, GenOptions, Trace, TraceConfig,
-    TraceStream, CHUNK_BYTES, DEFAULT_BATCH_SIZE, DEFAULT_SHARD_SIZE,
+    generate, generate_columnar, generate_streaming, generate_with, ColumnarGenError,
+    ColumnarTrace, ConfigError, GenOptions, Trace, TraceConfig, TraceStream, CHUNK_BYTES,
+    DEFAULT_BATCH_SIZE, DEFAULT_SHARD_SIZE,
 };
 pub use profile::{ClassParams, SiteProfile, SizeModel, TrendMix};
 pub use temporal::DiurnalCurve;
