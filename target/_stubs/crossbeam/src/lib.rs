@@ -1,0 +1,207 @@
+//! Offline stub: the crossbeam subset the workspace uses — scoped threads
+//! and bounded MPMC-ish channels — implemented over std. Scoped spawning
+//! uses the same lifetime-erasure trick as the real crate and joins every
+//! thread before `scope` returns, so it is sound for the same reasons.
+
+pub mod thread {
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub struct Scope<'env> {
+        handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+        _marker: PhantomData<&'env mut &'env ()>,
+    }
+
+    impl<'env> std::fmt::Debug for Scope<'env> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Scope { .. }")
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        done: mpsc::Receiver<()>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> std::fmt::Debug for ScopedJoinHandle<'scope, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("ScopedJoinHandle { .. }")
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            // The sender half drops when the thread body finishes.
+            let _ = self.done.recv();
+            let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+            slot.take().expect("scoped thread result already taken")
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+            let (done_tx, done_rx) = mpsc::channel::<()>();
+            let slot = Arc::clone(&result);
+            // Erase `self`'s lifetime for the move into the thread; the
+            // scope joins every handle before returning, so the reference
+            // never outlives the frame it points into.
+            let scope_ptr: *const Scope<'env> = self;
+            let scope_addr = scope_ptr as usize;
+            let body = move || {
+                let scope: &Scope<'env> = unsafe { &*(scope_addr as *const Scope<'env>) };
+                let out = catch_unwind(AssertUnwindSafe(|| f(scope)));
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                drop(done_tx);
+            };
+            let body: Box<dyn FnOnce() + Send + 'env> = Box::new(body);
+            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+            let handle = std::thread::spawn(body);
+            self.handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+            ScopedJoinHandle {
+                result,
+                done: done_rx,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope {
+            handles: Mutex::new(Vec::new()),
+            _marker: PhantomData,
+        };
+        let out = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        loop {
+            let handle = scope
+                .handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Shared-receiver wrapper: crossbeam receivers are MPMC and `Clone`;
+    /// std's are not, so guard one consumer behind a mutex.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<'a, T> Iterator for Iter<'a, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stub: a deterministic, API-compatible subset of rand 0.8.
+//! Not bit-compatible with the real crate — good enough for local
+//! type-checking and self-consistent deterministic tests.
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+    fn from_seed(seed: Self::Seed) -> Self;
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** core (same state width as the real StdRng; different
+    /// stream — deterministic is what matters here).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let r = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            if s == [0; 4] {
+                s = [0xDEAD_BEEF, 0xC0FF_EE00, 0x1234_5678, 0x9ABC_DEF0];
+            }
+            Self { s }
+        }
+    }
+
+    pub type SmallRng = StdRng;
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Distribution<u16> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+            rng.next_u32() as u16
+        }
+    }
+    impl Distribution<u8> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+            rng.next_u32() as u8
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<i64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub trait SampleUniform: Sized {
+        fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+                    let span = (hi_excl as i128 - lo as i128) as u128;
+                    assert!(span > 0, "empty gen_range span");
+                    let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+            let unit: f64 = Standard.sample(rng);
+            lo + unit * (hi_excl - lo)
+        }
+    }
+    impl SampleUniform for f32 {
+        fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+            let unit: f32 = Standard.sample(rng);
+            lo + unit * (hi_excl - lo)
+        }
+    }
+
+    pub trait SampleRange<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_range(rng, self.start, self.end)
+        }
+    }
+
+    macro_rules! impl_range_incl_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_incl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub use distributions::Distribution;
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = self.gen();
+        unit < p
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::Rng;
+
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                self.get(i)
+            }
+        }
+    }
+}

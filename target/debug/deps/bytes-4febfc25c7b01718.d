@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-4febfc25c7b01718.d: target/_stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4febfc25c7b01718.rmeta: target/_stubs/bytes/src/lib.rs
+
+target/_stubs/bytes/src/lib.rs:

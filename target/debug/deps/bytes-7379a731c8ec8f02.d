@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-7379a731c8ec8f02.d: target/_stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-7379a731c8ec8f02.rlib: target/_stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-7379a731c8ec8f02.rmeta: target/_stubs/bytes/src/lib.rs
+
+target/_stubs/bytes/src/lib.rs:

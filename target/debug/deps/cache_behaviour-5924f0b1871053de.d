@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_behaviour-5924f0b1871053de.d: tests/cache_behaviour.rs
+
+/root/repo/target/debug/deps/libcache_behaviour-5924f0b1871053de.rmeta: tests/cache_behaviour.rs
+
+tests/cache_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_behaviour-ea4a4dea2e53bb4f.d: tests/cache_behaviour.rs
+
+/root/repo/target/debug/deps/cache_behaviour-ea4a4dea2e53bb4f: tests/cache_behaviour.rs
+
+tests/cache_behaviour.rs:

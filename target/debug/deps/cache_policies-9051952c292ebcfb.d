@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_policies-9051952c292ebcfb.d: crates/bench/benches/cache_policies.rs
+
+/root/repo/target/debug/deps/libcache_policies-9051952c292ebcfb.rmeta: crates/bench/benches/cache_policies.rs
+
+crates/bench/benches/cache_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_sweep-8128dee27b09907a.d: crates/bench/benches/cache_sweep.rs
+
+/root/repo/target/debug/deps/libcache_sweep-8128dee27b09907a.rmeta: crates/bench/benches/cache_sweep.rs
+
+crates/bench/benches/cache_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-aad146c8a08dc9d0.d: crates/bench/benches/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-aad146c8a08dc9d0.rmeta: crates/bench/benches/chaos.rs
+
+crates/bench/benches/chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-c024480be829b273.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-c024480be829b273.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_oat=placeholder:oat

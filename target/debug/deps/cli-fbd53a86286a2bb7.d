@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-fbd53a86286a2bb7.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-fbd53a86286a2bb7: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_oat=/root/repo/target/debug/oat

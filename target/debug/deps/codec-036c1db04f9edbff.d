@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec-036c1db04f9edbff.d: crates/bench/benches/codec.rs
+
+/root/repo/target/debug/deps/libcodec-036c1db04f9edbff.rmeta: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

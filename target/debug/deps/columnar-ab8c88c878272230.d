@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/columnar-ab8c88c878272230.d: crates/bench/benches/columnar.rs
+
+/root/repo/target/debug/deps/libcolumnar-ab8c88c878272230.rmeta: crates/bench/benches/columnar.rs
+
+crates/bench/benches/columnar.rs:

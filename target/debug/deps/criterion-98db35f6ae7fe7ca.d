@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-98db35f6ae7fe7ca.d: target/_stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-98db35f6ae7fe7ca.rmeta: target/_stubs/criterion/src/lib.rs
+
+target/_stubs/criterion/src/lib.rs:

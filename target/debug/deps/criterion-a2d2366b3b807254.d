@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-a2d2366b3b807254.d: target/_stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a2d2366b3b807254.rlib: target/_stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a2d2366b3b807254.rmeta: target/_stubs/criterion/src/lib.rs
+
+target/_stubs/criterion/src/lib.rs:

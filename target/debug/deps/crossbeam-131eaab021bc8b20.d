@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-131eaab021bc8b20.d: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-131eaab021bc8b20.rlib: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-131eaab021bc8b20.rmeta: target/_stubs/crossbeam/src/lib.rs
+
+target/_stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-16d22926efb3e139.d: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-16d22926efb3e139.rmeta: target/_stubs/crossbeam/src/lib.rs
+
+target/_stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-32f8162ba1e8450d.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-32f8162ba1e8450d: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-407b1aade04dc010.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-407b1aade04dc010: tests/determinism.rs
+
+tests/determinism.rs:

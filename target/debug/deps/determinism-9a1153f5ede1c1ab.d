@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-9a1153f5ede1c1ab.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-9a1153f5ede1c1ab.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

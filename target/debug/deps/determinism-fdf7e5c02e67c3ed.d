@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-fdf7e5c02e67c3ed.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-fdf7e5c02e67c3ed.rmeta: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtw-5337a0d471b24196.d: crates/bench/benches/dtw.rs
+
+/root/repo/target/debug/deps/libdtw-5337a0d471b24196.rmeta: crates/bench/benches/dtw.rs
+
+crates/bench/benches/dtw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_properties-aad0bf70b4ffadc6.d: crates/cdnsim/tests/fault_properties.rs
+
+/root/repo/target/debug/deps/libfault_properties-aad0bf70b4ffadc6.rmeta: crates/cdnsim/tests/fault_properties.rs
+
+crates/cdnsim/tests/fault_properties.rs:

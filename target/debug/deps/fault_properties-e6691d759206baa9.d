@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_properties-e6691d759206baa9.d: crates/cdnsim/tests/fault_properties.rs
+
+/root/repo/target/debug/deps/fault_properties-e6691d759206baa9: crates/cdnsim/tests/fault_properties.rs
+
+crates/cdnsim/tests/fault_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-5190f7350ffc9014.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/libfigure_shapes-5190f7350ffc9014.rmeta: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-59ffac083d62902b.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-59ffac083d62902b: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

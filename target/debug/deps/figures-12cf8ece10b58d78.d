@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-12cf8ece10b58d78.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-12cf8ece10b58d78.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generate-f9915d4d694781f4.d: crates/bench/benches/generate.rs
+
+/root/repo/target/debug/deps/libgenerate-f9915d4d694781f4.rmeta: crates/bench/benches/generate.rs
+
+crates/bench/benches/generate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator-5d2e6bc9931e361d.d: crates/bench/benches/generator.rs
+
+/root/repo/target/debug/deps/libgenerator-5d2e6bc9931e361d.rmeta: crates/bench/benches/generator.rs
+
+crates/bench/benches/generator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_models-41e3c44cc09c1cd4.d: crates/workload/tests/loom_models.rs
+
+/root/repo/target/debug/deps/libloom_models-41e3c44cc09c1cd4.rmeta: crates/workload/tests/loom_models.rs
+
+crates/workload/tests/loom_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_models-6e63fcd95a4ede61.d: crates/workload/tests/loom_models.rs
+
+/root/repo/target/debug/deps/loom_models-6e63fcd95a4ede61: crates/workload/tests/loom_models.rs
+
+crates/workload/tests/loom_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/miri_fast-a3f3bba53a559327.d: crates/timeseries/tests/miri_fast.rs
+
+/root/repo/target/debug/deps/libmiri_fast-a3f3bba53a559327.rmeta: crates/timeseries/tests/miri_fast.rs
+
+crates/timeseries/tests/miri_fast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/miri_fast-ba71d36b0b7e51c7.d: crates/workload/tests/miri_fast.rs
+
+/root/repo/target/debug/deps/libmiri_fast-ba71d36b0b7e51c7.rmeta: crates/workload/tests/miri_fast.rs
+
+crates/workload/tests/miri_fast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/miri_fast-c375ce51f20ff008.d: crates/workload/tests/miri_fast.rs
+
+/root/repo/target/debug/deps/miri_fast-c375ce51f20ff008: crates/workload/tests/miri_fast.rs
+
+crates/workload/tests/miri_fast.rs:

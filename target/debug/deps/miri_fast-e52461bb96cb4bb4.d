@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/miri_fast-e52461bb96cb4bb4.d: crates/timeseries/tests/miri_fast.rs
+
+/root/repo/target/debug/deps/miri_fast-e52461bb96cb4bb4: crates/timeseries/tests/miri_fast.rs
+
+crates/timeseries/tests/miri_fast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat-4e4d8c8271af9c01.d: src/lib.rs
+
+/root/repo/target/debug/deps/oat-4e4d8c8271af9c01: src/lib.rs
+
+src/lib.rs:

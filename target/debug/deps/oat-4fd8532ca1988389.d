@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat-4fd8532ca1988389.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboat-4fd8532ca1988389.rmeta: src/lib.rs
+
+src/lib.rs:

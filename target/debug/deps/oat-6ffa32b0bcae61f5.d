@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat-6ffa32b0bcae61f5.d: src/bin/oat.rs
+
+/root/repo/target/debug/deps/oat-6ffa32b0bcae61f5: src/bin/oat.rs
+
+src/bin/oat.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oat-7182b7705991ecc7.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboat-7182b7705991ecc7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liboat-7182b7705991ecc7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat-8011a5fae0dafb9f.d: src/bin/oat.rs
+
+/root/repo/target/debug/deps/liboat-8011a5fae0dafb9f.rmeta: src/bin/oat.rs
+
+src/bin/oat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat-adc49f74e5c96eae.d: src/bin/oat.rs
+
+/root/repo/target/debug/deps/oat-adc49f74e5c96eae: src/bin/oat.rs
+
+src/bin/oat.rs:

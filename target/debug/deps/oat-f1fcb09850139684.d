@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat-f1fcb09850139684.d: src/bin/oat.rs
+
+/root/repo/target/debug/deps/liboat-f1fcb09850139684.rmeta: src/bin/oat.rs
+
+src/bin/oat.rs:

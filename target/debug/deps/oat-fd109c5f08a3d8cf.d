@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat-fd109c5f08a3d8cf.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboat-fd109c5f08a3d8cf.rmeta: src/lib.rs
+
+src/lib.rs:

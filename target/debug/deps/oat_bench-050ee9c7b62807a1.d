@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat_bench-050ee9c7b62807a1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboat_bench-050ee9c7b62807a1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oat_bench-88e5d55f8b3565f7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboat_bench-88e5d55f8b3565f7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboat_bench-88e5d55f8b3565f7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat_bench-be172fce5f4e8ac4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/oat_bench-be172fce5f4e8ac4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oat_bench-d14bc76466f29591.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboat_bench-d14bc76466f29591.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

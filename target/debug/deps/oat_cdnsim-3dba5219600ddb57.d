@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/oat_cdnsim-3dba5219600ddb57.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/cache/mod.rs crates/cdnsim/src/cache/admit.rs crates/cdnsim/src/cache/core_lru.rs crates/cdnsim/src/cache/fifo.rs crates/cdnsim/src/cache/gdsf.rs crates/cdnsim/src/cache/infinite.rs crates/cdnsim/src/cache/lfu.rs crates/cdnsim/src/cache/lru.rs crates/cdnsim/src/cache/slru.rs crates/cdnsim/src/cache/tiered.rs crates/cdnsim/src/cache/ttl.rs crates/cdnsim/src/cache/twoq.rs crates/cdnsim/src/faults.rs crates/cdnsim/src/latency.rs crates/cdnsim/src/mattson.rs crates/cdnsim/src/push.rs crates/cdnsim/src/simulator.rs crates/cdnsim/src/stats.rs crates/cdnsim/src/sweep.rs crates/cdnsim/src/topology.rs
+
+/root/repo/target/debug/deps/liboat_cdnsim-3dba5219600ddb57.rmeta: crates/cdnsim/src/lib.rs crates/cdnsim/src/cache/mod.rs crates/cdnsim/src/cache/admit.rs crates/cdnsim/src/cache/core_lru.rs crates/cdnsim/src/cache/fifo.rs crates/cdnsim/src/cache/gdsf.rs crates/cdnsim/src/cache/infinite.rs crates/cdnsim/src/cache/lfu.rs crates/cdnsim/src/cache/lru.rs crates/cdnsim/src/cache/slru.rs crates/cdnsim/src/cache/tiered.rs crates/cdnsim/src/cache/ttl.rs crates/cdnsim/src/cache/twoq.rs crates/cdnsim/src/faults.rs crates/cdnsim/src/latency.rs crates/cdnsim/src/mattson.rs crates/cdnsim/src/push.rs crates/cdnsim/src/simulator.rs crates/cdnsim/src/stats.rs crates/cdnsim/src/sweep.rs crates/cdnsim/src/topology.rs
+
+crates/cdnsim/src/lib.rs:
+crates/cdnsim/src/cache/mod.rs:
+crates/cdnsim/src/cache/admit.rs:
+crates/cdnsim/src/cache/core_lru.rs:
+crates/cdnsim/src/cache/fifo.rs:
+crates/cdnsim/src/cache/gdsf.rs:
+crates/cdnsim/src/cache/infinite.rs:
+crates/cdnsim/src/cache/lfu.rs:
+crates/cdnsim/src/cache/lru.rs:
+crates/cdnsim/src/cache/slru.rs:
+crates/cdnsim/src/cache/tiered.rs:
+crates/cdnsim/src/cache/ttl.rs:
+crates/cdnsim/src/cache/twoq.rs:
+crates/cdnsim/src/faults.rs:
+crates/cdnsim/src/latency.rs:
+crates/cdnsim/src/mattson.rs:
+crates/cdnsim/src/push.rs:
+crates/cdnsim/src/simulator.rs:
+crates/cdnsim/src/stats.rs:
+crates/cdnsim/src/sweep.rs:
+crates/cdnsim/src/topology.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/oat_core-c9cf9e3dddc7c45f.d: crates/core/src/lib.rs crates/core/src/analyzers/mod.rs crates/core/src/analyzers/addiction.rs crates/core/src/analyzers/aging.rs crates/core/src/analyzers/availability.rs crates/core/src/analyzers/cache.rs crates/core/src/analyzers/clustering.rs crates/core/src/analyzers/composition.rs crates/core/src/analyzers/device.rs crates/core/src/analyzers/iat.rs crates/core/src/analyzers/popularity.rs crates/core/src/analyzers/response.rs crates/core/src/analyzers/sessions.rs crates/core/src/analyzers/sizes.rs crates/core/src/analyzers/temporal.rs crates/core/src/experiment.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/sitemap.rs
+
+/root/repo/target/debug/deps/liboat_core-c9cf9e3dddc7c45f.rmeta: crates/core/src/lib.rs crates/core/src/analyzers/mod.rs crates/core/src/analyzers/addiction.rs crates/core/src/analyzers/aging.rs crates/core/src/analyzers/availability.rs crates/core/src/analyzers/cache.rs crates/core/src/analyzers/clustering.rs crates/core/src/analyzers/composition.rs crates/core/src/analyzers/device.rs crates/core/src/analyzers/iat.rs crates/core/src/analyzers/popularity.rs crates/core/src/analyzers/response.rs crates/core/src/analyzers/sessions.rs crates/core/src/analyzers/sizes.rs crates/core/src/analyzers/temporal.rs crates/core/src/experiment.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/sitemap.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzers/mod.rs:
+crates/core/src/analyzers/addiction.rs:
+crates/core/src/analyzers/aging.rs:
+crates/core/src/analyzers/availability.rs:
+crates/core/src/analyzers/cache.rs:
+crates/core/src/analyzers/clustering.rs:
+crates/core/src/analyzers/composition.rs:
+crates/core/src/analyzers/device.rs:
+crates/core/src/analyzers/iat.rs:
+crates/core/src/analyzers/popularity.rs:
+crates/core/src/analyzers/response.rs:
+crates/core/src/analyzers/sessions.rs:
+crates/core/src/analyzers/sizes.rs:
+crates/core/src/analyzers/temporal.rs:
+crates/core/src/experiment.rs:
+crates/core/src/export.rs:
+crates/core/src/report.rs:
+crates/core/src/sitemap.rs:

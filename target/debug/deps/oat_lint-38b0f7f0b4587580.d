@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/oat_lint-38b0f7f0b4587580.d: crates/oat-lint/src/main.rs crates/oat-lint/src/engine.rs crates/oat-lint/src/lexer.rs crates/oat-lint/src/rules.rs
+
+/root/repo/target/debug/deps/oat_lint-38b0f7f0b4587580: crates/oat-lint/src/main.rs crates/oat-lint/src/engine.rs crates/oat-lint/src/lexer.rs crates/oat-lint/src/rules.rs
+
+crates/oat-lint/src/main.rs:
+crates/oat-lint/src/engine.rs:
+crates/oat-lint/src/lexer.rs:
+crates/oat-lint/src/rules.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/oat-lint

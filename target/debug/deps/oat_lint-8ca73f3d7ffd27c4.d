@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oat_lint-8ca73f3d7ffd27c4.d: crates/oat-lint/src/main.rs crates/oat-lint/src/engine.rs crates/oat-lint/src/lexer.rs crates/oat-lint/src/rules.rs
+
+/root/repo/target/debug/deps/liboat_lint-8ca73f3d7ffd27c4.rmeta: crates/oat-lint/src/main.rs crates/oat-lint/src/engine.rs crates/oat-lint/src/lexer.rs crates/oat-lint/src/rules.rs
+
+crates/oat-lint/src/main.rs:
+crates/oat-lint/src/engine.rs:
+crates/oat-lint/src/lexer.rs:
+crates/oat-lint/src/rules.rs:

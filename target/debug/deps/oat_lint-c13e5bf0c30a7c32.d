@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oat_lint-c13e5bf0c30a7c32.d: crates/oat-lint/src/main.rs crates/oat-lint/src/engine.rs crates/oat-lint/src/lexer.rs crates/oat-lint/src/rules.rs
+
+/root/repo/target/debug/deps/oat_lint-c13e5bf0c30a7c32: crates/oat-lint/src/main.rs crates/oat-lint/src/engine.rs crates/oat-lint/src/lexer.rs crates/oat-lint/src/rules.rs
+
+crates/oat-lint/src/main.rs:
+crates/oat-lint/src/engine.rs:
+crates/oat-lint/src/lexer.rs:
+crates/oat-lint/src/rules.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/oat_stats-88e6a19b180577c1.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/liboat_stats-88e6a19b180577c1.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/frequency.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/psquare.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/topk.rs:
+crates/stats/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/oat_stats-88fe1f4553b37d3b.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/oat_stats-88fe1f4553b37d3b: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/frequency.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/psquare.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/topk.rs:
+crates/stats/src/zipf.rs:

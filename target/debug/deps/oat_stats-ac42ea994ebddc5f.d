@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/oat_stats-ac42ea994ebddc5f.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/liboat_stats-ac42ea994ebddc5f.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/frequency.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/psquare.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/topk.rs:
+crates/stats/src/zipf.rs:

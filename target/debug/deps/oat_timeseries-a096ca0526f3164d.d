@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/oat_timeseries-a096ca0526f3164d.d: crates/timeseries/src/lib.rs crates/timeseries/src/distance.rs crates/timeseries/src/dtw.rs crates/timeseries/src/hierarchical.rs crates/timeseries/src/kmedoids.rs crates/timeseries/src/matrix.rs crates/timeseries/src/medoid.rs crates/timeseries/src/normalize.rs crates/timeseries/src/prune.rs crates/timeseries/src/trend.rs
+
+/root/repo/target/debug/deps/oat_timeseries-a096ca0526f3164d: crates/timeseries/src/lib.rs crates/timeseries/src/distance.rs crates/timeseries/src/dtw.rs crates/timeseries/src/hierarchical.rs crates/timeseries/src/kmedoids.rs crates/timeseries/src/matrix.rs crates/timeseries/src/medoid.rs crates/timeseries/src/normalize.rs crates/timeseries/src/prune.rs crates/timeseries/src/trend.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/distance.rs:
+crates/timeseries/src/dtw.rs:
+crates/timeseries/src/hierarchical.rs:
+crates/timeseries/src/kmedoids.rs:
+crates/timeseries/src/matrix.rs:
+crates/timeseries/src/medoid.rs:
+crates/timeseries/src/normalize.rs:
+crates/timeseries/src/prune.rs:
+crates/timeseries/src/trend.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oat_useragent-2ea70c1087b301be.d: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+/root/repo/target/debug/deps/oat_useragent-2ea70c1087b301be: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+crates/useragent/src/lib.rs:
+crates/useragent/src/corpus.rs:
+crates/useragent/src/device.rs:
+crates/useragent/src/parser.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/oat_useragent-37c4e89befe4174f.d: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+/root/repo/target/debug/deps/liboat_useragent-37c4e89befe4174f.rlib: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+/root/repo/target/debug/deps/liboat_useragent-37c4e89befe4174f.rmeta: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+crates/useragent/src/lib.rs:
+crates/useragent/src/corpus.rs:
+crates/useragent/src/device.rs:
+crates/useragent/src/parser.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oat_useragent-e41562a0cc143283.d: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+/root/repo/target/debug/deps/liboat_useragent-e41562a0cc143283.rmeta: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+crates/useragent/src/lib.rs:
+crates/useragent/src/corpus.rs:
+crates/useragent/src/device.rs:
+crates/useragent/src/parser.rs:

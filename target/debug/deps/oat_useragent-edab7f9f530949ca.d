@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oat_useragent-edab7f9f530949ca.d: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+/root/repo/target/debug/deps/liboat_useragent-edab7f9f530949ca.rmeta: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+crates/useragent/src/lib.rs:
+crates/useragent/src/corpus.rs:
+crates/useragent/src/device.rs:
+crates/useragent/src/parser.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/oat_workload-612ab374fc4e87d5.d: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/dist.rs crates/workload/src/generator.rs crates/workload/src/merge.rs crates/workload/src/profile.rs crates/workload/src/temporal.rs crates/workload/src/trendspec.rs crates/workload/src/users.rs
+
+/root/repo/target/debug/deps/liboat_workload-612ab374fc4e87d5.rlib: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/dist.rs crates/workload/src/generator.rs crates/workload/src/merge.rs crates/workload/src/profile.rs crates/workload/src/temporal.rs crates/workload/src/trendspec.rs crates/workload/src/users.rs
+
+/root/repo/target/debug/deps/liboat_workload-612ab374fc4e87d5.rmeta: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/dist.rs crates/workload/src/generator.rs crates/workload/src/merge.rs crates/workload/src/profile.rs crates/workload/src/temporal.rs crates/workload/src/trendspec.rs crates/workload/src/users.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/catalog.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/merge.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/temporal.rs:
+crates/workload/src/trendspec.rs:
+crates/workload/src/users.rs:

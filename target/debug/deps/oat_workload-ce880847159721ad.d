@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oat_workload-ce880847159721ad.d: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/dist.rs crates/workload/src/generator.rs crates/workload/src/merge.rs crates/workload/src/profile.rs crates/workload/src/temporal.rs crates/workload/src/trendspec.rs crates/workload/src/users.rs
+
+/root/repo/target/debug/deps/liboat_workload-ce880847159721ad.rmeta: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/dist.rs crates/workload/src/generator.rs crates/workload/src/merge.rs crates/workload/src/profile.rs crates/workload/src/temporal.rs crates/workload/src/trendspec.rs crates/workload/src/users.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/catalog.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/merge.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/temporal.rs:
+crates/workload/src/trendspec.rs:
+crates/workload/src/users.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-974d60458049807f.d: crates/timeseries/tests/parallel.rs
+
+/root/repo/target/debug/deps/libparallel-974d60458049807f.rmeta: crates/timeseries/tests/parallel.rs
+
+crates/timeseries/tests/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-f8679d22ab2265e8.d: crates/timeseries/tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-f8679d22ab2265e8: crates/timeseries/tests/parallel.rs
+
+crates/timeseries/tests/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-3f22d3c10081b330.d: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3f22d3c10081b330.rmeta: target/_stubs/parking_lot/src/lib.rs
+
+target/_stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-5c04ab9607a5b31d.d: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-5c04ab9607a5b31d.rlib: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-5c04ab9607a5b31d.rmeta: target/_stubs/parking_lot/src/lib.rs
+
+target/_stubs/parking_lot/src/lib.rs:

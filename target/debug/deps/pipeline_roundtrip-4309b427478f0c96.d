@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-4309b427478f0c96.d: tests/pipeline_roundtrip.rs
+
+/root/repo/target/debug/deps/libpipeline_roundtrip-4309b427478f0c96.rmeta: tests/pipeline_roundtrip.rs
+
+tests/pipeline_roundtrip.rs:

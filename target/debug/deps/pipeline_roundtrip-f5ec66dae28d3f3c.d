@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-f5ec66dae28d3f3c.d: tests/pipeline_roundtrip.rs
+
+/root/repo/target/debug/deps/pipeline_roundtrip-f5ec66dae28d3f3c: tests/pipeline_roundtrip.rs
+
+tests/pipeline_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-122f0b29f961dea0.d: crates/workload/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-122f0b29f961dea0: crates/workload/tests/properties.rs
+
+crates/workload/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-14ab45f2bdf41194.d: crates/workload/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-14ab45f2bdf41194.rmeta: crates/workload/tests/properties.rs
+
+crates/workload/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-14af4743fe716576.d: crates/httplog/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-14af4743fe716576: crates/httplog/tests/properties.rs
+
+crates/httplog/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1b20f495967e759f.d: crates/cdnsim/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-1b20f495967e759f.rmeta: crates/cdnsim/tests/properties.rs
+
+crates/cdnsim/tests/properties.rs:

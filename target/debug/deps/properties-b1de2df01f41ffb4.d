@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b1de2df01f41ffb4.d: crates/httplog/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-b1de2df01f41ffb4.rmeta: crates/httplog/tests/properties.rs
+
+crates/httplog/tests/properties.rs:

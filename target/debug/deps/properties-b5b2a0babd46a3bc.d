@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b5b2a0babd46a3bc.d: crates/timeseries/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b5b2a0babd46a3bc: crates/timeseries/tests/properties.rs
+
+crates/timeseries/tests/properties.rs:

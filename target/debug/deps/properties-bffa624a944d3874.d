@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bffa624a944d3874.d: crates/stats/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-bffa624a944d3874.rmeta: crates/stats/tests/properties.rs
+
+crates/stats/tests/properties.rs:

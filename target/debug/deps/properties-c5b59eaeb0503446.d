@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c5b59eaeb0503446.d: crates/timeseries/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-c5b59eaeb0503446.rmeta: crates/timeseries/tests/properties.rs
+
+crates/timeseries/tests/properties.rs:

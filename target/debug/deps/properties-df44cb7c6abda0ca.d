@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-df44cb7c6abda0ca.d: crates/stats/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-df44cb7c6abda0ca: crates/stats/tests/properties.rs
+
+crates/stats/tests/properties.rs:

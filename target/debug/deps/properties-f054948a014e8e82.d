@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f054948a014e8e82.d: crates/cdnsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f054948a014e8e82: crates/cdnsim/tests/properties.rs
+
+crates/cdnsim/tests/properties.rs:

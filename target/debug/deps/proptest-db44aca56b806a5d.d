@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-db44aca56b806a5d.d: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-db44aca56b806a5d.rmeta: target/_stubs/proptest/src/lib.rs
+
+target/_stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-e650c37fea4b60b4.d: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e650c37fea4b60b4.rlib: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e650c37fea4b60b4.rmeta: target/_stubs/proptest/src/lib.rs
+
+target/_stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-ae121d24fe4bdcbc.d: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ae121d24fe4bdcbc.rlib: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ae121d24fe4bdcbc.rmeta: target/_stubs/rand/src/lib.rs
+
+target/_stubs/rand/src/lib.rs:

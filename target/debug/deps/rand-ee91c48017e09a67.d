@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ee91c48017e09a67.d: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ee91c48017e09a67.rmeta: target/_stubs/rand/src/lib.rs
+
+target/_stubs/rand/src/lib.rs:

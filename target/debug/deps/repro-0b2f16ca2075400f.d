@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0b2f16ca2075400f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0b2f16ca2075400f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

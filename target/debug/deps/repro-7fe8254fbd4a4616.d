@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7fe8254fbd4a4616.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-7fe8254fbd4a4616.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

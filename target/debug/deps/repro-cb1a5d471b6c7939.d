@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cb1a5d471b6c7939.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-cb1a5d471b6c7939.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6007d7f55b3c4730.d: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6007d7f55b3c4730.rlib: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6007d7f55b3c4730.rmeta: target/_stubs/serde/src/lib.rs
+
+target/_stubs/serde/src/lib.rs:

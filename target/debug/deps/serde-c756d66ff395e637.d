@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-c756d66ff395e637.d: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c756d66ff395e637.rmeta: target/_stubs/serde/src/lib.rs
+
+target/_stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_primitives-0127d67ddf694517.d: crates/bench/benches/stats_primitives.rs
+
+/root/repo/target/debug/deps/libstats_primitives-0127d67ddf694517.rmeta: crates/bench/benches/stats_primitives.rs
+
+crates/bench/benches/stats_primitives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_properties-273e3fa2d2a79b15.d: crates/cdnsim/tests/sweep_properties.rs
+
+/root/repo/target/debug/deps/sweep_properties-273e3fa2d2a79b15: crates/cdnsim/tests/sweep_properties.rs
+
+crates/cdnsim/tests/sweep_properties.rs:

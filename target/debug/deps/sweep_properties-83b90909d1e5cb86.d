@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_properties-83b90909d1e5cb86.d: crates/cdnsim/tests/sweep_properties.rs
+
+/root/repo/target/debug/deps/libsweep_properties-83b90909d1e5cb86.rmeta: crates/cdnsim/tests/sweep_properties.rs
+
+crates/cdnsim/tests/sweep_properties.rs:

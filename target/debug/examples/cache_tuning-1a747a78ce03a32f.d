@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_tuning-1a747a78ce03a32f.d: examples/cache_tuning.rs
+
+/root/repo/target/debug/examples/cache_tuning-1a747a78ce03a32f: examples/cache_tuning.rs
+
+examples/cache_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_tuning-5c1e1e5b06dbcd13.d: examples/cache_tuning.rs
+
+/root/repo/target/debug/examples/libcache_tuning-5c1e1e5b06dbcd13.rmeta: examples/cache_tuning.rs
+
+examples/cache_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-0857332fa6c91b51.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/libcapacity_planning-0857332fa6c91b51.rmeta: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

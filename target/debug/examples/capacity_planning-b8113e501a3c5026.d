@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-b8113e501a3c5026.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-b8113e501a3c5026: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_debug-5ff4865ba2174b77.d: examples/cluster_debug.rs
+
+/root/repo/target/debug/examples/libcluster_debug-5ff4865ba2174b77.rmeta: examples/cluster_debug.rs
+
+examples/cluster_debug.rs:

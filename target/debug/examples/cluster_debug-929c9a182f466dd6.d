@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_debug-929c9a182f466dd6.d: examples/cluster_debug.rs
+
+/root/repo/target/debug/examples/cluster_debug-929c9a182f466dd6: examples/cluster_debug.rs
+
+examples/cluster_debug.rs:

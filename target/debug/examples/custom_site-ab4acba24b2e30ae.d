@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_site-ab4acba24b2e30ae.d: examples/custom_site.rs
+
+/root/repo/target/debug/examples/libcustom_site-ab4acba24b2e30ae.rmeta: examples/custom_site.rs
+
+examples/custom_site.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_site-c8cd2247f5900d8b.d: examples/custom_site.rs
+
+/root/repo/target/debug/examples/custom_site-c8cd2247f5900d8b: examples/custom_site.rs
+
+examples/custom_site.rs:

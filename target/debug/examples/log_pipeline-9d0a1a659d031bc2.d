@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_pipeline-9d0a1a659d031bc2.d: examples/log_pipeline.rs
+
+/root/repo/target/debug/examples/liblog_pipeline-9d0a1a659d031bc2.rmeta: examples/log_pipeline.rs
+
+examples/log_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_pipeline-eae207de19ed7815.d: examples/log_pipeline.rs
+
+/root/repo/target/debug/examples/log_pipeline-eae207de19ed7815: examples/log_pipeline.rs
+
+examples/log_pipeline.rs:

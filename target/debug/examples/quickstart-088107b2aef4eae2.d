@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-088107b2aef4eae2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-088107b2aef4eae2: examples/quickstart.rs
+
+examples/quickstart.rs:

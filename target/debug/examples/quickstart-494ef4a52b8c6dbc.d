@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-494ef4a52b8c6dbc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-494ef4a52b8c6dbc.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/oat-lint: /root/repo/crates/oat-lint/src/engine.rs /root/repo/crates/oat-lint/src/lexer.rs /root/repo/crates/oat-lint/src/main.rs /root/repo/crates/oat-lint/src/rules.rs

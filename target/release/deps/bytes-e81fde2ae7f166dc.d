@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-e81fde2ae7f166dc.d: target/_stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-e81fde2ae7f166dc.rlib: target/_stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-e81fde2ae7f166dc.rmeta: target/_stubs/bytes/src/lib.rs
+
+target/_stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-71e74597ec0e4245.d: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-71e74597ec0e4245.rlib: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-71e74597ec0e4245.rmeta: target/_stubs/crossbeam/src/lib.rs
+
+target/_stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oat_bench-3ef0dff707d0cb69.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liboat_bench-3ef0dff707d0cb69.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liboat_bench-3ef0dff707d0cb69.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

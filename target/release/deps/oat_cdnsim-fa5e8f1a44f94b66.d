@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/oat_cdnsim-fa5e8f1a44f94b66.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/cache/mod.rs crates/cdnsim/src/cache/admit.rs crates/cdnsim/src/cache/core_lru.rs crates/cdnsim/src/cache/fifo.rs crates/cdnsim/src/cache/gdsf.rs crates/cdnsim/src/cache/infinite.rs crates/cdnsim/src/cache/lfu.rs crates/cdnsim/src/cache/lru.rs crates/cdnsim/src/cache/slru.rs crates/cdnsim/src/cache/tiered.rs crates/cdnsim/src/cache/ttl.rs crates/cdnsim/src/cache/twoq.rs crates/cdnsim/src/faults.rs crates/cdnsim/src/latency.rs crates/cdnsim/src/mattson.rs crates/cdnsim/src/push.rs crates/cdnsim/src/simulator.rs crates/cdnsim/src/stats.rs crates/cdnsim/src/sweep.rs crates/cdnsim/src/topology.rs
+
+/root/repo/target/release/deps/liboat_cdnsim-fa5e8f1a44f94b66.rlib: crates/cdnsim/src/lib.rs crates/cdnsim/src/cache/mod.rs crates/cdnsim/src/cache/admit.rs crates/cdnsim/src/cache/core_lru.rs crates/cdnsim/src/cache/fifo.rs crates/cdnsim/src/cache/gdsf.rs crates/cdnsim/src/cache/infinite.rs crates/cdnsim/src/cache/lfu.rs crates/cdnsim/src/cache/lru.rs crates/cdnsim/src/cache/slru.rs crates/cdnsim/src/cache/tiered.rs crates/cdnsim/src/cache/ttl.rs crates/cdnsim/src/cache/twoq.rs crates/cdnsim/src/faults.rs crates/cdnsim/src/latency.rs crates/cdnsim/src/mattson.rs crates/cdnsim/src/push.rs crates/cdnsim/src/simulator.rs crates/cdnsim/src/stats.rs crates/cdnsim/src/sweep.rs crates/cdnsim/src/topology.rs
+
+/root/repo/target/release/deps/liboat_cdnsim-fa5e8f1a44f94b66.rmeta: crates/cdnsim/src/lib.rs crates/cdnsim/src/cache/mod.rs crates/cdnsim/src/cache/admit.rs crates/cdnsim/src/cache/core_lru.rs crates/cdnsim/src/cache/fifo.rs crates/cdnsim/src/cache/gdsf.rs crates/cdnsim/src/cache/infinite.rs crates/cdnsim/src/cache/lfu.rs crates/cdnsim/src/cache/lru.rs crates/cdnsim/src/cache/slru.rs crates/cdnsim/src/cache/tiered.rs crates/cdnsim/src/cache/ttl.rs crates/cdnsim/src/cache/twoq.rs crates/cdnsim/src/faults.rs crates/cdnsim/src/latency.rs crates/cdnsim/src/mattson.rs crates/cdnsim/src/push.rs crates/cdnsim/src/simulator.rs crates/cdnsim/src/stats.rs crates/cdnsim/src/sweep.rs crates/cdnsim/src/topology.rs
+
+crates/cdnsim/src/lib.rs:
+crates/cdnsim/src/cache/mod.rs:
+crates/cdnsim/src/cache/admit.rs:
+crates/cdnsim/src/cache/core_lru.rs:
+crates/cdnsim/src/cache/fifo.rs:
+crates/cdnsim/src/cache/gdsf.rs:
+crates/cdnsim/src/cache/infinite.rs:
+crates/cdnsim/src/cache/lfu.rs:
+crates/cdnsim/src/cache/lru.rs:
+crates/cdnsim/src/cache/slru.rs:
+crates/cdnsim/src/cache/tiered.rs:
+crates/cdnsim/src/cache/ttl.rs:
+crates/cdnsim/src/cache/twoq.rs:
+crates/cdnsim/src/faults.rs:
+crates/cdnsim/src/latency.rs:
+crates/cdnsim/src/mattson.rs:
+crates/cdnsim/src/push.rs:
+crates/cdnsim/src/simulator.rs:
+crates/cdnsim/src/stats.rs:
+crates/cdnsim/src/sweep.rs:
+crates/cdnsim/src/topology.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/oat_httplog-f0b08ab22d1fb769.d: crates/httplog/src/lib.rs crates/httplog/src/anonymize.rs crates/httplog/src/codec/mod.rs crates/httplog/src/codec/binary.rs crates/httplog/src/codec/columnar.rs crates/httplog/src/codec/text.rs crates/httplog/src/content.rs crates/httplog/src/error.rs crates/httplog/src/filter.rs crates/httplog/src/geo.rs crates/httplog/src/ids.rs crates/httplog/src/io.rs crates/httplog/src/record.rs crates/httplog/src/request.rs crates/httplog/src/shard.rs crates/httplog/src/status.rs
+
+/root/repo/target/release/deps/liboat_httplog-f0b08ab22d1fb769.rlib: crates/httplog/src/lib.rs crates/httplog/src/anonymize.rs crates/httplog/src/codec/mod.rs crates/httplog/src/codec/binary.rs crates/httplog/src/codec/columnar.rs crates/httplog/src/codec/text.rs crates/httplog/src/content.rs crates/httplog/src/error.rs crates/httplog/src/filter.rs crates/httplog/src/geo.rs crates/httplog/src/ids.rs crates/httplog/src/io.rs crates/httplog/src/record.rs crates/httplog/src/request.rs crates/httplog/src/shard.rs crates/httplog/src/status.rs
+
+/root/repo/target/release/deps/liboat_httplog-f0b08ab22d1fb769.rmeta: crates/httplog/src/lib.rs crates/httplog/src/anonymize.rs crates/httplog/src/codec/mod.rs crates/httplog/src/codec/binary.rs crates/httplog/src/codec/columnar.rs crates/httplog/src/codec/text.rs crates/httplog/src/content.rs crates/httplog/src/error.rs crates/httplog/src/filter.rs crates/httplog/src/geo.rs crates/httplog/src/ids.rs crates/httplog/src/io.rs crates/httplog/src/record.rs crates/httplog/src/request.rs crates/httplog/src/shard.rs crates/httplog/src/status.rs
+
+crates/httplog/src/lib.rs:
+crates/httplog/src/anonymize.rs:
+crates/httplog/src/codec/mod.rs:
+crates/httplog/src/codec/binary.rs:
+crates/httplog/src/codec/columnar.rs:
+crates/httplog/src/codec/text.rs:
+crates/httplog/src/content.rs:
+crates/httplog/src/error.rs:
+crates/httplog/src/filter.rs:
+crates/httplog/src/geo.rs:
+crates/httplog/src/ids.rs:
+crates/httplog/src/io.rs:
+crates/httplog/src/record.rs:
+crates/httplog/src/request.rs:
+crates/httplog/src/shard.rs:
+crates/httplog/src/status.rs:

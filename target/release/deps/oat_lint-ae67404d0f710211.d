@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/oat_lint-ae67404d0f710211.d: crates/oat-lint/src/main.rs crates/oat-lint/src/engine.rs crates/oat-lint/src/lexer.rs crates/oat-lint/src/rules.rs
+
+/root/repo/target/release/deps/oat_lint-ae67404d0f710211: crates/oat-lint/src/main.rs crates/oat-lint/src/engine.rs crates/oat-lint/src/lexer.rs crates/oat-lint/src/rules.rs
+
+crates/oat-lint/src/main.rs:
+crates/oat-lint/src/engine.rs:
+crates/oat-lint/src/lexer.rs:
+crates/oat-lint/src/rules.rs:

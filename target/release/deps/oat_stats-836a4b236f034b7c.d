@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/oat_stats-836a4b236f034b7c.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+/root/repo/target/release/deps/liboat_stats-836a4b236f034b7c.rlib: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+/root/repo/target/release/deps/liboat_stats-836a4b236f034b7c.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/ecdf.rs crates/stats/src/frequency.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/psquare.rs crates/stats/src/streaming.rs crates/stats/src/topk.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/frequency.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/psquare.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/topk.rs:
+crates/stats/src/zipf.rs:

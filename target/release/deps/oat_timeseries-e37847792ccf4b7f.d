@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/oat_timeseries-e37847792ccf4b7f.d: crates/timeseries/src/lib.rs crates/timeseries/src/distance.rs crates/timeseries/src/dtw.rs crates/timeseries/src/hierarchical.rs crates/timeseries/src/kmedoids.rs crates/timeseries/src/matrix.rs crates/timeseries/src/medoid.rs crates/timeseries/src/normalize.rs crates/timeseries/src/prune.rs crates/timeseries/src/trend.rs
+
+/root/repo/target/release/deps/liboat_timeseries-e37847792ccf4b7f.rlib: crates/timeseries/src/lib.rs crates/timeseries/src/distance.rs crates/timeseries/src/dtw.rs crates/timeseries/src/hierarchical.rs crates/timeseries/src/kmedoids.rs crates/timeseries/src/matrix.rs crates/timeseries/src/medoid.rs crates/timeseries/src/normalize.rs crates/timeseries/src/prune.rs crates/timeseries/src/trend.rs
+
+/root/repo/target/release/deps/liboat_timeseries-e37847792ccf4b7f.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/distance.rs crates/timeseries/src/dtw.rs crates/timeseries/src/hierarchical.rs crates/timeseries/src/kmedoids.rs crates/timeseries/src/matrix.rs crates/timeseries/src/medoid.rs crates/timeseries/src/normalize.rs crates/timeseries/src/prune.rs crates/timeseries/src/trend.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/distance.rs:
+crates/timeseries/src/dtw.rs:
+crates/timeseries/src/hierarchical.rs:
+crates/timeseries/src/kmedoids.rs:
+crates/timeseries/src/matrix.rs:
+crates/timeseries/src/medoid.rs:
+crates/timeseries/src/normalize.rs:
+crates/timeseries/src/prune.rs:
+crates/timeseries/src/trend.rs:

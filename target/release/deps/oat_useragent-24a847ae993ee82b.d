@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/oat_useragent-24a847ae993ee82b.d: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+/root/repo/target/release/deps/liboat_useragent-24a847ae993ee82b.rlib: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+/root/repo/target/release/deps/liboat_useragent-24a847ae993ee82b.rmeta: crates/useragent/src/lib.rs crates/useragent/src/corpus.rs crates/useragent/src/device.rs crates/useragent/src/parser.rs
+
+crates/useragent/src/lib.rs:
+crates/useragent/src/corpus.rs:
+crates/useragent/src/device.rs:
+crates/useragent/src/parser.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/oat_workload-57371d4257923bbd.d: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/dist.rs crates/workload/src/generator.rs crates/workload/src/merge.rs crates/workload/src/profile.rs crates/workload/src/temporal.rs crates/workload/src/trendspec.rs crates/workload/src/users.rs
+
+/root/repo/target/release/deps/liboat_workload-57371d4257923bbd.rlib: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/dist.rs crates/workload/src/generator.rs crates/workload/src/merge.rs crates/workload/src/profile.rs crates/workload/src/temporal.rs crates/workload/src/trendspec.rs crates/workload/src/users.rs
+
+/root/repo/target/release/deps/liboat_workload-57371d4257923bbd.rmeta: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/dist.rs crates/workload/src/generator.rs crates/workload/src/merge.rs crates/workload/src/profile.rs crates/workload/src/temporal.rs crates/workload/src/trendspec.rs crates/workload/src/users.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/catalog.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/merge.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/temporal.rs:
+crates/workload/src/trendspec.rs:
+crates/workload/src/users.rs:

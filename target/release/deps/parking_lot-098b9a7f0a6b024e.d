@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-098b9a7f0a6b024e.d: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-098b9a7f0a6b024e.rlib: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-098b9a7f0a6b024e.rmeta: target/_stubs/parking_lot/src/lib.rs
+
+target/_stubs/parking_lot/src/lib.rs:

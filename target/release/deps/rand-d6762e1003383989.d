@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d6762e1003383989.d: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d6762e1003383989.rlib: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d6762e1003383989.rmeta: target/_stubs/rand/src/lib.rs
+
+target/_stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9a2fa767185235c8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9a2fa767185235c8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

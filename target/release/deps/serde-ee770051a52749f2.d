@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-ee770051a52749f2.d: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ee770051a52749f2.rlib: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ee770051a52749f2.rmeta: target/_stubs/serde/src/lib.rs
+
+target/_stubs/serde/src/lib.rs:

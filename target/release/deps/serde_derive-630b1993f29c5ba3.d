@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-630b1993f29c5ba3.d: target/_stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-630b1993f29c5ba3.so: target/_stubs/serde_derive/src/lib.rs
+
+target/_stubs/serde_derive/src/lib.rs:
