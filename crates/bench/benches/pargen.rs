@@ -1,0 +1,85 @@
+//! Direct-to-columnar generation throughput: the serial single-writer path
+//! vs. the parallel run-then-merge engine at 2, 4, and 8 worker threads.
+//!
+//! Both paths produce byte-identical spools (see the `pargen` unit tests and
+//! the `parallel_columnar_identical_to_serial` property test), so the only
+//! axis measured here is records/s into a finished, sorted, time-partitioned
+//! spool directory. On a multi-core runner the parallel rows should scale
+//! until phase 3's merge fan-out saturates; on a single core they bound the
+//! run-file overhead the engine pays for its parallelism. Peak RSS is outside
+//! criterion's scope: check it with `repro bench scale --max-rss-mb N`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oat_workload::{
+    generate_columnar, generate_columnar_parallel, GenOptions, ParGenOptions, TraceConfig,
+};
+
+fn bench_pargen(c: &mut Criterion) {
+    let config = TraceConfig::paper_week()
+        .with_scale(0.01)
+        .with_catalog_scale(0.02);
+    let dir = std::env::temp_dir().join(format!("oat-bench-pargen-{}", std::process::id()));
+    let rows_per_shard = 1 << 20;
+
+    // Size the throughput denominator with one warm-up generation.
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = generate_columnar(
+        &config,
+        &GenOptions {
+            threads: 1,
+            shard_size: 64,
+        },
+        0,
+        &dir,
+        "req",
+        rows_per_shard,
+    )
+    .expect("valid config")
+    .rows;
+
+    let mut group = c.benchmark_group("pargen");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("generate_serial_1pct_week", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            generate_columnar(
+                &config,
+                &GenOptions {
+                    threads: 1,
+                    shard_size: 64,
+                },
+                0,
+                &dir,
+                "req",
+                rows_per_shard,
+            )
+            .expect("generate")
+            .rows
+        })
+    });
+
+    for threads in [2usize, 4, 8] {
+        let opts = ParGenOptions {
+            threads,
+            shard_size: 64,
+            run_rows: 0,
+            merge_fanin: 0,
+        };
+        group.bench_function(format!("generate_parallel_{threads}t_1pct_week"), |b| {
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                generate_columnar_parallel(&config, &opts, &dir, "req", rows_per_shard)
+                    .expect("generate")
+                    .rows
+            })
+        });
+    }
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_pargen);
+criterion_main!(benches);

@@ -104,6 +104,12 @@ struct Options {
     columnar: Option<std::path::PathBuf>,
     max_rss_mb: Option<u64>,
     bench_scale: bool,
+    gen_threads: Option<usize>,
+    rows_per_shard: usize,
+    gen_serial: bool,
+    serial_gen_child: Option<std::path::PathBuf>,
+    days: Option<u64>,
+    multi_day: bool,
 }
 
 impl Default for Options {
@@ -126,6 +132,12 @@ impl Default for Options {
             columnar: None,
             max_rss_mb: None,
             bench_scale: false,
+            gen_threads: None,
+            rows_per_shard: 0,
+            gen_serial: false,
+            serial_gen_child: None,
+            days: None,
+            multi_day: false,
         }
     }
 }
@@ -198,6 +210,35 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--max-rss-mb needs a MiB cap")?;
                 opts.max_rss_mb = Some(v.parse().map_err(|_| format!("bad RSS cap {v:?}"))?);
             }
+            "--gen-threads" => {
+                let v = args
+                    .next()
+                    .ok_or("--gen-threads needs a count (0 = all cores)")?;
+                opts.gen_threads = Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
+            }
+            "--rows-per-shard" => {
+                let v = args
+                    .next()
+                    .ok_or("--rows-per-shard needs a row count (0 = default)")?;
+                opts.rows_per_shard = v.parse().map_err(|_| format!("bad rows-per-shard {v:?}"))?;
+            }
+            "--gen-serial" => opts.gen_serial = true,
+            // Internal: re-exec target for --gen-serial. The serial path
+            // holds whole in-memory runs, so it runs in a child process to
+            // keep its peak RSS out of the parent's --max-rss-mb gate.
+            "--serial-gen-child" => {
+                let v = args.next().ok_or("--serial-gen-child needs a directory")?;
+                opts.serial_gen_child = Some(std::path::PathBuf::from(v));
+            }
+            "--days" => {
+                let v = args.next().ok_or("--days needs a day count")?;
+                let days: u64 = v.parse().map_err(|_| format!("bad day count {v:?}"))?;
+                if days == 0 {
+                    return Err("--days must be at least 1".to_string());
+                }
+                opts.days = Some(days);
+            }
+            "--multi-day" => opts.multi_day = true,
             "bench" => {
                 let sub = args.next().ok_or("bench needs a subcommand (scale)")?;
                 if sub != "scale" {
@@ -216,11 +257,13 @@ fn parse_args() -> Result<Options, String> {
                     "usage: repro [bench scale] [--all] [--fig N]... [--ablation NAME] \
                      [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] \
                      [--csv-dir DIR] [--threads N] [--sweep-threads N] [--stream] [--shard-size N] \
-                     [--columnar DIR] [--max-rss-mb N] \
+                     [--columnar DIR] [--max-rss-mb N] [--gen-threads N] [--rows-per-shard N] \
+                     [--gen-serial] [--days N] [--multi-day] \
                      [--faults PLAN.toml] [--fault-seed N]\n\
                      bench scale: out-of-core throughput benchmark — generates a columnar \
-                     request spool, replays + analyzes it in bounded batches, and writes \
-                     BENCH_scale.json (records/sec generate, records/sec analyze, peak RSS)\n\
+                     request spool through the parallel direct-to-columnar engine, replays + \
+                     analyzes it in bounded batches, and writes BENCH_scale.json \
+                     (records/sec generate, records/sec analyze, peak RSS)\n\
                      ablations: cache-policy tiered-cache push incognito ttl cooperative parent-tier dtw\n\
                      --threads: generation + DTW matrix worker threads (0 = all cores); \
                      results are bit-identical at any setting\n\
@@ -236,6 +279,16 @@ fn parse_args() -> Result<Options, String> {
                      existing bench-scale spool is reused, skipping generation\n\
                      --max-rss-mb: exit 3 if the process's peak RSS (VmHWM) exceeded this \
                      many MiB by the end of the run\n\
+                     --gen-threads: bench scale's generation worker threads (0 = all cores; \
+                     default = --threads); the spool is byte-identical at any setting\n\
+                     --rows-per-shard: rows per columnar spool shard (0 = default 4M)\n\
+                     --gen-serial: bench scale also times the serial generate_columnar path \
+                     (in a child process, so its in-memory peak stays out of this \
+                     process's --max-rss-mb gate) and verifies the parallel spool is \
+                     byte-identical to it (fills serial_generate_* in BENCH_scale.json)\n\
+                     --days: override the trace duration to N days (default 7)\n\
+                     --multi-day: shape session starts with the corpus multi-day model \
+                     (weekend factor, per-day diurnal phase/amplitude drift)\n\
                      --faults: deterministic fault-injection plan (TOML; window times are \
                      seconds from trace start); adds the availability section\n\
                      --fault-seed: derive an exercise-everything fault plan from a seed \
@@ -334,16 +387,32 @@ fn enforce_rss_cap(opts: &Options) {
     }
 }
 
+/// Applies the duration/shape overrides (`--days`, `--multi-day`) to a
+/// trace config.
+fn apply_trace_shape(trace: &mut oat_workload::TraceConfig, opts: &Options) {
+    if let Some(days) = opts.days {
+        trace.duration_secs = days * 86_400;
+    }
+    if opts.multi_day {
+        trace.multi_day = Some(oat_workload::MultiDayModel::corpus());
+    }
+}
+
 /// `repro bench scale`: generates a columnar request spool out-of-core,
 /// then replays + analyzes it (popularity, sessions, availability) in
 /// bounded batches, and writes throughput + peak RSS to
 /// `BENCH_scale.json` so the perf trajectory is tracked per PR.
 ///
+/// Generation runs through the parallel direct-to-columnar engine
+/// (`generate_columnar_parallel`): sorted run files, a hierarchical merge,
+/// and a time-partitioned final merge keep generation's peak RSS bounded
+/// by one shard's column buffers per worker — the same bounded-memory
+/// invariant the analyze side already had, so the whole benchmark runs
+/// under one `--max-rss-mb` gate. `--gen-serial` additionally times the
+/// serial path and verifies the two spools are byte-identical.
+///
 /// When `--columnar DIR` already holds a spool, generation is skipped and
-/// the existing shards are replayed. Trace generation k-way merges whole
-/// per-shard runs in memory, so its peak RSS scales with the trace; the
-/// analyze side is the bounded-memory invariant, and reusing a spool lets
-/// a fresh process measure it alone (`generate_secs`/`generate_rps` are
+/// the existing shards are replayed (`generate_secs`/`generate_rps` are
 /// `null` in the JSON for that run).
 fn run_bench_scale(opts: &Options) -> Result<(), String> {
     use oat_core::analyzers::availability::AvailabilityAnalyzer;
@@ -351,23 +420,31 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
     use oat_core::analyzers::sessions::SessionAnalyzer;
     use oat_core::analyzers::Analyzer as _;
     use oat_httplog::{ColumnarDirReader, Request};
-    use oat_workload::{generate_columnar, GenOptions};
+    use oat_workload::{generate_columnar_parallel, ParGenOptions};
 
     let mut config = ExperimentConfig::small();
     config.trace.scale = opts.scale;
     config.trace.catalog_scale = opts.catalog_scale;
     config.trace.seed = opts.seed;
+    apply_trace_shape(&mut config.trace, opts);
     config.sim.cache_capacity_bytes = opts
         .capacity
         .unwrap_or((64e9 * opts.catalog_scale).max(2e9) as u64);
+
+    if let Some(child_dir) = &opts.serial_gen_child {
+        return run_serial_gen_child(&config, opts, child_dir);
+    }
 
     let keep_spool = opts.columnar.is_some();
     let dir = opts.columnar.clone().unwrap_or_else(|| {
         std::env::temp_dir().join(format!("oat-bench-scale-{}", std::process::id()))
     });
-    let gen_opts = GenOptions {
-        threads: opts.threads,
+    let gen_threads = opts.gen_threads.unwrap_or(opts.threads);
+    let par_opts = ParGenOptions {
+        threads: gen_threads,
         shard_size: opts.shard_size,
+        run_rows: 0,
+        merge_fanin: 0,
     };
 
     let existing = if keep_spool {
@@ -377,6 +454,7 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
     } else {
         None
     };
+    let mut serial_secs: Option<f64> = None;
     let (reader, rows, shards, generate_secs) = match existing {
         Some(reader) => {
             let rows = reader.rows().map_err(|e| format!("spool rows: {e}"))?;
@@ -389,13 +467,27 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
         }
         None => {
             eprintln!(
-                "bench scale: generating columnar request spool in {}",
-                dir.display()
+                "bench scale: generating columnar request spool in {} ({} gen threads)",
+                dir.display(),
+                if gen_threads == 0 {
+                    "all".to_string()
+                } else {
+                    gen_threads.to_string()
+                }
             );
             let gen_start = std::time::Instant::now();
-            let trace = generate_columnar(&config.trace, &gen_opts, 0, &dir, "req", 0)
-                .map_err(|e| format!("generate: {e}"))?;
+            let trace = generate_columnar_parallel(
+                &config.trace,
+                &par_opts,
+                &dir,
+                "req",
+                opts.rows_per_shard,
+            )
+            .map_err(|e| format!("generate: {e}"))?;
             let generate_secs = gen_start.elapsed().as_secs_f64();
+            if opts.gen_serial {
+                serial_secs = Some(bench_serial_generate(opts, &dir)?);
+            }
             let reader = trace.reader().map_err(|e| format!("open spool: {e}"))?;
             (reader, trace.rows, trace.shards, Some(generate_secs))
         }
@@ -435,18 +527,32 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
 
     let rps = |records: u64, secs: f64| records as f64 / secs.max(1e-9);
     let peak = peak_rss_mb();
+    let gen_threads_json = if generate_secs.is_some() {
+        let resolved = if gen_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            gen_threads
+        };
+        resolved.to_string()
+    } else {
+        "null".to_string()
+    };
     let json = format!(
         "{{\n  \"bench\": \"scale\",\n  \"scale\": {},\n  \"catalog_scale\": {},\n  \
          \"seed\": {},\n  \"records\": {},\n  \"spool_shards\": {},\n  \
-         \"generate_secs\": {},\n  \"generate_rps\": {},\n  \
+         \"gen_threads\": {},\n  \"generate_secs\": {},\n  \"generate_rps\": {},\n  \
+         \"serial_generate_secs\": {},\n  \"serial_generate_rps\": {},\n  \
          \"analyze_secs\": {:.3},\n  \"analyze_rps\": {:.0},\n  \"peak_rss_mb\": {}\n}}\n",
         opts.scale,
         opts.catalog_scale,
         opts.seed,
         rows,
         shards,
+        gen_threads_json,
         generate_secs.map_or("null".to_string(), |s| format!("{s:.3}")),
         generate_secs.map_or("null".to_string(), |s| format!("{:.0}", rps(rows, s))),
+        serial_secs.map_or("null".to_string(), |s| format!("{s:.3}")),
+        serial_secs.map_or("null".to_string(), |s| format!("{:.0}", rps(rows, s))),
         analyze_secs,
         rps(replayed, analyze_secs),
         peak.map_or("null".to_string(), |mb| mb.to_string()),
@@ -458,11 +564,129 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `--serial-gen-child` entry point: times the serial `generate_columnar`
+/// path into `dir` and reports the seconds on stdout. Runs in its own
+/// process because the serial path holds whole in-memory runs — re-execing
+/// keeps its (unbounded) peak RSS out of the parent's `--max-rss-mb` gate,
+/// which covers exactly the bounded parallel + analyze pipeline.
+fn run_serial_gen_child(
+    config: &ExperimentConfig,
+    opts: &Options,
+    dir: &std::path::Path,
+) -> Result<(), String> {
+    use oat_workload::{generate_columnar, GenOptions};
+    let _ = std::fs::remove_dir_all(dir);
+    let gen_opts = GenOptions {
+        threads: 1,
+        shard_size: opts.shard_size,
+    };
+    let start = std::time::Instant::now();
+    generate_columnar(&config.trace, &gen_opts, 0, dir, "req", opts.rows_per_shard)
+        .map_err(|e| format!("serial generate: {e}"))?;
+    println!("serial_generate_secs={}", start.elapsed().as_secs_f64());
+    Ok(())
+}
+
+/// Times the serial `generate_columnar` path (re-executed as a child
+/// process so its in-memory peak stays out of this process's `VmHWM`) into
+/// a scratch directory, verifies its shard files are byte-identical to the
+/// parallel spool in `dir`, then removes the scratch.
+fn bench_serial_generate(opts: &Options, dir: &std::path::Path) -> Result<f64, String> {
+    let serial_dir = std::env::temp_dir().join(format!("oat-bench-serial-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    eprintln!(
+        "bench scale: timing serial generation into {} for comparison (child process)",
+        serial_dir.display()
+    );
+    let exe = std::env::current_exe().map_err(|e| format!("locate own executable: {e}"))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("bench")
+        .arg("scale")
+        .arg("--scale")
+        .arg(opts.scale.to_string())
+        .arg("--catalog-scale")
+        .arg(opts.catalog_scale.to_string())
+        .arg("--seed")
+        .arg(opts.seed.to_string())
+        .arg("--shard-size")
+        .arg(opts.shard_size.to_string())
+        .arg("--rows-per-shard")
+        .arg(opts.rows_per_shard.to_string())
+        .arg("--serial-gen-child")
+        .arg(&serial_dir);
+    if let Some(days) = opts.days {
+        cmd.arg("--days").arg(days.to_string());
+    }
+    if opts.multi_day {
+        cmd.arg("--multi-day");
+    }
+    let out = cmd
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .map_err(|e| format!("spawn serial generation child: {e}"))?;
+    if !out.status.success() {
+        return Err(format!("serial generation child failed ({})", out.status));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let secs: f64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("serial_generate_secs="))
+        .ok_or_else(|| format!("serial generation child output unrecognized: {stdout:?}"))?
+        .parse()
+        .map_err(|e| format!("serial generation child reported bad seconds: {e}"))?;
+    let mismatch = compare_spool_dirs(dir, &serial_dir)?;
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    if let Some(name) = mismatch {
+        return Err(format!("parallel spool differs from serial at {name}"));
+    }
+    eprintln!("bench scale: parallel spool is byte-identical to the serial path");
+    Ok(secs)
+}
+
+/// Compares the `.col` files of two spool directories byte for byte.
+/// Returns the first differing (or missing) file name, if any.
+fn compare_spool_dirs(a: &std::path::Path, b: &std::path::Path) -> Result<Option<String>, String> {
+    let list = |dir: &std::path::Path| -> Result<Vec<String>, String> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir).map_err(|e| format!("list {}: {e}", dir.display()))? {
+            let entry = entry.map_err(|e| format!("list {}: {e}", dir.display()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".col") {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
+    };
+    let names_a = list(a)?;
+    let names_b = list(b)?;
+    if names_a != names_b {
+        let mismatch = names_a
+            .iter()
+            .find(|n| !names_b.contains(n))
+            .or_else(|| names_b.iter().find(|n| !names_a.contains(n)))
+            .cloned()
+            .unwrap_or_else(|| "<file list>".to_string());
+        return Ok(Some(mismatch));
+    }
+    for name in &names_a {
+        let bytes_a =
+            std::fs::read(a.join(name)).map_err(|e| format!("read {name} from A: {e}"))?;
+        let bytes_b =
+            std::fs::read(b.join(name)).map_err(|e| format!("read {name} from B: {e}"))?;
+        if bytes_a != bytes_b {
+            return Ok(Some(name.clone()));
+        }
+    }
+    Ok(None)
+}
+
 fn run_experiment(opts: &Options) -> ExperimentResult {
     let mut config = ExperimentConfig::small();
     config.trace.scale = opts.scale;
     config.trace.catalog_scale = opts.catalog_scale;
     config.trace.seed = opts.seed;
+    apply_trace_shape(&mut config.trace, opts);
     // Per-PoP capacity tracks the catalog size (the paper's CDN provisions
     // for its full catalogs); override with --capacity.
     config.sim.cache_capacity_bytes = opts

@@ -184,9 +184,9 @@ impl<'a> Sweep<'a> {
             .filter(|c| self.faults.is_none() && mattson_eligible(c))
         {
             let ppr = config.pops_per_region.max(1);
-            if !curves.contains_key(&ppr) {
+            if let std::collections::btree_map::Entry::Vacant(slot) = curves.entry(ppr) {
                 if let Some(partition) = partitions.get(&ppr) {
-                    curves.insert(ppr, MattsonCurve::build(self.requests, partition));
+                    slot.insert(MattsonCurve::build(self.requests, partition));
                 }
             }
         }

@@ -1558,6 +1558,415 @@ const OVERFLOW: ColumnarError = ColumnarError::Corrupt {
     what: "offset arithmetic overflows",
 };
 
+// ---------------------------------------------------------------------------
+// Bounded-memory file readers (no mmap).
+// ---------------------------------------------------------------------------
+
+/// Footer-only metadata of one shard file.
+///
+/// [`read_shard_footer`] recovers it in `O(1)` — two fixed-size positioned
+/// reads — where [`ColumnarShard::open`] maps the whole file and validates
+/// every row's dictionary index. External merge planners use it to learn
+/// the row counts and time ranges of many run files cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFooter {
+    /// Rows stored in the shard.
+    pub rows: u64,
+    /// Which row type the shard stores.
+    pub schema: Schema,
+    /// The shard's zone map.
+    pub zone: ZoneMap,
+}
+
+/// Header + footer metadata of a shard file, parsed without touching the
+/// body. Mirrors the structural checks of [`ColumnarShard::parse`]; the
+/// per-row dictionary-index validation is deferred to window reads.
+#[derive(Debug, Clone, Copy)]
+struct FileMeta {
+    rows: usize,
+    schema: Schema,
+    zone: ZoneMap,
+    col_offsets: [usize; MAX_COLS],
+    dict_off: usize,
+    footer_start: usize,
+}
+
+fn read_file_meta(file: &mut File) -> Result<FileMeta, ColumnarError> {
+    use std::io::{Seek, SeekFrom};
+    let len = usize::try_from(file.metadata()?.len()).map_err(|_| ColumnarError::Corrupt {
+        what: "shard exceeds usize",
+    })?;
+    if len < HEADER_LEN + FOOTER_LEN {
+        return Err(ColumnarError::Corrupt {
+            what: "file shorter than header + footer",
+        });
+    }
+    let mut header = [0u8; HEADER_LEN];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut header)?;
+    if header.get(..8) != Some(&MAGIC[..]) {
+        return Err(ColumnarError::Corrupt {
+            what: "bad file magic",
+        });
+    }
+    let header_schema = read_u8(&header, 8)?;
+    let header_version = read_u8(&header, 9)?;
+
+    let footer_start = len - FOOTER_LEN;
+    let mut footer = [0u8; FOOTER_LEN];
+    file.seek(SeekFrom::Start(footer_start as u64))?;
+    file.read_exact(&mut footer)?;
+    if footer.get(FOOTER_LEN - 8..) != Some(&FOOTER_MAGIC[..]) {
+        return Err(ColumnarError::Corrupt {
+            what: "bad footer magic",
+        });
+    }
+    let rows_raw = read_u64(&footer, 0)?;
+    let mut at = 8;
+    let mut col_offsets_raw = [0u64; MAX_COLS];
+    for slot in &mut col_offsets_raw {
+        *slot = read_u64(&footer, at)?;
+        at += 8;
+    }
+    let dict_off_raw = read_u64(&footer, at)?;
+    at += 8;
+    let zone = ZoneMap {
+        min_timestamp: read_u64(&footer, at)?,
+        max_timestamp: read_u64(&footer, at + 8)?,
+        publisher_mask: read_u64(&footer, at + 16)?,
+        status_mask: read_u64(&footer, at + 24)?,
+    };
+    at += 32;
+    let footer_schema = read_u8(&footer, at)?;
+    let footer_version = read_u8(&footer, at + 1)?;
+
+    if header_version != VERSION {
+        return Err(ColumnarError::UnsupportedVersion {
+            version: header_version,
+        });
+    }
+    if footer_version != header_version {
+        return Err(ColumnarError::Corrupt {
+            what: "footer version disagrees with header",
+        });
+    }
+    let schema = Schema::from_code(header_schema).ok_or(ColumnarError::UnknownSchema {
+        code: header_schema,
+    })?;
+    if footer_schema != header_schema {
+        return Err(ColumnarError::Corrupt {
+            what: "footer schema disagrees with header",
+        });
+    }
+
+    let rows = usize::try_from(rows_raw).map_err(|_| ColumnarError::Corrupt {
+        what: "row count exceeds usize",
+    })?;
+    let dict_off = usize::try_from(dict_off_raw).map_err(|_| ColumnarError::Corrupt {
+        what: "dictionary offset exceeds usize",
+    })?;
+    if dict_off < HEADER_LEN || dict_off > footer_start {
+        return Err(ColumnarError::Corrupt {
+            what: "dictionary offset out of bounds",
+        });
+    }
+
+    let widths = schema.widths();
+    let mut col_offsets = [0usize; MAX_COLS];
+    let mut prev_end = HEADER_LEN;
+    for (i, &width) in widths.iter().enumerate() {
+        let off_raw = col_offsets_raw.get(i).copied().unwrap_or(0);
+        let off = usize::try_from(off_raw).map_err(|_| ColumnarError::Corrupt {
+            what: "column offset exceeds usize",
+        })?;
+        if off % 8 != 0 || off < prev_end {
+            return Err(ColumnarError::Corrupt {
+                what: "column offset misordered or misaligned",
+            });
+        }
+        let col_len = rows.checked_mul(width).ok_or(ColumnarError::Corrupt {
+            what: "column length overflows",
+        })?;
+        let end = off.checked_add(col_len).ok_or(ColumnarError::Corrupt {
+            what: "column extent overflows",
+        })?;
+        if end > dict_off {
+            return Err(ColumnarError::Corrupt {
+                what: "column extends past the dictionary",
+            });
+        }
+        if let Some(slot) = col_offsets.get_mut(i) {
+            *slot = off;
+        }
+        prev_end = end;
+    }
+    if col_offsets_raw
+        .get(widths.len()..)
+        .is_some_and(|rest| rest.iter().any(|&o| o != 0))
+    {
+        return Err(ColumnarError::Corrupt {
+            what: "unused column-offset slots are non-zero",
+        });
+    }
+
+    Ok(FileMeta {
+        rows,
+        schema,
+        zone,
+        col_offsets,
+        dict_off,
+        footer_start,
+    })
+}
+
+/// Reads only the header and footer of the shard at `path`.
+///
+/// # Errors
+///
+/// [`ColumnarError::Io`] on I/O failure; [`ColumnarError::Corrupt`],
+/// [`ColumnarError::UnsupportedVersion`] or [`ColumnarError::UnknownSchema`]
+/// when the header/footer pair is not structurally valid.
+pub fn read_shard_footer(path: &Path) -> Result<ShardFooter, ColumnarError> {
+    let mut file = File::open(path)?;
+    let meta = read_file_meta(&mut file)?;
+    Ok(ShardFooter {
+        rows: meta.rows as u64,
+        schema: meta.schema,
+        zone: meta.zone,
+    })
+}
+
+/// A bounded-memory reader over one shard file using positioned file reads
+/// instead of `mmap`.
+///
+/// An external k-way merge holds one of these per input run. Unlike
+/// [`ColumnarShard::open`], opening costs `O(1)` (header + footer only),
+/// and resident memory stays at one decode window plus the user-agent
+/// dictionary no matter how large the file is — pages touched through
+/// dozens of concurrently mmap'd inputs would otherwise all count against
+/// the merge's peak-RSS budget.
+#[derive(Debug)]
+pub struct ShardFileReader<T: ColumnarRow> {
+    file: File,
+    meta: FileMeta,
+    dict: Option<Vec<String>>,
+    _row: PhantomData<fn() -> T>,
+}
+
+impl<T: ColumnarRow> ShardFileReader<T> {
+    /// Opens the shard at `path`, validating header and footer only.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_shard_footer`], plus [`ColumnarError::SchemaMismatch`]
+    /// when the shard stores a different row type than `T`.
+    pub fn open(path: &Path) -> Result<ShardFileReader<T>, ColumnarError> {
+        let mut file = File::open(path)?;
+        let meta = read_file_meta(&mut file)?;
+        if meta.schema != T::SCHEMA {
+            return Err(ColumnarError::SchemaMismatch {
+                expected: T::SCHEMA,
+                found: meta.schema,
+            });
+        }
+        Ok(ShardFileReader {
+            file,
+            meta,
+            dict: None,
+            _row: PhantomData,
+        })
+    }
+
+    /// Rows stored in the shard.
+    pub fn rows(&self) -> usize {
+        self.meta.rows
+    }
+
+    /// The shard's zone map.
+    pub fn zone(&self) -> &ZoneMap {
+        &self.meta.zone
+    }
+
+    fn read_at(&mut self, off: usize, buf: &mut [u8]) -> Result<(), ColumnarError> {
+        use std::io::{Seek, SeekFrom};
+        self.file.seek(SeekFrom::Start(off as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    /// Byte offset and width of cell `(col, row)`, bounds-checked against
+    /// the footer metadata.
+    fn cell(&self, col: usize, row: usize) -> Result<(usize, usize), ColumnarError> {
+        let width = T::SCHEMA
+            .widths()
+            .get(col)
+            .copied()
+            .ok_or(ColumnarError::Corrupt {
+                what: "column index out of range",
+            })?;
+        if row >= self.meta.rows {
+            return Err(ColumnarError::Corrupt {
+                what: "row index out of range",
+            });
+        }
+        let off = self.meta.col_offsets.get(col).copied().unwrap_or(0);
+        Ok((off + row * width, width))
+    }
+
+    fn u64_cell(&mut self, col: usize, row: usize) -> Result<u64, ColumnarError> {
+        let (off, width) = self.cell(col, row)?;
+        if width != 8 {
+            return Err(ColumnarError::Corrupt {
+                what: "column is not 8 bytes wide",
+            });
+        }
+        let mut buf = [0u8; 8];
+        self.read_at(off, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// The timestamp of row `i` — one positioned 8-byte read.
+    ///
+    /// # Errors
+    ///
+    /// [`ColumnarError::Io`] or [`ColumnarError::Corrupt`] when `i` is out
+    /// of range.
+    pub fn timestamp_at(&mut self, i: usize) -> Result<u64, ColumnarError> {
+        self.u64_cell(0, i)
+    }
+
+    /// The `(timestamp, user, object)` merge key of row `i` — three
+    /// positioned 8-byte reads.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardFileReader::timestamp_at`].
+    pub fn key_at(&mut self, i: usize) -> Result<(u64, u64, u64), ColumnarError> {
+        let user_col = match T::SCHEMA {
+            Schema::Record => 4,
+            Schema::Request => 5,
+        };
+        Ok((
+            self.u64_cell(0, i)?,
+            self.u64_cell(user_col, i)?,
+            self.u64_cell(1, i)?,
+        ))
+    }
+
+    /// The number of rows whose timestamp is `< t`, by binary search over
+    /// the timestamp column. The shard must be time-sorted (generator run
+    /// files are).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardFileReader::timestamp_at`].
+    pub fn partition_point_lt(&mut self, t: u64) -> Result<usize, ColumnarError> {
+        let (mut lo, mut hi) = (0usize, self.meta.rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.timestamp_at(mid)? < t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    fn dict(&mut self) -> Result<&[String], ColumnarError> {
+        if self.dict.is_none() {
+            let len = self.meta.footer_start - self.meta.dict_off;
+            let mut buf = vec![0u8; len];
+            let off = self.meta.dict_off;
+            self.read_at(off, &mut buf)?;
+            self.dict = Some(parse_dict(&buf, 0, len)?);
+        }
+        self.dict.as_deref().ok_or(ColumnarError::Corrupt {
+            what: "dictionary unavailable",
+        })
+    }
+
+    /// Materializes rows `range` (clamped to the shard) into `out`,
+    /// appending. Only the window's column bytes are read; peak memory is
+    /// `O(window)` regardless of shard size.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnarShard::open`] — the window is decoded through the same
+    /// row reader, including dictionary-index validation.
+    pub fn read_window(
+        &mut self,
+        range: Range<usize>,
+        out: &mut Vec<T>,
+    ) -> Result<(), ColumnarError> {
+        let lo = range.start.min(self.meta.rows);
+        let hi = range.end.min(self.meta.rows);
+        if lo >= hi {
+            return Ok(());
+        }
+        let n = hi - lo;
+        let widths = T::SCHEMA.widths();
+        // Lay the window out as an in-memory mini shard so the ordinary row
+        // decoder applies unchanged.
+        let mut col_offsets = [0usize; MAX_COLS];
+        let mut total = HEADER_LEN;
+        for (i, &width) in widths.iter().enumerate() {
+            total += (8 - total % 8) % 8;
+            if let Some(slot) = col_offsets.get_mut(i) {
+                *slot = total;
+            }
+            total += n * width;
+        }
+        let mut buf = vec![0u8; total];
+        for (i, &width) in widths.iter().enumerate() {
+            let (src, _) = self.cell(i, lo)?;
+            let dst = col_offsets.get(i).copied().unwrap_or(0);
+            let slice = buf
+                .get_mut(dst..dst + n * width)
+                .ok_or(ColumnarError::Corrupt {
+                    what: "window buffer out of range",
+                })?;
+            self.read_at(src, slice)?;
+        }
+        let dict = self.dict()?.to_vec();
+        let window = ColumnarShard {
+            bytes: ShardBytes::copy_from(&buf),
+            rows: n,
+            schema: T::SCHEMA,
+            col_offsets,
+            dict,
+            zone: self.meta.zone,
+        };
+        out.reserve(n);
+        for i in 0..n {
+            out.push(T::read_row(&window, i)?);
+        }
+        Ok(())
+    }
+}
+
+impl ShardBytes {
+    /// Copies `data` into an owned 8-byte-aligned buffer.
+    fn copy_from(data: &[u8]) -> ShardBytes {
+        let mut buf = vec![0u64; data.len().div_ceil(8)];
+        for (slot, chunk) in buf.iter_mut().zip(data.chunks(8)) {
+            let mut a = [0u8; 8];
+            if let Some(dst) = a.get_mut(..chunk.len()) {
+                dst.copy_from_slice(chunk);
+            }
+            // Native-endian: the u64's in-memory bytes equal `a` exactly, so
+            // `as_slice` reproduces `data` byte for byte on any endianness.
+            *slot = u64::from_ne_bytes(a);
+        }
+        ShardBytes {
+            repr: Repr::Owned {
+                buf,
+                len: data.len(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1879,6 +2288,110 @@ mod tests {
         let mut out: Vec<LogRecord> = Vec::new();
         shard.read_rows(0..shard.rows(), &mut out).unwrap();
         assert_eq!(out, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shard_footer_matches_full_open() {
+        let dir = tmpdir("footer");
+        let path = dir.join("s.col");
+        let records = sample_records();
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&records).unwrap();
+        b.write_file(&path).unwrap();
+
+        let footer = read_shard_footer(&path).unwrap();
+        let shard = ColumnarShard::open(&path).unwrap();
+        assert_eq!(footer.rows, shard.rows() as u64);
+        assert_eq!(footer.schema, Schema::Record);
+        assert_eq!(footer.zone, *shard.zone());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shard_footer_rejects_truncation() {
+        let dir = tmpdir("footer-bad");
+        let path = dir.join("s.col");
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&sample_records()).unwrap();
+        b.write_file(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            read_shard_footer(&path),
+            Err(ColumnarError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_reader_windows_match_mmap_reader() {
+        let dir = tmpdir("filereader");
+        let path = dir.join("s.col");
+        let records = sample_records();
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&records).unwrap();
+        b.write_file(&path).unwrap();
+
+        let mut reader = ShardFileReader::<LogRecord>::open(&path).unwrap();
+        assert_eq!(reader.rows(), records.len());
+        let shard = ColumnarShard::open(&path).unwrap();
+        assert_eq!(*reader.zone(), *shard.zone());
+
+        // Full window and a strict interior window both match read_rows.
+        for range in [0..records.len(), 3..7] {
+            let mut via_file: Vec<LogRecord> = Vec::new();
+            reader.read_window(range.clone(), &mut via_file).unwrap();
+            let mut via_mmap: Vec<LogRecord> = Vec::new();
+            shard.read_rows(range, &mut via_mmap).unwrap();
+            assert_eq!(via_file, via_mmap);
+        }
+        // Out-of-range windows clamp instead of erroring.
+        let mut clamped: Vec<LogRecord> = Vec::new();
+        reader.read_window(8..100, &mut clamped).unwrap();
+        assert_eq!(clamped.len(), 2);
+
+        // Point reads agree with the materialized rows.
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(reader.timestamp_at(i).unwrap(), r.timestamp);
+            let (ts, user, object) = reader.key_at(i).unwrap();
+            assert_eq!(ts, r.timestamp);
+            assert_eq!(user, r.user.raw());
+            assert_eq!(object, r.object.raw());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_reader_partition_point() {
+        let dir = tmpdir("filereader-pp");
+        let path = dir.join("s.col");
+        let records = sample_records(); // timestamps ascend by 60
+        let first_ts = records[0].timestamp;
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&records).unwrap();
+        b.write_file(&path).unwrap();
+
+        let mut reader = ShardFileReader::<LogRecord>::open(&path).unwrap();
+        assert_eq!(reader.partition_point_lt(0).unwrap(), 0);
+        assert_eq!(reader.partition_point_lt(first_ts).unwrap(), 0);
+        assert_eq!(reader.partition_point_lt(first_ts + 1).unwrap(), 1);
+        assert_eq!(reader.partition_point_lt(first_ts + 60).unwrap(), 1);
+        assert_eq!(reader.partition_point_lt(u64::MAX).unwrap(), records.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_reader_rejects_wrong_schema() {
+        let dir = tmpdir("filereader-schema");
+        let path = dir.join("s.col");
+        let mut b = ColumnBuilder::<LogRecord>::new();
+        b.push_batch(&sample_records()).unwrap();
+        b.write_file(&path).unwrap();
+        assert!(matches!(
+            ShardFileReader::<Request>::open(&path),
+            Err(ColumnarError::SchemaMismatch { .. })
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 }

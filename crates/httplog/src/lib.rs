@@ -51,7 +51,8 @@ pub mod status;
 
 pub use anonymize::Anonymizer;
 pub use codec::columnar::{
-    ColumnBuilder, ColumnarError, ColumnarRow, ColumnarShard, Schema, ShardFilter, ZoneMap,
+    read_shard_footer, ColumnBuilder, ColumnarError, ColumnarRow, ColumnarShard, Schema,
+    ShardFileReader, ShardFilter, ShardFooter, ZoneMap,
 };
 pub use content::{ContentClass, FileFormat};
 pub use error::HttplogError;

@@ -204,7 +204,7 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
     for k in 2..=5 {
         match bytes.get(i + k) {
             Some(b'\'') => return Some(i + k + 1),
-            Some(&b) if !is_ident_byte(b) && !(b & 0x80 != 0) => return None,
+            Some(&b) if !is_ident_byte(b) && b & 0x80 == 0 => return None,
             Some(_) => {}
             None => return None,
         }

@@ -183,7 +183,7 @@ fn pair_at(n: usize, k: usize) -> (usize, usize) {
     debug_assert!(n >= 2 && k < row_start(n - 1));
     let (mut lo, mut hi) = (0usize, n - 2);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if row_start(mid) <= k {
             lo = mid;
         } else {

@@ -14,6 +14,7 @@ use crate::catalog::Catalog;
 use crate::dist::LogNormal;
 use crate::merge::{merge_shards, KWayMerge, SortedShard};
 use crate::profile::SiteProfile;
+use crate::temporal::DiurnalCurve;
 use crate::users::{build_population, UserProfile};
 use oat_httplog::{
     ColumnarDirReader, ColumnarDirWriter, ContentClass, HttplogError, Request, RequestKind,
@@ -66,6 +67,11 @@ pub struct TraceConfig {
     pub start_unix: u64,
     /// The sites to generate.
     pub sites: Vec<SiteProfile>,
+    /// Multi-day diurnal shaping (weekday/weekend volume, per-day
+    /// phase/amplitude drift). `None` keeps the original single-curve
+    /// model — and byte-identical traces for pre-existing configs.
+    #[serde(default)]
+    pub multi_day: Option<MultiDayModel>,
 }
 
 impl TraceConfig {
@@ -78,6 +84,7 @@ impl TraceConfig {
             duration_secs: 7 * 86_400,
             start_unix: 1_444_435_200, // Sat 2015-10-10 00:00:00 UTC
             sites: SiteProfile::paper_five(),
+            multi_day: None,
         }
     }
 
@@ -127,6 +134,9 @@ impl TraceConfig {
         if self.sites.is_empty() {
             return Err(ConfigError::NoSites);
         }
+        if let Some(model) = &self.multi_day {
+            model.validate()?;
+        }
         Ok(())
     }
 }
@@ -135,6 +145,90 @@ impl Default for TraceConfig {
     fn default() -> Self {
         Self::small()
     }
+}
+
+/// Multi-day shaping of session-start times: a weekday/weekend volume
+/// factor plus per-day drift of each site's diurnal curve. The measurement
+/// papers behind the workload (a week of portal logs, passive multi-day
+/// captures) all show day-to-day structure a single repeated curve cannot
+/// express; this model adds it without touching the per-user RNG-stream
+/// determinism — given the same config, traces remain byte-identical at
+/// any thread count or shard size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiDayModel {
+    /// Relative session volume on Saturdays/Sundays (local time);
+    /// `1.0` = same as weekdays.
+    pub weekend_factor: f64,
+    /// Hours the diurnal peak shifts per elapsed day (wraps mod 24).
+    pub phase_drift_hours_per_day: f64,
+    /// Additive amplitude change per elapsed day (the result is clamped
+    /// to `[0, 1]`).
+    pub amplitude_drift_per_day: f64,
+}
+
+impl MultiDayModel {
+    /// A corpus-flavored default: weekends ~25 % busier, the evening peak
+    /// drifting slightly later through the week, amplitude decaying a
+    /// touch as the week wears on.
+    pub fn corpus() -> Self {
+        Self {
+            weekend_factor: 1.25,
+            phase_drift_hours_per_day: 0.3,
+            amplitude_drift_per_day: -0.01,
+        }
+    }
+
+    /// The session-volume weight of day `day` (0-based from
+    /// `start_unix`), including the partial-day fraction when the trace
+    /// does not end on a day boundary.
+    pub(crate) fn day_weight(&self, start_unix: u64, day: u64, duration_days: f64) -> f64 {
+        let base = if is_weekend(start_unix, day) {
+            self.weekend_factor
+        } else {
+            1.0
+        };
+        base * (duration_days - day as f64).clamp(0.0, 1.0)
+    }
+
+    /// The site's diurnal curve as drifted on day `day`.
+    pub(crate) fn day_curve(&self, base: &DiurnalCurve, day: u64) -> DiurnalCurve {
+        let d = day as f64;
+        // `DiurnalCurve::new` wraps the peak mod 24 and clamps amplitude.
+        DiurnalCurve::new(
+            base.peak_hour() + self.phase_drift_hours_per_day * d,
+            base.amplitude() + self.amplitude_drift_per_day * d,
+        )
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        let ok = self.weekend_factor.is_finite()
+            && self.weekend_factor > 0.0
+            && self.phase_drift_hours_per_day.is_finite()
+            && self.amplitude_drift_per_day.is_finite();
+        if ok {
+            Ok(())
+        } else {
+            Err(ConfigError::BadMultiDay)
+        }
+    }
+}
+
+impl Default for MultiDayModel {
+    /// The neutral model: every day identical to the base curve.
+    fn default() -> Self {
+        Self {
+            weekend_factor: 1.0,
+            phase_drift_hours_per_day: 0.0,
+            amplitude_drift_per_day: 0.0,
+        }
+    }
+}
+
+/// Whether `start_unix + day` days falls on a Saturday or Sunday (UTC
+/// calendar; Unix day 0 was a Thursday).
+fn is_weekend(start_unix: u64, day: u64) -> bool {
+    let dow = ((start_unix / 86_400).wrapping_add(day).wrapping_add(4)) % 7;
+    dow == 0 || dow == 6
 }
 
 /// Error validating a [`TraceConfig`].
@@ -146,6 +240,8 @@ pub enum ConfigError {
     DurationTooShort,
     /// At least one site profile is required.
     NoSites,
+    /// The multi-day model had a non-finite or non-positive parameter.
+    BadMultiDay,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -154,6 +250,9 @@ impl std::fmt::Display for ConfigError {
             Self::BadScale => "scales must be positive and finite",
             Self::DurationTooShort => "trace duration must be at least one hour",
             Self::NoSites => "at least one site profile is required",
+            Self::BadMultiDay => {
+                "multi-day model parameters must be finite (weekend factor positive)"
+            }
         };
         f.write_str(msg)
     }
@@ -172,7 +271,7 @@ pub struct GenOptions {
 }
 
 impl GenOptions {
-    fn resolved_threads(&self) -> usize {
+    pub(crate) fn resolved_threads(&self) -> usize {
         if self.threads == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -182,7 +281,7 @@ impl GenOptions {
         }
     }
 
-    fn resolved_shard_size(&self) -> usize {
+    pub(crate) fn resolved_shard_size(&self) -> usize {
         if self.shard_size == 0 {
             DEFAULT_SHARD_SIZE
         } else {
@@ -358,9 +457,12 @@ pub fn generate_streaming(
 /// length.
 #[derive(Debug)]
 pub struct ColumnarTrace {
-    /// Per-site catalogs, index-aligned with `config.sites`.
+    /// Per-site catalogs, index-aligned with `config.sites`. Empty from
+    /// [`crate::generate_columnar_parallel`], which drops the site tables
+    /// after run generation to keep peak RSS bounded.
     pub catalogs: Arc<Vec<Catalog>>,
     /// Per-site user populations, index-aligned with `config.sites`.
+    /// Empty from [`crate::generate_columnar_parallel`] (see `catalogs`).
     pub populations: Arc<Vec<Vec<UserProfile>>>,
     /// The configuration the trace was generated from.
     pub config: TraceConfig,
@@ -484,7 +586,7 @@ fn user_stream_seed(seed: u64, site: u64, user: u64) -> u64 {
 /// this phase is seconds even at paper scale). Uses the same per-site RNG
 /// stream derivation as the original serial generator, so ground truth is
 /// unchanged across the sharding refactor.
-fn build_sites(config: &TraceConfig) -> (Vec<Catalog>, Vec<Vec<UserProfile>>) {
+pub(crate) fn build_sites(config: &TraceConfig) -> (Vec<Catalog>, Vec<Vec<UserProfile>>) {
     let built: Vec<(Catalog, Vec<UserProfile>)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = config
             .sites
@@ -521,9 +623,9 @@ fn build_sites(config: &TraceConfig) -> (Vec<Catalog>, Vec<Vec<UserProfile>>) {
 }
 
 /// One unit of generation work: `site`'s users `[lo, hi)`.
-type ShardTask = (usize, usize, usize);
+pub(crate) type ShardTask = (usize, usize, usize);
 
-fn shard_tasks(populations: &[Vec<UserProfile>], shard_size: usize) -> Vec<ShardTask> {
+pub(crate) fn shard_tasks(populations: &[Vec<UserProfile>], shard_size: usize) -> Vec<ShardTask> {
     let shard_size = shard_size.max(1);
     let mut tasks = Vec::new();
     for (site, users) in populations.iter().enumerate() {
@@ -549,14 +651,7 @@ fn generate_shards(
     shard_size: usize,
 ) -> Vec<SortedShard> {
     let tasks = shard_tasks(populations, shard_size);
-    let iats: Vec<LogNormal> = config
-        .sites
-        .iter()
-        .map(|site| {
-            LogNormal::from_median(site.within_iat_median_secs, site.within_iat_sigma)
-                .expect("profile IAT parameters are valid")
-        })
-        .collect();
+    let iats = site_iats(config);
     let workers = threads.clamp(1, tasks.len().max(1));
     let next = AtomicUsize::new(0);
 
@@ -613,11 +708,24 @@ fn generate_shards(
         .collect()
 }
 
+/// One per-site inter-arrival distribution, index-aligned with
+/// `config.sites`.
+pub(crate) fn site_iats(config: &TraceConfig) -> Vec<LogNormal> {
+    config
+        .sites
+        .iter()
+        .map(|site| {
+            LogNormal::from_median(site.within_iat_median_secs, site.within_iat_sigma)
+                .expect("profile IAT parameters are valid")
+        })
+        .collect()
+}
+
 /// Generates one shard — `site`'s users `[lo, hi)` — sorted by
 /// `(timestamp, user, object)`. The per-user scratch (`seen` set,
 /// favorites list) is allocated once per shard and reused across users.
 #[allow(clippy::too_many_arguments)]
-fn generate_shard(
+pub(crate) fn generate_shard(
     config: &TraceConfig,
     site: &SiteProfile,
     catalog: &Catalog,
@@ -632,7 +740,7 @@ fn generate_shard(
     // Pre-sized so the hot emit path never rehashes for a typical user.
     let mut seen: HashSet<u64> = HashSet::with_capacity(views_per_user * 2 + 8);
     let mut favorites: Vec<usize> = Vec::with_capacity(8);
-    for user_idx in lo..hi {
+    for (user_idx, user) in users.iter().enumerate().take(hi).skip(lo) {
         let mut rng = StdRng::seed_from_u64(user_stream_seed(
             config.seed,
             site_idx as u64,
@@ -642,7 +750,7 @@ fn generate_shard(
             site,
             config,
             catalog,
-            &users[user_idx],
+            user,
             iat,
             &mut rng,
             &mut seen,
@@ -726,6 +834,9 @@ fn sample_session_start(
     user: &UserProfile,
     rng: &mut StdRng,
 ) -> f64 {
+    if let Some(model) = &config.multi_day {
+        return sample_session_start_multi_day(site, config, user, model, rng);
+    }
     let days = (config.duration_secs as f64 / 86_400.0).max(1.0);
     // Local-time-of-day from the site's diurnal curve (rejection sampling).
     let max = 1.0 + site.diurnal.amplitude();
@@ -739,6 +850,48 @@ fn sample_session_start(
     let local = day * 86_400.0 + hour * 3_600.0;
     let utc = local - user.tz_offset_secs as f64;
     utc.rem_euclid(config.duration_secs as f64)
+}
+
+/// Multi-day variant: the day is drawn first (weekend-weighted, partial
+/// final day weighted by its fraction), then the hour is rejection-sampled
+/// from that day's drifted curve. Draws stay on the user's private RNG
+/// stream, so the thread/shard-count determinism invariant is untouched.
+fn sample_session_start_multi_day(
+    site: &SiteProfile,
+    config: &TraceConfig,
+    user: &UserProfile,
+    model: &MultiDayModel,
+    rng: &mut StdRng,
+) -> f64 {
+    let duration = config.duration_secs as f64;
+    let days = (duration / 86_400.0).max(1.0);
+    let n_days = days.ceil() as u64;
+    let mut total_weight = 0.0;
+    // Traces span days, not years: two passes beat allocating per draw.
+    for day in 0..n_days {
+        total_weight += model.day_weight(config.start_unix, day, days);
+    }
+    let mut pick = rng.gen::<f64>() * total_weight;
+    let mut day = n_days.saturating_sub(1);
+    for d in 0..n_days {
+        let w = model.day_weight(config.start_unix, d, days);
+        if pick < w {
+            day = d;
+            break;
+        }
+        pick -= w;
+    }
+    let curve = model.day_curve(&site.diurnal, day);
+    let max = 1.0 + curve.amplitude();
+    let hour = loop {
+        let h = rng.gen_range(0.0..24.0);
+        if rng.gen::<f64>() * max <= curve.intensity(h) {
+            break h;
+        }
+    };
+    let local = day as f64 * 86_400.0 + hour * 3_600.0;
+    let utc = local - user.tz_offset_secs as f64;
+    utc.rem_euclid(duration)
 }
 
 fn pick_object(

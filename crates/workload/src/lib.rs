@@ -47,6 +47,7 @@ pub mod catalog;
 pub mod dist;
 pub mod generator;
 pub mod merge;
+pub mod pargen;
 pub mod profile;
 pub mod temporal;
 pub mod trendspec;
@@ -55,8 +56,11 @@ pub mod users;
 pub use catalog::{Catalog, CatalogObject};
 pub use generator::{
     generate, generate_columnar, generate_streaming, generate_with, ColumnarGenError,
-    ColumnarTrace, ConfigError, GenOptions, Trace, TraceConfig, TraceStream, CHUNK_BYTES,
-    DEFAULT_BATCH_SIZE, DEFAULT_SHARD_SIZE,
+    ColumnarTrace, ConfigError, GenOptions, MultiDayModel, Trace, TraceConfig, TraceStream,
+    CHUNK_BYTES, DEFAULT_BATCH_SIZE, DEFAULT_SHARD_SIZE,
+};
+pub use pargen::{
+    generate_columnar_parallel, ParGenOptions, DEFAULT_MERGE_FANIN, DEFAULT_RUN_ROWS,
 };
 pub use profile::{ClassParams, SiteProfile, SizeModel, TrendMix};
 pub use temporal::DiurnalCurve;

@@ -1,0 +1,916 @@
+//! Parallel direct-to-columnar trace generation.
+//!
+//! [`generate_columnar_parallel`] produces the same shard directory as the
+//! serial [`crate::generate_columnar`] — byte for byte, at any thread
+//! count, run size, or merge fan-in — but generates and spools on a worker
+//! pool with bounded memory at every stage:
+//!
+//! 1. **Run generation.** Workers pull `(site, user-range)` tasks from a
+//!    shared queue, synthesize each task's requests from the per-user RNG
+//!    streams, and encode them straight into sorted columnar *run files*
+//!    (at most [`ParGenOptions::run_rows`] rows each) under a hidden
+//!    `.runs-<prefix>/` directory. Nothing larger than one task's request
+//!    vector plus one column buffer is ever resident per worker.
+//! 2. **Hierarchical merge.** While more runs exist than the merge fan-in,
+//!    consecutive groups of runs are k-way merged in parallel into
+//!    longer runs. Each merge cursor streams bounded windows through
+//!    [`ShardFileReader`] (positioned reads, no `mmap`), so a merge's
+//!    memory is `O(fan-in × window)` regardless of run length. Ties on the
+//!    `(timestamp, user, object)` key break by run order — merging
+//!    consecutive groups and then the groups is the same stable merge as
+//!    one global pass, which is what makes the output independent of the
+//!    grouping.
+//! 3. **Partitioned final merge.** The output shard sequence is cut into
+//!    contiguous blocks of shards. For each block, the run zone maps and a
+//!    binary search over the timestamp column locate the exact per-run
+//!    start offsets of the block's first global row; each block then merges
+//!    forward independently, sealing a shard every `rows_per_shard` rows
+//!    with the same `<prefix>-NNNNNN.col` naming and rotation as
+//!    [`oat_httplog::ColumnarDirWriter`]. Writer RSS stays bounded by one
+//!    shard's column buffers per worker no matter how long the trace is.
+//!
+//! The per-site user populations are the one input that grows with
+//! `scale`; they are needed only by phase 1 and are dropped before the
+//! merge phases allocate anything, so they never stack under the merge
+//! and write buffers (the returned trace's site tables are empty — see
+//! [`generate_columnar_parallel`]).
+
+use crate::catalog::Catalog;
+use crate::generator::{
+    build_sites, generate_shard, shard_tasks, site_iats, ColumnarGenError, ColumnarTrace,
+    GenOptions, TraceConfig,
+};
+use crate::users::UserProfile;
+use oat_httplog::shard::DEFAULT_ROWS_PER_SHARD;
+use oat_httplog::{ColumnBuilder, ColumnarError, HttplogError, Request, ShardFileReader};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default rows per sorted run file.
+pub const DEFAULT_RUN_ROWS: usize = 1 << 20;
+
+/// Default maximum runs merged at once by the hierarchical merge.
+pub const DEFAULT_MERGE_FANIN: usize = 64;
+
+/// Rows a merge cursor materializes per positioned read.
+const CURSOR_WINDOW_ROWS: usize = 4096;
+
+/// Options controlling *how* the parallel engine runs — never *what* it
+/// produces: any combination yields the identical shard directory for the
+/// same config.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ParGenOptions {
+    /// Worker threads for every phase; `0` = all available cores.
+    pub threads: usize,
+    /// Users per generation task; `0` = [`crate::DEFAULT_SHARD_SIZE`].
+    pub shard_size: usize,
+    /// Rows per sorted run file; `0` = [`DEFAULT_RUN_ROWS`].
+    pub run_rows: usize,
+    /// Maximum runs per hierarchical merge; `0` = [`DEFAULT_MERGE_FANIN`],
+    /// minimum 2.
+    pub merge_fanin: usize,
+}
+
+impl ParGenOptions {
+    fn gen_opts(&self) -> GenOptions {
+        GenOptions {
+            threads: self.threads,
+            shard_size: self.shard_size,
+        }
+    }
+
+    fn resolved_run_rows(&self) -> usize {
+        if self.run_rows == 0 {
+            DEFAULT_RUN_ROWS
+        } else {
+            self.run_rows
+        }
+    }
+
+    fn resolved_merge_fanin(&self) -> usize {
+        if self.merge_fanin == 0 {
+            DEFAULT_MERGE_FANIN
+        } else {
+            self.merge_fanin.max(2)
+        }
+    }
+}
+
+/// Metadata of one sorted run file on disk.
+#[derive(Debug, Clone)]
+struct RunFile {
+    path: PathBuf,
+    rows: u64,
+    min_ts: u64,
+    max_ts: u64,
+}
+
+/// One sorted run: an ordered list of files whose rows concatenate to a
+/// `(timestamp, user, object)`-sorted sequence.
+#[derive(Debug)]
+struct Run {
+    files: Vec<RunFile>,
+    rows: u64,
+}
+
+fn spool_err(e: ColumnarError) -> ColumnarGenError {
+    ColumnarGenError::Spool(HttplogError::from(e))
+}
+
+fn internal_err(what: &str) -> ColumnarError {
+    ColumnarError::Io(std::io::Error::other(format!(
+        "parallel generation internal invariant violated: {what}"
+    )))
+}
+
+/// Runs `f(i)` for every `i < count` on a pool of `workers` threads and
+/// returns the results in index order. The first error wins and the
+/// remaining workers stop pulling new work.
+fn parallel_indexed<T, F>(count: usize, workers: usize, f: F) -> Result<Vec<T>, ColumnarError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, ColumnarError> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let workers = workers.clamp(1, count.max(1));
+    let collected: Vec<Vec<(usize, Result<T, ColumnarError>)>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let failed = &failed;
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        let mut mine = Vec::new();
+                        loop {
+                            if failed.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                break;
+                            }
+                            let out = f(i);
+                            if out.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            mine.push((i, out));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    // oat-lint: allow(panic-freedom) — a worker panic is a bug;
+                    h.join().expect("parallel generation worker panicked")
+                })
+                .collect()
+        })
+        // oat-lint: allow(panic-freedom) — scope only errs on worker panic.
+        .expect("parallel generation workers panicked");
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (i, res) in collected.into_iter().flatten() {
+        match res {
+            Ok(v) => {
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(v);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let mut out = Vec::with_capacity(count);
+    for slot in slots {
+        // No error returned above ⇒ every index was pulled and completed.
+        out.push(slot.ok_or_else(|| internal_err("task result missing"))?);
+    }
+    Ok(out)
+}
+
+/// Encodes `rows` into run files of at most `run_rows` rows each, reusing
+/// `builder`'s buffers across chunks.
+fn write_run_files<F>(
+    builder: &mut ColumnBuilder<Request>,
+    rows: &[Request],
+    run_rows: usize,
+    runs_dir: &Path,
+    name_of: F,
+) -> Result<Vec<RunFile>, ColumnarError>
+where
+    F: Fn(usize) -> String,
+{
+    let mut files = Vec::new();
+    for (part, chunk) in rows.chunks(run_rows.max(1)).enumerate() {
+        builder.clear();
+        builder.push_batch(chunk)?;
+        let path = runs_dir.join(name_of(part));
+        builder.write_file(&path)?;
+        let zone = builder.zone();
+        files.push(RunFile {
+            path,
+            rows: chunk.len() as u64,
+            min_ts: zone.min_timestamp,
+            max_ts: zone.max_timestamp,
+        });
+    }
+    builder.clear();
+    Ok(files)
+}
+
+/// Phase 1: generate every `(site, user-range)` task into its own sorted
+/// run. Runs are ordered by task index — the same order the serial path
+/// feeds its k-way merge — so later stable merges reproduce its output.
+fn generate_runs(
+    config: &TraceConfig,
+    catalogs: &[Catalog],
+    populations: &[Vec<UserProfile>],
+    workers: usize,
+    shard_size: usize,
+    run_rows: usize,
+    runs_dir: &Path,
+) -> Result<Vec<Run>, ColumnarGenError> {
+    let tasks = shard_tasks(populations, shard_size);
+    let iats = site_iats(config);
+    let per_task = parallel_indexed(tasks.len(), workers, |t| {
+        let &(site, lo, hi) = tasks
+            .get(t)
+            .ok_or_else(|| internal_err("task out of range"))?;
+        let (site_profile, catalog, users, iat) = match (
+            config.sites.get(site),
+            catalogs.get(site),
+            populations.get(site),
+            iats.get(site),
+        ) {
+            (Some(s), Some(c), Some(u), Some(i)) => (s, c, u, i),
+            _ => return Err(internal_err("site index out of range")),
+        };
+        let requests = generate_shard(config, site_profile, catalog, users, iat, site, lo, hi);
+        let mut builder = ColumnBuilder::<Request>::new();
+        write_run_files(&mut builder, &requests, run_rows, runs_dir, |part| {
+            format!("r0-{t:06}-{part:03}.col")
+        })
+    })
+    .map_err(spool_err)?;
+    Ok(per_task
+        .into_iter()
+        .filter(|files| files.iter().any(|f| f.rows > 0))
+        .map(|files| {
+            let rows = files.iter().map(|f| f.rows).sum();
+            Run { files, rows }
+        })
+        .collect())
+}
+
+/// A sequential cursor over one run, materializing bounded windows through
+/// positioned reads. The buffer is kept reversed so the next row is a
+/// clone-free `pop`.
+struct RunCursor {
+    files: Vec<RunFile>,
+    file_idx: usize,
+    row_in_file: usize,
+    reader: Option<ShardFileReader<Request>>,
+    buf: Vec<Request>,
+}
+
+impl RunCursor {
+    /// A cursor positioned at global row `start` of `run`.
+    fn new(run: &Run, start: u64) -> RunCursor {
+        let mut file_idx = 0usize;
+        let mut row = start;
+        for f in &run.files {
+            if row < f.rows {
+                break;
+            }
+            row -= f.rows;
+            file_idx += 1;
+        }
+        RunCursor {
+            files: run.files.clone(),
+            file_idx,
+            row_in_file: row as usize,
+            reader: None,
+            buf: Vec::new(),
+        }
+    }
+
+    fn fill(&mut self) -> Result<(), ColumnarError> {
+        while self.buf.is_empty() {
+            let Some(file) = self.files.get(self.file_idx) else {
+                return Ok(()); // exhausted
+            };
+            if self.row_in_file >= file.rows as usize {
+                self.file_idx += 1;
+                self.row_in_file = 0;
+                self.reader = None;
+                continue;
+            }
+            if self.reader.is_none() {
+                self.reader = Some(ShardFileReader::open(&file.path)?);
+            }
+            let reader = self
+                .reader
+                .as_mut()
+                .ok_or_else(|| internal_err("cursor reader missing"))?;
+            let lo = self.row_in_file;
+            let hi = lo
+                .saturating_add(CURSOR_WINDOW_ROWS)
+                .min(file.rows as usize);
+            reader.read_window(lo..hi, &mut self.buf)?;
+            self.buf.reverse();
+            self.row_in_file = hi;
+        }
+        Ok(())
+    }
+
+    fn peek_key(&mut self) -> Result<Option<(u64, u64, u64)>, ColumnarError> {
+        self.fill()?;
+        Ok(self
+            .buf
+            .last()
+            .map(|r| (r.timestamp, r.user.raw(), r.object.raw())))
+    }
+
+    fn take(&mut self) -> Result<Option<Request>, ColumnarError> {
+        self.fill()?;
+        Ok(self.buf.pop())
+    }
+}
+
+/// K-way merges `group`'s runs (stable: ties break by in-group position =
+/// run order) and calls `emit` once per row in merged order.
+fn merge_cursors<F>(mut cursors: Vec<RunCursor>, mut emit: F) -> Result<u64, ColumnarError>
+where
+    F: FnMut(Request) -> Result<bool, ColumnarError>,
+{
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u64, usize)>> = BinaryHeap::new();
+    for (i, cursor) in cursors.iter_mut().enumerate() {
+        if let Some((ts, user, obj)) = cursor.peek_key()? {
+            heap.push(Reverse((ts, user, obj, i)));
+        }
+    }
+    let mut emitted = 0u64;
+    while let Some(Reverse((_, _, _, idx))) = heap.pop() {
+        let cursor = cursors
+            .get_mut(idx)
+            .ok_or_else(|| internal_err("cursor index out of range"))?;
+        let row = cursor
+            .take()?
+            .ok_or_else(|| internal_err("cursor empty after peek"))?;
+        emitted += 1;
+        if !emit(row)? {
+            break;
+        }
+        if let Some((ts, user, obj)) = cursor.peek_key()? {
+            heap.push(Reverse((ts, user, obj, idx)));
+        }
+    }
+    Ok(emitted)
+}
+
+/// Merges one group of consecutive runs into a single longer run, rotating
+/// output files every `run_rows` rows, then deletes the inputs.
+fn merge_group<F>(
+    group: &[Run],
+    run_rows: usize,
+    runs_dir: &Path,
+    name_of: F,
+) -> Result<Run, ColumnarError>
+where
+    F: Fn(usize) -> String,
+{
+    let cursors: Vec<RunCursor> = group.iter().map(|run| RunCursor::new(run, 0)).collect();
+    let mut builder = ColumnBuilder::<Request>::new();
+    let mut files: Vec<RunFile> = Vec::new();
+    let mut part = 0usize;
+    let seal = |builder: &mut ColumnBuilder<Request>,
+                files: &mut Vec<RunFile>,
+                part: &mut usize|
+     -> Result<(), ColumnarError> {
+        let path = runs_dir.join(name_of(*part));
+        builder.write_file(&path)?;
+        let zone = builder.zone();
+        files.push(RunFile {
+            path,
+            rows: builder.rows() as u64,
+            min_ts: zone.min_timestamp,
+            max_ts: zone.max_timestamp,
+        });
+        *part += 1;
+        builder.clear();
+        Ok(())
+    };
+    let rows = merge_cursors(cursors, |row| {
+        builder.push(&row)?;
+        if builder.rows() >= run_rows.max(1) {
+            seal(&mut builder, &mut files, &mut part)?;
+        }
+        Ok(true)
+    })?;
+    if builder.rows() > 0 {
+        seal(&mut builder, &mut files, &mut part)?;
+    }
+    for run in group {
+        for file in &run.files {
+            std::fs::remove_file(&file.path)?;
+        }
+    }
+    Ok(Run { files, rows })
+}
+
+/// Phase 2: one hierarchical merge level — consecutive groups of at most
+/// `fanin` runs collapse into single runs, in parallel.
+fn merge_level(
+    runs: Vec<Run>,
+    fanin: usize,
+    level: usize,
+    run_rows: usize,
+    workers: usize,
+    runs_dir: &Path,
+) -> Result<Vec<Run>, ColumnarGenError> {
+    let groups: Vec<&[Run]> = runs.chunks(fanin).collect();
+    parallel_indexed(groups.len(), workers, |g| {
+        let group = groups
+            .get(g)
+            .ok_or_else(|| internal_err("group out of range"))?;
+        merge_group(group, run_rows, runs_dir, |part| {
+            format!("r{level}-{g:06}-{part:03}.col")
+        })
+    })
+    .map_err(spool_err)
+}
+
+/// Lazily opened per-file readers for global-offset selection.
+struct KeyIndex {
+    readers: Vec<Vec<Option<ShardFileReader<Request>>>>,
+}
+
+impl KeyIndex {
+    fn new(runs: &[Run]) -> KeyIndex {
+        KeyIndex {
+            readers: runs
+                .iter()
+                .map(|run| run.files.iter().map(|_| None).collect())
+                .collect(),
+        }
+    }
+
+    fn reader(
+        &mut self,
+        runs: &[Run],
+        run_idx: usize,
+        file_idx: usize,
+    ) -> Result<&mut ShardFileReader<Request>, ColumnarError> {
+        let slot = self
+            .readers
+            .get_mut(run_idx)
+            .and_then(|files| files.get_mut(file_idx))
+            .ok_or_else(|| internal_err("selection reader slot out of range"))?;
+        if slot.is_none() {
+            let path = runs
+                .get(run_idx)
+                .and_then(|run| run.files.get(file_idx))
+                .map(|f| f.path.clone())
+                .ok_or_else(|| internal_err("selection file out of range"))?;
+            *slot = Some(ShardFileReader::open(&path)?);
+        }
+        slot.as_mut()
+            .ok_or_else(|| internal_err("selection reader missing"))
+    }
+
+    /// Rows of run `run_idx` with timestamp `< t`. Zone maps prune to at
+    /// most one binary search: run files ascend in time, so only the file
+    /// straddling `t` needs point reads.
+    fn count_lt(&mut self, runs: &[Run], run_idx: usize, t: u64) -> Result<u64, ColumnarError> {
+        let Some(run) = runs.get(run_idx) else {
+            return Ok(0);
+        };
+        let mut count = 0u64;
+        for (file_idx, file) in run.files.iter().enumerate() {
+            if file.rows == 0 {
+                continue;
+            }
+            if file.max_ts < t {
+                count += file.rows;
+                continue;
+            }
+            if file.min_ts >= t {
+                break;
+            }
+            let reader = self.reader(runs, run_idx, file_idx)?;
+            count += reader.partition_point_lt(t)? as u64;
+            // Later files start at or after this file's max ≥ t: all pruned.
+            break;
+        }
+        Ok(count)
+    }
+
+    /// Rows of run `run_idx` with timestamp `<= t`.
+    fn count_le(&mut self, runs: &[Run], run_idx: usize, t: u64) -> Result<u64, ColumnarError> {
+        if t == u64::MAX {
+            return Ok(runs.get(run_idx).map_or(0, |run| run.rows));
+        }
+        self.count_lt(runs, run_idx, t + 1)
+    }
+
+    /// The `(timestamp, user, object)` key at global position `pos` of run
+    /// `run_idx`.
+    fn key_at(
+        &mut self,
+        runs: &[Run],
+        run_idx: usize,
+        pos: u64,
+    ) -> Result<(u64, u64, u64), ColumnarError> {
+        let Some(run) = runs.get(run_idx) else {
+            return Err(internal_err("key run out of range"));
+        };
+        let mut rem = pos;
+        for (file_idx, file) in run.files.iter().enumerate() {
+            if rem < file.rows {
+                return self.reader(runs, run_idx, file_idx)?.key_at(rem as usize);
+            }
+            rem -= file.rows;
+        }
+        Err(internal_err("key position out of range"))
+    }
+}
+
+/// The per-run start offsets of global merged row `n`: `offsets[r]` rows of
+/// run `r` precede position `n` of the merged sequence. Found by binary
+/// searching the boundary timestamp over the zone-map range, then ordering
+/// boundary ties by the same `(user, object, run)` key the merge uses.
+fn select_offsets(runs: &[Run], index: &mut KeyIndex, n: u64) -> Result<Vec<u64>, ColumnarError> {
+    let total: u64 = runs.iter().map(|run| run.rows).sum();
+    if n == 0 {
+        return Ok(vec![0; runs.len()]);
+    }
+    if n >= total {
+        return Ok(runs.iter().map(|run| run.rows).collect());
+    }
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for run in runs {
+        for file in &run.files {
+            if file.rows > 0 {
+                lo = lo.min(file.min_ts);
+                hi = hi.max(file.max_ts);
+            }
+        }
+    }
+    // Smallest timestamp t* with count_le(t*) >= n; by minimality t* is an
+    // actual row timestamp and count_lt(t*) < n.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let mut le = 0u64;
+        for r in 0..runs.len() {
+            le += index.count_le(runs, r, mid)?;
+        }
+        if le >= n {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let t_star = lo;
+    let mut offsets = Vec::with_capacity(runs.len());
+    let mut before = 0u64;
+    for r in 0..runs.len() {
+        let c = index.count_lt(runs, r, t_star)?;
+        offsets.push(c);
+        before += c;
+    }
+    let mut need = n.saturating_sub(before);
+    if need > 0 {
+        // Order the boundary-timestamp ties exactly as the merge would:
+        // by (user, object, run). Within one run, tie rows are already in
+        // that order, so the taken rows form a per-run prefix.
+        let mut ties: Vec<(u64, u64, usize, u64)> = Vec::new();
+        for r in 0..runs.len() {
+            let from = index.count_lt(runs, r, t_star)?;
+            let to = index.count_le(runs, r, t_star)?;
+            for pos in from..to {
+                let (_, user, object) = index.key_at(runs, r, pos)?;
+                ties.push((user, object, r, pos));
+            }
+        }
+        ties.sort_unstable();
+        for &(_, _, r, _) in &ties {
+            if need == 0 {
+                break;
+            }
+            if let Some(slot) = offsets.get_mut(r) {
+                *slot += 1;
+            }
+            need -= 1;
+        }
+    }
+    Ok(offsets)
+}
+
+/// Phase 3 worker: merges and writes output shards `[shard_lo, shard_hi)`.
+/// Shard `j` holds exactly global rows `[j·R, (j+1)·R)` — the same cut the
+/// serial `ColumnarDirWriter` rotation makes — so shard bytes depend only
+/// on the merged sequence, never on the block partitioning.
+#[allow(clippy::too_many_arguments)]
+fn write_output_block(
+    runs: &[Run],
+    dir: &Path,
+    prefix: &str,
+    rows_per_shard: usize,
+    shard_lo: usize,
+    shard_hi: usize,
+    total: u64,
+) -> Result<u64, ColumnarError> {
+    let start_row = (shard_lo as u64).saturating_mul(rows_per_shard as u64);
+    let end_row = (shard_hi as u64)
+        .saturating_mul(rows_per_shard as u64)
+        .min(total);
+    if start_row >= end_row {
+        return Ok(0);
+    }
+    let offsets = {
+        let mut index = KeyIndex::new(runs);
+        select_offsets(runs, &mut index, start_row)?
+    };
+    let mut cursors = Vec::with_capacity(runs.len());
+    for (r, run) in runs.iter().enumerate() {
+        cursors.push(RunCursor::new(run, offsets.get(r).copied().unwrap_or(0)));
+    }
+    let goal = end_row - start_row;
+    let mut builder = ColumnBuilder::<Request>::new();
+    let mut shard = shard_lo;
+    let seal =
+        |builder: &mut ColumnBuilder<Request>, shard: &mut usize| -> Result<(), ColumnarError> {
+            let path = dir.join(format!("{prefix}-{:06}.col", *shard));
+            builder.write_file(&path)?;
+            *shard += 1;
+            builder.clear();
+            Ok(())
+        };
+    let mut written = 0u64;
+    merge_cursors(cursors, |row| {
+        builder.push(&row)?;
+        written += 1;
+        if builder.rows() >= rows_per_shard {
+            seal(&mut builder, &mut shard)?;
+        }
+        Ok(written < goal)
+    })?;
+    if written != goal {
+        return Err(internal_err("merged fewer rows than selected"));
+    }
+    if builder.rows() > 0 {
+        seal(&mut builder, &mut shard)?;
+    }
+    Ok(written)
+}
+
+/// Generates a trace into a columnar shard directory on a worker pool.
+///
+/// The resulting directory is byte-identical, file for file, to
+/// [`crate::generate_columnar`] with the same `config`, `prefix`, and
+/// `rows_per_shard` — for every thread count, run size, and merge fan-in.
+/// `rows_per_shard = 0` uses [`DEFAULT_ROWS_PER_SHARD`]. Peak memory per
+/// worker is one generation task plus one shard's column buffers; total
+/// scratch disk is about twice the final trace size while merging.
+///
+/// Unlike the in-memory serial path, the returned
+/// [`ColumnarTrace::catalogs`] and [`ColumnarTrace::populations`] are
+/// **empty**: the site tables grow with `scale` (the user populations
+/// dominate generation RSS at large scale) and are dropped as soon as run
+/// generation finishes, before any merge buffer is allocated. Rebuild them
+/// from the `config` if ground-truth tables are needed alongside the spool.
+///
+/// # Errors
+///
+/// [`ColumnarGenError::Config`] if the config fails validation,
+/// [`ColumnarGenError::Spool`] if run or shard files cannot be written.
+pub fn generate_columnar_parallel(
+    config: &TraceConfig,
+    opts: &ParGenOptions,
+    dir: &Path,
+    prefix: &str,
+    rows_per_shard: usize,
+) -> Result<ColumnarTrace, ColumnarGenError> {
+    config.validate()?;
+    let rows_per_shard = if rows_per_shard == 0 {
+        DEFAULT_ROWS_PER_SHARD
+    } else {
+        rows_per_shard
+    };
+    let gen_opts = opts.gen_opts();
+    let threads = gen_opts.resolved_threads();
+    let shard_size = gen_opts.resolved_shard_size();
+    let run_rows = opts.resolved_run_rows();
+    let fanin = opts.resolved_merge_fanin();
+
+    let (catalogs, populations) = build_sites(config);
+    std::fs::create_dir_all(dir).map_err(|e| spool_err(ColumnarError::Io(e)))?;
+    let runs_dir = dir.join(format!(".runs-{prefix}"));
+    let _ = std::fs::remove_dir_all(&runs_dir);
+    std::fs::create_dir_all(&runs_dir).map_err(|e| spool_err(ColumnarError::Io(e)))?;
+
+    // Phase 1: per-task sorted runs.
+    let mut runs = generate_runs(
+        config,
+        &catalogs,
+        &populations,
+        threads,
+        shard_size,
+        run_rows,
+        &runs_dir,
+    )?;
+    // The merge phases operate purely on run files; free the site tables
+    // (user populations grow with `scale` and would otherwise sit under
+    // the merge's peak) before any output shard buffer is allocated.
+    drop(populations);
+    drop(catalogs);
+
+    // Phase 2: hierarchical merge down to at most `fanin` runs.
+    let mut level = 0usize;
+    while runs.len() > fanin {
+        level += 1;
+        runs = merge_level(runs, fanin, level, run_rows, threads, &runs_dir)?;
+    }
+
+    // Phase 3: time-partitioned final merge into the shard directory.
+    let total: u64 = runs.iter().map(|run| run.rows).sum();
+    let shards = total.div_ceil(rows_per_shard as u64) as usize;
+    if shards > 0 {
+        let block_shards = shards.div_ceil(threads.saturating_mul(2).max(1)).max(1);
+        let blocks: Vec<(usize, usize)> = (0..shards)
+            .step_by(block_shards)
+            .map(|lo| (lo, (lo + block_shards).min(shards)))
+            .collect();
+        let written = parallel_indexed(blocks.len(), threads, |b| {
+            let &(lo, hi) = blocks
+                .get(b)
+                .ok_or_else(|| internal_err("block out of range"))?;
+            write_output_block(&runs, dir, prefix, rows_per_shard, lo, hi, total)
+        })
+        .map_err(spool_err)?;
+        let written: u64 = written.iter().sum();
+        if written != total {
+            return Err(spool_err(internal_err("output row count mismatch")));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&runs_dir);
+
+    Ok(ColumnarTrace {
+        catalogs: Arc::new(Vec::new()),
+        populations: Arc::new(Vec::new()),
+        config: config.clone(),
+        dir: dir.to_path_buf(),
+        prefix: prefix.to_string(),
+        rows: total,
+        shards: shards as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_columnar, MultiDayModel};
+
+    fn tiny_config() -> TraceConfig {
+        TraceConfig {
+            scale: 0.003,
+            catalog_scale: 0.01,
+            ..TraceConfig::paper_week()
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oat-pargen-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Byte-compares every `.col` file of two spool directories.
+    fn assert_dirs_identical(a: &Path, b: &Path) {
+        let list = |dir: &Path| -> Vec<String> {
+            let mut names: Vec<String> = std::fs::read_dir(dir)
+                .expect("list spool dir")
+                .map(|e| {
+                    e.expect("dir entry")
+                        .file_name()
+                        .to_string_lossy()
+                        .into_owned()
+                })
+                .filter(|n| n.ends_with(".col"))
+                .collect();
+            names.sort();
+            names
+        };
+        let names_a = list(a);
+        assert_eq!(names_a, list(b), "shard file lists differ");
+        assert!(!names_a.is_empty(), "no shards produced");
+        for name in &names_a {
+            let bytes_a = std::fs::read(a.join(name)).expect("read shard A");
+            let bytes_b = std::fs::read(b.join(name)).expect("read shard B");
+            assert_eq!(bytes_a, bytes_b, "shard {name} differs");
+        }
+    }
+
+    fn check_identical(config: &TraceConfig, opts: &ParGenOptions, rows_per_shard: usize) {
+        let serial_dir = temp_dir("serial");
+        let parallel_dir = temp_dir("parallel");
+        let serial = generate_columnar(
+            config,
+            &GenOptions {
+                threads: 1,
+                shard_size: opts.shard_size,
+            },
+            0,
+            &serial_dir,
+            "req",
+            rows_per_shard,
+        )
+        .expect("serial generation");
+        let parallel =
+            generate_columnar_parallel(config, opts, &parallel_dir, "req", rows_per_shard)
+                .expect("parallel generation");
+        assert_eq!(parallel.rows, serial.rows);
+        assert_eq!(parallel.shards, serial.shards);
+        assert_dirs_identical(&serial_dir, &parallel_dir);
+        assert!(
+            !parallel_dir.join(".runs-req").exists(),
+            "run scratch directory not cleaned up"
+        );
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        let _ = std::fs::remove_dir_all(&parallel_dir);
+    }
+
+    #[test]
+    fn parallel_matches_serial_small_runs_and_fanin() {
+        // run_rows small enough to split tasks into multiple files, fan-in 2
+        // to force several hierarchical merge levels, tiny shards to force
+        // many output files and block boundaries.
+        check_identical(
+            &tiny_config(),
+            &ParGenOptions {
+                threads: 3,
+                shard_size: 32,
+                run_rows: 512,
+                merge_fanin: 2,
+            },
+            1000,
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_defaults() {
+        check_identical(
+            &tiny_config(),
+            &ParGenOptions {
+                threads: 2,
+                shard_size: 0,
+                run_rows: 0,
+                merge_fanin: 0,
+            },
+            4096,
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_multi_day() {
+        let config = TraceConfig {
+            multi_day: Some(MultiDayModel::corpus()),
+            ..tiny_config()
+        };
+        check_identical(
+            &config,
+            &ParGenOptions {
+                threads: 4,
+                shard_size: 64,
+                run_rows: 2048,
+                merge_fanin: 3,
+            },
+            2000,
+        );
+    }
+
+    #[test]
+    fn single_shard_output() {
+        // Everything fits in one output shard: phase 3 runs as one block.
+        check_identical(
+            &tiny_config(),
+            &ParGenOptions {
+                threads: 2,
+                shard_size: 128,
+                run_rows: 4096,
+                merge_fanin: 0,
+            },
+            0,
+        );
+    }
+}

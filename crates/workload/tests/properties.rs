@@ -1,10 +1,40 @@
 //! Property-based tests for the workload generator's invariants.
 
 use oat_httplog::{Request, RequestKind};
-use oat_workload::{generate, generate_with, Catalog, GenOptions, SiteProfile, TraceConfig};
+use oat_workload::{
+    generate, generate_columnar, generate_columnar_parallel, generate_with, Catalog, GenOptions,
+    MultiDayModel, ParGenOptions, SiteProfile, TraceConfig,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(tag: &str, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "oat-wprop-{tag}-{}-{seed}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sorted `.col` file names under `dir`.
+fn shard_names(dir: &std::path::Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("list spool dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|n| n.ends_with(".col"))
+        .collect();
+    names.sort();
+    names
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -124,6 +154,56 @@ proptest! {
     }
 
     #[test]
+    fn parallel_columnar_identical_to_serial(
+        seed in 0u64..100_000,
+        threads in prop::sample::select(vec![1usize, 4, 8]),
+        rows_per_shard in prop::sample::select(vec![500usize, 1000, 4096]),
+        merge_fanin in prop::sample::select(vec![2usize, 64]),
+    ) {
+        let config = TraceConfig {
+            scale: 0.0015,
+            catalog_scale: 0.008,
+            ..TraceConfig::paper_week()
+        }
+        .with_seed(seed);
+        let serial_dir = scratch("serial", seed);
+        let parallel_dir = scratch("parallel", seed);
+        let serial = generate_columnar(
+            &config,
+            &GenOptions { threads: 1, shard_size: 64 },
+            0,
+            &serial_dir,
+            "req",
+            rows_per_shard,
+        )
+        .unwrap();
+        let parallel = generate_columnar_parallel(
+            &config,
+            &ParGenOptions { threads, shard_size: 32, run_rows: 700, merge_fanin },
+            &parallel_dir,
+            "req",
+            rows_per_shard,
+        )
+        .unwrap();
+        prop_assert_eq!(parallel.rows, serial.rows);
+        prop_assert_eq!(parallel.shards, serial.shards);
+        let names = shard_names(&serial_dir);
+        prop_assert_eq!(&names, &shard_names(&parallel_dir), "shard file lists differ");
+        prop_assert!(!names.is_empty());
+        for name in &names {
+            let a = std::fs::read(serial_dir.join(name)).unwrap();
+            let b = std::fs::read(parallel_dir.join(name)).unwrap();
+            prop_assert_eq!(
+                a, b,
+                "shard {} differs at threads={} rows_per_shard={} fanin={}",
+                name, threads, rows_per_shard, merge_fanin
+            );
+        }
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        let _ = std::fs::remove_dir_all(&parallel_dir);
+    }
+
+    #[test]
     fn object_requests_reference_catalog(seed in 0u64..100_000) {
         let config = TraceConfig {
             scale: 0.001,
@@ -139,4 +219,158 @@ proptest! {
             prop_assert!(ids.contains(&r.object.raw()), "request references catalog object");
         }
     }
+}
+
+/// Local-time day index (0-based within the trace week) and hour-of-day for
+/// a request, using the requesting user's timezone.
+fn local_day_hour(r: &Request, config: &TraceConfig) -> (u64, f64) {
+    let local = (r.timestamp - config.start_unix) as i64 + i64::from(r.tz_offset_secs);
+    let wrapped = local.rem_euclid(config.duration_secs as i64);
+    let day = (wrapped / 86_400) as u64;
+    let hour = (wrapped % 86_400) as f64 / 3_600.0;
+    (day, hour)
+}
+
+/// Circular statistics over hour-of-day samples: (mean hour, resultant length).
+///
+/// The resultant length is 0 for a uniform distribution and `amplitude / 2`
+/// for the generator's `1 + a*cos` diurnal density, so it doubles as a
+/// direct estimator of the effective diurnal amplitude.
+fn circular_hour_stats(hours: &[f64]) -> (f64, f64) {
+    assert!(!hours.is_empty(), "no samples for circular statistics");
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    for h in hours {
+        let theta = h / 24.0 * std::f64::consts::TAU;
+        x += theta.cos();
+        y += theta.sin();
+    }
+    let n = hours.len() as f64;
+    let mean = y.atan2(x).rem_euclid(std::f64::consts::TAU) / std::f64::consts::TAU * 24.0;
+    let resultant = (x * x + y * y).sqrt() / n;
+    (mean, resultant)
+}
+
+/// Smallest circular distance between two hours on a 24-hour clock.
+fn hour_distance(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(24.0);
+    d.min(24.0 - d)
+}
+
+/// With a 3x weekend factor, the paper week (starting Saturday) must see
+/// markedly more traffic on local days 0-1 than on the five weekdays.
+#[test]
+fn multi_day_weekend_factor_shapes_daily_volume() {
+    let config = TraceConfig {
+        scale: 0.002,
+        catalog_scale: 0.005,
+        sites: vec![SiteProfile::p1()],
+        multi_day: Some(MultiDayModel {
+            weekend_factor: 3.0,
+            phase_drift_hours_per_day: 0.0,
+            amplitude_drift_per_day: 0.0,
+        }),
+        ..TraceConfig::paper_week()
+    }
+    .with_seed(7);
+    let trace = generate(&config).unwrap();
+    let mut per_day = [0u64; 7];
+    for r in &trace.requests {
+        let (day, _) = local_day_hour(r, &config);
+        per_day[day as usize % 7] += 1;
+    }
+    // paper_week starts Sat Oct 10 2015, so local days 0 and 1 are the weekend.
+    let weekend = (per_day[0] + per_day[1]) as f64 / 2.0;
+    let weekday = per_day[2..].iter().sum::<u64>() as f64 / 5.0;
+    assert!(weekday > 0.0, "weekdays must still carry traffic");
+    let ratio = weekend / weekday;
+    assert!(
+        ratio > 1.8,
+        "weekend/weekday volume ratio {ratio:.2} too small for factor 3.0 \
+         (per-day counts: {per_day:?})"
+    );
+}
+
+/// Per-day phase drift must move the observed diurnal peak: with
+/// +2h/day drift the circular-mean hour on day 5 sits ~10h after day 0's.
+#[test]
+fn multi_day_phase_drift_moves_diurnal_peak() {
+    let mut site = SiteProfile::p1();
+    site.diurnal = oat_workload::DiurnalCurve::new(20.0, 0.9);
+    let config = TraceConfig {
+        scale: 0.002,
+        catalog_scale: 0.005,
+        sites: vec![site],
+        multi_day: Some(MultiDayModel {
+            weekend_factor: 1.0,
+            phase_drift_hours_per_day: 2.0,
+            amplitude_drift_per_day: 0.0,
+        }),
+        ..TraceConfig::paper_week()
+    }
+    .with_seed(11);
+    let trace = generate(&config).unwrap();
+    let mut day0 = Vec::new();
+    let mut day5 = Vec::new();
+    for r in &trace.requests {
+        let (day, hour) = local_day_hour(r, &config);
+        match day {
+            0 => day0.push(hour),
+            5 => day5.push(hour),
+            _ => {}
+        }
+    }
+    assert!(
+        day0.len() > 200 && day5.len() > 200,
+        "need samples on both days"
+    );
+    let (mean0, _) = circular_hour_stats(&day0);
+    let (mean5, _) = circular_hour_stats(&day5);
+    let shift = (mean5 - mean0).rem_euclid(24.0);
+    assert!(
+        hour_distance(shift, 10.0) < 3.0,
+        "observed peak shift {shift:.1}h, expected ~10h (day0 mean {mean0:.1}, day5 mean {mean5:.1})"
+    );
+}
+
+/// Negative amplitude drift must flatten later days: the circular resultant
+/// length (an estimator of amplitude/2) on day 5 falls well below day 0's.
+#[test]
+fn multi_day_amplitude_drift_flattens_later_days() {
+    let mut site = SiteProfile::p1();
+    site.diurnal = oat_workload::DiurnalCurve::new(20.0, 0.9);
+    let config = TraceConfig {
+        scale: 0.002,
+        catalog_scale: 0.005,
+        sites: vec![site],
+        multi_day: Some(MultiDayModel {
+            weekend_factor: 1.0,
+            phase_drift_hours_per_day: 0.0,
+            amplitude_drift_per_day: -0.15,
+        }),
+        ..TraceConfig::paper_week()
+    }
+    .with_seed(13);
+    let trace = generate(&config).unwrap();
+    let mut day0 = Vec::new();
+    let mut day5 = Vec::new();
+    for r in &trace.requests {
+        let (day, hour) = local_day_hour(r, &config);
+        match day {
+            0 => day0.push(hour),
+            5 => day5.push(hour),
+            _ => {}
+        }
+    }
+    assert!(
+        day0.len() > 200 && day5.len() > 200,
+        "need samples on both days"
+    );
+    // Day 0 keeps amplitude 0.9 (resultant ~0.45); by day 5 the model has
+    // decayed it to 0.15 (resultant ~0.075).
+    let (_, r0) = circular_hour_stats(&day0);
+    let (_, r5) = circular_hour_stats(&day5);
+    assert!(
+        r0 > r5 + 0.15,
+        "amplitude decay not observed: day0 resultant {r0:.3}, day5 resultant {r5:.3}"
+    );
 }
