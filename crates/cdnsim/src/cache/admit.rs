@@ -47,6 +47,7 @@ impl<C: CachePolicy> AdmitOnSecond<C> {
     }
 
     fn remember(&mut self, key: CacheKey) {
+        // oat-lint: allow(bounded-memory) -- ghost set trimmed to ghost_capacity below
         if self.ghost_set.insert(key) {
             self.ghost.push_back(key);
             while self.ghost.len() > self.ghost_capacity {

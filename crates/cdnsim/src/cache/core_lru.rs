@@ -44,6 +44,7 @@ impl LruCore {
         };
         self.by_seq.remove(&entry.seq);
         entry.seq = self.next_seq;
+        // oat-lint: allow(bounded-memory) -- paired with the remove above: size is constant
         self.by_seq.insert(self.next_seq, *key);
         self.next_seq += 1;
         true

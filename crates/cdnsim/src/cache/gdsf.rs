@@ -60,7 +60,9 @@ impl GdsfCache {
         meta.priority_micro = self.priority_micro(meta.frequency, meta.size);
         meta.seq = self.next_seq;
         self.next_seq += 1;
+        // oat-lint: allow(bounded-memory) -- one entry per cached object; evict_for caps bytes
         self.order.insert((meta.priority_micro, meta.seq, key));
+        // oat-lint: allow(bounded-memory) -- one entry per cached object; evict_for caps bytes
         self.entries.insert(key, meta);
     }
 

@@ -46,6 +46,7 @@ impl LfuCache {
         meta.freq += 1;
         meta.seq = self.next_seq;
         self.next_seq += 1;
+        // oat-lint: allow(bounded-memory) -- paired with the remove above: size is constant
         self.order.insert((meta.freq, meta.seq, key));
     }
 

@@ -55,6 +55,7 @@ impl SlruCache {
 
     fn promote(&mut self, key: CacheKey, size: u64) {
         self.probation.remove(&key);
+        // oat-lint: allow(bounded-memory) -- demotion loop below caps protected bytes
         self.protected.insert(key, size);
         // Demote protected overflow into probation (may cascade to real
         // evictions).
@@ -62,6 +63,7 @@ impl SlruCache {
             let Some((demoted, dsize)) = self.protected.pop_lru() else {
                 break;
             };
+            // oat-lint: allow(bounded-memory) -- total-capacity eviction loop follows
             self.probation.insert(demoted, dsize);
         }
         // Demotions may have pushed total over capacity.

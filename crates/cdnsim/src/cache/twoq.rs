@@ -37,6 +37,7 @@ impl TwoQCache {
     }
 
     fn ghost_push(&mut self, key: CacheKey) {
+        // oat-lint: allow(bounded-memory) -- A1out trimmed to a1out_entries below
         if self.a1out_set.insert(key) {
             self.a1out.push_back(key);
             while self.a1out.len() > self.a1out_entries {
@@ -87,6 +88,7 @@ impl CachePolicy for TwoQCache {
                 self.a1out_set.remove(&key);
                 self.a1out.retain(|k| k != &key);
                 self.make_room(size);
+                // oat-lint: allow(bounded-memory) -- make_room above frees capacity first
                 self.am.insert(key, size);
             }
             return false; // ghost entries hold no bytes — still a miss

@@ -105,6 +105,7 @@ impl Analyzer for CompositionAnalyzer {
             return;
         };
         let c = class_idx(record.content_class());
+        // oat-lint: allow(bounded-memory) -- distinct-object set: bounded by catalog cardinality
         self.seen_objects[site][c].insert(record.object);
         self.requests[site][c] += 1;
         self.bytes[site][c] += record.bytes_served;
@@ -121,11 +122,10 @@ impl Analyzer for CompositionAnalyzer {
                     .code(publisher)
                     .expect("publisher in map")
                     .to_string(),
-                objects: [
-                    self.seen_objects[i][0].len() as u64,
-                    self.seen_objects[i][1].len() as u64,
-                    self.seen_objects[i][2].len() as u64,
-                ],
+                objects: {
+                    let [video, image, other] = &self.seen_objects[i];
+                    [video.len() as u64, image.len() as u64, other.len() as u64]
+                },
                 requests: self.requests[i],
                 bytes: self.bytes[i],
             })

@@ -33,7 +33,8 @@ impl DeviceShare {
 
     /// Combined smartphone + misc share (0–100).
     pub fn mobile_and_misc_pct(&self) -> f64 {
-        self.user_pct[1] + self.user_pct[2] + self.user_pct[3]
+        let [_, android, ios, misc] = self.user_pct;
+        android + ios + misc
     }
 }
 

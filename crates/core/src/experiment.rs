@@ -431,6 +431,7 @@ const SPOOL_PREFIX: &str = "records";
 
 /// Distinguishes concurrent spools from the same process (e.g. parallel
 /// test threads sharing a pid and a seed).
+// oat-lint: allow(static-mut) -- process-wide monotonic counter; never read for results
 static SPOOL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A unique per-run spool directory, removed (with its shards) on drop —

@@ -62,9 +62,10 @@ pub fn write_csvs(result: &ExperimentResult, dir: &Path) -> io::Result<Vec<Strin
     // Fig 4 — device mix.
     let mut devices = String::from("site,desktop_pct,android_pct,ios_pct,misc_pct,users\n");
     for s in &result.devices.sites {
+        let [desktop, android, ios, misc] = s.user_pct;
         devices.push_str(&format!(
             "{},{:.2},{:.2},{:.2},{:.2},{}\n",
-            s.code, s.user_pct[0], s.user_pct[1], s.user_pct[2], s.user_pct[3], s.users
+            s.code, desktop, android, ios, misc, s.users
         ));
     }
     emit("fig04_devices.csv", devices)?;

@@ -53,19 +53,22 @@ pub fn render_composition(report: &CompositionReport) -> String {
         "site", "objects v/i/o", "requests v/i/o", "bytes v/i/o"
     );
     for s in &report.sites {
+        let [obj_v, obj_i, obj_o] = s.objects;
+        let [req_v, req_i, req_o] = s.requests;
+        let [bytes_v, bytes_i, bytes_o] = s.bytes;
         let _ = writeln!(
             out,
             "{:<5} {:>8} {:>8} {:>8}  {:>8} {:>8} {:>8}  {:>10} {:>9} {:>9}",
             s.code,
-            s.objects[0],
-            s.objects[1],
-            s.objects[2],
-            s.requests[0],
-            s.requests[1],
-            s.requests[2],
-            human_bytes(s.bytes[0]),
-            human_bytes(s.bytes[1]),
-            human_bytes(s.bytes[2]),
+            obj_v,
+            obj_i,
+            obj_o,
+            req_v,
+            req_i,
+            req_o,
+            human_bytes(bytes_v),
+            human_bytes(bytes_i),
+            human_bytes(bytes_o),
         );
     }
     out
@@ -108,10 +111,11 @@ pub fn render_devices(report: &DeviceReport) -> String {
         "site", "desktop", "android", "ios", "misc", "users"
     );
     for s in &report.sites {
+        let [desktop, android, ios, misc] = s.user_pct;
         let _ = writeln!(
             out,
             "{:<5} {:>7.1}% {:>7.1}% {:>5.1}% {:>5.1}% {:>8}",
-            s.code, s.user_pct[0], s.user_pct[1], s.user_pct[2], s.user_pct[3], s.users
+            s.code, desktop, android, ios, misc, s.users
         );
     }
     out

@@ -1,10 +1,11 @@
-//! Every violation here is waived by an allow directive; the engine tests
-//! assert that none of them surface.
+//! Every violation here is waived by an allow directive (or covered by a
+//! configured allowlist); the engine tests assert that none of them
+//! surface.
 
 use std::collections::HashMap; // oat-lint: allow(ordered-output)
 
 pub fn waived() -> usize {
-    // oat-lint: allow(determinism)
+    // oat-lint: allow(determinism, determinism-taint)
     let t = std::time::Instant::now();
     let mut m: HashMap<u32, u32> = HashMap::new(); // oat-lint: allow(ordered-output)
     m.insert(1, 1);
@@ -17,3 +18,55 @@ pub fn waived() -> usize {
     let _ = t;
     m.len() + (first + head) as usize
 }
+
+// oat-lint: allow(static-mut) -- test shim, never read on library paths
+pub static mut WAIVED_GLOBAL: u64 = 0;
+
+/// Interior-mutable, but this file is in the fixture's
+/// `static_allowed_paths` allowlist — no waiver needed.
+pub static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A justified nondeterminism source: the `determinism` waiver silences
+/// the token rule but the value still taints callers, so the protected
+/// caller below waives the crossing at the call site.
+fn quiet_entropy() -> u64 {
+    // oat-lint: allow(determinism) -- diagnostic timing, see observe below
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub struct Quiet;
+
+impl Analyzer for Quiet {
+    fn observe(&mut self, _x: u64) {
+        // oat-lint: allow(determinism-taint) -- value is discarded, never emitted
+        let _ = quiet_entropy();
+    }
+}
+
+pub struct Keeper {
+    kept: Vec<u64>,
+}
+
+impl StreamAnalyzer for Keeper {}
+
+impl Keeper {
+    pub fn observe_rec(&mut self, x: u64) {
+        // oat-lint: allow(bounded-memory) -- drained by the caller every batch
+        self.kept.push(x);
+    }
+}
+
+pub struct Pair {
+    m: std::sync::Mutex<u64>,
+}
+
+/// Guard across `.await`, waived with an audit note.
+pub async fn quiet_poll(p: &Pair) {
+    let g = p.m.lock();
+    // oat-lint: allow(lock-order) -- single-threaded executor in this harness
+    pause().await;
+    drop(g);
+}
+
+async fn pause() {}

@@ -1,0 +1,35 @@
+//! bounded-memory: unbounded growth of `self` state in streaming scopes —
+//! methods of `StreamAnalyzer` implementors, and everything reachable from
+//! the `scan_lossy` entry point.
+
+pub trait StreamAnalyzer {}
+
+pub struct Window {
+    buf: Vec<u64>,
+}
+
+impl StreamAnalyzer for Window {}
+
+impl Window {
+    /// In scope because `Window` implements the streaming trait.
+    pub fn observe_rec(&mut self, x: u64) {
+        self.buf.push(x);
+    }
+}
+
+pub struct Acc {
+    items: Vec<u64>,
+}
+
+impl Acc {
+    /// In scope because `scan_lossy` reaches it.
+    fn grow(&mut self, x: u64) {
+        self.items.push(x);
+    }
+}
+
+pub fn scan_lossy(acc: &mut Acc, xs: &[u64]) {
+    for &x in xs {
+        acc.grow(x);
+    }
+}

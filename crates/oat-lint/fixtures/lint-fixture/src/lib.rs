@@ -2,7 +2,10 @@
 //! `oat-lint/src/engine.rs`). Each rule must fire somewhere in this crate.
 
 pub mod allowed;
+pub mod bounds;
+pub mod locks;
 pub mod report;
+pub mod taint;
 pub mod testonly;
 
 use std::time::Instant;

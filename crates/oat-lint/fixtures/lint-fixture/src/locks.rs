@@ -1,0 +1,41 @@
+//! lock-order: an acquisition-order cycle between two mutexes, a guard
+//! held across `.await`, and mutable / interior-mutable statics.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+pub static mut GLOBAL_HITS: u64 = 0;
+
+pub static LAST_SEEN: AtomicU64 = AtomicU64::new(0);
+
+pub struct Shared {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Shared {
+    /// Acquires `a` then `b`.
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop((ga, gb));
+        0
+    }
+
+    /// Acquires `b` then `a` — the opposite order: deadlock-capable.
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop((ga, gb));
+        0
+    }
+}
+
+/// Holds a sync guard across a suspension point.
+pub async fn poll_shared(s: &Shared) {
+    let g = s.a.lock();
+    tick().await;
+    drop(g);
+}
+
+async fn tick() {}

@@ -1,0 +1,52 @@
+//! determinism-taint: a protected entry point (`Analyzer::observe` in the
+//! fixture config) transitively reaching nondeterminism. The token scanner
+//! flags `jitter`'s body; only the call-graph pass can flag the clean call
+//! chain `observe -> record -> jitter` and the unordered iteration in
+//! `emit`.
+
+use std::collections::HashMap;
+
+pub trait Analyzer {
+    fn observe(&mut self, x: u64);
+}
+
+pub struct Histogram {
+    counts: HashMap<u64, u64>,
+}
+
+impl Analyzer for Histogram {
+    fn observe(&mut self, x: u64) {
+        let _ = record(x);
+        let _ = self.emit();
+    }
+}
+
+impl Histogram {
+    /// Direct: unordered `HashMap` iteration inside a protected fn.
+    fn emit(&self) -> u64 {
+        let mut sum = 0;
+        for (_k, v) in self.counts.iter() {
+            sum += v;
+        }
+        sum
+    }
+}
+
+/// Protected entry by type/prefix (`Replayer::replay*` in the config).
+pub struct Replayer;
+
+impl Replayer {
+    pub fn replay_all(&self) -> u64 {
+        record(7)
+    }
+}
+
+/// Clean body: tainted only transitively. The token scanner sees nothing
+/// here; the frontier finding fires at the `jitter()` call below.
+fn record(x: u64) -> u64 {
+    jitter().wrapping_add(x)
+}
+
+fn jitter() -> u64 {
+    rand::random()
+}

@@ -1,0 +1,116 @@
+//! Bounded-memory pass.
+//!
+//! The streaming pipeline's contract (PRs 6–7) is that RSS stays bounded
+//! by shard/batch size, not trace length. This pass makes the static half
+//! of that promise: inside the streaming hot paths — methods of types
+//! implementing `StreamAnalyzer`, and every function reachable from
+//! `scan_lossy` / `replay_stream` — growth calls on `self` state
+//! (`push`, `extend`, `push_str`, `insert`) are flagged unless waived.
+//!
+//! A waiver (`// oat-lint: allow(bounded-memory)`) documents *why* the
+//! growth is bounded (keyed by catalog/site cardinality, drained per
+//! batch, …). Growth hidden behind `entry().or_default()`, `resize`, or
+//! helper methods on the field's type is a documented false-negative
+//! class (DESIGN.md).
+
+use crate::engine::FileCtx;
+use crate::graph::CallGraph;
+use crate::lexer::{line_of, line_starts};
+use crate::parser::{canonical_receiver, tokenize, Tok};
+use crate::rules::{Finding, Rule};
+
+/// Selects the bounded-memory scope.
+#[derive(Debug, Clone)]
+pub struct BoundsConfig {
+    /// Traits whose implementing types' methods are in scope.
+    pub stream_traits: Vec<String>,
+    /// Function names whose forward call closure is in scope.
+    pub entry_fns: Vec<String>,
+}
+
+const GROWTH_METHODS: &[&str] = &["push", "extend", "push_str", "insert"];
+
+pub fn run(graph: &CallGraph, files: &[FileCtx], config: &BoundsConfig) -> Vec<Finding> {
+    // Types implementing any of the stream traits, workspace-wide.
+    let mut stream_types: Vec<&str> = Vec::new();
+    for f in files {
+        for (tr, ty) in &f.parsed.trait_impls {
+            if config.stream_traits.iter().any(|t| t == tr) {
+                stream_types.push(ty);
+            }
+        }
+    }
+    stream_types.sort();
+    stream_types.dedup();
+
+    // Forward closure of the entry functions.
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| config.entry_fns.iter().any(|e| e == &graph.nodes[i].name))
+        .collect();
+    let reachable = graph.reachable_from(entries);
+
+    let mut findings = Vec::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if n.is_test || n.body.is_empty() {
+            continue;
+        }
+        let in_stream_type = n
+            .qual
+            .as_deref()
+            .is_some_and(|q| stream_types.binary_search(&q).is_ok());
+        if !in_stream_type && !reachable[i] {
+            continue;
+        }
+        let Some(f) = files.iter().find(|f| f.rel == n.file) else {
+            continue;
+        };
+        let starts = line_starts(&f.text);
+        let body = &f.text[n.body.clone()];
+        let toks = tokenize(body);
+        for t in 0..toks.len() {
+            let Tok::Ident(name) = toks[t].tok else {
+                continue;
+            };
+            if !GROWTH_METHODS.contains(&name) {
+                continue;
+            }
+            let dotted = t > 0 && matches!(toks[t - 1].tok, Tok::Punct(b'.'));
+            let called = matches!(toks.get(t + 1).map(|x| x.tok), Some(Tok::Punct(b'(')));
+            if !dotted || !called {
+                continue;
+            }
+            let Some(recv) = canonical_receiver(&toks, t - 1) else {
+                continue;
+            };
+            if !recv.starts_with("self.") {
+                continue;
+            }
+            let line = line_of(&starts, n.body.start + toks[t].at);
+            if f.is_test.get(line).copied().unwrap_or(false) || f.allows(Rule::BoundedMemory, line)
+            {
+                continue;
+            }
+            let why = if in_stream_type {
+                format!("`{}` implements a streaming-analyzer trait", n.display())
+            } else {
+                format!(
+                    "`{}` is reachable from a bounded-memory entry point",
+                    n.display()
+                )
+            };
+            findings.push(Finding {
+                rule: Rule::BoundedMemory,
+                path: n.file.clone().into(),
+                line,
+                column: 1,
+                message: format!(
+                    "`{recv}.{name}(..)` grows per-record state while {why}; bound or drain it, \
+                     or waive with `// oat-lint: allow(bounded-memory)` stating the bound"
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    findings
+}

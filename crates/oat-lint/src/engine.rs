@@ -1,16 +1,23 @@
-//! Workspace walker: applies each rule to the files in its scope, honours
-//! allow directives and `#[cfg(test)]` regions, and checks the panic budget.
+//! Workspace walker: parses every file once, runs the token rules and the
+//! call-graph passes (taint, bounds, locks), honours allow directives and
+//! `#[cfg(test)]` regions, and checks the per-rule budget ratchets.
 
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{scrub, test_region_lines};
+use crate::bounds::{self, BoundsConfig};
+use crate::graph::{crate_of, CallGraph, FileFns};
+use crate::lexer::{scrub, test_region_lines, Comment};
+use crate::locks::{self, LocksConfig};
+use crate::parser::{parse_file, ParsedFile};
 use crate::rules::{
     determinism_hits, float_ordering_hits, ordered_output_hits, panic_freedom_hits,
     unsafe_confinement_hits, Finding, RawHit, Rule,
 };
+use crate::taint::{self, TaintConfig};
 
 /// What to lint and where. `Options::for_repo` encodes this repository's
 /// layout; tests override the scopes to point at fixture crates.
@@ -32,8 +39,14 @@ pub struct Options {
     /// Files whose `/`-normalized relative path contains one of these are
     /// exempt from `unsafe-confinement` (the audited zero-copy modules).
     pub unsafe_allowed_paths: Vec<String>,
-    /// Panic budget file, relative to root.
-    pub budget_file: String,
+    /// Per-rule budget file, relative to root.
+    pub budgets_file: String,
+    /// Protected entry points for the determinism-taint pass.
+    pub taint: TaintConfig,
+    /// Scope of the bounded-memory pass.
+    pub bounds: BoundsConfig,
+    /// Allowlist for the static-mut half of the lock pass.
+    pub locks: LocksConfig,
 }
 
 impl Options {
@@ -62,42 +75,99 @@ impl Options {
                 "crates/core/src/".into(),
             ],
             unsafe_allowed_paths: vec!["httplog/src/codec/columnar.rs".into()],
-            budget_file: "oat-lint.budget".into(),
+            budgets_file: "oat-lint.budgets".into(),
+            taint: TaintConfig {
+                trait_methods: vec![(
+                    "Analyzer".into(),
+                    vec!["observe".into(), "observe_batch".into()],
+                )],
+                type_method_prefixes: vec![
+                    ("Simulator".into(), "replay".into()),
+                    ("Sweep".into(), String::new()),
+                ],
+                protected_path_contains: vec![
+                    "core/src/report.rs".into(),
+                    "core/src/export.rs".into(),
+                    "httplog/src/codec/".into(),
+                ],
+            },
+            bounds: BoundsConfig {
+                stream_traits: vec!["StreamAnalyzer".into()],
+                entry_fns: vec!["scan_lossy".into(), "replay_stream".into()],
+            },
+            locks: LocksConfig {
+                static_allowed_paths: vec![],
+            },
         }
     }
 }
 
+/// One scanned file: scrubbed text, parse tree, waivers, test regions.
+/// The pass modules receive these read-only.
+pub struct FileCtx {
+    /// `/`-normalized path relative to the workspace root.
+    pub rel: String,
+    pub crate_name: String,
+    /// Scrubbed source (comments and literal contents blanked).
+    pub text: String,
+    /// Per-line `#[cfg(test)]` marks, 1-based index.
+    pub is_test: Vec<bool>,
+    pub parsed: ParsedFile,
+    waivers: Allows,
+}
+
+impl FileCtx {
+    /// True when `rule` is waived on `line` by an allow directive.
+    pub fn allows(&self, rule: Rule, line: usize) -> bool {
+        self.waivers.allows(rule, line)
+    }
+}
+
 /// Everything one run of the linter learned.
-#[derive(Debug)]
 pub struct Report {
-    /// Findings for `determinism`, `ordered-output` and `float-ordering`.
+    /// Every unwaived finding, all rules, sorted.
     pub findings: Vec<Finding>,
-    /// Every unsuppressed `panic-freedom` occurrence in scope. These are
-    /// enforced through the budget ratchet, not individually.
-    pub panic_findings: Vec<Finding>,
-    /// Parsed budget, if the budget file exists.
-    pub panic_budget: Option<usize>,
+    /// Parsed per-rule budgets, if the budgets file exists. Rules listed
+    /// here are enforced through the ratchet (count vs budget) instead of
+    /// per-finding severity.
+    pub budgets: Option<BTreeMap<Rule, usize>>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// The workspace call graph (for `--emit-graph`).
+    pub graph: CallGraph,
 }
 
 impl Report {
-    pub fn panic_count(&self) -> usize {
-        self.panic_findings.len()
+    pub fn count(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
     }
 
-    /// True when the panic count exceeds the ratchet.
-    pub fn budget_exceeded(&self) -> bool {
-        matches!(self.panic_budget, Some(b) if self.panic_count() > b)
+    /// All findings for one rule, in report order (test assertions key on
+    /// the `file:line` each diagnostic carries).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn findings_for(&self, rule: Rule) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.rule == rule)
     }
 
-    /// True when the ratchet can be tightened (actual count below budget).
-    pub fn budget_stale(&self) -> bool {
-        matches!(self.panic_budget, Some(b) if self.panic_count() < b)
+    pub fn budget(&self, rule: Rule) -> Option<usize> {
+        self.budgets.as_ref()?.get(&rule).copied()
+    }
+
+    /// True when `rule`'s count exceeds its ratchet.
+    pub fn exceeded(&self, rule: Rule) -> bool {
+        matches!(self.budget(rule), Some(b) if self.count(rule) > b)
+    }
+
+    /// True when `rule`'s ratchet can be tightened (count below budget).
+    pub fn stale(&self, rule: Rule) -> bool {
+        matches!(self.budget(rule), Some(b) if self.count(rule) < b)
     }
 }
 
 /// Per-file allow state parsed from `// oat-lint: allow(...)` directives.
+/// Only *line* comments carry directives — the same text inside a block
+/// comment (or a string, which scrubbing already blanks) is prose.
+#[derive(Debug)]
 struct Allows {
     file_wide: BTreeSet<Rule>,
     /// Lines on which each rule is waived (directive line and the next).
@@ -105,14 +175,17 @@ struct Allows {
 }
 
 impl Allows {
-    fn parse(comments: &[(usize, String)], n_lines: usize) -> Allows {
+    fn parse(comments: &[Comment], n_lines: usize) -> Allows {
         let mut file_wide = BTreeSet::new();
         let mut by_line = vec![BTreeSet::new(); n_lines + 2];
-        for (line, text) in comments {
-            let Some(at) = text.find("oat-lint:") else {
+        for c in comments {
+            if c.block {
+                continue;
+            }
+            let Some(at) = c.text.find("oat-lint:") else {
                 continue;
             };
-            let directive = text[at + "oat-lint:".len()..].trim();
+            let directive = c.text[at + "oat-lint:".len()..].trim();
             let (rules, whole_file) = if let Some(rest) = directive.strip_prefix("allow-file(") {
                 (rest, true)
             } else if let Some(rest) = directive.strip_prefix("allow(") {
@@ -130,7 +203,7 @@ impl Allows {
                 if whole_file {
                     file_wide.insert(rule);
                 } else {
-                    for l in [*line, line + 1] {
+                    for l in [c.line, c.line + 1] {
                         if l < by_line.len() {
                             by_line[l].insert(rule);
                         }
@@ -146,47 +219,52 @@ impl Allows {
     }
 }
 
-/// Runs every rule over the workspace described by `opts`.
+/// Runs every rule and pass over the workspace described by `opts`.
 pub fn check(opts: &Options) -> io::Result<Report> {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for scan_root in &opts.scan_roots {
         let dir = opts.root.join(scan_root);
         if dir.is_dir() {
-            collect_rs_files(&dir, &mut files)?;
+            collect_rs_files(&dir, &mut paths)?;
         }
     }
-    files.sort();
+    paths.sort();
 
-    let mut report = Report {
-        findings: Vec::new(),
-        panic_findings: Vec::new(),
-        panic_budget: read_budget(&opts.root.join(&opts.budget_file))?,
-        files_scanned: 0,
-    };
-
-    for path in files {
-        let rel = normalized_rel(&path, &opts.root);
+    // Pass 1: read, scrub and parse every in-scope file.
+    let mut ctxs: Vec<FileCtx> = Vec::new();
+    for path in &paths {
+        let rel = normalized_rel(path, &opts.root);
         if opts.exclude_contains.iter().any(|e| rel.contains(e)) {
             continue;
         }
-        report.files_scanned += 1;
-
-        let source = fs::read_to_string(&path)?;
+        let source = fs::read_to_string(path)?;
         let scrubbed = scrub(&source);
         let is_test = test_region_lines(&scrubbed.text);
-        let n_lines = is_test.len();
-        let allows = Allows::parse(&scrubbed.comments, n_lines);
+        let waivers = Allows::parse(&scrubbed.comments, is_test.len());
+        let parsed = parse_file(&scrubbed.text);
+        ctxs.push(FileCtx {
+            crate_name: crate_of(&rel),
+            rel,
+            text: scrubbed.text,
+            is_test,
+            parsed,
+            waivers,
+        });
+    }
 
-        let rel_path = PathBuf::from(&rel);
-        let push = |out: &mut Vec<Finding>, rule: Rule, hits: Vec<RawHit>| {
+    // Pass 2: token-level rules.
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &ctxs {
+        let rel_path = PathBuf::from(&f.rel);
+        let mut push = |rule: Rule, hits: Vec<RawHit>| {
             for hit in hits {
-                if is_test.get(hit.line).copied().unwrap_or(false) {
+                if f.is_test.get(hit.line).copied().unwrap_or(false) {
                     continue;
                 }
-                if allows.allows(rule, hit.line) {
+                if f.allows(rule, hit.line) {
                     continue;
                 }
-                out.push(Finding {
+                findings.push(Finding {
                     rule,
                     path: rel_path.clone(),
                     line: hit.line,
@@ -196,43 +274,48 @@ pub fn check(opts: &Options) -> io::Result<Report> {
             }
         };
 
-        push(
-            &mut report.findings,
-            Rule::Determinism,
-            determinism_hits(&scrubbed.text),
-        );
-        push(
-            &mut report.findings,
-            Rule::FloatOrdering,
-            float_ordering_hits(&scrubbed.text),
-        );
-        if !opts.unsafe_allowed_paths.iter().any(|p| rel.contains(p)) {
-            push(
-                &mut report.findings,
-                Rule::UnsafeConfinement,
-                unsafe_confinement_hits(&scrubbed.text),
-            );
+        push(Rule::Determinism, determinism_hits(&f.text));
+        push(Rule::FloatOrdering, float_ordering_hits(&f.text));
+        if !opts.unsafe_allowed_paths.iter().any(|p| f.rel.contains(p)) {
+            push(Rule::UnsafeConfinement, unsafe_confinement_hits(&f.text));
         }
-        if opts.report_paths.iter().any(|p| rel.contains(p)) {
-            push(
-                &mut report.findings,
-                Rule::OrderedOutput,
-                ordered_output_hits(&scrubbed.text),
-            );
+        if opts.report_paths.iter().any(|p| f.rel.contains(p)) {
+            push(Rule::OrderedOutput, ordered_output_hits(&f.text));
         }
-        if opts.panic_paths.iter().any(|p| rel.starts_with(p)) {
-            push(
-                &mut report.panic_findings,
-                Rule::PanicFreedom,
-                panic_freedom_hits(&scrubbed.text),
-            );
+        if opts.panic_paths.iter().any(|p| f.rel.starts_with(p)) {
+            push(Rule::PanicFreedom, panic_freedom_hits(&f.text));
         }
     }
 
-    report.findings.sort_by(|a, b| {
-        (a.rule, &a.path, a.line, a.column).cmp(&(b.rule, &b.path, b.line, b.column))
+    // Pass 3: the call graph and the graph passes.
+    let inputs: Vec<FileFns> = ctxs
+        .iter()
+        .map(|c| FileFns {
+            rel: &c.rel,
+            crate_name: &c.crate_name,
+            parsed: &c.parsed,
+            is_test: &c.is_test,
+        })
+        .collect();
+    let graph = CallGraph::build(&inputs);
+
+    findings.extend(taint::run(&graph, &ctxs, &opts.taint));
+    findings.extend(bounds::run(&graph, &ctxs, &opts.bounds));
+    let (lock_findings, static_findings) = locks::run(&graph, &ctxs, &opts.locks);
+    findings.extend(lock_findings);
+    findings.extend(static_findings);
+
+    findings.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, a.column, &a.message)
+            .cmp(&(b.rule, &b.path, b.line, b.column, &b.message))
     });
-    Ok(report)
+
+    Ok(Report {
+        findings,
+        budgets: read_budgets(&opts.root.join(&opts.budgets_file))?,
+        files_scanned: ctxs.len(),
+        graph,
+    })
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -260,31 +343,93 @@ fn normalized_rel(path: &Path, root: &Path) -> String {
     s
 }
 
-/// Budget file format: a line `panic-freedom = <count>` (comments with `#`).
-fn read_budget(path: &Path) -> io::Result<Option<usize>> {
+/// Budgets file format: one `rule-name = <count>` per line, `#` comments.
+/// Unknown rule names are an error — a typo must not silently disable a
+/// ratchet.
+fn read_budgets(path: &Path) -> io::Result<Option<BTreeMap<Rule, usize>>> {
     if !path.is_file() {
         return Ok(None);
     }
     let text = fs::read_to_string(path)?;
-    for line in text.lines() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if let Some(value) = line.strip_prefix("panic-freedom") {
-            if let Some(n) = value.trim().strip_prefix('=') {
-                return n.trim().parse::<usize>().map(Some).map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{}: bad panic-freedom budget: {e}", path.display()),
-                    )
-                });
-            }
+    let mut budgets = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: {what}: `{line}`", path.display(), i + 1),
+            )
+        };
+        let Some((name, value)) = line.split_once('=') else {
+            return Err(bad("expected `rule = count`"));
+        };
+        let Some(rule) = Rule::from_name(name.trim()) else {
+            return Err(bad("unknown rule"));
+        };
+        let count = value
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| bad("bad budget count"))?;
+        if budgets.insert(rule, count).is_some() {
+            return Err(bad("duplicate rule"));
         }
     }
-    Ok(None)
+    Ok(Some(budgets))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn allows_of(src: &str) -> Allows {
+        let scrubbed = crate::lexer::scrub(src);
+        let n_lines = crate::lexer::line_starts(&scrubbed.text).len();
+        Allows::parse(&scrubbed.comments, n_lines)
+    }
+
+    #[test]
+    fn waiver_in_block_comment_is_prose() {
+        let src = "/* oat-lint: allow(determinism) */\nInstant::now();\n";
+        let a = allows_of(src);
+        assert!(!a.allows(Rule::Determinism, 1));
+        assert!(!a.allows(Rule::Determinism, 2));
+    }
+
+    #[test]
+    fn waiver_in_nested_block_comment_is_prose() {
+        let src = "/* outer /* // oat-lint: allow(determinism) */ still */\nInstant::now();\n";
+        let scrubbed = crate::lexer::scrub(src);
+        // The nested line comment is swallowed by the enclosing block comment,
+        // so only one (block) comment is captured — and it must not waive.
+        assert_eq!(scrubbed.comments.len(), 1);
+        assert!(scrubbed.comments[0].block);
+        let a = allows_of(src);
+        assert!(!a.allows(Rule::Determinism, 1));
+        assert!(!a.allows(Rule::Determinism, 2));
+    }
+
+    #[test]
+    fn waiver_in_raw_string_is_data() {
+        let src = "let s = r#\"// oat-lint: allow(determinism)\"#;\nInstant::now();\n";
+        let scrubbed = crate::lexer::scrub(src);
+        // Raw-string contents are blanked before comment capture: nothing to
+        // mistake for a directive.
+        assert!(scrubbed.comments.is_empty());
+        let a = allows_of(src);
+        assert!(!a.allows(Rule::Determinism, 1));
+        assert!(!a.allows(Rule::Determinism, 2));
+    }
+
+    #[test]
+    fn waiver_on_last_line_without_trailing_newline() {
+        let src = "let t = Instant::now(); // oat-lint: allow(determinism)";
+        let a = allows_of(src);
+        assert!(a.allows(Rule::Determinism, 1));
+        assert!(!a.allows(Rule::OrderedOutput, 1));
+    }
 
     /// The seeded-violation fixture crate lives inside this crate's tree but
     /// is excluded from the cargo workspace. Resolve it both under cargo and
@@ -311,21 +456,32 @@ mod tests {
             report_paths: vec!["src/report.rs".into(), "src/allowed.rs".into()],
             panic_paths: vec!["src/".into()],
             unsafe_allowed_paths: vec![],
-            budget_file: "oat-lint.budget".into(),
+            budgets_file: "oat-lint.budgets".into(),
+            taint: TaintConfig {
+                trait_methods: vec![("Analyzer".into(), vec!["observe".into()])],
+                type_method_prefixes: vec![("Replayer".into(), "replay".into())],
+                protected_path_contains: vec![],
+            },
+            bounds: BoundsConfig {
+                stream_traits: vec!["StreamAnalyzer".into()],
+                entry_fns: vec!["scan_lossy".into()],
+            },
+            locks: LocksConfig {
+                static_allowed_paths: vec!["src/allowed.rs".into()],
+            },
         }
+    }
+
+    fn fixture_report() -> Report {
+        check(&fixture_options()).expect("fixture scan")
     }
 
     #[test]
     fn fixture_trips_every_rule_with_location() {
-        let report = check(&fixture_options()).expect("fixture scan");
+        let report = fixture_report();
 
-        for rule in [
-            Rule::Determinism,
-            Rule::OrderedOutput,
-            Rule::FloatOrdering,
-            Rule::UnsafeConfinement,
-        ] {
-            let hits: Vec<_> = report.findings.iter().filter(|f| f.rule == rule).collect();
+        for rule in Rule::ALL {
+            let hits: Vec<_> = report.findings_for(rule).collect();
             assert!(!hits.is_empty(), "fixture must trip {rule}");
             for f in &hits {
                 assert!(f.line > 0 && f.column > 0, "diagnostic has a location: {f}");
@@ -336,25 +492,22 @@ mod tests {
                 );
             }
         }
-
         assert!(
-            !report.panic_findings.is_empty(),
-            "fixture must contain panic-freedom occurrences"
+            report.findings.len() >= 12,
+            "fixture seeds at least 12 violations, got {}",
+            report.findings.len()
         );
-        assert_eq!(report.panic_budget, Some(0), "fixture budget pins zero");
-        assert!(report.budget_exceeded(), "one unwrap over a zero budget");
     }
 
     #[test]
     fn fixture_allow_comments_suppress() {
-        let report = check(&fixture_options()).expect("fixture scan");
+        let report = fixture_report();
         // allowed.rs seeds one violation per rule, each under an allow
         // directive; none may surface.
         assert!(
             !report
                 .findings
                 .iter()
-                .chain(&report.panic_findings)
                 .any(|f| f.path.ends_with("allowed.rs")),
             "allow() directives must suppress findings"
         );
@@ -362,27 +515,115 @@ mod tests {
 
     #[test]
     fn fixture_test_module_is_exempt() {
-        let report = check(&fixture_options()).expect("fixture scan");
+        let report = fixture_report();
         // testonly.rs seeds violations exclusively inside `#[cfg(test)]`.
         assert!(
             !report
                 .findings
                 .iter()
-                .chain(&report.panic_findings)
                 .any(|f| f.path.ends_with("testonly.rs")),
             "cfg(test) regions are exempt"
         );
     }
 
     #[test]
-    fn budget_parsing_and_ratchet() {
-        let report = check(&fixture_options()).expect("fixture scan");
-        assert!(report.panic_count() > 0);
-        let relaxed = Report {
-            panic_budget: Some(report.panic_count() + 5),
-            ..report
-        };
-        assert!(!relaxed.budget_exceeded());
-        assert!(relaxed.budget_stale(), "loose budget reported as stale");
+    fn budgets_parse_and_ratchet() {
+        let report = fixture_report();
+        let budgets = report.budgets.as_ref().expect("fixture budgets file");
+        assert_eq!(budgets.get(&Rule::PanicFreedom), Some(&0));
+        assert!(report.count(Rule::PanicFreedom) > 0);
+        assert!(report.exceeded(Rule::PanicFreedom));
+        assert!(!report.stale(Rule::PanicFreedom));
+        // A rule with headroom reads as stale, not exceeded.
+        assert_eq!(budgets.get(&Rule::FloatOrdering), Some(&9));
+        assert!(report.stale(Rule::FloatOrdering));
+        assert!(!report.exceeded(Rule::FloatOrdering));
+        // Unbudgeted rules have no ratchet state.
+        assert_eq!(report.budget(Rule::Determinism), None);
+        assert!(!report.exceeded(Rule::Determinism) && !report.stale(Rule::Determinism));
+    }
+
+    #[test]
+    fn budgets_reject_unknown_rules_and_duplicates() {
+        let dir = std::env::temp_dir().join("oat-lint-budgets-test");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("bad-rule");
+        fs::write(&path, "panik-freedom = 3\n").expect("write");
+        assert!(read_budgets(&path).is_err(), "unknown rule must error");
+        let path = dir.join("dup-rule");
+        fs::write(&path, "determinism = 0\ndeterminism = 1\n").expect("write");
+        assert!(read_budgets(&path).is_err(), "duplicate rule must error");
+        let path = dir.join("good");
+        fs::write(&path, "# comment\npanic-freedom = 50\nlock-order = 0\n").expect("write");
+        let budgets = read_budgets(&path).expect("parse").expect("some");
+        assert_eq!(budgets.get(&Rule::PanicFreedom), Some(&50));
+        assert_eq!(budgets.get(&Rule::LockOrder), Some(&0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixture_taint_direct_and_indirect() {
+        let report = fixture_report();
+        let taint: Vec<String> = report
+            .findings_for(Rule::DeterminismTaint)
+            .map(|f| f.to_string())
+            .collect();
+        // Direct: unordered iteration inside a protected fn.
+        assert!(
+            taint.iter().any(|t| t.contains("unordered iteration")),
+            "missing direct unordered-iteration finding: {taint:?}"
+        );
+        // Indirect (>= 1 hop): a frontier call-site finding naming both the
+        // protected caller and the seed-carrying callee. The old token
+        // scanner cannot produce this: the call site itself contains no
+        // banned needle.
+        assert!(
+            taint
+                .iter()
+                .any(|t| t.contains("calls") && t.contains("src/taint.rs:")),
+            "missing indirect frontier finding: {taint:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_lock_cycle_and_static_mut() {
+        let report = fixture_report();
+        let locks: Vec<String> = report
+            .findings_for(Rule::LockOrder)
+            .map(|f| f.to_string())
+            .collect();
+        assert!(
+            locks.iter().any(|t| t.contains("lock-order cycle")),
+            "missing cycle finding: {locks:?}"
+        );
+        assert!(
+            locks.iter().any(|t| t.contains(".await")),
+            "missing await-across-guard finding: {locks:?}"
+        );
+        assert!(
+            report.count(Rule::StaticMut) >= 2,
+            "missing static-mut findings"
+        );
+    }
+
+    #[test]
+    fn fixture_bounded_memory() {
+        let report = fixture_report();
+        let bounds: Vec<String> = report
+            .findings_for(Rule::BoundedMemory)
+            .map(|f| f.to_string())
+            .collect();
+        assert!(
+            bounds
+                .iter()
+                .any(|t| t.contains("streaming-analyzer trait")),
+            "missing stream-type growth finding: {bounds:?}"
+        );
+        assert!(
+            bounds
+                .iter()
+                .any(|t| t.contains("bounded-memory entry point")),
+            "missing entry-reachable growth finding: {bounds:?}"
+        );
     }
 }

@@ -8,6 +8,19 @@
 //! at the original `file:line:column` while pattern matching never trips
 //! over `"Instant::now"` inside a string or a commented-out `unwrap()`.
 
+/// One comment captured during scrubbing.
+#[derive(Debug)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: usize,
+    /// Raw comment text, markers included.
+    pub text: String,
+    /// True for `/* .. */` comments (possibly nested). Waiver directives
+    /// are only honoured in *line* comments: a `// oat-lint: allow(..)`
+    /// quoted inside a block comment is prose, not a directive.
+    pub block: bool,
+}
+
 /// A source file after scrubbing.
 #[derive(Debug)]
 pub struct Scrubbed {
@@ -15,7 +28,7 @@ pub struct Scrubbed {
     /// Identical byte length and line structure to the input.
     pub text: String,
     /// Each comment's 1-based start line and raw text (markers included).
-    pub comments: Vec<(usize, String)>,
+    pub comments: Vec<Comment>,
 }
 
 /// Blanks comments and string/char-literal contents out of `source`.
@@ -46,10 +59,11 @@ pub fn scrub(source: &str) -> Scrubbed {
         if rest.starts_with(b"//") {
             let start_line = line;
             let end = memchr_newline(bytes, i);
-            comments.push((
-                start_line,
-                String::from_utf8_lossy(&bytes[i..end]).into_owned(),
-            ));
+            comments.push(Comment {
+                line: start_line,
+                text: String::from_utf8_lossy(&bytes[i..end]).into_owned(),
+                block: false,
+            });
             blank(&mut out, &mut line, &bytes[i..end]);
             i = end;
             continue;
@@ -71,10 +85,11 @@ pub fn scrub(source: &str) -> Scrubbed {
                     j += 1;
                 }
             }
-            comments.push((
-                start_line,
-                String::from_utf8_lossy(&bytes[i..j]).into_owned(),
-            ));
+            comments.push(Comment {
+                line: start_line,
+                text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                block: true,
+            });
             blank(&mut out, &mut line, &bytes[i..j]);
             i = j;
             continue;
@@ -324,7 +339,16 @@ mod tests {
         assert!(s.text.contains("let b = 1;"));
         assert_eq!(s.text.len(), src.len());
         assert_eq!(s.comments.len(), 1);
-        assert!(s.comments[0].1.contains("thread_rng"));
+        assert!(s.comments[0].text.contains("thread_rng"));
+        assert!(!s.comments[0].block);
+    }
+
+    #[test]
+    fn block_comments_are_tagged() {
+        let src = "/* one */ code // two\n/* three /* nested */ */";
+        let s = scrub(src);
+        let blocks: Vec<bool> = s.comments.iter().map(|c| c.block).collect();
+        assert_eq!(blocks, vec![true, false, true]);
     }
 
     #[test]

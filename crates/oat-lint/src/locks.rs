@@ -1,0 +1,407 @@
+//! Lock-order pass.
+//!
+//! Builds a lock-acquisition graph over `Mutex`/`RwLock` guard scopes:
+//! nodes are lock identities (impl-type-qualified field paths like
+//! `Simulator::pops`, or bare receiver paths for locals), edges mean
+//! "acquired while the other is held" — both by direct nesting inside one
+//! function and by calling (transitively) into a function that locks.
+//! Errors on cycles in that graph, on `.await` inside a guard scope
+//! (a sync guard held across a suspension point deadlocks the executor
+//! once the edge tier lands), and on `static mut` / interior-mutable
+//! statics outside the configured allowlist.
+//!
+//! Guard scopes are approximated syntactically: a `let`-bound guard lives
+//! to the end of its enclosing block, a temporary to the end of its
+//! statement. Guards moved across functions and locals aliasing a lock
+//! field under another name are documented false-negative classes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::engine::FileCtx;
+use crate::graph::CallGraph;
+use crate::lexer::{line_of, line_starts};
+use crate::parser::{canonical_receiver, tokenize, Spanned, Tok};
+use crate::rules::{Finding, Rule};
+
+#[derive(Debug, Clone)]
+pub struct LocksConfig {
+    /// Path fragments where interior-mutable statics are permitted
+    /// (audited global state, e.g. a process-local sequence counter).
+    pub static_allowed_paths: Vec<String>,
+}
+
+/// One acquisition inside a function body: lock id + token scope.
+#[derive(Debug)]
+struct Acquisition {
+    id: String,
+    /// Token index of the method name.
+    at: usize,
+    /// Token index one past the guard's last live token.
+    scope_end: usize,
+    line: usize,
+}
+
+pub fn run(
+    graph: &CallGraph,
+    files: &[FileCtx],
+    config: &LocksConfig,
+) -> (Vec<Finding>, Vec<Finding>) {
+    let mut lock_findings = Vec::new();
+    let mut static_findings = Vec::new();
+
+    // --- interior-mutable / mut statics ----------------------------------
+    const INTERIOR_MUTABLE: &[&str] =
+        &["Cell", "Mutex", "RwLock", "OnceLock", "LazyLock", "Atomic"];
+    for f in files {
+        let allowed = config
+            .static_allowed_paths
+            .iter()
+            .any(|p| f.rel.contains(p));
+        for s in &f.parsed.statics {
+            if f.is_test.get(s.line).copied().unwrap_or(false) || f.allows(Rule::StaticMut, s.line)
+            {
+                continue;
+            }
+            if s.is_mut {
+                static_findings.push(Finding {
+                    rule: Rule::StaticMut,
+                    path: f.rel.clone().into(),
+                    line: s.line,
+                    column: 1,
+                    message: format!(
+                        "`static mut {}` is unsynchronized global state; use an atomic, a lock, \
+                         or thread the value through explicitly",
+                        s.name
+                    ),
+                });
+            } else if !allowed && INTERIOR_MUTABLE.iter().any(|n| s.ty.contains(n)) {
+                static_findings.push(Finding {
+                    rule: Rule::StaticMut,
+                    path: f.rel.clone().into(),
+                    line: s.line,
+                    column: 1,
+                    message: format!(
+                        "interior-mutable static `{}: {}` outside the allowlist; global mutable \
+                         state undermines replay determinism — waive with \
+                         `// oat-lint: allow(static-mut)` stating why it cannot reach output",
+                        s.name, s.ty
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- per-function acquisitions ----------------------------------------
+    // node -> acquisitions; plus the line span of each scope for matching
+    // call edges (line granularity).
+    let mut acqs: Vec<Vec<Acquisition>> = Vec::with_capacity(graph.nodes.len());
+    for n in &graph.nodes {
+        if n.is_test || n.body.is_empty() {
+            acqs.push(Vec::new());
+            continue;
+        }
+        let Some(f) = files.iter().find(|f| f.rel == n.file) else {
+            acqs.push(Vec::new());
+            continue;
+        };
+        acqs.push(acquisitions(f, n.body.clone(), n.qual.as_deref()));
+    }
+
+    // --- await-across-guard ----------------------------------------------
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if acqs[i].is_empty() {
+            continue;
+        }
+        let Some(f) = files.iter().find(|f| f.rel == n.file) else {
+            continue;
+        };
+        let starts = line_starts(&f.text);
+        let body = &f.text[n.body.clone()];
+        let toks = tokenize(body);
+        for (t, tok) in toks.iter().enumerate() {
+            if tok.tok != Tok::Ident("await")
+                || t == 0
+                || !matches!(toks[t - 1].tok, Tok::Punct(b'.'))
+            {
+                continue;
+            }
+            for a in &acqs[i] {
+                if t > a.at && t < a.scope_end {
+                    let line = line_of(&starts, n.body.start + tok.at);
+                    if f.allows(Rule::LockOrder, line) {
+                        continue;
+                    }
+                    lock_findings.push(Finding {
+                        rule: Rule::LockOrder,
+                        path: n.file.clone().into(),
+                        line,
+                        column: 1,
+                        message: format!(
+                            "`.await` while the `{}` guard is held: a sync guard across a \
+                             suspension point can deadlock the async executor; drop the guard \
+                             first or use an async-aware lock",
+                            a.id
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- transitive lock summaries ----------------------------------------
+    // locks_held[i] = lock ids fn i may acquire (directly or transitively).
+    let mut held: Vec<BTreeSet<String>> = acqs
+        .iter()
+        .map(|a| a.iter().map(|x| x.id.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..graph.nodes.len() {
+            for &(callee, _) in &graph.callees[i] {
+                if held[callee].is_empty() {
+                    continue;
+                }
+                let add: Vec<String> = held[callee]
+                    .iter()
+                    .filter(|id| !held[i].contains(*id))
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    held[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- acquisition-order edges ------------------------------------------
+    // (from, to) -> first (file, line) observed, deterministic by node order.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if acqs[i].is_empty() {
+            continue;
+        }
+        let Some(f) = files.iter().find(|f| f.rel == n.file) else {
+            continue;
+        };
+        let starts = line_starts(&f.text);
+        let body = &f.text[n.body.clone()];
+        let toks = tokenize(body);
+        // Direct nesting.
+        for a in &acqs[i] {
+            for b in &acqs[i] {
+                if a.id != b.id && b.at > a.at && b.at < a.scope_end {
+                    edges
+                        .entry((a.id.clone(), b.id.clone()))
+                        .or_insert((n.file.clone(), b.line));
+                }
+            }
+        }
+        // Held across a call into code that locks. Call sites are matched
+        // by line against the guard scope's line span.
+        for a in &acqs[i] {
+            let scope_lines = a.line
+                ..=line_of(
+                    &starts,
+                    n.body.start
+                        + toks
+                            .get(a.scope_end.saturating_sub(1))
+                            .map_or(body.len().saturating_sub(1), |t| t.at),
+                );
+            for &(callee, call_line) in &graph.callees[i] {
+                if !scope_lines.contains(&call_line) {
+                    continue;
+                }
+                for id in &held[callee] {
+                    if *id != a.id {
+                        edges
+                            .entry((a.id.clone(), id.clone()))
+                            .or_insert((n.file.clone(), call_line));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- cycle detection ---------------------------------------------------
+    // An edge participates in a cycle iff its target can reach its source.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            if !seen.insert(x.to_string()) {
+                continue;
+            }
+            if let Some(next) = adj.get(x) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for ((from, to), (file, line)) in &edges {
+        if !reaches(to, from) {
+            continue;
+        }
+        let Some(f) = files.iter().find(|f| &f.rel == file) else {
+            continue;
+        };
+        if f.allows(Rule::LockOrder, *line) {
+            continue;
+        }
+        lock_findings.push(Finding {
+            rule: Rule::LockOrder,
+            path: file.clone().into(),
+            line: *line,
+            column: 1,
+            message: format!(
+                "lock-order cycle: `{to}` is acquired while `{from}` is held, but another path \
+                 acquires `{from}` while holding `{to}`; pick one global order"
+            ),
+        });
+    }
+
+    lock_findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    lock_findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    static_findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    (lock_findings, static_findings)
+}
+
+/// Lock acquisitions in one function body with their guard scopes.
+fn acquisitions(
+    f: &FileCtx,
+    body_span: std::ops::Range<usize>,
+    qual: Option<&str>,
+) -> Vec<Acquisition> {
+    let starts = line_starts(&f.text);
+    let body = &f.text[body_span.clone()];
+    let toks = tokenize(body);
+    let close_of = brace_matches(&toks);
+    let mut out = Vec::new();
+
+    for t in 0..toks.len() {
+        let Tok::Ident(name) = toks[t].tok else {
+            continue;
+        };
+        if name != "lock" && name != "read" && name != "write" {
+            continue;
+        }
+        // Nullary method call only: `.lock()` — `file.write(buf)` is io.
+        let dotted = t > 0 && matches!(toks[t - 1].tok, Tok::Punct(b'.'));
+        let nullary = matches!(toks.get(t + 1).map(|x| x.tok), Some(Tok::Punct(b'(')))
+            && matches!(toks.get(t + 2).map(|x| x.tok), Some(Tok::Punct(b')')));
+        if !dotted || !nullary {
+            continue;
+        }
+        let Some(recv) = canonical_receiver(&toks, t - 1) else {
+            continue;
+        };
+        let line = line_of(&starts, body_span.start + toks[t].at);
+        if f.is_test.get(line).copied().unwrap_or(false) {
+            continue;
+        }
+        let id = match (recv.strip_prefix("self."), qual) {
+            (Some(rest), Some(q)) => format!("{q}::{rest}"),
+            _ => recv.clone(),
+        };
+        out.push(Acquisition {
+            id,
+            at: t,
+            scope_end: guard_scope_end(&toks, t, &close_of),
+            line,
+        });
+    }
+    out
+}
+
+/// For each `{` token index, the index of its matching `}` (or the end).
+fn brace_matches(toks: &[Spanned]) -> BTreeMap<usize, usize> {
+    let mut map = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.tok {
+            Tok::Punct(b'{') => stack.push(i),
+            Tok::Punct(b'}') => {
+                if let Some(open) = stack.pop() {
+                    map.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    for open in stack {
+        map.insert(open, toks.len());
+    }
+    map
+}
+
+/// Scope end for the guard produced at token `t`: end of the enclosing
+/// block for `let`-bound guards, end of the statement for temporaries.
+fn guard_scope_end(toks: &[Spanned], t: usize, close_of: &BTreeMap<usize, usize>) -> usize {
+    // Statement start: walk back to the nearest `;`, `{` or `}` at the
+    // same brace depth (treat block starts as statement starts).
+    let mut depth = 0isize;
+    let mut stmt_start = 0usize;
+    let mut i = t;
+    while i > 0 {
+        i -= 1;
+        match toks[i].tok {
+            Tok::Punct(b')') | Tok::Punct(b']') | Tok::Punct(b'}') => depth += 1,
+            Tok::Punct(b'(') | Tok::Punct(b'[') => depth -= 1,
+            Tok::Punct(b'{') => {
+                if depth == 0 {
+                    stmt_start = i + 1;
+                    break;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(b';') if depth == 0 => {
+                stmt_start = i + 1;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let is_let = matches!(toks.get(stmt_start).map(|x| x.tok), Some(Tok::Ident("let")));
+
+    if is_let {
+        // To the end of the enclosing block: innermost `{` still open at
+        // `t`.
+        let mut best = toks.len();
+        for (&open, &close) in close_of {
+            if open < t && close > t && close < best {
+                best = close;
+            }
+        }
+        best
+    } else {
+        // To the end of the statement.
+        let mut depth = 0isize;
+        let mut j = t;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Punct(b'(') | Tok::Punct(b'[') | Tok::Punct(b'{') => depth += 1,
+                Tok::Punct(b')') | Tok::Punct(b']') | Tok::Punct(b'}') => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                }
+                Tok::Punct(b';') if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        toks.len()
+    }
+}

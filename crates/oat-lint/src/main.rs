@@ -4,6 +4,8 @@
 //! binary machine-checks the invariants that guarantee it (see DESIGN.md,
 //! "Invariants & static analysis"):
 //!
+//! Token rules (single-file):
+//!
 //! * `determinism`    — no unseeded entropy or wall-clock reads in library
 //!   or example code (`thread_rng`, `from_entropy`, `SystemTime::now`,
 //!   `Instant::now`, `random()`).
@@ -11,19 +13,42 @@
 //!   modules; iteration order must not leak into emitted bytes.
 //! * `panic-freedom`  — `unwrap`/`expect`/`panic!`/indexing-by-literal in
 //!   the pipeline crates' library code, ratcheted downward by the
-//!   `oat-lint.budget` file.
+//!   `oat-lint.budgets` file.
 //! * `float-ordering` — `partial_cmp(..).unwrap()` on float sort keys.
 //! * `unsafe-confinement` — `unsafe` anywhere outside the audited
 //!   zero-copy columnar codec (`httplog/src/codec/columnar.rs`).
 //!
+//! Call-graph passes (workspace-wide, see DESIGN.md for the approximation
+//! model):
+//!
+//! * `determinism-taint` — functions reachable from protected entry points
+//!   (`Analyzer::observe*`, `Simulator::replay*`, `Sweep`, codec and
+//!   report paths) must not transitively reach a nondeterminism source,
+//!   including unordered `HashMap`/`HashSet` iteration.
+//! * `bounded-memory` — streaming hot paths (`StreamAnalyzer` impls and
+//!   everything reachable from `scan_lossy`/`replay_stream`) must not grow
+//!   `self` state per record without a waiver stating the bound.
+//! * `lock-order` — no cycles in the lock-acquisition graph, no `.await`
+//!   while a guard is held.
+//! * `static-mut` — no `static mut` or interior-mutable statics outside
+//!   the allowlist.
+//!
 //! Waive a justified occurrence with `// oat-lint: allow(<rule>)` on or
-//! directly above the line, or `// oat-lint: allow-file(<rule>)` for a
-//! whole file. `--deny-all` (the CI mode) promotes every advisory finding
-//! to an error.
+//! directly above the line (line comments only), or
+//! `// oat-lint: allow-file(<rule>)` for a whole file. Rules listed in
+//! `oat-lint.budgets` are enforced as monotonic ratchets instead:
+//! exceeding a budget is an error, head-room is a stale-budget warning.
+//! `--deny-all` (the CI mode) promotes every advisory finding to an error.
 
+mod bounds;
 mod engine;
+mod graph;
 mod lexer;
+mod locks;
+mod parser;
 mod rules;
+mod sarif;
+mod taint;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,10 +56,24 @@ use std::process::ExitCode;
 use engine::{check, Options};
 use rules::Rule;
 
+#[derive(PartialEq)]
+enum EmitGraph {
+    Dot,
+    Json,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Sarif,
+}
+
 struct Cli {
     root: PathBuf,
     deny_all: bool,
     verbose: bool,
+    emit_graph: Option<EmitGraph>,
+    format: Format,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -42,6 +81,8 @@ fn parse_args() -> Result<Cli, String> {
         root: PathBuf::from("."),
         deny_all: false,
         verbose: false,
+        emit_graph: None,
+        format: Format::Text,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,13 +95,42 @@ fn parse_args() -> Result<Cli, String> {
                         .ok_or_else(|| "--root needs a path".to_string())?,
                 );
             }
+            "--emit-graph" => {
+                cli.emit_graph = Some(match args.next().as_deref() {
+                    Some("dot") => EmitGraph::Dot,
+                    Some("json") => EmitGraph::Json,
+                    other => {
+                        return Err(format!(
+                            "--emit-graph needs `dot` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                });
+            }
+            "--format" => {
+                cli.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "--format needs `text` or `sarif`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "oat-lint: workspace determinism & soundness linter\n\n\
-                     USAGE: oat-lint [--root <dir>] [--deny-all] [--verbose]\n\n\
-                     Rules: determinism, ordered-output, panic-freedom, float-ordering,\n\
-                     unsafe-confinement.\n\
-                     Waive with `// oat-lint: allow(<rule>)`; `--deny-all` is the CI mode."
+                     USAGE: oat-lint [--root <dir>] [--deny-all] [--verbose]\n\
+                            [--emit-graph dot|json] [--format text|sarif]\n\n\
+                     Token rules: determinism, ordered-output, panic-freedom,\n\
+                     float-ordering, unsafe-confinement.\n\
+                     Call-graph passes: determinism-taint, bounded-memory, lock-order,\n\
+                     static-mut.\n\
+                     Waive with `// oat-lint: allow(<rule>)` (line comments only);\n\
+                     ratchet per-rule budgets in oat-lint.budgets; `--deny-all` is the\n\
+                     CI mode; `--emit-graph` dumps the call graph and exits."
                 );
                 std::process::exit(0);
             }
@@ -69,6 +139,15 @@ fn parse_args() -> Result<Cli, String> {
     }
     Ok(cli)
 }
+
+/// Rules whose findings break replayability or the soundness audit
+/// outright; always errors, even without `--deny-all`.
+const ALWAYS_ERROR: [Rule; 4] = [
+    Rule::Determinism,
+    Rule::UnsafeConfinement,
+    Rule::DeterminismTaint,
+    Rule::LockOrder,
+];
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
@@ -96,68 +175,104 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    if let Some(kind) = &cli.emit_graph {
+        print!(
+            "{}",
+            match kind {
+                EmitGraph::Dot => report.graph.to_dot(),
+                EmitGraph::Json => report.graph.to_json(),
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    // (finding, level) pairs for SARIF; levels follow the text severity.
+    let mut entries: Vec<(&rules::Finding, &'static str)> = Vec::new();
 
     for finding in &report.findings {
-        // `determinism` violations always break replayability and stray
-        // `unsafe` voids the soundness audit; the two ordering rules are
-        // advisory by default and errors under CI.
-        let is_error = cli.deny_all
-            || finding.rule == Rule::Determinism
-            || finding.rule == Rule::UnsafeConfinement;
-        let level = if is_error { "error" } else { "warning" };
-        eprintln!("{level}{finding}");
-        if is_error {
-            errors += 1;
+        let level = if report.budget(finding.rule).is_some() {
+            // Budgeted rule: individual findings are accepted debt unless
+            // the ratchet is exceeded, in which case each one is an error.
+            if report.exceeded(finding.rule) {
+                "error"
+            } else {
+                "note"
+            }
+        } else if cli.deny_all || ALWAYS_ERROR.contains(&finding.rule) {
+            "error"
         } else {
+            "warning"
+        };
+        entries.push((finding, level));
+        match level {
+            "error" => {
+                errors += 1;
+                if cli.format == Format::Text {
+                    eprintln!("error{finding}");
+                }
+            }
+            "warning" => {
+                warnings += 1;
+                if cli.format == Format::Text {
+                    eprintln!("warning{finding}");
+                }
+            }
+            _ => {
+                if cli.format == Format::Text && cli.verbose {
+                    eprintln!("note{finding}");
+                }
+            }
+        }
+    }
+
+    // Ratchet state per budgeted rule.
+    match &report.budgets {
+        Some(budgets) => {
+            for (&rule, &budget) in budgets {
+                let count = report.count(rule);
+                if report.exceeded(rule) {
+                    eprintln!(
+                        "error[{rule}]: {count} occurrences exceed the budget of {budget} \
+                         (oat-lint.budgets); remove the new ones or justify them with \
+                         `// oat-lint: allow({rule})`"
+                    );
+                    errors += 1;
+                } else if report.stale(rule) {
+                    eprintln!(
+                        "warning[{rule}]: budget is stale: {count} occurrences remain but the \
+                         budget allows {budget}; ratchet oat-lint.budgets down to {count}"
+                    );
+                    warnings += 1;
+                }
+            }
+        }
+        None => {
+            eprintln!(
+                "warning: no oat-lint.budgets file found; the per-rule ratchets are \
+                 not enforced"
+            );
             warnings += 1;
         }
     }
 
-    match report.panic_budget {
-        Some(budget) if report.budget_exceeded() => {
-            for finding in &report.panic_findings {
-                eprintln!("error{finding}");
-            }
-            eprintln!(
-                "error[panic-freedom]: {} panicking occurrences in pipeline library code \
-                 exceed the budget of {budget} (oat-lint.budget); remove the new ones \
-                 or justify them with `// oat-lint: allow(panic-freedom)`",
-                report.panic_count()
-            );
-            errors += report.panic_count() + 1;
-        }
-        Some(budget) if report.budget_stale() => {
-            eprintln!(
-                "warning[panic-freedom]: budget is stale: {} occurrences remain but the \
-                 budget allows {budget}; ratchet oat-lint.budget down to {}",
-                report.panic_count(),
-                report.panic_count()
-            );
-            warnings += 1;
-        }
-        Some(_) => {}
-        None => {
-            eprintln!(
-                "warning[panic-freedom]: no oat-lint.budget file found; the panic \
-                 ratchet is not enforced"
-            );
-            warnings += 1;
-        }
+    if cli.format == Format::Sarif {
+        print!("{}", sarif::render(&entries));
     }
 
     if cli.verbose || errors > 0 || warnings > 0 {
+        let budget_note = match report.budget(Rule::PanicFreedom) {
+            Some(b) => format!(" (budget {b})"),
+            None => String::new(),
+        };
         eprintln!(
             "oat-lint: {} files scanned, {} errors, {} warnings, panic count {}{}",
             report.files_scanned,
             errors,
             warnings,
-            report.panic_count(),
-            match report.panic_budget {
-                Some(b) => format!(" (budget {b})"),
-                None => String::new(),
-            }
+            report.count(Rule::PanicFreedom),
+            budget_note,
         );
     }
 

@@ -1,0 +1,813 @@
+//! Lightweight item-tree parser over the scrubbed token stream.
+//!
+//! This is *not* a Rust parser: it recovers just enough structure for the
+//! whole-program passes — `fn` items with their impl/trait context,
+//! receiver presence, body spans and called paths; `impl` headers; `use`
+//! declarations; `static` items. The approximation model (what it can and
+//! cannot see) is documented in DESIGN.md, "Call-graph approximation".
+//!
+//! Key simplifications, all deliberate:
+//! * Function bodies are opaque: nested `fn`/`impl` items inside a body
+//!   are not lifted — their calls are attributed to the enclosing
+//!   function (sound for taint: the outer fn can reach them).
+//! * Name resolution happens later, in [`crate::graph`], by path-suffix
+//!   and method-name matching; the parser only records the called path
+//!   text as written.
+//! * Generics are skipped wholesale; trait bounds never produce edges.
+
+use crate::lexer::{line_of, line_starts};
+
+/// One token of scrubbed source: identifiers and single punctuation bytes.
+/// String/char literals and comments are already blanked, so the stream
+/// contains only code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok<'a> {
+    Ident(&'a str),
+    Punct(u8),
+}
+
+/// A token plus its byte offset in the scrubbed text.
+#[derive(Debug, Clone, Copy)]
+pub struct Spanned<'a> {
+    pub tok: Tok<'a>,
+    pub at: usize,
+}
+
+/// A called path as written at a call site: `["merge", "merge_runs"]` for
+/// `merge::merge_runs(..)`, `["observe"]` for `.observe(..)`.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub path: Vec<String>,
+    /// True for `.name(..)` method-call syntax.
+    pub is_method: bool,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// A `fn` item (free function, impl method, or trait default method).
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl` type (or trait name for trait default methods).
+    pub qual: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// Whether the parameter list contains a `self` receiver.
+    pub has_self: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte span of the body (inside the braces), empty for `fn ..;`.
+    pub body: std::ops::Range<usize>,
+    pub calls: Vec<CallSite>,
+}
+
+/// A `use` declaration mapping its leaf name (or `as` alias) to the full
+/// path as written. Grouped imports (`use a::{b, c}`) record one entry per
+/// leaf.
+#[derive(Debug)]
+pub struct UseItem {
+    pub leaf: String,
+    pub path: Vec<String>,
+}
+
+/// A `static` item (module level or function local).
+#[derive(Debug)]
+pub struct StaticItem {
+    pub name: String,
+    pub is_mut: bool,
+    /// Type text, whitespace-normalized (e.g. `RefCell<u32>`).
+    pub ty: String,
+    pub line: usize,
+}
+
+/// The item tree of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseItem>,
+    pub statics: Vec<StaticItem>,
+    /// `impl Trait for Type` pairs seen in this file (trait, type).
+    pub trait_impls: Vec<(String, String)>,
+}
+
+pub fn tokenize(text: &str) -> Vec<Spanned<'_>> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Spanned {
+                tok: Tok::Ident(&text[start..i]),
+                at: start,
+            });
+            continue;
+        }
+        // Multi-byte UTF-8 in identifiers is not used in this workspace;
+        // skip stray non-ASCII bytes rather than mis-tokenizing.
+        if b & 0x80 != 0 {
+            i += 1;
+            continue;
+        }
+        toks.push(Spanned {
+            tok: Tok::Punct(b),
+            at: i,
+        });
+        i += 1;
+    }
+    toks
+}
+
+fn ident<'a>(toks: &[Spanned<'a>], i: usize) -> Option<&'a str> {
+    match toks.get(i)?.tok {
+        Tok::Ident(s) => Some(s),
+        Tok::Punct(_) => None,
+    }
+}
+
+fn punct(toks: &[Spanned], i: usize) -> Option<u8> {
+    match toks.get(i)?.tok {
+        Tok::Punct(b) => Some(b),
+        Tok::Ident(_) => None,
+    }
+}
+
+/// Index just past the token closing the group opened at `toks[open]`.
+fn skip_group(toks: &[Spanned], open: usize, open_b: u8, close_b: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct(b) if b == open_b => depth += 1,
+            Tok::Punct(b) if b == close_b => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Index just past a balanced `<..>` generics group starting at `toks[open]`
+/// (which must be `<`). Tracks only angle brackets; shift operators do not
+/// appear inside item headers, which is the only place this is used.
+fn skip_angles(toks: &[Spanned], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct(b'<') => depth += 1,
+            Tok::Punct(b'>') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            // `->` inside `Fn(..) -> T` bounds: the `>` is part of the
+            // arrow, not a closer.
+            Tok::Punct(b'-') if punct(toks, i + 1) == Some(b'>') => i += 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// The last path segment of a type expression given as tokens, with
+/// generics stripped: `oat_cdnsim::Simulator<'a>` -> `Simulator`.
+fn type_leaf(toks: &[Spanned]) -> Option<String> {
+    let mut leaf = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Ident(s) => {
+                leaf = Some(s.to_string());
+                i += 1;
+            }
+            Tok::Punct(b'<') => i = skip_angles(toks, i),
+            Tok::Punct(_) => i += 1,
+        }
+    }
+    leaf
+}
+
+const KEYWORDS: [&str; 24] = [
+    "if", "else", "for", "while", "loop", "match", "return", "break", "continue", "let", "mut",
+    "ref", "move", "in", "as", "fn", "impl", "trait", "struct", "enum", "use", "mod", "where",
+    "dyn",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Parses one file's scrubbed text into its item tree.
+pub fn parse_file(text: &str) -> ParsedFile {
+    let starts = line_starts(text);
+    let toks = tokenize(text);
+    let mut out = ParsedFile::default();
+
+    // Stack of open braces; `Some((ty, trait))` marks an impl/trait body.
+    let mut ctx: Vec<Option<(String, Option<String>)>> = Vec::new();
+    let mut i = 0usize;
+
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Ident("impl") if item_position(&toks, i) => {
+                // Header: everything up to the body `{` (or a terminating
+                // `;` for `impl Trait for Type;` which cannot occur).
+                let mut j = i + 1;
+                if punct(&toks, j) == Some(b'<') {
+                    j = skip_angles(&toks, j);
+                }
+                let header_start = j;
+                let mut for_at = None;
+                while j < toks.len() {
+                    match toks[j].tok {
+                        Tok::Punct(b'{') => break,
+                        Tok::Punct(b'<') => {
+                            j = skip_angles(&toks, j);
+                            continue;
+                        }
+                        Tok::Ident("where") => break,
+                        Tok::Ident("for") if for_at.is_none() => for_at = Some(j),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let header_end = j;
+                // Skip a `where` clause to the body.
+                while j < toks.len() && punct(&toks, j) != Some(b'{') {
+                    j += 1;
+                }
+                let (ty, trait_name) = match for_at {
+                    Some(f) => (
+                        type_leaf(&toks[f + 1..header_end]),
+                        type_leaf(&toks[header_start..f]),
+                    ),
+                    None => (type_leaf(&toks[header_start..header_end]), None),
+                };
+                if let (Some(ty), Some(tr)) = (&ty, &trait_name) {
+                    out.trait_impls.push((tr.clone(), ty.clone()));
+                }
+                if j < toks.len() {
+                    ctx.push(Some((ty.unwrap_or_default(), trait_name)));
+                    i = j + 1; // past the `{`
+                } else {
+                    i = j;
+                }
+            }
+            Tok::Ident("trait") if item_position(&toks, i) => {
+                let name = ident(&toks, i + 1).unwrap_or("").to_string();
+                let mut j = i + 2;
+                while j < toks.len()
+                    && punct(&toks, j) != Some(b'{')
+                    && punct(&toks, j) != Some(b';')
+                {
+                    if punct(&toks, j) == Some(b'<') {
+                        j = skip_angles(&toks, j);
+                    } else {
+                        j += 1;
+                    }
+                }
+                if punct(&toks, j) == Some(b'{') {
+                    let trait_name = Some(name.clone());
+                    ctx.push(Some((name, trait_name)));
+                    i = j + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            Tok::Ident("fn") => {
+                let (item, next) = parse_fn(text, &toks, i, &starts, ctx.last());
+                if let Some(item) = item {
+                    out.fns.push(item);
+                }
+                i = next;
+            }
+            Tok::Ident("use") if item_position(&toks, i) => {
+                let (uses, next) = parse_use(&toks, i);
+                out.uses.extend(uses);
+                i = next;
+            }
+            Tok::Ident("static") => {
+                if let Some((item, next)) = parse_static(text, &toks, i, &starts) {
+                    out.statics.push(item);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Punct(b'{') => {
+                ctx.push(None);
+                i += 1;
+            }
+            Tok::Punct(b'}') => {
+                ctx.pop();
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    out.fns.sort_by_key(|f| f.line);
+    out
+}
+
+/// True when the token at `i` starts an item rather than appearing inside
+/// a type or expression (`-> impl Iterator`, `&dyn Trait`, `use` in a
+/// path). Checks the preceding significant token.
+fn item_position(toks: &[Spanned], i: usize) -> bool {
+    let Some(j) = i.checked_sub(1) else {
+        return true; // start of file
+    };
+    match toks[j].tok {
+        // After an item boundary or visibility/safety qualifiers.
+        Tok::Punct(b'{') | Tok::Punct(b'}') | Tok::Punct(b';') | Tok::Punct(b']') => true,
+        Tok::Ident("pub") | Tok::Ident("unsafe") | Tok::Ident("const") | Tok::Ident("async") => {
+            item_position(toks, j)
+        }
+        Tok::Punct(b')') => {
+            // `pub(crate)` visibility: skip the group and keep looking.
+            let mut depth = 1isize;
+            let mut k = j;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                match toks[k].tok {
+                    Tok::Punct(b')') => depth += 1,
+                    Tok::Punct(b'(') => depth -= 1,
+                    _ => {}
+                }
+            }
+            k > 0 && ident(toks, k - 1) == Some("pub") && item_position(toks, k - 1)
+        }
+        _ => false,
+    }
+}
+
+fn parse_fn(
+    text: &str,
+    toks: &[Spanned],
+    at: usize,
+    starts: &[usize],
+    ctx: Option<&Option<(String, Option<String>)>>,
+) -> (Option<FnItem>, usize) {
+    let Some(name) = ident(toks, at + 1) else {
+        // `fn` in a function-pointer type (`fn(u32) -> u32`); skip it.
+        return (None, at + 1);
+    };
+    let line = line_of(starts, toks[at].at);
+    let mut j = at + 2;
+    if punct(toks, j) == Some(b'<') {
+        j = skip_angles(toks, j);
+    }
+    if punct(toks, j) != Some(b'(') {
+        return (None, at + 1);
+    }
+    let params_end = skip_group(toks, j, b'(', b')');
+    let has_self = toks[j..params_end]
+        .iter()
+        .any(|t| t.tok == Tok::Ident("self"));
+    // Scan to the body `{` or a `;` (trait method declaration). The return
+    // type may contain braces only inside `impl Trait` bounds' generics,
+    // which `skip_angles` steps over.
+    let mut k = params_end;
+    while k < toks.len() {
+        match toks[k].tok {
+            Tok::Punct(b'{') => break,
+            Tok::Punct(b';') => {
+                return (
+                    Some(FnItem {
+                        name: name.to_string(),
+                        qual: ctx.and_then(|c| c.as_ref()).map(|(t, _)| t.clone()),
+                        trait_name: ctx.and_then(|c| c.as_ref()).and_then(|(_, tr)| tr.clone()),
+                        has_self,
+                        line,
+                        body: 0..0,
+                        calls: Vec::new(),
+                    }),
+                    k + 1,
+                );
+            }
+            Tok::Punct(b'<') => {
+                k = skip_angles(toks, k);
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= toks.len() {
+        return (None, toks.len());
+    }
+    let body_end = skip_group(toks, k, b'{', b'}');
+    let body_span = toks[k].at + 1..toks.get(body_end - 1).map_or(text.len(), |t| t.at);
+    let calls = extract_calls(&toks[k + 1..body_end.saturating_sub(1)], starts);
+    (
+        Some(FnItem {
+            name: name.to_string(),
+            qual: ctx.and_then(|c| c.as_ref()).map(|(t, _)| t.clone()),
+            trait_name: ctx.and_then(|c| c.as_ref()).and_then(|(_, tr)| tr.clone()),
+            has_self,
+            line,
+            body: body_span,
+            calls,
+        }),
+        body_end,
+    )
+}
+
+/// Call sites within a body token slice. Nested closures and items are
+/// scanned as part of the enclosing function (see module docs).
+fn extract_calls(body: &[Spanned], starts: &[usize]) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let Tok::Ident(name) = body[i].tok else {
+            i += 1;
+            continue;
+        };
+        if is_keyword(name) {
+            i += 1;
+            continue;
+        }
+        // Skip nested `fn` declarations' names.
+        if i > 0 && ident(body, i - 1) == Some("fn") {
+            i += 1;
+            continue;
+        }
+        // Macro invocation `name!(..)` is not a call.
+        let mut j = i + 1;
+        if punct(body, j) == Some(b'!') {
+            i += 1;
+            continue;
+        }
+        // Optional turbofish between name and args.
+        if punct(body, j) == Some(b':') && punct(body, j + 1) == Some(b':') {
+            if punct(body, j + 2) == Some(b'<') {
+                j = skip_angles(body, j + 2);
+            } else {
+                // Path continues (`a::b`); the leaf will be visited later.
+                i += 1;
+                continue;
+            }
+        }
+        if punct(body, j) != Some(b'(') {
+            i += 1;
+            continue;
+        }
+        // Build the path backwards: `a::b::name(` and detect `.name(`.
+        let mut path = vec![name.to_string()];
+        let mut k = i;
+        while k >= 2 && punct(body, k - 1) == Some(b':') && punct(body, k - 2) == Some(b':') {
+            // A `>::name` suffix (`<T as Trait>::name`) stops the walk.
+            let Some(seg) = ident(body, k.wrapping_sub(3)) else {
+                break;
+            };
+            if is_keyword(seg) {
+                break;
+            }
+            path.insert(0, seg.to_string());
+            k -= 3;
+        }
+        let is_method = k >= 1 && punct(body, k - 1) == Some(b'.');
+        calls.push(CallSite {
+            path,
+            is_method,
+            line: line_of(starts, body[i].at),
+        });
+        i += 1;
+    }
+    calls
+}
+
+/// Index just past the token closing the group opened at `toks[open]`,
+/// scanning forward. Public for the passes' receiver/scope scans.
+pub fn skip_group_fwd(toks: &[Spanned], open: usize, open_b: u8, close_b: u8) -> usize {
+    skip_group(toks, open, open_b, close_b)
+}
+
+/// The canonical receiver of a postfix expression ending just before
+/// `end`: for `self.pops[pop_id.raw() as usize].lock()` with `end` at the
+/// final `.`, returns `"self.pops"`. Index groups (`[..]`) and call
+/// parentheses are dropped; path separators normalize to `.`.
+pub fn canonical_receiver(toks: &[Spanned], end: usize) -> Option<String> {
+    let mut segs: Vec<&str> = Vec::new();
+    let mut i = end;
+    loop {
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+        match toks[i].tok {
+            Tok::Punct(b']') => {
+                // Skip back over the index group.
+                let mut depth = 1isize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match toks[i].tok {
+                        Tok::Punct(b']') => depth += 1,
+                        Tok::Punct(b'[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth > 0 {
+                    break;
+                }
+                // `i` is at `[`; continue with the token before it.
+                continue;
+            }
+            Tok::Punct(b')') => {
+                // Skip back over call args / a parenthesized expr.
+                let mut depth = 1isize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match toks[i].tok {
+                        Tok::Punct(b')') => depth += 1,
+                        Tok::Punct(b'(') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth > 0 {
+                    break;
+                }
+                continue;
+            }
+            Tok::Ident(s) => {
+                if is_keyword(s) && s != "self" {
+                    break;
+                }
+                segs.push(s);
+                // Continue only through `.` or `::` connectors.
+                if i >= 1 {
+                    match toks[i - 1].tok {
+                        Tok::Punct(b'.') => {
+                            i -= 1;
+                            continue;
+                        }
+                        Tok::Punct(b':') if i >= 2 && punct(toks, i - 2) == Some(b':') => {
+                            i -= 1;
+                            continue;
+                        }
+                        _ => break,
+                    }
+                }
+                break;
+            }
+            Tok::Punct(b'.') | Tok::Punct(b':') => continue,
+            _ => break,
+        }
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    segs.reverse();
+    Some(segs.join("."))
+}
+
+fn parse_use(toks: &[Spanned], at: usize) -> (Vec<UseItem>, usize) {
+    // Collect tokens to the terminating `;`.
+    let mut j = at + 1;
+    let mut prefix: Vec<String> = Vec::new();
+    let mut items = Vec::new();
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct(b';') => {
+                j += 1;
+                break;
+            }
+            Tok::Punct(b'{') => {
+                // Grouped leaves: one entry each; nested groups flattened
+                // with their sub-path appended.
+                let end = skip_group(toks, j, b'{', b'}');
+                let mut sub: Vec<String> = Vec::new();
+                for t in &toks[j + 1..end.saturating_sub(1)] {
+                    match t.tok {
+                        Tok::Ident(s) if s != "self" => sub.push(s.to_string()),
+                        Tok::Punct(b',') => {
+                            flush_use(&prefix, &mut sub, &mut items);
+                        }
+                        _ => {}
+                    }
+                }
+                flush_use(&prefix, &mut sub, &mut items);
+                j = end;
+            }
+            Tok::Ident("as") => {
+                // Alias: `use a::b as c;` — leaf becomes the alias.
+                if let Some(alias) = ident(toks, j + 1) {
+                    let mut path = prefix.clone();
+                    path.push(alias.to_string());
+                    items.push(UseItem {
+                        leaf: alias.to_string(),
+                        path,
+                    });
+                    prefix.clear();
+                }
+                j += 2;
+            }
+            Tok::Ident(s) => {
+                prefix.push(s.to_string());
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    if let Some(leaf) = prefix.last().cloned() {
+        items.push(UseItem { leaf, path: prefix });
+    }
+    (items, j)
+}
+
+fn flush_use(prefix: &[String], sub: &mut Vec<String>, items: &mut Vec<UseItem>) {
+    if let Some(leaf) = sub.last().cloned() {
+        let mut path = prefix.to_vec();
+        path.append(sub);
+        items.push(UseItem { leaf, path });
+    }
+    sub.clear();
+}
+
+fn parse_static(
+    text: &str,
+    toks: &[Spanned],
+    at: usize,
+    starts: &[usize],
+) -> Option<(StaticItem, usize)> {
+    let mut j = at + 1;
+    let is_mut = ident(toks, j) == Some("mut");
+    if is_mut {
+        j += 1;
+    }
+    let name = ident(toks, j)?;
+    if punct(toks, j + 1) != Some(b':') {
+        return None;
+    }
+    // Type text runs to the `=` (or `;` for extern statics).
+    let ty_start = toks.get(j + 2)?.at;
+    let mut k = j + 2;
+    while k < toks.len() {
+        match toks[k].tok {
+            Tok::Punct(b'=') | Tok::Punct(b';') => break,
+            Tok::Punct(b'<') => {
+                k = skip_angles(toks, k);
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let ty_end = toks.get(k).map_or(text.len(), |t| t.at);
+    let ty: String = text[ty_start..ty_end].split_whitespace().collect();
+    Some((
+        StaticItem {
+            name: name.to_string(),
+            is_mut,
+            ty,
+            line: line_of(starts, toks[at].at),
+        },
+        k,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&scrub(src).text)
+    }
+
+    #[test]
+    fn free_fn_and_calls() {
+        let p = parse("fn a() { b(); c::d(); x.e(); }\nfn b() {}\n");
+        assert_eq!(p.fns.len(), 2);
+        let a = &p.fns[0];
+        assert_eq!(a.name, "a");
+        assert!(a.qual.is_none());
+        assert!(!a.has_self);
+        let paths: Vec<String> = a.calls.iter().map(|c| c.path.join("::")).collect();
+        assert_eq!(paths, vec!["b", "c::d", "e"]);
+        assert!(a.calls[2].is_method);
+        assert!(!a.calls[1].is_method);
+    }
+
+    #[test]
+    fn impl_methods_carry_qual_and_trait() {
+        let src = "impl Analyzer for SizeAnalyzer {\n    fn observe(&mut self, r: &LogRecord) { self.note(r); }\n}\nimpl SizeAnalyzer {\n    fn note(&mut self, r: &LogRecord) {}\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].qual.as_deref(), Some("SizeAnalyzer"));
+        assert_eq!(p.fns[0].trait_name.as_deref(), Some("Analyzer"));
+        assert!(p.fns[0].has_self);
+        assert_eq!(p.fns[1].qual.as_deref(), Some("SizeAnalyzer"));
+        assert!(p.fns[1].trait_name.is_none());
+        assert_eq!(
+            p.trait_impls,
+            vec![("Analyzer".into(), "SizeAnalyzer".into())]
+        );
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_leaf_types() {
+        let p = parse("impl<'a, T: Clone> Iterator for Cursor<'a, T> { fn next(&mut self) -> Option<T> { None } }");
+        assert_eq!(p.trait_impls, vec![("Iterator".into(), "Cursor".into())]);
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_an_item() {
+        let p = parse("fn make() -> impl Iterator<Item = u32> { (0..3).filter(|x| x > 0) }");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "make");
+        assert!(p.fns[0].qual.is_none());
+    }
+
+    #[test]
+    fn trait_default_methods_are_fns() {
+        let src = "trait Analyzer {\n    fn observe(&mut self);\n    fn observe_batch(&mut self) { self.observe(); }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[1].name, "observe_batch");
+        assert_eq!(p.fns[1].trait_name.as_deref(), Some("Analyzer"));
+        assert_eq!(p.fns[1].calls.len(), 1);
+        assert!(p.fns[0].body.is_empty(), "declaration has no body");
+    }
+
+    #[test]
+    fn statics_mut_and_types() {
+        let src = "static mut COUNTER: u64 = 0;\nstatic TABLE: [u8; 4] = [0; 4];\nstatic CELL: RefCell<u32> = RefCell::new(0);\n";
+        let p = parse(src);
+        assert_eq!(p.statics.len(), 3);
+        assert!(p.statics[0].is_mut);
+        assert_eq!(p.statics[0].name, "COUNTER");
+        assert!(!p.statics[1].is_mut);
+        assert_eq!(p.statics[2].ty, "RefCell<u32>");
+        assert_eq!(p.statics[2].line, 3);
+    }
+
+    #[test]
+    fn use_items_map_leaves() {
+        let src = "use std::collections::HashMap;\nuse oat_workload::{generate, merge::merge_runs};\nuse a::b as c;\n";
+        let p = parse(src);
+        let mut pairs: Vec<(String, String)> = p
+            .uses
+            .iter()
+            .map(|u| (u.leaf.clone(), u.path.join("::")))
+            .collect();
+        pairs.sort();
+        assert!(pairs.contains(&("HashMap".into(), "std::collections::HashMap".into())));
+        assert!(pairs.contains(&("generate".into(), "oat_workload::generate".into())));
+        assert!(pairs.contains(&(
+            "merge_runs".into(),
+            "oat_workload::merge::merge_runs".into()
+        )));
+        assert!(pairs.contains(&("c".into(), "a::b::c".into())));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let p = parse("fn a() { format!(\"x\"); if b() { vec![1] } else { c() }; }");
+        let paths: Vec<String> = p.fns[0].calls.iter().map(|c| c.path.join("::")).collect();
+        assert_eq!(paths, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn turbofish_calls_resolve() {
+        let p = parse("fn a() { parse::<u32>(s); xs.iter().collect::<Vec<_>>(); }");
+        let paths: Vec<String> = p.fns[0].calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(paths.contains(&"parse".to_string()));
+        assert!(paths.contains(&"collect".to_string()));
+        assert!(paths.contains(&"iter".to_string()));
+    }
+
+    #[test]
+    fn nested_fn_calls_attributed_to_outer() {
+        let p = parse("fn outer() { fn inner() { tainted(); } inner(); }");
+        assert_eq!(p.fns.len(), 1, "nested fns are opaque");
+        let paths: Vec<String> = p.fns[0].calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(paths.contains(&"tainted".to_string()));
+        assert!(paths.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn where_clauses_and_lifetimes_do_not_confuse() {
+        let src = "impl<T> Sweep<T> where T: Clone {\n    pub fn run<'a>(&'a self, xs: &[T]) -> usize { helper(xs) }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].qual.as_deref(), Some("Sweep"));
+        assert_eq!(p.fns[0].calls.len(), 1);
+    }
+}

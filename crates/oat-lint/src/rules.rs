@@ -23,15 +23,30 @@ pub enum Rule {
     /// `unsafe` outside the audited allowlist (the columnar codec's
     /// mmap/zero-copy module).
     UnsafeConfinement,
+    /// A function on a protected output path (analyzers, replay, codec,
+    /// report) transitively calls into nondeterminism (call-graph pass).
+    DeterminismTaint,
+    /// Unbounded growth of `self` state inside streaming hot paths
+    /// (call-graph pass).
+    BoundedMemory,
+    /// Lock-acquisition-order cycles and guards held across `.await`
+    /// (call-graph pass).
+    LockOrder,
+    /// `static mut` or interior-mutable statics outside the allowlist.
+    StaticMut,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 9] = [
         Rule::Determinism,
         Rule::OrderedOutput,
         Rule::PanicFreedom,
         Rule::FloatOrdering,
         Rule::UnsafeConfinement,
+        Rule::DeterminismTaint,
+        Rule::BoundedMemory,
+        Rule::LockOrder,
+        Rule::StaticMut,
     ];
 
     pub fn name(self) -> &'static str {
@@ -41,6 +56,10 @@ impl Rule {
             Rule::PanicFreedom => "panic-freedom",
             Rule::FloatOrdering => "float-ordering",
             Rule::UnsafeConfinement => "unsafe-confinement",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::BoundedMemory => "bounded-memory",
+            Rule::LockOrder => "lock-order",
+            Rule::StaticMut => "static-mut",
         }
     }
 

@@ -1,0 +1,111 @@
+//! SARIF 2.1.0 output, hand-rolled (no serde in this crate).
+//!
+//! One run, one result per finding. `level` is decided by the caller
+//! (severity policy lives in `main`): `error`, `warning`, or `note` for
+//! budgeted occurrences inside their ratchet.
+
+use crate::rules::{Finding, Rule};
+
+const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn rule_help(rule: Rule) -> &'static str {
+    match rule {
+        Rule::Determinism => "No unseeded entropy or wall-clock reads in library code.",
+        Rule::OrderedOutput => "No HashMap/HashSet in report/serialization modules.",
+        Rule::PanicFreedom => "No unwrap/expect/panic!/literal indexing in pipeline library code.",
+        Rule::FloatOrdering => "No partial_cmp(..).unwrap() on float sort keys.",
+        Rule::UnsafeConfinement => "No `unsafe` outside the audited columnar codec.",
+        Rule::DeterminismTaint => {
+            "Protected output paths must not transitively reach nondeterminism."
+        }
+        Rule::BoundedMemory => "Streaming hot paths must not grow per-record state unbounded.",
+        Rule::LockOrder => "No lock-acquisition cycles or guards held across .await.",
+        Rule::StaticMut => "No static mut or interior-mutable statics outside the allowlist.",
+    }
+}
+
+/// Renders `(finding, level)` pairs as a complete SARIF log.
+pub fn render(entries: &[(&Finding, &'static str)]) -> String {
+    let mut out = String::with_capacity(4096 + entries.len() * 256);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"$schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"oat-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            rule.name(),
+            esc(rule_help(*rule)),
+            if i + 1 < Rule::ALL.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, (f, level)) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
+             \"startColumn\": {}}}}}}}]}}{}\n",
+            f.rule.name(),
+            esc(&f.message),
+            esc(&f.path.display().to_string()),
+            f.line,
+            f.column,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn renders_escaped_results() {
+        let f = Finding {
+            rule: Rule::Determinism,
+            path: PathBuf::from("crates/core/src/lib.rs"),
+            line: 12,
+            column: 3,
+            message: "uses `thread_rng`\nbreaks \"replay\"".to_string(),
+        };
+        let sarif = render(&[(&f, "error")]);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"determinism\""));
+        assert!(sarif.contains("\\nbreaks \\\"replay\\\""));
+        assert!(sarif.contains("\"startLine\": 12"));
+        // Every rule id is declared in the driver metadata.
+        for rule in Rule::ALL {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.name())));
+        }
+    }
+
+    #[test]
+    fn empty_run_is_well_formed() {
+        let sarif = render(&[]);
+        assert!(sarif.contains("\"results\": [\n      ]"));
+    }
+}

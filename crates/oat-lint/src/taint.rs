@@ -1,0 +1,435 @@
+//! Determinism-taint pass.
+//!
+//! Seeds taint at nondeterminism *sources* — the token-level determinism
+//! needles (`thread_rng`, `from_entropy`, `SystemTime::now`,
+//! `Instant::now`, nullary `random()`) plus unordered `HashMap`/`HashSet`
+//! iteration — and propagates it transitively through the call graph. A
+//! finding fires at the *frontier*: the last edge of a chain from a
+//! protected entry point (`Analyzer::observe`/`observe_batch`,
+//! `Simulator::replay*`, `Sweep`, codec and report/export paths) to a
+//! source — the call site invoking the function that contains the seed.
+//!
+//! Waiver semantics (documented in DESIGN.md):
+//! * `// oat-lint: allow(determinism)` on a source line waives the
+//!   token-level error only — the justification is local, so the source
+//!   still taints callers on protected paths.
+//! * `// oat-lint: allow(determinism-taint)` on the source line stops
+//!   seeding (asserts the value cannot reach emitted bytes); on a
+//!   frontier call site it waives that one crossing.
+
+use crate::engine::FileCtx;
+use crate::graph::CallGraph;
+use crate::lexer::{line_of, line_starts};
+use crate::parser::{tokenize, Spanned, Tok};
+use crate::rules::{determinism_hits, Finding, Rule};
+
+/// Selects the protected entry points of the workspace.
+#[derive(Debug, Clone)]
+pub struct TaintConfig {
+    /// (trait name, method names): methods of `impl Trait for T` blocks.
+    pub trait_methods: Vec<(String, Vec<String>)>,
+    /// (impl type, method-name prefix): `("Simulator", "replay")` marks
+    /// every `Simulator::replay*`; an empty prefix marks every method.
+    pub type_method_prefixes: Vec<(String, String)>,
+    /// Every fn defined in a file whose path contains one of these.
+    pub protected_path_contains: Vec<String>,
+}
+
+/// One taint seed: a nondeterminism source inside a function body.
+struct Seed {
+    node: usize,
+    line: usize,
+    what: String,
+}
+
+pub fn run(graph: &CallGraph, files: &[FileCtx], config: &TaintConfig) -> Vec<Finding> {
+    let ctx_of = |rel: &str| files.iter().find(|f| f.rel == rel);
+
+    // --- Seeds -----------------------------------------------------------
+    let mut seeds: Vec<Seed> = Vec::new();
+    for f in files {
+        let starts = line_starts(&f.text);
+        // Token-level sources, attributed to the enclosing fn by line.
+        for hit in determinism_hits(&f.text) {
+            if f.is_test.get(hit.line).copied().unwrap_or(false) {
+                continue;
+            }
+            // `allow(determinism)` is deliberately NOT honoured here: it
+            // justifies the read locally but the value still taints
+            // protected callers. Only `allow(determinism-taint)` on the
+            // source asserts the value cannot reach emitted bytes.
+            if f.allows(Rule::DeterminismTaint, hit.line) {
+                continue;
+            }
+            if let Some(node) = node_at(graph, f, &starts, hit.line) {
+                seeds.push(Seed {
+                    node,
+                    line: hit.line,
+                    what: source_name(&hit.message),
+                });
+            }
+        }
+        // Unordered-iteration sources.
+        for (line, recv) in unordered_iteration_sites(&f.text) {
+            if f.is_test.get(line).copied().unwrap_or(false) {
+                continue;
+            }
+            if f.allows(Rule::DeterminismTaint, line) {
+                continue;
+            }
+            if let Some(node) = node_at(graph, f, &starts, line) {
+                seeds.push(Seed {
+                    node,
+                    line,
+                    what: format!("unordered iteration over `{recv}`"),
+                });
+            }
+        }
+    }
+
+    // --- Protected set ---------------------------------------------------
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| is_entry(graph, i, config))
+        .collect();
+    let protected = graph.reachable_from(entries.iter().copied());
+
+    // A witness entry per protected node (multi-source BFS, deterministic
+    // by entry order), for actionable messages.
+    let witness = {
+        let mut w: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &e in &entries {
+            if w[e].is_none() && !graph.nodes[e].is_test {
+                w[e] = Some(e);
+                queue.push_back(e);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &(c, _) in &graph.callees[n] {
+                if w[c].is_none() && !graph.nodes[c].is_test {
+                    w[c] = w[n];
+                    queue.push_back(c);
+                }
+            }
+        }
+        w
+    };
+
+    // --- Frontier findings ------------------------------------------------
+    // Because `protected` is a forward closure, every function on a chain
+    // from an entry to a seed is itself protected; the meaningful frontier
+    // is therefore the *last* edge of the chain — a protected caller
+    // invoking the function that contains the seed. Waiving that call site
+    // (`allow(determinism-taint)`) waives the crossing only.
+    let mut findings = Vec::new();
+
+    // Seeds sitting directly inside protected code: the token-level
+    // determinism rule already errors on wall-clock/entropy reads, so only
+    // the unordered-iteration seeds (invisible to it) are reported here.
+    for seed in &seeds {
+        if !protected[seed.node] || !seed.what.starts_with("unordered") {
+            continue;
+        }
+        let n = &graph.nodes[seed.node];
+        findings.push(Finding {
+            rule: Rule::DeterminismTaint,
+            path: n.file.clone().into(),
+            line: seed.line,
+            column: 1,
+            message: format!(
+                "{} inside `{}`, which is reachable from a protected entry point; \
+                 sort before iterating or waive with `// oat-lint: allow(determinism-taint)`",
+                seed.what,
+                n.display()
+            ),
+        });
+    }
+
+    // Seeds grouped by containing node.
+    let mut seeds_at: std::collections::BTreeMap<usize, Vec<&Seed>> =
+        std::collections::BTreeMap::new();
+    for s in &seeds {
+        seeds_at.entry(s.node).or_default().push(s);
+    }
+
+    for e in &graph.edges {
+        if !protected[e.from] {
+            continue;
+        }
+        let Some(node_seeds) = seeds_at.get(&e.to) else {
+            continue;
+        };
+        let caller = &graph.nodes[e.from];
+        let callee = &graph.nodes[e.to];
+        if caller.is_test || callee.is_test {
+            continue;
+        }
+        let Some(f) = ctx_of(&caller.file) else {
+            continue;
+        };
+        if f.allows(Rule::DeterminismTaint, e.line) {
+            continue;
+        }
+        let via = witness[e.from]
+            .map(|w| graph.nodes[w].display())
+            .unwrap_or_else(|| "a protected entry point".to_string());
+        let seed = node_seeds[0];
+        findings.push(Finding {
+            rule: Rule::DeterminismTaint,
+            path: caller.file.clone().into(),
+            line: e.line,
+            column: 1,
+            message: format!(
+                "`{}` (reachable from protected entry `{via}`) calls `{}`, which contains {} \
+                 ({}:{}); make the callee deterministic or waive this call site with \
+                 `// oat-lint: allow(determinism-taint)`",
+                caller.display(),
+                callee.display(),
+                seed.what,
+                graph.nodes[seed.node].file,
+                seed.line,
+            ),
+        });
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    findings
+}
+
+fn is_entry(graph: &CallGraph, i: usize, config: &TaintConfig) -> bool {
+    let n = &graph.nodes[i];
+    if n.is_test {
+        return false;
+    }
+    for (tr, methods) in &config.trait_methods {
+        if n.trait_name.as_deref() == Some(tr) && methods.iter().any(|m| m == &n.name) {
+            return true;
+        }
+    }
+    for (ty, prefix) in &config.type_method_prefixes {
+        if n.qual.as_deref() == Some(ty) && n.name.starts_with(prefix.as_str()) {
+            return true;
+        }
+    }
+    config
+        .protected_path_contains
+        .iter()
+        .any(|p| n.file.contains(p))
+}
+
+/// The graph node whose body spans `line` in file `f` (innermost wins:
+/// with opaque nested items there is exactly one).
+fn node_at(graph: &CallGraph, f: &FileCtx, starts: &[usize], line: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if n.file != f.rel || n.body.is_empty() {
+            continue;
+        }
+        let lo = line_of(starts, n.body.start);
+        let hi = line_of(starts, n.body.end.min(f.text.len().saturating_sub(1)));
+        if line >= lo && line <= hi {
+            best = match best {
+                Some(b) if graph.nodes[b].body.len() <= n.body.len() => Some(b),
+                _ => Some(i),
+            };
+        }
+    }
+    best
+}
+
+fn source_name(message: &str) -> String {
+    // The determinism rule's messages lead with the backticked source.
+    match message.split('`').nth(1) {
+        Some(src) => format!("`{src}`"),
+        None => "a nondeterminism source".to_string(),
+    }
+}
+
+/// (line, receiver) pairs where an iteration method is called on a name
+/// declared with a `HashMap`/`HashSet` type somewhere in this file, or a
+/// `for` loop iterates one directly. Name-based: a local shadowing a hash
+/// field with an ordered type is a documented false-positive class.
+pub fn unordered_iteration_sites(text: &str) -> Vec<(usize, String)> {
+    const ITER_METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "into_iter",
+        "into_keys",
+        "into_values",
+        "retain",
+    ];
+    let toks = tokenize(text);
+    let starts = line_starts(text);
+    let hash_names = hash_typed_names(&toks);
+    if hash_names.is_empty() {
+        return Vec::new();
+    }
+    let mut sites = Vec::new();
+
+    for i in 0..toks.len() {
+        // `.method(` on a hash-typed receiver.
+        if let Tok::Ident(name) = toks[i].tok {
+            let dotted = i > 0 && matches!(toks[i - 1].tok, Tok::Punct(b'.'));
+            let called = matches!(toks.get(i + 1).map(|t| t.tok), Some(Tok::Punct(b'(')));
+            if dotted && called && ITER_METHODS.contains(&name) {
+                if let Some(recv) = crate::parser::canonical_receiver(&toks, i - 1) {
+                    if hash_names.contains(&last_segment(&recv).to_string()) {
+                        sites.push((line_of(&starts, toks[i].at), recv));
+                    }
+                }
+            }
+            // `for x in [&]recv {` over a hash-typed name.
+            if name == "in" && i > 0 {
+                // Walk forward over `&`/`mut` and a simple path expression.
+                let mut j = i + 1;
+                while matches!(
+                    toks.get(j).map(|t| t.tok),
+                    Some(Tok::Punct(b'&')) | Some(Tok::Ident("mut"))
+                ) {
+                    j += 1;
+                }
+                let expr_start = j;
+                let mut last_ident_end = None;
+                while j < toks.len() {
+                    match toks[j].tok {
+                        Tok::Ident(_) => {
+                            last_ident_end = Some(j);
+                            j += 1;
+                        }
+                        Tok::Punct(b'.') | Tok::Punct(b':') => j += 1,
+                        Tok::Punct(b'[') => j = crate::parser::skip_group_fwd(&toks, j, b'[', b']'),
+                        _ => break,
+                    }
+                }
+                // Only a *bare* path directly followed by the loop body:
+                // method chains were handled above.
+                if matches!(toks.get(j).map(|t| t.tok), Some(Tok::Punct(b'{'))) {
+                    if let Some(endi) = last_ident_end {
+                        if let Some(recv) = crate::parser::canonical_receiver(&toks, endi + 1) {
+                            if hash_names.contains(&last_segment(&recv).to_string())
+                                && toks[expr_start].at <= toks[endi].at
+                            {
+                                sites.push((line_of(&starts, toks[endi].at), recv));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sites.sort();
+    sites.dedup();
+    sites
+}
+
+fn last_segment(recv: &str) -> &str {
+    recv.rsplit('.').next().unwrap_or(recv)
+}
+
+/// Names declared with a type mentioning `HashMap`/`HashSet` in this file
+/// (struct fields, lets, params): `counts: Vec<HashMap<K, V>>` records
+/// `counts`.
+fn hash_typed_names(toks: &[Spanned]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `name :` not followed by another `:` (that would be a path).
+        let is_decl = matches!(toks[i].tok, Tok::Ident(_))
+            && matches!(toks.get(i + 1).map(|t| t.tok), Some(Tok::Punct(b':')))
+            && !matches!(toks.get(i + 2).map(|t| t.tok), Some(Tok::Punct(b':')))
+            && !matches!(
+                toks.get(i.wrapping_sub(1)).map(|t| t.tok),
+                Some(Tok::Punct(b':'))
+            );
+        if !is_decl {
+            i += 1;
+            continue;
+        }
+        let Tok::Ident(name) = toks[i].tok else {
+            unreachable!()
+        };
+        // Type text runs to `,` `;` `=` `)` `{` `>` at angle/paren depth 0.
+        let mut j = i + 2;
+        let mut angle = 0isize;
+        let mut paren = 0isize;
+        let mut has_hash = false;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Ident("HashMap") | Tok::Ident("HashSet") => has_hash = true,
+                Tok::Punct(b'<') => angle += 1,
+                Tok::Punct(b'>') => {
+                    if angle == 0 {
+                        break;
+                    }
+                    angle -= 1;
+                }
+                Tok::Punct(b'(') | Tok::Punct(b'[') => paren += 1,
+                Tok::Punct(b')') | Tok::Punct(b']') => {
+                    if paren == 0 {
+                        break;
+                    }
+                    paren -= 1;
+                }
+                Tok::Punct(b',')
+                | Tok::Punct(b';')
+                | Tok::Punct(b'=')
+                | Tok::Punct(b'{')
+                | Tok::Punct(b'}')
+                    if angle == 0 && paren == 0 =>
+                {
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if has_hash {
+            names.push(name.to_string());
+        }
+        i += 1;
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_typed_names_found() {
+        let src = "struct A { counts: Vec<HashMap<u32, u64>>, tidy: BTreeMap<u32, u64> }\nfn f(m: &HashSet<u32>) { let x: HashMap<u8, u8> = HashMap::new(); }";
+        let names = hash_typed_names(&tokenize(src));
+        assert_eq!(names, vec!["counts", "m", "x"]);
+    }
+
+    #[test]
+    fn iteration_sites_on_hash_names_only() {
+        let src = "struct A { counts: HashMap<u32, u64>, tidy: BTreeMap<u32, u64> }\nimpl A {\n  fn f(&self) {\n    for k in self.counts.keys() {}\n    for v in &self.tidy {}\n    self.tidy.iter();\n  }\n}\n";
+        let sites = unordered_iteration_sites(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].0, 4);
+        assert_eq!(sites[0].1, "self.counts");
+    }
+
+    #[test]
+    fn for_loop_over_hash_field() {
+        let src = "struct A { seen: HashSet<u32> }\nimpl A {\n  fn f(&self) {\n    for k in &self.seen {\n    }\n  }\n}\n";
+        let sites = unordered_iteration_sites(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].0, 4);
+    }
+
+    #[test]
+    fn indexed_hash_fields_canonicalize() {
+        let src = "struct A { per: Vec<HashMap<u32, u64>> }\nimpl A {\n  fn f(&self, i: usize) {\n    self.per[i].values();\n  }\n}\n";
+        let sites = unordered_iteration_sites(src);
+        assert_eq!(sites, vec![(4, "self.per".to_string())]);
+    }
+}

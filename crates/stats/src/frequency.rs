@@ -105,6 +105,7 @@ impl<T: Eq + Hash> FrequencyTable<T> {
 
     /// Merges another table into this one.
     pub fn merge(&mut self, other: FrequencyTable<T>) {
+        // oat-lint: allow(determinism-taint) -- per-key addition commutes, state is order-independent
         for (item, count) in other.counts {
             self.add_weighted(item, count);
         }

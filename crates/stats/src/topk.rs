@@ -30,12 +30,17 @@ pub struct SpaceSaving<T> {
     capacity: usize,
     counters: HashMap<T, Counter>,
     observed: u64,
+    /// Monotonic insertion sequence; tie-breaks eviction and reporting so
+    /// results never depend on `HashMap` iteration order.
+    next_seq: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Counter {
     count: u64,
     error: u64,
+    /// Insertion order, for deterministic tie-breaking.
+    seq: u64,
 }
 
 /// One entry reported by [`SpaceSaving::top`].
@@ -61,6 +66,7 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
             capacity,
             counters: HashMap::with_capacity(capacity),
             observed: 0,
+            next_seq: 0,
         }
     }
 
@@ -80,28 +86,37 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
             return;
         }
         if self.counters.len() < self.capacity {
+            let seq = self.next_seq;
+            self.next_seq += 1;
             self.counters.insert(
                 item,
                 Counter {
                     count: weight,
                     error: 0,
+                    seq,
                 },
             );
             return;
         }
-        // Evict the minimum counter and inherit its count as error.
+        // Evict the minimum counter and inherit its count as error. The
+        // `(count, seq)` key is unique, so the minimum — and therefore the
+        // sketch state — is independent of `HashMap` iteration order.
         let (min_item, min_count) = self
             .counters
+            // oat-lint: allow(determinism-taint) -- min over the unique (count, seq) key
             .iter()
-            .min_by_key(|(_, c)| c.count)
+            .min_by_key(|(_, c)| (c.count, c.seq))
             .map(|(k, c)| (k.clone(), c.count))
             .expect("capacity > 0 implies at least one counter");
         self.counters.remove(&min_item);
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.counters.insert(
             item,
             Counter {
                 count: min_count + weight,
                 error: min_count,
+                seq,
             },
         );
     }
@@ -118,18 +133,26 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
 
     /// The `n` highest-count items, sorted by descending estimated count.
     pub fn top(&self, n: usize) -> Vec<HeavyHitter<T>> {
-        let mut all: Vec<HeavyHitter<T>> = self
+        let mut all: Vec<(u64, HeavyHitter<T>)> = self
             .counters
+            // oat-lint: allow(determinism-taint) -- sorted by the unique (count, seq) key below
             .iter()
-            .map(|(item, c)| HeavyHitter {
-                item: item.clone(),
-                count: c.count,
-                error: c.error,
+            .map(|(item, c)| {
+                (
+                    c.seq,
+                    HeavyHitter {
+                        item: item.clone(),
+                        count: c.count,
+                        error: c.error,
+                    },
+                )
             })
             .collect();
-        all.sort_by_key(|hh| std::cmp::Reverse(hh.count));
+        // Descending count, ties broken by insertion order: the reported
+        // ranking is a pure function of the observation sequence.
+        all.sort_by_key(|(seq, hh)| (std::cmp::Reverse(hh.count), *seq));
         all.truncate(n);
-        all
+        all.into_iter().map(|(_, hh)| hh).collect()
     }
 
     /// Estimated count for `item`, if tracked.

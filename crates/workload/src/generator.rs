@@ -486,6 +486,26 @@ impl ColumnarTrace {
     pub fn reader(&self) -> Result<ColumnarDirReader<Request>, HttplogError> {
         ColumnarDirReader::open(&self.dir, &self.prefix)
     }
+
+    /// Rebuilds the per-site catalogs and user populations from `config`.
+    ///
+    /// [`crate::generate_columnar_parallel`] returns these tables empty so
+    /// they never stack under the merge-phase buffers. Site-table
+    /// derivation is a pure function of the config (it never touches the
+    /// request RNG streams), so callers that need the generative ground
+    /// truth alongside the spool — per-figure analyzers, validation
+    /// harnesses — can recreate the exact tables the run was generated
+    /// from. A no-op on traces whose tables are already present (the
+    /// serial path's). Runs one thread per site; seconds even at paper
+    /// scale.
+    pub fn rebuild_site_tables(&mut self) {
+        if !self.catalogs.is_empty() {
+            return;
+        }
+        let (catalogs, populations) = build_sites(&self.config);
+        self.catalogs = Arc::new(catalogs);
+        self.populations = Arc::new(populations);
+    }
 }
 
 /// Error from [`generate_columnar`]: either the config was invalid or the

@@ -683,8 +683,9 @@ fn write_output_block(
 /// [`ColumnarTrace::catalogs`] and [`ColumnarTrace::populations`] are
 /// **empty**: the site tables grow with `scale` (the user populations
 /// dominate generation RSS at large scale) and are dropped as soon as run
-/// generation finishes, before any merge buffer is allocated. Rebuild them
-/// from the `config` if ground-truth tables are needed alongside the spool.
+/// generation finishes, before any merge buffer is allocated. Call
+/// [`ColumnarTrace::rebuild_site_tables`] if ground-truth tables are needed
+/// alongside the spool.
 ///
 /// # Errors
 ///
@@ -897,6 +898,64 @@ mod tests {
             },
             2000,
         );
+    }
+
+    #[test]
+    fn returned_trace_has_empty_site_tables() {
+        // Documented contract: unlike the serial path, the parallel path
+        // drops catalogs/populations before merging and returns them empty.
+        // A regression here (returning rebuilt tables) would silently undo
+        // the peak-RSS guarantee at large `scale`.
+        let dir = temp_dir("empty-tables");
+        let config = tiny_config();
+        let mut trace = generate_columnar_parallel(
+            &config,
+            &ParGenOptions {
+                threads: 2,
+                shard_size: 64,
+                run_rows: 1024,
+                merge_fanin: 0,
+            },
+            &dir,
+            "req",
+            2000,
+        )
+        .expect("parallel generation");
+        assert!(trace.rows > 0, "tiny config still generates records");
+        assert!(trace.shards > 0);
+        assert!(
+            trace.catalogs.is_empty(),
+            "parallel path must not return catalogs"
+        );
+        assert!(
+            trace.populations.is_empty(),
+            "parallel path must not return populations"
+        );
+
+        // The documented escape hatch: rebuilding recreates exactly the
+        // tables the serial path returns for the same config.
+        trace.rebuild_site_tables();
+        let serial_dir = temp_dir("empty-tables-serial");
+        let serial = generate_columnar(
+            &config,
+            &GenOptions {
+                threads: 1,
+                shard_size: 64,
+            },
+            0,
+            &serial_dir,
+            "req",
+            2000,
+        )
+        .expect("serial generation");
+        assert_eq!(trace.catalogs.len(), serial.catalogs.len());
+        for (rebuilt, original) in trace.catalogs.iter().zip(serial.catalogs.iter()) {
+            assert_eq!(rebuilt.publisher(), original.publisher());
+            assert_eq!(rebuilt.objects(), original.objects());
+        }
+        assert_eq!(*trace.populations, *serial.populations);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&serial_dir);
     }
 
     #[test]
