@@ -13,10 +13,14 @@
 //! Each section prints the paper's reported shape next to the measured
 //! values so the comparison that feeds `EXPERIMENTS.md` is mechanical.
 //!
-//! Exit codes: `0` success; `1` export failure; `2` usage error; `130`
-//! interrupted (Ctrl-C — the report produced so far is flushed first);
-//! killed by `SIGPIPE` when stdout's reader goes away (e.g. `repro | head`),
-//! as is conventional for pipeline tools.
+//! Exit codes (documented in README.md "Exit codes"): `0` success; `1`
+//! export/bench failure; `2` usage error; `3` peak RSS exceeded
+//! `--max-rss-mb`; `4` out of disk space (ENOSPC — a partial spool
+//! manifest is flushed so `--resume` can pick up after space is freed);
+//! `5` corrupt or mismatched spool state (manifest/checkpoint fails
+//! verification); `130` interrupted (Ctrl-C — the report produced so far
+//! is flushed first); killed by `SIGPIPE` when stdout's reader goes away
+//! (e.g. `repro | head`), as is conventional for pipeline tools.
 
 use oat_cdnsim::cache::{CachePolicy, LruCache, SlruCache, TieredCache};
 use oat_cdnsim::{
@@ -110,6 +114,7 @@ struct Options {
     serial_gen_child: Option<std::path::PathBuf>,
     days: Option<u64>,
     multi_day: bool,
+    resume: bool,
 }
 
 impl Default for Options {
@@ -138,6 +143,7 @@ impl Default for Options {
             serial_gen_child: None,
             days: None,
             multi_day: false,
+            resume: false,
         }
     }
 }
@@ -223,6 +229,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.rows_per_shard = v.parse().map_err(|_| format!("bad rows-per-shard {v:?}"))?;
             }
             "--gen-serial" => opts.gen_serial = true,
+            "--resume" => opts.resume = true,
             // Internal: re-exec target for --gen-serial. The serial path
             // holds whole in-memory runs, so it runs in a child process to
             // keep its peak RSS out of the parent's --max-rss-mb gate.
@@ -258,7 +265,7 @@ fn parse_args() -> Result<Options, String> {
                      [--scale S] [--catalog-scale S] [--seed N] [--capacity BYTES] \
                      [--csv-dir DIR] [--threads N] [--sweep-threads N] [--stream] [--shard-size N] \
                      [--columnar DIR] [--max-rss-mb N] [--gen-threads N] [--rows-per-shard N] \
-                     [--gen-serial] [--days N] [--multi-day] \
+                     [--gen-serial] [--days N] [--multi-day] [--resume] \
                      [--faults PLAN.toml] [--fault-seed N]\n\
                      bench scale: out-of-core throughput benchmark — generates a columnar \
                      request spool through the parallel direct-to-columnar engine, replays + \
@@ -289,13 +296,18 @@ fn parse_args() -> Result<Options, String> {
                      --days: override the trace duration to N days (default 7)\n\
                      --multi-day: shape session starts with the corpus multi-day model \
                      (weekend factor, per-day diurnal phase/amplitude drift)\n\
+                     --resume: continue an interrupted bench-scale run in --columnar DIR — \
+                     completed run files, merge groups and output shards recorded in the \
+                     spool's scratch journal are reused, and analysis restarts from the \
+                     last checkpoint; the result is byte-identical to an uninterrupted run\n\
                      --faults: deterministic fault-injection plan (TOML; window times are \
                      seconds from trace start); adds the availability section\n\
                      --fault-seed: derive an exercise-everything fault plan from a seed \
                      instead of a file\n\
                      exit codes: 0 ok; 1 export/bench failure; 2 usage error; 3 RSS cap \
-                     exceeded; 130 interrupted (partial report flushed); killed by SIGPIPE \
-                     when stdout closes early"
+                     exceeded; 4 out of disk space (partial manifest flushed, resumable); \
+                     5 corrupt or mismatched spool manifest/checkpoint; 130 interrupted \
+                     (partial report flushed); killed by SIGPIPE when stdout closes early"
                 );
                 std::process::exit(0);
             }
@@ -321,7 +333,7 @@ fn main() {
     if opts.bench_scale {
         if let Err(e) = run_bench_scale(&opts) {
             eprintln!("repro: bench scale failed: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
         checkpoint_interrupt();
         enforce_rss_cap(&opts);
@@ -360,6 +372,53 @@ fn main() {
         }
     }
     enforce_rss_cap(&opts);
+}
+
+/// Analysis checkpoint cadence: after every this many spool shards, the
+/// three streaming analyzers are serialized into `CHECKPOINT-req` inside
+/// the spool directory (atomic write), bounding lost work on a crash to
+/// this many shards' worth of replay.
+const CHECKPOINT_EVERY_SHARDS: usize = 8;
+
+/// A bench-scale failure, classified so `main` can exit with the
+/// documented code: `1` generic failure, `4` out of disk space (a partial
+/// manifest was flushed — free space and rerun with `--resume`), `5`
+/// corrupt or mismatched durable state (spool manifest or analysis
+/// checkpoint failed verification — the spool cannot be trusted).
+#[derive(Debug)]
+enum BenchError {
+    Fail(String),
+    Enospc(String),
+    Corrupt(String),
+}
+
+impl BenchError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            Self::Fail(_) => 1,
+            Self::Enospc(_) => 4,
+            Self::Corrupt(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(msg) => write!(f, "{msg}"),
+            Self::Enospc(msg) => write!(
+                f,
+                "out of disk space: {msg} (free space, rerun with --resume)"
+            ),
+            Self::Corrupt(msg) => write!(f, "corrupt or mismatched spool state: {msg}"),
+        }
+    }
+}
+
+impl From<String> for BenchError {
+    fn from(msg: String) -> Self {
+        Self::Fail(msg)
+    }
 }
 
 /// Peak resident-set size of this process in MiB (`VmHWM` from
@@ -413,14 +472,33 @@ fn apply_trace_shape(trace: &mut oat_workload::TraceConfig, opts: &Options) {
 ///
 /// When `--columnar DIR` already holds a spool, generation is skipped and
 /// the existing shards are replayed (`generate_secs`/`generate_rps` are
-/// `null` in the JSON for that run).
-fn run_bench_scale(opts: &Options) -> Result<(), String> {
+/// `null` in the JSON for that run) — but only after the spool's
+/// `MANIFEST` verifies: complete, fingerprint-matched to this
+/// configuration, every shard present with the manifested row count. A
+/// partial spool (crash mid-generation) resumes with `--resume` and is
+/// refused otherwise; a mismatched or corrupt one exits `5`.
+///
+/// Analysis checkpoints its three streaming folds into
+/// `CHECKPOINT-req` inside the spool directory every
+/// [`CHECKPOINT_EVERY_SHARDS`] shards (atomic tmp+fsync+rename writes),
+/// so `--resume` restarts replay at the last checkpointed shard instead
+/// of shard zero. Restoring analyzer state without simulator (cache)
+/// state is sound here because all three bench analyzers fold only
+/// simulation-independent record fields — see `oat_core::checkpoint`.
+fn run_bench_scale(opts: &Options) -> Result<(), BenchError> {
     use oat_core::analyzers::availability::AvailabilityAnalyzer;
     use oat_core::analyzers::popularity::PopularityAnalyzer;
     use oat_core::analyzers::sessions::SessionAnalyzer;
     use oat_core::analyzers::Analyzer as _;
-    use oat_httplog::{ColumnarDirReader, Request};
-    use oat_workload::{generate_columnar_parallel, ParGenOptions};
+    use oat_core::checkpoint::AnalysisCheckpoint;
+    use oat_httplog::{
+        is_enospc, write_atomic, ColumnarDirReader, ColumnarShard, HttplogError, ManifestError,
+        RealIo, Request, Schema,
+    };
+    use oat_workload::{
+        config_fingerprint, generate_columnar_parallel_with, ColumnarGenError, ParGenOptions,
+        ResumeOptions,
+    };
 
     let mut config = ExperimentConfig::small();
     config.trace.scale = opts.scale;
@@ -432,7 +510,7 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
         .unwrap_or((64e9 * opts.catalog_scale).max(2e9) as u64);
 
     if let Some(child_dir) = &opts.serial_gen_child {
-        return run_serial_gen_child(&config, opts, child_dir);
+        return run_serial_gen_child(&config, opts, child_dir).map_err(BenchError::from);
     }
 
     let keep_spool = opts.columnar.is_some();
@@ -447,43 +525,76 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
         merge_fanin: 0,
     };
 
+    // A reusable spool must verify against its manifest first: silently
+    // analyzing a partial or wrong-configuration spool is the failure mode
+    // this whole layer exists to prevent.
+    let fingerprint = config_fingerprint(&config.trace);
     let existing = if keep_spool {
-        ColumnarDirReader::<Request>::open(&dir, "req")
-            .ok()
-            .filter(|r| r.shards() > 0)
+        match ColumnarDirReader::<Request>::open_verified(&dir, "req", Some(fingerprint)) {
+            Ok((reader, manifest)) => Some((reader, manifest.total_rows)),
+            // No manifest: nothing durable to reuse (an interrupted run's
+            // partial work is journaled under the spool's scratch dir and
+            // picked up by the resume-aware generation below).
+            Err(HttplogError::Manifest(ManifestError::Missing(_))) => None,
+            Err(HttplogError::Manifest(ManifestError::Incomplete)) if opts.resume => None,
+            Err(HttplogError::Manifest(ManifestError::Incomplete)) => {
+                return Err(BenchError::Corrupt(format!(
+                    "spool {} is incomplete (interrupted generation); \
+                     rerun with --resume to finish it",
+                    dir.display()
+                )));
+            }
+            Err(e) if e.is_data_error() => {
+                return Err(BenchError::Corrupt(format!(
+                    "spool {} failed manifest verification: {e}",
+                    dir.display()
+                )));
+            }
+            Err(e) => return Err(BenchError::Fail(format!("open spool: {e}"))),
+        }
     } else {
         None
     };
     let mut serial_secs: Option<f64> = None;
     let (reader, rows, shards, generate_secs) = match existing {
-        Some(reader) => {
-            let rows = reader.rows().map_err(|e| format!("spool rows: {e}"))?;
+        Some((reader, rows)) => {
             let shards = reader.shards() as u64;
             eprintln!(
-                "bench scale: reusing columnar spool in {} (skipping generation)",
+                "bench scale: reusing verified columnar spool in {} (skipping generation)",
                 dir.display()
             );
             (reader, rows, shards, None)
         }
         None => {
             eprintln!(
-                "bench scale: generating columnar request spool in {} ({} gen threads)",
+                "bench scale: generating columnar request spool in {} ({} gen threads{})",
                 dir.display(),
                 if gen_threads == 0 {
                     "all".to_string()
                 } else {
                     gen_threads.to_string()
-                }
+                },
+                if opts.resume { ", resuming" } else { "" }
             );
             let gen_start = std::time::Instant::now();
-            let trace = generate_columnar_parallel(
+            let resume_opts = ResumeOptions {
+                resume: opts.resume,
+                ..ResumeOptions::default()
+            };
+            let trace = generate_columnar_parallel_with(
                 &config.trace,
                 &par_opts,
                 &dir,
                 "req",
                 opts.rows_per_shard,
+                &resume_opts,
             )
-            .map_err(|e| format!("generate: {e}"))?;
+            .map_err(|e| match &e {
+                ColumnarGenError::Spool(HttplogError::Io(io)) if is_enospc(io) => {
+                    BenchError::Enospc(format!("generate: {e}"))
+                }
+                _ => BenchError::Fail(format!("generate: {e}")),
+            })?;
             let generate_secs = gen_start.elapsed().as_secs_f64();
             if opts.gen_serial {
                 serial_secs = Some(bench_serial_generate(opts, &dir)?);
@@ -496,19 +607,112 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
 
     let map = oat_core::SiteMap::from_profiles(&config.trace.sites);
     let simulator = Simulator::new(&config.sim);
+    let ckpt_path = dir.join("CHECKPOINT-req");
     let mut popularity = PopularityAnalyzer::new(map.clone());
     let mut sessions = SessionAnalyzer::new(map.clone());
-    let mut availability = AvailabilityAnalyzer::new(map);
+    let mut availability = AvailabilityAnalyzer::new(map.clone());
+    let mut start_shard = 0usize;
+    let mut resumed_rows = 0u64;
+    if opts.resume && keep_spool {
+        match std::fs::read_to_string(&ckpt_path) {
+            Ok(text) => {
+                let corrupt = |msg: String| {
+                    BenchError::Corrupt(format!("checkpoint {}: {msg}", ckpt_path.display()))
+                };
+                let cp =
+                    AnalysisCheckpoint::from_text(&text).map_err(|e| corrupt(e.to_string()))?;
+                if cp.fingerprint != fingerprint {
+                    return Err(corrupt(format!(
+                        "belongs to a different configuration (fingerprint {:016x}, \
+                         expected {fingerprint:016x})",
+                        cp.fingerprint
+                    )));
+                }
+                if cp.shards_done > shards {
+                    return Err(corrupt(format!(
+                        "claims {} shards folded but the spool holds {shards}",
+                        cp.shards_done
+                    )));
+                }
+                let section = |name: &str| -> Result<&str, BenchError> {
+                    cp.section(name)
+                        .ok_or_else(|| corrupt(format!("missing the {name} section")))
+                };
+                popularity =
+                    PopularityAnalyzer::from_checkpoint_state(map.clone(), section("popularity")?)
+                        .map_err(|e| corrupt(e))?;
+                sessions =
+                    SessionAnalyzer::from_checkpoint_state(map.clone(), section("sessions")?)
+                        .map_err(|e| corrupt(e))?;
+                availability = AvailabilityAnalyzer::from_checkpoint_state(
+                    map.clone(),
+                    section("availability")?,
+                )
+                .map_err(|e| corrupt(e))?;
+                start_shard = cp.shards_done as usize;
+                resumed_rows = cp.rows_done;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(BenchError::Fail(format!("read checkpoint: {e}"))),
+        }
+    }
 
     eprintln!("bench scale: replaying + analyzing {rows} records from {shards} shards");
+    if start_shard > 0 {
+        eprintln!(
+            "bench scale: resuming analysis at shard {start_shard} \
+             ({resumed_rows} rows already folded)"
+        );
+    }
     let analyze_start = std::time::Instant::now();
-    let replayed = simulator
-        .replay_columnar(&reader, 0, |records| {
+    let mut replayed = resumed_rows;
+    // Shard-by-shard replay (same bounded batches the whole-directory scan
+    // used) so completed shards can be checkpointed between shards.
+    for (idx, path) in reader.paths().iter().enumerate().skip(start_shard) {
+        // Shard damage (checksum mismatch, truncation, bad encoding) is a
+        // trust failure, not an environment failure: exit 5, same as a
+        // manifest that fails verification.
+        let classify = |e: oat_httplog::ColumnarError| {
+            let msg = format!("shard {}: {e}", path.display());
+            if e.is_data_error() {
+                BenchError::Corrupt(msg)
+            } else {
+                BenchError::Fail(msg)
+            }
+        };
+        let shard = ColumnarShard::open_expecting(path, Schema::Request).map_err(classify)?;
+        let shard_rows = shard.rows();
+        let mut lo = 0usize;
+        while lo < shard_rows {
+            let hi = lo.saturating_add(65_536).min(shard_rows);
+            let mut batch: Vec<Request> = Vec::with_capacity(hi - lo);
+            shard.read_rows(lo..hi, &mut batch).map_err(classify)?;
+            let records = simulator.replay(batch);
+            replayed += records.len() as u64;
             popularity.observe_batch(&records);
             sessions.observe_batch(&records);
             availability.observe_batch(&records);
-        })
-        .map_err(|e| format!("replay: {e}"))?;
+            lo = hi;
+        }
+        let done = idx + 1;
+        if keep_spool && done < reader.shards() && done % CHECKPOINT_EVERY_SHARDS == 0 {
+            let mut cp = AnalysisCheckpoint::new(fingerprint);
+            cp.shards_done = done as u64;
+            cp.rows_done = replayed;
+            cp.set_section("popularity", popularity.checkpoint_state());
+            cp.set_section("sessions", sessions.checkpoint_state());
+            cp.set_section("availability", availability.checkpoint_state());
+            let text = cp.to_text();
+            write_atomic(&RealIo, &ckpt_path, |w| w.write_all(text.as_bytes())).map_err(|e| {
+                if is_enospc(&e) {
+                    BenchError::Enospc(format!("write analysis checkpoint: {e}"))
+                } else {
+                    BenchError::Fail(format!("write analysis checkpoint: {e}"))
+                }
+            })?;
+        }
+        checkpoint_interrupt();
+    }
     let analyze_secs = analyze_start.elapsed().as_secs_f64();
     // The folds themselves are part of the measured work; the reports are
     // summarized so the analysis cannot be optimized away.
@@ -521,6 +725,7 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
         sessions.sites.len(),
         availability.is_healthy()
     );
+    let _ = std::fs::remove_file(&ckpt_path);
     if !keep_spool {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -554,7 +759,7 @@ fn run_bench_scale(opts: &Options) -> Result<(), String> {
         serial_secs.map_or("null".to_string(), |s| format!("{s:.3}")),
         serial_secs.map_or("null".to_string(), |s| format!("{:.0}", rps(rows, s))),
         analyze_secs,
-        rps(replayed, analyze_secs),
+        rps(replayed - resumed_rows, analyze_secs),
         peak.map_or("null".to_string(), |mb| mb.to_string()),
     );
     std::fs::write("BENCH_scale.json", &json)

@@ -1,0 +1,433 @@
+//! End-to-end exit-code and crash-recovery tests for the `repro` binary.
+//!
+//! The documented contract (README "Exit codes"): `0` ok, `1` generic
+//! bench/export failure, `2` usage error, `3` RSS cap exceeded, `4` out
+//! of disk space, `5` corrupt or mismatched durable state, `130`
+//! interrupted. Code `4` needs a genuinely full filesystem and is covered
+//! by library-level fault injection (`oat_workload` ENOSPC tests) rather
+//! than here.
+//!
+//! Crash scenarios are seeded deterministically: the interrupted state is
+//! produced in-process with `oat_httplog::FailAt` (the same storage-fault
+//! seam the library tests use), then the binary is pointed at the wreckage
+//! with `--resume` and must finish the job byte-identically.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+use oat_httplog::FailAt;
+use oat_workload::{
+    config_fingerprint, generate_columnar_parallel_with, ParGenOptions, ResumeOptions, TraceConfig,
+};
+
+/// Trace shape shared by every test and mirrored on the CLI: small enough
+/// to run in well under a second per invocation, large enough for several
+/// shards at `ROWS_PER_SHARD`.
+const SCALE: f64 = 0.0015;
+const CATALOG_SCALE: f64 = 0.01;
+const SEED: u64 = 77;
+const ROWS_PER_SHARD: usize = 700;
+
+/// The exact `TraceConfig` the binary builds from the mirrored CLI flags
+/// (`ExperimentConfig::small()` + `--scale/--catalog-scale/--seed`), so
+/// in-process fingerprints match the binary's.
+fn trace_config() -> TraceConfig {
+    let mut trace = TraceConfig::small();
+    trace.scale = SCALE;
+    trace.catalog_scale = CATALOG_SCALE;
+    trace.seed = SEED;
+    trace
+}
+
+/// The `ParGenOptions` the binary builds for `bench scale --threads 2`
+/// (shard_size / run_rows / merge_fanin all default).
+fn par_opts() -> ParGenOptions {
+    ParGenOptions {
+        threads: 2,
+        shard_size: 0,
+        run_rows: 0,
+        merge_fanin: 0,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oat-repro-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A `repro` invocation with its own working directory (the binary writes
+/// `BENCH_scale.json` to the cwd).
+fn repro(work: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.current_dir(work);
+    cmd
+}
+
+/// Adds the canonical `bench scale` flag set mirroring [`trace_config`].
+fn bench_args<'a>(cmd: &'a mut Command, spool: &Path) -> &'a mut Command {
+    cmd.args([
+        "bench",
+        "scale",
+        "--scale",
+        "0.0015",
+        "--catalog-scale",
+        "0.01",
+        "--seed",
+        "77",
+        "--rows-per-shard",
+        "700",
+        "--threads",
+        "2",
+        "--columnar",
+    ])
+    .arg(spool)
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("run repro binary")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn assert_exit(out: &Output, code: i32, context: &str) {
+    assert_eq!(
+        out.status.code(),
+        Some(code),
+        "{context}: expected exit {code}, got {:?}\nstderr:\n{}",
+        out.status,
+        stderr_of(out)
+    );
+}
+
+/// Sorted `.col` shard names in a spool directory.
+fn shard_names(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("list spool dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|n| n.ends_with(".col"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// Byte-compares every `.col` file of two spool directories.
+fn assert_spools_identical(a: &Path, b: &Path) {
+    let names = shard_names(a);
+    assert_eq!(names, shard_names(b), "shard file lists differ");
+    assert!(!names.is_empty(), "no shards produced");
+    for name in &names {
+        let bytes_a = std::fs::read(a.join(name)).expect("read shard A");
+        let bytes_b = std::fs::read(b.join(name)).expect("read shard B");
+        assert_eq!(bytes_a, bytes_b, "shard {name} differs");
+    }
+}
+
+/// Generates a complete reference spool in-process while counting storage
+/// ops; returns the op count of an uninterrupted run.
+fn generate_reference(dir: &Path) -> u64 {
+    let probe = Arc::new(FailAt::new(0)); // k = 0 never fails
+    generate_columnar_parallel_with(
+        &trace_config(),
+        &par_opts(),
+        dir,
+        "req",
+        ROWS_PER_SHARD,
+        &ResumeOptions {
+            resume: false,
+            io: probe.clone(),
+        },
+    )
+    .expect("reference generation");
+    probe.ops_seen()
+}
+
+/// Crashes an in-process generation at storage op `k`, leaving `dir` in
+/// whatever partial state the failure produced.
+fn crash_generation_at(dir: &Path, k: u64, enospc: bool) {
+    let io = if enospc {
+        FailAt::enospc(k)
+    } else {
+        FailAt::new(k)
+    };
+    generate_columnar_parallel_with(
+        &trace_config(),
+        &par_opts(),
+        dir,
+        "req",
+        ROWS_PER_SHARD,
+        &ResumeOptions {
+            resume: false,
+            io: Arc::new(io),
+        },
+    )
+    .expect_err("injected failure must abort the run");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let work = temp_dir("usage");
+    let out = run(repro(&work).arg("--definitely-not-a-flag"));
+    assert_exit(&out, 2, "unknown flag");
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn crash_resume_produces_byte_identical_spool() {
+    let reference = temp_dir("crashref");
+    let total_ops = generate_reference(&reference);
+    assert!(total_ops > 10, "expected a nontrivial op count");
+
+    // Crash mid-pipeline, then let the binary finish the job.
+    let work = temp_dir("crashwork");
+    let spool = work.join("spool");
+    crash_generation_at(&spool, total_ops / 2, false);
+    let out = run(bench_args(&mut repro(&work), &spool).arg("--resume"));
+    assert_exit(&out, 0, "resume after mid-pipeline crash");
+    assert_spools_identical(&reference, &spool);
+    assert!(
+        !spool.join(".runs-req").exists(),
+        "scratch directory survives a completed resume"
+    );
+    let manifest = std::fs::read_to_string(spool.join("MANIFEST-req.toml")).expect("manifest");
+    assert!(
+        manifest.contains("complete = true"),
+        "manifest:\n{manifest}"
+    );
+
+    // A second run over the finished spool must verify + reuse it.
+    let out = run(bench_args(&mut repro(&work), &spool));
+    assert_exit(&out, 0, "rerun over completed spool");
+    assert!(
+        stderr_of(&out).contains("reusing verified columnar spool"),
+        "stderr:\n{}",
+        stderr_of(&out)
+    );
+
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn incomplete_spool_is_refused_without_resume() {
+    let reference = temp_dir("enospcref");
+    let total_ops = generate_reference(&reference);
+
+    // ENOSPC near the end: the run aborts but flushes a partial manifest
+    // (`complete = false`), so the spool is recognizably interrupted.
+    let work = temp_dir("enospcwork");
+    let spool = work.join("spool");
+    crash_generation_at(&spool, total_ops.saturating_sub(6).max(1), true);
+    let manifest = std::fs::read_to_string(spool.join("MANIFEST-req.toml"))
+        .expect("partial manifest flushed on ENOSPC");
+    assert!(
+        manifest.contains("complete = false"),
+        "manifest:\n{manifest}"
+    );
+
+    let out = run(bench_args(&mut repro(&work), &spool));
+    assert_exit(&out, 5, "incomplete spool without --resume");
+    assert!(
+        stderr_of(&out).contains("--resume"),
+        "refusal must point at --resume; stderr:\n{}",
+        stderr_of(&out)
+    );
+
+    let out = run(bench_args(&mut repro(&work), &spool).arg("--resume"));
+    assert_exit(&out, 0, "resume after simulated ENOSPC");
+    assert_spools_identical(&reference, &spool);
+
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn corrupt_manifest_exits_5() {
+    let work = temp_dir("badmanifest");
+    let spool = work.join("spool");
+    generate_reference(&spool);
+    std::fs::write(spool.join("MANIFEST-req.toml"), "complete = maybe\n?!")
+        .expect("scribble manifest");
+    let out = run(bench_args(&mut repro(&work), &spool));
+    assert_exit(&out, 5, "garbage manifest");
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn corrupt_shard_byte_exits_5() {
+    let work = temp_dir("badshard");
+    let spool = work.join("spool");
+    generate_reference(&spool);
+    // Flip one byte in a shard's column data. The footer (and therefore
+    // the manifest check) still agrees; the per-column checksum must catch
+    // it during replay and the run must refuse the spool, not salvage it.
+    let victim = spool.join(&shard_names(&spool)[0]);
+    let mut bytes = std::fs::read(&victim).expect("read shard");
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, bytes).expect("write corrupted shard");
+    let out = run(bench_args(&mut repro(&work), &spool));
+    assert_exit(&out, 5, "flipped shard byte");
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn analysis_checkpoint_resume_matches_uninterrupted() {
+    use oat_cdnsim::{SimConfig, Simulator};
+    use oat_core::analyzers::availability::AvailabilityAnalyzer;
+    use oat_core::analyzers::popularity::PopularityAnalyzer;
+    use oat_core::analyzers::sessions::SessionAnalyzer;
+    use oat_core::analyzers::Analyzer as _;
+    use oat_core::AnalysisCheckpoint;
+    use oat_httplog::{ColumnarDirReader, Request};
+
+    // Baseline: one uninterrupted binary run (records the analysis
+    // summary line and the JSON record count).
+    let work_a = temp_dir("ckptbase");
+    let spool = work_a.join("spool");
+    let out = run(bench_args(&mut repro(&work_a), &spool));
+    assert_exit(&out, 0, "baseline run");
+    let baseline_summary = summary_line(&stderr_of(&out));
+    let baseline_json = std::fs::read_to_string(work_a.join("BENCH_scale.json")).expect("json");
+    let baseline_records = json_field(&baseline_json, "records");
+
+    // Fold the first half of the shards in-process — exactly the state the
+    // binary would have checkpointed — and write it as `CHECKPOINT-req`.
+    let trace = trace_config();
+    let fingerprint = config_fingerprint(&trace);
+    let map = oat_core::SiteMap::from_profiles(&trace.sites);
+    let reader = ColumnarDirReader::<Request>::open(&spool, "req").expect("open spool");
+    let shards = reader.shards();
+    assert!(shards >= 2, "need at least two shards, got {shards}");
+    let split = shards / 2;
+    let mut sim_config = SimConfig::default_edge();
+    sim_config.cache_capacity_bytes = (64e9 * CATALOG_SCALE).max(2e9) as u64;
+    let simulator = Simulator::new(&sim_config);
+    let mut popularity = PopularityAnalyzer::new(map.clone());
+    let mut sessions = SessionAnalyzer::new(map.clone());
+    let mut availability = AvailabilityAnalyzer::new(map.clone());
+    let mut rows_done = 0u64;
+    for path in &reader.paths()[..split] {
+        let shard = oat_httplog::ColumnarShard::open_expecting(path, oat_httplog::Schema::Request)
+            .expect("open shard");
+        let mut batch: Vec<Request> = Vec::new();
+        shard
+            .read_rows(0..shard.rows(), &mut batch)
+            .expect("read shard");
+        let records = simulator.replay(batch);
+        rows_done += records.len() as u64;
+        popularity.observe_batch(&records);
+        sessions.observe_batch(&records);
+        availability.observe_batch(&records);
+    }
+    let mut cp = AnalysisCheckpoint::new(fingerprint);
+    cp.shards_done = split as u64;
+    cp.rows_done = rows_done;
+    cp.set_section("popularity", popularity.checkpoint_state());
+    cp.set_section("sessions", sessions.checkpoint_state());
+    cp.set_section("availability", availability.checkpoint_state());
+    let ckpt_path = spool.join("CHECKPOINT-req");
+    std::fs::write(&ckpt_path, cp.to_text()).expect("write checkpoint");
+
+    // Resume from the checkpoint: analysis restarts at the split shard and
+    // reaches the same result as the uninterrupted baseline.
+    let out = run(bench_args(&mut repro(&work_a), &spool).arg("--resume"));
+    assert_exit(&out, 0, "checkpoint resume");
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains(&format!("resuming analysis at shard {split}")),
+        "stderr:\n{stderr}"
+    );
+    assert_eq!(summary_line(&stderr), baseline_summary);
+    let resumed_json = std::fs::read_to_string(work_a.join("BENCH_scale.json")).expect("json");
+    assert_eq!(json_field(&resumed_json, "records"), baseline_records);
+    assert!(
+        !ckpt_path.exists(),
+        "checkpoint must be removed after a finished run"
+    );
+
+    // A damaged checkpoint is corruption, not a silent fresh start.
+    let mut text = cp.to_text().into_bytes();
+    let mid = text.len() / 2;
+    text[mid] ^= 0x01;
+    std::fs::write(&ckpt_path, text).expect("write damaged checkpoint");
+    let out = run(bench_args(&mut repro(&work_a), &spool).arg("--resume"));
+    assert_exit(&out, 5, "damaged checkpoint");
+
+    let _ = std::fs::remove_dir_all(&work_a);
+}
+
+/// The deterministic analysis summary line from a bench-scale stderr.
+fn summary_line(stderr: &str) -> String {
+    stderr
+        .lines()
+        .find(|l| l.contains("popularity series"))
+        .unwrap_or_else(|| panic!("no summary line in stderr:\n{stderr}"))
+        .to_string()
+}
+
+/// Extracts an integer field from the flat `BENCH_scale.json`.
+fn json_field(json: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\": ");
+    let start = json
+        .find(&tag)
+        .unwrap_or_else(|| panic!("no {key} in {json}"))
+        + tag.len();
+    json[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key} in {json}"))
+}
+
+#[test]
+fn rss_cap_exit_is_3() {
+    let work = temp_dir("rsscap");
+    let spool = work.join("spool");
+    let out = run(bench_args(&mut repro(&work), &spool).args(["--max-rss-mb", "1"]));
+    assert_exit(&out, 3, "1 MiB RSS cap");
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+#[cfg(unix)]
+fn sigint_exits_130() {
+    let work = temp_dir("sigint");
+    let spool = work.join("spool");
+    // A run long enough that SIGINT lands while it is still working; the
+    // handler defers to the next phase boundary and exits 130.
+    let mut child = repro(&work)
+        .args([
+            "bench",
+            "scale",
+            "--scale",
+            "0.02",
+            "--catalog-scale",
+            "0.04",
+            "--threads",
+            "2",
+            "--columnar",
+        ])
+        .arg(&spool)
+        .spawn()
+        .expect("spawn repro");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let _ = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -INT {}", child.id()))
+        .status()
+        .expect("send SIGINT");
+    let status = child.wait().expect("wait for repro");
+    assert_eq!(status.code(), Some(130), "got {status:?}");
+    let _ = std::fs::remove_dir_all(&work);
+}

@@ -8,6 +8,7 @@
 //! availability 1.0 and zero degraded counters.
 
 use super::{Analyzer, StreamAnalyzer};
+use crate::checkpoint::field_u64;
 use crate::sitemap::SiteMap;
 use oat_httplog::{DegradedServe, LogRecord};
 use serde::{Deserialize, Serialize};
@@ -109,6 +110,56 @@ impl AvailabilityAnalyzer {
             sites: vec![Tally::default(); n],
         }
     }
+
+    /// Serializes the fold state for an analysis checkpoint
+    /// (see [`crate::checkpoint`]): one line of counters per site.
+    pub fn checkpoint_state(&self) -> String {
+        let mut out = String::new();
+        for (i, t) in self.sites.iter().enumerate() {
+            out.push_str(&format!(
+                "site={i} requests={} shed={} failover={} stale={} retries={} \
+                 bytes_served={} degraded_bytes={}\n",
+                t.requests,
+                t.shed,
+                t.failover,
+                t.stale,
+                t.retries,
+                t.bytes_served,
+                t.degraded_bytes,
+            ));
+        }
+        out
+    }
+
+    /// Restores an analyzer from [`checkpoint_state`] output. Feeding the
+    /// restored analyzer the remaining records yields the same report as
+    /// an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed line, or a site index outside
+    /// `map`.
+    ///
+    /// [`checkpoint_state`]: AvailabilityAnalyzer::checkpoint_state
+    pub fn from_checkpoint_state(map: SiteMap, state: &str) -> Result<Self, String> {
+        let mut analyzer = Self::new(map);
+        for line in state.lines().filter(|l| !l.trim().is_empty()) {
+            let mut tok = line.split_whitespace();
+            let site = field_u64(tok.next(), "site")? as usize;
+            let tally = analyzer
+                .sites
+                .get_mut(site)
+                .ok_or_else(|| format!("site {site} out of range"))?;
+            tally.requests = field_u64(tok.next(), "requests")?;
+            tally.shed = field_u64(tok.next(), "shed")?;
+            tally.failover = field_u64(tok.next(), "failover")?;
+            tally.stale = field_u64(tok.next(), "stale")?;
+            tally.retries = field_u64(tok.next(), "retries")?;
+            tally.bytes_served = field_u64(tok.next(), "bytes_served")?;
+            tally.degraded_bytes = field_u64(tok.next(), "degraded_bytes")?;
+        }
+        Ok(analyzer)
+    }
 }
 
 impl StreamAnalyzer for AvailabilityAnalyzer {}
@@ -203,6 +254,50 @@ mod tests {
         let v2 = report.site("V-2").unwrap();
         assert_eq!(v2.retries, 1);
         assert_eq!(v2.availability(), Some(1.0));
+    }
+
+    #[test]
+    fn checkpoint_restore_matches_uninterrupted() {
+        let records = vec![
+            record(1, DegradedServe::None, 0, 100),
+            record(1, DegradedServe::Failover, 0, 200),
+            record(2, DegradedServe::Stale, 2, 300),
+            record(3, DegradedServe::Shed, 3, 0),
+            record(2, DegradedServe::None, 1, 50),
+        ];
+        let whole = run_analyzer(AvailabilityAnalyzer::new(SiteMap::paper_five()), &records);
+        for k in 0..=records.len() {
+            let first = run_analyzer_partial(
+                AvailabilityAnalyzer::new(SiteMap::paper_five()),
+                &records[..k],
+            );
+            let state = first.checkpoint_state();
+            let resumed =
+                AvailabilityAnalyzer::from_checkpoint_state(SiteMap::paper_five(), &state)
+                    .expect("restores");
+            assert_eq!(run_analyzer(resumed, &records[k..]), whole, "split at {k}");
+        }
+    }
+
+    fn run_analyzer_partial(
+        mut analyzer: AvailabilityAnalyzer,
+        records: &[LogRecord],
+    ) -> AvailabilityAnalyzer {
+        for r in records {
+            analyzer.observe(r);
+        }
+        analyzer
+    }
+
+    #[test]
+    fn checkpoint_rejects_damage() {
+        assert!(
+            AvailabilityAnalyzer::from_checkpoint_state(SiteMap::paper_five(), "site=99 x=1")
+                .is_err()
+        );
+        assert!(
+            AvailabilityAnalyzer::from_checkpoint_state(SiteMap::paper_five(), "nonsense").is_err()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! fraction of objects draws most requests.
 
 use super::{Analyzer, StreamAnalyzer};
+use crate::checkpoint::field_u64;
 use crate::sitemap::SiteMap;
 use oat_httplog::{ContentClass, LogRecord, ObjectId};
 use oat_stats::{fit_zipf, zipf, Ecdf, ZipfFit};
@@ -68,6 +69,62 @@ impl PopularityAnalyzer {
             map,
             counts: vec![HashMap::new(); n], // oat-lint: allow(ordered-output)
         }
+    }
+
+    /// Serializes the fold state for an analysis checkpoint
+    /// (see [`crate::checkpoint`]): one line per `(site, object)` counter,
+    /// sorted by object id per site so identical state always yields
+    /// identical bytes.
+    pub fn checkpoint_state(&self) -> String {
+        let mut out = String::new();
+        for (i, counts) in self.counts.iter().enumerate() {
+            let mut entries: Vec<(&ObjectId, &(ContentClass, u64))> = counts.iter().collect();
+            entries.sort_by_key(|&(object, _)| object);
+            for (object, (class, count)) in entries {
+                let class = match class {
+                    ContentClass::Video => 'V',
+                    ContentClass::Image => 'I',
+                    ContentClass::Other => 'O',
+                };
+                out.push_str(&format!(
+                    "site={i} object={} class={class} count={count}\n",
+                    object.raw()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Restores an analyzer from [`checkpoint_state`] output. Feeding the
+    /// restored analyzer the remaining records yields the same report as
+    /// an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed line, or a site index outside
+    /// `map`.
+    ///
+    /// [`checkpoint_state`]: PopularityAnalyzer::checkpoint_state
+    pub fn from_checkpoint_state(map: SiteMap, state: &str) -> Result<Self, String> {
+        let mut analyzer = Self::new(map);
+        for line in state.lines().filter(|l| !l.trim().is_empty()) {
+            let mut tok = line.split_whitespace();
+            let site = field_u64(tok.next(), "site")? as usize;
+            let object = ObjectId::new(field_u64(tok.next(), "object")?);
+            let class = match tok.next() {
+                Some("class=V") => ContentClass::Video,
+                Some("class=I") => ContentClass::Image,
+                Some("class=O") => ContentClass::Other,
+                other => return Err(format!("bad class token {other:?}")),
+            };
+            let count = field_u64(tok.next(), "count")?;
+            analyzer
+                .counts
+                .get_mut(site)
+                .ok_or_else(|| format!("site {site} out of range"))?
+                .insert(object, (class, count));
+        }
+        Ok(analyzer)
     }
 }
 
@@ -164,6 +221,43 @@ mod tests {
         assert!((fit.alpha - 1.0).abs() < 0.15, "alpha {}", fit.alpha);
         assert!(p1.top_decile_share.unwrap() > 0.5);
         assert!(p1.gini.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn checkpoint_restore_matches_uninterrupted() {
+        let mut records = Vec::new();
+        for obj in 1..=20u64 {
+            for _ in 0..=(20 - obj) {
+                records.push(record(1, obj, FileFormat::Mp4));
+                records.push(record(3, obj, FileFormat::Jpg));
+            }
+        }
+        let whole = run_analyzer(PopularityAnalyzer::new(SiteMap::paper_five()), &records);
+        for k in [0, 1, records.len() / 2, records.len()] {
+            let mut first = PopularityAnalyzer::new(SiteMap::paper_five());
+            for r in &records[..k] {
+                first.observe(r);
+            }
+            let state = first.checkpoint_state();
+            let resumed = PopularityAnalyzer::from_checkpoint_state(SiteMap::paper_five(), &state)
+                .expect("restores");
+            assert_eq!(run_analyzer(resumed, &records[k..]), whole, "split at {k}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_damage() {
+        let bad = [
+            "site=99 object=1 class=V count=1",
+            "site=0 object=1 class=X count=1",
+            "gibberish",
+        ];
+        for state in bad {
+            assert!(
+                PopularityAnalyzer::from_checkpoint_state(SiteMap::paper_five(), state).is_err(),
+                "{state:?} was accepted"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! shorter than non-adult sites.
 
 use super::Analyzer;
+use crate::checkpoint::{f64_from_hex, f64_to_hex, field_u64};
 use crate::sitemap::SiteMap;
 use oat_httplog::{LogRecord, UserId};
 use oat_stats::Ecdf;
@@ -100,6 +101,97 @@ impl SessionAnalyzer {
         lengths.push((session.last - session.start) as f64);
         *request_totals += session.requests;
         *session_counts += 1;
+    }
+
+    /// Serializes the fold state for an analysis checkpoint
+    /// (see [`crate::checkpoint`]): the timeout, every still-open session
+    /// (sorted by user so identical state always yields identical bytes),
+    /// closed-session lengths in close order (exact `f64` bit patterns —
+    /// the order feeds the ECDF input stream and must replay verbatim),
+    /// and per-site totals.
+    pub fn checkpoint_state(&self) -> String {
+        let mut out = format!("timeout = {}\n", self.timeout_secs);
+        for (i, open) in self.open.iter().enumerate() {
+            let mut sessions: Vec<(&UserId, &OpenSession)> = open.iter().collect();
+            sessions.sort_by_key(|&(user, _)| user);
+            for (user, s) in sessions {
+                out.push_str(&format!(
+                    "open site={i} user={} start={} last={} requests={}\n",
+                    user.raw(),
+                    s.start,
+                    s.last,
+                    s.requests
+                ));
+            }
+        }
+        for (i, lengths) in self.lengths.iter().enumerate() {
+            out.push_str(&format!("lengths site={i}"));
+            for &v in lengths {
+                out.push(' ');
+                out.push_str(&f64_to_hex(v));
+            }
+            out.push('\n');
+        }
+        for i in 0..self.request_totals.len() {
+            out.push_str(&format!(
+                "totals site={i} requests={} sessions={}\n",
+                self.request_totals[i], self.session_counts[i]
+            ));
+        }
+        out
+    }
+
+    /// Restores an analyzer from [`checkpoint_state`] output. Feeding the
+    /// restored analyzer the remaining records yields the same report as
+    /// an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed line, or a site index outside
+    /// `map`.
+    ///
+    /// [`checkpoint_state`]: SessionAnalyzer::checkpoint_state
+    pub fn from_checkpoint_state(map: SiteMap, state: &str) -> Result<Self, String> {
+        let mut analyzer = Self::new(map);
+        let sites = analyzer.open.len();
+        let site_index = |site: u64| -> Result<usize, String> {
+            let i = site as usize;
+            (i < sites)
+                .then_some(i)
+                .ok_or(format!("site {i} out of range"))
+        };
+        for line in state.lines().filter(|l| !l.trim().is_empty()) {
+            if let Some(value) = line.strip_prefix("timeout = ") {
+                analyzer.timeout_secs = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad timeout {value:?}"))?;
+            } else if let Some(rest) = line.strip_prefix("open ") {
+                let mut tok = rest.split_whitespace();
+                let site = site_index(field_u64(tok.next(), "site")?)?;
+                let user = UserId::new(field_u64(tok.next(), "user")?);
+                let session = OpenSession {
+                    start: field_u64(tok.next(), "start")?,
+                    last: field_u64(tok.next(), "last")?,
+                    requests: field_u64(tok.next(), "requests")?,
+                };
+                analyzer.open[site].insert(user, session);
+            } else if let Some(rest) = line.strip_prefix("lengths ") {
+                let mut tok = rest.split_whitespace();
+                let site = site_index(field_u64(tok.next(), "site")?)?;
+                for bits in tok {
+                    analyzer.lengths[site].push(f64_from_hex(bits)?);
+                }
+            } else if let Some(rest) = line.strip_prefix("totals ") {
+                let mut tok = rest.split_whitespace();
+                let site = site_index(field_u64(tok.next(), "site")?)?;
+                analyzer.request_totals[site] = field_u64(tok.next(), "requests")?;
+                analyzer.session_counts[site] = field_u64(tok.next(), "sessions")?;
+            } else {
+                return Err(format!("unrecognized session state line {line:?}"));
+            }
+        }
+        Ok(analyzer)
     }
 }
 
@@ -256,6 +348,46 @@ mod tests {
         let records = vec![record(1, 1, 0), record(1, 1, 600)];
         let report = run_analyzer(SessionAnalyzer::new(SiteMap::paper_five()), &records);
         assert_eq!(report.site("V-1").unwrap().sessions, 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_matches_uninterrupted() {
+        // Mixed sites/users with closes before and after the split point,
+        // so the checkpoint carries open sessions, lengths and totals.
+        let records = vec![
+            record(1, 1, 0),
+            record(1, 2, 10),
+            record(3, 1, 20),
+            record(1, 1, 30),
+            record(1, 1, 30 + 700), // closes user 1's first V-1 session
+            record(3, 1, 40 + 700),
+            record(1, 2, 50 + 1400), // closes user 2's first V-1 session
+        ];
+        let whole = run_analyzer(SessionAnalyzer::new(SiteMap::paper_five()), &records);
+        for k in 0..=records.len() {
+            let mut first = SessionAnalyzer::new(SiteMap::paper_five());
+            for r in &records[..k] {
+                first.observe(r);
+            }
+            let state = first.checkpoint_state();
+            let resumed = SessionAnalyzer::from_checkpoint_state(SiteMap::paper_five(), &state)
+                .expect("restores");
+            assert_eq!(run_analyzer(resumed, &records[k..]), whole, "split at {k}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserves_custom_timeout() {
+        let analyzer = SessionAnalyzer::with_timeout(SiteMap::paper_five(), 42);
+        let state = analyzer.checkpoint_state();
+        let restored = SessionAnalyzer::from_checkpoint_state(SiteMap::paper_five(), &state)
+            .expect("restores");
+        assert_eq!(restored.timeout_secs, 42);
+        assert!(
+            SessionAnalyzer::from_checkpoint_state(SiteMap::paper_five(), "open site=99 u=1")
+                .is_err()
+        );
+        assert!(SessionAnalyzer::from_checkpoint_state(SiteMap::paper_five(), "junk").is_err());
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Serializable analysis checkpoints for resumable streaming runs.
+//!
+//! A long out-of-core analysis (`repro bench scale` over a billion-row
+//! spool) folds shard after shard into streaming analyzers. If the process
+//! dies hours in, everything folded so far is lost — unless the analyzer
+//! state is periodically spilled to disk. This module defines that spill
+//! format: a self-describing, checksummed plain-text envelope holding one
+//! section per analyzer, written atomically every N shards so a restart
+//! resumes from the last completed section instead of shard zero.
+//!
+//! The format is deliberately text, dependency-free and versioned (the
+//! same posture as the spool `MANIFEST`): a header line, `key = value`
+//! run metadata, `begin <name>`/`end <name>` sections whose bodies the
+//! analyzers themselves encode, and a trailing FNV-1a checksum over
+//! everything above it. Floats are serialized as `f64::to_bits` hex so a
+//! restore is bit-exact; every map iteration is sorted first so the same
+//! state always produces the same bytes.
+//!
+//! Correctness note: a checkpoint restores *analyzer* state only, not
+//! simulator (cache) state. Resuming is sound for analyzers that fold only
+//! simulation-independent record fields (publisher, user, object,
+//! timestamp, sizes, fault-degradation counters) — which is exactly the
+//! bench-scale analyzer set. An analyzer whose output depended on cache
+//! hit/miss bits would need the simulator checkpointed too, and does not
+//! belong behind this format.
+
+use oat_httplog::fnv1a64;
+
+/// First line of every checkpoint file; bump the version when the
+/// envelope (not a section body) changes shape.
+pub const CHECKPOINT_HEADER: &str = "oat-analysis-checkpoint v1";
+
+/// Why a checkpoint file could not be restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file does not start with [`CHECKPOINT_HEADER`].
+    BadHeader,
+    /// The trailing checksum is absent or does not match the content —
+    /// a torn write or bit rot; the checkpoint must be discarded.
+    ChecksumMismatch,
+    /// A structural or per-section parse failure at `line` (1-based).
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadHeader => write!(f, "not an analysis checkpoint (bad header)"),
+            Self::ChecksumMismatch => write!(f, "checkpoint checksum mismatch (torn or corrupt)"),
+            Self::Malformed { line, msg } => write!(f, "checkpoint line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A restartable snapshot of a streaming analysis run.
+///
+/// The envelope carries run identity (`fingerprint` must match the spool
+/// being analyzed), progress (`shards_done` whole shards folded,
+/// `rows_done` rows observed), and one opaque body per analyzer. Section
+/// bodies are produced/consumed by the analyzers' own
+/// `checkpoint_state` / `from_checkpoint_state` methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisCheckpoint {
+    /// Config fingerprint of the spool this checkpoint belongs to.
+    pub fingerprint: u64,
+    /// Whole shards already folded; resume starts at this shard index.
+    pub shards_done: u64,
+    /// Rows observed across those shards.
+    pub rows_done: u64,
+    /// `(name, body)` analyzer sections, in insertion order.
+    pub sections: Vec<(String, String)>,
+}
+
+impl AnalysisCheckpoint {
+    /// An empty checkpoint for a spool with the given fingerprint.
+    pub fn new(fingerprint: u64) -> Self {
+        Self {
+            fingerprint,
+            shards_done: 0,
+            rows_done: 0,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) one analyzer section.
+    pub fn set_section(&mut self, name: &str, body: String) {
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = body;
+        } else {
+            self.sections.push((name.to_string(), body));
+        }
+    }
+
+    /// The body of one analyzer section, if present.
+    pub fn section(&self, name: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_str())
+    }
+
+    /// Serializes the checkpoint, ending with a checksum line over
+    /// everything above it.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CHECKPOINT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("fingerprint = {}\n", self.fingerprint));
+        out.push_str(&format!("shards_done = {}\n", self.shards_done));
+        out.push_str(&format!("rows_done = {}\n", self.rows_done));
+        for (name, body) in &self.sections {
+            out.push_str(&format!("begin {name}\n"));
+            out.push_str(body);
+            if !body.is_empty() && !body.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str(&format!("end {name}\n"));
+        }
+        let sum = fnv1a64(out.as_bytes());
+        out.push_str(&format!("checksum = {sum:016x}\n"));
+        out
+    }
+
+    /// Parses and checksum-verifies a serialized checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::ChecksumMismatch`] on any single-bit damage or a
+    /// torn (truncated) write; [`CheckpointError::BadHeader`] /
+    /// [`CheckpointError::Malformed`] for structural problems.
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        // The checksum line covers every byte before it; verify first so
+        // parse errors on damaged files surface as corruption, not syntax.
+        let trimmed = text.trim_end_matches('\n');
+        let (body, sum_line) = match trimmed.rfind('\n') {
+            Some(pos) => (&text[..pos + 1], &trimmed[pos + 1..]),
+            None => return Err(CheckpointError::ChecksumMismatch),
+        };
+        let sum = sum_line
+            .strip_prefix("checksum = ")
+            .and_then(|s| u64::from_str_radix(s.trim(), 16).ok())
+            .ok_or(CheckpointError::ChecksumMismatch)?;
+        if fnv1a64(body.as_bytes()) != sum {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+
+        let mut lines = body.lines().enumerate();
+        let header = lines.next().map(|(_, l)| l);
+        if header != Some(CHECKPOINT_HEADER) {
+            return Err(CheckpointError::BadHeader);
+        }
+        let mut cp = Self::new(0);
+        let mut current: Option<(String, String)> = None;
+        for (i, line) in lines {
+            let lineno = i + 1;
+            if current.is_some() {
+                if let Some(name) = line.strip_prefix("end ") {
+                    let (open_name, section_body) = current
+                        .take()
+                        .unwrap_or_else(|| (String::new(), String::new()));
+                    if open_name != name {
+                        return Err(CheckpointError::Malformed {
+                            line: lineno,
+                            msg: format!("'end {name}' closes section {open_name:?}"),
+                        });
+                    }
+                    cp.sections.push((open_name, section_body));
+                } else if let Some((_, section_body)) = &mut current {
+                    section_body.push_str(line);
+                    section_body.push('\n');
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("begin ") {
+                current = Some((name.to_string(), String::new()));
+            } else if let Some((key, value)) = line.split_once(" = ") {
+                let parsed: u64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| CheckpointError::Malformed {
+                        line: lineno,
+                        msg: format!("bad integer {value:?} for {key}"),
+                    })?;
+                match key {
+                    "fingerprint" => cp.fingerprint = parsed,
+                    "shards_done" => cp.shards_done = parsed,
+                    "rows_done" => cp.rows_done = parsed,
+                    other => {
+                        return Err(CheckpointError::Malformed {
+                            line: lineno,
+                            msg: format!("unknown field {other:?}"),
+                        })
+                    }
+                }
+            } else if !line.trim().is_empty() {
+                return Err(CheckpointError::Malformed {
+                    line: lineno,
+                    msg: format!("unrecognized line {line:?}"),
+                });
+            }
+        }
+        if let Some((name, _)) = current {
+            return Err(CheckpointError::Malformed {
+                line: 0,
+                msg: format!("section {name:?} never closed"),
+            });
+        }
+        Ok(cp)
+    }
+}
+
+/// Parses `key=value` out of one whitespace token, for analyzer section
+/// bodies (`site=3`, `count=17`).
+pub(crate) fn field_u64(token: Option<&str>, key: &str) -> Result<u64, String> {
+    let token = token.ok_or_else(|| format!("missing field {key}"))?;
+    let value = token
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=..., found {token:?}"))?;
+    value
+        .parse()
+        .map_err(|_| format!("bad integer {value:?} for {key}"))
+}
+
+/// Serializes an `f64` exactly (bit pattern as hex).
+pub(crate) fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Inverse of [`f64_to_hex`].
+pub(crate) fn f64_from_hex(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bits {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnalysisCheckpoint {
+        let mut cp = AnalysisCheckpoint::new(0xDEAD_BEEF);
+        cp.shards_done = 7;
+        cp.rows_done = 1_000_000;
+        cp.set_section(
+            "popularity",
+            "site=0 object=1 class=V count=3\n".to_string(),
+        );
+        cp.set_section("sessions", "timeout = 600\n".to_string());
+        cp
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cp = sample();
+        let text = cp.to_text();
+        assert!(text.starts_with(CHECKPOINT_HEADER));
+        let back = AnalysisCheckpoint::from_text(&text).expect("parses");
+        assert_eq!(back, cp);
+        assert_eq!(back.section("sessions"), Some("timeout = 600\n"));
+        assert!(back.section("nope").is_none());
+    }
+
+    #[test]
+    fn set_section_replaces() {
+        let mut cp = sample();
+        cp.set_section("sessions", "timeout = 60\n".to_string());
+        assert_eq!(cp.sections.len(), 2);
+        assert_eq!(cp.section("sessions"), Some("timeout = 60\n"));
+    }
+
+    #[test]
+    fn any_flipped_byte_is_rejected() {
+        let text = sample().to_text();
+        // The final newline trails the checksum line and carries no
+        // content — a flip there cannot alter what is restored.
+        for i in 0..text.len() - 1 {
+            let mut bad = text.clone().into_bytes();
+            bad[i] ^= 0x01;
+            let Ok(s) = String::from_utf8(bad) else {
+                continue; // no longer text at all — cannot reach the parser
+            };
+            assert!(
+                AnalysisCheckpoint::from_text(&s).is_err(),
+                "flip at byte {i} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let text = sample().to_text();
+        for cut in [0, 1, text.len() / 2, text.len() - 2] {
+            assert!(
+                AnalysisCheckpoint::from_text(&text[..cut]).is_err(),
+                "truncation at {cut} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_structures_are_rejected() {
+        // Re-seal a structurally bad body with a valid checksum so the
+        // structural error (not the checksum) is what trips.
+        let seal = |body: &str| {
+            let sum = oat_httplog::fnv1a64(body.as_bytes());
+            format!("{body}checksum = {sum:016x}\n")
+        };
+        let bad_header = seal("not a checkpoint\n");
+        assert!(matches!(
+            AnalysisCheckpoint::from_text(&bad_header),
+            Err(CheckpointError::BadHeader)
+        ));
+        let unclosed = seal(&format!("{CHECKPOINT_HEADER}\nbegin popularity\n"));
+        assert!(AnalysisCheckpoint::from_text(&unclosed).is_err());
+        let mismatched = seal(&format!("{CHECKPOINT_HEADER}\nbegin a\nend b\n"));
+        assert!(AnalysisCheckpoint::from_text(&mismatched).is_err());
+        let unknown = seal(&format!("{CHECKPOINT_HEADER}\nmystery = 3\n"));
+        assert!(AnalysisCheckpoint::from_text(&unknown).is_err());
+    }
+
+    #[test]
+    fn field_helpers() {
+        assert_eq!(field_u64(Some("site=4"), "site"), Ok(4));
+        assert!(field_u64(Some("site=x"), "site").is_err());
+        assert!(field_u64(Some("user=4"), "site").is_err());
+        assert!(field_u64(None, "site").is_err());
+        let v = 1234.5678_f64;
+        assert_eq!(f64_from_hex(&f64_to_hex(v)), Ok(v));
+        assert!(f64_from_hex("zz").is_err());
+    }
+}

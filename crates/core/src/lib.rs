@@ -40,12 +40,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analyzers;
+pub mod checkpoint;
 pub mod experiment;
 pub mod export;
 pub mod report;
 pub mod sitemap;
 
 pub use analyzers::{Analyzer, StreamAnalyzer};
+pub use checkpoint::{AnalysisCheckpoint, CheckpointError, CHECKPOINT_HEADER};
 pub use experiment::{
     run, run_streaming, run_streaming_gauged, ExperimentConfig, ExperimentResult, StreamGauge,
     StreamOptions,

@@ -1,0 +1,309 @@
+//! Durable write primitives and a storage fault-injection seam.
+//!
+//! Long spool-generation runs die for mundane reasons — SIGKILL, OOM,
+//! full disks — and a torn shard write must never be mistaken for a
+//! complete one. Every file the out-of-core pipeline persists goes
+//! through [`write_atomic`]: write to `<name>.tmp`, flush, `fsync`,
+//! atomically rename over the final name, then `fsync` the parent
+//! directory so the rename itself survives a crash. A file is therefore
+//! either absent or complete; readers never see partial contents.
+//!
+//! The [`IoLayer`] trait is the fault seam. Production code passes
+//! [`RealIo`] (every operation proceeds); recovery tests pass a
+//! [`FailAt`] that deterministically fails the K-th storage operation —
+//! optionally as `ENOSPC` — which lets a property test "kill" the
+//! pipeline at every write/fsync/rename boundary and assert that a
+//! resumed run reproduces the uninterrupted output byte for byte.
+
+use std::fmt::Debug;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher.
+///
+/// Dependency-free and stable across platforms and releases; used for
+/// shard column checksums, manifest fingerprints, and checkpoint
+/// trailers. Not cryptographic — it detects corruption, not tampering.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Creates a hasher at the offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The hash of everything folded in so far.
+    ///
+    /// (Named `digest`, not `finish`, so the workspace call-graph linter
+    /// never conflates hashing with the many streaming `finish` folds.)
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a 64-bit hash of `bytes` in one call.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.digest()
+}
+
+/// A storage operation checked against an [`IoLayer`] before it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Creating the temporary file.
+    Create,
+    /// Flushing buffered body bytes.
+    Write,
+    /// `fsync` of the temporary file.
+    Fsync,
+    /// Atomic rename onto the final name.
+    Rename,
+}
+
+/// The storage fault seam.
+///
+/// [`write_atomic`] asks the layer for permission before each create /
+/// write / fsync / rename; a layer that returns an error simulates that
+/// operation failing at exactly that point. The real implementation
+/// ([`RealIo`]) always says yes.
+pub trait IoLayer: Send + Sync + Debug {
+    /// Returns `Err` to make operation `op` on `path` fail.
+    fn check(&self, op: IoOp, path: &Path) -> io::Result<()>;
+}
+
+/// The production layer: every operation proceeds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl IoLayer for RealIo {
+    fn check(&self, _op: IoOp, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Deterministic fault injector: fails the K-th checked operation
+/// (1-based), once; operations before and after succeed.
+///
+/// The single failure models a crash — the pipeline aborts on the first
+/// storage error, so what matters is *where* it dies, and a later
+/// resumed run (with [`RealIo`]) must recover from that exact state.
+#[derive(Debug)]
+pub struct FailAt {
+    fail_at: u64,
+    enospc: bool,
+    seen: AtomicU64,
+}
+
+impl FailAt {
+    /// Fails the `k`-th checked operation (1-based) with a generic
+    /// injected I/O error. `k == 0` never fails.
+    pub fn new(k: u64) -> Self {
+        Self {
+            fail_at: k,
+            enospc: false,
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Fails the `k`-th checked operation with `ENOSPC` (disk full).
+    pub fn enospc(k: u64) -> Self {
+        Self {
+            fail_at: k,
+            enospc: true,
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Total operations checked so far (used to size kill-anywhere
+    /// sweeps: run once with a never-failing injector to count ops).
+    pub fn ops_seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+}
+
+impl IoLayer for FailAt {
+    fn check(&self, op: IoOp, path: &Path) -> io::Result<()> {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if n != self.fail_at {
+            return Ok(());
+        }
+        if self.enospc {
+            // `ErrorKind::StorageFull` is unstable on this toolchain;
+            // raw errno 28 round-trips through `raw_os_error`.
+            return Err(io::Error::from_raw_os_error(28));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::Other,
+            format!("injected {op:?} failure at op {n} ({})", path.display()),
+        ))
+    }
+}
+
+/// True when `err` is an out-of-space condition (`ENOSPC`).
+pub fn is_enospc(err: &io::Error) -> bool {
+    err.raw_os_error() == Some(28)
+}
+
+/// The temporary-name twin of `path` used during an atomic write.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Writes a file atomically: body to `<path>.tmp`, flush, `fsync`,
+/// rename onto `path`, `fsync` the parent directory.
+///
+/// On any failure the temporary file is removed (best effort) and
+/// `path` is untouched — after a crash a reader sees either the old
+/// complete file or none at all. The `.tmp` suffix keeps in-flight
+/// files invisible to `.col` directory listings.
+pub fn write_atomic<F>(io: &dyn IoLayer, path: &Path, body: F) -> io::Result<()>
+where
+    F: FnOnce(&mut dyn Write) -> io::Result<()>,
+{
+    let tmp = tmp_path(path);
+    let result = write_atomic_inner(io, path, &tmp, body);
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_atomic_inner<F>(io: &dyn IoLayer, path: &Path, tmp: &Path, body: F) -> io::Result<()>
+where
+    F: FnOnce(&mut dyn Write) -> io::Result<()>,
+{
+    io.check(IoOp::Create, path)?;
+    let file = File::create(tmp)?; // truncates a stale .tmp from a prior crash
+    let mut writer = BufWriter::new(file);
+    body(&mut writer)?;
+    io.check(IoOp::Write, path)?;
+    writer.flush()?;
+    let file = writer.into_inner().map_err(|e| e.into_error())?;
+    io.check(IoOp::Fsync, path)?;
+    file.sync_all()?;
+    io.check(IoOp::Rename, path)?;
+    std::fs::rename(tmp, path)?;
+    sync_parent(path)
+}
+
+/// `fsync` of `path`'s parent directory so the rename is durable.
+#[cfg(unix)]
+fn sync_parent(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => File::open(parent)?.sync_all(),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(not(unix))]
+fn sync_parent(_path: &Path) -> io::Result<()> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("oat-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        let mut streaming = Fnv1a::new();
+        streaming.update(b"foo");
+        streaming.update(b"bar");
+        assert_eq!(streaming.digest(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn write_atomic_lands_complete_file() {
+        let dir = temp_dir("ok");
+        let path = dir.join("out.bin");
+        write_atomic(&RealIo, &path, |w| w.write_all(b"hello")).expect("atomic write");
+        assert_eq!(std::fs::read(&path).expect("read back"), b"hello");
+        assert!(!tmp_path(&path).exists(), "tmp cleaned up by rename");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_no_trace() {
+        let dir = temp_dir("fail");
+        let path = dir.join("out.bin");
+        // Ops per write: Create, Write, Fsync, Rename — fail each in turn.
+        for k in 1..=4 {
+            let inject = FailAt::new(k);
+            let err = write_atomic(&inject, &path, |w| w.write_all(b"hello"))
+                .expect_err("injected failure");
+            assert!(!is_enospc(&err));
+            assert!(!path.exists(), "no final file after failing op {k}");
+            assert!(
+                !tmp_path(&path).exists(),
+                "no tmp left after failing op {k}"
+            );
+        }
+        let inject = FailAt::new(5);
+        write_atomic(&inject, &path, |w| w.write_all(b"hello")).expect("only 4 ops per write");
+        assert_eq!(inject.ops_seen(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_is_detectable() {
+        let dir = temp_dir("enospc");
+        let path = dir.join("out.bin");
+        let inject = FailAt::enospc(3);
+        let err =
+            write_atomic(&inject, &path, |w| w.write_all(b"hello")).expect_err("injected enospc");
+        assert!(is_enospc(&err));
+        assert!(!is_enospc(&io::Error::new(io::ErrorKind::Other, "boom")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_is_atomic() {
+        let dir = temp_dir("overwrite");
+        let path = dir.join("out.bin");
+        write_atomic(&RealIo, &path, |w| w.write_all(b"old")).expect("first write");
+        // A failed overwrite must leave the previous contents intact.
+        let inject = FailAt::new(4); // fail the rename
+        write_atomic(&inject, &path, |w| w.write_all(b"new")).expect_err("injected failure");
+        assert_eq!(std::fs::read(&path).expect("read back"), b"old");
+        write_atomic(&RealIo, &path, |w| w.write_all(b"new")).expect("second write");
+        assert_eq!(std::fs::read(&path).expect("read back"), b"new");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,6 +11,7 @@
 use crate::codec::binary::{BinaryDecodeError, BinaryEncodeError};
 use crate::codec::columnar::ColumnarError;
 use crate::codec::text::TextDecodeError;
+use crate::manifest::ManifestError;
 use std::fmt;
 use std::io;
 
@@ -39,6 +40,9 @@ pub enum HttplogError {
     /// A columnar shard failed to read or write (see
     /// [`codec::columnar`](crate::codec::columnar)).
     Columnar(ColumnarError),
+    /// A spool manifest is missing, malformed, or disagrees with the
+    /// shard directory (see [`manifest`](crate::manifest)).
+    Manifest(ManifestError),
 }
 
 impl HttplogError {
@@ -51,6 +55,7 @@ impl HttplogError {
             | Self::Encode(_)
             | Self::ErrorBudgetExceeded { .. } => true,
             Self::Columnar(e) => e.is_data_error(),
+            Self::Manifest(e) => e.is_data_error(),
             Self::Io(_) | Self::InvalidConfig(_) => false,
         }
     }
@@ -72,6 +77,7 @@ impl fmt::Display for HttplogError {
                 "quarantined {quarantined} corrupt records, exceeding the error budget of {budget}"
             ),
             Self::Columnar(e) => write!(f, "columnar shard error: {e}"),
+            Self::Manifest(e) => write!(f, "spool manifest error: {e}"),
         }
     }
 }
@@ -86,6 +92,7 @@ impl std::error::Error for HttplogError {
             Self::InvalidConfig(_) => None,
             Self::ErrorBudgetExceeded { .. } => None,
             Self::Columnar(e) => Some(e),
+            Self::Manifest(e) => Some(e),
         }
     }
 }
@@ -125,6 +132,17 @@ impl From<ColumnarError> for HttplogError {
     }
 }
 
+/// Manifest I/O failures surface as [`HttplogError::Io`], like columnar
+/// ones; everything else stays a (data-level) manifest error.
+impl From<ManifestError> for HttplogError {
+    fn from(e: ManifestError) -> Self {
+        match e {
+            ManifestError::Io(inner) => Self::Io(inner),
+            other => Self::Manifest(other),
+        }
+    }
+}
+
 /// Lossy downgrade for callers living in `io::Result` land: decode errors
 /// become [`io::ErrorKind::InvalidData`], encode errors
 /// [`io::ErrorKind::InvalidInput`].
@@ -138,7 +156,9 @@ impl From<HttplogError> for io::Error {
             HttplogError::Encode(_) | HttplogError::InvalidConfig(_) => {
                 io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
             }
-            HttplogError::ErrorBudgetExceeded { .. } | HttplogError::Columnar(_) => {
+            HttplogError::ErrorBudgetExceeded { .. }
+            | HttplogError::Columnar(_)
+            | HttplogError::Manifest(_) => {
                 io::Error::new(io::ErrorKind::InvalidData, e.to_string())
             }
         }

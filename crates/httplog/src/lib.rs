@@ -39,11 +39,13 @@
 pub mod anonymize;
 pub mod codec;
 pub mod content;
+pub mod durable;
 pub mod error;
 pub mod filter;
 pub mod geo;
 pub mod ids;
 pub mod io;
+pub mod manifest;
 pub mod record;
 pub mod request;
 pub mod shard;
@@ -52,14 +54,16 @@ pub mod status;
 pub use anonymize::Anonymizer;
 pub use codec::columnar::{
     read_shard_footer, ColumnBuilder, ColumnarError, ColumnarRow, ColumnarShard, Schema,
-    ShardFileReader, ShardFilter, ShardFooter, ZoneMap,
+    ShardChecksums, ShardFileReader, ShardFilter, ShardFooter, ZoneMap,
 };
 pub use content::{ContentClass, FileFormat};
+pub use durable::{fnv1a64, is_enospc, write_atomic, FailAt, Fnv1a, IoLayer, IoOp, RealIo};
 pub use error::HttplogError;
 pub use filter::LogStreamExt;
 pub use geo::Region;
 pub use ids::{ObjectId, PopId, PublisherId, UserId};
 pub use io::{LogReader, LogWriter};
+pub use manifest::{ManifestError, ManifestShard, SpoolManifest};
 pub use record::LogRecord;
 pub use request::{Request, RequestKind};
 pub use shard::{

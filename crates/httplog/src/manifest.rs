@@ -1,0 +1,380 @@
+//! Spool manifests: what a columnar spool directory *should* contain.
+//!
+//! A spool is only trustworthy if a reader can tell (a) that generation
+//! finished, (b) which shards belong to it, and (c) that it was produced
+//! by the configuration the analysis expects. The `MANIFEST-{prefix}.toml`
+//! file records all three: a config fingerprint (trace-config hash +
+//! seed + codec version), the shard list with per-shard row counts, and
+//! a completion marker. It is written atomically (see
+//! [`crate::durable::write_atomic`]) as the *last* step of generation,
+//! so its presence with `complete = true` certifies the whole spool;
+//! an interrupted `ENOSPC` run flushes a partial manifest
+//! (`complete = false`) describing whatever shards survived.
+//!
+//! The format is the same dependency-free TOML subset the fault-plan
+//! files use: `key = value` lines, `[[shard]]` array-of-tables sections,
+//! `#` comments. No TOML crate is involved.
+
+use crate::durable::{write_atomic, IoLayer};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One shard entry in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestShard {
+    /// File name relative to the spool directory (e.g. `req-000003.col`).
+    pub name: String,
+    /// Rows the shard holds (must match its footer).
+    pub rows: u64,
+}
+
+/// The on-disk description of a columnar spool directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpoolManifest {
+    /// Shard file-name prefix.
+    pub prefix: String,
+    /// Columnar codec version the shards were written with.
+    pub codec_version: u8,
+    /// Generation fingerprint (trace-config hash + seed + codec
+    /// version); `0` means unfingerprinted.
+    pub fingerprint: u64,
+    /// Rows-per-shard knob the spool was generated with.
+    pub rows_per_shard: u64,
+    /// Total rows across all shards.
+    pub total_rows: u64,
+    /// True only when generation ran to completion.
+    pub complete: bool,
+    /// Shards in file-name order.
+    pub shards: Vec<ManifestShard>,
+}
+
+impl SpoolManifest {
+    /// The manifest path for a spool `dir`/`prefix`.
+    pub fn path_for(dir: &Path, prefix: &str) -> PathBuf {
+        dir.join(format!("MANIFEST-{prefix}.toml"))
+    }
+
+    /// Renders the manifest in the dependency-free TOML subset.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# oat columnar spool manifest\n");
+        out.push_str(&format!("prefix = \"{}\"\n", self.prefix));
+        out.push_str(&format!("codec_version = {}\n", self.codec_version));
+        out.push_str(&format!("fingerprint = {}\n", self.fingerprint));
+        out.push_str(&format!("rows_per_shard = {}\n", self.rows_per_shard));
+        out.push_str(&format!("total_rows = {}\n", self.total_rows));
+        out.push_str(&format!("complete = {}\n", self.complete));
+        for shard in &self.shards {
+            out.push_str("\n[[shard]]\n");
+            out.push_str(&format!("name = \"{}\"\n", shard.name));
+            out.push_str(&format!("rows = {}\n", shard.rows));
+        }
+        out
+    }
+
+    /// Parses a manifest from the TOML subset.
+    pub fn from_toml_str(text: &str) -> Result<Self, ManifestError> {
+        let mut manifest = SpoolManifest {
+            prefix: String::new(),
+            codec_version: 0,
+            fingerprint: 0,
+            rows_per_shard: 0,
+            total_rows: 0,
+            complete: false,
+            shards: Vec::new(),
+        };
+        let mut in_shard = false;
+        let mut saw_prefix = false;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = match raw.find('#') {
+                Some(at) => &raw[..at],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[shard]]" {
+                in_shard = true;
+                manifest.shards.push(ManifestShard {
+                    name: String::new(),
+                    rows: 0,
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(ManifestError::at(lineno, format!("unknown section {line}")));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| ManifestError::at(lineno, "expected key = value".to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            if in_shard {
+                let shard = manifest
+                    .shards
+                    .last_mut()
+                    .ok_or_else(|| ManifestError::at(lineno, "no open shard".to_string()))?;
+                match key {
+                    "name" => shard.name = parse_string(lineno, value)?,
+                    "rows" => shard.rows = parse_u64(lineno, value)?,
+                    other => {
+                        return Err(ManifestError::at(lineno, format!("unknown key {other}")));
+                    }
+                }
+            } else {
+                match key {
+                    "prefix" => {
+                        manifest.prefix = parse_string(lineno, value)?;
+                        saw_prefix = true;
+                    }
+                    "codec_version" => {
+                        let v = parse_u64(lineno, value)?;
+                        manifest.codec_version = u8::try_from(v).map_err(|_| {
+                            ManifestError::at(lineno, format!("codec_version {v} out of range"))
+                        })?;
+                    }
+                    "fingerprint" => manifest.fingerprint = parse_u64(lineno, value)?,
+                    "rows_per_shard" => manifest.rows_per_shard = parse_u64(lineno, value)?,
+                    "total_rows" => manifest.total_rows = parse_u64(lineno, value)?,
+                    "complete" => {
+                        manifest.complete = match value {
+                            "true" => true,
+                            "false" => false,
+                            other => {
+                                return Err(ManifestError::at(
+                                    lineno,
+                                    format!("expected true/false, got {other}"),
+                                ));
+                            }
+                        };
+                    }
+                    other => {
+                        return Err(ManifestError::at(lineno, format!("unknown key {other}")));
+                    }
+                }
+            }
+        }
+        if !saw_prefix {
+            return Err(ManifestError::at(0, "missing prefix".to_string()));
+        }
+        for shard in &manifest.shards {
+            if shard.name.is_empty() {
+                return Err(ManifestError::at(0, "shard without name".to_string()));
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Writes the manifest atomically into `dir`.
+    pub fn store(&self, io: &dyn IoLayer, dir: &Path) -> io::Result<()> {
+        let text = self.to_toml();
+        write_atomic(io, &Self::path_for(dir, &self.prefix), |w| {
+            w.write_all(text.as_bytes())
+        })
+    }
+
+    /// Loads the manifest for `dir`/`prefix`; `Ok(None)` when absent.
+    pub fn load(dir: &Path, prefix: &str) -> Result<Option<Self>, ManifestError> {
+        let path = Self::path_for(dir, prefix);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ManifestError::Io(e)),
+        };
+        let manifest = Self::from_toml_str(&text)?;
+        if manifest.prefix != prefix {
+            return Err(ManifestError::at(
+                0,
+                format!(
+                    "manifest prefix {:?} does not match file name prefix {prefix:?}",
+                    manifest.prefix
+                ),
+            ));
+        }
+        Ok(Some(manifest))
+    }
+}
+
+fn parse_string(lineno: usize, value: &str) -> Result<String, ManifestError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ManifestError::at(lineno, format!("expected quoted string, got {value}")))?;
+    if inner.contains('"') {
+        return Err(ManifestError::at(
+            lineno,
+            "embedded quotes unsupported".to_string(),
+        ));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_u64(lineno: usize, value: &str) -> Result<u64, ManifestError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| ManifestError::at(lineno, format!("expected integer, got {value}")))
+}
+
+/// Why a manifest failed to load or verify.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// Underlying I/O failure (not a data error).
+    Io(io::Error),
+    /// Malformed manifest text (line 0 = whole-file problem).
+    Parse {
+        /// 1-based line, 0 for whole-file errors.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// No manifest file where one is required.
+    Missing(PathBuf),
+    /// Manifest present but generation never completed.
+    Incomplete,
+    /// Spool was generated under a different configuration.
+    FingerprintMismatch {
+        /// Fingerprint the caller expected.
+        expected: u64,
+        /// Fingerprint recorded in the manifest.
+        found: u64,
+    },
+    /// Directory contents disagree with the shard list.
+    ShardMismatch(String),
+}
+
+impl ManifestError {
+    fn at(line: usize, msg: String) -> Self {
+        ManifestError::Parse { line, msg }
+    }
+
+    /// True when the manifest (or spool) data is bad, as opposed to an
+    /// environmental I/O failure.
+    pub fn is_data_error(&self) -> bool {
+        !matches!(self, ManifestError::Io(_))
+    }
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest io error: {e}"),
+            ManifestError::Parse { line: 0, msg } => write!(f, "manifest parse error: {msg}"),
+            ManifestError::Parse { line, msg } => {
+                write!(f, "manifest parse error at line {line}: {msg}")
+            }
+            ManifestError::Missing(path) => {
+                write!(f, "manifest missing: {}", path.display())
+            }
+            ManifestError::Incomplete => {
+                write!(
+                    f,
+                    "manifest marks the spool incomplete (interrupted generation)"
+                )
+            }
+            ManifestError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "spool fingerprint mismatch: expected {expected:#018x}, manifest has {found:#018x}"
+            ),
+            ManifestError::ShardMismatch(msg) => write!(f, "spool/manifest disagree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManifestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ManifestError {
+    fn from(e: io::Error) -> Self {
+        ManifestError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::RealIo;
+
+    fn sample() -> SpoolManifest {
+        SpoolManifest {
+            prefix: "req".to_string(),
+            codec_version: 2,
+            fingerprint: 0xDEAD_BEEF,
+            rows_per_shard: 1_000,
+            total_rows: 2_345,
+            complete: true,
+            shards: vec![
+                ManifestShard {
+                    name: "req-000000.col".to_string(),
+                    rows: 1_000,
+                },
+                ManifestShard {
+                    name: "req-000001.col".to_string(),
+                    rows: 1_000,
+                },
+                ManifestShard {
+                    name: "req-000002.col".to_string(),
+                    rows: 345,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn toml_round_trip() {
+        let manifest = sample();
+        let parsed = SpoolManifest::from_toml_str(&manifest.to_toml()).expect("parse");
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn store_and_load() {
+        let dir =
+            std::env::temp_dir().join(format!("oat-manifest-roundtrip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        assert!(SpoolManifest::load(&dir, "req").expect("load").is_none());
+        let manifest = sample();
+        manifest.store(&RealIo, &dir).expect("store");
+        let loaded = SpoolManifest::load(&dir, "req")
+            .expect("load")
+            .expect("present");
+        assert_eq!(loaded, manifest);
+        // Wrong prefix: no such manifest file.
+        assert!(SpoolManifest::load(&dir, "other").expect("load").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err =
+            SpoolManifest::from_toml_str("prefix = \"req\"\nbogus line\n").expect_err("malformed");
+        assert!(matches!(err, ManifestError::Parse { line: 2, .. }), "{err}");
+        assert!(err.is_data_error());
+        let err = SpoolManifest::from_toml_str("prefix = \"req\"\nrows_per_shard = abc\n")
+            .expect_err("bad integer");
+        assert!(matches!(err, ManifestError::Parse { line: 2, .. }), "{err}");
+        let err = SpoolManifest::from_toml_str("codec_version = 2\n").expect_err("no prefix");
+        assert!(matches!(err, ManifestError::Parse { line: 0, .. }), "{err}");
+        let err = SpoolManifest::from_toml_str("prefix = \"req\"\n[section]\n")
+            .expect_err("unknown section");
+        assert!(matches!(err, ManifestError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let text = "\n# header\n  prefix = \"req\"  # inline\ncomplete = true\n\n[[shard]]\nname = \"req-000000.col\"\nrows = 7\n";
+        let parsed = SpoolManifest::from_toml_str(text).expect("parse");
+        assert_eq!(parsed.prefix, "req");
+        assert!(parsed.complete);
+        assert_eq!(parsed.shards.len(), 1);
+        assert_eq!(parsed.shards[0].rows, 7);
+    }
+}

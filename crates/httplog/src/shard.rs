@@ -12,10 +12,11 @@
 //! a [`ShardFilter`].
 
 use crate::codec::columnar::{
-    ColumnBuilder, ColumnarError, ColumnarRow, ColumnarShard, ShardFilter,
+    read_shard_footer, ColumnBuilder, ColumnarError, ColumnarRow, ColumnarShard, ShardFilter,
 };
 use crate::error::HttplogError;
 use crate::io::{Format, LogReader, LogWriter};
+use crate::manifest::{ManifestError, SpoolManifest};
 use crate::record::LogRecord;
 use std::collections::hash_map::Entry;
 use std::collections::BinaryHeap;
@@ -521,6 +522,88 @@ impl<T: ColumnarRow> ColumnarDirReader<T> {
             paths,
             _row: PhantomData,
         })
+    }
+
+    /// Opens a spool like [`open`](ColumnarDirReader::open), but first
+    /// verifies it against its [`SpoolManifest`]: the manifest must exist
+    /// and be marked complete, its fingerprint must match
+    /// `expected_fingerprint` (when one is given), the directory listing
+    /// must hold exactly the manifested shards (no stale extras, nothing
+    /// missing), and every shard footer must agree with its manifested
+    /// row count. This is what catches a partially-written or
+    /// wrong-configuration spool *before* an hours-long analysis starts.
+    ///
+    /// # Errors
+    ///
+    /// [`HttplogError::Manifest`] for every verification failure
+    /// ([`ManifestError::Missing`] / [`Incomplete`](ManifestError::Incomplete)
+    /// / [`FingerprintMismatch`](ManifestError::FingerprintMismatch) /
+    /// [`ShardMismatch`](ManifestError::ShardMismatch)), plus shard
+    /// footer parse errors and [`HttplogError::Io`] for environment
+    /// failures.
+    pub fn open_verified(
+        dir: &Path,
+        prefix: &str,
+        expected_fingerprint: Option<u64>,
+    ) -> Result<(Self, SpoolManifest), HttplogError> {
+        let manifest = SpoolManifest::load(dir, prefix)?.ok_or_else(|| {
+            HttplogError::from(ManifestError::Missing(SpoolManifest::path_for(dir, prefix)))
+        })?;
+        if !manifest.complete {
+            return Err(ManifestError::Incomplete.into());
+        }
+        if let Some(expected) = expected_fingerprint {
+            if manifest.fingerprint != expected {
+                return Err(ManifestError::FingerprintMismatch {
+                    expected,
+                    found: manifest.fingerprint,
+                }
+                .into());
+            }
+        }
+        let reader = Self::open(dir, prefix)?;
+        let listed: Vec<&str> = reader
+            .paths
+            .iter()
+            .filter_map(|p| p.file_name().and_then(|n| n.to_str()))
+            .collect();
+        for entry in &manifest.shards {
+            if !listed.contains(&entry.name.as_str()) {
+                return Err(ManifestError::ShardMismatch(format!(
+                    "manifested shard {} is missing from the spool",
+                    entry.name
+                ))
+                .into());
+            }
+        }
+        for name in &listed {
+            if !manifest.shards.iter().any(|s| s.name == *name) {
+                return Err(ManifestError::ShardMismatch(format!(
+                    "stale shard {name} is not in the manifest"
+                ))
+                .into());
+            }
+        }
+        let mut total: u64 = 0;
+        for (path, entry) in reader.paths.iter().zip(&manifest.shards) {
+            let footer = read_shard_footer(path)?;
+            if footer.rows != entry.rows {
+                return Err(ManifestError::ShardMismatch(format!(
+                    "shard {} holds {} rows, manifest says {}",
+                    entry.name, footer.rows, entry.rows
+                ))
+                .into());
+            }
+            total += footer.rows;
+        }
+        if total != manifest.total_rows {
+            return Err(ManifestError::ShardMismatch(format!(
+                "shards hold {total} rows, manifest says {}",
+                manifest.total_rows
+            ))
+            .into());
+        }
+        Ok((reader, manifest))
     }
 
     /// Number of shard files.
@@ -1036,6 +1119,161 @@ mod tests {
             .scan_lossy(&ShardFilter::all(), 0, ErrorBudget::new(1), |_| {})
             .expect_err("budget of 1 cannot absorb 2 bad shards");
         assert!(matches!(err, HttplogError::ErrorBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn checksummed_shard_corruption_quarantines_whole_shard() {
+        // A flipped byte in a v2 (checksummed) shard must fail at open,
+        // so the lossy scan quarantines the shard ONCE and salvages zero
+        // rows from it — corruption is detected, never decoded.
+        let dir = tmp("col-flip");
+        let input = records(30);
+        let mut w = ColumnarDirWriter::<LogRecord>::new(&dir, "trace", 10).expect("writer");
+        w.push_batch(&input).expect("push");
+        w.finish().expect("finish");
+
+        let middle = dir.join("trace-000001.col");
+        let mut bytes = std::fs::read(&middle).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01; // one bit, mid-column
+        std::fs::write(&middle, &bytes).unwrap();
+
+        let r = ColumnarDirReader::<LogRecord>::open(&dir, "trace").expect("reader");
+        let mut seen: Vec<LogRecord> = Vec::new();
+        let (n, report) = r
+            .scan_lossy(&ShardFilter::all(), 0, ErrorBudget::default(), |batch| {
+                seen.extend_from_slice(batch)
+            })
+            .expect("lossy scan");
+        assert_eq!(n, 20, "no row of the corrupt shard is salvaged");
+        assert_eq!(report.quarantined, 1, "whole-shard quarantine, once");
+        assert!(report.samples[0].contains("trace-000001.col"));
+        let expected: Vec<LogRecord> = input[..10].iter().chain(&input[20..]).cloned().collect();
+        assert_eq!(seen, expected);
+    }
+
+    fn manifest_for(dir: &Path, prefix: &str, fingerprint: u64) -> SpoolManifest {
+        let reader = ColumnarDirReader::<LogRecord>::open(dir, prefix).expect("reader");
+        let shards: Vec<crate::manifest::ManifestShard> = reader
+            .paths()
+            .iter()
+            .map(|p| crate::manifest::ManifestShard {
+                name: p.file_name().unwrap().to_str().unwrap().to_string(),
+                rows: read_shard_footer(p).expect("footer").rows,
+            })
+            .collect();
+        SpoolManifest {
+            prefix: prefix.to_string(),
+            codec_version: crate::codec::columnar::VERSION,
+            fingerprint,
+            rows_per_shard: 10,
+            total_rows: shards.iter().map(|s| s.rows).sum(),
+            complete: true,
+            shards,
+        }
+    }
+
+    #[test]
+    fn open_verified_accepts_a_complete_matching_spool() {
+        let dir = tmp("verified-ok");
+        let input = records(25);
+        let mut w = ColumnarDirWriter::<LogRecord>::new(&dir, "trace", 10).expect("writer");
+        w.push_batch(&input).expect("push");
+        w.finish().expect("finish");
+        let manifest = manifest_for(&dir, "trace", 0xFEED);
+        manifest
+            .store(&crate::durable::RealIo, &dir)
+            .expect("store");
+
+        let (reader, loaded) =
+            ColumnarDirReader::<LogRecord>::open_verified(&dir, "trace", Some(0xFEED))
+                .expect("verified open");
+        assert_eq!(loaded, manifest);
+        assert_eq!(reader.shards(), 3);
+        // Without a fingerprint expectation, any recorded value passes.
+        ColumnarDirReader::<LogRecord>::open_verified(&dir, "trace", None)
+            .expect("unfingerprinted open");
+    }
+
+    #[test]
+    fn open_verified_rejects_bad_spools() {
+        let dir = tmp("verified-bad");
+        let input = records(25);
+        let mut w = ColumnarDirWriter::<LogRecord>::new(&dir, "trace", 10).expect("writer");
+        w.push_batch(&input).expect("push");
+        w.finish().expect("finish");
+
+        let reject = |expected: Option<u64>, want: &str| {
+            let err = ColumnarDirReader::<LogRecord>::open_verified(&dir, "trace", expected)
+                .expect_err(want);
+            assert!(err.is_data_error(), "{want}: {err}");
+            err
+        };
+
+        // No manifest at all.
+        let err = reject(None, "missing manifest");
+        assert!(matches!(
+            err,
+            HttplogError::Manifest(ManifestError::Missing(_))
+        ));
+
+        // Incomplete manifest (interrupted generation).
+        let mut manifest = manifest_for(&dir, "trace", 0xFEED);
+        manifest.complete = false;
+        manifest
+            .store(&crate::durable::RealIo, &dir)
+            .expect("store");
+        let err = reject(None, "incomplete manifest");
+        assert!(matches!(
+            err,
+            HttplogError::Manifest(ManifestError::Incomplete)
+        ));
+
+        // Fingerprint mismatch (different config/seed).
+        manifest.complete = true;
+        manifest
+            .store(&crate::durable::RealIo, &dir)
+            .expect("store");
+        let err = reject(Some(0xBAD), "fingerprint mismatch");
+        assert!(matches!(
+            err,
+            HttplogError::Manifest(ManifestError::FingerprintMismatch {
+                expected: 0xBAD,
+                found: 0xFEED
+            })
+        ));
+
+        // A stale extra shard on disk.
+        let extra = dir.join("trace-000099.col");
+        std::fs::copy(dir.join("trace-000000.col"), &extra).unwrap();
+        let err = reject(Some(0xFEED), "stale shard");
+        assert!(matches!(
+            err,
+            HttplogError::Manifest(ManifestError::ShardMismatch(_))
+        ));
+        std::fs::remove_file(&extra).unwrap();
+
+        // A manifested shard missing from disk.
+        let victim = dir.join("trace-000002.col");
+        let saved = std::fs::read(&victim).unwrap();
+        std::fs::remove_file(&victim).unwrap();
+        let err = reject(Some(0xFEED), "missing shard");
+        assert!(matches!(
+            err,
+            HttplogError::Manifest(ManifestError::ShardMismatch(_))
+        ));
+        std::fs::write(&victim, &saved).unwrap();
+
+        // A shard whose footer row count disagrees with the manifest.
+        manifest.shards[1].rows += 1;
+        manifest
+            .store(&crate::durable::RealIo, &dir)
+            .expect("store");
+        let err = reject(Some(0xFEED), "row count mismatch");
+        assert!(matches!(
+            err,
+            HttplogError::Manifest(ManifestError::ShardMismatch(_))
+        ));
     }
 
     #[test]

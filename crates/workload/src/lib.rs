@@ -60,7 +60,8 @@ pub use generator::{
     CHUNK_BYTES, DEFAULT_BATCH_SIZE, DEFAULT_SHARD_SIZE,
 };
 pub use pargen::{
-    generate_columnar_parallel, ParGenOptions, DEFAULT_MERGE_FANIN, DEFAULT_RUN_ROWS,
+    config_fingerprint, generate_columnar_parallel, generate_columnar_parallel_with, ParGenOptions,
+    ResumeOptions, DEFAULT_MERGE_FANIN, DEFAULT_RUN_ROWS,
 };
 pub use profile::{ClassParams, SiteProfile, SizeModel, TrendMix};
 pub use temporal::DiurnalCurve;

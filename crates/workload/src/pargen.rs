@@ -41,8 +41,12 @@ use crate::generator::{
     GenOptions, TraceConfig,
 };
 use crate::users::UserProfile;
+use oat_httplog::codec::columnar::VERSION as COLUMNAR_VERSION;
 use oat_httplog::shard::DEFAULT_ROWS_PER_SHARD;
-use oat_httplog::{ColumnBuilder, ColumnarError, HttplogError, Request, ShardFileReader};
+use oat_httplog::{
+    is_enospc, read_shard_footer, write_atomic, ColumnBuilder, ColumnarError, Fnv1a, HttplogError,
+    IoLayer, ManifestShard, RealIo, Request, ShardFileReader, SpoolManifest,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::path::{Path, PathBuf};
@@ -97,6 +101,40 @@ impl ParGenOptions {
             self.merge_fanin.max(2)
         }
     }
+}
+
+/// Crash-recovery options for [`generate_columnar_parallel_with`].
+#[derive(Debug, Clone)]
+pub struct ResumeOptions {
+    /// Reuse a surviving `.runs-<prefix>/` scratch directory (and any
+    /// completed output shards) from an interrupted run instead of
+    /// starting over. The scratch fingerprint must match the current
+    /// config and engine options; a mismatch falls back to a fresh
+    /// start (wiping the stale scratch).
+    pub resume: bool,
+    /// Storage fault seam every spool write goes through;
+    /// [`RealIo`] in production, a failing injector in recovery tests.
+    pub io: Arc<dyn IoLayer>,
+}
+
+impl Default for ResumeOptions {
+    fn default() -> Self {
+        Self {
+            resume: false,
+            io: Arc::new(RealIo),
+        }
+    }
+}
+
+/// Fingerprint of everything that determines spool *content*: the trace
+/// config (whose `Debug` form embeds every generation parameter) and the
+/// columnar codec version. Engine knobs (threads, run/merge sizes) are
+/// deliberately excluded — they never change the output bytes.
+pub fn config_fingerprint(config: &TraceConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(format!("{config:?}").as_bytes());
+    h.update(&[COLUMNAR_VERSION]);
+    h.digest()
 }
 
 /// Metadata of one sorted run file on disk.
@@ -193,6 +231,67 @@ where
     Ok(out)
 }
 
+/// Writes a task/group completion marker: one `part=… rows=… min=… max=…`
+/// line per output run file. The marker lands atomically *after* its run
+/// files, so its presence certifies that every listed file is complete —
+/// the journal entry `--resume` trusts to skip finished work.
+fn write_marker(io: &dyn IoLayer, path: &Path, files: &[RunFile]) -> Result<(), ColumnarError> {
+    let mut text = String::new();
+    for f in files {
+        let name = f
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| internal_err("run file name not unicode"))?;
+        text.push_str(&format!(
+            "part={name} rows={} min={} max={}\n",
+            f.rows, f.min_ts, f.max_ts
+        ));
+    }
+    write_atomic(io, path, |w| w.write_all(text.as_bytes())).map_err(ColumnarError::Io)
+}
+
+/// Reads a completion marker back into its run-file list; `Ok(None)` when
+/// the marker does not exist (the work was never completed).
+fn read_marker(path: &Path, runs_dir: &Path) -> Result<Option<Vec<RunFile>>, ColumnarError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ColumnarError::Io(e)),
+    };
+    let malformed = || {
+        ColumnarError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed completion marker {}", path.display()),
+        ))
+    };
+    let mut files = Vec::new();
+    for line in text.lines() {
+        let mut name: Option<String> = None;
+        let (mut rows, mut min_ts, mut max_ts) = (None, None, None);
+        for field in line.split_whitespace() {
+            let (key, value) = field.split_once('=').ok_or_else(malformed)?;
+            match key {
+                "part" => name = Some(value.to_string()),
+                "rows" => rows = value.parse::<u64>().ok(),
+                "min" => min_ts = value.parse::<u64>().ok(),
+                "max" => max_ts = value.parse::<u64>().ok(),
+                _ => return Err(malformed()),
+            }
+        }
+        match (name, rows, min_ts, max_ts) {
+            (Some(name), Some(rows), Some(min_ts), Some(max_ts)) => files.push(RunFile {
+                path: runs_dir.join(name),
+                rows,
+                min_ts,
+                max_ts,
+            }),
+            _ => return Err(malformed()),
+        }
+    }
+    Ok(Some(files))
+}
+
 /// Encodes `rows` into run files of at most `run_rows` rows each, reusing
 /// `builder`'s buffers across chunks.
 fn write_run_files<F>(
@@ -200,6 +299,7 @@ fn write_run_files<F>(
     rows: &[Request],
     run_rows: usize,
     runs_dir: &Path,
+    io: &dyn IoLayer,
     name_of: F,
 ) -> Result<Vec<RunFile>, ColumnarError>
 where
@@ -210,7 +310,7 @@ where
         builder.clear();
         builder.push_batch(chunk)?;
         let path = runs_dir.join(name_of(part));
-        builder.write_file(&path)?;
+        builder.write_file_with(&path, io)?;
         let zone = builder.zone();
         files.push(RunFile {
             path,
@@ -226,6 +326,12 @@ where
 /// Phase 1: generate every `(site, user-range)` task into its own sorted
 /// run. Runs are ordered by task index — the same order the serial path
 /// feeds its k-way merge — so later stable merges reproduce its output.
+///
+/// Each completed task writes an `r0-<t>.done` marker after its run
+/// files; under `resume`, marked tasks are reconstructed from their
+/// markers and never regenerated (generation is deterministic, so a
+/// half-written unmarked task is simply redone, atomically overwriting
+/// any leftover part files with identical bytes).
 fn generate_runs(
     config: &TraceConfig,
     catalogs: &[Catalog],
@@ -234,10 +340,18 @@ fn generate_runs(
     shard_size: usize,
     run_rows: usize,
     runs_dir: &Path,
+    io: &dyn IoLayer,
+    resume: bool,
 ) -> Result<Vec<Run>, ColumnarGenError> {
     let tasks = shard_tasks(populations, shard_size);
     let iats = site_iats(config);
     let per_task = parallel_indexed(tasks.len(), workers, |t| {
+        let marker = runs_dir.join(format!("r0-{t:06}.done"));
+        if resume {
+            if let Some(files) = read_marker(&marker, runs_dir)? {
+                return Ok(files);
+            }
+        }
         let &(site, lo, hi) = tasks
             .get(t)
             .ok_or_else(|| internal_err("task out of range"))?;
@@ -252,9 +366,11 @@ fn generate_runs(
         };
         let requests = generate_shard(config, site_profile, catalog, users, iat, site, lo, hi);
         let mut builder = ColumnBuilder::<Request>::new();
-        write_run_files(&mut builder, &requests, run_rows, runs_dir, |part| {
+        let files = write_run_files(&mut builder, &requests, run_rows, runs_dir, io, |part| {
             format!("r0-{t:06}-{part:03}.col")
-        })
+        })?;
+        write_marker(io, &marker, &files)?;
+        Ok(files)
     })
     .map_err(spool_err)?;
     Ok(per_task
@@ -374,16 +490,44 @@ where
 }
 
 /// Merges one group of consecutive runs into a single longer run, rotating
-/// output files every `run_rows` rows, then deletes the inputs.
+/// output files every `run_rows` rows.
+///
+/// Crash-safety ordering: outputs land first (atomically), then the
+/// group's `.done` marker, and only *then* are the inputs deleted. So a
+/// missing marker implies the inputs are still on disk (the merge can be
+/// redone), while a present marker lets `resume` reconstruct the output
+/// run without touching the — possibly already deleted — inputs.
+#[allow(clippy::too_many_arguments)]
 fn merge_group<F>(
     group: &[Run],
     run_rows: usize,
     runs_dir: &Path,
+    io: &dyn IoLayer,
+    resume: bool,
+    marker_name: &str,
     name_of: F,
 ) -> Result<Run, ColumnarError>
 where
     F: Fn(usize) -> String,
 {
+    let marker = runs_dir.join(marker_name);
+    if resume {
+        if let Some(files) = read_marker(&marker, runs_dir)? {
+            // Finished before the crash; inputs may be half-deleted.
+            // Finish the cleanup idempotently and reuse the outputs.
+            for run in group {
+                for file in &run.files {
+                    match std::fs::remove_file(&file.path) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(ColumnarError::Io(e)),
+                    }
+                }
+            }
+            let rows = files.iter().map(|f| f.rows).sum();
+            return Ok(Run { files, rows });
+        }
+    }
     let cursors: Vec<RunCursor> = group.iter().map(|run| RunCursor::new(run, 0)).collect();
     let mut builder = ColumnBuilder::<Request>::new();
     let mut files: Vec<RunFile> = Vec::new();
@@ -393,7 +537,7 @@ where
                 part: &mut usize|
      -> Result<(), ColumnarError> {
         let path = runs_dir.join(name_of(*part));
-        builder.write_file(&path)?;
+        builder.write_file_with(&path, io)?;
         let zone = builder.zone();
         files.push(RunFile {
             path,
@@ -415,6 +559,7 @@ where
     if builder.rows() > 0 {
         seal(&mut builder, &mut files, &mut part)?;
     }
+    write_marker(io, &marker, &files)?;
     for run in group {
         for file in &run.files {
             std::fs::remove_file(&file.path)?;
@@ -432,15 +577,23 @@ fn merge_level(
     run_rows: usize,
     workers: usize,
     runs_dir: &Path,
+    io: &dyn IoLayer,
+    resume: bool,
 ) -> Result<Vec<Run>, ColumnarGenError> {
     let groups: Vec<&[Run]> = runs.chunks(fanin).collect();
     parallel_indexed(groups.len(), workers, |g| {
         let group = groups
             .get(g)
             .ok_or_else(|| internal_err("group out of range"))?;
-        merge_group(group, run_rows, runs_dir, |part| {
-            format!("r{level}-{g:06}-{part:03}.col")
-        })
+        merge_group(
+            group,
+            run_rows,
+            runs_dir,
+            io,
+            resume,
+            &format!("r{level}-{g:06}.done"),
+            |part| format!("r{level}-{g:06}-{part:03}.col"),
+        )
     })
     .map_err(spool_err)
 }
@@ -625,6 +778,7 @@ fn write_output_block(
     shard_lo: usize,
     shard_hi: usize,
     total: u64,
+    io: &dyn IoLayer,
 ) -> Result<u64, ColumnarError> {
     let start_row = (shard_lo as u64).saturating_mul(rows_per_shard as u64);
     let end_row = (shard_hi as u64)
@@ -647,7 +801,7 @@ fn write_output_block(
     let seal =
         |builder: &mut ColumnBuilder<Request>, shard: &mut usize| -> Result<(), ColumnarError> {
             let path = dir.join(format!("{prefix}-{:06}.col", *shard));
-            builder.write_file(&path)?;
+            builder.write_file_with(&path, io)?;
             *shard += 1;
             builder.clear();
             Ok(())
@@ -698,25 +852,186 @@ pub fn generate_columnar_parallel(
     prefix: &str,
     rows_per_shard: usize,
 ) -> Result<ColumnarTrace, ColumnarGenError> {
+    generate_columnar_parallel_with(
+        config,
+        opts,
+        dir,
+        prefix,
+        rows_per_shard,
+        &ResumeOptions::default(),
+    )
+}
+
+/// The scratch-directory fingerprint file contents: the config/content
+/// fingerprint plus every engine knob that shapes the *scratch layout*
+/// (task partition, run split, merge grouping). Threads are excluded —
+/// they change scheduling, never file names or contents — so a run may
+/// resume at a different thread count.
+fn scratch_fingerprint(
+    fingerprint: u64,
+    shard_size: usize,
+    run_rows: usize,
+    fanin: usize,
+    rows_per_shard: usize,
+) -> String {
+    format!(
+        "fingerprint = {fingerprint}\nshard_size = {shard_size}\nrun_rows = {run_rows}\nmerge_fanin = {fanin}\nrows_per_shard = {rows_per_shard}\n"
+    )
+}
+
+fn output_shard_name(prefix: &str, index: usize) -> String {
+    format!("{prefix}-{index:06}.col")
+}
+
+/// Best-effort partial manifest after an out-of-space failure: whatever
+/// complete shards survive are listed with `complete = false`, so a later
+/// `--resume` (or an operator) can see exactly how far the run got.
+fn flush_partial_manifest(dir: &Path, prefix: &str, fingerprint: u64, rows_per_shard: usize) {
+    let mut shards: Vec<ManifestShard> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok()))
+        .filter(|n| n.starts_with(prefix) && n.ends_with(".col"))
+        .collect();
+    names.sort();
+    for name in names {
+        if let Ok(footer) = read_shard_footer(&dir.join(&name)) {
+            shards.push(ManifestShard {
+                name,
+                rows: footer.rows,
+            });
+        }
+    }
+    let manifest = SpoolManifest {
+        prefix: prefix.to_string(),
+        codec_version: COLUMNAR_VERSION,
+        fingerprint,
+        rows_per_shard: rows_per_shard as u64,
+        total_rows: shards.iter().map(|s| s.rows).sum(),
+        complete: false,
+        shards,
+    };
+    let _ = manifest.store(&RealIo, dir);
+}
+
+/// [`generate_columnar_parallel`] with crash-recovery control.
+///
+/// Every spool write (run files, completion markers, output shards, the
+/// manifest) goes through `resume_opts.io` behind an atomic
+/// write-fsync-rename, so the pipeline can be killed — or fault-injected
+/// — at any storage operation and restarted. With
+/// `resume_opts.resume == true` a restart:
+///
+/// - returns immediately if a complete manifest with a matching
+///   fingerprint already certifies the spool;
+/// - otherwise reuses a surviving `.runs-<prefix>/` scratch directory
+///   whose fingerprint matches, skipping every journaled phase-1 task and
+///   merge group and rewriting only the missing output shards;
+/// - wipes mismatched or unfingerprinted scratch and starts fresh.
+///
+/// The resumed spool is byte-identical to an uninterrupted run. On an
+/// out-of-space failure a partial manifest (`complete = false`) is
+/// flushed best-effort so the damage is inspectable.
+///
+/// # Errors
+///
+/// As [`generate_columnar_parallel`].
+pub fn generate_columnar_parallel_with(
+    config: &TraceConfig,
+    opts: &ParGenOptions,
+    dir: &Path,
+    prefix: &str,
+    rows_per_shard: usize,
+    resume_opts: &ResumeOptions,
+) -> Result<ColumnarTrace, ColumnarGenError> {
     config.validate()?;
     let rows_per_shard = if rows_per_shard == 0 {
         DEFAULT_ROWS_PER_SHARD
     } else {
         rows_per_shard
     };
+    let fingerprint = config_fingerprint(config);
+    let result = run_pipeline(
+        config,
+        opts,
+        dir,
+        prefix,
+        rows_per_shard,
+        resume_opts,
+        fingerprint,
+    );
+    if let Err(ColumnarGenError::Spool(HttplogError::Io(e))) = &result {
+        if is_enospc(e) {
+            flush_partial_manifest(dir, prefix, fingerprint, rows_per_shard);
+        }
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pipeline(
+    config: &TraceConfig,
+    opts: &ParGenOptions,
+    dir: &Path,
+    prefix: &str,
+    rows_per_shard: usize,
+    resume_opts: &ResumeOptions,
+    fingerprint: u64,
+) -> Result<ColumnarTrace, ColumnarGenError> {
+    let io: &dyn IoLayer = &*resume_opts.io;
     let gen_opts = opts.gen_opts();
     let threads = gen_opts.resolved_threads();
     let shard_size = gen_opts.resolved_shard_size();
     let run_rows = opts.resolved_run_rows();
     let fanin = opts.resolved_merge_fanin();
+    let spool_io_err = |e: std::io::Error| spool_err(ColumnarError::Io(e));
 
-    let (catalogs, populations) = build_sites(config);
-    std::fs::create_dir_all(dir).map_err(|e| spool_err(ColumnarError::Io(e)))?;
+    std::fs::create_dir_all(dir).map_err(spool_io_err)?;
+    let trace = |total: u64, shards: u64| ColumnarTrace {
+        catalogs: Arc::new(Vec::new()),
+        populations: Arc::new(Vec::new()),
+        config: config.clone(),
+        dir: dir.to_path_buf(),
+        prefix: prefix.to_string(),
+        rows: total,
+        shards,
+    };
+
+    // A complete, fingerprint-matching manifest certifies the whole
+    // spool: the previous run finished (possibly dying between manifest
+    // write and scratch cleanup). Nothing to regenerate.
+    if resume_opts.resume {
+        if let Ok(Some(manifest)) = SpoolManifest::load(dir, prefix) {
+            if manifest.complete
+                && manifest.fingerprint == fingerprint
+                && manifest.rows_per_shard == rows_per_shard as u64
+                && manifest.shards.iter().all(|s| dir.join(&s.name).exists())
+            {
+                let _ = std::fs::remove_dir_all(dir.join(format!(".runs-{prefix}")));
+                return Ok(trace(manifest.total_rows, manifest.shards.len() as u64));
+            }
+        }
+    }
+
     let runs_dir = dir.join(format!(".runs-{prefix}"));
-    let _ = std::fs::remove_dir_all(&runs_dir);
-    std::fs::create_dir_all(&runs_dir).map_err(|e| spool_err(ColumnarError::Io(e)))?;
+    let fp_path = runs_dir.join("FINGERPRINT");
+    let fp_text = scratch_fingerprint(fingerprint, shard_size, run_rows, fanin, rows_per_shard);
+    // Resume only a scratch directory stamped with the same fingerprint;
+    // anything else (stale scratch from an older run, interrupted
+    // different-config run) is wiped — which is also what cleans up
+    // abandoned `.runs-*` dirs on a fresh start.
+    let resume = resume_opts.resume
+        && matches!(std::fs::read_to_string(&fp_path), Ok(text) if text == fp_text);
+    if !resume {
+        let _ = std::fs::remove_dir_all(&runs_dir);
+        std::fs::create_dir_all(&runs_dir).map_err(spool_io_err)?;
+        write_atomic(io, &fp_path, |w| w.write_all(fp_text.as_bytes())).map_err(spool_io_err)?;
+    }
 
-    // Phase 1: per-task sorted runs.
+    // Phase 1: per-task sorted runs (journaled via `.done` markers).
+    let (catalogs, populations) = build_sites(config);
     let mut runs = generate_runs(
         config,
         &catalogs,
@@ -725,6 +1040,8 @@ pub fn generate_columnar_parallel(
         shard_size,
         run_rows,
         &runs_dir,
+        io,
+        resume,
     )?;
     // The merge phases operate purely on run files; free the site tables
     // (user populations grow with `scale` and would otherwise sit under
@@ -736,41 +1053,101 @@ pub fn generate_columnar_parallel(
     let mut level = 0usize;
     while runs.len() > fanin {
         level += 1;
-        runs = merge_level(runs, fanin, level, run_rows, threads, &runs_dir)?;
+        runs = merge_level(runs, fanin, level, run_rows, threads, &runs_dir, io, resume)?;
     }
 
     // Phase 3: time-partitioned final merge into the shard directory.
+    // Output shards land by atomic rename, so a shard file whose footer
+    // carries the expected row count is complete; under resume only the
+    // missing/mismatched indices are rewritten (each contiguous range is
+    // a valid merge block — shard content never depends on the blocking).
     let total: u64 = runs.iter().map(|run| run.rows).sum();
     let shards = total.div_ceil(rows_per_shard as u64) as usize;
-    if shards > 0 {
+    let expected_rows = |j: usize| -> u64 {
+        if j + 1 == shards {
+            total - (shards as u64 - 1) * rows_per_shard as u64
+        } else {
+            rows_per_shard as u64
+        }
+    };
+    let mut missing: Vec<usize> = Vec::new();
+    for j in 0..shards {
+        let done = resume
+            && matches!(
+                read_shard_footer(&dir.join(output_shard_name(prefix, j))),
+                Ok(footer) if footer.rows == expected_rows(j)
+            );
+        if !done {
+            missing.push(j);
+        }
+    }
+    if !missing.is_empty() {
         let block_shards = shards.div_ceil(threads.saturating_mul(2).max(1)).max(1);
-        let blocks: Vec<(usize, usize)> = (0..shards)
-            .step_by(block_shards)
-            .map(|lo| (lo, (lo + block_shards).min(shards)))
-            .collect();
+        // Chunk each contiguous missing range into parallel blocks.
+        let mut blocks: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0usize;
+        while i < missing.len() {
+            let mut j = i;
+            while j + 1 < missing.len() && missing[j + 1] == missing[j] + 1 {
+                j += 1;
+            }
+            let (range_lo, range_hi) = (missing[i], missing[j] + 1);
+            let mut lo = range_lo;
+            while lo < range_hi {
+                blocks.push((lo, (lo + block_shards).min(range_hi)));
+                lo += block_shards;
+            }
+            i = j + 1;
+        }
+        let goal: u64 = missing.iter().map(|&j| expected_rows(j)).sum();
         let written = parallel_indexed(blocks.len(), threads, |b| {
             let &(lo, hi) = blocks
                 .get(b)
                 .ok_or_else(|| internal_err("block out of range"))?;
-            write_output_block(&runs, dir, prefix, rows_per_shard, lo, hi, total)
+            write_output_block(&runs, dir, prefix, rows_per_shard, lo, hi, total, io)
         })
         .map_err(spool_err)?;
         let written: u64 = written.iter().sum();
-        if written != total {
+        if written != goal {
             return Err(spool_err(internal_err("output row count mismatch")));
         }
     }
+
+    // Remove output shards beyond the expected count (stale leftovers of
+    // an interrupted larger run would otherwise corrupt the directory).
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for name in entries.filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok())) {
+            let is_ours = name.starts_with(prefix) && name.ends_with(".col");
+            let index = name
+                .get(prefix.len() + 1..name.len() - 4)
+                .and_then(|s| s.parse::<usize>().ok());
+            if is_ours && matches!(index, Some(i) if i >= shards) {
+                std::fs::remove_file(dir.join(&name)).map_err(spool_io_err)?;
+            }
+        }
+    }
+
+    // The manifest is the completion record: written (atomically) before
+    // the scratch directory goes away, so a crash between the two leaves
+    // a resumable state, never a half-certified spool.
+    let manifest = SpoolManifest {
+        prefix: prefix.to_string(),
+        codec_version: COLUMNAR_VERSION,
+        fingerprint,
+        rows_per_shard: rows_per_shard as u64,
+        total_rows: total,
+        complete: true,
+        shards: (0..shards)
+            .map(|j| ManifestShard {
+                name: output_shard_name(prefix, j),
+                rows: expected_rows(j),
+            })
+            .collect(),
+    };
+    manifest.store(io, dir).map_err(spool_io_err)?;
     let _ = std::fs::remove_dir_all(&runs_dir);
 
-    Ok(ColumnarTrace {
-        catalogs: Arc::new(Vec::new()),
-        populations: Arc::new(Vec::new()),
-        config: config.clone(),
-        dir: dir.to_path_buf(),
-        prefix: prefix.to_string(),
-        rows: total,
-        shards: shards as u64,
-    })
+    Ok(trace(total, shards as u64))
 }
 
 #[cfg(test)]
@@ -971,5 +1348,294 @@ mod tests {
             },
             0,
         );
+    }
+
+    use oat_httplog::FailAt;
+
+    /// Smaller than `tiny_config` — the crash sweep runs many generations.
+    fn crash_config() -> TraceConfig {
+        TraceConfig {
+            scale: 0.0015,
+            catalog_scale: 0.01,
+            ..TraceConfig::paper_week()
+        }
+    }
+
+    fn crash_opts(threads: usize) -> ParGenOptions {
+        ParGenOptions {
+            threads,
+            shard_size: 32,
+            run_rows: 256,
+            merge_fanin: 2,
+        }
+    }
+
+    const CRASH_ROWS_PER_SHARD: usize = 700;
+
+    fn serial_baseline(config: &TraceConfig) -> PathBuf {
+        let dir = temp_dir("crash-baseline");
+        generate_columnar(
+            config,
+            &GenOptions {
+                threads: 1,
+                shard_size: 32,
+            },
+            0,
+            &dir,
+            "req",
+            CRASH_ROWS_PER_SHARD,
+        )
+        .expect("serial baseline");
+        dir
+    }
+
+    /// The acceptance property: kill the pipeline at ANY storage
+    /// operation, resume, and get a spool byte-identical to an
+    /// uninterrupted serial run — at one and at several threads.
+    #[test]
+    fn kill_anywhere_then_resume_is_byte_identical() {
+        let config = crash_config();
+        let baseline = serial_baseline(&config);
+
+        for threads in [1usize, 3] {
+            let opts = crash_opts(threads);
+            // Count the storage ops of an uninterrupted run to size the sweep.
+            let probe_dir = temp_dir(&format!("crash-probe-{threads}"));
+            let probe = Arc::new(FailAt::new(0)); // k = 0 never fails
+            generate_columnar_parallel_with(
+                &config,
+                &opts,
+                &probe_dir,
+                "req",
+                CRASH_ROWS_PER_SHARD,
+                &ResumeOptions {
+                    resume: false,
+                    io: probe.clone(),
+                },
+            )
+            .expect("probe run");
+            let total_ops = probe.ops_seen();
+            assert!(total_ops > 20, "expected a nontrivial op count");
+            assert_dirs_identical(&baseline, &probe_dir);
+            let _ = std::fs::remove_dir_all(&probe_dir);
+
+            // Sweep failure points across the whole pipeline (step keeps
+            // the test fast; endpoints and phase interiors are covered).
+            let step = (total_ops / 9).max(1);
+            let mut kill_points: Vec<u64> = (1..=total_ops).step_by(step as usize).collect();
+            kill_points.push(total_ops); // the very last op (manifest write)
+            for k in kill_points {
+                let dir = temp_dir(&format!("crash-{threads}-{k}"));
+                let err = generate_columnar_parallel_with(
+                    &config,
+                    &opts,
+                    &dir,
+                    "req",
+                    CRASH_ROWS_PER_SHARD,
+                    &ResumeOptions {
+                        resume: false,
+                        io: Arc::new(FailAt::new(k)),
+                    },
+                )
+                .expect_err("injected failure must abort the run");
+                drop(err);
+                let resumed = generate_columnar_parallel_with(
+                    &config,
+                    &opts,
+                    &dir,
+                    "req",
+                    CRASH_ROWS_PER_SHARD,
+                    &ResumeOptions {
+                        resume: true,
+                        io: Arc::new(RealIo),
+                    },
+                )
+                .unwrap_or_else(|e| panic!("resume after op {k} failed: {e}"));
+                assert!(resumed.rows > 0);
+                assert_dirs_identical(&baseline, &dir);
+                assert!(
+                    !dir.join(".runs-req").exists(),
+                    "scratch survives resume at op {k}"
+                );
+                let manifest = SpoolManifest::load(&dir, "req")
+                    .expect("load manifest")
+                    .expect("manifest written");
+                assert!(manifest.complete);
+                assert_eq!(manifest.total_rows, resumed.rows);
+                assert_eq!(manifest.fingerprint, config_fingerprint(&config));
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&baseline);
+    }
+
+    #[test]
+    fn enospc_flushes_partial_manifest_and_resume_completes() {
+        let config = crash_config();
+        let opts = crash_opts(1);
+        let dir = temp_dir("enospc");
+
+        // Count ops, then blow up near the end (inside phase 3 or later)
+        // so some complete output shards exist when the disk "fills".
+        let probe = Arc::new(FailAt::new(0));
+        generate_columnar_parallel_with(
+            &config,
+            &opts,
+            &dir,
+            "req",
+            CRASH_ROWS_PER_SHARD,
+            &ResumeOptions {
+                resume: false,
+                io: probe.clone(),
+            },
+        )
+        .expect("probe run");
+        let total_ops = probe.ops_seen();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let err = generate_columnar_parallel_with(
+            &config,
+            &opts,
+            &dir,
+            "req",
+            CRASH_ROWS_PER_SHARD,
+            &ResumeOptions {
+                resume: false,
+                io: Arc::new(FailAt::enospc(total_ops - 6)),
+            },
+        )
+        .expect_err("injected ENOSPC must abort");
+        match &err {
+            ColumnarGenError::Spool(HttplogError::Io(e)) => {
+                assert!(oat_httplog::is_enospc(e), "ENOSPC must stay recognizable")
+            }
+            other => panic!("expected a spool io error, got {other:?}"),
+        }
+        // The partial manifest records the surviving shards, incomplete.
+        let partial = SpoolManifest::load(&dir, "req")
+            .expect("load partial manifest")
+            .expect("partial manifest flushed on ENOSPC");
+        assert!(!partial.complete);
+        assert!(!partial.shards.is_empty(), "late failure leaves shards");
+
+        let baseline = serial_baseline(&config);
+        generate_columnar_parallel_with(
+            &config,
+            &opts,
+            &dir,
+            "req",
+            CRASH_ROWS_PER_SHARD,
+            &ResumeOptions {
+                resume: true,
+                io: Arc::new(RealIo),
+            },
+        )
+        .expect("resume after ENOSPC");
+        assert_dirs_identical(&baseline, &dir);
+        assert!(
+            SpoolManifest::load(&dir, "req")
+                .expect("load")
+                .expect("manifest")
+                .complete
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&baseline);
+    }
+
+    #[test]
+    fn mismatched_scratch_is_wiped_and_regenerated() {
+        let config = crash_config();
+        let opts = crash_opts(2);
+        let dir = temp_dir("fp-mismatch");
+
+        // Interrupt a run of a DIFFERENT config, leaving live scratch.
+        let other = TraceConfig {
+            scale: 0.003,
+            ..crash_config()
+        };
+        generate_columnar_parallel_with(
+            &other,
+            &opts,
+            &dir,
+            "req",
+            CRASH_ROWS_PER_SHARD,
+            &ResumeOptions {
+                resume: false,
+                io: Arc::new(FailAt::new(40)),
+            },
+        )
+        .expect_err("interrupted");
+        assert!(dir.join(".runs-req").exists(), "scratch kept on error");
+
+        // Resuming under the real config must not trust that scratch.
+        let baseline = serial_baseline(&config);
+        generate_columnar_parallel_with(
+            &config,
+            &opts,
+            &dir,
+            "req",
+            CRASH_ROWS_PER_SHARD,
+            &ResumeOptions {
+                resume: true,
+                io: Arc::new(RealIo),
+            },
+        )
+        .expect("resume with different config regenerates");
+        assert_dirs_identical(&baseline, &dir);
+
+        // A stale scratch dir is also cleaned by a plain fresh start.
+        let junk = dir.join(".runs-req");
+        std::fs::create_dir_all(&junk).unwrap();
+        std::fs::write(junk.join("leftover.col"), b"junk").unwrap();
+        generate_columnar_parallel(&config, &opts, &dir, "req", CRASH_ROWS_PER_SHARD)
+            .expect("fresh start over stale scratch");
+        assert!(!junk.exists(), "stale scratch cleaned on fresh start");
+        assert_dirs_identical(&baseline, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&baseline);
+    }
+
+    #[test]
+    fn resume_heals_a_deleted_shard() {
+        let config = crash_config();
+        let opts = crash_opts(2);
+        let dir = temp_dir("heal");
+        let done = generate_columnar_parallel(&config, &opts, &dir, "req", CRASH_ROWS_PER_SHARD)
+            .expect("generate");
+        assert!(done.shards >= 2, "need several shards");
+
+        // Complete manifest + all shards present: resume returns as-is.
+        let again = generate_columnar_parallel_with(
+            &config,
+            &opts,
+            &dir,
+            "req",
+            CRASH_ROWS_PER_SHARD,
+            &ResumeOptions {
+                resume: true,
+                io: Arc::new(RealIo),
+            },
+        )
+        .expect("no-op resume");
+        assert_eq!((again.rows, again.shards), (done.rows, done.shards));
+
+        // Losing a shard invalidates the certification; resume rebuilds.
+        let victim = dir.join("req-000001.col");
+        let saved = std::fs::read(&victim).expect("read shard");
+        std::fs::remove_file(&victim).expect("delete shard");
+        generate_columnar_parallel_with(
+            &config,
+            &opts,
+            &dir,
+            "req",
+            CRASH_ROWS_PER_SHARD,
+            &ResumeOptions {
+                resume: true,
+                io: Arc::new(RealIo),
+            },
+        )
+        .expect("healing resume");
+        assert_eq!(std::fs::read(&victim).expect("rebuilt"), saved);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
